@@ -1,0 +1,101 @@
+//! CM1 skeleton: a 3-D nonhydrostatic atmospheric model. In communication
+//! terms: a 2-D horizontal domain decomposition with 4-neighbor halo
+//! exchange (named receives, open boundaries — the atmosphere does not wrap)
+//! and a rare global CFL reduction; strongly compute-bound.
+//!
+//! The open boundary matters for the paper's recovery observation (§6.4): a
+//! corner/edge rank may have *no* inter-cluster channel at all, recovers at
+//! failure-free speed, and thereby bounds the whole cluster's recovery
+//! speedup.
+
+use crate::compute;
+use crate::grid;
+use crate::AppParams;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::to_bytes;
+
+const TAG_HALO_BASE: Tag = 600;
+
+/// Build the CM1 rank closure.
+pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let dims = grid::dims_create(n, 2);
+        let face = (p.elems / 16).max(4);
+
+        let mut state: (u64, Vec<f64>) = rank
+            .restore()?
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+
+        while state.0 < p.iters {
+            rank.failure_point()?;
+            let field = &mut state.1;
+
+            // 4-neighbor halo exchange, open boundaries, named receives.
+            let mut recvs = Vec::new();
+            let mut sends = Vec::new();
+            for axis in 0..2 {
+                for (d, dir) in [(0usize, 1isize), (1, -1)] {
+                    let tag = TAG_HALO_BASE + (axis * 2 + d) as Tag;
+                    if let Some(from) = grid::neighbor_open(me, &dims, axis, -dir) {
+                        recvs.push(rank.irecv(COMM_WORLD, from as u32, tag)?);
+                    }
+                    if let Some(to) = grid::neighbor_open(me, &dims, axis, dir) {
+                        let payload: Vec<f64> =
+                            field[..face.min(field.len())].to_vec();
+                        sends.push(rank.isend(COMM_WORLD, to, tag, &payload)?);
+                    }
+                }
+            }
+            let halos = rank.waitall(&recvs)?;
+            rank.waitall(&sends)?;
+            for (k, (_st, payload)) in halos.iter().enumerate() {
+                let ghost: Vec<f64> =
+                    mini_mpi::datatype::unpack(payload.as_ref().expect("halo"))?;
+                for (i, g) in ghost.iter().enumerate() {
+                    let idx = (k * 29 + i) % field.len();
+                    field[idx] = 0.97 * field[idx] + 0.03 * g;
+                }
+            }
+
+            // Microphysics / dynamics: the heavy part.
+            compute::work_timed(field, p.compute * 6, p.sleep_us);
+
+            // CFL check every few steps only (rare global communication).
+            if state.0 % 4 == 3 {
+                let local_max = field.iter().take(64).fold(0.0f64, |a, &b| a.max(b.abs()));
+                let _cfl = rank.allreduce(COMM_WORLD, ReduceOp::Max, &[local_max])?;
+            }
+
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&compute::checksum(&state.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AppParams {
+        AppParams { iters: 6, elems: 256, compute: 1, seed: 13, sleep_us: 0 }
+    }
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let run = || Runtime::run_native(6, app(params())).unwrap().ok().unwrap().outputs;
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corner_ranks_have_fewer_neighbors() {
+        let report = Runtime::run_native(9, app(params())).unwrap().ok().unwrap();
+        // 3x3 grid: the corner (rank 0) talks to 2 neighbors, the center
+        // (rank 4) to 4.
+        let corner: u64 = report.stats[0].sent_msgs.iter().filter(|&&m| m > 0).count() as u64;
+        let center: u64 = report.stats[4].sent_msgs.iter().filter(|&&m| m > 0).count() as u64;
+        assert!(center > corner);
+    }
+}

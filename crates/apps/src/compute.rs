@@ -1,0 +1,90 @@
+//! Synthetic compute kernels.
+//!
+//! The workloads reproduce the *communication* skeletons of the paper's
+//! applications; computation is synthetic but real work (floating-point
+//! recurrences over the local state), so rollback genuinely re-computes and
+//! the compute/communication ratio is tunable to match the paper's IPM
+//! observations (§6.4: AMG >50 % communication, CM1/GTC/MiniFE <10 %).
+
+/// Run `units` rounds of a floating-point recurrence over `data`.
+///
+/// Deterministic, order-stable, and not optimizable to a closed form: the
+/// result feeds back into the state so re-execution after rollback must redo
+/// exactly this work.
+pub fn work(data: &mut [f64], units: u32) {
+    for round in 0..units {
+        let c = 1.0 + 1e-9 * f64::from(round);
+        let mut prev = data.last().copied().unwrap_or(0.0);
+        for x in data.iter_mut() {
+            let v = (*x).mul_add(0.999_999_3, prev * 1e-6) + 1e-12 * c;
+            prev = *x;
+            *x = v;
+        }
+    }
+}
+
+/// Like [`work`], plus a virtual-compute delay of `units * sleep_us`
+/// microseconds.
+///
+/// Timing experiments model computation as *sleep* rather than spin: on an
+/// oversubscribed machine sleeping ranks overlap like ranks on dedicated
+/// cores, so wall-clock ratios (overhead %, normalized recovery time) keep
+/// the shape they would have on a real cluster. Correctness state evolution
+/// still happens in the real `work` part.
+pub fn work_timed(data: &mut [f64], units: u32, sleep_us: u64) {
+    work(data, units);
+    if sleep_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(units as u64 * sleep_us));
+    }
+}
+
+/// Deterministic checksum of a state vector (order-sensitive).
+pub fn checksum(data: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (i, &x) in data.iter().enumerate() {
+        acc = acc.mul_add(0.5, x * (1.0 + (i % 7) as f64 * 1e-3));
+    }
+    acc
+}
+
+/// Deterministic pseudo-random initial field.
+pub fn init_field(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = mini_mpi::util::XorShift64::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    (0..len).map(|_| rng.unit_f64() * 2.0 - 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_is_deterministic() {
+        let mut a = init_field(128, 3);
+        let mut b = a.clone();
+        work(&mut a, 5);
+        work(&mut b, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn work_changes_state() {
+        let mut a = init_field(64, 1);
+        let before = a.clone();
+        work(&mut a, 1);
+        assert_ne!(a, before);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_eq!(checksum(&a), checksum(&a));
+    }
+
+    #[test]
+    fn init_field_depends_on_seed() {
+        assert_ne!(init_field(8, 1), init_field(8, 2));
+        assert_eq!(init_field(8, 1), init_field(8, 1));
+    }
+}

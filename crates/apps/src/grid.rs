@@ -1,0 +1,130 @@
+//! Cartesian process-grid decompositions (the `MPI_Cart_*` equivalents the
+//! stencil workloads need).
+
+/// Factor `n` ranks into a near-cubic `dims`-dimensional process grid
+/// (largest factors first) — the usual `MPI_Dims_create` behavior.
+pub fn dims_create(n: usize, dims: usize) -> Vec<usize> {
+    assert!(dims >= 1 && n >= 1);
+    let mut out = vec![1usize; dims];
+    let mut remaining = n;
+    let mut f = 2usize;
+    let mut factors = Vec::new();
+    while f * f <= remaining {
+        while remaining.is_multiple_of(f) {
+            factors.push(f);
+            remaining /= f;
+        }
+        f += 1;
+    }
+    if remaining > 1 {
+        factors.push(remaining);
+    }
+    // Distribute factors largest-first onto the currently smallest dimension.
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = (0..dims).min_by_key(|&i| out[i]).expect("dims >= 1");
+        out[i] *= f;
+    }
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Position of `rank` in a row-major grid of the given dims.
+pub fn coords_of(rank: usize, dims: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0; dims.len()];
+    let mut rem = rank;
+    for (i, &d) in dims.iter().enumerate().rev() {
+        coords[i] = rem % d;
+        rem /= d;
+    }
+    coords
+}
+
+/// Rank of grid `coords` (row-major).
+pub fn rank_of(coords: &[usize], dims: &[usize]) -> usize {
+    let mut r = 0;
+    for (c, d) in coords.iter().zip(dims) {
+        debug_assert!(c < d);
+        r = r * d + c;
+    }
+    r
+}
+
+/// Neighbor of `rank` along `axis` in direction `dir` (±1), with periodic
+/// (torus) wrap-around.
+pub fn neighbor(rank: usize, dims: &[usize], axis: usize, dir: isize) -> usize {
+    let mut coords = coords_of(rank, dims);
+    let d = dims[axis] as isize;
+    coords[axis] = ((coords[axis] as isize + dir % d + d) % d) as usize;
+    rank_of(&coords, dims)
+}
+
+/// Non-periodic neighbor: `None` at the boundary.
+pub fn neighbor_open(rank: usize, dims: &[usize], axis: usize, dir: isize) -> Option<usize> {
+    let mut coords = coords_of(rank, dims);
+    let next = coords[axis] as isize + dir;
+    if next < 0 || next >= dims[axis] as isize {
+        return None;
+    }
+    coords[axis] = next as usize;
+    Some(rank_of(&coords, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_create_products() {
+        for n in [1usize, 2, 4, 6, 8, 12, 16, 27, 64, 100, 512] {
+            for d in 1..=4 {
+                let dims = dims_create(n, d);
+                assert_eq!(dims.iter().product::<usize>(), n, "n={n} d={d}");
+                assert_eq!(dims.len(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn dims_create_is_balanced() {
+        assert_eq!(dims_create(64, 3), vec![4, 4, 4]);
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let dims = [3usize, 4, 5];
+        for r in 0..60 {
+            let c = coords_of(r, &dims);
+            assert_eq!(rank_of(&c, &dims), r);
+        }
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let dims = [4usize];
+        assert_eq!(neighbor(0, &dims, 0, -1), 3);
+        assert_eq!(neighbor(3, &dims, 0, 1), 0);
+        assert_eq!(neighbor(1, &dims, 0, 1), 2);
+    }
+
+    #[test]
+    fn open_neighbors_stop_at_boundary() {
+        let dims = [2usize, 2];
+        assert_eq!(neighbor_open(0, &dims, 0, -1), None);
+        assert_eq!(neighbor_open(0, &dims, 0, 1), Some(2));
+        assert_eq!(neighbor_open(3, &dims, 1, 1), None);
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        let dims = dims_create(24, 3);
+        for r in 0..24 {
+            for axis in 0..3 {
+                let n = neighbor(r, &dims, axis, 1);
+                assert_eq!(neighbor(n, &dims, axis, -1), r);
+            }
+        }
+    }
+}

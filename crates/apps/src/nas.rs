@@ -1,0 +1,221 @@
+//! NAS parallel benchmark skeletons (BT, SP, LU, MG) — the workloads of the
+//! paper's HydEE comparison (Figure 6). All four use only named receives
+//! (no wildcards), so they run under both SPBC and HydEE unmodified.
+
+use crate::compute;
+use crate::grid;
+use crate::AppParams;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::to_bytes;
+
+const TAG_SWEEP: Tag = 700;
+const TAG_WAVE: Tag = 710;
+const TAG_LEVEL_BASE: Tag = 720;
+
+/// ADI line-sweep skeleton shared by BT and SP: alternate pipelined sweeps
+/// along the rows and columns of a 2-D process grid, plus a residual
+/// allreduce per iteration. `msg_scale` and `compute_scale` differentiate
+/// BT (fewer, larger messages; heavier compute) from SP (more, smaller).
+fn adi_app(
+    p: AppParams,
+    msg_scale: usize,
+    compute_scale: u32,
+    sweeps: usize,
+    chunks: usize,
+) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let dims = grid::dims_create(n, 2);
+        let line = ((p.elems / 16) * msg_scale / chunks).max(4);
+
+        let mut state: (u64, Vec<f64>) = rank
+            .restore()?
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+        while state.0 < p.iters {
+            rank.failure_point()?;
+            let field = &mut state.1;
+            for sweep in 0..sweeps {
+                for axis in 0..2 {
+                    // Pipelined forward sweep, one k-plane chunk at a time
+                    // (real ADI pipelines fine-grained so downstream ranks
+                    // start early): receive a chunk, factor, forward it.
+                    for chunk in 0..chunks {
+                        if let Some(from) = grid::neighbor_open(me, &dims, axis, -1) {
+                            let (line_in, _) =
+                                rank.recv::<f64>(COMM_WORLD, from as u32, TAG_SWEEP)?;
+                            for (i, v) in line_in.iter().enumerate() {
+                                let idx = (i * 7 + sweep + chunk) % field.len();
+                                field[idx] = 0.9 * field[idx] + 0.1 * v;
+                            }
+                        }
+                        compute::work_timed(
+                            field,
+                            (p.compute * compute_scale).div_ceil(chunks as u32),
+                            p.sleep_us,
+                        );
+                        if let Some(to) = grid::neighbor_open(me, &dims, axis, 1) {
+                            let payload: Vec<f64> = field[..line.min(field.len())].to_vec();
+                            rank.send(COMM_WORLD, to, TAG_SWEEP, &payload)?;
+                        }
+                    }
+                }
+            }
+            let local: f64 = field.iter().take(16).sum();
+            let _res = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[local])?;
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&compute::checksum(&state.1)))
+    }
+}
+
+/// NAS BT: block-tridiagonal ADI — larger lines, heavier factorization,
+/// coarser pipeline.
+pub fn bt(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    adi_app(p, 3, 3, 1, 6)
+}
+
+/// NAS SP: scalar-pentadiagonal ADI — smaller lines, more sweeps, finer
+/// pipeline.
+pub fn sp(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    adi_app(p, 1, 1, 2, 8)
+}
+
+/// NAS LU: SSOR wavefront — each iteration a lower sweep (receive from
+/// north/west, compute, send south/east) and a mirrored upper sweep.
+pub fn lu(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let dims = grid::dims_create(n, 2);
+        let line = (p.elems / 64).max(4);
+
+        let mut state: (u64, Vec<f64>) = rank
+            .restore()?
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+        while state.0 < p.iters {
+            rank.failure_point()?;
+            let field = &mut state.1;
+            const CHUNKS: u32 = 6; // per-plane pipelining, as in real SSOR
+            for (dir, tag_off) in [(-1isize, 0u32), (1, 1)] {
+                for chunk in 0..CHUNKS {
+                    // Wavefront: consume from upstream in both axes, factor,
+                    // produce downstream in both axes, one plane at a time.
+                    for axis in 0..2 {
+                        if let Some(from) = grid::neighbor_open(me, &dims, axis, -dir) {
+                            let (v, _) =
+                                rank.recv::<f64>(COMM_WORLD, from as u32, TAG_WAVE + tag_off)?;
+                            for (i, x) in v.iter().enumerate() {
+                                let idx = (i * 11 + axis + chunk as usize) % field.len();
+                                field[idx] = 0.93 * field[idx] + 0.07 * x;
+                            }
+                        }
+                    }
+                    compute::work_timed(field, (p.compute * 2).div_ceil(CHUNKS), p.sleep_us);
+                    for axis in 0..2 {
+                        if let Some(to) = grid::neighbor_open(me, &dims, axis, dir) {
+                            let payload: Vec<f64> = field[..line.min(field.len())].to_vec();
+                            rank.send(COMM_WORLD, to, TAG_WAVE + tag_off, &payload)?;
+                        }
+                    }
+                }
+            }
+            let local: f64 = field.iter().take(16).sum();
+            let _norm = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[local])?;
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&compute::checksum(&state.1)))
+    }
+}
+
+/// NAS MG: multigrid V-cycle — halo exchanges with ring partners at stride
+/// 2^level going down, then back up, plus the norm allreduce.
+pub fn mg(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static {
+    move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let levels = (usize::BITS - n.leading_zeros()).clamp(1, 4) as usize;
+        let face = (p.elems / 32).max(4);
+
+        let mut state: (u64, Vec<f64>) = rank
+            .restore()?
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+        while state.0 < p.iters {
+            rank.failure_point()?;
+            let field = &mut state.1;
+            // Down-leg then up-leg of the V-cycle.
+            let schedule: Vec<usize> =
+                (0..levels).chain((0..levels).rev()).collect();
+            for (k, &lvl) in schedule.iter().enumerate() {
+                if n > 1 {
+                    let stride = 1usize << lvl;
+                    let to = (me + stride) % n;
+                    let from = (me + n - stride) % n;
+                    let tag = TAG_LEVEL_BASE + lvl as Tag;
+                    if to != me {
+                        let rreq = rank.irecv(COMM_WORLD, from as u32, tag)?;
+                        let payload: Vec<f64> =
+                            field[..(face >> lvl).max(2).min(field.len())].to_vec();
+                        rank.send(COMM_WORLD, to, tag, &payload)?;
+                        let (_st, data) = rank.wait(rreq)?;
+                        let ghost: Vec<f64> =
+                            mini_mpi::datatype::unpack(&data.expect("mg halo"))?;
+                        for (i, g) in ghost.iter().enumerate() {
+                            let idx = (k * 19 + i) % field.len();
+                            field[idx] = 0.9 * field[idx] + 0.1 * g;
+                        }
+                    }
+                }
+                compute::work_timed(field, p.compute, p.sleep_us);
+            }
+            let local: f64 = field.iter().take(16).map(|x| x * x).sum();
+            let _norm = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[local])?;
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&compute::checksum(&state.1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AppParams {
+        AppParams { iters: 4, elems: 256, compute: 1, seed: 17, sleep_us: 0 }
+    }
+
+    #[test]
+    fn bt_runs_and_is_deterministic() {
+        let run = || Runtime::run_native(4, bt(params())).unwrap().ok().unwrap().outputs;
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sp_runs() {
+        let r = Runtime::run_native(4, sp(params())).unwrap().ok().unwrap();
+        assert_eq!(r.outputs.len(), 4);
+    }
+
+    #[test]
+    fn lu_runs_and_is_deterministic() {
+        let run = || Runtime::run_native(4, lu(params())).unwrap().ok().unwrap().outputs;
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mg_runs_and_is_deterministic() {
+        let run = || Runtime::run_native(8, mg(params())).unwrap().ok().unwrap().outputs;
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn nas_apps_run_on_one_rank() {
+        assert!(!Runtime::run_native(1, bt(params())).unwrap().ok().unwrap().outputs[0]
+            .is_empty());
+        assert!(!Runtime::run_native(1, mg(params())).unwrap().ok().unwrap().outputs[0]
+            .is_empty());
+    }
+}

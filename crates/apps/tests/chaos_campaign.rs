@@ -1,0 +1,118 @@
+//! Chaos campaign: many failures over one long execution, hitting every
+//! cluster, with checkpoints interleaved — the MTBF-of-hours regime the
+//! paper's introduction targets, compressed into seconds.
+
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::prelude::*;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, Metrics, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+const ITERS: u64 = 30;
+
+fn params() -> AppParams {
+    AppParams { iters: ITERS, elems: 192, compute: 1, seed: 101, sleep_us: 0 }
+}
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(90))
+}
+
+#[test]
+fn five_failures_across_all_clusters() {
+    let w = Workload::MiniGhost;
+    let native = Runtime::new(cfg())
+        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap();
+
+    let provider = Arc::new(SpbcProvider::new(
+        ClusterMap::blocks(WORLD, 4),
+        SpbcConfig { ckpt_interval: 4, ..Default::default() },
+    ));
+    // One failure per cluster plus a repeat — spread across the run so each
+    // recovery completes (or overlaps harmlessly) before the next.
+    let plans = vec![
+        FailurePlan { rank: RankId(0), nth: 3 },
+        FailurePlan { rank: RankId(3), nth: 9 },
+        FailurePlan { rank: RankId(4), nth: 15 },
+        FailurePlan { rank: RankId(7), nth: 21 },
+        FailurePlan { rank: RankId(1), nth: 13 },
+    ];
+    let report = Runtime::new(cfg())
+        .run(Arc::clone(&provider) as Arc<SpbcProvider>, w.build(params()), plans, None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    assert_eq!(report.failures_handled, 5);
+    assert_eq!(native.outputs, report.outputs, "five recoveries, still bitwise exact");
+    // Every cluster restarted at least once.
+    for pair in report.restarts.chunks(2) {
+        assert!(pair.iter().any(|&r| r > 0), "restarts: {:?}", report.restarts);
+    }
+    let m = provider.metrics();
+    assert!(Metrics::get(&m.rollbacks) >= 10);
+    assert!(Metrics::get(&m.replayed_msgs) > 0);
+}
+
+#[test]
+fn failure_during_anothers_recovery() {
+    // The second cluster dies while the first is still catching up: the
+    // paper's multiple-concurrent-failures claim (§3.1), sequentialized by
+    // the runtime but overlapping at the protocol level (the Rollback
+    // mirroring path).
+    let w = Workload::Milc;
+    let native = Runtime::new(cfg())
+        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    let provider = Arc::new(SpbcProvider::new(
+        ClusterMap::blocks(WORLD, 4),
+        SpbcConfig { ckpt_interval: 5, ..Default::default() },
+    ));
+    // Back-to-back: rank 2's cluster dies at iteration 10; rank 4's dies at
+    // its own iteration 11 — while cluster {2,3} is still replaying.
+    let plans = vec![
+        FailurePlan { rank: RankId(2), nth: 11 },
+        FailurePlan { rank: RankId(4), nth: 12 },
+    ];
+    let report = Runtime::new(cfg())
+        .run(provider, w.build(params()), plans, None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    assert_eq!(report.failures_handled, 2);
+    assert_eq!(native.outputs, report.outputs);
+}
+
+#[test]
+fn every_evaluation_workload_survives_three_failures() {
+    for w in Workload::EVALUATION {
+        let native = Runtime::new(cfg())
+            .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+            .unwrap()
+            .ok()
+            .unwrap();
+        let provider = Arc::new(SpbcProvider::new(
+            ClusterMap::blocks(WORLD, 4),
+            SpbcConfig { ckpt_interval: 6, ..Default::default() },
+        ));
+        let plans = vec![
+            FailurePlan { rank: RankId(1), nth: 5 },
+            FailurePlan { rank: RankId(6), nth: 14 },
+            FailurePlan { rank: RankId(3), nth: 25 },
+        ];
+        let report = Runtime::new(cfg())
+            .run(provider, w.build(params()), plans, None)
+            .unwrap()
+            .ok()
+            .unwrap();
+        assert_eq!(report.failures_handled, 3, "{}", w.name());
+        assert_eq!(native.outputs, report.outputs, "{}", w.name());
+    }
+}

@@ -1,0 +1,75 @@
+//! Recovery under scheduling perturbation: SPBC's correctness argument rests
+//! on channel-determinism, not on timing — so random delays injected into
+//! every transmission must not affect the recovered result.
+
+use mini_mpi::config::Perturb;
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::prelude::*;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg(seed: u64) -> RuntimeConfig {
+    RuntimeConfig::new(6)
+        .with_deadlock_timeout(Duration::from_secs(60))
+        .with_perturb(Perturb { max_delay_us: 800, probability: 0.4, seed })
+}
+
+fn params() -> AppParams {
+    AppParams { iters: 8, elems: 128, compute: 1, seed: 5, sleep_us: 0 }
+}
+
+fn check(w: Workload) {
+    // Native reference without perturbation (results must not depend on
+    // timing at all for these workloads).
+    let native = Runtime::new(RuntimeConfig::new(6))
+        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    for seed in [11u64, 22, 33] {
+        let provider = Arc::new(SpbcProvider::new(
+            ClusterMap::blocks(6, 3),
+            SpbcConfig { ckpt_interval: 3, ..Default::default() },
+        ));
+        let report = Runtime::new(cfg(seed))
+            .run(
+                provider,
+                w.build(params()),
+                vec![FailurePlan { rank: RankId(3), nth: 6 }],
+                None,
+            )
+            .unwrap()
+            .ok()
+            .unwrap();
+        assert_eq!(report.failures_handled, 1, "{} seed {}", w.name(), seed);
+        assert_eq!(
+            native.outputs, report.outputs,
+            "{} seed {}: perturbed recovery diverged",
+            w.name(),
+            seed
+        );
+    }
+}
+
+#[test]
+fn perturbed_recovery_minighost() {
+    check(Workload::MiniGhost);
+}
+
+#[test]
+fn perturbed_recovery_minife_any_source() {
+    check(Workload::MiniFe);
+}
+
+#[test]
+fn perturbed_recovery_amg_iprobe() {
+    check(Workload::Amg);
+}
+
+#[test]
+fn perturbed_recovery_gtc() {
+    check(Workload::Gtc);
+}

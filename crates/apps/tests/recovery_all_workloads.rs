@@ -1,0 +1,130 @@
+//! The central correctness claim, checked for every workload: an execution
+//! that loses a cluster mid-run and recovers through SPBC produces output
+//! **bitwise identical** to the failure-free native execution.
+
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::prelude::*;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+const ITERS: u64 = 10;
+
+fn params() -> AppParams {
+    AppParams { iters: ITERS, elems: 256, compute: 1, seed: 21, sleep_us: 0 }
+}
+
+fn runtime_cfg() -> RuntimeConfig {
+    RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(60))
+}
+
+fn native_run(w: Workload) -> RunReport {
+    Runtime::new(runtime_cfg())
+        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap()
+}
+
+fn spbc_run(w: Workload, plans: Vec<FailurePlan>) -> RunReport {
+    let provider = Arc::new(SpbcProvider::new(
+        ClusterMap::blocks(WORLD, 4),
+        SpbcConfig { ckpt_interval: 4, ..Default::default() },
+    ));
+    Runtime::new(runtime_cfg())
+        .run(provider, w.build(params()), plans, None)
+        .unwrap()
+        .ok()
+        .unwrap()
+}
+
+fn check_workload(w: Workload) {
+    let native = native_run(w);
+    // Failure-free equivalence.
+    let clean = spbc_run(w, vec![]);
+    assert_eq!(native.outputs, clean.outputs, "{}: failure-free mismatch", w.name());
+    // Crash rank 5's cluster after the first checkpoint wave.
+    let failed = spbc_run(w, vec![FailurePlan { rank: RankId(5), nth: 7 }]);
+    assert_eq!(failed.failures_handled, 1, "{}", w.name());
+    assert_eq!(
+        native.outputs,
+        failed.outputs,
+        "{}: recovered run diverged from native",
+        w.name()
+    );
+    // Containment: only cluster {4,5} restarted.
+    assert_eq!(failed.restarts, vec![0, 0, 0, 0, 1, 1, 0, 0], "{}", w.name());
+}
+
+#[test]
+fn minife_recovers_bitwise() {
+    check_workload(Workload::MiniFe);
+}
+
+#[test]
+fn minighost_recovers_bitwise() {
+    check_workload(Workload::MiniGhost);
+}
+
+#[test]
+fn amg_recovers_bitwise() {
+    check_workload(Workload::Amg);
+}
+
+#[test]
+fn gtc_recovers_bitwise() {
+    check_workload(Workload::Gtc);
+}
+
+#[test]
+fn milc_recovers_bitwise() {
+    check_workload(Workload::Milc);
+}
+
+#[test]
+fn cm1_recovers_bitwise() {
+    check_workload(Workload::Cm1);
+}
+
+#[test]
+fn nas_bt_recovers_bitwise() {
+    check_workload(Workload::NasBt);
+}
+
+#[test]
+fn nas_lu_recovers_bitwise() {
+    check_workload(Workload::NasLu);
+}
+
+#[test]
+fn nas_mg_recovers_bitwise() {
+    check_workload(Workload::NasMg);
+}
+
+#[test]
+fn nas_sp_recovers_bitwise() {
+    check_workload(Workload::NasSp);
+}
+
+#[test]
+fn early_failure_before_any_checkpoint() {
+    // Crash before the first checkpoint wave: the cluster re-executes from
+    // iteration zero, everything else replays.
+    let w = Workload::MiniGhost;
+    let native = native_run(w);
+    let failed = spbc_run(w, vec![FailurePlan { rank: RankId(0), nth: 2 }]);
+    assert_eq!(native.outputs, failed.outputs);
+    assert_eq!(failed.restarts[0], 1);
+}
+
+#[test]
+fn late_failure_on_last_iteration() {
+    let w = Workload::Cm1;
+    let native = native_run(w);
+    let failed = spbc_run(w, vec![FailurePlan { rank: RankId(7), nth: ITERS }]);
+    assert_eq!(native.outputs, failed.outputs);
+    assert_eq!(failed.restarts[6..8], [1, 1]);
+}

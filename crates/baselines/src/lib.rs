@@ -1,0 +1,56 @@
+//! # spbc-baselines
+//!
+//! The comparators of the SPBC evaluation:
+//!
+//! * [`hydee`] — HydEE's centrally coordinated recovery (Figure 6);
+//! * [`pure_logging`] — one cluster per rank: classic sender-based message
+//!   logging (the "512 clusters" column of Table 1);
+//! * [`coordinated`] — a single cluster: plain coordinated checkpointing,
+//!   no logging, global rollback;
+//! * native execution is `mini_mpi::ft::NativeProvider`.
+
+#![warn(missing_docs)]
+
+pub mod hydee;
+
+pub use hydee::{coordinator_service, HydeeConfig, HydeeProvider};
+
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+
+/// Pure sender-based message logging: every rank is its own cluster, every
+/// message is logged, a failure rolls back exactly one rank.
+pub fn pure_logging(world: usize, ckpt_interval: u64) -> SpbcProvider {
+    SpbcProvider::new(
+        ClusterMap::per_rank(world),
+        SpbcConfig { ckpt_interval, ..Default::default() },
+    )
+}
+
+/// Plain coordinated checkpointing: one cluster, nothing logged, every
+/// failure rolls back all ranks to the last global checkpoint.
+pub fn coordinated(world: usize, ckpt_interval: u64) -> SpbcProvider {
+    SpbcProvider::new(
+        ClusterMap::single(world),
+        SpbcConfig { ckpt_interval, ..Default::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_mpi::ft::FtProvider;
+    use mini_mpi::types::RankId;
+
+    #[test]
+    fn pure_logging_is_per_rank() {
+        let p = pure_logging(4, 0);
+        assert_eq!(p.cluster_of(RankId(0)), 0);
+        assert_eq!(p.cluster_of(RankId(3)), 3);
+    }
+
+    #[test]
+    fn coordinated_is_single_cluster() {
+        let p = coordinated(4, 0);
+        assert_eq!(p.cluster_of(RankId(0)), p.cluster_of(RankId(3)));
+    }
+}

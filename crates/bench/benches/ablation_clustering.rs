@@ -1,0 +1,55 @@
+//! A2 ablation bench: the clustering tool's cost and objective comparison on
+//! synthetic communication graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spbc_clustering::{partition, CommGraph, Objective, PartitionOpts};
+use std::time::Duration;
+
+/// A synthetic stencil-like communication graph over `n` ranks.
+fn stencil_graph(n: usize) -> CommGraph {
+    let mut g = CommGraph::empty(n);
+    for r in 0..n {
+        for d in [1usize, 2] {
+            let peer = (r + d) % n;
+            g.add(r, peer, 1000 / d as u64);
+            g.add(peer, r, 1000 / d as u64);
+        }
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_clustering");
+    g.measurement_time(Duration::from_secs(5));
+    for n in [64usize, 256, 512] {
+        let graph = stencil_graph(n);
+        let k = 16.min(n / 8); // never more clusters than nodes
+        g.bench_with_input(BenchmarkId::new("min_total", n), &n, |b, _| {
+            b.iter(|| {
+                partition(
+                    &graph,
+                    k,
+                    &PartitionOpts { node_size: 8, slack: 1, ..Default::default() },
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("min_max", n), &n, |b, _| {
+            b.iter(|| {
+                partition(
+                    &graph,
+                    k,
+                    &PartitionOpts {
+                        node_size: 8,
+                        slack: 1,
+                        objective: Objective::MinMax,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

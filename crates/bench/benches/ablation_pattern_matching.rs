@@ -1,0 +1,122 @@
+//! A3 ablation bench: the cost of `(pattern_id, iteration_id)` matching.
+//!
+//! Two levels: a microbench of the matching engine itself (the per-message
+//! cost SPBC adds to MPICH's matching), and a whole-run AMG comparison with
+//! the identifier check on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::envelope::Envelope;
+use mini_mpi::matching::{Arrived, ArrivedBody, MatchEngine};
+use mini_mpi::request::{RecvSpec, RequestId};
+use mini_mpi::types::{CommId, MatchIdent, RankId, Source, TagSel};
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env(src: u32, tag: u32, seq: u64, ident: MatchIdent) -> Envelope {
+    Envelope {
+        src: RankId(src),
+        dst: RankId(0),
+        comm: CommId(0),
+        tag,
+        seqnum: seq,
+        plen: 0,
+        lamport: seq,
+        ident,
+    }
+}
+
+fn micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching_micro");
+    g.measurement_time(Duration::from_secs(5));
+
+    // 64 posted anonymous requests; match arrivals against them, with and
+    // without the identifier predicate.
+    let spec = |ident| RecvSpec { comm: CommId(0), src: Source::Any, tag: TagSel::Tag(1), ident };
+    g.bench_function("match_arrival_base", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            for i in 0..64 {
+                m.post(RequestId(i), spec(MatchIdent::DEFAULT));
+            }
+            for s in 0..64u64 {
+                let e = env(1, 1, s + 1, MatchIdent::DEFAULT);
+                let got = m.match_arrival(&e, &|_, _| true);
+                assert!(got.is_some());
+            }
+        })
+    });
+    g.bench_function("match_arrival_with_ident_check", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            for i in 0..64 {
+                m.post(RequestId(i), spec(MatchIdent::new(1, 1)));
+            }
+            for s in 0..64u64 {
+                let e = env(1, 1, s + 1, MatchIdent::new(1, 1));
+                let got = m.match_arrival(&e, &|sp, en| sp.ident == en.ident);
+                assert!(got.is_some());
+            }
+        })
+    });
+    // Worst case: the ident veto forces a scan past mismatching requests.
+    g.bench_function("match_arrival_ident_veto_scan", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            for i in 0..63 {
+                m.post(RequestId(i), spec(MatchIdent::new(1, 1)));
+            }
+            m.post(RequestId(63), spec(MatchIdent::new(1, 2)));
+            let e = env(1, 1, 1, MatchIdent::new(1, 2));
+            let got = m.match_arrival(&e, &|sp, en| sp.ident == en.ident);
+            assert_eq!(got, Some(RequestId(63)));
+            // Drain so the next iteration starts clean.
+            let _ = m.match_post(&spec(MatchIdent::new(1, 1)), &|_, _| true);
+        })
+    });
+    g.bench_function("unexpected_queue_scan", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            for s in 0..64u64 {
+                m.push_unexpected(Arrived {
+                    env: env(1, 1, s + 1, MatchIdent::DEFAULT),
+                    body: ArrivedBody::Eager(bytes::Bytes::new()),
+                });
+            }
+            for _ in 0..64 {
+                let got = m.match_post(&spec(MatchIdent::DEFAULT), &|_, _| true);
+                assert!(got.is_some());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn whole_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amg_ident_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    let params = AppParams { iters: 4, elems: 256, compute: 1, seed: 7, sleep_us: 0 };
+    for (name, enforce) in [("ident_off", false), ("ident_on", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let provider = Arc::new(SpbcProvider::new(
+                    ClusterMap::blocks(6, 3),
+                    SpbcConfig { enforce_ident: enforce, ..Default::default() },
+                ));
+                Runtime::new(RuntimeConfig::new(6))
+                    .run(provider, Workload::Amg.build(params), Vec::new(), None)
+                    .unwrap()
+                    .ok()
+                    .unwrap()
+                    .wall_time
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, micro, whole_run);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! A1 ablation bench: recovery cost vs the §5.2.2 pre-post replay window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::types::RankId;
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+const ITERS: u64 = 8;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_prepost_window");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let params = AppParams { iters: ITERS, elems: 512, compute: 1, seed: 7, sleep_us: 0 };
+    for window in [1usize, 5, 50, 200] {
+        g.bench_with_input(BenchmarkId::new("minighost", window), &window, |b, &window| {
+            b.iter(|| {
+                let provider = Arc::new(SpbcProvider::new(
+                    ClusterMap::blocks(WORLD, 4),
+                    SpbcConfig {
+                        ckpt_interval: ITERS / 2,
+                        replay_window: window,
+                        ..Default::default()
+                    },
+                ));
+                Runtime::new(RuntimeConfig::new(WORLD))
+                    .run(
+                        provider,
+                        Workload::MiniGhost.build(params),
+                        vec![FailurePlan { rank: RankId(4), nth: ITERS }],
+                        None,
+                    )
+                    .unwrap()
+                    .ok()
+                    .unwrap()
+                    .wall_time
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench for Figure 5: a complete failure + recovery cycle under SPBC
+//! (kill a cluster at the last iteration, restore, replay, finish) at
+//! different cluster counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::types::RankId;
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+const ITERS: u64 = 8;
+
+fn params() -> AppParams {
+    AppParams { iters: ITERS, elems: 256, compute: 1, seed: 7, sleep_us: 0 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_recovery");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for k in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("minighost_recover", k), &k, |b, &k| {
+            b.iter(|| {
+                let provider = Arc::new(SpbcProvider::new(
+                    ClusterMap::blocks(WORLD, k),
+                    SpbcConfig { ckpt_interval: ITERS / 2, ..Default::default() },
+                ));
+                let report = Runtime::new(RuntimeConfig::new(WORLD))
+                    .run(
+                        provider,
+                        Workload::MiniGhost.build(params()),
+                        vec![FailurePlan { rank: RankId(4), nth: ITERS }],
+                        None,
+                    )
+                    .unwrap()
+                    .ok()
+                    .unwrap();
+                assert_eq!(report.failures_handled, 1);
+                report.wall_time
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

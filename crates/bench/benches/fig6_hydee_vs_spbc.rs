@@ -1,0 +1,70 @@
+//! Bench for Figure 6: the same failure + recovery cycle under SPBC's
+//! distributed replay vs HydEE's centrally coordinated replay (NAS LU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::types::RankId;
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_baselines::{coordinator_service, HydeeConfig, HydeeProvider};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+const ITERS: u64 = 8;
+
+fn params() -> AppParams {
+    AppParams { iters: ITERS, elems: 256, compute: 1, seed: 7, sleep_us: 0 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_hydee_vs_spbc");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    g.bench_function("lu_recover_spbc", |b| {
+        b.iter(|| {
+            let provider = Arc::new(SpbcProvider::new(
+                ClusterMap::blocks(WORLD, 4),
+                SpbcConfig { ckpt_interval: ITERS / 2, ..Default::default() },
+            ));
+            Runtime::new(RuntimeConfig::new(WORLD))
+                .run(
+                    provider,
+                    Workload::NasLu.build(params()),
+                    vec![FailurePlan { rank: RankId(4), nth: ITERS }],
+                    None,
+                )
+                .unwrap()
+                .ok()
+                .unwrap()
+                .wall_time
+        })
+    });
+
+    g.bench_function("lu_recover_hydee", |b| {
+        b.iter(|| {
+            let provider = Arc::new(HydeeProvider::new(
+                ClusterMap::blocks(WORLD, 4),
+                HydeeConfig { ckpt_interval: ITERS / 2, ..Default::default() },
+            ));
+            Runtime::new(RuntimeConfig::new(WORLD).with_services(1))
+                .run(
+                    provider,
+                    Workload::NasLu.build(params()),
+                    vec![FailurePlan { rank: RankId(4), nth: ITERS }],
+                    Some(Arc::new(coordinator_service())),
+                )
+                .unwrap()
+                .ok()
+                .unwrap()
+                .wall_time
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

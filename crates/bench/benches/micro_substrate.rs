@@ -1,0 +1,119 @@
+//! Substrate microbenchmarks: wire codec, message log, point-to-point
+//! round-trips — the per-message costs everything above is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::{from_bytes, to_bytes};
+use spbc_core::log::{make_msg, MessageLog};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    g.measurement_time(Duration::from_secs(4));
+    let v: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+    g.throughput(Throughput::Bytes(8 * 1024));
+    g.bench_function("encode_vec_f64_1k", |b| b.iter(|| to_bytes(&v)));
+    let bytes = to_bytes(&v);
+    g.bench_function("decode_vec_f64_1k", |b| {
+        b.iter(|| from_bytes::<Vec<f64>>(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("message_log");
+    g.measurement_time(Duration::from_secs(4));
+    g.bench_function("append_1k_msgs", |b| {
+        b.iter(|| {
+            let mut log = MessageLog::new();
+            for s in 1..=1000u64 {
+                log.append(make_msg(0, (s % 8) as u32 + 1, (s - 1) / 8 + 1, &[0u8; 64]));
+            }
+            log.total_bytes()
+        })
+    });
+    let mut filled = MessageLog::new();
+    for s in 1..=1000u64 {
+        filled.append(make_msg(0, (s % 8) as u32 + 1, (s - 1) / 8 + 1, &[0u8; 64]));
+    }
+    g.bench_function("replay_set_from_1k", |b| {
+        b.iter(|| filled.replay_set(mini_mpi::types::RankId(1), &|_| 0, &|_, _| false))
+    });
+    g.finish();
+}
+
+fn p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_roundtrip");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for &size in &[8usize, 4096, 64 * 1024] {
+        g.bench_with_input(BenchmarkId::new("ping_pong", size), &size, |b, &size| {
+            b.iter(|| {
+                Runtime::run_native(2, move |rank| {
+                    let payload = vec![1.0f64; size / 8];
+                    for _ in 0..50 {
+                        if rank.world_rank() == 0 {
+                            rank.send(COMM_WORLD, 1, 1, &payload)?;
+                            let _ = rank.recv::<f64>(COMM_WORLD, 1u32, 1)?;
+                        } else {
+                            let _ = rank.recv::<f64>(COMM_WORLD, 0u32, 1)?;
+                            rank.send(COMM_WORLD, 0, 1, &payload)?;
+                        }
+                    }
+                    Ok(vec![])
+                })
+                .unwrap()
+                .ok()
+                .unwrap()
+                .wall_time
+            })
+        });
+    }
+    g.finish();
+}
+
+fn collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("allreduce_8_ranks", |b| {
+        b.iter(|| {
+            Runtime::run_native(8, |rank| {
+                let x = [rank.world_rank() as f64; 16];
+                for _ in 0..20 {
+                    let _ = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &x)?;
+                }
+                Ok(vec![])
+            })
+            .unwrap()
+            .ok()
+            .unwrap()
+            .wall_time
+        })
+    });
+    g.finish();
+}
+
+fn spawn_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("spawn_teardown_16_ranks", |b| {
+        b.iter(|| {
+            Runtime::new(RuntimeConfig::new(16))
+                .run(
+                    Arc::new(mini_mpi::ft::NativeProvider),
+                    Arc::new(|_rank: &mut Rank| Ok(Vec::new())),
+                    Vec::new(),
+                    None,
+                )
+                .unwrap()
+                .ok()
+                .unwrap()
+                .wall_time
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, wire, log, p2p, collectives, spawn_overhead);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench for Table 1: execution under SPBC at increasing cluster counts.
+//!
+//! Criterion measures the protocol run's wall time per clustering; the
+//! logged-volume numbers themselves come from the `spbc-table1` harness
+//! binary (benches validate that logging cost stays flat as the cluster
+//! count grows — the paper's failure-free claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+
+fn params() -> AppParams {
+    AppParams { iters: 6, elems: 256, compute: 1, seed: 7, sleep_us: 0 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_log_growth");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for k in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("minighost_spbc", k), &k, |b, &k| {
+            b.iter(|| {
+                let provider = Arc::new(SpbcProvider::new(
+                    ClusterMap::blocks(WORLD, k),
+                    SpbcConfig::default(),
+                ));
+                let report = Runtime::new(RuntimeConfig::new(WORLD))
+                    .run(
+                        provider,
+                        Workload::MiniGhost.build(params()),
+                        Vec::new(),
+                        None,
+                    )
+                    .unwrap()
+                    .ok()
+                    .unwrap();
+                report.wall_time
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench for Table 2: native execution vs SPBC (failure-free) — the logging
+//! overhead, per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORLD: usize = 8;
+
+fn params() -> AppParams {
+    AppParams { iters: 6, elems: 256, compute: 1, seed: 7, sleep_us: 0 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_failure_free");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for w in [Workload::Cm1, Workload::MiniGhost, Workload::Milc] {
+        g.bench_with_input(BenchmarkId::new("native", w.name()), &w, |b, &w| {
+            b.iter(|| {
+                Runtime::new(RuntimeConfig::new(WORLD))
+                    .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+                    .unwrap()
+                    .ok()
+                    .unwrap()
+                    .wall_time
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("spbc", w.name()), &w, |b, &w| {
+            b.iter(|| {
+                let provider = Arc::new(SpbcProvider::new(
+                    ClusterMap::blocks(WORLD, 4),
+                    SpbcConfig::default(),
+                ));
+                Runtime::new(RuntimeConfig::new(WORLD))
+                    .run(provider, w.build(params()), Vec::new(), None)
+                    .unwrap()
+                    .ok()
+                    .unwrap()
+                    .wall_time
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Communication graphs: who sends how many bytes to whom.
+
+/// A directed communication-volume matrix: `traffic[i][j]` = bytes rank `i`
+/// sent to rank `j` during the profiling run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommGraph {
+    traffic: Vec<Vec<u64>>,
+}
+
+impl CommGraph {
+    /// Build from a dense byte matrix (must be square).
+    pub fn from_matrix(traffic: Vec<Vec<u64>>) -> Self {
+        let n = traffic.len();
+        assert!(traffic.iter().all(|row| row.len() == n), "matrix must be square");
+        CommGraph { traffic }
+    }
+
+    /// An empty graph over `n` ranks.
+    pub fn empty(n: usize) -> Self {
+        CommGraph { traffic: vec![vec![0; n]; n] }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.traffic.len()
+    }
+
+    /// True when the graph covers no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.traffic.is_empty()
+    }
+
+    /// Directed traffic `src -> dst` in bytes.
+    pub fn traffic(&self, src: usize, dst: usize) -> u64 {
+        self.traffic[src][dst]
+    }
+
+    /// Add traffic.
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.traffic[src][dst] += bytes;
+    }
+
+    /// Symmetric affinity between two ranks (bytes in both directions) —
+    /// the weight clustering works with, since a message is logged no matter
+    /// which side of the cut sends it.
+    pub fn affinity(&self, a: usize, b: usize) -> u64 {
+        self.traffic[a][b] + self.traffic[b][a]
+    }
+
+    /// Total bytes on all channels.
+    pub fn total(&self) -> u64 {
+        self.traffic.iter().flatten().sum()
+    }
+
+    /// Collapse ranks into nodes of `node_size` consecutive ranks: the
+    /// node-level graph clustering actually runs on (failure containment
+    /// below node granularity is pointless — §6.1 of the paper).
+    pub fn collapse_nodes(&self, node_size: usize) -> CommGraph {
+        assert!(node_size >= 1);
+        let n = self.len();
+        let nodes = n.div_ceil(node_size);
+        let mut out = CommGraph::empty(nodes);
+        for i in 0..n {
+            for j in 0..n {
+                let (ni, nj) = (i / node_size, j / node_size);
+                if ni != nj {
+                    out.traffic[ni][nj] += self.traffic[i][j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes crossing the cut induced by `assignment` (the data a run with
+    /// this clustering would log).
+    pub fn cut_bytes(&self, assignment: &[usize]) -> u64 {
+        assert_eq!(assignment.len(), self.len());
+        let mut cut = 0;
+        for i in 0..self.len() {
+            for j in 0..self.len() {
+                if assignment[i] != assignment[j] {
+                    cut += self.traffic[i][j];
+                }
+            }
+        }
+        cut
+    }
+
+    /// Per-rank logged bytes under `assignment` (what each rank's memory
+    /// pays — Table 1 reports avg and max of this).
+    pub fn logged_per_rank(&self, assignment: &[usize]) -> Vec<u64> {
+        (0..self.len())
+            .map(|i| {
+                (0..self.len())
+                    .filter(|&j| assignment[i] != assignment[j])
+                    .map(|j| self.traffic[i][j])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommGraph {
+        // 0 <-> 1 heavy, 2 <-> 3 heavy, light across.
+        CommGraph::from_matrix(vec![
+            vec![0, 100, 1, 0],
+            vec![100, 0, 0, 1],
+            vec![1, 0, 0, 100],
+            vec![0, 1, 100, 0],
+        ])
+    }
+
+    #[test]
+    fn affinity_is_symmetric() {
+        let g = sample();
+        assert_eq!(g.affinity(0, 1), 200);
+        assert_eq!(g.affinity(1, 0), 200);
+        assert_eq!(g.total(), 404);
+    }
+
+    #[test]
+    fn cut_respects_assignment() {
+        let g = sample();
+        assert_eq!(g.cut_bytes(&[0, 0, 1, 1]), 4);
+        assert_eq!(g.cut_bytes(&[0, 1, 0, 1]), 400);
+        assert_eq!(g.cut_bytes(&[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn logged_per_rank_matches_cut() {
+        let g = sample();
+        let a = [0usize, 0, 1, 1];
+        let per = g.logged_per_rank(&a);
+        assert_eq!(per.iter().sum::<u64>(), g.cut_bytes(&a));
+        assert_eq!(per, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn collapse_nodes_aggregates() {
+        let g = sample();
+        let c = g.collapse_nodes(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.traffic(0, 1), 1 + 1);
+        assert_eq!(c.traffic(1, 0), 1 + 1);
+        assert_eq!(c.traffic(0, 0), 0, "intra-node traffic vanishes");
+    }
+}

@@ -1,0 +1,172 @@
+//! Process clusters: the containment unit of the hierarchical protocol.
+
+use mini_mpi::types::RankId;
+
+/// Partition of the world's ranks into clusters. Coordinated checkpointing
+/// runs *inside* a cluster; messages *between* clusters are logged by their
+/// sender (Section 4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// `assignment[rank] = cluster index`.
+    assignment: Vec<usize>,
+    /// `members[cluster] = sorted ranks`.
+    members: Vec<Vec<RankId>>,
+}
+
+impl ClusterMap {
+    /// Build from a per-rank assignment. Cluster indices must be dense
+    /// (`0..k`).
+    pub fn from_assignment(assignment: Vec<usize>) -> Self {
+        let k = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut members = vec![Vec::new(); k];
+        for (rank, &c) in assignment.iter().enumerate() {
+            members[c].push(RankId(rank as u32));
+        }
+        debug_assert!(
+            members.iter().all(|m| !m.is_empty()),
+            "cluster indices must be dense"
+        );
+        ClusterMap { assignment, members }
+    }
+
+    /// `k` equal contiguous blocks of ranks (the layout used when no
+    /// communication-aware clustering is supplied). Ranks on the same node
+    /// stay together as long as `world / k` is a multiple of the node size.
+    pub fn blocks(world: usize, k: usize) -> Self {
+        assert!(k > 0 && k <= world, "need 1 <= k <= world");
+        let per = world.div_ceil(k);
+        Self::from_assignment((0..world).map(|r| (r / per).min(k - 1)).collect())
+    }
+
+    /// One cluster per rank: pure message logging (the "512 clusters" column
+    /// of Table 1).
+    pub fn per_rank(world: usize) -> Self {
+        Self::from_assignment((0..world).collect())
+    }
+
+    /// A single cluster: plain coordinated checkpointing, nothing logged.
+    pub fn single(world: usize) -> Self {
+        Self::from_assignment(vec![0; world])
+    }
+
+    /// One cluster per node of `ranks_per_node` ranks (the "64 clusters"
+    /// column of Table 1: all inter-node messages logged).
+    pub fn per_node(world: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0);
+        Self::from_assignment((0..world).map(|r| r / ranks_per_node).collect())
+    }
+
+    /// Number of ranks covered.
+    pub fn world_size(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cluster index of `rank`.
+    pub fn cluster_of(&self, rank: RankId) -> usize {
+        self.assignment[rank.idx()]
+    }
+
+    /// Members of cluster `c`, ascending.
+    pub fn members(&self, c: usize) -> &[RankId] {
+        &self.members[c]
+    }
+
+    /// Are two ranks in the same cluster?
+    pub fn same_cluster(&self, a: RankId, b: RankId) -> bool {
+        self.assignment[a.idx()] == self.assignment[b.idx()]
+    }
+
+    /// The cluster leader: its smallest rank (coordinates intra-cluster
+    /// checkpoints).
+    pub fn leader_of(&self, rank: RankId) -> RankId {
+        self.members[self.cluster_of(rank)][0]
+    }
+
+    /// Ranks *outside* `rank`'s cluster (Rollback notification targets).
+    pub fn other_ranks(&self, rank: RankId) -> impl Iterator<Item = RankId> + '_ {
+        let c = self.cluster_of(rank);
+        (0..self.assignment.len())
+            .filter(move |&r| self.assignment[r] != c)
+            .map(RankId::from)
+    }
+
+    /// Validate against a node layout: returns `false` if any node's ranks
+    /// span two clusters (failure containment below node granularity is
+    /// pointless — Section 6.1).
+    pub fn respects_nodes(&self, ranks_per_node: usize) -> bool {
+        self.assignment
+            .chunks(ranks_per_node)
+            .all(|chunk| chunk.iter().all(|&c| c == chunk[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_evenly() {
+        let m = ClusterMap::blocks(8, 4);
+        assert_eq!(m.cluster_count(), 4);
+        assert_eq!(m.cluster_of(RankId(0)), 0);
+        assert_eq!(m.cluster_of(RankId(7)), 3);
+        assert_eq!(m.members(1), &[RankId(2), RankId(3)]);
+        assert!(m.same_cluster(RankId(2), RankId(3)));
+        assert!(!m.same_cluster(RankId(1), RankId(2)));
+    }
+
+    #[test]
+    fn blocks_uneven_world() {
+        let m = ClusterMap::blocks(10, 4);
+        assert_eq!(m.cluster_count(), 4);
+        let total: usize = (0..4).map(|c| m.members(c).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn per_rank_and_single() {
+        let pr = ClusterMap::per_rank(5);
+        assert_eq!(pr.cluster_count(), 5);
+        assert!(!pr.same_cluster(RankId(0), RankId(1)));
+        let s = ClusterMap::single(5);
+        assert_eq!(s.cluster_count(), 1);
+        assert!(s.same_cluster(RankId(0), RankId(4)));
+    }
+
+    #[test]
+    fn per_node_groups() {
+        let m = ClusterMap::per_node(8, 4);
+        assert_eq!(m.cluster_count(), 2);
+        assert!(m.respects_nodes(4));
+        assert!(m.respects_nodes(2));
+        let bad = ClusterMap::blocks(8, 8);
+        assert!(!bad.respects_nodes(4));
+    }
+
+    #[test]
+    fn leader_is_smallest_member() {
+        let m = ClusterMap::blocks(9, 3);
+        assert_eq!(m.leader_of(RankId(5)), RankId(3));
+        assert_eq!(m.leader_of(RankId(0)), RankId(0));
+    }
+
+    #[test]
+    fn other_ranks_excludes_own_cluster() {
+        let m = ClusterMap::blocks(6, 3);
+        let others: Vec<RankId> = m.other_ranks(RankId(2)).collect();
+        assert_eq!(others, vec![RankId(0), RankId(1), RankId(4), RankId(5)]);
+    }
+
+    #[test]
+    fn from_assignment_roundtrip() {
+        let m = ClusterMap::from_assignment(vec![0, 1, 0, 1]);
+        assert_eq!(m.members(0), &[RankId(0), RankId(2)]);
+        assert_eq!(m.members(1), &[RankId(1), RankId(3)]);
+        assert_eq!(m.leader_of(RankId(3)), RankId(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Control-message wire formats of the SPBC protocol.
+//!
+//! Control traffic is tiny compared to payload traffic and is never logged —
+//! the protocol's correctness never depends on a control message surviving a
+//! crash (Rollback is re-sent by the restarted rank; LastMessage and replay
+//! are regenerated in response).
+
+use mini_mpi::error::Result;
+use mini_mpi::wire::{Decode, Encode, Reader};
+
+/// `kind` value of [`Rollback`].
+pub const KIND_ROLLBACK: u16 = 1;
+/// `kind` value of [`LastMessage`].
+pub const KIND_LASTMSG: u16 = 2;
+/// `kind` value of [`CkptJoin`].
+pub const KIND_CKPT_JOIN: u16 = 3;
+/// `kind` value of [`CkptCounts`] sent as a poll response.
+pub const KIND_CKPT_REPORT: u16 = 4;
+/// `kind` value of a leader poll (body: checkpoint epoch).
+pub const KIND_CKPT_POLL: u16 = 5;
+/// `kind` value of a leader commit (body: checkpoint epoch).
+pub const KIND_CKPT_COMMIT: u16 = 6;
+/// Coordinated replay (HydEE model): replayer asks permission to re-send its
+/// next logged message (body: Lamport timestamp of that message).
+pub const KIND_GRANT_REQ: u16 = 10;
+/// Coordinated replay: coordinator grants the request (empty body).
+pub const KIND_GRANT: u16 = 11;
+/// Coordinated replay: replayer reports the granted replay as delivered
+/// (empty body).
+pub const KIND_GRANT_DONE: u16 = 12;
+
+/// Per-channel rollback entry: state of one incoming channel (peer → me) as
+/// restored from the checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RollbackChannel {
+    /// Communicator id of the channel.
+    pub comm: u64,
+    /// Last sequence number whose envelope I had seen at the checkpoint
+    /// (`LR` of Algorithm 1 line 20).
+    pub lr: u64,
+    /// Sequence numbers at or below `lr` whose *payload* I never received
+    /// (pending rendezvous at the cut) — replay these too.
+    pub missing: Vec<u64>,
+}
+
+/// Algorithm 1 lines 19-20: a restarted rank announces its restored channel
+/// state to a peer; the peer replies [`LastMessage`] and replays from its log.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Rollback {
+    /// Restart epoch of the sender (dedupes the mutual-rollback exchange
+    /// under concurrent cluster failures).
+    pub epoch: u32,
+    /// One entry per known channel from the addressee to me. Channels not
+    /// listed have `lr = 0` (replay everything).
+    pub channels: Vec<RollbackChannel>,
+}
+
+/// Algorithm 1 lines 21-22: reply to [`Rollback`] telling the restarted rank
+/// what I already received from it, so it can skip re-sending
+/// (`LS`, line 7).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LastMessage {
+    /// One entry per channel from the restarted rank to me.
+    pub channels: Vec<LastMessageChannel>,
+}
+
+/// Per-channel [`LastMessage`] entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LastMessageChannel {
+    /// Communicator id of the channel.
+    pub comm: u64,
+    /// Last sequence number whose envelope I received on this channel — the
+    /// restarted rank sets `LS` to this and suppresses re-sends at or below
+    /// it.
+    pub last_recv: u64,
+    /// Exceptions: envelopes I received whose payload never arrived (the
+    /// sender died mid-rendezvous). These must be delivered despite being
+    /// at or below `last_recv` — replayed from the log if already sent
+    /// before the checkpoint, or exempted from suppression if re-executed.
+    pub incomplete: Vec<u64>,
+}
+
+/// Checkpoint coordination body: member's quiescence counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CkptCounts {
+    /// Target checkpoint epoch.
+    pub epoch: u64,
+    /// Intra-cluster messages this member has sent since the run began.
+    pub sent: u64,
+    /// Intra-cluster envelopes this member has seen arrive.
+    pub arrived: u64,
+}
+
+/// Alias: a join announcement carries the same body as a report.
+pub type CkptJoin = CkptCounts;
+
+impl Encode for RollbackChannel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.comm.encode(out);
+        self.lr.encode(out);
+        self.missing.encode(out);
+    }
+}
+impl Decode for RollbackChannel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(RollbackChannel {
+            comm: Decode::decode(r)?,
+            lr: Decode::decode(r)?,
+            missing: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Rollback {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.channels.encode(out);
+    }
+}
+impl Decode for Rollback {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Rollback { epoch: Decode::decode(r)?, channels: Decode::decode(r)? })
+    }
+}
+
+impl Encode for LastMessageChannel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.comm.encode(out);
+        self.last_recv.encode(out);
+        self.incomplete.encode(out);
+    }
+}
+impl Decode for LastMessageChannel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(LastMessageChannel {
+            comm: Decode::decode(r)?,
+            last_recv: Decode::decode(r)?,
+            incomplete: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for LastMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.channels.encode(out);
+    }
+}
+impl Decode for LastMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(LastMessage { channels: Decode::decode(r)? })
+    }
+}
+
+impl Encode for CkptCounts {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.sent.encode(out);
+        self.arrived.encode(out);
+    }
+}
+impl Decode for CkptCounts {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CkptCounts {
+            epoch: Decode::decode(r)?,
+            sent: Decode::decode(r)?,
+            arrived: Decode::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_mpi::wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn rollback_roundtrip() {
+        let rb = Rollback {
+            epoch: 2,
+            channels: vec![
+                RollbackChannel { comm: 0, lr: 17, missing: vec![4, 9] },
+                RollbackChannel { comm: 99, lr: 0, missing: vec![] },
+            ],
+        };
+        let back: Rollback = from_bytes(&to_bytes(&rb)).unwrap();
+        assert_eq!(back, rb);
+    }
+
+    #[test]
+    fn lastmsg_roundtrip() {
+        let lm = LastMessage {
+            channels: vec![LastMessageChannel { comm: 3, last_recv: 8, incomplete: vec![7] }],
+        };
+        let back: LastMessage = from_bytes(&to_bytes(&lm)).unwrap();
+        assert_eq!(back, lm);
+    }
+
+    #[test]
+    fn counts_roundtrip() {
+        let c = CkptCounts { epoch: 4, sent: 100, arrived: 99 };
+        let back: CkptCounts = from_bytes(&to_bytes(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            KIND_ROLLBACK,
+            KIND_LASTMSG,
+            KIND_CKPT_JOIN,
+            KIND_CKPT_REPORT,
+            KIND_CKPT_POLL,
+            KIND_CKPT_COMMIT,
+            KIND_GRANT_REQ,
+            KIND_GRANT,
+            KIND_GRANT_DONE,
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! On-disk checkpoint persistence — the "stable storage" of Algorithm 1
+//! line 15.
+//!
+//! The in-memory [`crate::store::SharedStore`] plays the role of node memory
+//! plus stable storage for in-process experiments; this module adds a real
+//! filesystem backend so checkpoints survive the process: each committed
+//! checkpoint is written as `rank-<r>.epoch-<e>.ckpt` (wire-encoded,
+//! length-prefixed with a magic/version header), and a restart can reload
+//! the newest common wave exactly like the in-memory path.
+//!
+//! Write protocol: serialize to `<name>.tmp`, fsync, rename — a torn write
+//! can never be mistaken for a committed checkpoint.
+
+use crate::store::CheckpointData;
+use mini_mpi::error::{MpiError, Result};
+use mini_mpi::types::RankId;
+use mini_mpi::wire::{from_bytes, to_bytes};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"SPBCCKP1";
+
+/// Filesystem checkpoint store rooted at a directory.
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| MpiError::app(format!("create {}: {e}", root.display())))?;
+        Ok(DiskStore { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, rank: RankId, epoch: u64) -> PathBuf {
+        self.root.join(format!("rank-{rank}.epoch-{epoch}.ckpt"))
+    }
+
+    /// Persist a committed checkpoint (atomic: tmp + fsync + rename).
+    pub fn save(&self, rank: RankId, ck: &CheckpointData) -> Result<()> {
+        let final_path = self.path_for(rank, ck.ckpt_epoch);
+        let tmp = final_path.with_extension("tmp");
+        let mut body = MAGIC.to_vec();
+        body.extend_from_slice(&to_bytes(ck));
+        let mut f = fs::File::create(&tmp)
+            .map_err(|e| MpiError::app(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(&body).map_err(|e| MpiError::app(format!("write checkpoint: {e}")))?;
+        f.sync_all().map_err(|e| MpiError::app(format!("fsync checkpoint: {e}")))?;
+        fs::rename(&tmp, &final_path)
+            .map_err(|e| MpiError::app(format!("commit checkpoint: {e}")))?;
+        Ok(())
+    }
+
+    /// Load one rank's checkpoint at `epoch`, if present and well-formed.
+    pub fn load(&self, rank: RankId, epoch: u64) -> Result<Option<CheckpointData>> {
+        let path = self.path_for(rank, epoch);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(MpiError::app(format!("read {}: {e}", path.display()))),
+        };
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(MpiError::Codec(format!("bad checkpoint header in {}", path.display())));
+        }
+        Ok(Some(from_bytes(&bytes[MAGIC.len()..])?))
+    }
+
+    /// Epochs stored for `rank`, ascending.
+    pub fn epochs_of(&self, rank: RankId) -> Result<Vec<u64>> {
+        let prefix = format!("rank-{rank}.epoch-");
+        let mut epochs = Vec::new();
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| MpiError::app(format!("read dir {}: {e}", self.root.display())))?;
+        for entry in entries {
+            let name = entry
+                .map_err(|e| MpiError::app(format!("read dir entry: {e}")))?
+                .file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(e) = rest.strip_suffix(".ckpt").and_then(|v| v.parse().ok()) {
+                    epochs.push(e);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    /// The newest epoch every listed rank has on disk (0 if any has none) —
+    /// the wave a cluster restarts from after a full node loss.
+    pub fn common_epoch(&self, ranks: &[RankId]) -> Result<u64> {
+        let mut min = u64::MAX;
+        for &r in ranks {
+            let newest = self.epochs_of(r)?.last().copied().unwrap_or(0);
+            min = min.min(newest);
+        }
+        Ok(if min == u64::MAX { 0 } else { min })
+    }
+
+    /// Drop epochs older than `keep_from` for `rank` (garbage collection
+    /// after a new wave commits everywhere).
+    pub fn prune(&self, rank: RankId, keep_from: u64) -> Result<usize> {
+        let mut removed = 0;
+        for e in self.epochs_of(rank)? {
+            if e < keep_from {
+                fs::remove_file(self.path_for(rank, e))
+                    .map_err(|err| MpiError::app(format!("prune checkpoint: {err}")))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Mirror every committed checkpoint of an in-memory store to disk.
+/// (Convenience for experiments that want durable artifacts.)
+pub fn snapshot_all(
+    store: &crate::store::SharedStore,
+    disk: &DiskStore,
+) -> Result<usize> {
+    let mut written = 0;
+    for r in 0..store.len() {
+        let rank = RankId(r as u32);
+        let slot = store.slot(rank);
+        let guard = slot.lock();
+        for ck in &guard.checkpoints {
+            disk.save(rank, ck)?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("spbc-disk-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ck(epoch: u64) -> CheckpointData {
+        let mut c = CheckpointData {
+            ckpt_epoch: epoch,
+            app_state: vec![1, 2, 3, epoch as u8],
+            log_order: 7,
+            ..Default::default()
+        };
+        c.send_seq = HashMap::new();
+        c
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = DiskStore::open(tmpdir("roundtrip")).unwrap();
+        store.save(RankId(3), &ck(2)).unwrap();
+        let back = store.load(RankId(3), 2).unwrap().unwrap();
+        assert_eq!(back.ckpt_epoch, 2);
+        assert_eq!(back.app_state, vec![1, 2, 3, 2]);
+        assert!(store.load(RankId(3), 9).unwrap().is_none());
+        assert!(store.load(RankId(4), 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn epochs_and_common() {
+        let store = DiskStore::open(tmpdir("epochs")).unwrap();
+        store.save(RankId(0), &ck(1)).unwrap();
+        store.save(RankId(0), &ck(2)).unwrap();
+        store.save(RankId(1), &ck(1)).unwrap();
+        assert_eq!(store.epochs_of(RankId(0)).unwrap(), vec![1, 2]);
+        assert_eq!(store.common_epoch(&[RankId(0), RankId(1)]).unwrap(), 1);
+        assert_eq!(store.common_epoch(&[RankId(0), RankId(2)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn prune_removes_old_waves() {
+        let store = DiskStore::open(tmpdir("prune")).unwrap();
+        for e in 1..=4 {
+            store.save(RankId(0), &ck(e)).unwrap();
+        }
+        let removed = store.prune(RankId(0), 3).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(store.epochs_of(RankId(0)).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let store = DiskStore::open(tmpdir("corrupt")).unwrap();
+        let path = store.root().join("rank-0.epoch-1.ckpt");
+        fs::write(&path, b"garbage").unwrap();
+        assert!(store.load(RankId(0), 1).is_err());
+    }
+
+    #[test]
+    fn torn_tmp_file_is_invisible() {
+        let store = DiskStore::open(tmpdir("torn")).unwrap();
+        let tmp = store.root().join("rank-0.epoch-1.tmp");
+        fs::write(&tmp, b"partial").unwrap();
+        assert!(store.load(RankId(0), 1).unwrap().is_none());
+        assert!(store.epochs_of(RankId(0)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! The sender-side message log (Algorithm 1 line 6).
+//!
+//! Every inter-cluster message's payload is kept in the sender's memory,
+//! keyed by channel and ordered by sequence number. A global append index
+//! additionally records the total order in which send requests were posted —
+//! the §5.2.2 "send-order log" that replay follows.
+//!
+//! Rollback of the *logging* rank truncates the log back to the lengths
+//! recorded in its checkpoint; channel-determinism guarantees re-execution
+//! re-appends the identical entries.
+
+use mini_mpi::envelope::{Envelope, Message};
+use mini_mpi::types::{ChannelId, RankId};
+use std::collections::HashMap;
+
+/// One logged message.
+#[derive(Clone, Debug)]
+pub struct LogEntry {
+    /// Full message (envelope + payload; `Bytes` payload is shared, so
+    /// logging does not copy).
+    pub msg: Message,
+    /// Position in this rank's global send order (§5.2.2).
+    pub order: u64,
+}
+
+/// Per-rank sender-side log: a hot in-memory part plus an *archive* — the
+/// stable-storage copy created when a checkpoint commits ("logs are saved as
+/// part of the process checkpoints, and the associated memory can be freed
+/// afterwards", §6.2). Replay reads both transparently.
+#[derive(Default)]
+pub struct MessageLog {
+    channels: HashMap<ChannelId, Vec<LogEntry>>,
+    /// Stable-storage prefix per channel (entries older than the last
+    /// archiving checkpoint). Logically these precede `channels`' entries.
+    archive: HashMap<ChannelId, Vec<LogEntry>>,
+    next_order: u64,
+    bytes: u64,
+    archived_bytes: u64,
+}
+
+impl MessageLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a message (called at send time for inter-cluster messages).
+    pub fn append(&mut self, msg: Message) {
+        let chan = msg.env.channel();
+        let order = self.next_order;
+        self.next_order += 1;
+        self.bytes += msg.payload.len() as u64;
+        let entries = self.channels.entry(chan).or_default();
+        debug_assert!(
+            entries
+                .last()
+                .or_else(|| self.archive.get(&chan).and_then(|a| a.last()))
+                .is_none_or(|e| e.msg.env.seqnum < msg.env.seqnum),
+            "log must stay seqnum-ordered per channel"
+        );
+        entries.push(LogEntry { msg, order });
+    }
+
+    /// Payload bytes held in *node memory* (the Table-1 metric; archived
+    /// bytes live on stable storage and are excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Payload bytes moved to the stable-storage archive.
+    pub fn archived_bytes(&self) -> u64 {
+        self.archived_bytes
+    }
+
+    /// Total number of entries (memory + archive).
+    pub fn total_entries(&self) -> usize {
+        self.channels.values().map(Vec::len).sum::<usize>()
+            + self.archive.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Move every in-memory entry to the stable-storage archive, freeing the
+    /// node memory (called when a checkpoint commits with
+    /// `free_logs_on_checkpoint`). Logical content is unchanged: `lengths`,
+    /// `replay_set` and `truncate_to` see archive + memory as one log.
+    pub fn archive_all(&mut self) {
+        for (chan, mut entries) in self.channels.drain() {
+            self.archived_bytes +=
+                entries.iter().map(|e| e.msg.payload.len() as u64).sum::<u64>();
+            self.archive.entry(chan).or_default().append(&mut entries);
+        }
+        self.bytes = 0;
+    }
+
+    /// Entries destined to rank `dst` that must be replayed: those with
+    /// `seqnum > lr` on any channel to `dst`, plus those explicitly listed in
+    /// `also` (payload-less rendezvous announcements the receiver had seen
+    /// but never completed). Sorted by the global send order (§5.2.2).
+    pub fn replay_set(
+        &self,
+        dst: RankId,
+        lr: &dyn Fn(ChannelId) -> u64,
+        also: &dyn Fn(ChannelId, u64) -> bool,
+    ) -> Vec<Message> {
+        let mut picked: Vec<&LogEntry> = Vec::new();
+        for source in [&self.archive, &self.channels] {
+            for (chan, entries) in source {
+                if chan.dst != dst {
+                    continue;
+                }
+                let watermark = lr(*chan);
+                for e in entries {
+                    if e.msg.env.seqnum > watermark || also(*chan, e.msg.env.seqnum) {
+                        picked.push(e);
+                    }
+                }
+            }
+        }
+        picked.sort_by_key(|e| e.order);
+        picked.iter().map(|e| e.msg.clone()).collect()
+    }
+
+    /// Current per-channel *logical* lengths (archive + memory; recorded
+    /// into checkpoints).
+    pub fn lengths(&self) -> HashMap<ChannelId, usize> {
+        let mut out: HashMap<ChannelId, usize> =
+            self.archive.iter().map(|(&c, v)| (c, v.len())).collect();
+        for (&c, v) in &self.channels {
+            *out.entry(c).or_default() += v.len();
+        }
+        out
+    }
+
+    /// The global order counter (recorded into checkpoints).
+    pub fn order_counter(&self) -> u64 {
+        self.next_order
+    }
+
+    /// Roll the log back to a checkpointed cut: truncate each channel to its
+    /// recorded length (unknown channels are dropped entirely) and restore
+    /// the order counter. Re-execution will regenerate the truncated suffix
+    /// identically (channel-determinism).
+    pub fn truncate_to(&mut self, lengths: &HashMap<ChannelId, usize>, order_counter: u64) {
+        // Archive first (the stable prefix), then memory for the remainder.
+        self.archive.retain(|chan, entries| {
+            let keep = lengths.get(chan).copied().unwrap_or(0);
+            entries.truncate(keep);
+            !entries.is_empty()
+        });
+        self.channels.retain(|chan, entries| {
+            let logical_keep = lengths.get(chan).copied().unwrap_or(0);
+            let archived = self.archive.get(chan).map_or(0, Vec::len);
+            entries.truncate(logical_keep.saturating_sub(archived));
+            !entries.is_empty()
+        });
+        self.next_order = order_counter;
+        self.bytes = self
+            .channels
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|e| e.msg.payload.len() as u64)
+            .sum();
+        self.archived_bytes = self
+            .archive
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|e| e.msg.payload.len() as u64)
+            .sum();
+    }
+
+    /// Look up a logged message by channel and seqnum (tests/debugging).
+    pub fn find(&self, chan: ChannelId, seqnum: u64) -> Option<&Message> {
+        self.archive
+            .get(&chan)
+            .into_iter()
+            .chain(self.channels.get(&chan))
+            .flat_map(|v| v.iter())
+            .find(|e| e.msg.env.seqnum == seqnum)
+            .map(|e| &e.msg)
+    }
+
+    /// Drop everything (memory and archive).
+    pub fn clear(&mut self) {
+        self.channels.clear();
+        self.archive.clear();
+        self.next_order = 0;
+        self.bytes = 0;
+        self.archived_bytes = 0;
+    }
+}
+
+/// Helper to fabricate a message (tests in this crate and dependents).
+pub fn make_msg(src: u32, dst: u32, seq: u64, payload: &[u8]) -> Message {
+    let env = Envelope {
+        src: RankId(src),
+        dst: RankId(dst),
+        comm: mini_mpi::types::COMM_WORLD,
+        tag: 1,
+        seqnum: seq,
+        plen: payload.len() as u64,
+        lamport: seq,
+        ident: mini_mpi::types::MatchIdent::DEFAULT,
+    };
+    Message { env, payload: bytes::Bytes::copy_from_slice(payload) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_tracks_bytes_and_order() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"abc"));
+        log.append(make_msg(0, 2, 1, b"defgh"));
+        log.append(make_msg(0, 1, 2, b"i"));
+        assert_eq!(log.total_bytes(), 9);
+        assert_eq!(log.total_entries(), 3);
+        assert_eq!(log.order_counter(), 3);
+    }
+
+    #[test]
+    fn replay_set_filters_by_lr_and_orders_globally() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"a")); // order 0
+        log.append(make_msg(0, 2, 1, b"b")); // order 1 (other dst)
+        log.append(make_msg(0, 1, 2, b"c")); // order 2
+        log.append(make_msg(0, 1, 3, b"d")); // order 3
+        let set = log.replay_set(RankId(1), &|_| 1, &|_, _| false);
+        let seqs: Vec<u64> = set.iter().map(|m| m.env.seqnum).collect();
+        assert_eq!(seqs, vec![2, 3], "seq 1 already received, dst 2 excluded");
+    }
+
+    #[test]
+    fn replay_set_includes_missing_list() {
+        let mut log = MessageLog::new();
+        for s in 1..=4 {
+            log.append(make_msg(0, 1, s, b"x"));
+        }
+        // Receiver saw envelopes up to 4 but never got payload of 2.
+        let set = log.replay_set(RankId(1), &|_| 4, &|_, s| s == 2);
+        let seqs: Vec<u64> = set.iter().map(|m| m.env.seqnum).collect();
+        assert_eq!(seqs, vec![2]);
+    }
+
+    #[test]
+    fn truncate_restores_checkpoint_cut() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"aa"));
+        log.append(make_msg(0, 2, 1, b"bb"));
+        let cut = log.lengths();
+        let order = log.order_counter();
+        log.append(make_msg(0, 1, 2, b"cc"));
+        log.append(make_msg(0, 3, 1, b"dd"));
+        assert_eq!(log.total_entries(), 4);
+        log.truncate_to(&cut, order);
+        assert_eq!(log.total_entries(), 2);
+        assert_eq!(log.total_bytes(), 4);
+        assert_eq!(log.order_counter(), 2);
+        assert!(log.find(ChannelId::new(RankId(0), RankId(3), mini_mpi::types::COMM_WORLD), 1).is_none());
+        // Re-execution appends the same suffix; order indices line up again.
+        log.append(make_msg(0, 1, 2, b"cc"));
+        assert_eq!(log.order_counter(), 3);
+    }
+
+    #[test]
+    fn truncate_to_empty() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"x"));
+        log.truncate_to(&HashMap::new(), 0);
+        assert_eq!(log.total_entries(), 0);
+        assert_eq!(log.total_bytes(), 0);
+        assert_eq!(log.order_counter(), 0);
+    }
+
+    #[test]
+    fn replay_preserves_post_order_across_channels() {
+        // Interleaved channels: replay must follow global post order, not
+        // channel-by-channel order (§5.2.2).
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"a")); // comm world chan A
+        let mut m = make_msg(0, 1, 1, b"b");
+        m.env.comm = mini_mpi::types::CommId(9); // chan B
+        log.append(m);
+        log.append(make_msg(0, 1, 2, b"c")); // chan A again
+        let set = log.replay_set(RankId(1), &|_| 0, &|_, _| false);
+        let payloads: Vec<&[u8]> = set.iter().map(|m| m.payload.as_ref()).collect();
+        assert_eq!(payloads, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+    }
+}
+
+#[cfg(test)]
+mod archive_tests {
+    use super::*;
+
+    #[test]
+    fn archive_frees_memory_but_keeps_content() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"aa"));
+        log.append(make_msg(0, 2, 1, b"bbb"));
+        assert_eq!(log.total_bytes(), 5);
+        log.archive_all();
+        assert_eq!(log.total_bytes(), 0, "node memory freed");
+        assert_eq!(log.archived_bytes(), 5);
+        assert_eq!(log.total_entries(), 2);
+        // Replay still sees everything.
+        let set = log.replay_set(RankId(1), &|_| 0, &|_, _| false);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].payload.as_ref(), b"aa");
+    }
+
+    #[test]
+    fn replay_merges_archive_and_memory_in_order() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"a"));
+        log.archive_all();
+        log.append(make_msg(0, 1, 2, b"b"));
+        let set = log.replay_set(RankId(1), &|_| 0, &|_, _| false);
+        let payloads: Vec<&[u8]> = set.iter().map(|m| m.payload.as_ref()).collect();
+        assert_eq!(payloads, vec![b"a".as_ref(), b"b".as_ref()]);
+        assert!(log.find(make_msg(0, 1, 1, b"").env.channel(), 1).is_some());
+        assert!(log.find(make_msg(0, 1, 1, b"").env.channel(), 2).is_some());
+    }
+
+    #[test]
+    fn lengths_are_logical_across_archive() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"a"));
+        log.archive_all();
+        log.append(make_msg(0, 1, 2, b"b"));
+        let chan = make_msg(0, 1, 1, b"").env.channel();
+        assert_eq!(log.lengths()[&chan], 2);
+    }
+
+    #[test]
+    fn truncate_into_the_archive() {
+        let mut log = MessageLog::new();
+        log.append(make_msg(0, 1, 1, b"a"));
+        log.append(make_msg(0, 1, 2, b"b"));
+        let cut = log.lengths();
+        let order = log.order_counter();
+        log.archive_all();
+        log.append(make_msg(0, 1, 3, b"c"));
+        // Roll back to the pre-archive cut: memory entry dropped, archive
+        // intact.
+        log.truncate_to(&cut, order);
+        assert_eq!(log.total_entries(), 2);
+        let chan = make_msg(0, 1, 1, b"").env.channel();
+        assert!(log.find(chan, 3).is_none());
+        // Deeper rollback cuts into the archive itself.
+        let mut deep = HashMap::new();
+        deep.insert(chan, 1usize);
+        log.truncate_to(&deep, 1);
+        assert_eq!(log.total_entries(), 1);
+        assert!(log.find(chan, 2).is_none());
+        assert!(log.find(chan, 1).is_some());
+        // Re-execution appends the identical suffix after the rollback.
+        log.append(make_msg(0, 1, 2, b"b"));
+        assert_eq!(log.lengths()[&chan], 2);
+    }
+
+    #[test]
+    fn repeated_archiving_accumulates() {
+        let mut log = MessageLog::new();
+        for s in 1..=3u64 {
+            log.append(make_msg(0, 1, s, b"xy"));
+            log.archive_all();
+        }
+        assert_eq!(log.total_entries(), 3);
+        assert_eq!(log.archived_bytes(), 6);
+        let set = log.replay_set(RankId(1), &|_| 1, &|_, _| false);
+        assert_eq!(set.len(), 2);
+    }
+}

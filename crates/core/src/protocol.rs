@@ -1,0 +1,778 @@
+//! The SPBC protocol layer (Algorithm 1 of the paper) as a
+//! [`mini_mpi::ft::FtLayer`].
+//!
+//! Responsibilities:
+//!
+//! * **Failure-free** — log every inter-cluster message in the sender's
+//!   memory (line 6); count intra-cluster traffic for checkpoint quiescence;
+//!   enforce `(pattern_id, iteration_id)` equality in matching (Section 4.3).
+//!   No delivery events are ever logged.
+//! * **Checkpoint** — leader-coordinated intra-cluster checkpoint with
+//!   message-counting quiescence; the checkpoint captures application state,
+//!   per-channel sequence counters, the unexpected queue (channel state) and
+//!   the log cut (line 13-15).
+//! * **Recovery** — restore the newest checkpoint *every* cluster member
+//!   holds, announce `Rollback(LR)` per channel (lines 16-20), answer
+//!   `LastMessage` so re-execution skips messages the receiver already has
+//!   (lines 21-26), and replay logged messages per channel in seqnum order
+//!   with the §5.2.2 pre-post window. No process-to-process synchronization
+//!   is needed during replay — the property SPBC gains over HydEE.
+
+use crate::cluster::ClusterMap;
+use crate::ctrl::{
+    CkptCounts, LastMessage, LastMessageChannel, Rollback, RollbackChannel, KIND_CKPT_COMMIT,
+    KIND_CKPT_JOIN, KIND_CKPT_POLL, KIND_CKPT_REPORT, KIND_GRANT, KIND_GRANT_DONE,
+    KIND_GRANT_REQ, KIND_LASTMSG, KIND_ROLLBACK,
+};
+use crate::metrics::Metrics;
+use crate::replay::{ReplayEngine, DEFAULT_REPLAY_WINDOW};
+use crate::store::{CheckpointData, PersistentState, SharedStore};
+use bytes::Bytes;
+use mini_mpi::envelope::{CtrlMsg, Envelope, Message};
+use mini_mpi::error::{MpiError, Result};
+use mini_mpi::ft::{ArrivalAction, CkptOutcome, FtCtx, FtLayer, FtProvider, SendAction};
+use mini_mpi::matching::{Arrived, ArrivedBody};
+use mini_mpi::request::RecvSpec;
+use mini_mpi::types::{ChannelId, CommId, RankId};
+use mini_mpi::wire::{from_bytes, to_bytes};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// How replayed messages are released during recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayPolicy {
+    /// SPBC (§5.2.2): fully distributed — every replayer streams its queue
+    /// independently, bounded only by the pre-post window.
+    Windowed,
+    /// HydEE model (§6.5): every single replayed message requires a grant
+    /// from a centralized coordinator, which releases replays in global
+    /// Lamport order and waits for a completion ack before the next grant.
+    Coordinated {
+        /// World id of the coordinator (a service rank).
+        coordinator: RankId,
+    },
+}
+
+/// Tunables of the SPBC protocol.
+#[derive(Clone, Debug)]
+pub struct SpbcConfig {
+    /// Take a coordinated checkpoint every `ckpt_interval`-th call of
+    /// `checkpoint_if_due` (0 = never — the paper's measurement mode, §6.1).
+    pub ckpt_interval: u64,
+    /// Pre-post replay window (§5.2.2; the paper uses 50).
+    pub replay_window: usize,
+    /// Enforce `(pattern_id, iteration_id)` equality in matching. Disabling
+    /// this reproduces the Figure 2 mismatch — kept as an ablation switch.
+    pub enforce_ident: bool,
+    /// Replay release policy (SPBC windowed vs HydEE coordinated).
+    pub replay_policy: ReplayPolicy,
+    /// Free the log's node memory when a checkpoint commits, moving entries
+    /// to the stable-storage archive (§6.2: "logs are saved as part of the
+    /// process checkpoints, and the associated memory can be freed
+    /// afterwards"). Replay reads the archive transparently.
+    pub free_logs_on_checkpoint: bool,
+}
+
+impl Default for SpbcConfig {
+    fn default() -> Self {
+        SpbcConfig {
+            ckpt_interval: 0,
+            replay_window: DEFAULT_REPLAY_WINDOW,
+            enforce_ident: true,
+            replay_policy: ReplayPolicy::Windowed,
+            free_logs_on_checkpoint: false,
+        }
+    }
+}
+
+/// Builds [`SpbcLayer`]s and owns the run-wide shared state.
+pub struct SpbcProvider {
+    clusters: Arc<ClusterMap>,
+    store: Arc<SharedStore>,
+    metrics: Arc<Metrics>,
+    cfg: SpbcConfig,
+    disk: Option<Arc<crate::disk::DiskStore>>,
+}
+
+impl SpbcProvider {
+    /// Provider for the given clustering and configuration.
+    pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
+        let world = clusters.world_size();
+        SpbcProvider {
+            clusters: Arc::new(clusters),
+            store: Arc::new(SharedStore::new(world)),
+            metrics: Arc::new(Metrics::new()),
+            cfg,
+            disk: None,
+        }
+    }
+
+    /// Additionally mirror every committed checkpoint to an on-disk store
+    /// (durable artifacts surviving the process).
+    pub fn with_disk(mut self, disk: crate::disk::DiskStore) -> Self {
+        self.disk = Some(Arc::new(disk));
+        self
+    }
+
+    /// The disk store, if one is attached.
+    pub fn disk(&self) -> Option<Arc<crate::disk::DiskStore>> {
+        self.disk.clone()
+    }
+
+    /// Run-wide metrics (read after the run).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The per-rank persistent stores (logs + checkpoints).
+    pub fn store(&self) -> Arc<SharedStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The clustering in use.
+    pub fn clusters(&self) -> Arc<ClusterMap> {
+        Arc::clone(&self.clusters)
+    }
+}
+
+impl FtProvider for SpbcProvider {
+    fn cluster_of(&self, rank: RankId) -> usize {
+        self.clusters.cluster_of(rank)
+    }
+
+    fn make_layer(&self, rank: RankId, _epoch: u32) -> Box<dyn FtLayer> {
+        let mut layer = SpbcLayer::new(
+            rank,
+            Arc::clone(&self.clusters),
+            Arc::clone(&self.store),
+            Arc::clone(&self.metrics),
+            self.cfg.clone(),
+        );
+        layer.disk = self.disk.clone();
+        Box::new(layer)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum CkptState {
+    Idle,
+    Waiting,
+    Committed,
+}
+
+struct LeaderState {
+    epoch: u64,
+    joins: HashMap<RankId, (u64, u64)>,
+    awaiting: HashSet<RankId>,
+}
+
+/// Per-rank SPBC protocol state.
+pub struct SpbcLayer {
+    me: RankId,
+    cluster: usize,
+    clusters: Arc<ClusterMap>,
+    persistent: Arc<Mutex<PersistentState>>,
+    shared_store: Arc<SharedStore>,
+    metrics: Arc<Metrics>,
+    cfg: SpbcConfig,
+
+    /// `LS` of Algorithm 1: per outgoing channel, the last seqnum the
+    /// receiver confirmed having; re-sends at or below it are suppressed.
+    ls: HashMap<(RankId, CommId), u64>,
+    /// Exceptions to `LS` suppression: envelopes the receiver saw whose
+    /// payload never arrived (interrupted rendezvous) — must be re-sent.
+    ls_exceptions: HashMap<(RankId, CommId), BTreeSet<u64>>,
+    /// Incoming seqnums at or below the watermark whose payload is still
+    /// owed to us — deliver instead of dropping as duplicate.
+    missing: HashMap<(RankId, CommId), BTreeSet<u64>>,
+    replay: ReplayEngine,
+    restored_app: Option<Vec<u8>>,
+
+    ckpt_calls: u64,
+    intra_sent: u64,
+    intra_arrived: u64,
+    last_ckpt_epoch: u64,
+    ckpt_state: CkptState,
+    pending_app_state: Option<Vec<u8>>,
+    leader: Option<LeaderState>,
+
+    /// Highest restart epoch of each peer whose Rollback we have already
+    /// mirrored with our own (terminates the mutual exchange under
+    /// concurrent cluster failures).
+    answered_rollback: HashMap<RankId, u32>,
+
+    /// Coordinated policy: destination of the replay we requested a grant
+    /// for, if any.
+    awaiting_grant: Option<RankId>,
+    /// Coordinated policy: rendezvous token of the granted in-flight replay.
+    granted_token: Option<u64>,
+
+    /// Optional on-disk mirror for committed checkpoints.
+    pub(crate) disk: Option<Arc<crate::disk::DiskStore>>,
+}
+
+impl SpbcLayer {
+    /// Build the layer for `me`.
+    pub fn new(
+        me: RankId,
+        clusters: Arc<ClusterMap>,
+        store: Arc<SharedStore>,
+        metrics: Arc<Metrics>,
+        cfg: SpbcConfig,
+    ) -> Self {
+        let cluster = clusters.cluster_of(me);
+        let persistent = store.slot(me);
+        let replay = ReplayEngine::new(cfg.replay_window);
+        SpbcLayer {
+            me,
+            cluster,
+            clusters,
+            persistent,
+            shared_store: store,
+            metrics,
+            cfg,
+            ls: HashMap::new(),
+            ls_exceptions: HashMap::new(),
+            missing: HashMap::new(),
+            replay,
+            restored_app: None,
+            ckpt_calls: 0,
+            intra_sent: 0,
+            intra_arrived: 0,
+            last_ckpt_epoch: 0,
+            ckpt_state: CkptState::Idle,
+            pending_app_state: None,
+            leader: None,
+            answered_rollback: HashMap::new(),
+            awaiting_grant: None,
+            granted_token: None,
+            disk: None,
+        }
+    }
+
+    /// Release queued replays according to the configured policy.
+    fn pump_replay(&mut self, ctx: &mut FtCtx<'_>) {
+        match self.cfg.replay_policy {
+            ReplayPolicy::Windowed => self.replay.pump(ctx),
+            ReplayPolicy::Coordinated { coordinator } => {
+                if self.awaiting_grant.is_some() {
+                    return;
+                }
+                let Some((dst, ts)) = self.replay.peek_next() else { return };
+                self.awaiting_grant = Some(dst);
+                self.ctrl(ctx, coordinator, KIND_GRANT_REQ, to_bytes(&ts));
+            }
+        }
+    }
+
+    /// Coordinated policy: a grant arrived — re-send the head message.
+    fn on_grant(&mut self, ctx: &mut FtCtx<'_>) -> Result<()> {
+        let ReplayPolicy::Coordinated { coordinator } = self.cfg.replay_policy else {
+            return Err(MpiError::InvalidState("grant under windowed policy".into()));
+        };
+        let Some(dst) = self.awaiting_grant else {
+            // The queue we requested for was purged (peer rolled back again);
+            // release the grant immediately.
+            self.ctrl(ctx, coordinator, KIND_GRANT_DONE, Vec::new());
+            return Ok(());
+        };
+        match self.replay.pop_front_of(dst) {
+            None => {
+                self.awaiting_grant = None;
+                self.ctrl(ctx, coordinator, KIND_GRANT_DONE, Vec::new());
+                self.pump_replay(ctx);
+            }
+            Some(msg) => match ctx.ft_send_message(msg) {
+                None => {
+                    self.awaiting_grant = None;
+                    self.ctrl(ctx, coordinator, KIND_GRANT_DONE, Vec::new());
+                    self.pump_replay(ctx);
+                }
+                Some(token) => {
+                    self.granted_token = Some(token);
+                }
+            },
+        }
+        Ok(())
+    }
+
+    fn ctrl(&self, ctx: &mut FtCtx<'_>, to: RankId, kind: u16, body: Vec<u8>) {
+        Metrics::add(&self.metrics.ctrl_msgs, 1);
+        ctx.send_ctrl(to, kind, body);
+    }
+
+    fn is_intra(&self, peer: RankId) -> bool {
+        self.clusters.cluster_of(peer) == self.cluster
+    }
+
+    /// Build and send the Rollback announcement for every rank outside my
+    /// cluster (Algorithm 1 lines 19-20, broadened to all potential channels
+    /// since the restarted rank cannot know which peers hold logs for it).
+    fn send_rollback_all(&mut self, ctx: &mut FtCtx<'_>) {
+        let epoch = ctx.epoch();
+        let recv_seen = ctx.recv_seen().clone();
+        let peers: Vec<RankId> = self.clusters.other_ranks(self.me).collect();
+        for peer in peers {
+            let mut channels: Vec<RollbackChannel> = Vec::new();
+            for (&(src, comm), &lr) in &recv_seen {
+                if src != peer {
+                    continue;
+                }
+                let missing: Vec<u64> = self
+                    .missing
+                    .get(&(src, comm))
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                channels.push(RollbackChannel { comm: comm.0, lr, missing });
+            }
+            let body = to_bytes(&Rollback { epoch, channels });
+            self.ctrl(ctx, peer, KIND_ROLLBACK, body);
+        }
+    }
+
+    /// Handle a peer's Rollback: purge dangling rendezvous state, reply
+    /// LastMessage, queue the replay set (Algorithm 1 lines 21-24).
+    fn on_rollback(&mut self, ctx: &mut FtCtx<'_>, from: RankId, rb: Rollback) -> Result<()> {
+        // 1. The peer's old incarnation is gone: its announced-but-unshipped
+        //    payloads will never arrive from it — remember them as "owed".
+        let purged = ctx.purge_rdv_from_peer(from);
+        for env in &purged {
+            self.missing.entry((from, env.comm)).or_default().insert(env.seqnum);
+        }
+        //    And our own in-flight rendezvous towards it will never be CTSed.
+        let cancelled = ctx.cancel_pending_rdv_to(from);
+        self.replay.forget_dst(from, &cancelled);
+        //    Under the coordinated policy, release any grant held for it.
+        if self.awaiting_grant == Some(from) {
+            self.awaiting_grant = None;
+            if self.granted_token.take().is_none() {
+                // A grant may still be in flight for the stale request; the
+                // on_grant path handles it by releasing immediately.
+            }
+            if let ReplayPolicy::Coordinated { coordinator } = self.cfg.replay_policy {
+                self.ctrl(ctx, coordinator, KIND_GRANT_DONE, Vec::new());
+            }
+        }
+
+        // 2. LastMessage reply: what we already received from the peer
+        //    (suppression watermark), with pending-payload exceptions.
+        let mut lm = LastMessage::default();
+        let comms: BTreeSet<CommId> = ctx
+            .recv_seen()
+            .keys()
+            .filter(|&&(src, _)| src == from)
+            .map(|&(_, c)| c)
+            .collect();
+        for comm in comms {
+            let incomplete: Vec<u64> = self
+                .missing
+                .get(&(from, comm))
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            lm.channels.push(LastMessageChannel {
+                comm: comm.0,
+                last_recv: ctx.last_seen_on(from, comm),
+                incomplete,
+            });
+        }
+        self.ctrl(ctx, from, KIND_LASTMSG, to_bytes(&lm));
+
+        // 3. Replay set from our log, per channel in seqnum order, globally
+        //    in send order; flow-controlled by the pre-post window.
+        let lr_of = |chan: ChannelId| {
+            rb.channels
+                .iter()
+                .find(|c| c.comm == chan.comm.0)
+                .map_or(0, |c| c.lr)
+        };
+        let missing_of = |chan: ChannelId, seq: u64| {
+            rb.channels
+                .iter()
+                .find(|c| c.comm == chan.comm.0)
+                .is_some_and(|c| c.missing.contains(&seq))
+        };
+        let set = self.persistent.lock().log.replay_set(from, &lr_of, &missing_of);
+        if !set.is_empty() || self.replay.has_queued(from) {
+            Metrics::add(&self.metrics.replayed_msgs, set.len() as u64);
+            Metrics::add(
+                &self.metrics.replayed_bytes,
+                set.iter().map(|m| m.payload.len() as u64).sum(),
+            );
+            self.replay.set_queue(from, set);
+            self.pump_replay(ctx);
+        }
+
+        // 4. Concurrent failures: if we have ourselves restarted, the peer's
+        //    fresh incarnation may never have seen our own Rollback — mirror
+        //    it once per peer epoch.
+        if ctx.epoch() > 0 {
+            let answered = self.answered_rollback.entry(from).or_insert(0);
+            if *answered < rb.epoch {
+                *answered = rb.epoch;
+                let recv_seen = ctx.recv_seen().clone();
+                let mut channels = Vec::new();
+                for (&(src, comm), &lr) in &recv_seen {
+                    if src != from {
+                        continue;
+                    }
+                    let missing: Vec<u64> = self
+                        .missing
+                        .get(&(src, comm))
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    channels.push(RollbackChannel { comm: comm.0, lr, missing });
+                }
+                let body = to_bytes(&Rollback { epoch: ctx.epoch(), channels });
+                self.ctrl(ctx, from, KIND_ROLLBACK, body);
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle the LastMessage reply: set `LS`, schedule replay of payloads
+    /// the peer is owed from before our checkpoint, and exempt the rest from
+    /// suppression (Algorithm 1 lines 25-26 plus the rendezvous refinement).
+    fn on_lastmessage(&mut self, ctx: &mut FtCtx<'_>, from: RankId, lm: LastMessage) -> Result<()> {
+        for ch in lm.channels {
+            let comm = CommId(ch.comm);
+            self.ls.insert((from, comm), ch.last_recv);
+            for s in ch.incomplete {
+                let sent_so_far = ctx.last_sent_on(from, comm);
+                if s <= sent_so_far {
+                    // Sent before our restart point (or re-sent already):
+                    // replay straight from the log.
+                    let chan = ChannelId::new(self.me, from, comm);
+                    if let Some(m) = self.persistent.lock().log.find(chan, s).cloned() {
+                        Metrics::add(&self.metrics.replayed_msgs, 1);
+                        Metrics::add(&self.metrics.replayed_bytes, m.payload.len() as u64);
+                        self.replay.enqueue(from, m);
+                    }
+                } else {
+                    // Will be regenerated by re-execution: exempt from LS
+                    // suppression.
+                    self.ls_exceptions.entry((from, comm)).or_default().insert(s);
+                }
+            }
+        }
+        self.pump_replay(ctx);
+        Ok(())
+    }
+
+    /// Leader: (re)evaluate quiescence once every member has reported.
+    fn leader_evaluate(&mut self, ctx: &mut FtCtx<'_>) {
+        let members: Vec<RankId> = self.clusters.members(self.cluster).to_vec();
+        let Some(ls) = &mut self.leader else { return };
+        if ls.joins.len() < members.len() || !ls.awaiting.is_empty() {
+            return;
+        }
+        let sent: u64 = ls.joins.values().map(|&(s, _)| s).sum();
+        let arrived: u64 = ls.joins.values().map(|&(_, a)| a).sum();
+        if sent == arrived {
+            let epoch = ls.epoch;
+            self.leader = None;
+            for &m in &members {
+                self.ctrl(ctx, m, KIND_CKPT_COMMIT, to_bytes(&epoch));
+            }
+        } else {
+            // Not quiescent yet: intra-cluster messages still in flight.
+            // Poll the members again; they drain while waiting.
+            ls.awaiting.extend(members.iter().copied());
+            let epoch = ls.epoch;
+            for &m in &members {
+                self.ctrl(ctx, m, KIND_CKPT_POLL, to_bytes(&epoch));
+            }
+        }
+    }
+
+    /// Member: commit the local checkpoint (Algorithm 1 line 15).
+    fn take_checkpoint(&mut self, ctx: &mut FtCtx<'_>, epoch: u64) -> Result<()> {
+        let app_state = self
+            .pending_app_state
+            .take()
+            .ok_or_else(|| MpiError::InvalidState("commit without pending state".into()))?;
+        let mut unexpected_full = Vec::new();
+        let mut missing_markers: Vec<(ChannelId, u64)> = Vec::new();
+        for a in ctx.unexpected_snapshot() {
+            match a.body {
+                ArrivedBody::Eager(payload) => {
+                    unexpected_full.push(Message { env: a.env, payload })
+                }
+                ArrivedBody::Rts { .. } => {
+                    if self.is_intra(a.env.src) {
+                        // Quiescence plus the no-live-requests rule make this
+                        // unreachable: an intra-cluster sender cannot be past
+                        // its checkpoint call with an un-CTSed transfer.
+                        return Err(MpiError::InvalidState(
+                            "intra-cluster rendezvous pending at checkpoint".into(),
+                        ));
+                    }
+                    missing_markers.push((a.env.channel(), a.env.seqnum));
+                }
+            }
+        }
+        // Payloads still owed from before (restored missing entries not yet
+        // re-delivered) remain owed at this cut.
+        for (&(src, comm), seqs) in &self.missing {
+            for &s in seqs {
+                missing_markers.push((ChannelId::new(src, self.me, comm), s));
+            }
+        }
+        let (log_lens, log_order) = {
+            let p = self.persistent.lock();
+            (p.log.lengths(), p.log.order_counter())
+        };
+        let ck = CheckpointData {
+            ckpt_epoch: epoch,
+            app_state,
+            send_seq: ctx.send_seq().clone(),
+            recv_seen: ctx.recv_seen().clone(),
+            unexpected_full,
+            missing: missing_markers,
+            log_lens,
+            log_order,
+            ckpt_calls: self.ckpt_calls,
+            intra_sent: self.intra_sent,
+            intra_arrived: self.intra_arrived,
+            comms: ctx.comms_snapshot(),
+            lamport: ctx.lamport(),
+        };
+        if let Some(disk) = &self.disk {
+            disk.save(self.me, &ck)?;
+        }
+        {
+            let mut p = self.persistent.lock();
+            p.push_checkpoint(ck);
+            if self.cfg.free_logs_on_checkpoint {
+                // §6.2: the log's node memory is released once the
+                // checkpoint holds it; replay reads the archive.
+                p.log.archive_all();
+            }
+        }
+        self.last_ckpt_epoch = epoch;
+        self.ckpt_state = CkptState::Committed;
+        Metrics::add(&self.metrics.checkpoints, 1);
+        Ok(())
+    }
+}
+
+impl FtLayer for SpbcLayer {
+    fn name(&self) -> &'static str {
+        "spbc"
+    }
+
+    fn on_start(&mut self, ctx: &mut FtCtx<'_>) -> Result<()> {
+        if ctx.epoch() == 0 {
+            return Ok(());
+        }
+        Metrics::add(&self.metrics.rollbacks, 1);
+        // Agree with the other (also-restarting, quiescent) cluster members
+        // on the newest checkpoint wave everyone committed: a crash during a
+        // commit broadcast can leave members one wave apart.
+        let members = self.clusters.members(self.cluster);
+        let target = self.shared_store.common_epoch(members);
+        let ck_opt =
+            if target == 0 { None } else { self.persistent.lock().restore_epoch(target) };
+        if target != 0 && ck_opt.is_none() {
+            return Err(MpiError::InvalidState(format!(
+                "rank {} lacks checkpoint epoch {target}",
+                self.me
+            )));
+        }
+        if let Some(ck) = ck_opt {
+            ctx.set_send_seq(ck.send_seq.clone());
+            ctx.set_recv_seen(ck.recv_seen.clone());
+            ctx.restore_comms(ck.comms.clone());
+            ctx.set_lamport(ck.lamport);
+            let restored: Vec<Arrived> = ck
+                .unexpected_full
+                .iter()
+                .map(|m| Arrived { env: m.env, body: ArrivedBody::Eager(m.payload.clone()) })
+                .collect();
+            ctx.restore_unexpected(restored);
+            for (chan, seq) in &ck.missing {
+                self.missing.entry((chan.src, chan.comm)).or_default().insert(*seq);
+            }
+            self.persistent.lock().log.truncate_to(&ck.log_lens, ck.log_order);
+            self.ckpt_calls = ck.ckpt_calls;
+            self.intra_sent = ck.intra_sent;
+            self.intra_arrived = ck.intra_arrived;
+            self.last_ckpt_epoch = ck.ckpt_epoch;
+            self.restored_app = Some(ck.app_state.clone());
+        } else {
+            // No checkpoint yet: restart from the initial state; everything
+            // sent so far will be replayed (LR defaults to 0) or regenerated.
+            self.persistent.lock().log.clear();
+            ctx.restore_unexpected(Vec::new());
+        }
+        self.send_rollback_all(ctx);
+        Ok(())
+    }
+
+    fn on_send(&mut self, ctx: &mut FtCtx<'_>, env: &Envelope, payload: &Bytes) -> SendAction {
+        let dst = env.dst;
+        if self.is_intra(dst) {
+            self.intra_sent += 1;
+            return SendAction::Forward;
+        }
+        // Inter-cluster: log in the sender's memory (line 6).
+        let msg = Message { env: *env, payload: payload.clone() };
+        self.persistent.lock().log.append(msg.clone());
+        Metrics::add(&self.metrics.logged_msgs, 1);
+        Metrics::add(&self.metrics.logged_bytes, payload.len() as u64);
+
+        let key = (dst, env.comm);
+        let ls = self.ls.get(&key).copied().unwrap_or(0);
+        if env.seqnum <= ls {
+            // Receiver already has this message — unless its payload never
+            // arrived (interrupted rendezvous exception).
+            let owed = self
+                .ls_exceptions
+                .get_mut(&key)
+                .is_some_and(|s| s.remove(&env.seqnum));
+            if owed {
+                // Deliver through the replay path to keep channel order.
+                self.replay.enqueue(dst, msg);
+                self.pump_replay(ctx);
+                SendAction::Suppress
+            } else {
+                Metrics::add(&self.metrics.suppressed_sends, 1);
+                SendAction::Suppress
+            }
+        } else if self.replay.has_queued(dst) {
+            // Ordering fence: never let a fresh envelope overtake queued
+            // replays on the same destination.
+            self.replay.enqueue(dst, msg);
+            self.pump_replay(ctx);
+            SendAction::Suppress
+        } else {
+            SendAction::Forward
+        }
+    }
+
+    fn on_arrival(&mut self, ctx: &mut FtCtx<'_>, env: &Envelope) -> ArrivalAction {
+        if self.is_intra(env.src) {
+            self.intra_arrived += 1;
+            return ArrivalAction::Deliver;
+        }
+        let lr = ctx.last_seen_on(env.src, env.comm);
+        if env.seqnum <= lr {
+            let owed = self
+                .missing
+                .get_mut(&(env.src, env.comm))
+                .is_some_and(|s| s.remove(&env.seqnum));
+            if owed {
+                ArrivalAction::Deliver
+            } else {
+                Metrics::add(&self.metrics.dropped_duplicates, 1);
+                ArrivalAction::Drop
+            }
+        } else if env.seqnum == lr + 1 {
+            ArrivalAction::Deliver
+        } else {
+            // Contiguity violated: a predecessor on this channel was lost in
+            // a crash window (sent to the dead incarnation's mailbox) and
+            // this message raced ahead of the sender's Rollback processing.
+            // Everything from lr+1 on is in the sender's log; its replay
+            // re-delivers the whole suffix in order — accepting this message
+            // now would advance the watermark past the lost predecessor and
+            // the replay would be mistaken for a duplicate.
+            Metrics::add(&self.metrics.dropped_out_of_order, 1);
+            ArrivalAction::Drop
+        }
+    }
+
+    fn match_admissible(&self, spec: &RecvSpec, env: &Envelope) -> bool {
+        !self.cfg.enforce_ident || spec.ident == env.ident
+    }
+
+    fn on_ctrl(&mut self, ctx: &mut FtCtx<'_>, msg: CtrlMsg) -> Result<()> {
+        match msg.kind {
+            KIND_ROLLBACK => {
+                let rb: Rollback = from_bytes(&msg.data)?;
+                self.on_rollback(ctx, msg.from, rb)
+            }
+            KIND_LASTMSG => {
+                let lm: LastMessage = from_bytes(&msg.data)?;
+                self.on_lastmessage(ctx, msg.from, lm)
+            }
+            KIND_CKPT_JOIN => {
+                let c: CkptCounts = from_bytes(&msg.data)?;
+                let ls = self.leader.get_or_insert_with(|| LeaderState {
+                    epoch: c.epoch,
+                    joins: HashMap::new(),
+                    awaiting: HashSet::new(),
+                });
+                debug_assert_eq!(ls.epoch, c.epoch, "overlapping checkpoint waves");
+                ls.joins.insert(msg.from, (c.sent, c.arrived));
+                self.leader_evaluate(ctx);
+                Ok(())
+            }
+            KIND_CKPT_REPORT => {
+                let c: CkptCounts = from_bytes(&msg.data)?;
+                if let Some(ls) = &mut self.leader {
+                    ls.joins.insert(msg.from, (c.sent, c.arrived));
+                    ls.awaiting.remove(&msg.from);
+                }
+                self.leader_evaluate(ctx);
+                Ok(())
+            }
+            KIND_CKPT_POLL => {
+                let epoch: u64 = from_bytes(&msg.data)?;
+                let body = CkptCounts { epoch, sent: self.intra_sent, arrived: self.intra_arrived };
+                self.ctrl(ctx, msg.from, KIND_CKPT_REPORT, to_bytes(&body));
+                Ok(())
+            }
+            KIND_CKPT_COMMIT => {
+                let epoch: u64 = from_bytes(&msg.data)?;
+                self.take_checkpoint(ctx, epoch)
+            }
+            KIND_GRANT => self.on_grant(ctx),
+            other => Err(MpiError::invalid(format!("unknown SPBC ctrl kind {other}"))),
+        }
+    }
+
+    fn on_transfer_complete(&mut self, ctx: &mut FtCtx<'_>, token: u64) -> Result<()> {
+        if self.granted_token == Some(token) {
+            self.granted_token = None;
+            self.awaiting_grant = None;
+            if let ReplayPolicy::Coordinated { coordinator } = self.cfg.replay_policy {
+                self.ctrl(ctx, coordinator, KIND_GRANT_DONE, Vec::new());
+            }
+            self.pump_replay(ctx);
+        } else if self.replay.complete(token) {
+            self.replay.pump(ctx);
+        }
+        Ok(())
+    }
+
+    fn checkpoint_begin(&mut self, ctx: &mut FtCtx<'_>, app_state: Vec<u8>) -> Result<CkptOutcome> {
+        self.ckpt_calls += 1;
+        if self.cfg.ckpt_interval == 0 || !self.ckpt_calls.is_multiple_of(self.cfg.ckpt_interval) {
+            return Ok(CkptOutcome::NotDue);
+        }
+        if self.ckpt_state != CkptState::Idle {
+            return Err(MpiError::InvalidState("overlapping checkpoint".into()));
+        }
+        self.pending_app_state = Some(app_state);
+        self.ckpt_state = CkptState::Waiting;
+        let epoch = self.last_ckpt_epoch + 1;
+        let leader = self.clusters.leader_of(self.me);
+        let body = CkptCounts { epoch, sent: self.intra_sent, arrived: self.intra_arrived };
+        self.ctrl(ctx, leader, KIND_CKPT_JOIN, to_bytes(&body));
+        Ok(CkptOutcome::InProgress)
+    }
+
+    fn checkpoint_poll(&mut self, _ctx: &mut FtCtx<'_>) -> Result<bool> {
+        if self.ckpt_state == CkptState::Committed {
+            self.ckpt_state = CkptState::Idle;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn restored_app_state(&mut self) -> Option<Vec<u8>> {
+        self.restored_app.clone()
+    }
+}

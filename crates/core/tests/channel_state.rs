@@ -1,0 +1,222 @@
+//! Channel-state corner cases of the checkpoint/recovery path:
+//!
+//! * a message that arrived *early* (sits in the unexpected queue at
+//!   checkpoint time) must survive rollback inside the checkpoint — the
+//!   sender will not replay it (its seqnum is below the watermark);
+//! * a rendezvous whose envelope arrived but whose payload was still pending
+//!   at checkpoint time leaves a *missing marker*: after rollback the sender
+//!   must re-ship exactly that payload even though its seqnum is below the
+//!   watermark.
+
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::to_bytes;
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rank 0 (cluster A) sends to rank 1 (cluster B) in iteration 0; rank 1
+/// only *receives* it in iteration 4 — long after both took their
+/// iteration-2 checkpoint. A barrier-ish allreduce keeps iterations aligned
+/// so the early message is reliably in the unexpected queue at the cut.
+fn early_message_app(big: bool) -> Arc<mini_mpi::AppFn> {
+    Arc::new(move |rank: &mut Rank| {
+        const ITERS: u64 = 6;
+        let me = rank.world_rank();
+        let payload_len = if big { 8192 } else { 4 };
+        let mut state: (u64, f64) = rank.restore()?.unwrap_or((0, me as f64 + 1.0));
+        while state.0 < ITERS {
+            rank.failure_point()?;
+            if state.0 == 0 && me == 0 {
+                let payload = vec![state.1; payload_len];
+                rank.send(COMM_WORLD, 1, 7, &payload)?;
+            }
+            if state.0 == 4 && me == 1 {
+                let (v, st) = rank.recv::<f64>(COMM_WORLD, 0u32, 7)?;
+                assert_eq!(st.len, payload_len * 8);
+                state.1 += v[0];
+            }
+            // Keep all ranks in lockstep so arrival/checkpoint ordering is
+            // deterministic.
+            let s = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[state.1])?;
+            state.1 += 1e-6 * s[0];
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&state.1))
+    })
+}
+
+fn run_native(app: &Arc<mini_mpi::AppFn>, eager: usize) -> RunReport {
+    let cfg = RuntimeConfig::new(4)
+        .with_eager_threshold(eager)
+        .with_deadlock_timeout(Duration::from_secs(30));
+    Runtime::new(cfg)
+        .run(Arc::new(NativeProvider), Arc::clone(app), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap()
+}
+
+fn run_spbc(
+    app: &Arc<mini_mpi::AppFn>,
+    eager: usize,
+    plans: Vec<FailurePlan>,
+) -> (RunReport, Arc<SpbcProvider>) {
+    let provider = Arc::new(SpbcProvider::new(
+        ClusterMap::blocks(4, 2),
+        SpbcConfig { ckpt_interval: 3, ..Default::default() },
+    ));
+    let cfg = RuntimeConfig::new(4)
+        .with_eager_threshold(eager)
+        .with_deadlock_timeout(Duration::from_secs(30));
+    let report = Runtime::new(cfg)
+        .run(Arc::clone(&provider) as Arc<SpbcProvider>, Arc::clone(app), plans, None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    (report, provider)
+}
+
+#[test]
+fn unexpected_message_survives_rollback_inside_checkpoint() {
+    // Eager path: the early message is fully in rank 1's unexpected queue at
+    // the iteration-3 checkpoint; the receiving cluster {2,3}... no: rank 1
+    // is in cluster {0,1}'s partner — use a failure of rank 1's own cluster?
+    // Rank 1 is in cluster 0 together with rank 0 (blocks(4,2) -> {0,1},
+    // {2,3}). An intra-cluster early message then: both roll back together,
+    // and the checkpointed unexpected queue must restore it.
+    let app = early_message_app(false);
+    let native = run_native(&app, 16 * 1024);
+    let (report, _) = run_spbc(
+        &app,
+        16 * 1024,
+        vec![FailurePlan { rank: RankId(0), nth: 5 }],
+    );
+    assert_eq!(report.failures_handled, 1);
+    assert_eq!(native.outputs, report.outputs);
+}
+
+#[test]
+fn inter_cluster_unexpected_message_not_replayed_after_rollback() {
+    // Same shape but the early message crosses clusters: rank 2 -> rank 1.
+    let app: Arc<mini_mpi::AppFn> = Arc::new(|rank: &mut Rank| {
+        const ITERS: u64 = 6;
+        let me = rank.world_rank();
+        let mut state: (u64, f64) = rank.restore()?.unwrap_or((0, me as f64 + 1.0));
+        while state.0 < ITERS {
+            rank.failure_point()?;
+            if state.0 == 0 && me == 2 {
+                rank.send(COMM_WORLD, 1, 7, &[state.1])?;
+            }
+            if state.0 == 4 && me == 1 {
+                let (v, _) = rank.recv::<f64>(COMM_WORLD, 2u32, 7)?;
+                state.1 += v[0];
+            }
+            let s = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[state.1])?;
+            state.1 += 1e-6 * s[0];
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&state.1))
+    });
+    let native = run_native(&app, 16 * 1024);
+    // Kill cluster {0,1} after its checkpoint (which contains the unexpected
+    // message from rank 2).
+    let (report, provider) = run_spbc(
+        &app,
+        16 * 1024,
+        vec![FailurePlan { rank: RankId(1), nth: 5 }],
+    );
+    assert_eq!(report.failures_handled, 1);
+    assert_eq!(native.outputs, report.outputs);
+    // Rank 2 must NOT have re-shipped the early message (it was inside the
+    // checkpoint, below the watermark); if it did, the duplicate was
+    // dropped — either way zero or more, but the checkpoint must have
+    // carried it. The strongest observable guarantee is output equality
+    // (asserted above) plus a bounded duplicate count:
+    let m = provider.metrics();
+    assert!(spbc_core::Metrics::get(&m.dropped_duplicates) <= 4);
+}
+
+#[test]
+fn pending_rendezvous_at_checkpoint_is_replayed_after_rollback() {
+    // Rendezvous path: with a tiny eager threshold, rank 2's early message
+    // to rank 1 announces itself (RTS) immediately but cannot ship its
+    // payload until rank 1 posts the receive in iteration 4. Cluster {0,1}
+    // checkpoints every iteration, so its iteration-3 checkpoint records the
+    // pending envelope as a *missing marker*. The cluster then dies; after
+    // rollback, rank 2 must re-ship exactly that payload from its log even
+    // though the envelope seqnum is below rank 1's restored watermark.
+    //
+    // Cluster {2,3} delays its own checkpoints until the transfer completed
+    // (clusters checkpoint independently — §6.1), keeping rank 2's live
+    // send request out of its checkpoint.
+    const ITERS: u64 = 6;
+    let app: Arc<mini_mpi::AppFn> = Arc::new(|rank: &mut Rank| {
+        let me = rank.world_rank();
+        let mut state: (u64, f64) = rank.restore()?.unwrap_or((0, me as f64 + 1.0));
+        let mut pending: Option<mini_mpi::request::RequestId> = None;
+        while state.0 < ITERS {
+            rank.failure_point()?;
+            if state.0 == 0 && me == 2 {
+                let payload = vec![state.1; 1024]; // 8 KiB >> 64 B threshold
+                pending = Some(rank.isend(COMM_WORLD, 1, 7, &payload)?);
+            }
+            if state.0 == 4 {
+                if me == 1 {
+                    let (v, st) = rank.recv::<f64>(COMM_WORLD, 2u32, 7)?;
+                    assert_eq!(st.len, 8192);
+                    state.1 += v[0];
+                }
+                if let Some(r) = pending.take() {
+                    rank.wait(r)?;
+                }
+            }
+            let s = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[state.1])?;
+            state.1 += 1e-6 * s[0];
+            state.0 += 1;
+            // Cluster {0,1}: checkpoint every iteration. Cluster {2,3}:
+            // only once the rendezvous is done (no live requests).
+            if me < 2 || state.0 >= 5 {
+                rank.checkpoint_if_due(&state)?;
+            }
+        }
+        Ok(to_bytes(&state.1))
+    });
+    let native = {
+        let cfg = RuntimeConfig::new(4)
+            .with_eager_threshold(64)
+            .with_deadlock_timeout(Duration::from_secs(30));
+        Runtime::new(cfg)
+            .run(Arc::new(NativeProvider), Arc::clone(&app), Vec::new(), None)
+            .unwrap()
+            .ok()
+            .unwrap()
+    };
+    let provider = Arc::new(SpbcProvider::new(
+        ClusterMap::blocks(4, 2),
+        SpbcConfig { ckpt_interval: 1, ..Default::default() },
+    ));
+    let cfg = RuntimeConfig::new(4)
+        .with_eager_threshold(64)
+        .with_deadlock_timeout(Duration::from_secs(30));
+    let report = Runtime::new(cfg)
+        .run(
+            Arc::clone(&provider) as Arc<SpbcProvider>,
+            app,
+            vec![FailurePlan { rank: RankId(1), nth: 5 }],
+            None,
+        )
+        .unwrap()
+        .ok()
+        .unwrap();
+    assert_eq!(report.failures_handled, 1);
+    assert_eq!(native.outputs, report.outputs, "missing-marker replay must deliver the payload");
+    let m = provider.metrics();
+    assert!(
+        spbc_core::Metrics::get(&m.replayed_msgs) >= 1,
+        "the pending payload must come from the log"
+    );
+}

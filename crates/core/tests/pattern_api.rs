@@ -1,0 +1,140 @@
+//! Pattern-API behavior with a live runtime: misuse detection, identifier
+//! stamping, checkpoint survival — and the §7 "hybrid programming model"
+//! scenario: sub-communicator-per-thread-group, which the paper argues SPBC
+//! supports as-is because channels are defined per communicator.
+
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::to_bytes;
+use spbc_core::{ClusterMap, PatternId, Patterns, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn misuse_is_rejected() {
+    let report = Runtime::run_native(1, |rank| {
+        let mut pats = Patterns::new();
+        let a = pats.declare();
+        let b = pats.declare();
+        // Nested BEGIN is an error.
+        pats.begin_iteration(rank, a)?;
+        assert!(pats.begin_iteration(rank, b).is_err());
+        // END of the wrong pattern is an error.
+        assert!(pats.end_iteration(rank, b).is_err());
+        pats.end_iteration(rank, a)?;
+        // END with nothing active is an error.
+        assert!(pats.end_iteration(rank, a).is_err());
+        // Unknown pattern id is an error.
+        assert!(pats.begin_iteration(rank, PatternId(99)).is_err());
+        Ok(vec![1])
+    })
+    .unwrap()
+    .ok()
+    .unwrap();
+    assert_eq!(report.outputs[0], vec![1]);
+}
+
+#[test]
+fn identifier_is_stamped_and_restored() {
+    let report = Runtime::run_native(1, |rank| {
+        let mut pats = Patterns::new();
+        let p = pats.declare();
+        assert_eq!(rank.ident(), MatchIdent::DEFAULT);
+        pats.begin_iteration(rank, p)?;
+        assert_eq!(rank.ident(), MatchIdent::new(1, 1));
+        pats.end_iteration(rank, p)?;
+        assert_eq!(rank.ident(), MatchIdent::DEFAULT);
+        pats.begin_iteration(rank, p)?;
+        assert_eq!(rank.ident(), MatchIdent::new(1, 2), "iteration increments");
+        pats.end_iteration(rank, p)?;
+        // `reapply` restores the active identifier after a checkpoint
+        // restore (the rank restarts with the default ident).
+        pats.begin_iteration(rank, p)?;
+        rank.set_ident(MatchIdent::DEFAULT); // simulate fresh restart
+        pats.reapply(rank);
+        assert_eq!(rank.ident(), MatchIdent::new(1, 3));
+        pats.end_iteration(rank, p)?;
+        Ok(vec![1])
+    })
+    .unwrap()
+    .ok()
+    .unwrap();
+    assert_eq!(report.outputs[0], vec![1]);
+}
+
+/// The §7 scenario, modeled: each rank represents a multi-threaded process
+/// whose "threads" communicate over distinct sub-communicators (the paper:
+/// "if communicators are used, our protocol could be used as is ... since we
+/// defined a channel in the context of a communicator"). Two thread groups
+/// ship different data over the same rank pairs; recovery must keep the two
+/// streams apart because channels — and therefore seqnums, logs and replay —
+/// are per communicator.
+fn hybrid_app(rank: &mut Rank) -> Result<Vec<u8>> {
+    const ITERS: u64 = 8;
+    let me = rank.world_rank();
+    let n = rank.world_size();
+    // A restarted rank resumes from the checkpoint, not from main(): the
+    // sub-communicators already exist in its restored communicator table, so
+    // the setup splits must not be re-executed. The state tuple carries the
+    // comm ids across the checkpoint.
+    let (t0, t1, mut state) = match rank.restore::<(u64, u64, (u64, f64, f64))>()? {
+        Some((id0, id1, st)) => (CommId(id0), CommId(id1), st),
+        None => {
+            let t0 = rank.comm_split(COMM_WORLD, 0, me as i64)?;
+            let t1 = rank.comm_split(COMM_WORLD, 1, me as i64)?;
+            (t0, t1, (0, me as f64, -(me as f64)))
+        }
+    };
+    while state.0 < ITERS {
+        rank.failure_point()?;
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        // Thread 0 traffic and thread 1 traffic use the SAME tag and the
+        // same rank pairs — only the communicator separates them.
+        let r0 = rank.irecv(t0, prev as u32, 5)?;
+        let r1 = rank.irecv(t1, prev as u32, 5)?;
+        rank.send(t0, next, 5, &[state.1])?;
+        rank.send(t1, next, 5, &[state.2])?;
+        let (_s0, p0) = rank.wait(r0)?;
+        let (_s1, p1) = rank.wait(r1)?;
+        let v0: Vec<f64> = mini_mpi::datatype::unpack(&p0.unwrap())?;
+        let v1: Vec<f64> = mini_mpi::datatype::unpack(&p1.unwrap())?;
+        state.1 = 0.5 * state.1 + 0.5 * v0[0] + 0.01;
+        state.2 = 0.5 * state.2 + 0.5 * v1[0] - 0.01;
+        state.0 += 1;
+        rank.checkpoint_if_due(&(t0.0, t1.0, state))?;
+    }
+    Ok(to_bytes(&(state.1, state.2)))
+}
+
+#[test]
+fn hybrid_model_per_thread_communicators_recover() {
+    let cfg = || {
+        RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(30))
+    };
+    let native = Runtime::new(cfg())
+        .run(Arc::new(NativeProvider), Arc::new(hybrid_app), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    let provider = Arc::new(SpbcProvider::new(
+        ClusterMap::blocks(6, 3),
+        SpbcConfig { ckpt_interval: 3, ..Default::default() },
+    ));
+    let report = Runtime::new(cfg())
+        .run(
+            provider,
+            Arc::new(hybrid_app),
+            vec![FailurePlan { rank: RankId(2), nth: 6 }],
+            None,
+        )
+        .unwrap()
+        .ok()
+        .unwrap();
+    assert_eq!(report.failures_handled, 1);
+    assert_eq!(
+        native.outputs, report.outputs,
+        "per-communicator channels must keep the two thread streams apart through recovery"
+    );
+}

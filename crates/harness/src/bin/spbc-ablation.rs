@@ -1,0 +1,21 @@
+//! Run the ablations: `spbc-ablation [prepost|clustering|ident|containment|all]`.
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let mut out = Vec::new();
+    if matches!(which.as_str(), "prepost" | "all") {
+        out.push(spbc_harness::ablation::prepost_window(&scale).expect("A1"));
+    }
+    if matches!(which.as_str(), "clustering" | "all") {
+        out.push(spbc_harness::ablation::clustering_strategies(&scale).expect("A2"));
+    }
+    if matches!(which.as_str(), "ident" | "all") {
+        out.push(spbc_harness::ablation::ident_matching_overhead(&scale).expect("A3"));
+    }
+    if matches!(which.as_str(), "containment" | "all") {
+        out.push(spbc_harness::ablation::containment_comparison(&scale).expect("containment"));
+    }
+    println!("{}", out.join("\n"));
+}

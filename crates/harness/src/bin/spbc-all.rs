@@ -1,0 +1,19 @@
+//! Run the complete evaluation (all tables, figures and ablations) and print
+//! a report suitable for EXPERIMENTS.md.
+
+fn main() {
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let t1 = spbc_harness::table1::run(&scale).expect("table1");
+    println!("{}", spbc_harness::table1::render(&t1));
+    let t2 = spbc_harness::table2::run(&scale).expect("table2");
+    println!("{}", spbc_harness::table2::render(&t2));
+    let f5 = spbc_harness::fig5::run(&scale).expect("fig5");
+    println!("{}", spbc_harness::fig5::render(&f5));
+    let f6 = spbc_harness::fig6::run(&scale).expect("fig6");
+    println!("{}", spbc_harness::fig6::render(&f6));
+    println!("{}", spbc_harness::ablation::prepost_window(&scale).expect("A1"));
+    println!("{}", spbc_harness::ablation::clustering_strategies(&scale).expect("A2"));
+    println!("{}", spbc_harness::ablation::ident_matching_overhead(&scale).expect("A3"));
+    println!("{}", spbc_harness::ablation::containment_comparison(&scale).expect("containment"));
+}

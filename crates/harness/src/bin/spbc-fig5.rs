@@ -1,0 +1,8 @@
+//! Regenerate Figure 5 (performance of SPBC in recovery).
+
+fn main() {
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let pts = spbc_harness::fig5::run(&scale).expect("fig5 run");
+    println!("{}", spbc_harness::fig5::render(&pts));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 6 (HydEE vs SPBC recovery on the NAS kernels).
+
+fn main() {
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let rows = spbc_harness::fig6::run(&scale).expect("fig6 run");
+    println!("{}", spbc_harness::fig6::render(&rows));
+}

@@ -1,0 +1,20 @@
+//! Log memory footprint over time (§6.2): `spbc-memory [workload] [clusters]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let w = args
+        .get(1)
+        .and_then(|n| spbc_apps::Workload::by_name(n))
+        .unwrap_or(spbc_apps::Workload::MiniGhost);
+    let k: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let profile = spbc_harness::memory::run_workload(
+        w,
+        &scale,
+        k,
+        std::time::Duration::from_millis(5),
+    )
+    .expect("memory run");
+    println!("{}", spbc_harness::memory::render(&profile));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 1 (log growth rate per process vs number of clusters).
+
+fn main() {
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let rows = spbc_harness::table1::run(&scale).expect("table1 run");
+    println!("{}", spbc_harness::table1::render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 2 (failure-free overhead of SPBC).
+
+fn main() {
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let rows = spbc_harness::table2::run(&scale).expect("table2 run");
+    println!("{}", spbc_harness::table2::render(&rows));
+}

@@ -1,0 +1,173 @@
+//! Figure 5: performance of SPBC in recovery — the rework time of the
+//! failed cluster, normalized to the failure-free execution time of the same
+//! computation.
+//!
+//! Methodology: the paper pre-generates logs and re-runs only the recovering
+//! cluster (its prototype lacks partial restart). Ours is *stronger*: we
+//! inject a real failure at the start of the final iteration, the runtime
+//! kills the cluster of rank 0, restores its coordinated checkpoint (taken
+//! halfway), and the cluster re-executes with suppression + log replay while
+//! the other clusters serve logs. We measure the restarted ranks'
+//! re-execution wall time and normalize by `native-time-per-iteration ×
+//! re-executed iterations`.
+//!
+//! Expected shape (§6.4): normalized time ≤ 1 everywhere; smaller clusters
+//! (more logged channels) recover faster; the communication-bound AMG gains
+//! the most, compute-bound CM1/GTC/MiniFE barely gain.
+
+use crate::profile::{clustering_for, profile, runtime_cfg, Profile};
+use crate::report::{f3, TextTable};
+use crate::Scale;
+use mini_mpi::error::Result;
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::types::RankId;
+use mini_mpi::Runtime;
+use spbc_apps::Workload;
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+
+/// One Figure-5 point.
+#[derive(Clone, Debug)]
+pub struct Fig5Point {
+    /// Application name.
+    pub app: &'static str,
+    /// Cluster count.
+    pub clusters: usize,
+    /// Rework time normalized to failure-free time (MPICH = 1.0).
+    pub normalized: f64,
+    /// Messages replayed from logs during the recovery.
+    pub replayed_msgs: u64,
+}
+
+/// Measure one recovery, given a prepared clustering. Returns
+/// `(normalized rework time, replayed messages)`.
+pub fn measure_recovery(
+    w: Workload,
+    scale: &Scale,
+    prof: &Profile,
+    clusters: ClusterMap,
+    cfg: SpbcConfig,
+) -> Result<(f64, u64)> {
+    let app = w.build(scale.params(w));
+    let ckpt_at = (scale.iters / 2).max(1);
+    let cfg = SpbcConfig { ckpt_interval: ckpt_at, ..cfg };
+    let provider = Arc::new(SpbcProvider::new(clusters, cfg));
+    // An interior rank: its cluster has inter-cluster channels in every
+    // direction (a corner cluster of a stencil might receive nothing).
+    let victim = RankId((scale.world / 2) as u32);
+    let victim_cluster: Vec<usize> = provider
+        .clusters()
+        .members(provider.clusters().cluster_of(victim))
+        .iter()
+        .map(|r| r.idx())
+        .collect();
+    // Fail at the start of the last iteration: nearly the whole re-execution
+    // is the log-replay-fed rework phase.
+    let plans = vec![FailurePlan { rank: victim, nth: scale.iters }];
+    let report = Runtime::new(runtime_cfg(scale))
+        .run(provider.clone(), app, plans, None)?
+        .ok()?;
+    assert_eq!(report.failures_handled, 1, "exactly one failure expected");
+
+    // Re-executed iterations: from the checkpoint (the single wave at
+    // `ckpt_at`) to the end.
+    let waves_before_failure = (scale.iters - 1) / ckpt_at;
+    let restored_iter = waves_before_failure * ckpt_at;
+    let reexec_iters = scale.iters - restored_iter;
+    // The restarted ranks' final-epoch wall time is their recovery time.
+    let rework = victim_cluster
+        .iter()
+        .map(|&r| report.stats[r].total_time)
+        .max()
+        .expect("victim cluster not empty");
+    let ff_equiv = prof.per_iter.as_secs_f64() * reexec_iters as f64;
+    let m = provider.metrics();
+    Ok((
+        rework.as_secs_f64() / ff_equiv.max(1e-9),
+        spbc_core::Metrics::get(&m.replayed_msgs),
+    ))
+}
+
+/// Run the Figure-5 sweep for one workload over the hybrid cluster counts.
+pub fn run_workload(w: Workload, scale: &Scale) -> Result<Vec<Fig5Point>> {
+    let prof = profile(w, scale)?;
+    let mut out = Vec::new();
+    for (k, label) in scale.cluster_counts() {
+        if label == "per-rank" {
+            continue; // Figure 5 sweeps the hybrid configurations (2..16).
+        }
+        eprintln!("fig5: {} at {k} clusters ...", w.name());
+        let clusters = clustering_for(&prof, k, scale);
+        let (normalized, replayed) =
+            measure_recovery(w, scale, &prof, clusters, SpbcConfig::default())?;
+        out.push(Fig5Point { app: w.name(), clusters: k, normalized, replayed_msgs: replayed });
+    }
+    Ok(out)
+}
+
+/// Run Figure 5 for the whole evaluation set.
+pub fn run(scale: &Scale) -> Result<Vec<Fig5Point>> {
+    let mut out = Vec::new();
+    for w in Workload::EVALUATION {
+        out.extend(run_workload(w, scale)?);
+    }
+    Ok(out)
+}
+
+/// Render (apps as rows, cluster counts as columns; MPICH reference = 1.0).
+pub fn render(points: &[Fig5Point]) -> String {
+    let mut ks: Vec<usize> = points.iter().map(|p| p.clusters).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    let mut header = vec!["App".to_string(), "MPICH".to_string()];
+    header.extend(ks.iter().map(|k| format!("{k} clusters")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&header_refs);
+    let mut apps: Vec<&str> = points.iter().map(|p| p.app).collect();
+    apps.sort_unstable();
+    apps.dedup();
+    for a in apps {
+        let mut cells = vec![a.to_string(), "1.000".to_string()];
+        for &k in &ks {
+            match points.iter().find(|p| p.app == a && p.clusters == k) {
+                Some(p) => cells.push(f3(p.normalized)),
+                None => cells.push("-".into()),
+            }
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 5: normalized execution time in recovery (failure-free MPICH = 1.0)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_measurement_runs_and_is_sane() {
+        let scale = Scale {
+            world: 8,
+            iters: 8,
+            elems: 128,
+            sleep_us: 300,
+            ranks_per_node: 2,
+            reps: 1,
+            ..Default::default()
+        };
+        let prof = profile(Workload::MiniGhost, &scale).unwrap();
+        let clusters = clustering_for(&prof, 4, &scale);
+        let (normalized, replayed) = measure_recovery(
+            Workload::MiniGhost,
+            &scale,
+            &prof,
+            clusters,
+            SpbcConfig::default(),
+        )
+        .unwrap();
+        assert!(replayed > 0, "recovery must replay logs");
+        assert!(normalized > 0.0 && normalized < 5.0, "normalized={normalized}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 6: distributed (SPBC) versus centralized (HydEE) recovery on the
+//! NAS benchmarks (BT, LU, MG, SP), 8 clusters.
+//!
+//! Same measurement as Figure 5, run under both protocols. Expected shape
+//! (§6.5): SPBC noticeably outperforms HydEE (up to 2×); HydEE's
+//! coordinator round-trip per replayed message can push its recovery above
+//! the failure-free time.
+
+use crate::fig5::measure_recovery;
+use crate::profile::{clustering_for, profile, runtime_cfg};
+use crate::report::{f3, TextTable};
+use crate::Scale;
+use mini_mpi::error::Result;
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::types::RankId;
+use mini_mpi::Runtime;
+use spbc_apps::Workload;
+use spbc_baselines::{coordinator_service, HydeeConfig, HydeeProvider};
+use spbc_core::SpbcConfig;
+use std::sync::Arc;
+
+/// One Figure-6 entry.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// NAS benchmark name.
+    pub app: &'static str,
+    /// SPBC normalized recovery time.
+    pub spbc: f64,
+    /// HydEE normalized recovery time.
+    pub hydee: f64,
+    /// Coordinator grants HydEE issued.
+    pub grants: u64,
+}
+
+/// HydEE recovery measurement (mirrors [`measure_recovery`] with the
+/// coordinator service attached).
+fn measure_hydee(
+    w: Workload,
+    scale: &Scale,
+    prof: &crate::profile::Profile,
+    clusters: spbc_core::ClusterMap,
+) -> Result<(f64, u64)> {
+    let app = w.build(scale.params(w));
+    let ckpt_at = (scale.iters / 2).max(1);
+    let provider = Arc::new(HydeeProvider::new(
+        clusters,
+        HydeeConfig { ckpt_interval: ckpt_at, ..Default::default() },
+    ));
+    let victim = RankId((scale.world / 2) as u32);
+    let victim_cluster: Vec<usize> = {
+        use mini_mpi::ft::FtProvider;
+        (0..scale.world)
+            .filter(|&r| provider.cluster_of(RankId(r as u32)) == provider.cluster_of(victim))
+            .collect()
+    };
+    let plans = vec![FailurePlan { rank: victim, nth: scale.iters }];
+    let cfg = runtime_cfg(scale).with_services(1);
+    let report = Runtime::new(cfg)
+        .run(provider.clone(), app, plans, Some(Arc::new(coordinator_service())))?
+        .ok()?;
+    assert_eq!(report.failures_handled, 1);
+    let waves = (scale.iters - 1) / ckpt_at;
+    let reexec_iters = scale.iters - waves * ckpt_at;
+    let rework = victim_cluster
+        .iter()
+        .map(|&r| report.stats[r].total_time)
+        .max()
+        .expect("victims");
+    let ff = prof.per_iter.as_secs_f64() * reexec_iters as f64;
+    let m = provider.metrics();
+    Ok((
+        rework.as_secs_f64() / ff.max(1e-9),
+        spbc_core::Metrics::get(&m.coordinator_grants),
+    ))
+}
+
+/// Compare both protocols on one NAS kernel.
+pub fn run_workload(w: Workload, scale: &Scale) -> Result<Fig6Row> {
+    let prof = profile(w, scale)?;
+    let k = 8.min(scale.nodes());
+    let clusters = clustering_for(&prof, k, scale);
+    let (spbc, _) =
+        measure_recovery(w, scale, &prof, clusters.clone(), SpbcConfig::default())?;
+    let (hydee, grants) = measure_hydee(w, scale, &prof, clusters)?;
+    Ok(Fig6Row { app: w.name(), spbc, hydee, grants })
+}
+
+/// Run Figure 6 over the NAS set.
+pub fn run(scale: &Scale) -> Result<Vec<Fig6Row>> {
+    Workload::NAS.iter().map(|&w| run_workload(w, scale)).collect()
+}
+
+/// Render the comparison.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let mut t = TextTable::new(&["App", "MPICH", "HydEE", "SPBC", "grants"]);
+    for r in rows {
+        t.row(vec![
+            r.app.to_string(),
+            "1.000".to_string(),
+            f3(r.hydee),
+            f3(r.spbc),
+            r.grants.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 6: normalized recovery time, HydEE vs SPBC (8 clusters; failure-free = 1.0)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydee_vs_spbc_on_lu() {
+        let scale = Scale {
+            world: 8,
+            iters: 8,
+            elems: 128,
+            sleep_us: 300,
+            ranks_per_node: 2,
+            reps: 1,
+            ..Default::default()
+        };
+        let row = run_workload(Workload::NasLu, &scale).unwrap();
+        assert!(row.grants > 0, "HydEE must route replay through the coordinator");
+        assert!(row.spbc > 0.0 && row.hydee > 0.0);
+        assert!(render(&[row]).contains("LU"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Log memory footprint over time (§6.2's motivation: "for some
+//! applications, logs can grow very fast leading to a huge memory use").
+//!
+//! A sampler thread polls the shared store while the application runs,
+//! producing a per-rank time series of logged bytes — the data a deployment
+//! would use to pick a checkpoint interval (logs are freed with each
+//! checkpoint in the paper's design; ours keeps them so the growth curve is
+//! the integral).
+
+use crate::profile::{clustering_for, profile, runtime_cfg};
+use crate::report::{f2, TextTable};
+use crate::Scale;
+use mini_mpi::error::Result;
+use mini_mpi::Runtime;
+use spbc_apps::Workload;
+use spbc_core::{SpbcConfig, SpbcProvider};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One sample of the footprint time series.
+#[derive(Clone, Debug)]
+pub struct MemorySample {
+    /// Milliseconds since the run started.
+    pub at_ms: u64,
+    /// Total logged bytes across ranks.
+    pub total: u64,
+    /// Largest per-rank logged bytes.
+    pub max_per_rank: u64,
+}
+
+/// Result of a footprint run.
+#[derive(Clone, Debug)]
+pub struct MemoryProfile {
+    /// Workload name.
+    pub app: &'static str,
+    /// Cluster count used.
+    pub clusters: usize,
+    /// The samples, in time order.
+    pub samples: Vec<MemorySample>,
+}
+
+/// Run `w` under SPBC with `k` clusters, sampling the log footprint every
+/// `interval`.
+pub fn run_workload(
+    w: Workload,
+    scale: &Scale,
+    k: usize,
+    interval: Duration,
+) -> Result<MemoryProfile> {
+    let prof = profile(w, scale)?;
+    let clusters = clustering_for(&prof, k, scale);
+    let provider = Arc::new(SpbcProvider::new(clusters, SpbcConfig::default()));
+    let store = provider.store();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler_stop = Arc::clone(&stop);
+    let sampler = std::thread::spawn(move || {
+        let t0 = Instant::now();
+        let mut samples = Vec::new();
+        while !sampler_stop.load(Ordering::Relaxed) {
+            let per_rank = store.logged_bytes_per_rank();
+            samples.push(MemorySample {
+                at_ms: t0.elapsed().as_millis() as u64,
+                total: per_rank.iter().sum(),
+                max_per_rank: per_rank.iter().copied().max().unwrap_or(0),
+            });
+            std::thread::sleep(interval);
+        }
+        samples
+    });
+
+    let report = Runtime::new(runtime_cfg(scale)).run(
+        Arc::clone(&provider) as Arc<SpbcProvider>,
+        w.build(scale.params(w)),
+        Vec::new(),
+        None,
+    );
+    stop.store(true, Ordering::Relaxed);
+    let samples = sampler.join().expect("sampler thread");
+    report?.ok()?;
+    Ok(MemoryProfile { app: w.name(), clusters: k, samples })
+}
+
+/// Render the time series (sampled down to at most 12 rows).
+pub fn render(p: &MemoryProfile) -> String {
+    let mut t = TextTable::new(&["t (ms)", "total MB", "max/rank MB"]);
+    let stride = (p.samples.len() / 12).max(1);
+    for s in p.samples.iter().step_by(stride) {
+        t.row(vec![
+            s.at_ms.to_string(),
+            f2(s.total as f64 / 1e6),
+            f2(s.max_per_rank as f64 / 1e6),
+        ]);
+    }
+    format!(
+        "Log memory footprint: {} at {} clusters (logs grow until freed by a checkpoint)\n{}",
+        p.app, p.clusters, t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_grows_monotonically() {
+        let scale = Scale {
+            world: 8,
+            iters: 8,
+            elems: 256,
+            sleep_us: 200,
+            ranks_per_node: 2,
+            reps: 1,
+            ..Default::default()
+        };
+        let p = run_workload(Workload::MiniGhost, &scale, 4, Duration::from_millis(2)).unwrap();
+        assert!(p.samples.len() >= 2, "sampler must capture the run");
+        let totals: Vec<u64> = p.samples.iter().map(|s| s.total).collect();
+        assert!(totals.windows(2).all(|w| w[1] >= w[0]), "logs only grow: {totals:?}");
+        assert!(*totals.last().unwrap() > 0);
+        assert!(render(&p).contains("MiniGhost"));
+    }
+}

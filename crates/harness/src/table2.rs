@@ -1,0 +1,105 @@
+//! Table 2: failure-free overhead of SPBC in percent (the configuration
+//! that logs the most: the finest non-trivial clustering).
+//!
+//! Methodology (§6.3): compare median wall time under SPBC against native
+//! runs of the unmodified runtime; none of the runs checkpoint (the paper
+//! measures the logging overhead in isolation). Expected shape: ~1 % or
+//! less for every workload.
+
+use crate::profile::{clustering_for, native_median, profile, run_with};
+use crate::report::{f2, TextTable};
+use crate::Scale;
+use mini_mpi::error::Result;
+use spbc_apps::Workload;
+use spbc_core::{SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+
+/// One Table-2 entry.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Median native wall time (seconds).
+    pub native_secs: f64,
+    /// Median SPBC wall time (seconds).
+    pub spbc_secs: f64,
+    /// Overhead percentage.
+    pub overhead_pct: f64,
+    /// Mean communication ratio of the native run (IPM).
+    pub comm_ratio: f64,
+}
+
+/// Overhead of one workload at the Table-2 cluster count (16 in the paper;
+/// scaled to the node count here when smaller).
+pub fn run_workload(w: Workload, scale: &Scale) -> Result<Table2Row> {
+    let prof = profile(w, scale)?;
+    let app = w.build(scale.params(w));
+    let (native, _) = native_median(scale, &app)?;
+    let k = 16.min(scale.nodes());
+    let clusters = clustering_for(&prof, k, scale);
+    let mut times = Vec::with_capacity(scale.reps);
+    for _ in 0..scale.reps.max(1) {
+        let provider = Arc::new(SpbcProvider::new(clusters.clone(), SpbcConfig::default()));
+        let report = run_with(scale, provider, &app)?;
+        times.push(report.wall_time);
+    }
+    times.sort_unstable();
+    let spbc = times[times.len() / 2];
+    let overhead =
+        (spbc.as_secs_f64() - native.as_secs_f64()) / native.as_secs_f64().max(1e-9) * 100.0;
+    Ok(Table2Row {
+        app: w.name(),
+        native_secs: native.as_secs_f64(),
+        spbc_secs: spbc.as_secs_f64(),
+        overhead_pct: overhead,
+        comm_ratio: prof.ipm.avg_comm_ratio,
+    })
+}
+
+/// Run Table 2 for the whole evaluation set.
+pub fn run(scale: &Scale) -> Result<Vec<Table2Row>> {
+    Workload::EVALUATION.iter().map(|&w| run_workload(w, scale)).collect()
+}
+
+/// Render the table.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut t =
+        TextTable::new(&["App", "native (s)", "SPBC (s)", "overhead %", "comm ratio"]);
+    for r in rows {
+        t.row(vec![
+            r.app.to_string(),
+            f2(r.native_secs),
+            f2(r.spbc_secs),
+            f2(r.overhead_pct),
+            f2(r.comm_ratio),
+        ]);
+    }
+    format!(
+        "Table 2: failure-free overhead of SPBC (finest hybrid clustering)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_small_at_tiny_scale() {
+        let scale = Scale {
+            world: 8,
+            iters: 6,
+            elems: 128,
+            sleep_us: 200,
+            ranks_per_node: 2,
+            reps: 3,
+            ..Default::default()
+        };
+        let row = run_workload(Workload::Cm1, &scale).unwrap();
+        assert!(row.native_secs > 0.0);
+        // Logging payloads in memory must not cost much — generous bound for
+        // noisy CI machines; the paper reports ≤ ~1 %.
+        assert!(row.overhead_pct < 30.0, "overhead {}%", row.overhead_pct);
+        assert!(render(&[row]).contains("CM1"));
+    }
+}

@@ -1,0 +1,526 @@
+//! Collective operations, built on point-to-point messages.
+//!
+//! The paper assumes collectives are implemented over point-to-point
+//! communication (Section 3.2) — so ours are, which means collective traffic
+//! is logged and replayed by the protocols exactly like application traffic.
+//!
+//! Every operation: uses named sources only (deterministic), runs under the
+//! *default* match identifier (collective plumbing is never part of a
+//! user-declared pattern), and takes a fresh tag from the per-communicator
+//! collective sequence so concurrent operations on the same communicator
+//! cannot cross-match.
+
+use crate::datatype::{pack, unpack, ReduceOp, Scalar};
+use crate::error::{MpiError, Result};
+use crate::rank::Rank;
+use crate::types::{CommId, MatchIdent, RankId, Source, Tag, TagSel, TAG_COLL_BASE};
+use crate::util::{chain_u64, fnv1a_seeded};
+use crate::wire::{from_bytes, to_bytes};
+use bytes::Bytes;
+
+/// Runs `body` with the default match identifier, restoring afterwards.
+fn with_default_ident<T>(rank: &mut Rank, body: impl FnOnce(&mut Rank) -> Result<T>) -> Result<T> {
+    let saved = rank.ident();
+    rank.set_ident(MatchIdent::DEFAULT);
+    let out = body(rank);
+    rank.set_ident(saved);
+    out
+}
+
+/// Relative position helpers for root-rotated binomial trees.
+#[inline]
+fn rel(pos: usize, root: usize, n: usize) -> usize {
+    (pos + n - root) % n
+}
+
+#[inline]
+fn unrel(r: usize, root: usize, n: usize) -> usize {
+    (r + root) % n
+}
+
+impl Rank {
+    /// Allocate the tag for the next collective operation on `comm`.
+    fn coll_tag(&mut self, comm: CommId) -> Result<Tag> {
+        let info = self
+            .inner
+            .comms
+            .get_mut(&comm)
+            .ok_or_else(|| MpiError::invalid(format!("unknown communicator {comm:?}")))?;
+        let seq = info.coll_seq;
+        info.coll_seq += 1;
+        Ok(TAG_COLL_BASE | ((seq as Tag) & 0x0FFF_FFFF))
+    }
+
+    /// Internal send that allows reserved (collective) tags.
+    fn coll_send(&mut self, comm: CommId, dst_pos: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        let dst = self.inner.comm(comm)?.world_rank(dst_pos)?;
+        let env = self.inner.next_env(dst, comm, tag, payload.len());
+        self.inner.stats.on_send(env.channel(), tag, &payload, (0, 0));
+        let action = {
+            let mut ctx = crate::ft::FtCtx { inner: &mut self.inner };
+            self.ft.on_send(&mut ctx, &env, &payload)
+        };
+        match action {
+            crate::ft::SendAction::Suppress => Ok(()),
+            crate::ft::SendAction::Forward => {
+                let req = self
+                    .inner
+                    .reqs
+                    .insert(crate::request::ReqState::SendPending { env });
+                self.inner.transmit_message(env, payload, Some(req));
+                let _ = self.wait(req)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Internal receive from a comm-relative position on a reserved tag.
+    fn coll_recv(&mut self, comm: CommId, src_pos: usize, tag: Tag) -> Result<Bytes> {
+        let src = self.inner.comm(comm)?.world_rank(src_pos)?;
+        let req = self.irecv_resolved(comm, Source::Rank(src), TagSel::Tag(tag))?;
+        let (_st, payload) = self.wait(req)?;
+        Ok(payload.expect("collective recv payload"))
+    }
+
+    /// Synchronize all members of `comm` (dissemination barrier).
+    pub fn barrier(&mut self, comm: CommId) -> Result<()> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            if n <= 1 {
+                return Ok(());
+            }
+            let mut gap = 1;
+            while gap < n {
+                let to = (pos + gap) % n;
+                let from = (pos + n - gap) % n;
+                rank.coll_send(comm, to, tag, Bytes::new())?;
+                let _ = rank.coll_recv(comm, from, tag)?;
+                gap <<= 1;
+            }
+            Ok(())
+        })
+    }
+
+    /// Broadcast `data` from `root` (comm rank); non-roots receive into the
+    /// returned vector. Binomial tree.
+    pub fn bcast<T: Scalar>(&mut self, comm: CommId, root: usize, data: &[T]) -> Result<Vec<T>> {
+        let payload = with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            if root >= n {
+                return Err(MpiError::invalid(format!("bcast root {root} out of range")));
+            }
+            let r = rel(pos, root, n);
+            // Binomial tree on root-relative positions: the parent of r is r
+            // with its lowest set bit cleared; children are r + h for every
+            // power of two h below r's lowest set bit (largest first).
+            let payload: Bytes = if r == 0 {
+                pack(data)
+            } else {
+                let parent = r - lowest_set_bit(r);
+                rank.coll_recv(comm, unrel(parent, root, n), tag)?
+            };
+            let mut half = if r == 0 { next_pow2(n) / 2 } else { lowest_set_bit(r) / 2 };
+            while half >= 1 {
+                if r + half < n {
+                    rank.coll_send(comm, unrel(r + half, root, n), tag, payload.clone())?;
+                }
+                half /= 2;
+            }
+            Ok(payload)
+        })?;
+        unpack(&payload)
+    }
+
+    /// Reduce element-wise onto `root` (comm rank). Every member passes a
+    /// same-length slice; the root gets the reduction, others get their input
+    /// back. Fold order is fixed by the tree, so results are reproducible.
+    pub fn reduce<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        root: usize,
+        op: ReduceOp,
+        data: &[T],
+    ) -> Result<Vec<T>> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            if root >= n {
+                return Err(MpiError::invalid(format!("reduce root {root} out of range")));
+            }
+            let r = rel(pos, root, n);
+            let mut acc: Vec<T> = data.to_vec();
+            let mut gap = 1;
+            loop {
+                if r.is_multiple_of(2 * gap) {
+                    // Receiver at this level.
+                    if r + gap < n {
+                        let b = rank.coll_recv(comm, unrel(r + gap, root, n), tag)?;
+                        let other: Vec<T> = unpack(&b)?;
+                        if other.len() != acc.len() {
+                            return Err(MpiError::invalid("reduce length mismatch"));
+                        }
+                        op.fold(&mut acc, &other);
+                    }
+                } else {
+                    rank.coll_send(comm, unrel(r - gap, root, n), tag, pack(&acc))?;
+                    break;
+                }
+                gap *= 2;
+                if gap >= n {
+                    break;
+                }
+            }
+            Ok(acc)
+        })
+    }
+
+    /// Allreduce = reduce to comm rank 0 + broadcast.
+    pub fn allreduce<T: Scalar>(&mut self, comm: CommId, op: ReduceOp, data: &[T]) -> Result<Vec<T>> {
+        let partial = self.reduce(comm, 0, op, data)?;
+        self.bcast(comm, 0, &partial)
+    }
+
+    /// Gather every member's slice at `root`, concatenated in comm-rank
+    /// order. Non-roots get an empty vector.
+    pub fn gather<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        root: usize,
+        data: &[T],
+    ) -> Result<Vec<Vec<T>>> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            if pos == root {
+                let mut out = Vec::with_capacity(n);
+                for p in 0..n {
+                    if p == root {
+                        out.push(data.to_vec());
+                    } else {
+                        let b = rank.coll_recv(comm, p, tag)?;
+                        out.push(unpack(&b)?);
+                    }
+                }
+                Ok(out)
+            } else {
+                rank.coll_send(comm, root, tag, pack(data))?;
+                Ok(Vec::new())
+            }
+        })
+    }
+
+    /// Allgather: every member ends with every member's slice.
+    pub fn allgather<T: Scalar>(&mut self, comm: CommId, data: &[T]) -> Result<Vec<Vec<T>>> {
+        let gathered = self.gather(comm, 0, data)?;
+        // Root flattens with per-part lengths, then broadcasts.
+        let encoded: Vec<u8> = if self.comm_rank(comm)? == 0 {
+            let parts: Vec<Vec<u8>> = gathered.iter().map(|p| pack(p).to_vec()).collect();
+            to_bytes(&parts)
+        } else {
+            Vec::new()
+        };
+        let bytes = self.bcast::<u8>(comm, 0, &encoded)?;
+        let parts: Vec<Vec<u8>> = from_bytes(&bytes)?;
+        parts.iter().map(|p| unpack(p)).collect()
+    }
+
+    /// Scatter: root sends `parts[i]` to comm rank `i`; returns this member's
+    /// part.
+    pub fn scatter<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        root: usize,
+        parts: &[Vec<T>],
+    ) -> Result<Vec<T>> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            if pos == root {
+                if parts.len() != n {
+                    return Err(MpiError::invalid(format!(
+                        "scatter needs {n} parts, got {}",
+                        parts.len()
+                    )));
+                }
+                for (p, part) in parts.iter().enumerate() {
+                    if p != root {
+                        rank.coll_send(comm, p, tag, pack(part))?;
+                    }
+                }
+                Ok(parts[root].clone())
+            } else {
+                let b = rank.coll_recv(comm, root, tag)?;
+                unpack(&b)
+            }
+        })
+    }
+
+    /// All-to-all personalized exchange: member `i` sends `parts[j]` to `j`
+    /// and receives `n` parts ordered by source comm rank.
+    pub fn alltoall<T: Scalar>(&mut self, comm: CommId, parts: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            if parts.len() != n {
+                return Err(MpiError::invalid(format!(
+                    "alltoall needs {n} parts, got {}",
+                    parts.len()
+                )));
+            }
+            let mut out: Vec<Vec<T>> = vec![Vec::new(); n];
+            out[pos] = parts[pos].clone();
+            // Pairwise rounds: in round k exchange with (pos+k) / (pos-k).
+            for k in 1..n {
+                let to = (pos + k) % n;
+                let from = (pos + n - k) % n;
+                let from_world = rank.inner.comm(comm)?.world_rank(from)?;
+                // Post the receive first so the exchange cannot deadlock even
+                // with rendezvous-sized parts.
+                let rreq = rank.irecv_resolved(comm, Source::Rank(from_world), TagSel::Tag(tag))?;
+                rank.coll_send(comm, to, tag, pack(&parts[to]))?;
+                let (_st, payload) = rank.wait(rreq)?;
+                out[from] = unpack(&payload.expect("alltoall payload"))?;
+            }
+            Ok(out)
+        })
+    }
+
+    /// Split `comm` by `color`; members with the same color form a new
+    /// communicator ordered by `(key, world rank)`. Returns the new
+    /// communicator's id.
+    ///
+    /// The child id derives deterministically from
+    /// `(parent id, split sequence, color)` so all executions agree.
+    pub fn comm_split(&mut self, comm: CommId, color: u32, key: i64) -> Result<CommId> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?.clone();
+            let (n, pos) = (info.size(), info.my_pos);
+            let split_seq = info.split_seq;
+
+            // Gather (color, key) at comm rank 0.
+            let mine = to_bytes(&(color, key));
+            let mut table: Vec<(u32, i64)> = Vec::new();
+            if pos == 0 {
+                table.reserve(n);
+                table.push((color, key));
+                for p in 1..n {
+                    let b = rank.coll_recv(comm, p, tag)?;
+                    table.push(from_bytes(&b)?);
+                }
+            } else {
+                rank.coll_send(comm, 0, tag, Bytes::from(mine))?;
+            }
+
+            // Root computes every group and scatters the assignments.
+            let assignment: (u64, Vec<RankId>) = if pos == 0 {
+                let mut per_member: Vec<Option<(u64, Vec<RankId>)>> = vec![None; n];
+                let mut colors: Vec<u32> = table.iter().map(|&(c, _)| c).collect();
+                colors.sort_unstable();
+                colors.dedup();
+                for c in colors {
+                    let mut group: Vec<(i64, usize)> = table
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(tc, _))| tc == c)
+                        .map(|(p, &(_, k))| (k, p))
+                        .collect();
+                    group.sort_unstable();
+                    let members: Vec<RankId> = group
+                        .iter()
+                        .map(|&(_, p)| info.members[p])
+                        .collect();
+                    let id = derive_comm_id(info.id, split_seq, c);
+                    for &(_, p) in &group {
+                        per_member[p] = Some((id, members.clone()));
+                    }
+                }
+                for (p, a) in per_member.iter().enumerate() {
+                    let a = a.as_ref().expect("every member colored");
+                    if p != 0 {
+                        let body = to_bytes(&(a.0, a.1.clone()));
+                        rank.coll_send(comm, p, tag, Bytes::from(body))?;
+                    }
+                }
+                per_member[0].clone().expect("root colored")
+            } else {
+                let b = rank.coll_recv(comm, 0, tag)?;
+                let (id, members): (u64, Vec<RankId>) = from_bytes(&b)?;
+                (id, members)
+            };
+
+            let (id_raw, members) = assignment;
+            let id = CommId(id_raw);
+            let my_pos = members
+                .iter()
+                .position(|&r| r == rank.inner.me)
+                .expect("member of own group");
+            rank.inner.comms.insert(
+                id,
+                crate::inner::CommInfo { id, members, my_pos, split_seq: 0, coll_seq: 0 },
+            );
+            if let Some(parent) = rank.inner.comms.get_mut(&comm) {
+                parent.split_seq += 1;
+            }
+            Ok(id)
+        })
+    }
+}
+
+/// Deterministic child communicator id.
+fn derive_comm_id(parent: CommId, split_seq: u64, color: u32) -> u64 {
+    let mut h = fnv1a_seeded(0x5350_4243, &parent.0.to_le_bytes());
+    h = chain_u64(h, split_seq);
+    h = chain_u64(h, color as u64);
+    // Avoid colliding with COMM_WORLD(0).
+    h | 1
+}
+
+/// Smallest power of two >= n.
+fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Value of the lowest set bit.
+fn lowest_set_bit(x: usize) -> usize {
+    x & x.wrapping_neg()
+}
+
+impl Rank {
+    /// Combined send+receive (like `MPI_Sendrecv`): deadlock-free exchange
+    /// with possibly different partners.
+    pub fn sendrecv<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        dst: usize,
+        send_tag: Tag,
+        data: &[T],
+        src: usize,
+        recv_tag: Tag,
+    ) -> Result<Vec<T>> {
+        let src_world = self.inner.comm(comm)?.world_rank(src)?;
+        let rreq = self.irecv_resolved(comm, Source::Rank(src_world), TagSel::Tag(recv_tag))?;
+        let sreq = self.isend(comm, dst, send_tag, data)?;
+        let (_st, payload) = self.wait(rreq)?;
+        self.wait(sreq)?;
+        unpack(&payload.expect("sendrecv payload"))
+    }
+
+    /// Inclusive prefix reduction (like `MPI_Scan`): comm rank `i` receives
+    /// the reduction of ranks `0..=i`'s contributions. Linear chain —
+    /// deterministic fold order.
+    pub fn scan<T: Scalar>(&mut self, comm: CommId, op: ReduceOp, data: &[T]) -> Result<Vec<T>> {
+        with_default_ident(self, |rank| {
+            let tag = rank.coll_tag(comm)?;
+            let info = rank.inner.comm(comm)?;
+            let (n, pos) = (info.size(), info.my_pos);
+            let mut acc: Vec<T> = data.to_vec();
+            if pos > 0 {
+                let b = rank.coll_recv(comm, pos - 1, tag)?;
+                let prefix: Vec<T> = unpack(&b)?;
+                if prefix.len() != acc.len() {
+                    return Err(MpiError::invalid("scan length mismatch"));
+                }
+                // acc = prefix op mine, in rank order.
+                let mine = acc.clone();
+                acc = prefix;
+                op.fold(&mut acc, &mine);
+            }
+            if pos + 1 < n {
+                rank.coll_send(comm, pos + 1, tag, pack(&acc))?;
+            }
+            Ok(acc)
+        })
+    }
+
+    /// Reduce + scatter (like `MPI_Reduce_scatter_block`): element-wise
+    /// reduction of everyone's `n * block` elements, member `i` keeping
+    /// block `i`.
+    pub fn reduce_scatter<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        op: ReduceOp,
+        data: &[T],
+    ) -> Result<Vec<T>> {
+        let n = self.comm_size(comm)?;
+        if !data.len().is_multiple_of(n) {
+            return Err(MpiError::invalid(format!(
+                "reduce_scatter needs a multiple of {n} elements, got {}",
+                data.len()
+            )));
+        }
+        let block = data.len() / n;
+        let reduced = self.reduce(comm, 0, op, data)?;
+        let parts: Vec<Vec<T>> = if self.comm_rank(comm)? == 0 {
+            reduced.chunks(block).map(<[T]>::to_vec).collect()
+        } else {
+            Vec::new()
+        };
+        self.scatter(comm, 0, &parts)
+    }
+
+    /// Variable-count gather (like `MPI_Gatherv`): members contribute slices
+    /// of different lengths; root receives them in comm-rank order.
+    pub fn gatherv<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        root: usize,
+        data: &[T],
+    ) -> Result<Vec<Vec<T>>> {
+        // Our gather already carries per-part lengths on the wire.
+        self.gather(comm, root, data)
+    }
+
+    /// Variable-count scatter (like `MPI_Scatterv`): root distributes parts
+    /// of different lengths.
+    pub fn scatterv<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        root: usize,
+        parts: &[Vec<T>],
+    ) -> Result<Vec<T>> {
+        // Our scatter already supports ragged parts.
+        self.scatter(comm, root, parts)
+    }
+
+    /// Duplicate a communicator (like `MPI_Comm_dup`): same members, same
+    /// order, fresh context — traffic on the duplicate cannot match traffic
+    /// on the original.
+    pub fn comm_dup(&mut self, comm: CommId) -> Result<CommId> {
+        let key = self.comm_rank(comm)? as i64;
+        self.comm_split(comm, 0, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_comm_id_deterministic_and_distinct() {
+        let a = derive_comm_id(CommId(0), 0, 1);
+        let b = derive_comm_id(CommId(0), 0, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, derive_comm_id(CommId(0), 0, 2));
+        assert_ne!(a, derive_comm_id(CommId(0), 1, 1));
+        assert_ne!(a, derive_comm_id(CommId(7), 0, 1));
+        assert_ne!(a, 0, "never collides with COMM_WORLD");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(lowest_set_bit(12), 4);
+        assert_eq!(rel(3, 1, 4), 2);
+        assert_eq!(unrel(2, 1, 4), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Typed payload helpers.
+//!
+//! MPI messages are typed buffers; our transport carries raw bytes. `Scalar`
+//! provides the fixed-width little-endian conversion for the element types the
+//! workloads use, plus the reduction algebra needed by collectives.
+
+use crate::error::{MpiError, Result};
+use bytes::Bytes;
+
+/// Element types that can be shipped in messages and reduced by collectives.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + 'static {
+    /// Size of one element on the wire.
+    const WIDTH: usize;
+    /// Write one element.
+    fn write(self, out: &mut Vec<u8>);
+    /// Read one element from exactly `Self::WIDTH` bytes.
+    fn read(b: &[u8]) -> Self;
+    /// Addition for `ReduceOp::Sum`.
+    fn add(self, other: Self) -> Self;
+    /// Minimum for `ReduceOp::Min`.
+    fn min_of(self, other: Self) -> Self;
+    /// Maximum for `ReduceOp::Max`.
+    fn max_of(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write(self, out: &mut Vec<u8>) { out.extend_from_slice(&self.to_le_bytes()); }
+            #[inline]
+            fn read(b: &[u8]) -> Self { <$t>::from_le_bytes(b.try_into().unwrap()) }
+            #[inline]
+            fn add(self, other: Self) -> Self { self.wrapping_add(other) }
+            #[inline]
+            fn min_of(self, other: Self) -> Self { self.min(other) }
+            #[inline]
+            fn max_of(self, other: Self) -> Self { self.max(other) }
+        }
+    )*};
+}
+
+impl_scalar_int!(u8, u16, u32, u64, i32, i64);
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write(self, out: &mut Vec<u8>) { out.extend_from_slice(&self.to_le_bytes()); }
+            #[inline]
+            fn read(b: &[u8]) -> Self { <$t>::from_le_bytes(b.try_into().unwrap()) }
+            #[inline]
+            fn add(self, other: Self) -> Self { self + other }
+            #[inline]
+            fn min_of(self, other: Self) -> Self { self.min(other) }
+            #[inline]
+            fn max_of(self, other: Self) -> Self { self.max(other) }
+        }
+    )*};
+}
+
+impl_scalar_float!(f32, f64);
+
+/// Reduction operators for `reduce`/`allreduce`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply the operator to a pair of elements.
+    #[inline]
+    pub fn apply<T: Scalar>(self, a: T, b: T) -> T {
+        match self {
+            ReduceOp::Sum => a.add(b),
+            ReduceOp::Min => a.min_of(b),
+            ReduceOp::Max => a.max_of(b),
+        }
+    }
+
+    /// Combine `src` into `acc` element-wise.
+    pub fn fold<T: Scalar>(self, acc: &mut [T], src: &[T]) {
+        debug_assert_eq!(acc.len(), src.len());
+        for (a, s) in acc.iter_mut().zip(src) {
+            *a = self.apply(*a, *s);
+        }
+    }
+}
+
+/// Serialize a slice of scalars into a payload.
+pub fn pack<T: Scalar>(data: &[T]) -> Bytes {
+    let mut out = Vec::with_capacity(data.len() * T::WIDTH);
+    for &x in data {
+        x.write(&mut out);
+    }
+    Bytes::from(out)
+}
+
+/// Deserialize a payload into a vector of scalars.
+pub fn unpack<T: Scalar>(payload: &[u8]) -> Result<Vec<T>> {
+    if !payload.len().is_multiple_of(T::WIDTH) {
+        return Err(MpiError::Codec(format!(
+            "payload length {} not a multiple of element width {}",
+            payload.len(),
+            T::WIDTH
+        )));
+    }
+    Ok(payload.chunks_exact(T::WIDTH).map(T::read).collect())
+}
+
+/// Number of `T` elements in a payload (errors if not aligned).
+pub fn count_of<T: Scalar>(payload: &[u8]) -> Result<usize> {
+    if !payload.len().is_multiple_of(T::WIDTH) {
+        return Err(MpiError::Codec("payload not element-aligned".into()));
+    }
+    Ok(payload.len() / T::WIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_f64() {
+        let v = vec![1.5f64, -2.25, 0.0, f64::MAX];
+        let b = pack(&v);
+        assert_eq!(b.len(), 32);
+        assert_eq!(unpack::<f64>(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn pack_unpack_ints() {
+        let v = vec![1u32, u32::MAX, 7];
+        assert_eq!(unpack::<u32>(&pack(&v)).unwrap(), v);
+        let w = vec![-5i64, 0, i64::MIN];
+        assert_eq!(unpack::<i64>(&pack(&w)).unwrap(), w);
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        assert!(unpack::<f64>(&[0u8; 7]).is_err());
+        assert!(count_of::<u32>(&[0u8; 6]).is_err());
+        assert_eq!(count_of::<u32>(&[0u8; 8]).unwrap(), 2);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2.0f64, 3.0), 5.0);
+        assert_eq!(ReduceOp::Min.apply(2u64, 3), 2);
+        assert_eq!(ReduceOp::Max.apply(2i64, 3), 3);
+        let mut acc = vec![1.0f64, 5.0];
+        ReduceOp::Max.fold(&mut acc, &[4.0, 2.0]);
+        assert_eq!(acc, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn wrapping_int_sum() {
+        assert_eq!(ReduceOp::Sum.apply(u8::MAX, 1u8), 0);
+    }
+}

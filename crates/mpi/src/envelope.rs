@@ -1,0 +1,221 @@
+//! Message envelopes and on-the-wire packets.
+
+use crate::types::{ChannelId, CommId, MatchIdent, RankId, Tag};
+use crate::wire::{Decode, Encode, Reader};
+use crate::error::Result;
+use bytes::Bytes;
+
+/// Message metadata (the MPI "envelope"), extended with the per-channel
+/// sequence number (Section 3.3) and the SPBC match identifier (Section 4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Envelope {
+    /// Sending rank (world id).
+    pub src: RankId,
+    /// Destination rank (world id).
+    pub dst: RankId,
+    /// Communicator context.
+    pub comm: CommId,
+    /// User or collective tag.
+    pub tag: Tag,
+    /// Per-channel FIFO sequence number, starting at 1.
+    pub seqnum: u64,
+    /// Payload length in bytes (the envelope knows the count, as in MPI —
+    /// needed by `probe` and by the rendezvous protocol, where the payload
+    /// travels separately).
+    pub plen: u64,
+    /// Piggybacked Lamport timestamp of the send event. Maintained by the
+    /// substrate; protocols that order replay causally (HydEE's centralized
+    /// coordinator) consume it, SPBC ignores it.
+    pub lamport: u64,
+    /// `(pattern_id, iteration_id)` — equal on message and request or no match.
+    pub ident: MatchIdent,
+}
+
+impl Envelope {
+    /// The channel this message travels on.
+    #[inline]
+    pub fn channel(&self) -> ChannelId {
+        ChannelId::new(self.src, self.dst, self.comm)
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.src.encode(out);
+        self.dst.encode(out);
+        self.comm.encode(out);
+        self.tag.encode(out);
+        self.seqnum.encode(out);
+        self.plen.encode(out);
+        self.lamport.encode(out);
+        self.ident.encode(out);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(Envelope {
+            src: Decode::decode(r)?,
+            dst: Decode::decode(r)?,
+            comm: Decode::decode(r)?,
+            tag: Tag::decode(r)?,
+            seqnum: u64::decode(r)?,
+            plen: u64::decode(r)?,
+            lamport: u64::decode(r)?,
+            ident: Decode::decode(r)?,
+        })
+    }
+}
+
+/// A complete application message: envelope plus payload.
+///
+/// `Bytes` keeps clones cheap — the sender-side log and in-flight copies share
+/// one allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Metadata.
+    pub env: Envelope,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl Encode for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.env.encode(out);
+        (self.payload.len() as u64).encode(out);
+        out.extend_from_slice(&self.payload);
+    }
+}
+
+impl Decode for Message {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let env = Envelope::decode(r)?;
+        let len = usize::decode(r)?;
+        let b = r.take(len)?;
+        Ok(Message { env, payload: Bytes::copy_from_slice(b) })
+    }
+}
+
+/// Point-to-point transfer kinds.
+///
+/// Small messages travel *eagerly* (envelope + payload in one packet). Large
+/// messages use a *rendezvous* protocol exactly like MPICH's: the sender ships
+/// only the envelope (`Rts`); the receiver replies `Cts` once the envelope has
+/// been **matched** to a receive request; the sender then ships the payload
+/// (`Data`) straight to that request.
+///
+/// Matching therefore happens in envelope-arrival order (the MPI FIFO
+/// guarantee), while *completion* order can differ — the distinction footnote
+/// 1 of the paper relies on.
+#[derive(Clone, Debug)]
+pub enum Transfer {
+    /// Envelope + payload.
+    Eager(Message),
+    /// Ready-to-send: envelope only; `token` identifies the sender-side
+    /// pending transfer.
+    Rts {
+        /// Envelope of the announced message.
+        env: Envelope,
+        /// Sender-side pending-transfer token.
+        token: u64,
+    },
+    /// Clear-to-send: receiver matched `token`'s envelope; `recv_req` is the
+    /// receiver-side request slot the payload must be delivered to.
+    Cts {
+        /// Sender-side pending-transfer token being cleared.
+        token: u64,
+        /// Receiver-side request slot to deliver into.
+        recv_req: u64,
+        /// The receiver (where Data must go).
+        dst: RankId,
+    },
+    /// Payload for a previously matched rendezvous transfer.
+    Data {
+        /// Envelope of the message.
+        env: Envelope,
+        /// Receiver-side request slot to complete.
+        recv_req: u64,
+        /// The payload.
+        payload: Bytes,
+    },
+}
+
+/// Sentinel `recv_req` value in a [`Transfer::Cts`]: the receiver discarded
+/// the announced message (duplicate suppressed by the protocol); the sender
+/// must complete its transfer without shipping the payload.
+pub const DISCARD_REQ: u64 = u64::MAX;
+
+/// A fault-tolerance-layer control message. The runtime does not interpret
+/// the body; each protocol defines its own `kind` space and wire format.
+#[derive(Clone, Debug)]
+pub struct CtrlMsg {
+    /// Sending rank (world or service id).
+    pub from: RankId,
+    /// Protocol-defined discriminant.
+    pub kind: u16,
+    /// Protocol-defined body (usually `wire`-encoded).
+    pub data: Bytes,
+}
+
+/// Everything that can land in a rank's mailbox.
+#[derive(Clone, Debug)]
+pub enum Packet {
+    /// Application data traffic.
+    Msg(Transfer),
+    /// Fault-tolerance control traffic.
+    Ctrl(CtrlMsg),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::COMM_WORLD;
+    use crate::wire::{from_bytes, to_bytes};
+
+    fn env() -> Envelope {
+        Envelope {
+            src: RankId(1),
+            dst: RankId(2),
+            comm: COMM_WORLD,
+            tag: 7,
+            seqnum: 42,
+            plen: 3,
+            lamport: 9,
+            ident: MatchIdent::new(1, 3),
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let e = env();
+        let back: Envelope = from_bytes(&to_bytes(&e)).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let m = Message { env: env(), payload: Bytes::from(vec![1u8, 2, 3]) };
+        let back: Message = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.len(), 3);
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn channel_of_envelope() {
+        let e = env();
+        assert_eq!(e.channel(), ChannelId::new(RankId(1), RankId(2), COMM_WORLD));
+    }
+}

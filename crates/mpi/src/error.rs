@@ -1,0 +1,80 @@
+//! Error types for the runtime.
+
+use crate::types::RankId;
+use std::fmt;
+
+/// Errors surfaced by MPI-like operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The rank was killed by the failure controller (crash injection) or is
+    /// being torn down so its cluster can roll back. Application code must
+    /// propagate this error (`?`) so the runtime can take over.
+    Killed,
+    /// A blocking operation exceeded the configured deadlock timeout.
+    DeadlockSuspected(String),
+    /// An argument was invalid (bad rank, reserved tag, unknown request, ...).
+    InvalidArgument(String),
+    /// The operation is not legal in the current state (e.g. checkpoint with
+    /// outstanding requests).
+    InvalidState(String),
+    /// Decoding a wire payload failed.
+    Codec(String),
+    /// A peer is unreachable (should not happen in a healthy run).
+    Disconnected(RankId),
+    /// Error reported by the application itself.
+    App(String),
+}
+
+impl MpiError {
+    /// Convenience constructor for invalid-argument errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        MpiError::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for application errors.
+    pub fn app(msg: impl Into<String>) -> Self {
+        MpiError::App(msg.into())
+    }
+
+    /// True if this error is the crash-injection signal.
+    pub fn is_killed(&self) -> bool {
+        matches!(self, MpiError::Killed)
+    }
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Killed => write!(f, "rank killed (failure injection / rollback)"),
+            MpiError::DeadlockSuspected(w) => write!(f, "deadlock suspected: {w}"),
+            MpiError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            MpiError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            MpiError::Codec(m) => write!(f, "codec error: {m}"),
+            MpiError::Disconnected(r) => write!(f, "rank {r} disconnected"),
+            MpiError::App(m) => write!(f, "application error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias used across the runtime.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MpiError::Killed.to_string().contains("killed"));
+        assert!(MpiError::invalid("tag too big").to_string().contains("tag too big"));
+        assert!(MpiError::Disconnected(RankId(4)).to_string().contains('4'));
+    }
+
+    #[test]
+    fn killed_predicate() {
+        assert!(MpiError::Killed.is_killed());
+        assert!(!MpiError::app("x").is_killed());
+    }
+}

@@ -1,0 +1,164 @@
+//! Failure injection: plans, kill flags, and runtime events.
+
+use crate::types::RankId;
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One planned crash: rank `rank` dies the `nth` time (1-based) it passes a
+/// [`crate::rank::Rank::failure_point`]. Plans fire at most once.
+#[derive(Clone, Debug)]
+pub struct FailurePlan {
+    /// Victim rank.
+    pub rank: RankId,
+    /// Which `failure_point` occurrence triggers the crash (1-based).
+    pub nth: u64,
+}
+
+/// Events the rank threads report to the runtime's main loop.
+#[derive(Debug)]
+pub enum RuntimeEvent {
+    /// `rank` hit a failure plan and is about to die; the runtime must roll
+    /// back its whole cluster.
+    Failure {
+        /// The crashing rank.
+        rank: RankId,
+    },
+    /// `rank`'s application closure finished with `output`.
+    Done {
+        /// The finishing rank.
+        rank: RankId,
+        /// Application output bytes.
+        output: Vec<u8>,
+    },
+    /// `rank` exited abnormally with an error message (not an injected kill).
+    Error {
+        /// The erroring rank.
+        rank: RankId,
+        /// Description.
+        message: String,
+    },
+    /// `rank` observed its kill flag and unwound.
+    Killed {
+        /// The killed rank.
+        rank: RankId,
+    },
+}
+
+/// State shared between the failure controller, the runtime and the ranks.
+pub struct FailureShared {
+    plans: Mutex<Vec<FailurePlan>>,
+    events: Sender<RuntimeEvent>,
+    kill_flags: Vec<Arc<AtomicBool>>,
+    stats: Vec<Mutex<Option<Box<crate::stats::RankStats>>>>,
+}
+
+impl FailureShared {
+    /// Build shared state for `total_ranks` ranks reporting on `events`.
+    pub fn new(total_ranks: usize, events: Sender<RuntimeEvent>) -> Self {
+        FailureShared {
+            plans: Mutex::new(Vec::new()),
+            events,
+            kill_flags: (0..total_ranks).map(|_| Arc::new(AtomicBool::new(false))).collect(),
+            stats: (0..total_ranks).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Deposit a rank's final statistics (at thread exit; the latest epoch
+    /// wins).
+    pub fn set_stats(&self, rank: RankId, stats: crate::stats::RankStats) {
+        *self.stats[rank.idx()].lock() = Some(Box::new(stats));
+    }
+
+    /// The statistics deposit slots (read by the runtime at teardown).
+    pub fn stats_slots(&self) -> &[Mutex<Option<Box<crate::stats::RankStats>>>] {
+        &self.stats
+    }
+
+    /// Register a crash plan.
+    pub fn schedule(&self, plan: FailurePlan) {
+        self.plans.lock().push(plan);
+    }
+
+    /// Called by rank threads at each failure point; returns `true` when the
+    /// rank must crash now. The fired plan is removed so re-execution after
+    /// recovery does not crash again.
+    pub fn should_fail(&self, rank: RankId, occurrence: u64) -> bool {
+        let mut plans = self.plans.lock();
+        if let Some(pos) = plans.iter().position(|p| p.rank == rank && p.nth == occurrence) {
+            plans.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Report an event to the runtime (best-effort; the main loop may be
+    /// gone during teardown).
+    pub fn report(&self, ev: RuntimeEvent) {
+        let _ = self.events.send(ev);
+    }
+
+    /// The kill flag of `rank`.
+    pub fn kill_flag(&self, rank: RankId) -> Arc<AtomicBool> {
+        Arc::clone(&self.kill_flags[rank.idx()])
+    }
+
+    /// Raise the kill flag of `rank`.
+    pub fn kill(&self, rank: RankId) {
+        self.kill_flags[rank.idx()].store(true, Ordering::SeqCst);
+    }
+
+    /// Clear the kill flag of `rank` (before respawning it).
+    pub fn revive(&self, rank: RankId) {
+        self.kill_flags[rank.idx()].store(false, Ordering::SeqCst);
+    }
+
+    /// Any crash plans still pending?
+    pub fn plans_pending(&self) -> bool {
+        !self.plans.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    #[test]
+    fn plan_fires_once() {
+        let (tx, _rx) = unbounded();
+        let f = FailureShared::new(4, tx);
+        f.schedule(FailurePlan { rank: RankId(2), nth: 3 });
+        assert!(!f.should_fail(RankId(2), 1));
+        assert!(!f.should_fail(RankId(1), 3));
+        assert!(f.should_fail(RankId(2), 3));
+        // Re-execution passes the same point again: must not re-fire.
+        assert!(!f.should_fail(RankId(2), 3));
+        assert!(!f.plans_pending());
+    }
+
+    #[test]
+    fn kill_and_revive() {
+        let (tx, _rx) = unbounded();
+        let f = FailureShared::new(2, tx);
+        let flag = f.kill_flag(RankId(1));
+        assert!(!flag.load(Ordering::SeqCst));
+        f.kill(RankId(1));
+        assert!(flag.load(Ordering::SeqCst));
+        f.revive(RankId(1));
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn events_flow() {
+        let (tx, rx) = unbounded();
+        let f = FailureShared::new(1, tx);
+        f.report(RuntimeEvent::Failure { rank: RankId(0) });
+        match rx.try_recv().unwrap() {
+            RuntimeEvent::Failure { rank } => assert_eq!(rank, RankId(0)),
+            _ => panic!(),
+        }
+    }
+}

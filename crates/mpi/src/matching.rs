@@ -1,0 +1,298 @@
+//! The message-matching engine: posted-receive queue and unexpected-message
+//! queue, with MPI ordering semantics.
+//!
+//! * An arriving envelope matches the **first** posted request (in post
+//!   order) that accepts it.
+//! * A newly posted request matches the **first** unexpected envelope (in
+//!   arrival order) that it accepts.
+//!
+//! Per-channel FIFO is provided by the transport (one mailbox per rank,
+//! per-producer order preserved), so two messages on the same channel are
+//! always considered in send order — the guarantee Section 3.2 relies on.
+//!
+//! Admissibility is the base `(comm, src, tag)` check **and** a pluggable
+//! predicate supplied by the fault-tolerance layer (SPBC adds
+//! `(pattern_id, iteration_id)` equality there).
+
+use crate::envelope::Envelope;
+use crate::request::{RecvSpec, RequestId};
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// Payload-or-placeholder of an arrived envelope.
+#[derive(Clone, Debug)]
+pub enum ArrivedBody {
+    /// Full eager message: payload is here.
+    Eager(Bytes),
+    /// Rendezvous announcement: payload still at the sender; `token`
+    /// identifies the sender-side pending transfer to CTS.
+    Rts {
+        /// Sender-side transfer token.
+        token: u64,
+    },
+}
+
+/// An arrived-but-unmatched message (the "unexpected queue" entry).
+#[derive(Clone, Debug)]
+pub struct Arrived {
+    /// Envelope of the message.
+    pub env: Envelope,
+    /// Eager payload or rendezvous placeholder.
+    pub body: ArrivedBody,
+}
+
+impl Arrived {
+    /// True when the payload has not arrived yet (pending rendezvous).
+    pub fn is_pending_rts(&self) -> bool {
+        matches!(self.body, ArrivedBody::Rts { .. })
+    }
+}
+
+/// The matching engine state for one rank.
+#[derive(Default)]
+pub struct MatchEngine {
+    /// Posted receive requests in post order: `(request id, spec)`.
+    posted: VecDeque<(RequestId, RecvSpec)>,
+    /// Arrived, unmatched messages in arrival order.
+    unexpected: VecDeque<Arrived>,
+}
+
+impl MatchEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to match an arriving envelope against the posted queue.
+    ///
+    /// On a match the posted entry is removed and its request id returned; the
+    /// caller completes / CTSes the request. On no match the caller must push
+    /// the arrival via [`MatchEngine::push_unexpected`].
+    pub fn match_arrival(
+        &mut self,
+        env: &Envelope,
+        admissible: &dyn Fn(&RecvSpec, &Envelope) -> bool,
+    ) -> Option<RequestId> {
+        let pos = self
+            .posted
+            .iter()
+            .position(|(_, spec)| spec.accepts(env) && admissible(spec, env))?;
+        let (id, _) = self.posted.remove(pos).expect("position valid");
+        Some(id)
+    }
+
+    /// Queue an arrival that matched nothing.
+    pub fn push_unexpected(&mut self, arrived: Arrived) {
+        self.unexpected.push_back(arrived);
+    }
+
+    /// Try to match a newly posted request against the unexpected queue.
+    ///
+    /// On a match the unexpected entry is removed and returned; the caller
+    /// completes / CTSes. On no match the caller must post the request via
+    /// [`MatchEngine::post`].
+    pub fn match_post(
+        &mut self,
+        spec: &RecvSpec,
+        admissible: &dyn Fn(&RecvSpec, &Envelope) -> bool,
+    ) -> Option<Arrived> {
+        let pos = self
+            .unexpected
+            .iter()
+            .position(|a| spec.accepts(&a.env) && admissible(spec, &a.env))?;
+        self.unexpected.remove(pos)
+    }
+
+    /// Append a request to the posted queue.
+    pub fn post(&mut self, id: RequestId, spec: RecvSpec) {
+        self.posted.push_back((id, spec));
+    }
+
+    /// Re-post a request at the *front* of the posted queue — used when a
+    /// matched rendezvous receive must be re-armed because the sender died
+    /// before shipping the payload; front placement preserves its original
+    /// matching priority.
+    pub fn post_front(&mut self, id: RequestId, spec: RecvSpec) {
+        self.posted.push_front((id, spec));
+    }
+
+    /// Remove and return all pending-rendezvous (RTS) unexpected entries from
+    /// `src` — their tokens dangle once the sender has been restarted.
+    pub fn purge_rts_from(&mut self, src: crate::types::RankId) -> Vec<Envelope> {
+        let mut purged = Vec::new();
+        self.unexpected.retain(|a| {
+            if a.is_pending_rts() && a.env.src == src {
+                purged.push(a.env);
+                false
+            } else {
+                true
+            }
+        });
+        purged
+    }
+
+    /// Probe: first unexpected envelope matching `spec`, without removing it.
+    pub fn probe(
+        &self,
+        spec: &RecvSpec,
+        admissible: &dyn Fn(&RecvSpec, &Envelope) -> bool,
+    ) -> Option<&Envelope> {
+        self.unexpected
+            .iter()
+            .find(|a| spec.accepts(&a.env) && admissible(spec, &a.env))
+            .map(|a| &a.env)
+    }
+
+    /// Number of posted, unmatched receive requests.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Number of unexpected messages queued.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Iterate the posted queue (diagnostics).
+    pub fn posted_iter(&self) -> impl Iterator<Item = &(RequestId, RecvSpec)> {
+        self.posted.iter()
+    }
+
+    /// Iterate the unexpected queue (checkpoint serialization).
+    pub fn unexpected_iter(&self) -> impl Iterator<Item = &Arrived> {
+        self.unexpected.iter()
+    }
+
+    /// Replace the unexpected queue wholesale (checkpoint restore).
+    pub fn restore_unexpected(&mut self, entries: Vec<Arrived>) {
+        self.unexpected = entries.into();
+    }
+
+    /// Drop all posted requests and unexpected messages (rank teardown).
+    pub fn clear(&mut self) {
+        self.posted.clear();
+        self.unexpected.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CommId, MatchIdent, RankId, Source, TagSel, COMM_WORLD};
+
+    fn env(src: u32, tag: u32, seq: u64) -> Envelope {
+        Envelope {
+            src: RankId(src),
+            dst: RankId(0),
+            comm: COMM_WORLD,
+            tag,
+            seqnum: seq,
+            plen: 0,
+            lamport: 0,
+            ident: MatchIdent::DEFAULT,
+        }
+    }
+
+    fn spec(src: Source, tag: TagSel) -> RecvSpec {
+        RecvSpec { comm: COMM_WORLD, src, tag, ident: MatchIdent::DEFAULT }
+    }
+
+    fn all(_: &RecvSpec, _: &Envelope) -> bool {
+        true
+    }
+
+    fn arrived(env: Envelope) -> Arrived {
+        Arrived { env, body: ArrivedBody::Eager(Bytes::new()) }
+    }
+
+    #[test]
+    fn arrival_matches_first_posted_in_post_order() {
+        let mut m = MatchEngine::new();
+        m.post(RequestId(1), spec(Source::Any, TagSel::Any));
+        m.post(RequestId(2), spec(Source::Rank(RankId(3)), TagSel::Any));
+        // Both accept; post order wins.
+        let got = m.match_arrival(&env(3, 0, 1), &all);
+        assert_eq!(got, Some(RequestId(1)));
+        // Next arrival matches the remaining request.
+        let got = m.match_arrival(&env(3, 0, 2), &all);
+        assert_eq!(got, Some(RequestId(2)));
+        assert_eq!(m.posted_len(), 0);
+    }
+
+    #[test]
+    fn post_matches_first_unexpected_in_arrival_order() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(arrived(env(1, 7, 1)));
+        m.push_unexpected(arrived(env(2, 7, 1)));
+        let got = m.match_post(&spec(Source::Any, TagSel::Tag(7)), &all).unwrap();
+        assert_eq!(got.env.src, RankId(1));
+        let got = m.match_post(&spec(Source::Any, TagSel::Tag(7)), &all).unwrap();
+        assert_eq!(got.env.src, RankId(2));
+        assert!(m.match_post(&spec(Source::Any, TagSel::Tag(7)), &all).is_none());
+    }
+
+    #[test]
+    fn tag_and_source_filters_respected() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(arrived(env(1, 7, 1)));
+        assert!(m.match_post(&spec(Source::Any, TagSel::Tag(8)), &all).is_none());
+        assert!(m.match_post(&spec(Source::Rank(RankId(2)), TagSel::Tag(7)), &all).is_none());
+        assert!(m.match_post(&spec(Source::Rank(RankId(1)), TagSel::Tag(7)), &all).is_some());
+    }
+
+    #[test]
+    fn admissibility_predicate_can_veto() {
+        // SPBC's ident filter: refuse matches whose envelope iteration differs.
+        let mut m = MatchEngine::new();
+        let mut e = env(1, 7, 1);
+        e.ident = MatchIdent::new(1, 2);
+        m.push_unexpected(arrived(e));
+        let s = RecvSpec { ident: MatchIdent::new(1, 1), ..spec(Source::Any, TagSel::Any) };
+        let ident_eq =
+            |spec: &RecvSpec, env: &Envelope| -> bool { spec.ident == env.ident };
+        assert!(m.match_post(&s, &ident_eq).is_none(), "iteration mismatch vetoed");
+        let s2 = RecvSpec { ident: MatchIdent::new(1, 2), ..s };
+        assert!(m.match_post(&s2, &ident_eq).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_remove() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(arrived(env(1, 7, 1)));
+        assert!(m.probe(&spec(Source::Any, TagSel::Any), &all).is_some());
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn per_channel_fifo_order_preserved() {
+        // Two same-channel messages can both match an ANY_SOURCE request;
+        // the first sent (first arrived) must match first.
+        let mut m = MatchEngine::new();
+        m.push_unexpected(arrived(env(1, 7, 1)));
+        m.push_unexpected(arrived(env(1, 7, 2)));
+        let got = m.match_post(&spec(Source::Any, TagSel::Tag(7)), &all).unwrap();
+        assert_eq!(got.env.seqnum, 1);
+    }
+
+    #[test]
+    fn other_comm_not_matched() {
+        let mut m = MatchEngine::new();
+        let mut e = env(1, 7, 1);
+        e.comm = CommId(9);
+        m.push_unexpected(arrived(e));
+        assert!(m.match_post(&spec(Source::Any, TagSel::Any), &all).is_none());
+    }
+
+    #[test]
+    fn restore_roundtrip() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(arrived(env(1, 1, 1)));
+        m.push_unexpected(arrived(env(2, 2, 1)));
+        let snapshot: Vec<Arrived> = m.unexpected_iter().cloned().collect();
+        let mut m2 = MatchEngine::new();
+        m2.restore_unexpected(snapshot);
+        assert_eq!(m2.unexpected_len(), 2);
+        let got = m2.match_post(&spec(Source::Any, TagSel::Any), &all).unwrap();
+        assert_eq!(got.env.src, RankId(1));
+    }
+}

@@ -1,0 +1,292 @@
+//! Non-blocking request bookkeeping.
+
+use crate::envelope::{Envelope, Message};
+use crate::error::{MpiError, Result};
+use crate::types::{CommId, MatchIdent, RankId, Source, Tag, TagSel};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Handle of a non-blocking operation (like `MPI_Request`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// What a posted receive is willing to match (§3.2 of the paper:
+/// source, tag, communicator — plus the §4.3 extra identifier).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvSpec {
+    /// Communicator the request belongs to.
+    pub comm: CommId,
+    /// Source selector (may be `Any` = `MPI_ANY_SOURCE`).
+    pub src: Source,
+    /// Tag selector (may be `Any` = `MPI_ANY_TAG`).
+    pub tag: TagSel,
+    /// `(pattern_id, iteration_id)` of the active pattern when posted.
+    pub ident: MatchIdent,
+}
+
+impl RecvSpec {
+    /// Basic envelope admissibility (communicator, source, tag). The
+    /// fault-tolerance layer adds its own criterion (ident equality for SPBC)
+    /// on top of this.
+    #[inline]
+    pub fn accepts(&self, env: &Envelope) -> bool {
+        self.comm == env.comm && self.src.accepts(env.src) && self.tag.accepts(env.tag)
+    }
+
+    /// True when this is an anonymous (`MPI_ANY_SOURCE`) request.
+    #[inline]
+    pub fn is_anonymous(&self) -> bool {
+        matches!(self.src, Source::Any)
+    }
+}
+
+/// Completion information returned by `wait`-family calls
+/// (like `MPI_Status`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Status {
+    /// Actual source of the message (meaningful for receives).
+    pub src: RankId,
+    /// Actual tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Per-channel sequence number of the message.
+    pub seqnum: u64,
+    /// Identifier the message carried.
+    pub ident: MatchIdent,
+}
+
+impl Status {
+    /// Build a status from an envelope.
+    pub fn of(env: &Envelope) -> Self {
+        Status {
+            src: env.src,
+            tag: env.tag,
+            len: env.plen as usize,
+            seqnum: env.seqnum,
+            ident: env.ident,
+        }
+    }
+
+    /// A trivial status for completed sends.
+    pub fn send_done(dst: RankId, tag: Tag, len: usize) -> Self {
+        Status { src: dst, tag, len, seqnum: 0, ident: MatchIdent::DEFAULT }
+    }
+}
+
+/// Lifecycle state of a request.
+#[derive(Debug)]
+pub enum ReqState {
+    /// Send posted; rendezvous transfer awaiting CTS (payload kept for Data).
+    SendPending {
+        /// Envelope of the pending transfer.
+        env: Envelope,
+    },
+    /// Receive posted, not yet matched (sits in the posted queue).
+    RecvPosted {
+        /// What it may match.
+        spec: RecvSpec,
+    },
+    /// Receive matched to a rendezvous envelope; CTS sent, awaiting Data.
+    RecvMatched {
+        /// Envelope of the matched message.
+        env: Envelope,
+        /// The original request spec (kept so the request can be re-posted if
+        /// the sender dies before shipping the payload).
+        spec: RecvSpec,
+    },
+    /// Operation finished. `payload` is `Some` for receives.
+    Done {
+        /// Completion status.
+        status: Status,
+        /// Received payload (None for sends).
+        payload: Option<Bytes>,
+    },
+}
+
+impl ReqState {
+    /// True when the operation has completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, ReqState::Done { .. })
+    }
+}
+
+/// Table of live requests owned by one rank.
+#[derive(Default)]
+pub struct RequestTable {
+    next: u64,
+    slots: HashMap<u64, ReqState>,
+}
+
+impl RequestTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a new request, returning its id.
+    pub fn insert(&mut self, state: ReqState) -> RequestId {
+        let id = self.next;
+        self.next += 1;
+        self.slots.insert(id, state);
+        RequestId(id)
+    }
+
+    /// Borrow a request's state.
+    pub fn get(&self, id: RequestId) -> Result<&ReqState> {
+        self.slots
+            .get(&id.0)
+            .ok_or_else(|| MpiError::invalid(format!("unknown request {id:?}")))
+    }
+
+    /// Mutably borrow a request's state.
+    pub fn get_mut(&mut self, id: RequestId) -> Result<&mut ReqState> {
+        self.slots
+            .get_mut(&id.0)
+            .ok_or_else(|| MpiError::invalid(format!("unknown request {id:?}")))
+    }
+
+    /// Does the request exist (not yet consumed)?
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.slots.contains_key(&id.0)
+    }
+
+    /// Mark a request complete.
+    pub fn complete(&mut self, id: RequestId, status: Status, payload: Option<Bytes>) -> Result<()> {
+        let slot = self.get_mut(id)?;
+        debug_assert!(!slot.is_done(), "request {id:?} completed twice");
+        *slot = ReqState::Done { status, payload };
+        Ok(())
+    }
+
+    /// Deliver a full message to a matched rendezvous receive.
+    pub fn deliver_data(&mut self, id: RequestId, msg: Message) -> Result<()> {
+        let status = Status::of(&msg.env);
+        self.complete(id, status, Some(msg.payload))
+    }
+
+    /// Is the request complete?
+    pub fn is_done(&self, id: RequestId) -> Result<bool> {
+        Ok(self.get(id)?.is_done())
+    }
+
+    /// Take a completed request's result out of the table.
+    ///
+    /// Errors if the request is unknown or not yet complete.
+    pub fn take_done(&mut self, id: RequestId) -> Result<(Status, Option<Bytes>)> {
+        match self.slots.get(&id.0) {
+            None => Err(MpiError::invalid(format!("unknown request {id:?}"))),
+            Some(s) if !s.is_done() => {
+                Err(MpiError::InvalidState(format!("request {id:?} not complete")))
+            }
+            Some(_) => match self.slots.remove(&id.0) {
+                Some(ReqState::Done { status, payload }) => Ok((status, payload)),
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Iterate all live requests mutably (recovery bookkeeping).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (RequestId, &mut ReqState)> {
+        self.slots.iter_mut().map(|(&id, st)| (RequestId(id), st))
+    }
+
+    /// Number of live (unconsumed) requests.
+    pub fn live(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live requests that are not yet complete.
+    pub fn outstanding(&self) -> usize {
+        self.slots.values().filter(|s| !s.is_done()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{COMM_WORLD, ChannelId};
+
+    fn env(src: u32, tag: Tag) -> Envelope {
+        Envelope {
+            src: RankId(src),
+            dst: RankId(9),
+            comm: COMM_WORLD,
+            tag,
+            seqnum: 1,
+            plen: 0,
+            lamport: 0,
+            ident: MatchIdent::DEFAULT,
+        }
+    }
+
+    #[test]
+    fn spec_accepts_matrix() {
+        let spec = RecvSpec {
+            comm: COMM_WORLD,
+            src: Source::Rank(RankId(2)),
+            tag: TagSel::Tag(5),
+            ident: MatchIdent::DEFAULT,
+        };
+        assert!(spec.accepts(&env(2, 5)));
+        assert!(!spec.accepts(&env(3, 5)));
+        assert!(!spec.accepts(&env(2, 6)));
+        let any = RecvSpec { src: Source::Any, tag: TagSel::Any, ..spec };
+        assert!(any.accepts(&env(3, 6)));
+        assert!(any.is_anonymous());
+        assert!(!spec.is_anonymous());
+    }
+
+    #[test]
+    fn spec_rejects_other_comm() {
+        let spec = RecvSpec {
+            comm: CommId(7),
+            src: Source::Any,
+            tag: TagSel::Any,
+            ident: MatchIdent::DEFAULT,
+        };
+        assert!(!spec.accepts(&env(1, 1)));
+    }
+
+    #[test]
+    fn request_lifecycle() {
+        let mut t = RequestTable::new();
+        let id = t.insert(ReqState::RecvPosted {
+            spec: RecvSpec {
+                comm: COMM_WORLD,
+                src: Source::Any,
+                tag: TagSel::Any,
+                ident: MatchIdent::DEFAULT,
+            },
+        });
+        assert!(!t.is_done(id).unwrap());
+        assert!(t.take_done(id).is_err(), "cannot take incomplete request");
+        t.complete(id, Status::of(&env(1, 2)), Some(Bytes::from_static(b"hi"))).unwrap();
+        assert!(t.is_done(id).unwrap());
+        let (st, payload) = t.take_done(id).unwrap();
+        assert_eq!(st.src, RankId(1));
+        assert_eq!(payload.unwrap(), Bytes::from_static(b"hi"));
+        assert!(!t.contains(id));
+        assert!(t.get(id).is_err());
+    }
+
+    #[test]
+    fn outstanding_counts_incomplete_only() {
+        let mut t = RequestTable::new();
+        let a = t.insert(ReqState::SendPending { env: env(0, 0) });
+        let _b = t.insert(ReqState::SendPending { env: env(0, 0) });
+        assert_eq!(t.outstanding(), 2);
+        t.complete(a, Status::send_done(RankId(1), 0, 0), None).unwrap();
+        assert_eq!(t.outstanding(), 1);
+        assert_eq!(t.live(), 2);
+    }
+
+    #[test]
+    fn status_of_envelope() {
+        let e = Envelope { plen: 77, ..env(4, 9) };
+        let s = Status::of(&e);
+        assert_eq!(s.len, 77);
+        assert_eq!(s.src, RankId(4));
+        assert_eq!(e.channel(), ChannelId::new(RankId(4), RankId(9), COMM_WORLD));
+    }
+}

@@ -1,0 +1,128 @@
+//! The transport fabric: one mailbox per rank, swappable on restart.
+//!
+//! Each rank owns the receiving end of an unbounded channel; every peer holds
+//! the `Router` and pushes packets through the sender slot. Crossbeam channels
+//! preserve per-producer order, which gives exactly MPI's per-channel FIFO
+//! guarantee.
+//!
+//! When a rank is restarted during recovery its old mailbox (and anything
+//! still inside — conceptually "in flight at the moment of the crash") is
+//! dropped and the slot is repointed at a fresh channel. Packets sent to a
+//! dead slot are silently discarded, like packets on a wire to a crashed
+//! node; the protocol layer is responsible for regenerating them (that is
+//! what the sender-side log is for).
+
+use crate::envelope::Packet;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::types::RankId;
+
+/// Shared routing table.
+pub struct Router {
+    slots: Vec<RwLock<Sender<Packet>>>,
+}
+
+impl Router {
+    /// Create a router with `n` mailboxes, returning the receiving ends.
+    pub fn new(n: usize) -> (Router, Vec<Receiver<Packet>>) {
+        let mut slots = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            slots.push(RwLock::new(tx));
+            rxs.push(rx);
+        }
+        (Router { slots }, rxs)
+    }
+
+    /// Number of mailboxes.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the router has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Deliver a packet to `dst`'s mailbox. Packets to dead ranks are
+    /// discarded (returns `false`).
+    pub fn send(&self, dst: RankId, pkt: Packet) -> bool {
+        let Some(slot) = self.slots.get(dst.idx()) else {
+            return false;
+        };
+        slot.read().send(pkt).is_ok()
+    }
+
+    /// Replace `rank`'s mailbox with a fresh channel (restart), returning the
+    /// new receiving end. Anything queued in the old mailbox is dropped.
+    pub fn replace(&self, rank: RankId) -> Receiver<Packet> {
+        let (tx, rx) = unbounded();
+        *self.slots[rank.idx()].write() = tx;
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{CtrlMsg, Packet};
+    use bytes::Bytes;
+
+    fn ctrl(kind: u16) -> Packet {
+        Packet::Ctrl(CtrlMsg { from: RankId(0), kind, data: Bytes::new() })
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let (router, rxs) = Router::new(2);
+        assert!(router.send(RankId(1), ctrl(7)));
+        match rxs[1].try_recv().unwrap() {
+            Packet::Ctrl(c) => assert_eq!(c.kind, 7),
+            _ => panic!("wrong packet"),
+        }
+    }
+
+    #[test]
+    fn send_to_unknown_rank_discarded() {
+        let (router, _rxs) = Router::new(1);
+        assert!(!router.send(RankId(5), ctrl(0)));
+    }
+
+    #[test]
+    fn replace_drops_old_traffic() {
+        let (router, rxs) = Router::new(1);
+        router.send(RankId(0), ctrl(1));
+        let fresh = router.replace(RankId(0));
+        // Old receiver still has the old packet; new one starts clean.
+        assert!(rxs[0].try_recv().is_ok());
+        assert!(fresh.try_recv().is_err());
+        router.send(RankId(0), ctrl(2));
+        match fresh.try_recv().unwrap() {
+            Packet::Ctrl(c) => assert_eq!(c.kind, 2),
+            _ => panic!("wrong packet"),
+        }
+    }
+
+    #[test]
+    fn send_after_receiver_drop_is_discarded() {
+        let (router, rxs) = Router::new(1);
+        drop(rxs);
+        assert!(!router.send(RankId(0), ctrl(0)));
+    }
+
+    #[test]
+    fn per_producer_fifo() {
+        let (router, rxs) = Router::new(1);
+        for k in 0..100 {
+            router.send(RankId(0), ctrl(k));
+        }
+        for k in 0..100 {
+            match rxs[0].try_recv().unwrap() {
+                Packet::Ctrl(c) => assert_eq!(c.kind, k),
+                _ => panic!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The runtime: spawns ranks as OS threads, routes packets, injects failures,
+//! and orchestrates cluster rollback/restart.
+//!
+//! Execution model:
+//! * every application rank runs its closure on its own thread;
+//! * a rank that finishes **lingers**, pumping control traffic, so it can keep
+//!   serving log replays to clusters that are still recovering;
+//! * when a rank hits a failure plan, the runtime kills *its whole cluster*
+//!   (the containment unit of hierarchical protocols), drops the victims'
+//!   mailboxes (in-flight messages die with the node), and respawns them with
+//!   an incremented epoch — the fault-tolerance layer's `on_start` then
+//!   restores the checkpoint and runs the rollback handshake.
+
+use crate::config::RuntimeConfig;
+use crate::error::{MpiError, Result};
+use crate::failure::{FailurePlan, FailureShared, RuntimeEvent};
+use crate::ft::{FtCtx, FtProvider, NativeProvider};
+use crate::inner::{handle_packet, RankInner};
+use crate::rank::Rank;
+use crate::router::Router;
+use crate::stats::RankStats;
+use crate::types::RankId;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Application entry point: one closure, run by every rank (SPMD).
+pub type AppFn = dyn Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync;
+
+/// Result of a run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Application output per world rank (last successful execution).
+    pub outputs: Vec<Vec<u8>>,
+    /// Statistics per world rank (snapshot at application completion).
+    pub stats: Vec<RankStats>,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+    /// Number of injected failures that were handled.
+    pub failures_handled: usize,
+    /// Restart count per world rank.
+    pub restarts: Vec<u32>,
+    /// Errors reported by ranks (empty on a clean run).
+    pub errors: Vec<(RankId, String)>,
+}
+
+impl RunReport {
+    /// Error out unless the run was clean.
+    pub fn ok(self) -> Result<RunReport> {
+        if let Some((rank, msg)) = self.errors.first() {
+            return Err(MpiError::App(format!("rank {rank}: {msg}")));
+        }
+        Ok(self)
+    }
+}
+
+/// The execution driver.
+pub struct Runtime {
+    cfg: Arc<RuntimeConfig>,
+}
+
+struct Spawner {
+    cfg: Arc<RuntimeConfig>,
+    router: Arc<Router>,
+    global_done: Arc<AtomicBool>,
+    failure: Arc<FailureShared>,
+    provider: Arc<dyn FtProvider>,
+    app: Arc<AppFn>,
+    service: Option<Arc<AppFn>>,
+}
+
+impl Runtime {
+    /// Create a runtime for `cfg`.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        Runtime { cfg: Arc::new(cfg) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Convenience: run `app` natively (no fault tolerance, no failures).
+    pub fn run_native(world: usize, app: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> Result<RunReport> {
+        Runtime::new(RuntimeConfig::new(world)).run(
+            Arc::new(NativeProvider),
+            Arc::new(app),
+            Vec::new(),
+            None,
+        )
+    }
+
+    /// Execute `app` on every rank under `provider`'s protocol, with the given
+    /// failure plans. `service` (if any) runs on the configured service ranks.
+    pub fn run(
+        &self,
+        provider: Arc<dyn FtProvider>,
+        app: Arc<AppFn>,
+        plans: Vec<FailurePlan>,
+        service: Option<Arc<AppFn>>,
+    ) -> Result<RunReport> {
+        let world = self.cfg.world_size;
+        let total = self.cfg.total_ranks();
+        if world == 0 {
+            return Err(MpiError::invalid("world_size must be positive"));
+        }
+        if self.cfg.service_ranks > 0 && service.is_none() {
+            return Err(MpiError::invalid("service ranks configured but no service closure"));
+        }
+
+        let start = Instant::now();
+        let (router, mut mailboxes) = Router::new(total);
+        let router = Arc::new(router);
+        let (evt_tx, evt_rx) = unbounded();
+        let failure = Arc::new(FailureShared::new(total, evt_tx));
+        for p in plans {
+            failure.schedule(p);
+        }
+        let global_done = Arc::new(AtomicBool::new(false));
+
+        let spawner = Spawner {
+            cfg: Arc::clone(&self.cfg),
+            router,
+            global_done: Arc::clone(&global_done),
+            failure: Arc::clone(&failure),
+            provider: Arc::clone(&provider),
+            app,
+            service,
+        };
+
+        let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(total);
+        let mut epochs: Vec<u32> = vec![0; total];
+        for (i, rx) in mailboxes.drain(..).enumerate() {
+            handles.push(Some(spawner.spawn(RankId(i as u32), 0, rx)));
+        }
+
+        let mut report = RunReport {
+            outputs: vec![Vec::new(); world],
+            stats: (0..world).map(|i| RankStats::new(RankId(i as u32), world)).collect(),
+            wall_time: Duration::ZERO,
+            failures_handled: 0,
+            restarts: vec![0; world],
+            errors: Vec::new(),
+        };
+        let mut done = vec![false; world];
+        let mut done_count = 0usize;
+        let backstop = self.cfg.deadlock_timeout + Duration::from_secs(15);
+
+        let outcome = loop {
+            match evt_rx.recv_timeout(backstop) {
+                Ok(RuntimeEvent::Done { rank, output }) => {
+                    let i = rank.idx();
+                    if !done[i] {
+                        done[i] = true;
+                        done_count += 1;
+                    }
+                    report.outputs[i] = output;
+                    if done_count == world {
+                        break Ok(());
+                    }
+                }
+                Ok(RuntimeEvent::Failure { rank }) => {
+                    report.failures_handled += 1;
+                    let cluster = provider.cluster_of(rank);
+                    let victims: Vec<RankId> = (0..world as u32)
+                        .map(RankId)
+                        .filter(|&r| provider.cluster_of(r) == cluster)
+                        .collect();
+                    // Kill the whole cluster, wait for the threads to unwind,
+                    // then restart them from their checkpoint.
+                    for &v in &victims {
+                        failure.kill(v);
+                    }
+                    for &v in &victims {
+                        if let Some(h) = handles[v.idx()].take() {
+                            let _ = h.join();
+                        }
+                        if done[v.idx()] {
+                            done[v.idx()] = false;
+                            done_count -= 1;
+                        }
+                    }
+                    // Replace every victim's mailbox BEFORE respawning any of
+                    // them: a respawned rank starts sending immediately, and
+                    // an intra-cluster message to a sibling whose mailbox is
+                    // still the dead incarnation's would be silently lost —
+                    // intra-cluster channels have no log to recover from.
+                    let fresh: Vec<_> =
+                        victims.iter().map(|&v| spawner.router.replace(v)).collect();
+                    for (&v, rx) in victims.iter().zip(fresh) {
+                        failure.revive(v);
+                        epochs[v.idx()] += 1;
+                        report.restarts[v.idx()] = epochs[v.idx()];
+                        handles[v.idx()] = Some(spawner.spawn(v, epochs[v.idx()], rx));
+                    }
+                }
+                Ok(RuntimeEvent::Error { rank, message }) => {
+                    report.errors.push((rank, message));
+                    // Grace period: when one rank reports (e.g. a suspected
+                    // deadlock), its peers are usually blocked too — collect
+                    // their reports so the diagnostics show the whole
+                    // wait-for graph.
+                    let grace = Instant::now() + Duration::from_millis(1500);
+                    while let Ok(ev) = evt_rx.recv_timeout(
+                        grace.saturating_duration_since(Instant::now()),
+                    ) {
+                        if let RuntimeEvent::Error { rank, message } = ev {
+                            report.errors.push((rank, message));
+                        }
+                    }
+                    break Err(());
+                }
+                Ok(RuntimeEvent::Killed { .. }) => {
+                    // Expected during cluster rollback; the Failure arm joins.
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    report.errors.push((
+                        RankId(u32::MAX),
+                        "runtime backstop: no progress events".into(),
+                    ));
+                    break Err(());
+                }
+                Err(RecvTimeoutError::Disconnected) => break Err(()),
+            }
+        };
+
+        // Tear down: release lingering ranks and service ranks.
+        global_done.store(true, Ordering::SeqCst);
+        if outcome.is_err() {
+            for i in 0..total {
+                failure.kill(RankId(i as u32));
+            }
+        }
+        // Collect remaining Done/stat events that raced with completion.
+        while let Ok(ev) = evt_rx.try_recv() {
+            if let RuntimeEvent::Error { rank, message } = ev {
+                report.errors.push((rank, message));
+            }
+        }
+        for h in handles.iter_mut().filter_map(Option::take) {
+            let _ = h.join();
+        }
+        report.wall_time = start.elapsed();
+        // Stats come back through a side channel written at thread exit.
+        for (i, slot) in spawner.failure.stats_slots().iter().enumerate().take(world) {
+            if let Some(s) = slot.lock().take() {
+                report.stats[i] = *s;
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl Spawner {
+    fn spawn(
+        &self,
+        me: RankId,
+        epoch: u32,
+        mailbox: Receiver<crate::envelope::Packet>,
+    ) -> JoinHandle<()> {
+        let cfg = Arc::clone(&self.cfg);
+        let router = Arc::clone(&self.router);
+        let global_done = Arc::clone(&self.global_done);
+        let failure = Arc::clone(&self.failure);
+        let provider = Arc::clone(&self.provider);
+        let is_service = me.idx() >= cfg.world_size;
+        let app: Arc<AppFn> = if is_service {
+            Arc::clone(self.service.as_ref().expect("service closure"))
+        } else {
+            Arc::clone(&self.app)
+        };
+        let name = format!("rank-{me}-e{epoch}");
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let t0 = Instant::now();
+                let kill = failure.kill_flag(me);
+                let inner = RankInner::new(
+                    me,
+                    cfg,
+                    epoch,
+                    mailbox,
+                    router,
+                    kill,
+                    Arc::clone(&global_done),
+                    Arc::clone(&failure),
+                );
+                let layer = provider.make_layer(me, epoch);
+                let mut rank = Rank::new(inner, layer);
+                rank.inner.stats.restarts = epoch;
+
+                let result = {
+                    let started = {
+                        let mut ctx = FtCtx { inner: &mut rank.inner };
+                        rank.ft.on_start(&mut ctx)
+                    };
+                    started.and_then(|_| (app)(&mut rank))
+                };
+
+                match result {
+                    Ok(output) => {
+                        {
+                            let mut ctx = FtCtx { inner: &mut rank.inner };
+                            let _ = rank.ft.on_app_done(&mut ctx);
+                        }
+                        rank.inner.stats.total_time = t0.elapsed();
+                        failure.set_stats(me, rank.inner.stats.clone());
+                        failure.report(RuntimeEvent::Done { rank: me, output });
+                        linger(&mut rank);
+                    }
+                    Err(MpiError::Killed) => {
+                        failure.set_stats(me, rank.inner.stats.clone());
+                        failure.report(RuntimeEvent::Killed { rank: me });
+                    }
+                    Err(e) => {
+                        rank.inner.stats.total_time = t0.elapsed();
+                        failure.set_stats(me, rank.inner.stats.clone());
+                        failure.report(RuntimeEvent::Error { rank: me, message: e.to_string() });
+                    }
+                }
+            })
+            .expect("spawn rank thread")
+    }
+}
+
+/// After its application finished, a rank keeps serving protocol traffic
+/// (log replay for recovering clusters) until the whole run completes or it
+/// is itself rolled back.
+fn linger(rank: &mut Rank) {
+    loop {
+        if rank.inner.global_done.load(Ordering::Relaxed) {
+            return;
+        }
+        if rank.inner.kill.load(Ordering::Relaxed) {
+            rank.inner.failure.report(RuntimeEvent::Killed { rank: rank.inner.me });
+            return;
+        }
+        match rank.inner.mailbox.recv_timeout(rank.inner.cfg.poll_interval) {
+            Ok(pkt) => {
+                if handle_packet(&mut rank.inner, rank.ft.as_mut(), pkt).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Small shared utilities.
+
+/// FNV-1a 64-bit hash over a byte slice.
+///
+/// Used for payload digests in the determinism chains; not cryptographic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_seeded(0xcbf29ce484222325, bytes)
+}
+
+/// FNV-1a continuation: fold `bytes` into an existing hash state.
+pub fn fnv1a_seeded(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fold a `u64` into a hash chain.
+///
+/// The state is multiplied by the FNV prime before folding, so the pairs
+/// `(a, b)` and `(b, a)` hash differently (plain FNV would xor the first byte
+/// straight into the state, making small swapped pairs collide).
+pub fn chain_u64(h: u64, v: u64) -> u64 {
+    fnv1a_seeded(h.wrapping_mul(0x100000001b3), &v.to_le_bytes())
+}
+
+/// A tiny xorshift PRNG for perturbation delays (self-contained so the
+/// runtime's determinism does not depend on `rand`'s stream stability).
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded constructor; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_sensitive() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(chain_u64(1, 2), chain_u64(2, 1));
+    }
+
+    #[test]
+    fn xorshift_basic() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xorshift_zero_seed_ok() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_and_unit_in_range() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

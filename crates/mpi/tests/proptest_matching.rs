@@ -1,0 +1,148 @@
+//! Model-based property test of the matching engine: random interleavings
+//! of posts and arrivals, checked against a naive reference implementation
+//! of the MPI matching rules.
+
+use bytes::Bytes;
+use mini_mpi::envelope::Envelope;
+use mini_mpi::matching::{Arrived, ArrivedBody, MatchEngine};
+use mini_mpi::request::{RecvSpec, RequestId};
+use mini_mpi::types::{CommId, MatchIdent, RankId, Source, TagSel};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Post { src: Option<u32>, tag: Option<u32>, ident: u32 },
+    Arrive { src: u32, tag: u32, ident: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (proptest::option::of(0u32..3), proptest::option::of(0u32..3), 0u32..2).prop_map(
+            |(src, tag, ident)| Op::Post { src, tag, ident }
+        ),
+        (0u32..3, 0u32..3, 0u32..2).prop_map(|(src, tag, ident)| Op::Arrive {
+            src,
+            tag,
+            ident
+        }),
+    ]
+}
+
+/// The reference: a plain list of pending posts and arrivals with the MPI
+/// rules applied literally (first admissible in post order / arrival order).
+#[derive(Default)]
+struct Reference {
+    posted: Vec<(u64, RecvSpec)>,
+    unexpected: Vec<Envelope>,
+}
+
+fn admissible(spec: &RecvSpec, env: &Envelope) -> bool {
+    spec.ident == env.ident
+}
+
+impl Reference {
+    fn arrive(&mut self, env: Envelope) -> Option<u64> {
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|(_, s)| s.accepts(&env) && admissible(s, &env))
+        {
+            let (id, _) = self.posted.remove(pos);
+            Some(id)
+        } else {
+            self.unexpected.push(env);
+            None
+        }
+    }
+
+    fn post(&mut self, id: u64, spec: RecvSpec) -> Option<Envelope> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| spec.accepts(e) && admissible(&spec, e))
+        {
+            Some(self.unexpected.remove(pos))
+        } else {
+            self.posted.push((id, spec));
+            None
+        }
+    }
+}
+
+fn env_of(src: u32, tag: u32, ident: u32, seq: u64) -> Envelope {
+    Envelope {
+        src: RankId(src),
+        dst: RankId(9),
+        comm: CommId(0),
+        tag,
+        seqnum: seq,
+        plen: 0,
+        lamport: seq,
+        ident: MatchIdent::new(ident, 1),
+    }
+}
+
+fn spec_of(src: Option<u32>, tag: Option<u32>, ident: u32) -> RecvSpec {
+    RecvSpec {
+        comm: CommId(0),
+        src: src.map_or(Source::Any, |s| Source::Rank(RankId(s))),
+        tag: tag.map_or(TagSel::Any, TagSel::Tag),
+        ident: MatchIdent::new(ident, 1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_agrees_with_reference(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut engine = MatchEngine::new();
+        let mut reference = Reference::default();
+        let mut next_id = 0u64;
+        let mut seqs = std::collections::HashMap::new();
+        let check = |s: &RecvSpec, e: &Envelope| s.ident == e.ident;
+
+        for op in ops {
+            match op {
+                Op::Post { src, tag, ident } => {
+                    let id = next_id;
+                    next_id += 1;
+                    let spec = spec_of(src, tag, ident);
+                    let got = engine.match_post(&spec, &check);
+                    let expect = reference.post(id, spec);
+                    match (got, expect) {
+                        (None, None) => engine.post(RequestId(id), spec),
+                        (Some(a), Some(e)) => prop_assert_eq!(a.env, e),
+                        (a, e) => prop_assert!(
+                            false,
+                            "post divergence: engine={:?} reference={:?}",
+                            a.map(|x| x.env), e
+                        ),
+                    }
+                }
+                Op::Arrive { src, tag, ident } => {
+                    let seq = seqs.entry(src).or_insert(0u64);
+                    *seq += 1;
+                    let env = env_of(src, tag, ident, *seq);
+                    let got = engine.match_arrival(&env, &check);
+                    let expect = reference.arrive(env);
+                    match (got, expect) {
+                        (None, None) => engine.push_unexpected(Arrived {
+                            env,
+                            body: ArrivedBody::Eager(Bytes::new()),
+                        }),
+                        (Some(a), Some(e)) => prop_assert_eq!(a.0, e),
+                        (a, e) => prop_assert!(
+                            false,
+                            "arrival divergence: engine={:?} reference={:?}",
+                            a, e
+                        ),
+                    }
+                }
+            }
+        }
+        // Residual queues agree in size.
+        prop_assert_eq!(engine.posted_len(), reference.posted.len());
+        prop_assert_eq!(engine.unexpected_len(), reference.unexpected.len());
+    }
+}

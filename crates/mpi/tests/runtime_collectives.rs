@@ -1,0 +1,219 @@
+//! End-to-end collective-operation tests.
+
+use mini_mpi::prelude::*;
+use mini_mpi::wire::{from_bytes, to_bytes};
+
+fn run(world: usize, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> RunReport {
+    Runtime::run_native(world, f).unwrap().ok().unwrap()
+}
+
+#[test]
+fn barrier_all_sizes() {
+    for n in [1usize, 2, 3, 5, 8, 13] {
+        let report = run(n, |rank| {
+            for _ in 0..3 {
+                rank.barrier(COMM_WORLD)?;
+            }
+            Ok(vec![1])
+        });
+        assert!(report.outputs.iter().all(|o| o == &[1u8]), "n={n}");
+    }
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for n in [2usize, 3, 6, 9] {
+        for root in [0usize, 1, n - 1] {
+            let report = run(n, move |rank| {
+                let data: Vec<u64> = if rank.world_rank() == root {
+                    vec![17, 23, root as u64]
+                } else {
+                    vec![]
+                };
+                let got = rank.bcast(COMM_WORLD, root, &data)?;
+                assert_eq!(got, vec![17, 23, root as u64]);
+                Ok(vec![1])
+            });
+            assert!(report.outputs.iter().all(|o| o == &[1u8]), "n={n} root={root}");
+        }
+    }
+}
+
+#[test]
+fn reduce_sum_min_max() {
+    let n = 7;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank() as i64;
+        let sum = rank.reduce(COMM_WORLD, 0, ReduceOp::Sum, &[me, 1])?;
+        let mn = rank.reduce(COMM_WORLD, 2, ReduceOp::Min, &[me])?;
+        let mx = rank.reduce(COMM_WORLD, 2, ReduceOp::Max, &[me])?;
+        let mut out = Vec::new();
+        if rank.world_rank() == 0 {
+            out = to_bytes(&(sum[0], sum[1]));
+        }
+        if rank.world_rank() == 2 {
+            out = to_bytes(&(mn[0], mx[0]));
+        }
+        Ok(out)
+    });
+    let (s, c): (i64, i64) = from_bytes(&report.outputs[0]).unwrap();
+    assert_eq!(s, (0..7).sum::<i64>());
+    assert_eq!(c, 7);
+    let (mn, mx): (i64, i64) = from_bytes(&report.outputs[2]).unwrap();
+    assert_eq!((mn, mx), (0, 6));
+}
+
+#[test]
+fn allreduce_everyone_agrees() {
+    let n = 6;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank() as f64;
+        let got = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[me, 2.0 * me])?;
+        Ok(to_bytes(&(got[0], got[1])))
+    });
+    let expect: f64 = (0..6).map(|i| i as f64).sum();
+    for out in &report.outputs {
+        let (a, b): (f64, f64) = from_bytes(out).unwrap();
+        assert_eq!(a, expect);
+        assert_eq!(b, 2.0 * expect);
+    }
+}
+
+#[test]
+fn gather_and_allgather() {
+    let n = 5;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank() as u32;
+        let parts = rank.gather(COMM_WORLD, 1, &[me, me + 100])?;
+        if rank.world_rank() == 1 {
+            for (i, p) in parts.iter().enumerate() {
+                assert_eq!(p, &[i as u32, i as u32 + 100]);
+            }
+        } else {
+            assert!(parts.is_empty());
+        }
+        let all = rank.allgather(COMM_WORLD, &[me * 2])?;
+        let flat: Vec<u32> = all.into_iter().flatten().collect();
+        assert_eq!(flat, vec![0, 2, 4, 6, 8]);
+        Ok(vec![1])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1u8]));
+}
+
+#[test]
+fn scatter_distributes_parts() {
+    let n = 4;
+    let report = run(n, move |rank| {
+        let parts: Vec<Vec<u64>> = if rank.world_rank() == 0 {
+            (0..4).map(|i| vec![i as u64 * 11]).collect()
+        } else {
+            Vec::new()
+        };
+        let mine = rank.scatter(COMM_WORLD, 0, &parts)?;
+        assert_eq!(mine, vec![rank.world_rank() as u64 * 11]);
+        Ok(vec![1])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1u8]));
+}
+
+#[test]
+fn alltoall_personalized() {
+    let n = 4;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank() as u64;
+        // parts[j] = [me * 10 + j]
+        let parts: Vec<Vec<u64>> = (0..4).map(|j| vec![me * 10 + j as u64]).collect();
+        let got = rank.alltoall(COMM_WORLD, &parts)?;
+        for (j, p) in got.iter().enumerate() {
+            assert_eq!(p, &[j as u64 * 10 + me]);
+        }
+        Ok(vec![1])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1u8]));
+}
+
+#[test]
+fn comm_split_even_odd() {
+    let n = 6;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank();
+        let color = (me % 2) as u32;
+        let sub = rank.comm_split(COMM_WORLD, color, me as i64)?;
+        assert_eq!(rank.comm_size(sub)?, 3);
+        assert_eq!(rank.comm_rank(sub)?, me / 2);
+        // Collectives work on the sub-communicator.
+        let sum = rank.allreduce(sub, ReduceOp::Sum, &[me as u64])?;
+        let expect: u64 = if color == 0 { 2 + 4 } else { 1 + 3 + 5 };
+        assert_eq!(sum[0], expect);
+        Ok(to_bytes(&sub.0))
+    });
+    // Even ranks share one comm id, odd ranks another, and they differ.
+    let even: u64 = from_bytes(&report.outputs[0]).unwrap();
+    let odd: u64 = from_bytes(&report.outputs[1]).unwrap();
+    assert_ne!(even, odd);
+    for i in (0..6).step_by(2) {
+        assert_eq!(from_bytes::<u64>(&report.outputs[i]).unwrap(), even);
+    }
+}
+
+#[test]
+fn comm_split_ids_deterministic_across_runs() {
+    let get_ids = || {
+        let report = run(4, |rank| {
+            let sub = rank.comm_split(COMM_WORLD, (rank.world_rank() % 2) as u32, 0)?;
+            let sub2 = rank.comm_split(COMM_WORLD, 0, 0)?;
+            Ok(to_bytes(&(sub.0, sub2.0)))
+        });
+        report
+            .outputs
+            .iter()
+            .map(|o| from_bytes::<(u64, u64)>(o).unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(get_ids(), get_ids());
+}
+
+#[test]
+fn point_to_point_on_subcommunicator() {
+    let n = 4;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank();
+        let sub = rank.comm_split(COMM_WORLD, (me / 2) as u32, me as i64)?;
+        // Within each pair, comm rank 0 sends to comm rank 1.
+        if rank.comm_rank(sub)? == 0 {
+            rank.send(sub, 1, 5, &[me as u64])?;
+            Ok(vec![])
+        } else {
+            let (v, st) = rank.recv::<u64>(sub, 0u32, 5)?;
+            // Comm rank 0 of my pair is world rank me-1.
+            assert_eq!(st.src, RankId(me as u32 - 1));
+            Ok(to_bytes(&v[0]))
+        }
+    });
+    assert_eq!(from_bytes::<u64>(&report.outputs[1]).unwrap(), 0);
+    assert_eq!(from_bytes::<u64>(&report.outputs[3]).unwrap(), 2);
+}
+
+#[test]
+fn collectives_with_rendezvous_payloads() {
+    // Payloads above the eager threshold inside collectives.
+    let cfg = RuntimeConfig::new(4).with_eager_threshold(256);
+    let report = Runtime::new(cfg)
+        .run(
+            std::sync::Arc::new(mini_mpi::ft::NativeProvider),
+            std::sync::Arc::new(|rank: &mut Rank| {
+                let big: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+                let got = rank.bcast(COMM_WORLD, 0, &big)?;
+                assert_eq!(got.len(), 1000);
+                let sum = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &got)?;
+                assert_eq!(sum[10], 40.0);
+                Ok(vec![1])
+            }),
+            Vec::new(),
+            None,
+        )
+        .unwrap()
+        .ok()
+        .unwrap();
+    assert!(report.outputs.iter().all(|o| o == &[1u8]));
+}

@@ -1,0 +1,144 @@
+//! Tests of the extended collective set: sendrecv, scan, reduce_scatter,
+//! gatherv/scatterv.
+
+use mini_mpi::prelude::*;
+use mini_mpi::wire::{from_bytes, to_bytes};
+
+fn run(world: usize, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> RunReport {
+    Runtime::run_native(world, f).unwrap().ok().unwrap()
+}
+
+#[test]
+fn sendrecv_ring_shift() {
+    let n = 5;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        // Shift right: send to me+1, receive from me-1.
+        let got = rank.sendrecv(
+            COMM_WORLD,
+            (me + 1) % n,
+            3,
+            &[me as u64],
+            (me + n - 1) % n,
+            3,
+        )?;
+        Ok(to_bytes(&got[0]))
+    });
+    for (i, out) in report.outputs.iter().enumerate() {
+        let v: u64 = from_bytes(out).unwrap();
+        assert_eq!(v as usize, (i + 5 - 1) % 5);
+    }
+}
+
+#[test]
+fn scan_computes_prefix_sums() {
+    let n = 6;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank() as i64;
+        let acc = rank.scan(COMM_WORLD, ReduceOp::Sum, &[me, 1])?;
+        Ok(to_bytes(&(acc[0], acc[1])))
+    });
+    for (i, out) in report.outputs.iter().enumerate() {
+        let (sum, count): (i64, i64) = from_bytes(out).unwrap();
+        assert_eq!(sum, (0..=i as i64).sum::<i64>());
+        assert_eq!(count, i as i64 + 1);
+    }
+}
+
+#[test]
+fn scan_single_rank() {
+    let report = run(1, |rank| {
+        let acc = rank.scan(COMM_WORLD, ReduceOp::Max, &[7.5f64])?;
+        Ok(to_bytes(&acc[0]))
+    });
+    assert_eq!(from_bytes::<f64>(&report.outputs[0]).unwrap(), 7.5);
+}
+
+#[test]
+fn reduce_scatter_blocks() {
+    let n = 4;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank() as u64;
+        // Everyone contributes [me; 8]; block i of the sum goes to rank i.
+        let data = vec![me; 8];
+        let mine = rank.reduce_scatter(COMM_WORLD, ReduceOp::Sum, &data)?;
+        assert_eq!(mine.len(), 2);
+        Ok(to_bytes(&mine[0]))
+    });
+    let total: u64 = (0..4).sum();
+    for out in &report.outputs {
+        assert_eq!(from_bytes::<u64>(out).unwrap(), total);
+    }
+}
+
+#[test]
+fn reduce_scatter_rejects_ragged_input() {
+    let report = run(4, |rank| {
+        let bad = rank.reduce_scatter(COMM_WORLD, ReduceOp::Sum, &[1u64; 7]);
+        Ok(vec![bad.is_err() as u8])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1]));
+}
+
+#[test]
+fn gatherv_scatterv_ragged() {
+    let n = 4;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank();
+        // Member i contributes i+1 elements.
+        let mine: Vec<u32> = (0..=me as u32).collect();
+        let gathered = rank.gatherv(COMM_WORLD, 0, &mine)?;
+        let parts: Vec<Vec<u32>> = if me == 0 {
+            assert_eq!(gathered.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+            // Send back reversed-size parts.
+            (0..4).map(|i| vec![i as u32 * 10; 4 - i]).collect()
+        } else {
+            Vec::new()
+        };
+        let got = rank.scatterv(COMM_WORLD, 0, &parts)?;
+        assert_eq!(got.len(), 4 - me);
+        assert!(got.iter().all(|&x| x == me as u32 * 10));
+        Ok(vec![1])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1]));
+}
+
+#[test]
+fn extended_collectives_on_subcommunicator() {
+    let report = run(6, |rank| {
+        let sub = rank.comm_split(COMM_WORLD, (rank.world_rank() % 2) as u32, 0)?;
+        let pos = rank.comm_rank(sub)? as i64;
+        let acc = rank.scan(sub, ReduceOp::Sum, &[pos])?;
+        assert_eq!(acc[0], (0..=pos).sum::<i64>());
+        Ok(vec![1])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1]));
+}
+
+#[test]
+fn comm_dup_preserves_order_with_fresh_context() {
+    let report = run(4, |rank| {
+        let dup = rank.comm_dup(COMM_WORLD)?;
+        assert_ne!(dup, COMM_WORLD);
+        assert_eq!(rank.comm_rank(dup)?, rank.world_rank());
+        assert_eq!(rank.comm_size(dup)?, 4);
+        // Same-tag traffic on the two contexts stays separate.
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let next = (me + 1) % n;
+        let prev = ((me + n - 1) % n) as u32;
+        let r_dup = rank.irecv(dup, prev, 1)?;
+        let r_world = rank.irecv(COMM_WORLD, prev, 1)?;
+        rank.send(dup, next, 1, &[10u64 + me as u64])?;
+        rank.send(COMM_WORLD, next, 1, &[20u64 + me as u64])?;
+        let (_s, pd) = rank.wait(r_dup)?;
+        let (_s, pw) = rank.wait(r_world)?;
+        let vd: Vec<u64> = mini_mpi::datatype::unpack(&pd.unwrap())?;
+        let vw: Vec<u64> = mini_mpi::datatype::unpack(&pw.unwrap())?;
+        assert_eq!(vd[0], 10 + prev as u64, "dup traffic on dup context");
+        assert_eq!(vw[0], 20 + prev as u64, "world traffic on world context");
+        Ok(vec![1])
+    });
+    assert!(report.outputs.iter().all(|o| o == &[1]));
+}

@@ -1,0 +1,297 @@
+//! End-to-end point-to-point tests of the runtime.
+
+use bytes::Bytes;
+use mini_mpi::prelude::*;
+use mini_mpi::wire::{from_bytes, to_bytes};
+
+fn run(world: usize, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> RunReport {
+    Runtime::run_native(world, f).unwrap().ok().unwrap()
+}
+
+#[test]
+fn ring_pass() {
+    let n = 8;
+    let report = run(n, move |rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        let mut token = vec![me as u64];
+        for _ in 0..n {
+            rank.send(COMM_WORLD, next, 1, &token)?;
+            let (t, st) = rank.recv::<u64>(COMM_WORLD, prev as u32, 1)?;
+            assert_eq!(st.src, RankId(prev as u32));
+            token = t;
+        }
+        // After n hops the original token returns.
+        Ok(to_bytes(&token[0]))
+    });
+    for (i, out) in report.outputs.iter().enumerate() {
+        let v: u64 = from_bytes(out).unwrap();
+        assert_eq!(v as usize, i);
+    }
+}
+
+#[test]
+fn any_source_collects_all() {
+    let report = run(5, |rank| {
+        if rank.world_rank() == 0 {
+            let mut seen = [false; 5];
+            for _ in 0..4 {
+                let (data, st) = rank.recv::<u64>(COMM_WORLD, Source::Any, 3)?;
+                assert_eq!(data[0], st.src.0 as u64 * 10);
+                seen[st.src.idx()] = true;
+            }
+            Ok(to_bytes(&(seen.iter().filter(|&&b| b).count() as u64)))
+        } else {
+            let me = rank.world_rank() as u64;
+            rank.send(COMM_WORLD, 0, 3, &[me * 10])?;
+            Ok(vec![])
+        }
+    });
+    let n: u64 = from_bytes(&report.outputs[0]).unwrap();
+    assert_eq!(n, 4);
+}
+
+#[test]
+fn any_tag_receives() {
+    let report = run(2, |rank| {
+        if rank.world_rank() == 0 {
+            rank.send(COMM_WORLD, 1, 42, &[1.0f64])?;
+            Ok(vec![])
+        } else {
+            let (_, st) = rank.recv::<f64>(COMM_WORLD, 0u32, TagSel::Any)?;
+            Ok(to_bytes(&(st.tag as u64)))
+        }
+    });
+    let tag: u64 = from_bytes(&report.outputs[1]).unwrap();
+    assert_eq!(tag, 42);
+}
+
+#[test]
+fn fifo_per_channel_many_messages() {
+    let report = run(2, |rank| {
+        const N: u64 = 500;
+        if rank.world_rank() == 0 {
+            for i in 0..N {
+                rank.send(COMM_WORLD, 1, 9, &[i])?;
+            }
+            Ok(vec![])
+        } else {
+            let mut ok = true;
+            for i in 0..N {
+                let (v, _) = rank.recv::<u64>(COMM_WORLD, 0u32, 9)?;
+                ok &= v[0] == i;
+            }
+            Ok(vec![ok as u8])
+        }
+    });
+    assert_eq!(report.outputs[1], vec![1]);
+}
+
+#[test]
+fn rendezvous_large_messages() {
+    // Above the 16 KiB eager threshold: exercises RTS/CTS/Data.
+    let report = run(2, |rank| {
+        let big: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.5).collect();
+        if rank.world_rank() == 0 {
+            rank.send(COMM_WORLD, 1, 1, &big)?;
+            Ok(vec![])
+        } else {
+            let (got, st) = rank.recv::<f64>(COMM_WORLD, 0u32, 1)?;
+            assert_eq!(st.len, 80_000);
+            assert_eq!(got, big);
+            Ok(vec![1])
+        }
+    });
+    assert_eq!(report.outputs[1], vec![1]);
+}
+
+#[test]
+fn isend_irecv_waitall() {
+    let report = run(4, |rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for p in 0..n {
+            if p != me {
+                recvs.push(rank.irecv(COMM_WORLD, p as u32, 5)?);
+            }
+        }
+        for p in 0..n {
+            if p != me {
+                sends.push(rank.isend(COMM_WORLD, p, 5, &[me as u64])?);
+            }
+        }
+        let rres = rank.waitall(&recvs)?;
+        rank.waitall(&sends)?;
+        let sum: u64 = rres
+            .iter()
+            .map(|(_, p)| {
+                let v: Vec<u64> =
+                    mini_mpi::datatype::unpack(p.as_ref().unwrap()).unwrap();
+                v[0]
+            })
+            .sum();
+        Ok(to_bytes(&sum))
+    });
+    // Each rank receives the sum of all other ranks' ids.
+    let total: u64 = (0..4).sum();
+    for (i, out) in report.outputs.iter().enumerate() {
+        let got: u64 = from_bytes(out).unwrap();
+        assert_eq!(got, total - i as u64);
+    }
+}
+
+#[test]
+fn waitany_returns_first_available() {
+    let report = run(3, |rank| {
+        match rank.world_rank() {
+            0 => {
+                // Wait for both, in whatever order they land.
+                let r1 = rank.irecv(COMM_WORLD, 1u32, 1)?;
+                let r2 = rank.irecv(COMM_WORLD, 2u32, 1)?;
+                let reqs = [r1, r2];
+                let (i, st, _) = rank.waitany(&reqs)?;
+                let remaining = reqs[1 - i];
+                let (st2, _) = rank.wait(remaining)?;
+                assert_ne!(st.src, st2.src);
+                Ok(vec![1])
+            }
+            _ => {
+                rank.send(COMM_WORLD, 0, 1, &[0u8])?;
+                Ok(vec![])
+            }
+        }
+    });
+    assert_eq!(report.outputs[0], vec![1]);
+}
+
+#[test]
+fn test_and_testall_nonblocking() {
+    let report = run(2, |rank| {
+        if rank.world_rank() == 0 {
+            // Delay the send so rank 1's first test is (very likely) None.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            rank.send(COMM_WORLD, 1, 2, &[7u64])?;
+            Ok(vec![])
+        } else {
+            let req = rank.irecv(COMM_WORLD, 0u32, 2)?;
+            let mut polls = 0u64;
+            loop {
+                if let Some((_, payload)) = rank.test(req)? {
+                    let v: Vec<u64> =
+                        mini_mpi::datatype::unpack(&payload.unwrap()).unwrap();
+                    assert_eq!(v[0], 7);
+                    break;
+                }
+                polls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Ok(to_bytes(&polls))
+        }
+    });
+    assert!(!report.outputs[1].is_empty());
+}
+
+#[test]
+fn iprobe_then_recv() {
+    let report = run(2, |rank| {
+        if rank.world_rank() == 0 {
+            rank.send(COMM_WORLD, 1, 11, &[3u32, 4, 5])?;
+            Ok(vec![])
+        } else {
+            // Poll until the message shows up, then receive exactly it.
+            let st = loop {
+                if let Some(st) = rank.iprobe(COMM_WORLD, Source::Any, 11)? {
+                    break st;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            };
+            assert_eq!(st.len, 12);
+            let (v, _) = rank.recv::<u32>(COMM_WORLD, st.src.0, 11)?;
+            Ok(to_bytes(&(v.iter().sum::<u32>() as u64)))
+        }
+    });
+    let sum: u64 = from_bytes(&report.outputs[1]).unwrap();
+    assert_eq!(sum, 12);
+}
+
+#[test]
+fn send_to_self() {
+    let report = run(1, |rank| {
+        let req = rank.irecv(COMM_WORLD, 0u32, 1)?;
+        rank.send(COMM_WORLD, 0, 1, &[9u64])?;
+        let (_, payload) = rank.wait(req)?;
+        let v: Vec<u64> = mini_mpi::datatype::unpack(&payload.unwrap()).unwrap();
+        Ok(to_bytes(&v[0]))
+    });
+    let v: u64 = from_bytes(&report.outputs[0]).unwrap();
+    assert_eq!(v, 9);
+}
+
+#[test]
+fn deadlock_is_detected_not_hung() {
+    let cfg = RuntimeConfig::new(2).with_deadlock_timeout(std::time::Duration::from_millis(200));
+    let report = Runtime::new(cfg)
+        .run(
+            std::sync::Arc::new(mini_mpi::ft::NativeProvider),
+            std::sync::Arc::new(|rank: &mut Rank| {
+                if rank.world_rank() == 0 {
+                    // Receive that can never be satisfied.
+                    let (_b, _s) = rank.recv_bytes(COMM_WORLD, 1u32, 999)?;
+                }
+                Ok(vec![])
+            }),
+            Vec::new(),
+            None,
+        )
+        .unwrap();
+    assert!(!report.errors.is_empty());
+    assert!(report.errors[0].1.contains("deadlock"));
+}
+
+#[test]
+fn reserved_tag_rejected() {
+    let report = Runtime::run_native(1, |rank| {
+        let err = rank.send(COMM_WORLD, 0, mini_mpi::types::TAG_USER_LIMIT + 1, &[0u8]);
+        assert!(err.is_err());
+        Ok(vec![1])
+    })
+    .unwrap()
+    .ok()
+    .unwrap();
+    assert_eq!(report.outputs[0], vec![1]);
+}
+
+#[test]
+fn raw_bytes_roundtrip() {
+    let report = run(2, |rank| {
+        if rank.world_rank() == 0 {
+            rank.send_bytes(COMM_WORLD, 1, 4, Bytes::from_static(b"payload"))?;
+            Ok(vec![])
+        } else {
+            let (b, _) = rank.recv_bytes(COMM_WORLD, 0u32, 4)?;
+            Ok(b.to_vec())
+        }
+    });
+    assert_eq!(report.outputs[1], b"payload");
+}
+
+#[test]
+fn stats_track_traffic() {
+    let report = run(2, |rank| {
+        if rank.world_rank() == 0 {
+            rank.send(COMM_WORLD, 1, 1, &[0u8; 64])?;
+            rank.send(COMM_WORLD, 1, 1, &[0u8; 36])?;
+        } else {
+            rank.recv::<u8>(COMM_WORLD, 0u32, 1)?;
+            rank.recv::<u8>(COMM_WORLD, 0u32, 1)?;
+        }
+        Ok(vec![])
+    });
+    assert_eq!(report.stats[0].sent_bytes[1], 100);
+    assert_eq!(report.stats[0].sent_msgs[1], 2);
+    assert_eq!(report.stats[1].recv_bytes[0], 100);
+}

@@ -1,0 +1,186 @@
+//! Channel- and send-determinism checkers (Definitions 1 and 2 of the
+//! paper).
+//!
+//! Method: run the application several times under scheduling perturbation
+//! (random delays injected before transmissions shake up message
+//! interleavings) and compare the send-sequence witnesses collected by the
+//! runtime:
+//!
+//! * per-channel chains equal across runs  ⇒ channel-deterministic;
+//! * per-process chains equal across runs  ⇒ send-deterministic.
+//!
+//! Being a testing method it can only *refute* determinism, never prove it —
+//! but that is exactly how the paper's authors classified applications too
+//! (by inspection and observation). The AMG skeleton demonstrates the
+//! interesting case: channel-deterministic but **not** send-deterministic
+//! (§5.1).
+
+use mini_mpi::config::{Perturb, RuntimeConfig};
+use mini_mpi::error::Result;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::stats::RankStats;
+use mini_mpi::{AppFn, Runtime};
+use std::sync::Arc;
+
+/// Result of a determinism check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// No per-channel send-sequence difference was observed.
+    pub channel_deterministic: bool,
+    /// No per-process send-order difference was observed.
+    pub send_deterministic: bool,
+    /// Number of perturbed executions compared.
+    pub runs: usize,
+}
+
+/// Options for the checker.
+#[derive(Clone, Debug)]
+pub struct CheckOpts {
+    /// Number of perturbed runs to compare against the reference.
+    pub runs: usize,
+    /// Maximum injected delay, microseconds.
+    pub max_delay_us: u64,
+    /// Per-transmission delay probability.
+    pub probability: f64,
+    /// Deadlock timeout for the runs.
+    pub timeout: std::time::Duration,
+}
+
+impl Default for CheckOpts {
+    fn default() -> Self {
+        CheckOpts {
+            runs: 3,
+            // Delays must dominate thread-scheduling noise (single-core
+            // machines start rank threads almost sequentially), so they are
+            // milliseconds-scale.
+            max_delay_us: 2_000,
+            probability: 0.6,
+            timeout: std::time::Duration::from_secs(60),
+        }
+    }
+}
+
+fn run_once(world: usize, app: &Arc<AppFn>, seed: u64, opts: &CheckOpts) -> Result<Vec<RankStats>> {
+    let cfg = RuntimeConfig::new(world)
+        .with_deadlock_timeout(opts.timeout)
+        .with_perturb(Perturb {
+            max_delay_us: opts.max_delay_us,
+            probability: opts.probability,
+            seed,
+        });
+    let report = Runtime::new(cfg)
+        .run(Arc::new(NativeProvider), Arc::clone(app), Vec::new(), None)?
+        .ok()?;
+    Ok(report.stats)
+}
+
+/// Compare `runs + 1` perturbed executions of `app`.
+pub fn check(world: usize, app: Arc<AppFn>, opts: &CheckOpts) -> Result<DeterminismReport> {
+    let reference = run_once(world, &app, 0xACE1, opts)?;
+    let mut channel_ok = true;
+    let mut send_ok = true;
+    for run in 0..opts.runs {
+        let sample = run_once(world, &app, 0xBEEF + run as u64 * 7919, opts)?;
+        for (a, b) in reference.iter().zip(&sample) {
+            if a.channel_chains != b.channel_chains {
+                channel_ok = false;
+            }
+            if a.process_chain != b.process_chain {
+                send_ok = false;
+            }
+        }
+        if !channel_ok && !send_ok {
+            break;
+        }
+    }
+    // A send-sequence difference on some channel implies both are violated;
+    // keep the implication explicit.
+    if !channel_ok {
+        send_ok = false;
+    }
+    Ok(DeterminismReport { channel_deterministic: channel_ok, send_deterministic: send_ok, runs: opts.runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_mpi::prelude::*;
+    use mini_mpi::wire::to_bytes;
+
+    #[test]
+    fn deterministic_ring_passes_both() {
+        let app: Arc<AppFn> = Arc::new(|rank: &mut Rank| {
+            let me = rank.world_rank();
+            let n = rank.world_size();
+            rank.send(COMM_WORLD, (me + 1) % n, 1, &[me as f64])?;
+            let (v, _) = rank.recv::<f64>(COMM_WORLD, ((me + n - 1) % n) as u32, 1)?;
+            Ok(to_bytes(&v[0]))
+        });
+        let rep = check(4, app, &CheckOpts { runs: 2, ..Default::default() }).unwrap();
+        assert!(rep.channel_deterministic);
+        assert!(rep.send_deterministic);
+    }
+
+    #[test]
+    fn arrival_dependent_sends_violate_send_determinism() {
+        // Rank 0 replies to whoever arrives first: per-channel content is
+        // fixed, per-process send order is not (the AMG situation).
+        let app: Arc<AppFn> = Arc::new(|rank: &mut Rank| {
+            match rank.world_rank() {
+                0 => {
+                    for _ in 0..2 {
+                        let (_v, st) = rank.recv::<f64>(COMM_WORLD, Source::Any, 1)?;
+                        rank.send(COMM_WORLD, st.src.idx(), 2, &[st.src.0 as f64])?;
+                    }
+                }
+                me => {
+                    rank.send(COMM_WORLD, 0, 1, &[me as f64])?;
+                    let _ = rank.recv::<f64>(COMM_WORLD, 0u32, 2)?;
+                }
+            }
+            Ok(vec![])
+        });
+        let rep = check(
+            3,
+            app,
+            &CheckOpts { runs: 8, max_delay_us: 4_000, probability: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(rep.channel_deterministic, "per-channel sequences are fixed");
+        assert!(!rep.send_deterministic, "reply order must vary across runs");
+    }
+
+    #[test]
+    fn content_depending_on_arrival_order_violates_channel_determinism() {
+        // Rank 0 accumulates in arrival order and sends the (ordering-
+        // sensitive) result onward: not even channel-deterministic.
+        let app: Arc<AppFn> = Arc::new(|rank: &mut Rank| {
+            match rank.world_rank() {
+                0 => {
+                    let mut acc = 1.0f64;
+                    for k in 0..2 {
+                        let (v, _st) = rank.recv::<f64>(COMM_WORLD, Source::Any, 1)?;
+                        acc = acc * 3.0 + v[0] * (k + 1) as f64;
+                    }
+                    rank.send(COMM_WORLD, 1, 2, &[acc])?;
+                }
+                1 => {
+                    rank.send(COMM_WORLD, 0, 1, &[2.0])?;
+                    let _ = rank.recv::<f64>(COMM_WORLD, 0u32, 2)?;
+                }
+                _ => {
+                    rank.send(COMM_WORLD, 0, 1, &[5.0])?;
+                }
+            }
+            Ok(vec![])
+        });
+        let rep = check(
+            3,
+            app,
+            &CheckOpts { runs: 8, max_delay_us: 4_000, probability: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!rep.channel_deterministic);
+        assert!(!rep.send_deterministic, "channel violation implies send violation");
+    }
+}

@@ -1,0 +1,124 @@
+//! A lightweight communication-event timeline.
+//!
+//! The determinism checkers compare *hashes* of send sequences; when they
+//! report a violation it is useful to see the actual per-channel sequences.
+//! `Timeline` reconstructs orderings from rank statistics and supports simple
+//! structural queries (who talks to whom, heaviest channels, send
+//! histograms) used by the clustering explorer and by debugging sessions.
+
+use mini_mpi::stats::RankStats;
+use mini_mpi::types::{ChannelId, RankId};
+use std::collections::HashMap;
+
+/// Aggregated view over a run's per-rank statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Per-channel message counts.
+    pub msgs: HashMap<ChannelId, u64>,
+    /// Per-channel byte counts.
+    pub bytes: HashMap<ChannelId, u64>,
+    /// World size.
+    pub world: usize,
+}
+
+impl Timeline {
+    /// Build from the runtime's per-rank statistics.
+    pub fn from_stats(stats: &[RankStats]) -> Self {
+        let world = stats.len();
+        let mut t = Timeline { world, ..Default::default() };
+        for s in stats {
+            for (chan, chain) in &s.channel_chains {
+                *t.msgs.entry(*chan).or_default() += chain.count;
+            }
+            for (dst, &bytes) in s.sent_bytes.iter().enumerate() {
+                if bytes > 0 {
+                    // Attribute to the world channel; finer per-communicator
+                    // byte accounting lives in channel_chains counts only.
+                    let chan = ChannelId::new(s.me, RankId(dst as u32), mini_mpi::types::COMM_WORLD);
+                    *t.bytes.entry(chan).or_default() += bytes;
+                }
+            }
+        }
+        t
+    }
+
+    /// Channels ordered by message count, heaviest first.
+    pub fn heaviest_channels(&self, top: usize) -> Vec<(ChannelId, u64)> {
+        let mut v: Vec<(ChannelId, u64)> = self.msgs.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        v.truncate(top);
+        v
+    }
+
+    /// Out-degree of a rank: how many distinct peers it sent to.
+    pub fn out_degree(&self, rank: RankId) -> usize {
+        let mut peers: Vec<RankId> = self
+            .msgs
+            .keys()
+            .filter(|c| c.src == rank)
+            .map(|c| c.dst)
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers.len()
+    }
+
+    /// Total messages recorded.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.values().sum()
+    }
+
+    /// True when rank `a` and `b` exchanged any message (either direction).
+    pub fn communicated(&self, a: RankId, b: RankId) -> bool {
+        self.msgs
+            .keys()
+            .any(|c| (c.src == a && c.dst == b) || (c.src == b && c.dst == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_mpi::types::COMM_WORLD;
+
+    fn stats_with_sends(me: u32, sends: &[(u32, &[u8])]) -> RankStats {
+        let mut s = RankStats::new(RankId(me), 4);
+        for &(dst, payload) in sends {
+            s.on_send(ChannelId::new(RankId(me), RankId(dst), COMM_WORLD), 1, payload, (0, 0));
+        }
+        s
+    }
+
+    #[test]
+    fn aggregates_counts_and_bytes() {
+        let stats = vec![
+            stats_with_sends(0, &[(1, b"abcd"), (1, b"ef"), (2, b"x")]),
+            stats_with_sends(1, &[(0, b"yy")]),
+            RankStats::new(RankId(2), 4),
+            RankStats::new(RankId(3), 4),
+        ];
+        let t = Timeline::from_stats(&stats);
+        assert_eq!(t.total_msgs(), 4);
+        let c01 = ChannelId::new(RankId(0), RankId(1), COMM_WORLD);
+        assert_eq!(t.msgs[&c01], 2);
+        assert_eq!(t.bytes[&c01], 6);
+        assert_eq!(t.out_degree(RankId(0)), 2);
+        assert_eq!(t.out_degree(RankId(3)), 0);
+        assert!(t.communicated(RankId(0), RankId(2)));
+        assert!(!t.communicated(RankId(2), RankId(3)));
+    }
+
+    #[test]
+    fn heaviest_channels_ordering() {
+        let stats = vec![
+            stats_with_sends(0, &[(1, b"a"), (1, b"b"), (2, b"c")]),
+            stats_with_sends(1, &[(2, b"d"), (2, b"e"), (2, b"f"), (2, b"g")]),
+            RankStats::new(RankId(2), 3),
+        ];
+        let t = Timeline::from_stats(&stats);
+        let top = t.heaviest_channels(2);
+        assert_eq!(top[0].0, ChannelId::new(RankId(1), RankId(2), COMM_WORLD));
+        assert_eq!(top[0].1, 4);
+        assert_eq!(top[1].1, 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! IPM-style profiles: where does the time go? (The paper uses the IPM
+//! profiling tool to explain the recovery results, §6.4.)
+
+use mini_mpi::stats::RankStats;
+use std::time::Duration;
+
+/// Communication/computation profile of one run.
+#[derive(Clone, Debug, Default)]
+pub struct IpmProfile {
+    /// Per-rank fraction of time spent in blocking communication.
+    pub comm_ratio: Vec<f64>,
+    /// Mean communication ratio.
+    pub avg_comm_ratio: f64,
+    /// Largest per-rank communication ratio.
+    pub max_comm_ratio: f64,
+    /// Total wall time across ranks.
+    pub total_time: Duration,
+    /// Total time in communication across ranks.
+    pub comm_time: Duration,
+}
+
+impl IpmProfile {
+    /// Build from the per-rank statistics of a run.
+    pub fn from_stats(stats: &[RankStats]) -> Self {
+        let comm_ratio: Vec<f64> = stats.iter().map(RankStats::comm_ratio).collect();
+        let avg = if comm_ratio.is_empty() {
+            0.0
+        } else {
+            comm_ratio.iter().sum::<f64>() / comm_ratio.len() as f64
+        };
+        let max = comm_ratio.iter().copied().fold(0.0, f64::max);
+        IpmProfile {
+            avg_comm_ratio: avg,
+            max_comm_ratio: max,
+            total_time: stats.iter().map(|s| s.total_time).sum(),
+            comm_time: stats.iter().map(|s| s.comm_time).sum(),
+            comm_ratio,
+        }
+    }
+
+    /// Communication-bound? (the paper's AMG threshold: >50 %).
+    pub fn is_comm_bound(&self) -> bool {
+        self.avg_comm_ratio > 0.5
+    }
+}
+
+/// Extract the directed byte matrix from per-rank statistics — the input of
+/// the clustering tool.
+pub fn comm_matrix(stats: &[RankStats]) -> Vec<Vec<u64>> {
+    stats.iter().map(|s| s.sent_bytes.clone()).collect()
+}
+
+/// Aggregate totals across ranks: `(messages, bytes)`.
+pub fn totals(stats: &[RankStats]) -> (u64, u64) {
+    (
+        stats.iter().map(RankStats::total_sent_msgs).sum(),
+        stats.iter().map(RankStats::total_sent_bytes).sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_mpi::types::RankId;
+
+    fn stats_with(comm_ms: u64, total_ms: u64) -> RankStats {
+        let mut s = RankStats::new(RankId(0), 2);
+        s.comm_time = Duration::from_millis(comm_ms);
+        s.total_time = Duration::from_millis(total_ms);
+        s
+    }
+
+    #[test]
+    fn profile_ratios() {
+        let stats = vec![stats_with(10, 100), stats_with(60, 100)];
+        let p = IpmProfile::from_stats(&stats);
+        assert!((p.comm_ratio[0] - 0.1).abs() < 1e-9);
+        assert!((p.avg_comm_ratio - 0.35).abs() < 1e-9);
+        assert!((p.max_comm_ratio - 0.6).abs() < 1e-9);
+        assert!(!p.is_comm_bound());
+        let heavy = vec![stats_with(80, 100)];
+        assert!(IpmProfile::from_stats(&heavy).is_comm_bound());
+    }
+
+    #[test]
+    fn matrix_and_totals() {
+        let mut a = RankStats::new(RankId(0), 2);
+        a.sent_bytes = vec![0, 30];
+        a.sent_msgs = vec![0, 3];
+        let b = RankStats::new(RankId(1), 2);
+        let m = comm_matrix(&[a.clone(), b.clone()]);
+        assert_eq!(m, vec![vec![0, 30], vec![0, 0]]);
+        assert_eq!(totals(&[a, b]), (3, 30));
+    }
+
+    #[test]
+    fn empty_profile_is_sane() {
+        let p = IpmProfile::from_stats(&[]);
+        assert_eq!(p.avg_comm_ratio, 0.0);
+        assert!(!p.is_comm_bound());
+    }
+}

@@ -1,0 +1,15 @@
+//! # spbc-trace
+//!
+//! Instrumentation consumers: determinism checkers (validating the paper's
+//! channel-determinism claims, §5.1) and IPM-style communication profiles
+//! (the tool the paper uses to explain recovery behavior, §6.4).
+
+#![warn(missing_docs)]
+
+pub mod determinism;
+pub mod events;
+pub mod ipm;
+
+pub use determinism::{check, CheckOpts, DeterminismReport};
+pub use events::Timeline;
+pub use ipm::{comm_matrix, totals, IpmProfile};

@@ -1,0 +1,49 @@
+//! Validate the paper's §5.1 determinism claims against the workload
+//! skeletons, using the perturbed-execution checkers.
+
+use spbc_apps::{AppParams, Workload};
+use spbc_trace::{check, CheckOpts};
+
+fn opts() -> CheckOpts {
+    CheckOpts { runs: 3, max_delay_us: 3_000, probability: 0.8, ..Default::default() }
+}
+
+fn params() -> AppParams {
+    AppParams { iters: 3, elems: 128, compute: 1, seed: 33, sleep_us: 0 }
+}
+
+#[test]
+fn amg_is_channel_but_not_send_deterministic() {
+    // The headline claim of §5.1: the Figure 4 pattern replies in request-
+    // arrival order, which breaks the per-process total order of sends while
+    // preserving every per-channel sequence.
+    let rep = check(6, Workload::Amg.build(params()), &opts()).unwrap();
+    assert!(rep.channel_deterministic, "AMG must stay channel-deterministic");
+    assert!(!rep.send_deterministic, "AMG must not be send-deterministic");
+}
+
+#[test]
+fn stencil_workloads_are_channel_deterministic() {
+    for w in [Workload::MiniGhost, Workload::Cm1, Workload::MiniFe] {
+        let rep = check(6, w.build(params()), &opts()).unwrap();
+        assert!(rep.channel_deterministic, "{} must be channel-deterministic", w.name());
+    }
+}
+
+#[test]
+fn particle_and_lattice_workloads_are_channel_deterministic() {
+    for w in [Workload::Gtc, Workload::Milc] {
+        let rep = check(6, w.build(params()), &opts()).unwrap();
+        assert!(rep.channel_deterministic, "{} must be channel-deterministic", w.name());
+    }
+}
+
+#[test]
+fn nas_workloads_are_send_deterministic() {
+    // Named receives only: the per-process send order never varies — the
+    // property HydEE requires.
+    for w in Workload::NAS {
+        let rep = check(4, w.build(params()), &opts()).unwrap();
+        assert!(rep.send_deterministic, "{} must be send-deterministic", w.name());
+    }
+}

@@ -1,0 +1,82 @@
+//! Profile a workload's communication, then explore clustering
+//! configurations: how much would each one log, and how balanced is the
+//! burden? (The workflow of §6.1/§6.6 — profile, run the tool of [30],
+//! inspect the trade-offs.)
+//!
+//! ```text
+//! cargo run --release --example clustering_explorer [workload] [ranks]
+//! ```
+
+use spbc::apps::Workload;
+use spbc::clustering::{partition, CommGraph, Objective, PartitionOpts};
+use spbc::harness::Scale;
+use spbc::mpi::ft::NativeProvider;
+use spbc::mpi::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args
+        .get(1)
+        .and_then(|n| Workload::by_name(n))
+        .unwrap_or(Workload::MiniGhost);
+    let world: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(16);
+    let scale = Scale { world, ..Scale::default() };
+
+    println!("profiling {} on {world} ranks ...", workload.name());
+    let report = Runtime::new(RuntimeConfig::new(world))
+        .run(
+            Arc::new(NativeProvider),
+            workload.build(scale.params(workload)),
+            Vec::new(),
+            None,
+        )
+        .expect("profile run")
+        .ok()
+        .expect("clean");
+    let graph = CommGraph::from_matrix(spbc::trace::comm_matrix(&report.stats));
+    println!(
+        "total traffic: {:.2} MB over {} ranks\n",
+        graph.total() as f64 / 1e6,
+        world
+    );
+
+    println!(
+        "{:>9} {:>11} {:>12} {:>12} {:>12}",
+        "clusters", "strategy", "logged MB", "max/rank MB", "avg/rank MB"
+    );
+    let nodes = world.div_ceil(scale.ranks_per_node);
+    for k in [2usize, 4, 8] {
+        if k > nodes {
+            break;
+        }
+        let blocks: Vec<usize> = (0..world).map(|r| r * k / world).collect();
+        let tool = partition(
+            &graph,
+            k,
+            &PartitionOpts { node_size: scale.ranks_per_node, slack: 1, ..Default::default() },
+        );
+        let minmax = partition(
+            &graph,
+            k,
+            &PartitionOpts {
+                node_size: scale.ranks_per_node,
+                slack: 1,
+                objective: Objective::MinMax,
+                ..Default::default()
+            },
+        );
+        for (name, a) in [("blocks", &blocks), ("min-total", &tool), ("min-max", &minmax)] {
+            let per = graph.logged_per_rank(a);
+            println!(
+                "{:>9} {:>11} {:>12.3} {:>12.3} {:>12.3}",
+                k,
+                name,
+                graph.cut_bytes(a) as f64 / 1e6,
+                per.iter().copied().max().unwrap_or(0) as f64 / 1e6,
+                per.iter().sum::<u64>() as f64 / per.len().max(1) as f64 / 1e6,
+            );
+        }
+    }
+    println!("\nthe min-total strategy is the paper's tool [30]; min-max trades total\nvolume for a balanced per-rank burden (the §6.6 discussion)");
+}

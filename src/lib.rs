@@ -1,0 +1,12 @@
+//! Facade crate for the SPBC reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem so examples and downstream
+//! users can depend on a single crate.
+
+pub use mini_mpi as mpi;
+pub use spbc_apps as apps;
+pub use spbc_baselines as baselines;
+pub use spbc_clustering as clustering;
+pub use spbc_core as core;
+pub use spbc_harness as harness;
+pub use spbc_trace as trace;

@@ -1,0 +1,97 @@
+//! Randomized protocol validation: for arbitrary (bounded) combinations of
+//! world size, clustering, checkpoint cadence and crash point, a failed and
+//! recovered execution must be bitwise identical to the native one.
+//!
+//! Each case spins up real thread worlds, so the case count is kept small —
+//! this is a protocol fuzzer, not a unit test.
+
+use proptest::prelude::*;
+use spbc::core::{ClusterMap, SpbcConfig, SpbcProvider};
+use spbc::mpi::failure::FailurePlan;
+use spbc::mpi::ft::NativeProvider;
+use spbc::mpi::prelude::*;
+use spbc::mpi::wire::to_bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The workload: ring exchange + periodic allreduce + data-dependent payload
+/// sizes (stresses eager/rendezvous mixing when the threshold is low).
+fn app(iters: u64, payload: usize) -> Arc<spbc::mpi::AppFn> {
+    Arc::new(move |rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let mut state: (u64, Vec<f64>) =
+            rank.restore()?.unwrap_or((0, vec![me as f64 + 0.5; payload]));
+        while state.0 < iters {
+            rank.failure_point()?;
+            let r = rank.irecv(COMM_WORLD, ((me + n - 1) % n) as u32, 1)?;
+            rank.send(COMM_WORLD, (me + 1) % n, 1, &state.1)?;
+            let (_st, data) = rank.wait(r)?;
+            let got: Vec<f64> = spbc::mpi::datatype::unpack(&data.unwrap())?;
+            for (a, b) in state.1.iter_mut().zip(&got) {
+                *a = 0.75 * *a + 0.25 * b + 1e-3;
+            }
+            if state.0 % 2 == 1 {
+                let s = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &[state.1[0]])?;
+                state.1[0] += 1e-6 * s[0];
+            }
+            state.0 += 1;
+            rank.checkpoint_if_due(&state)?;
+        }
+        Ok(to_bytes(&state.1))
+    })
+}
+
+fn cfg(world: usize, eager: usize) -> RuntimeConfig {
+    RuntimeConfig::new(world)
+        .with_eager_threshold(eager)
+        .with_deadlock_timeout(Duration::from_secs(30))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_crash_recovers_bitwise(
+        world in 3usize..9,
+        clusters in 1usize..4,
+        iters in 4u64..10,
+        ckpt in 0u64..5,
+        victim_pick in 0usize..64,
+        nth_pick in 0u64..64,
+        payload in 1usize..80,
+        eager in prop::sample::select(vec![64usize, 512, 16 * 1024]),
+    ) {
+        let clusters = clusters.min(world);
+        let victim = RankId((victim_pick % world) as u32);
+        let nth = 1 + nth_pick % iters;
+
+        let native = Runtime::new(cfg(world, eager))
+            .run(Arc::new(NativeProvider), app(iters, payload), Vec::new(), None)
+            .unwrap()
+            .ok()
+            .unwrap();
+
+        let provider = Arc::new(SpbcProvider::new(
+            ClusterMap::blocks(world, clusters),
+            SpbcConfig { ckpt_interval: ckpt, ..Default::default() },
+        ));
+        let report = Runtime::new(cfg(world, eager))
+            .run(
+                provider,
+                app(iters, payload),
+                vec![FailurePlan { rank: victim, nth }],
+                None,
+            )
+            .unwrap()
+            .ok()
+            .unwrap();
+
+        prop_assert_eq!(report.failures_handled, 1);
+        prop_assert_eq!(
+            &native.outputs, &report.outputs,
+            "world={} clusters={} iters={} ckpt={} victim={} nth={} payload={} eager={}",
+            world, clusters, iters, ckpt, victim, nth, payload, eager
+        );
+    }
+}
