@@ -94,8 +94,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
                     rank.send(COMM_WORLD, c, TAG_REQ, &q)?;
                 }
                 let mut served = 0u64;
-                let mut replies: Vec<Option<(Status, Vec<f64>)>> =
-                    vec![None; my_contacts.len()];
+                let mut replies: Vec<Option<(Status, Vec<f64>)>> = vec![None; my_contacts.len()];
                 let mut replies_done = 0usize;
                 while served < expected || replies_done < my_contacts.len() {
                     let mut progressed = false;
@@ -117,9 +116,8 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
                     for (i, r) in reply_reqs.iter().enumerate() {
                         if replies[i].is_none() {
                             if let Some((st, payload)) = rank.test(*r)? {
-                                let data: Vec<f64> = mini_mpi::datatype::unpack(
-                                    payload.as_ref().expect("reply"),
-                                )?;
+                                let data: Vec<f64> =
+                                    mini_mpi::datatype::unpack(payload.as_ref().expect("reply"))?;
                                 replies[i] = Some((st, data));
                                 replies_done += 1;
                                 progressed = true;

@@ -42,8 +42,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
                         recvs.push(rank.irecv(COMM_WORLD, from as u32, tag)?);
                     }
                     if let Some(to) = grid::neighbor_open(me, &dims, axis, dir) {
-                        let payload: Vec<f64> =
-                            field[..face.min(field.len())].to_vec();
+                        let payload: Vec<f64> = field[..face.min(field.len())].to_vec();
                         sends.push(rank.isend(COMM_WORLD, to, tag, &payload)?);
                     }
                 }
@@ -51,8 +50,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
             let halos = rank.waitall(&recvs)?;
             rank.waitall(&sends)?;
             for (k, (_st, payload)) in halos.iter().enumerate() {
-                let ghost: Vec<f64> =
-                    mini_mpi::datatype::unpack(payload.as_ref().expect("halo"))?;
+                let ghost: Vec<f64> = mini_mpi::datatype::unpack(payload.as_ref().expect("halo"))?;
                 for (i, g) in ghost.iter().enumerate() {
                     let idx = (k * 29 + i) % field.len();
                     field[idx] = 0.97 * field[idx] + 0.03 * g;

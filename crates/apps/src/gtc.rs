@@ -23,16 +23,15 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
         let nparticles = p.elems;
 
         // (step, particle positions in [0,1), grid field, patterns)
-        let mut state: (u64, Vec<f64>, Vec<f64>, Patterns) =
-            rank.restore()?.unwrap_or_else(|| {
-                let mut pats = Patterns::new();
-                let _shift = pats.declare();
-                let particles: Vec<f64> = compute::init_field(nparticles, p.seed + me as u64)
-                    .into_iter()
-                    .map(|x| (x + 1.0) / 2.0)
-                    .collect();
-                (0, particles, vec![0.0; 64], pats)
-            });
+        let mut state: (u64, Vec<f64>, Vec<f64>, Patterns) = rank.restore()?.unwrap_or_else(|| {
+            let mut pats = Patterns::new();
+            let _shift = pats.declare();
+            let particles: Vec<f64> = compute::init_field(nparticles, p.seed + me as u64)
+                .into_iter()
+                .map(|x| (x + 1.0) / 2.0)
+                .collect();
+            (0, particles, vec![0.0; 64], pats)
+        });
         let shift = PatternId(1);
 
         while state.0 < p.iters {
@@ -48,10 +47,8 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
             if n > 1 {
                 // Particles leaving the local toroidal section migrate: the
                 // counts depend on the data, the channels do not.
-                let left: Vec<f64> =
-                    particles.iter().copied().filter(|&x| x < 0.1).collect();
-                let right: Vec<f64> =
-                    particles.iter().copied().filter(|&x| x > 0.9).collect();
+                let left: Vec<f64> = particles.iter().copied().filter(|&x| x < 0.1).collect();
+                let right: Vec<f64> = particles.iter().copied().filter(|&x| x > 0.9).collect();
                 particles.retain(|&x| (0.1..=0.9).contains(&x));
 
                 pats.begin_iteration(rank, shift)?;

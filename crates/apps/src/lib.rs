@@ -191,11 +191,8 @@ mod tests {
 
     #[test]
     fn any_source_set_matches_paper() {
-        let any: Vec<&str> = Workload::EVALUATION
-            .iter()
-            .filter(|w| w.uses_any_source())
-            .map(|w| w.name())
-            .collect();
+        let any: Vec<&str> =
+            Workload::EVALUATION.iter().filter(|w| w.uses_any_source()).map(|w| w.name()).collect();
         assert_eq!(any, vec!["AMG", "GTC", "MILC", "MiniFE"]);
         assert_eq!(Workload::Amg.annotated_patterns(), 3);
         assert_eq!(Workload::Milc.annotated_patterns(), 1);

@@ -46,8 +46,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
                         // The sender is unambiguous per direction, but the
                         // receive is posted anonymously (as in the original).
                         recvs.push(rank.irecv(COMM_WORLD, Source::Any, tag)?);
-                        let payload: Vec<f64> = field
-                            [(axis * face) % field.len()..]
+                        let payload: Vec<f64> = field[(axis * face) % field.len()..]
                             .iter()
                             .take(face)
                             .copied()
@@ -63,8 +62,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
             // Canonical fold (by source then tag).
             faces.sort_by_key(|(st, _)| (st.tag, st.src));
             for (st, payload) in &faces {
-                let ghost: Vec<f64> =
-                    mini_mpi::datatype::unpack(payload.as_ref().expect("face"))?;
+                let ghost: Vec<f64> = mini_mpi::datatype::unpack(payload.as_ref().expect("face"))?;
                 let off = (st.tag as usize * 13) % field.len();
                 for (i, g) in ghost.iter().enumerate() {
                     let idx = (off + i) % field.len();

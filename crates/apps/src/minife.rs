@@ -66,8 +66,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
             let mut halos = halos;
             halos.sort_by_key(|(st, _)| st.src);
             for (st, payload) in &halos {
-                let ghost: Vec<f64> =
-                    mini_mpi::datatype::unpack(payload.as_ref().expect("halo"))?;
+                let ghost: Vec<f64> = mini_mpi::datatype::unpack(payload.as_ref().expect("halo"))?;
                 let scale = 1.0 + st.src.0 as f64 * 1e-3;
                 for (i, g) in ghost.iter().enumerate() {
                     let idx = i % field.len();

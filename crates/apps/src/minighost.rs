@@ -42,8 +42,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
                     }
                     if to != me {
                         let lo = (axis * face).min(field.len() - face.min(field.len()));
-                        let payload: Vec<f64> =
-                            field[lo..(lo + face).min(field.len())].to_vec();
+                        let payload: Vec<f64> = field[lo..(lo + face).min(field.len())].to_vec();
                         sends.push(rank.isend(COMM_WORLD, to, tag, &payload)?);
                     }
                 }

@@ -146,8 +146,7 @@ pub fn mg(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync +
             rank.failure_point()?;
             let field = &mut state.1;
             // Down-leg then up-leg of the V-cycle.
-            let schedule: Vec<usize> =
-                (0..levels).chain((0..levels).rev()).collect();
+            let schedule: Vec<usize> = (0..levels).chain((0..levels).rev()).collect();
             for (k, &lvl) in schedule.iter().enumerate() {
                 if n > 1 {
                     let stride = 1usize << lvl;
@@ -160,8 +159,7 @@ pub fn mg(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync +
                             field[..(face >> lvl).max(2).min(field.len())].to_vec();
                         rank.send(COMM_WORLD, to, tag, &payload)?;
                         let (_st, data) = rank.wait(rreq)?;
-                        let ghost: Vec<f64> =
-                            mini_mpi::datatype::unpack(&data.expect("mg halo"))?;
+                        let ghost: Vec<f64> = mini_mpi::datatype::unpack(&data.expect("mg halo"))?;
                         for (i, g) in ghost.iter().enumerate() {
                             let idx = (k * 19 + i) % field.len();
                             field[idx] = 0.9 * field[idx] + 0.1 * g;
@@ -213,9 +211,7 @@ mod tests {
 
     #[test]
     fn nas_apps_run_on_one_rank() {
-        assert!(!Runtime::run_native(1, bt(params())).unwrap().ok().unwrap().outputs[0]
-            .is_empty());
-        assert!(!Runtime::run_native(1, mg(params())).unwrap().ok().unwrap().outputs[0]
-            .is_empty());
+        assert!(!Runtime::run_native(1, bt(params())).unwrap().ok().unwrap().outputs[0].is_empty());
+        assert!(!Runtime::run_native(1, mg(params())).unwrap().ok().unwrap().outputs[0].is_empty());
     }
 }

@@ -77,15 +77,10 @@ fn failure_during_anothers_recovery() {
     ));
     // Back-to-back: rank 2's cluster dies at iteration 10; rank 4's dies at
     // its own iteration 11 — while cluster {2,3} is still replaying.
-    let plans = vec![
-        FailurePlan { rank: RankId(2), nth: 11 },
-        FailurePlan { rank: RankId(4), nth: 12 },
-    ];
-    let report = Runtime::new(cfg())
-        .run(provider, w.build(params()), plans, None)
-        .unwrap()
-        .ok()
-        .unwrap();
+    let plans =
+        vec![FailurePlan { rank: RankId(2), nth: 11 }, FailurePlan { rank: RankId(4), nth: 12 }];
+    let report =
+        Runtime::new(cfg()).run(provider, w.build(params()), plans, None).unwrap().ok().unwrap();
     assert_eq!(report.failures_handled, 2);
     assert_eq!(native.outputs, report.outputs);
 }

@@ -60,11 +60,7 @@ fn freeing_actually_releases_node_memory() {
     let run = |free: bool| {
         let provider = Arc::new(SpbcProvider::new(
             ClusterMap::blocks(WORLD, 4),
-            SpbcConfig {
-                ckpt_interval: 3,
-                free_logs_on_checkpoint: free,
-                ..Default::default()
-            },
+            SpbcConfig { ckpt_interval: 3, free_logs_on_checkpoint: free, ..Default::default() },
         ));
         Runtime::new(cfg())
             .run(Arc::clone(&provider) as Arc<SpbcProvider>, w.build(params()), Vec::new(), None)

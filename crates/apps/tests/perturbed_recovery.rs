@@ -12,9 +12,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn cfg(seed: u64) -> RuntimeConfig {
-    RuntimeConfig::new(6)
-        .with_deadlock_timeout(Duration::from_secs(60))
-        .with_perturb(Perturb { max_delay_us: 800, probability: 0.4, seed })
+    RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(60)).with_perturb(Perturb {
+        max_delay_us: 800,
+        probability: 0.4,
+        seed,
+    })
 }
 
 fn params() -> AppParams {
@@ -35,18 +37,14 @@ fn check(w: Workload) {
             SpbcConfig { ckpt_interval: 3, ..Default::default() },
         ));
         let report = Runtime::new(cfg(seed))
-            .run(
-                provider,
-                w.build(params()),
-                vec![FailurePlan { rank: RankId(3), nth: 6 }],
-                None,
-            )
+            .run(provider, w.build(params()), vec![FailurePlan { rank: RankId(3), nth: 6 }], None)
             .unwrap()
             .ok()
             .unwrap();
         assert_eq!(report.failures_handled, 1, "{} seed {}", w.name(), seed);
         assert_eq!(
-            native.outputs, report.outputs,
+            native.outputs,
+            report.outputs,
             "{} seed {}: perturbed recovery diverged",
             w.name(),
             seed

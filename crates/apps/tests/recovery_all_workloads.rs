@@ -34,11 +34,7 @@ fn spbc_run(w: Workload, plans: Vec<FailurePlan>) -> RunReport {
         ClusterMap::blocks(WORLD, 4),
         SpbcConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    Runtime::new(runtime_cfg())
-        .run(provider, w.build(params()), plans, None)
-        .unwrap()
-        .ok()
-        .unwrap()
+    Runtime::new(runtime_cfg()).run(provider, w.build(params()), plans, None).unwrap().ok().unwrap()
 }
 
 fn check_workload(w: Workload) {
@@ -49,12 +45,7 @@ fn check_workload(w: Workload) {
     // Crash rank 5's cluster after the first checkpoint wave.
     let failed = spbc_run(w, vec![FailurePlan { rank: RankId(5), nth: 7 }]);
     assert_eq!(failed.failures_handled, 1, "{}", w.name());
-    assert_eq!(
-        native.outputs,
-        failed.outputs,
-        "{}: recovered run diverged from native",
-        w.name()
-    );
+    assert_eq!(native.outputs, failed.outputs, "{}: recovered run diverged from native", w.name());
     // Containment: only cluster {4,5} restarted.
     assert_eq!(failed.restarts, vec![0, 0, 0, 0, 1, 1, 0, 0], "{}", w.name());
 }

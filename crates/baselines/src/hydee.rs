@@ -215,8 +215,8 @@ mod tests {
         c.pending.push(Reverse((30, 2)));
         c.pending.push(Reverse((10, 1)));
         c.pending.push(Reverse((20, 3)));
-        let order: Vec<u32> = std::iter::from_fn(|| c.pending.pop().map(|Reverse((_, r))| r))
-            .collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| c.pending.pop().map(|Reverse((_, r))| r)).collect();
         assert_eq!(order, vec![1, 3, 2]);
     }
 

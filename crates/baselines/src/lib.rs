@@ -29,10 +29,7 @@ pub fn pure_logging(world: usize, ckpt_interval: u64) -> SpbcProvider {
 /// Plain coordinated checkpointing: one cluster, nothing logged, every
 /// failure rolls back all ranks to the last global checkpoint.
 pub fn coordinated(world: usize, ckpt_interval: u64) -> SpbcProvider {
-    SpbcProvider::new(
-        ClusterMap::single(world),
-        SpbcConfig { ckpt_interval, ..Default::default() },
-    )
+    SpbcProvider::new(ClusterMap::single(world), SpbcConfig { ckpt_interval, ..Default::default() })
 }
 
 #[cfg(test)]

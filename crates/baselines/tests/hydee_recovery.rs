@@ -37,9 +37,8 @@ fn run_hydee(world: usize, iters: u64, plans: Vec<FailurePlan>) -> (RunReport, A
         ClusterMap::blocks(world, 2),
         HydeeConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    let cfg = RuntimeConfig::new(world)
-        .with_services(1)
-        .with_deadlock_timeout(Duration::from_secs(10));
+    let cfg =
+        RuntimeConfig::new(world).with_services(1).with_deadlock_timeout(Duration::from_secs(10));
     let report = Runtime::new(cfg)
         .run(
             Arc::clone(&provider) as Arc<HydeeProvider>,
@@ -94,13 +93,11 @@ fn hydee_replay_is_serialized_spbc_is_not() {
         ClusterMap::blocks(6, 3),
         SpbcConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    let report = Runtime::new(
-        RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(10)),
-    )
-    .run(Arc::clone(&spbc_provider) as Arc<SpbcProvider>, Arc::new(ring_app(12)), plans(), None)
-    .unwrap()
-    .ok()
-    .unwrap();
+    let report = Runtime::new(RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(10)))
+        .run(Arc::clone(&spbc_provider) as Arc<SpbcProvider>, Arc::new(ring_app(12)), plans(), None)
+        .unwrap()
+        .ok()
+        .unwrap();
     assert_eq!(report.failures_handled, 1);
 
     let hm = hydee_provider.metrics();
@@ -122,22 +119,20 @@ fn hydee_pure_logging_and_coordinated_baselines_run() {
         .unwrap()
         .ok()
         .unwrap();
-    for provider in [
-        Arc::new(spbc_baselines::pure_logging(4, 3)),
-        Arc::new(spbc_baselines::coordinated(4, 3)),
-    ] {
-        let report = Runtime::new(
-            RuntimeConfig::new(4).with_deadlock_timeout(Duration::from_secs(10)),
-        )
-        .run(
-            provider,
-            Arc::new(ring_app(8)),
-            vec![FailurePlan { rank: RankId(1), nth: 5 }],
-            None,
-        )
-        .unwrap()
-        .ok()
-        .unwrap();
+    for provider in
+        [Arc::new(spbc_baselines::pure_logging(4, 3)), Arc::new(spbc_baselines::coordinated(4, 3))]
+    {
+        let report =
+            Runtime::new(RuntimeConfig::new(4).with_deadlock_timeout(Duration::from_secs(10)))
+                .run(
+                    provider,
+                    Arc::new(ring_app(8)),
+                    vec![FailurePlan { rank: RankId(1), nth: 5 }],
+                    None,
+                )
+                .unwrap()
+                .ok()
+                .unwrap();
         assert_eq!(native.outputs, report.outputs);
         assert_eq!(report.failures_handled, 1);
     }

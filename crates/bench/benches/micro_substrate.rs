@@ -16,9 +16,7 @@ fn wire(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(8 * 1024));
     g.bench_function("encode_vec_f64_1k", |b| b.iter(|| to_bytes(&v)));
     let bytes = to_bytes(&v);
-    g.bench_function("decode_vec_f64_1k", |b| {
-        b.iter(|| from_bytes::<Vec<f64>>(&bytes).unwrap())
-    });
+    g.bench_function("decode_vec_f64_1k", |b| b.iter(|| from_bytes::<Vec<f64>>(&bytes).unwrap()));
     g.finish();
 }
 
@@ -39,8 +37,84 @@ fn log(c: &mut Criterion) {
         filled.append(make_msg(0, (s % 8) as u32 + 1, (s - 1) / 8 + 1, &[0u8; 64]));
     }
     g.bench_function("replay_set_from_1k", |b| {
-        b.iter(|| filled.replay_set(mini_mpi::types::RankId(1), &|_| 0, &|_, _| false))
+        b.iter(|| filled.replay_set(mini_mpi::types::RankId(1), &|_| 0, &|_| Vec::new()))
     });
+    g.finish();
+}
+
+/// Matching-engine scan cost vs queue depth: one arrival matched against a
+/// posted queue of `depth` receives on distinct channels, where the target is
+/// the deepest entry (worst case for a linear scan, average case for the
+/// channel index). The matched request is immediately re-posted so the queue
+/// depth stays constant across iterations. `wild` variants make every 16th
+/// posted receive source-wildcard, exercising the indexed engine's wildcard
+/// side-list alongside its exact buckets.
+fn matching(c: &mut Criterion) {
+    use mini_mpi::envelope::Envelope;
+    use mini_mpi::matching::{reference::ReferenceMatchEngine, MatchEngine};
+    use mini_mpi::request::{RecvSpec, RequestId};
+    use mini_mpi::types::{CommId, MatchIdent, RankId, Source, TagSel};
+
+    let check = |s: &RecvSpec, e: &Envelope| s.ident == e.ident;
+    let spec_of = |tag: u32, wild: bool| RecvSpec {
+        comm: CommId(0),
+        src: if wild { Source::Any } else { Source::Rank(RankId(0)) },
+        tag: TagSel::Tag(tag),
+        ident: MatchIdent::new(0, 1),
+    };
+    let env_of = |tag: u32| Envelope {
+        src: RankId(0),
+        dst: RankId(1),
+        comm: CommId(0),
+        tag,
+        seqnum: 1,
+        plen: 0,
+        lamport: 1,
+        ident: MatchIdent::new(0, 1),
+    };
+
+    let mut g = c.benchmark_group("matching");
+    g.measurement_time(Duration::from_secs(4));
+    for &depth in &[16usize, 256, 4096] {
+        for wildcards in [false, true] {
+            let suffix = if wildcards { "wild" } else { "exact" };
+            // The target tag (depth - 1) is never one of the wildcard slots
+            // (multiples of 16), so both variants match an exact entry.
+            let target_env = env_of(depth as u32 - 1);
+            let target_spec = spec_of(depth as u32 - 1, false);
+
+            g.bench_with_input(
+                BenchmarkId::new(format!("indexed_{suffix}"), depth),
+                &depth,
+                |b, &depth| {
+                    let mut eng = MatchEngine::new();
+                    for i in 0..depth {
+                        eng.post(RequestId(i as u64), spec_of(i as u32, wildcards && i % 16 == 0));
+                    }
+                    b.iter(|| {
+                        let id = eng.match_arrival(&target_env, &check).unwrap();
+                        eng.post(id, target_spec);
+                        id
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("linear_{suffix}"), depth),
+                &depth,
+                |b, &depth| {
+                    let mut eng = ReferenceMatchEngine::new();
+                    for i in 0..depth {
+                        eng.post(RequestId(i as u64), spec_of(i as u32, wildcards && i % 16 == 0));
+                    }
+                    b.iter(|| {
+                        let id = eng.match_arrival(&target_env, &check).unwrap();
+                        eng.post(id, target_spec);
+                        id
+                    })
+                },
+            );
+        }
+    }
     g.finish();
 }
 
@@ -115,5 +189,5 @@ fn spawn_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, wire, log, p2p, collectives, spawn_overhead);
+criterion_group!(benches, wire, log, matching, p2p, collectives, spawn_overhead);
 criterion_main!(benches);

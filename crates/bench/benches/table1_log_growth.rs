@@ -30,12 +30,7 @@ fn bench(c: &mut Criterion) {
                     SpbcConfig::default(),
                 ));
                 let report = Runtime::new(RuntimeConfig::new(WORLD))
-                    .run(
-                        provider,
-                        Workload::MiniGhost.build(params()),
-                        Vec::new(),
-                        None,
-                    )
+                    .run(provider, Workload::MiniGhost.build(params()), Vec::new(), None)
                     .unwrap()
                     .ok()
                     .unwrap();

@@ -96,10 +96,8 @@ fn greedy_growth(g: &CommGraph, k: usize) -> Vec<usize> {
             let next = (0..n)
                 .filter(|&i| assign[i] == usize::MAX)
                 .max_by_key(|&i| {
-                    let w: u64 = (0..n)
-                        .filter(|&j| assign[j] == cluster)
-                        .map(|j| g.affinity(i, j))
-                        .sum();
+                    let w: u64 =
+                        (0..n).filter(|&j| assign[j] == cluster).map(|j| g.affinity(i, j)).sum();
                     (w, std::cmp::Reverse(i))
                 })
                 .expect("unassigned node exists");
@@ -114,10 +112,7 @@ fn greedy_growth(g: &CommGraph, k: usize) -> Vec<usize> {
         if assign[i] == usize::MAX {
             let best = (0..k)
                 .max_by_key(|&c| {
-                    let w: u64 = (0..n)
-                        .filter(|&j| assign[j] == c)
-                        .map(|j| g.affinity(i, j))
-                        .sum();
+                    let w: u64 = (0..n).filter(|&j| assign[j] == c).map(|j| g.affinity(i, j)).sum();
                     (w, std::cmp::Reverse(c))
                 })
                 .unwrap();
@@ -288,11 +283,8 @@ mod tests {
         g.add(1, 2, 5);
         g.add(3, 4, 5);
         let total = partition(&g, 3, &PartitionOpts::default());
-        let minmax = partition(
-            &g,
-            3,
-            &PartitionOpts { objective: Objective::MinMax, ..Default::default() },
-        );
+        let minmax =
+            partition(&g, 3, &PartitionOpts { objective: Objective::MinMax, ..Default::default() });
         let max_of = |a: &[usize]| g.logged_per_rank(a).into_iter().max().unwrap();
         assert!(max_of(&minmax) <= max_of(&total));
     }

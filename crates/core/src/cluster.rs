@@ -22,10 +22,7 @@ impl ClusterMap {
         for (rank, &c) in assignment.iter().enumerate() {
             members[c].push(RankId(rank as u32));
         }
-        debug_assert!(
-            members.iter().all(|m| !m.is_empty()),
-            "cluster indices must be dense"
-        );
+        debug_assert!(members.iter().all(|m| !m.is_empty()), "cluster indices must be dense");
         ClusterMap { assignment, members }
     }
 
@@ -90,18 +87,14 @@ impl ClusterMap {
     /// Ranks *outside* `rank`'s cluster (Rollback notification targets).
     pub fn other_ranks(&self, rank: RankId) -> impl Iterator<Item = RankId> + '_ {
         let c = self.cluster_of(rank);
-        (0..self.assignment.len())
-            .filter(move |&r| self.assignment[r] != c)
-            .map(RankId::from)
+        (0..self.assignment.len()).filter(move |&r| self.assignment[r] != c).map(RankId::from)
     }
 
     /// Validate against a node layout: returns `false` if any node's ranks
     /// span two clusters (failure containment below node granularity is
     /// pointless — Section 6.1).
     pub fn respects_nodes(&self, ranks_per_node: usize) -> bool {
-        self.assignment
-            .chunks(ranks_per_node)
-            .all(|chunk| chunk.iter().all(|&c| c == chunk[0]))
+        self.assignment.chunks(ranks_per_node).all(|chunk| chunk.iter().all(|&c| c == chunk[0]))
     }
 }
 

@@ -20,6 +20,16 @@ pub const KIND_CKPT_REPORT: u16 = 4;
 pub const KIND_CKPT_POLL: u16 = 5;
 /// `kind` value of a leader commit (body: checkpoint epoch).
 pub const KIND_CKPT_COMMIT: u16 = 6;
+/// `kind` value of a member's commit acknowledgement (body: checkpoint
+/// epoch). The member has written its checkpoint and now blocks until the
+/// leader's resume.
+pub const KIND_CKPT_ACK: u16 = 7;
+/// `kind` value of the leader's resume broadcast (body: checkpoint epoch):
+/// every member has committed, the application may continue. Without this
+/// barrier a committed member's next sends could reach a sibling that has
+/// not committed yet and be captured in its checkpoint — an inconsistent
+/// cut, since the send is not in the sender's.
+pub const KIND_CKPT_RESUME: u16 = 8;
 /// Coordinated replay (HydEE model): replayer asks permission to re-send its
 /// next logged message (body: Lamport timestamp of that message).
 pub const KIND_GRANT_REQ: u16 = 10;
@@ -211,6 +221,8 @@ mod tests {
             KIND_CKPT_REPORT,
             KIND_CKPT_POLL,
             KIND_CKPT_COMMIT,
+            KIND_CKPT_ACK,
+            KIND_CKPT_RESUME,
             KIND_GRANT_REQ,
             KIND_GRANT,
             KIND_GRANT_DONE,

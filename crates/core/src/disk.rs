@@ -80,9 +80,8 @@ impl DiskStore {
         let entries = fs::read_dir(&self.root)
             .map_err(|e| MpiError::app(format!("read dir {}: {e}", self.root.display())))?;
         for entry in entries {
-            let name = entry
-                .map_err(|e| MpiError::app(format!("read dir entry: {e}")))?
-                .file_name();
+            let name =
+                entry.map_err(|e| MpiError::app(format!("read dir entry: {e}")))?.file_name();
             let name = name.to_string_lossy();
             if let Some(rest) = name.strip_prefix(&prefix) {
                 if let Some(e) = rest.strip_suffix(".ckpt").and_then(|v| v.parse().ok()) {
@@ -122,10 +121,7 @@ impl DiskStore {
 
 /// Mirror every committed checkpoint of an in-memory store to disk.
 /// (Convenience for experiments that want durable artifacts.)
-pub fn snapshot_all(
-    store: &crate::store::SharedStore,
-    disk: &DiskStore,
-) -> Result<usize> {
+pub fn snapshot_all(store: &crate::store::SharedStore, disk: &DiskStore) -> Result<usize> {
     let mut written = 0;
     for r in 0..store.len() {
         let rank = RankId(r as u32);

@@ -11,7 +11,7 @@
 
 use mini_mpi::envelope::{Envelope, Message};
 use mini_mpi::types::{ChannelId, RankId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One logged message.
 #[derive(Clone, Debug)]
@@ -27,15 +27,35 @@ pub struct LogEntry {
 /// stable-storage copy created when a checkpoint commits ("logs are saved as
 /// part of the process checkpoints, and the associated memory can be freed
 /// afterwards", §6.2). Replay reads both transparently.
+/// Entries within a channel are strictly seqnum-ordered (enforced by a debug
+/// assert in [`MessageLog::append`]), and the archive prefix sorts entirely
+/// below the in-memory part, so every per-channel lookup — `find`, the
+/// `replay_set` watermark cut, the missing-seqnum pickup — is a binary
+/// search, never a scan. A destination index maps each peer to its channels
+/// so `replay_set` touches only the channels that can contribute.
 #[derive(Default)]
 pub struct MessageLog {
     channels: HashMap<ChannelId, Vec<LogEntry>>,
     /// Stable-storage prefix per channel (entries older than the last
     /// archiving checkpoint). Logically these precede `channels`' entries.
     archive: HashMap<ChannelId, Vec<LogEntry>>,
+    /// Channels (memory or archive) by destination rank; `BTreeSet` keeps
+    /// replay deterministic.
+    by_dst: HashMap<RankId, BTreeSet<ChannelId>>,
     next_order: u64,
     bytes: u64,
     archived_bytes: u64,
+}
+
+/// First index in a seqnum-sorted slice with `seqnum > watermark`.
+fn cut_above(entries: &[LogEntry], watermark: u64) -> usize {
+    entries.partition_point(|e| e.msg.env.seqnum <= watermark)
+}
+
+/// Index of the entry with exactly `seqnum`, if present.
+fn find_seq(entries: &[LogEntry], seqnum: u64) -> Option<usize> {
+    let i = entries.partition_point(|e| e.msg.env.seqnum < seqnum);
+    (i < entries.len() && entries[i].msg.env.seqnum == seqnum).then_some(i)
 }
 
 impl MessageLog {
@@ -59,6 +79,7 @@ impl MessageLog {
             "log must stay seqnum-ordered per channel"
         );
         entries.push(LogEntry { msg, order });
+        self.by_dst.entry(chan.dst).or_default().insert(chan);
     }
 
     /// Payload bytes held in *node memory* (the Table-1 metric; archived
@@ -84,33 +105,43 @@ impl MessageLog {
     /// `replay_set` and `truncate_to` see archive + memory as one log.
     pub fn archive_all(&mut self) {
         for (chan, mut entries) in self.channels.drain() {
-            self.archived_bytes +=
-                entries.iter().map(|e| e.msg.payload.len() as u64).sum::<u64>();
+            self.archived_bytes += entries.iter().map(|e| e.msg.payload.len() as u64).sum::<u64>();
             self.archive.entry(chan).or_default().append(&mut entries);
         }
         self.bytes = 0;
     }
 
     /// Entries destined to rank `dst` that must be replayed: those with
-    /// `seqnum > lr` on any channel to `dst`, plus those explicitly listed in
-    /// `also` (payload-less rendezvous announcements the receiver had seen
+    /// `seqnum > lr` on any channel to `dst`, plus the explicitly `missing`
+    /// seqnums (payload-less rendezvous announcements the receiver had seen
     /// but never completed). Sorted by the global send order (§5.2.2).
+    ///
+    /// Cost: O(log n) per channel for the watermark cut plus O(log n) per
+    /// missing seqnum, plus the size of the output — never a scan of the
+    /// retained prefix.
     pub fn replay_set(
         &self,
         dst: RankId,
         lr: &dyn Fn(ChannelId) -> u64,
-        also: &dyn Fn(ChannelId, u64) -> bool,
+        missing: &dyn Fn(ChannelId) -> Vec<u64>,
     ) -> Vec<Message> {
         let mut picked: Vec<&LogEntry> = Vec::new();
-        for source in [&self.archive, &self.channels] {
-            for (chan, entries) in source {
-                if chan.dst != dst {
-                    continue;
-                }
-                let watermark = lr(*chan);
-                for e in entries {
-                    if e.msg.env.seqnum > watermark || also(*chan, e.msg.env.seqnum) {
-                        picked.push(e);
+        let Some(chans) = self.by_dst.get(&dst) else {
+            return Vec::new();
+        };
+        for &chan in chans {
+            let watermark = lr(chan);
+            let owed = missing(chan);
+            for entries in [self.archive.get(&chan), self.channels.get(&chan)].into_iter().flatten()
+            {
+                // Suffix above the receiver's watermark: replay wholesale.
+                let cut = cut_above(entries, watermark);
+                picked.extend(&entries[cut..]);
+                // Owed seqnums at or below the watermark: point lookups in
+                // the retained prefix.
+                for &seq in &owed {
+                    if let Some(i) = find_seq(&entries[..cut], seq) {
+                        picked.push(&entries[i]);
                     }
                 }
             }
@@ -140,52 +171,68 @@ impl MessageLog {
     /// the order counter. Re-execution will regenerate the truncated suffix
     /// identically (channel-determinism).
     pub fn truncate_to(&mut self, lengths: &HashMap<ChannelId, usize>, order_counter: u64) {
+        // Byte counters are maintained incrementally: subtract exactly the
+        // dropped suffix of each channel instead of rescanning the survivors.
         // Archive first (the stable prefix), then memory for the remainder.
+        let (mut bytes, mut archived_bytes) = (self.bytes, self.archived_bytes);
         self.archive.retain(|chan, entries| {
             let keep = lengths.get(chan).copied().unwrap_or(0);
+            archived_bytes -=
+                entries[keep.min(entries.len())..].iter().map(payload_len).sum::<u64>();
             entries.truncate(keep);
             !entries.is_empty()
         });
         self.channels.retain(|chan, entries| {
             let logical_keep = lengths.get(chan).copied().unwrap_or(0);
             let archived = self.archive.get(chan).map_or(0, Vec::len);
-            entries.truncate(logical_keep.saturating_sub(archived));
+            let keep = logical_keep.saturating_sub(archived);
+            bytes -= entries[keep.min(entries.len())..].iter().map(payload_len).sum::<u64>();
+            entries.truncate(keep);
             !entries.is_empty()
         });
+        self.bytes = bytes;
+        self.archived_bytes = archived_bytes;
         self.next_order = order_counter;
-        self.bytes = self
-            .channels
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|e| e.msg.payload.len() as u64)
-            .sum();
-        self.archived_bytes = self
-            .archive
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|e| e.msg.payload.len() as u64)
-            .sum();
+        self.by_dst.retain(|_, chans| {
+            chans.retain(|c| self.channels.contains_key(c) || self.archive.contains_key(c));
+            !chans.is_empty()
+        });
+        debug_assert_eq!(
+            self.bytes,
+            self.channels.values().flatten().map(payload_len).sum::<u64>(),
+            "incremental in-memory byte counter out of sync after truncate"
+        );
+        debug_assert_eq!(
+            self.archived_bytes,
+            self.archive.values().flatten().map(payload_len).sum::<u64>(),
+            "incremental archived byte counter out of sync after truncate"
+        );
     }
 
-    /// Look up a logged message by channel and seqnum (tests/debugging).
+    /// Look up a logged message by channel and seqnum (replay of individual
+    /// owed payloads, tests). Binary search in the archive prefix, then the
+    /// in-memory part.
     pub fn find(&self, chan: ChannelId, seqnum: u64) -> Option<&Message> {
-        self.archive
-            .get(&chan)
+        [self.archive.get(&chan), self.channels.get(&chan)]
             .into_iter()
-            .chain(self.channels.get(&chan))
-            .flat_map(|v| v.iter())
-            .find(|e| e.msg.env.seqnum == seqnum)
-            .map(|e| &e.msg)
+            .flatten()
+            .find_map(|v| find_seq(v, seqnum).map(|i| &v[i].msg))
     }
 
     /// Drop everything (memory and archive).
     pub fn clear(&mut self) {
         self.channels.clear();
         self.archive.clear();
+        self.by_dst.clear();
         self.next_order = 0;
         self.bytes = 0;
         self.archived_bytes = 0;
     }
+}
+
+/// Payload size of one entry, as tracked by the byte counters.
+fn payload_len(e: &LogEntry) -> u64 {
+    e.msg.payload.len() as u64
 }
 
 /// Helper to fabricate a message (tests in this crate and dependents).
@@ -225,7 +272,7 @@ mod tests {
         log.append(make_msg(0, 2, 1, b"b")); // order 1 (other dst)
         log.append(make_msg(0, 1, 2, b"c")); // order 2
         log.append(make_msg(0, 1, 3, b"d")); // order 3
-        let set = log.replay_set(RankId(1), &|_| 1, &|_, _| false);
+        let set = log.replay_set(RankId(1), &|_| 1, &|_| Vec::new());
         let seqs: Vec<u64> = set.iter().map(|m| m.env.seqnum).collect();
         assert_eq!(seqs, vec![2, 3], "seq 1 already received, dst 2 excluded");
     }
@@ -237,7 +284,7 @@ mod tests {
             log.append(make_msg(0, 1, s, b"x"));
         }
         // Receiver saw envelopes up to 4 but never got payload of 2.
-        let set = log.replay_set(RankId(1), &|_| 4, &|_, s| s == 2);
+        let set = log.replay_set(RankId(1), &|_| 4, &|_| vec![2]);
         let seqs: Vec<u64> = set.iter().map(|m| m.env.seqnum).collect();
         assert_eq!(seqs, vec![2]);
     }
@@ -256,7 +303,9 @@ mod tests {
         assert_eq!(log.total_entries(), 2);
         assert_eq!(log.total_bytes(), 4);
         assert_eq!(log.order_counter(), 2);
-        assert!(log.find(ChannelId::new(RankId(0), RankId(3), mini_mpi::types::COMM_WORLD), 1).is_none());
+        assert!(log
+            .find(ChannelId::new(RankId(0), RankId(3), mini_mpi::types::COMM_WORLD), 1)
+            .is_none());
         // Re-execution appends the same suffix; order indices line up again.
         log.append(make_msg(0, 1, 2, b"cc"));
         assert_eq!(log.order_counter(), 3);
@@ -282,7 +331,7 @@ mod tests {
         m.env.comm = mini_mpi::types::CommId(9); // chan B
         log.append(m);
         log.append(make_msg(0, 1, 2, b"c")); // chan A again
-        let set = log.replay_set(RankId(1), &|_| 0, &|_, _| false);
+        let set = log.replay_set(RankId(1), &|_| 0, &|_| Vec::new());
         let payloads: Vec<&[u8]> = set.iter().map(|m| m.payload.as_ref()).collect();
         assert_eq!(payloads, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
     }
@@ -303,7 +352,7 @@ mod archive_tests {
         assert_eq!(log.archived_bytes(), 5);
         assert_eq!(log.total_entries(), 2);
         // Replay still sees everything.
-        let set = log.replay_set(RankId(1), &|_| 0, &|_, _| false);
+        let set = log.replay_set(RankId(1), &|_| 0, &|_| Vec::new());
         assert_eq!(set.len(), 1);
         assert_eq!(set[0].payload.as_ref(), b"aa");
     }
@@ -314,7 +363,7 @@ mod archive_tests {
         log.append(make_msg(0, 1, 1, b"a"));
         log.archive_all();
         log.append(make_msg(0, 1, 2, b"b"));
-        let set = log.replay_set(RankId(1), &|_| 0, &|_, _| false);
+        let set = log.replay_set(RankId(1), &|_| 0, &|_| Vec::new());
         let payloads: Vec<&[u8]> = set.iter().map(|m| m.payload.as_ref()).collect();
         assert_eq!(payloads, vec![b"a".as_ref(), b"b".as_ref()]);
         assert!(log.find(make_msg(0, 1, 1, b"").env.channel(), 1).is_some());
@@ -367,7 +416,7 @@ mod archive_tests {
         }
         assert_eq!(log.total_entries(), 3);
         assert_eq!(log.archived_bytes(), 6);
-        let set = log.replay_set(RankId(1), &|_| 1, &|_, _| false);
+        let set = log.replay_set(RankId(1), &|_| 1, &|_| Vec::new());
         assert_eq!(set.len(), 2);
     }
 }

@@ -20,9 +20,9 @@
 
 use crate::cluster::ClusterMap;
 use crate::ctrl::{
-    CkptCounts, LastMessage, LastMessageChannel, Rollback, RollbackChannel, KIND_CKPT_COMMIT,
-    KIND_CKPT_JOIN, KIND_CKPT_POLL, KIND_CKPT_REPORT, KIND_GRANT, KIND_GRANT_DONE,
-    KIND_GRANT_REQ, KIND_LASTMSG, KIND_ROLLBACK,
+    CkptCounts, LastMessage, LastMessageChannel, Rollback, RollbackChannel, KIND_CKPT_ACK,
+    KIND_CKPT_COMMIT, KIND_CKPT_JOIN, KIND_CKPT_POLL, KIND_CKPT_REPORT, KIND_CKPT_RESUME,
+    KIND_GRANT, KIND_GRANT_DONE, KIND_GRANT_REQ, KIND_LASTMSG, KIND_ROLLBACK,
 };
 use crate::metrics::Metrics;
 use crate::replay::{ReplayEngine, DEFAULT_REPLAY_WINDOW};
@@ -158,12 +158,22 @@ impl FtProvider for SpbcProvider {
 enum CkptState {
     Idle,
     Waiting,
+    /// Local checkpoint written; blocked until the leader's resume barrier
+    /// confirms every sibling has committed too.
+    AwaitResume,
     Committed,
 }
 
 struct LeaderState {
     epoch: u64,
     joins: HashMap<RankId, (u64, u64)>,
+    awaiting: HashSet<RankId>,
+}
+
+/// Leader-side commit barrier: members whose [`KIND_CKPT_ACK`] for `epoch`
+/// is still outstanding; resume broadcasts when it empties.
+struct ResumeBarrier {
+    epoch: u64,
     awaiting: HashSet<RankId>,
 }
 
@@ -196,6 +206,7 @@ pub struct SpbcLayer {
     ckpt_state: CkptState,
     pending_app_state: Option<Vec<u8>>,
     leader: Option<LeaderState>,
+    resume: Option<ResumeBarrier>,
 
     /// Highest restart epoch of each peer whose Rollback we have already
     /// mirrored with our own (terminates the mutual exchange under
@@ -244,6 +255,7 @@ impl SpbcLayer {
             ckpt_state: CkptState::Idle,
             pending_app_state: None,
             leader: None,
+            resume: None,
             answered_rollback: HashMap::new(),
             awaiting_grant: None,
             granted_token: None,
@@ -358,12 +370,8 @@ impl SpbcLayer {
         // 2. LastMessage reply: what we already received from the peer
         //    (suppression watermark), with pending-payload exceptions.
         let mut lm = LastMessage::default();
-        let comms: BTreeSet<CommId> = ctx
-            .recv_seen()
-            .keys()
-            .filter(|&&(src, _)| src == from)
-            .map(|&(_, c)| c)
-            .collect();
+        let comms: BTreeSet<CommId> =
+            ctx.recv_seen().keys().filter(|&&(src, _)| src == from).map(|&(_, c)| c).collect();
         for comm in comms {
             let incomplete: Vec<u64> = self
                 .missing
@@ -381,16 +389,14 @@ impl SpbcLayer {
         // 3. Replay set from our log, per channel in seqnum order, globally
         //    in send order; flow-controlled by the pre-post window.
         let lr_of = |chan: ChannelId| {
-            rb.channels
-                .iter()
-                .find(|c| c.comm == chan.comm.0)
-                .map_or(0, |c| c.lr)
+            rb.channels.iter().find(|c| c.comm == chan.comm.0).map_or(0, |c| c.lr)
         };
-        let missing_of = |chan: ChannelId, seq: u64| {
+        let missing_of = |chan: ChannelId| {
             rb.channels
                 .iter()
                 .find(|c| c.comm == chan.comm.0)
-                .is_some_and(|c| c.missing.contains(&seq))
+                .map(|c| c.missing.clone())
+                .unwrap_or_default()
         };
         let set = self.persistent.lock().log.replay_set(from, &lr_of, &missing_of);
         if !set.is_empty() || self.replay.has_queued(from) {
@@ -471,6 +477,8 @@ impl SpbcLayer {
         if sent == arrived {
             let epoch = ls.epoch;
             self.leader = None;
+            self.resume =
+                Some(ResumeBarrier { epoch, awaiting: members.iter().copied().collect() });
             for &m in &members {
                 self.ctrl(ctx, m, KIND_CKPT_COMMIT, to_bytes(&epoch));
             }
@@ -550,7 +558,12 @@ impl SpbcLayer {
             }
         }
         self.last_ckpt_epoch = epoch;
-        self.ckpt_state = CkptState::Committed;
+        // Do not resume yet: wait for the leader's barrier so no post-commit
+        // send can land in a sibling's still-open checkpoint (see
+        // [`KIND_CKPT_RESUME`]).
+        self.ckpt_state = CkptState::AwaitResume;
+        let leader = self.clusters.leader_of(self.me);
+        self.ctrl(ctx, leader, KIND_CKPT_ACK, to_bytes(&epoch));
         Metrics::add(&self.metrics.checkpoints, 1);
         Ok(())
     }
@@ -571,8 +584,7 @@ impl FtLayer for SpbcLayer {
         // commit broadcast can leave members one wave apart.
         let members = self.clusters.members(self.cluster);
         let target = self.shared_store.common_epoch(members);
-        let ck_opt =
-            if target == 0 { None } else { self.persistent.lock().restore_epoch(target) };
+        let ck_opt = if target == 0 { None } else { self.persistent.lock().restore_epoch(target) };
         if target != 0 && ck_opt.is_none() {
             return Err(MpiError::InvalidState(format!(
                 "rank {} lacks checkpoint epoch {target}",
@@ -626,10 +638,7 @@ impl FtLayer for SpbcLayer {
         if env.seqnum <= ls {
             // Receiver already has this message — unless its payload never
             // arrived (interrupted rendezvous exception).
-            let owed = self
-                .ls_exceptions
-                .get_mut(&key)
-                .is_some_and(|s| s.remove(&env.seqnum));
+            let owed = self.ls_exceptions.get_mut(&key).is_some_and(|s| s.remove(&env.seqnum));
             if owed {
                 // Deliver through the replay path to keep channel order.
                 self.replay.enqueue(dst, msg);
@@ -657,10 +666,8 @@ impl FtLayer for SpbcLayer {
         }
         let lr = ctx.last_seen_on(env.src, env.comm);
         if env.seqnum <= lr {
-            let owed = self
-                .missing
-                .get_mut(&(env.src, env.comm))
-                .is_some_and(|s| s.remove(&env.seqnum));
+            let owed =
+                self.missing.get_mut(&(env.src, env.comm)).is_some_and(|s| s.remove(&env.seqnum));
             if owed {
                 ArrivalAction::Deliver
             } else {
@@ -726,6 +733,26 @@ impl FtLayer for SpbcLayer {
             KIND_CKPT_COMMIT => {
                 let epoch: u64 = from_bytes(&msg.data)?;
                 self.take_checkpoint(ctx, epoch)
+            }
+            KIND_CKPT_ACK => {
+                let epoch: u64 = from_bytes(&msg.data)?;
+                if let Some(rb) = &mut self.resume {
+                    debug_assert_eq!(rb.epoch, epoch, "ack for a different wave");
+                    rb.awaiting.remove(&msg.from);
+                    if rb.awaiting.is_empty() {
+                        self.resume = None;
+                        let members: Vec<RankId> = self.clusters.members(self.cluster).to_vec();
+                        for m in members {
+                            self.ctrl(ctx, m, KIND_CKPT_RESUME, to_bytes(&epoch));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            KIND_CKPT_RESUME => {
+                debug_assert_eq!(self.ckpt_state, CkptState::AwaitResume);
+                self.ckpt_state = CkptState::Committed;
+                Ok(())
             }
             KIND_GRANT => self.on_grant(ctx),
             other => Err(MpiError::invalid(format!("unknown SPBC ctrl kind {other}"))),

@@ -121,11 +121,8 @@ impl ReplayEngine {
                 self.queues.clear();
                 return;
             };
-            let msg = self
-                .queues
-                .get_mut(&dst)
-                .and_then(VecDeque::pop_front)
-                .expect("non-empty queue");
+            let msg =
+                self.queues.get_mut(&dst).and_then(VecDeque::pop_front).expect("non-empty queue");
             self.replayed_msgs += 1;
             self.replayed_bytes += msg.payload.len() as u64;
             if let Some(token) = ctx.ft_send_message(msg) {

@@ -170,11 +170,7 @@ impl SharedStore {
     /// The newest checkpoint epoch that *every* listed rank holds (0 when
     /// any of them has none) — the wave a cluster restarts from.
     pub fn common_epoch(&self, ranks: &[RankId]) -> u64 {
-        ranks
-            .iter()
-            .map(|&r| self.slots[r.idx()].lock().latest_epoch())
-            .min()
-            .unwrap_or(0)
+        ranks.iter().map(|&r| self.slots[r.idx()].lock().latest_epoch()).min().unwrap_or(0)
     }
 }
 
@@ -198,14 +194,8 @@ mod tests {
         c.send_seq.insert((RankId(1), mini_mpi::types::COMM_WORLD), 42);
         c.recv_seen.insert((RankId(2), mini_mpi::types::COMM_WORLD), 7);
         c.unexpected_full.push(make_msg(2, 0, 7, b"pending"));
-        c.missing.push((
-            ChannelId::new(RankId(3), RankId(0), mini_mpi::types::COMM_WORLD),
-            4,
-        ));
-        c.log_lens.insert(
-            ChannelId::new(RankId(0), RankId(1), mini_mpi::types::COMM_WORLD),
-            2,
-        );
+        c.missing.push((ChannelId::new(RankId(3), RankId(0), mini_mpi::types::COMM_WORLD), 4));
+        c.log_lens.insert(ChannelId::new(RankId(0), RankId(1), mini_mpi::types::COMM_WORLD), 2);
         let back: CheckpointData = from_bytes(&to_bytes(&c)).unwrap();
         assert_eq!(back.ckpt_epoch, 3);
         assert_eq!(back.app_state, vec![1, 2, 3]);
@@ -228,10 +218,10 @@ mod tests {
         a.lock().push_checkpoint(CheckpointData { ckpt_epoch: 1, ..Default::default() });
         assert_eq!(store.checkpointed_ranks(), 1);
         assert_eq!(store.common_epoch(&[RankId(0), RankId(1)]), 0);
-        store.slot(RankId(1)).lock().push_checkpoint(CheckpointData {
-            ckpt_epoch: 2,
-            ..Default::default()
-        });
+        store
+            .slot(RankId(1))
+            .lock()
+            .push_checkpoint(CheckpointData { ckpt_epoch: 2, ..Default::default() });
         assert_eq!(store.common_epoch(&[RankId(0), RankId(1)]), 1);
         assert_eq!(store.len(), 2);
         assert!(!store.is_empty());

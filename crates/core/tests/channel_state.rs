@@ -89,11 +89,7 @@ fn unexpected_message_survives_rollback_inside_checkpoint() {
     // and the checkpointed unexpected queue must restore it.
     let app = early_message_app(false);
     let native = run_native(&app, 16 * 1024);
-    let (report, _) = run_spbc(
-        &app,
-        16 * 1024,
-        vec![FailurePlan { rank: RankId(0), nth: 5 }],
-    );
+    let (report, _) = run_spbc(&app, 16 * 1024, vec![FailurePlan { rank: RankId(0), nth: 5 }]);
     assert_eq!(report.failures_handled, 1);
     assert_eq!(native.outputs, report.outputs);
 }
@@ -124,11 +120,8 @@ fn inter_cluster_unexpected_message_not_replayed_after_rollback() {
     let native = run_native(&app, 16 * 1024);
     // Kill cluster {0,1} after its checkpoint (which contains the unexpected
     // message from rank 2).
-    let (report, provider) = run_spbc(
-        &app,
-        16 * 1024,
-        vec![FailurePlan { rank: RankId(1), nth: 5 }],
-    );
+    let (report, provider) =
+        run_spbc(&app, 16 * 1024, vec![FailurePlan { rank: RankId(1), nth: 5 }]);
     assert_eq!(report.failures_handled, 1);
     assert_eq!(native.outputs, report.outputs);
     // Rank 2 must NOT have re-shipped the early message (it was inside the

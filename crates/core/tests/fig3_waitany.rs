@@ -58,11 +58,8 @@ fn fig3_app(mode: Completion) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + 
                         let vb: Vec<f64> = mini_mpi::datatype::unpack(&pb.unwrap())?;
                         // Symmetric fold: attribute values by *source*, not
                         // by completion order.
-                        let (m0, m2) = if st_a.src == RankId(0) {
-                            (va[0], vb[0])
-                        } else {
-                            (vb[0], va[0])
-                        };
+                        let (m0, m2) =
+                            if st_a.src == RankId(0) { (va[0], vb[0]) } else { (vb[0], va[0]) };
                         let _ = st_b;
                         m0 + 100.0 * m2
                     }
@@ -92,11 +89,7 @@ fn clusters() -> ClusterMap {
 }
 
 fn run(mode: Completion, fail: bool) -> RunReport {
-    let plans = if fail {
-        vec![FailurePlan { rank: RankId(1), nth: 1 }]
-    } else {
-        Vec::new()
-    };
+    let plans = if fail { vec![FailurePlan { rank: RankId(1), nth: 1 }] } else { Vec::new() };
     Runtime::new(RuntimeConfig::new(3).with_deadlock_timeout(Duration::from_secs(15)))
         .run(
             Arc::new(SpbcProvider::new(clusters(), SpbcConfig::default())),

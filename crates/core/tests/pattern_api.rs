@@ -110,9 +110,7 @@ fn hybrid_app(rank: &mut Rank) -> Result<Vec<u8>> {
 
 #[test]
 fn hybrid_model_per_thread_communicators_recover() {
-    let cfg = || {
-        RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(30))
-    };
+    let cfg = || RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(30));
     let native = Runtime::new(cfg())
         .run(Arc::new(NativeProvider), Arc::new(hybrid_app), Vec::new(), None)
         .unwrap()
@@ -123,12 +121,7 @@ fn hybrid_model_per_thread_communicators_recover() {
         SpbcConfig { ckpt_interval: 3, ..Default::default() },
     ));
     let report = Runtime::new(cfg())
-        .run(
-            provider,
-            Arc::new(hybrid_app),
-            vec![FailurePlan { rank: RankId(2), nth: 6 }],
-            None,
-        )
+        .run(provider, Arc::new(hybrid_app), vec![FailurePlan { rank: RankId(2), nth: 6 }], None)
         .unwrap()
         .ok()
         .unwrap();

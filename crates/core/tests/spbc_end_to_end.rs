@@ -55,21 +55,19 @@ fn run_spbc(
     plans: Vec<FailurePlan>,
 ) -> (RunReport, Arc<SpbcProvider>) {
     let provider = Arc::new(SpbcProvider::new(clusters, cfg));
-    let report = Runtime::new(
-        RuntimeConfig::new(world).with_deadlock_timeout(Duration::from_secs(10)),
-    )
-    .run(Arc::clone(&provider) as Arc<SpbcProvider>, Arc::new(ring_app(iters)), plans, None)
-    .unwrap()
-    .ok()
-    .unwrap();
+    let report =
+        Runtime::new(RuntimeConfig::new(world).with_deadlock_timeout(Duration::from_secs(10)))
+            .run(Arc::clone(&provider) as Arc<SpbcProvider>, Arc::new(ring_app(iters)), plans, None)
+            .unwrap()
+            .ok()
+            .unwrap();
     (report, provider)
 }
 
 #[test]
 fn failure_free_matches_native() {
     let native = run_native(8, 12);
-    let (spbc, provider) =
-        run_spbc(8, 12, ClusterMap::blocks(8, 4), SpbcConfig::default(), vec![]);
+    let (spbc, provider) = run_spbc(8, 12, ClusterMap::blocks(8, 4), SpbcConfig::default(), vec![]);
     assert_eq!(native.outputs, spbc.outputs);
     // Inter-cluster traffic was logged, intra was not.
     let m = provider.metrics();
@@ -80,8 +78,7 @@ fn failure_free_matches_native() {
 
 #[test]
 fn single_cluster_logs_nothing() {
-    let (_report, provider) =
-        run_spbc(6, 9, ClusterMap::single(6), SpbcConfig::default(), vec![]);
+    let (_report, provider) = run_spbc(6, 9, ClusterMap::single(6), SpbcConfig::default(), vec![]);
     let m = provider.metrics();
     assert_eq!(spbc_core::Metrics::get(&m.logged_msgs), 0);
 }
@@ -89,8 +86,7 @@ fn single_cluster_logs_nothing() {
 #[test]
 fn per_rank_clusters_log_everything() {
     let native = run_native(6, 9);
-    let (spbc, provider) =
-        run_spbc(6, 9, ClusterMap::per_rank(6), SpbcConfig::default(), vec![]);
+    let (spbc, provider) = run_spbc(6, 9, ClusterMap::per_rank(6), SpbcConfig::default(), vec![]);
     assert_eq!(native.outputs, spbc.outputs);
     let m = provider.metrics();
     // Every rank sends 9 ring messages plus collective traffic; all logged.
@@ -129,8 +125,7 @@ fn recovery_without_any_checkpoint_restarts_from_scratch() {
     let native = run_native(6, 8);
     // No checkpoints ever taken; failure forces re-execution from iteration 0.
     let plans = vec![FailurePlan { rank: RankId(5), nth: 4 }];
-    let (spbc, _provider) =
-        run_spbc(6, 8, ClusterMap::blocks(6, 3), SpbcConfig::default(), plans);
+    let (spbc, _provider) = run_spbc(6, 8, ClusterMap::blocks(6, 3), SpbcConfig::default(), plans);
     assert_eq!(native.outputs, spbc.outputs);
     assert_eq!(spbc.failures_handled, 1);
     assert_eq!(&spbc.restarts[4..6], &[1, 1]);
@@ -140,10 +135,8 @@ fn recovery_without_any_checkpoint_restarts_from_scratch() {
 fn two_sequential_failures_different_clusters() {
     let native = run_native(8, 18);
     let cfg = SpbcConfig { ckpt_interval: 4, ..Default::default() };
-    let plans = vec![
-        FailurePlan { rank: RankId(1), nth: 6 },
-        FailurePlan { rank: RankId(6), nth: 14 },
-    ];
+    let plans =
+        vec![FailurePlan { rank: RankId(1), nth: 6 }, FailurePlan { rank: RankId(6), nth: 14 }];
     let (spbc, provider) = run_spbc(8, 18, ClusterMap::blocks(8, 4), cfg, plans);
     assert_eq!(native.outputs, spbc.outputs);
     assert_eq!(spbc.failures_handled, 2);
@@ -159,8 +152,7 @@ fn recovery_with_rendezvous_messages() {
         let n = rank.world_size();
         let next = (me + 1) % n;
         let prev = (me + n - 1) % n;
-        let mut state: (u64, Vec<f64>) =
-            rank.restore()?.unwrap_or((0, vec![me as f64; 512]));
+        let mut state: (u64, Vec<f64>) = rank.restore()?.unwrap_or((0, vec![me as f64; 512]));
         while state.0 < 8 {
             rank.failure_point()?;
             let rreq = rank.irecv(COMM_WORLD, prev as u32, 1)?;
@@ -190,12 +182,7 @@ fn recovery_with_rendezvous_messages() {
         SpbcConfig { ckpt_interval: 3, ..Default::default() },
     ));
     let spbc = Runtime::new(mk_cfg())
-        .run(
-            provider.clone(),
-            Arc::new(app),
-            vec![FailurePlan { rank: RankId(0), nth: 5 }],
-            None,
-        )
+        .run(provider.clone(), Arc::new(app), vec![FailurePlan { rank: RankId(0), nth: 5 }], None)
         .unwrap()
         .ok()
         .unwrap();

@@ -38,18 +38,11 @@ pub fn prepost_window(scale: &Scale) -> Result<String> {
 
 /// A2: clustering strategies on cut volume and balance.
 pub fn clustering_strategies(scale: &Scale) -> Result<String> {
-    let mut t = TextTable::new(&[
-        "App",
-        "strategy",
-        "cut MB",
-        "max/rank MB",
-        "avg/rank MB",
-    ]);
+    let mut t = TextTable::new(&["App", "strategy", "cut MB", "max/rank MB", "avg/rank MB"]);
     let k = 4.min(scale.nodes());
     for w in Workload::EVALUATION {
         let prof = profile(w, scale)?;
-        let blocks: Vec<usize> =
-            (0..scale.world).map(|r| r * k / scale.world).collect();
+        let blocks: Vec<usize> = (0..scale.world).map(|r| r * k / scale.world).collect();
         let tool = partition(
             &prof.comm,
             k,
@@ -127,11 +120,7 @@ pub fn containment_comparison(scale: &Scale) -> Result<String> {
             )?
             .ok()?;
         let restarted = report.restarts.iter().filter(|&&r| r > 0).count();
-        t.row(vec![
-            name.into(),
-            restarted.to_string(),
-            f2(report.wall_time.as_secs_f64()),
-        ]);
+        t.row(vec![name.into(), restarted.to_string(), f2(report.wall_time.as_secs_f64())]);
     }
     Ok(format!("Containment: global rollback vs hierarchical SPBC\n{}", t.render()))
 }

@@ -9,12 +9,8 @@ fn main() {
     let k: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
     let scale = spbc_harness::Scale::from_env();
     eprintln!("scale: {scale:?}");
-    let profile = spbc_harness::memory::run_workload(
-        w,
-        &scale,
-        k,
-        std::time::Duration::from_millis(5),
-    )
-    .expect("memory run");
+    let profile =
+        spbc_harness::memory::run_workload(w, &scale, k, std::time::Duration::from_millis(5))
+            .expect("memory run");
     println!("{}", spbc_harness::memory::render(&profile));
 }

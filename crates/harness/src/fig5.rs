@@ -64,9 +64,7 @@ pub fn measure_recovery(
     // Fail at the start of the last iteration: nearly the whole re-execution
     // is the log-replay-fed rework phase.
     let plans = vec![FailurePlan { rank: victim, nth: scale.iters }];
-    let report = Runtime::new(runtime_cfg(scale))
-        .run(provider.clone(), app, plans, None)?
-        .ok()?;
+    let report = Runtime::new(runtime_cfg(scale)).run(provider.clone(), app, plans, None)?.ok()?;
     assert_eq!(report.failures_handled, 1, "exactly one failure expected");
 
     // Re-executed iterations: from the checkpoint (the single wave at
@@ -82,10 +80,7 @@ pub fn measure_recovery(
         .expect("victim cluster not empty");
     let ff_equiv = prof.per_iter.as_secs_f64() * reexec_iters as f64;
     let m = provider.metrics();
-    Ok((
-        rework.as_secs_f64() / ff_equiv.max(1e-9),
-        spbc_core::Metrics::get(&m.replayed_msgs),
-    ))
+    Ok((rework.as_secs_f64() / ff_equiv.max(1e-9), spbc_core::Metrics::get(&m.replayed_msgs)))
 }
 
 /// Run the Figure-5 sweep for one workload over the hybrid cluster counts.
@@ -159,14 +154,9 @@ mod tests {
         };
         let prof = profile(Workload::MiniGhost, &scale).unwrap();
         let clusters = clustering_for(&prof, 4, &scale);
-        let (normalized, replayed) = measure_recovery(
-            Workload::MiniGhost,
-            &scale,
-            &prof,
-            clusters,
-            SpbcConfig::default(),
-        )
-        .unwrap();
+        let (normalized, replayed) =
+            measure_recovery(Workload::MiniGhost, &scale, &prof, clusters, SpbcConfig::default())
+                .unwrap();
         assert!(replayed > 0, "recovery must replay logs");
         assert!(normalized > 0.0 && normalized < 5.0, "normalized={normalized}");
     }

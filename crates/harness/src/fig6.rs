@@ -61,17 +61,10 @@ fn measure_hydee(
     assert_eq!(report.failures_handled, 1);
     let waves = (scale.iters - 1) / ckpt_at;
     let reexec_iters = scale.iters - waves * ckpt_at;
-    let rework = victim_cluster
-        .iter()
-        .map(|&r| report.stats[r].total_time)
-        .max()
-        .expect("victims");
+    let rework = victim_cluster.iter().map(|&r| report.stats[r].total_time).max().expect("victims");
     let ff = prof.per_iter.as_secs_f64() * reexec_iters as f64;
     let m = provider.metrics();
-    Ok((
-        rework.as_secs_f64() / ff.max(1e-9),
-        spbc_core::Metrics::get(&m.coordinator_grants),
-    ))
+    Ok((rework.as_secs_f64() / ff.max(1e-9), spbc_core::Metrics::get(&m.coordinator_grants)))
 }
 
 /// Compare both protocols on one NAS kernel.
@@ -79,8 +72,7 @@ pub fn run_workload(w: Workload, scale: &Scale) -> Result<Fig6Row> {
     let prof = profile(w, scale)?;
     let k = 8.min(scale.nodes());
     let clusters = clustering_for(&prof, k, scale);
-    let (spbc, _) =
-        measure_recovery(w, scale, &prof, clusters.clone(), SpbcConfig::default())?;
+    let (spbc, _) = measure_recovery(w, scale, &prof, clusters.clone(), SpbcConfig::default())?;
     let (hydee, grants) = measure_hydee(w, scale, &prof, clusters)?;
     Ok(Fig6Row { app: w.name(), spbc, hydee, grants })
 }

@@ -87,15 +87,13 @@ pub fn render(p: &MemoryProfile) -> String {
     let mut t = TextTable::new(&["t (ms)", "total MB", "max/rank MB"]);
     let stride = (p.samples.len() / 12).max(1);
     for s in p.samples.iter().step_by(stride) {
-        t.row(vec![
-            s.at_ms.to_string(),
-            f2(s.total as f64 / 1e6),
-            f2(s.max_per_rank as f64 / 1e6),
-        ]);
+        t.row(vec![s.at_ms.to_string(), f2(s.total as f64 / 1e6), f2(s.max_per_rank as f64 / 1e6)]);
     }
     format!(
         "Log memory footprint: {} at {} clusters (logs grow until freed by a checkpoint)\n{}",
-        p.app, p.clusters, t.render()
+        p.app,
+        p.clusters,
+        t.render()
     )
 }
 

@@ -62,12 +62,7 @@ pub fn profile(w: Workload, scale: &Scale) -> Result<Profile> {
     let (wall, report) = native_median(scale, &app)?;
     let comm = CommGraph::from_matrix(spbc_trace::comm_matrix(&report.stats));
     let ipm = IpmProfile::from_stats(&report.stats);
-    Ok(Profile {
-        comm,
-        native_wall: wall,
-        per_iter: wall / scale.iters.max(1) as u32,
-        ipm,
-    })
+    Ok(Profile { comm, native_wall: wall, per_iter: wall / scale.iters.max(1) as u32, ipm })
 }
 
 /// The clustering configuration for `k` clusters, computed from the profiled
@@ -94,7 +89,15 @@ mod tests {
     use super::*;
 
     fn small_scale() -> Scale {
-        Scale { world: 8, iters: 4, elems: 128, sleep_us: 0, ranks_per_node: 2, reps: 1, ..Default::default() }
+        Scale {
+            world: 8,
+            iters: 4,
+            elems: 128,
+            sleep_us: 0,
+            ranks_per_node: 2,
+            reps: 1,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -74,8 +74,7 @@ pub fn run(scale: &Scale) -> Result<Vec<Table1Row>> {
 /// Render in the paper's layout (apps as column groups, cluster counts as
 /// rows).
 pub fn render(rows: &[Table1Row]) -> String {
-    let mut ks: Vec<(usize, &'static str)> =
-        rows.iter().map(|r| (r.clusters, r.label)).collect();
+    let mut ks: Vec<(usize, &'static str)> = rows.iter().map(|r| (r.clusters, r.label)).collect();
     ks.sort_unstable();
     ks.dedup();
     let apps: Vec<&str> = {

@@ -63,8 +63,7 @@ pub fn run(scale: &Scale) -> Result<Vec<Table2Row>> {
 
 /// Render the table.
 pub fn render(rows: &[Table2Row]) -> String {
-    let mut t =
-        TextTable::new(&["App", "native (s)", "SPBC (s)", "overhead %", "comm ratio"]);
+    let mut t = TextTable::new(&["App", "native (s)", "SPBC (s)", "overhead %", "comm ratio"]);
     for r in rows {
         t.row(vec![
             r.app.to_string(),
@@ -74,10 +73,7 @@ pub fn render(rows: &[Table2Row]) -> String {
             f2(r.comm_ratio),
         ]);
     }
-    format!(
-        "Table 2: failure-free overhead of SPBC (finest hybrid clustering)\n{}",
-        t.render()
-    )
+    format!("Table 2: failure-free overhead of SPBC (finest hybrid clustering)\n{}", t.render())
 }
 
 #[cfg(test)]

@@ -63,10 +63,7 @@ impl Rank {
         match action {
             crate::ft::SendAction::Suppress => Ok(()),
             crate::ft::SendAction::Forward => {
-                let req = self
-                    .inner
-                    .reqs
-                    .insert(crate::request::ReqState::SendPending { env });
+                let req = self.inner.reqs.insert(crate::request::ReqState::SendPending { env });
                 self.inner.transmit_message(env, payload, Some(req));
                 let _ = self.wait(req)?;
                 Ok(())
@@ -180,7 +177,12 @@ impl Rank {
     }
 
     /// Allreduce = reduce to comm rank 0 + broadcast.
-    pub fn allreduce<T: Scalar>(&mut self, comm: CommId, op: ReduceOp, data: &[T]) -> Result<Vec<T>> {
+    pub fn allreduce<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        op: ReduceOp,
+        data: &[T],
+    ) -> Result<Vec<T>> {
         let partial = self.reduce(comm, 0, op, data)?;
         self.bcast(comm, 0, &partial)
     }
@@ -334,10 +336,8 @@ impl Rank {
                         .map(|(p, &(_, k))| (k, p))
                         .collect();
                     group.sort_unstable();
-                    let members: Vec<RankId> = group
-                        .iter()
-                        .map(|&(_, p)| info.members[p])
-                        .collect();
+                    let members: Vec<RankId> =
+                        group.iter().map(|&(_, p)| info.members[p]).collect();
                     let id = derive_comm_id(info.id, split_seq, c);
                     for &(_, p) in &group {
                         per_member[p] = Some((id, members.clone()));
@@ -359,10 +359,8 @@ impl Rank {
 
             let (id_raw, members) = assignment;
             let id = CommId(id_raw);
-            let my_pos = members
-                .iter()
-                .position(|&r| r == rank.inner.me)
-                .expect("member of own group");
+            let my_pos =
+                members.iter().position(|&r| r == rank.inner.me).expect("member of own group");
             rank.inner.comms.insert(
                 id,
                 crate::inner::CommInfo { id, members, my_pos, split_seq: 0, coll_seq: 0 },

@@ -1,8 +1,8 @@
 //! Message envelopes and on-the-wire packets.
 
+use crate::error::Result;
 use crate::types::{ChannelId, CommId, MatchIdent, RankId, Tag};
 use crate::wire::{Decode, Encode, Reader};
-use crate::error::Result;
 use bytes::Bytes;
 
 /// Message metadata (the MPI "envelope"), extended with the per-channel

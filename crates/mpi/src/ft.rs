@@ -96,7 +96,11 @@ pub trait FtLayer: Send {
     /// The application reached a checkpoint opportunity with serialized state
     /// `app_state`. Return `NotDue` to skip, or `InProgress` to start
     /// coordination (the caller then drives `checkpoint_poll`).
-    fn checkpoint_begin(&mut self, _ctx: &mut FtCtx<'_>, _app_state: Vec<u8>) -> Result<CkptOutcome> {
+    fn checkpoint_begin(
+        &mut self,
+        _ctx: &mut FtCtx<'_>,
+        _app_state: Vec<u8>,
+    ) -> Result<CkptOutcome> {
         Ok(CkptOutcome::NotDue)
     }
 
@@ -256,9 +260,7 @@ impl<'a> FtCtx<'a> {
             .inner
             .comms
             .values()
-            .map(|c| {
-                (c.id.0, c.members.clone(), c.my_pos as u64, c.split_seq, c.coll_seq)
-            })
+            .map(|c| (c.id.0, c.members.clone(), c.my_pos as u64, c.split_seq, c.coll_seq))
             .collect();
         v.sort_by_key(|e| e.0);
         v
@@ -319,12 +321,7 @@ impl<'a> FtCtx<'a> {
             .send_seq
             .keys()
             .map(|&(dst, comm)| ChannelId::new(me, dst, comm))
-            .chain(
-                self.inner
-                    .recv_seen
-                    .keys()
-                    .map(|&(src, comm)| ChannelId::new(src, me, comm)),
-            )
+            .chain(self.inner.recv_seen.keys().map(|&(src, comm)| ChannelId::new(src, me, comm)))
             .collect();
         v.sort();
         v.dedup();

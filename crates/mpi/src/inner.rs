@@ -164,9 +164,7 @@ impl RankInner {
 
     /// Look up a communicator.
     pub(crate) fn comm(&self, id: CommId) -> Result<&CommInfo> {
-        self.comms
-            .get(&id)
-            .ok_or_else(|| MpiError::invalid(format!("unknown communicator {id:?}")))
+        self.comms.get(&id).ok_or_else(|| MpiError::invalid(format!("unknown communicator {id:?}")))
     }
 
     /// Check the kill flag (crash injection / cluster rollback).
@@ -187,7 +185,13 @@ impl RankInner {
     }
 
     /// Build the envelope for a fresh application send.
-    pub(crate) fn next_env(&mut self, dst: RankId, comm: CommId, tag: Tag, plen: usize) -> Envelope {
+    pub(crate) fn next_env(
+        &mut self,
+        dst: RankId,
+        comm: CommId,
+        tag: Tag,
+        plen: usize,
+    ) -> Envelope {
         let seqnum = self.next_seq(dst, comm);
         self.lamport += 1;
         Envelope {
@@ -289,12 +293,8 @@ impl RankInner {
     /// log and will be replayed); fire-and-forget replay transfers are
     /// dropped and their tokens returned so the replay window can shrink.
     pub(crate) fn cancel_pending_rdv_to(&mut self, peer: RankId) -> Vec<u64> {
-        let keys: Vec<u64> = self
-            .pending_rdv
-            .iter()
-            .filter(|(_, p)| p.env.dst == peer)
-            .map(|(&k, _)| k)
-            .collect();
+        let keys: Vec<u64> =
+            self.pending_rdv.iter().filter(|(_, p)| p.env.dst == peer).map(|(&k, _)| k).collect();
         let mut replay_tokens = Vec::new();
         for k in keys {
             let p = self.pending_rdv.remove(&k).expect("key present");
@@ -315,7 +315,9 @@ impl RankInner {
         let posted: Vec<String> = self
             .engine
             .posted_iter()
-            .map(|(id, spec)| format!("{id:?}:{:?}/{:?}t{:?}i{:?}", spec.src, spec.comm, spec.tag, spec.ident))
+            .map(|(id, spec)| {
+                format!("{id:?}:{:?}/{:?}t{:?}i{:?}", spec.src, spec.comm, spec.tag, spec.ident)
+            })
             .collect();
         let unexpected: Vec<String> = self
             .engine
@@ -338,11 +340,8 @@ impl RankInner {
             .map(|(&(src, comm), &s)| format!("{src}/{comm:?}<={s}"))
             .collect();
         seen.sort();
-        let mut sent: Vec<String> = self
-            .send_seq
-            .iter()
-            .map(|(&(dst, comm), &s)| format!("{dst}/{comm:?}=>{s}"))
-            .collect();
+        let mut sent: Vec<String> =
+            self.send_seq.iter().map(|(&(dst, comm), &s)| format!("{dst}/{comm:?}=>{s}")).collect();
         sent.sort();
         format!(
             "posted=[{}] unexpected=[{}] recv_seen=[{}] send_seq=[{}] live_reqs={} pending_rdv={}",
@@ -425,7 +424,11 @@ pub(crate) fn block_until(
 }
 
 /// Dispatch one packet.
-pub(crate) fn handle_packet(inner: &mut RankInner, ft: &mut dyn FtLayer, pkt: Packet) -> Result<()> {
+pub(crate) fn handle_packet(
+    inner: &mut RankInner,
+    ft: &mut dyn FtLayer,
+    pkt: Packet,
+) -> Result<()> {
     match pkt {
         Packet::Msg(Transfer::Eager(msg)) => {
             arrival(inner, ft, msg.env, ArrivedBody::Eager(msg.payload))

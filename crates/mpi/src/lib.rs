@@ -48,6 +48,7 @@ pub mod envelope;
 pub mod error;
 pub mod failure;
 pub mod ft;
+pub mod hash;
 pub(crate) mod inner;
 pub mod matching;
 pub mod rank;

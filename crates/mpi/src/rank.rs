@@ -96,9 +96,7 @@ impl Rank {
     fn resolve_src(&self, comm: CommId, src: Source) -> Result<Source> {
         match src {
             Source::Any => Ok(Source::Any),
-            Source::Rank(pos) => {
-                Ok(Source::Rank(self.inner.comm(comm)?.world_rank(pos.idx())?))
-            }
+            Source::Rank(pos) => Ok(Source::Rank(self.inner.comm(comm)?.world_rank(pos.idx())?)),
         }
     }
 
@@ -159,7 +157,13 @@ impl Rank {
     }
 
     /// Blocking send (non-blocking send + wait).
-    pub fn send<T: Scalar>(&mut self, comm: CommId, dst: usize, tag: Tag, data: &[T]) -> Result<()> {
+    pub fn send<T: Scalar>(
+        &mut self,
+        comm: CommId,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<()> {
         let req = self.isend(comm, dst, tag, data)?;
         self.wait(req)?;
         Ok(())
@@ -190,8 +194,7 @@ impl Rank {
         // Fresh arrivals first, so probe/irecv agree on the queue contents.
         poll_all(&mut self.inner, self.ft.as_mut())?;
         let ft = &*self.ft;
-        let admissible =
-            |s: &RecvSpec, e: &crate::envelope::Envelope| ft.match_admissible(s, e);
+        let admissible = |s: &RecvSpec, e: &crate::envelope::Envelope| ft.match_admissible(s, e);
         if let Some(arrived) = self.inner.engine.match_post(&spec, &admissible) {
             let req = self.inner.reqs.insert(ReqState::RecvPosted { spec });
             complete_match(&mut self.inner, req, arrived.env, arrived.body)?;
@@ -230,12 +233,7 @@ impl Rank {
 
     /// Wait for one request; consumes it.
     pub fn wait(&mut self, req: RequestId) -> Result<(Status, Option<Bytes>)> {
-        block_until(
-            &mut self.inner,
-            self.ft.as_mut(),
-            |inner| inner.reqs.is_done(req),
-            "wait",
-        )?;
+        block_until(&mut self.inner, self.ft.as_mut(), |inner| inner.reqs.is_done(req), "wait")?;
         self.inner.reqs.take_done(req)
     }
 
@@ -332,8 +330,7 @@ impl Rank {
         };
         poll_all(&mut self.inner, self.ft.as_mut())?;
         let ft = &*self.ft;
-        let admissible =
-            |s: &RecvSpec, e: &crate::envelope::Envelope| ft.match_admissible(s, e);
+        let admissible = |s: &RecvSpec, e: &crate::envelope::Envelope| ft.match_admissible(s, e);
         Ok(self.inner.engine.probe(&spec, &admissible).map(Status::of))
     }
 
@@ -459,12 +456,7 @@ impl Rank {
     /// if the rank was killed while pumping.
     pub fn pump(&mut self, dur: Duration) -> Result<()> {
         let deadline = Instant::now() + dur;
-        block_until(
-            &mut self.inner,
-            self.ft.as_mut(),
-            |_| Ok(Instant::now() >= deadline),
-            "pump",
-        )
+        block_until(&mut self.inner, self.ft.as_mut(), |_| Ok(Instant::now() >= deadline), "pump")
     }
 
     /// Internal: irecv with an already world-resolved source.
@@ -478,8 +470,7 @@ impl Rank {
         let spec = RecvSpec { comm, src, tag, ident: self.inner.cur_ident };
         poll_all(&mut self.inner, self.ft.as_mut())?;
         let ft = &*self.ft;
-        let admissible =
-            |s: &RecvSpec, e: &crate::envelope::Envelope| ft.match_admissible(s, e);
+        let admissible = |s: &RecvSpec, e: &crate::envelope::Envelope| ft.match_admissible(s, e);
         if let Some(arrived) = self.inner.engine.match_post(&spec, &admissible) {
             let req = self.inner.reqs.insert(ReqState::RecvPosted { spec });
             complete_match(&mut self.inner, req, arrived.env, arrived.body)?;

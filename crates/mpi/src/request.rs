@@ -134,9 +134,7 @@ impl RequestTable {
 
     /// Borrow a request's state.
     pub fn get(&self, id: RequestId) -> Result<&ReqState> {
-        self.slots
-            .get(&id.0)
-            .ok_or_else(|| MpiError::invalid(format!("unknown request {id:?}")))
+        self.slots.get(&id.0).ok_or_else(|| MpiError::invalid(format!("unknown request {id:?}")))
     }
 
     /// Mutably borrow a request's state.
@@ -152,7 +150,12 @@ impl RequestTable {
     }
 
     /// Mark a request complete.
-    pub fn complete(&mut self, id: RequestId, status: Status, payload: Option<Bytes>) -> Result<()> {
+    pub fn complete(
+        &mut self,
+        id: RequestId,
+        status: Status,
+        payload: Option<Bytes>,
+    ) -> Result<()> {
         let slot = self.get_mut(id)?;
         debug_assert!(!slot.is_done(), "request {id:?} completed twice");
         *slot = ReqState::Done { status, payload };
@@ -205,7 +208,7 @@ impl RequestTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{COMM_WORLD, ChannelId};
+    use crate::types::{ChannelId, COMM_WORLD};
 
     fn env(src: u32, tag: Tag) -> Envelope {
         Envelope {

@@ -83,7 +83,10 @@ impl Runtime {
     }
 
     /// Convenience: run `app` natively (no fault tolerance, no failures).
-    pub fn run_native(world: usize, app: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> Result<RunReport> {
+    pub fn run_native(
+        world: usize,
+        app: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static,
+    ) -> Result<RunReport> {
         Runtime::new(RuntimeConfig::new(world)).run(
             Arc::new(NativeProvider),
             Arc::new(app),
@@ -203,9 +206,9 @@ impl Runtime {
                     // their reports so the diagnostics show the whole
                     // wait-for graph.
                     let grace = Instant::now() + Duration::from_millis(1500);
-                    while let Ok(ev) = evt_rx.recv_timeout(
-                        grace.saturating_duration_since(Instant::now()),
-                    ) {
+                    while let Ok(ev) =
+                        evt_rx.recv_timeout(grace.saturating_duration_since(Instant::now()))
+                    {
                         if let RuntimeEvent::Error { rank, message } = ev {
                             report.errors.push((rank, message));
                         }
@@ -216,10 +219,9 @@ impl Runtime {
                     // Expected during cluster rollback; the Failure arm joins.
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    report.errors.push((
-                        RankId(u32::MAX),
-                        "runtime backstop: no progress events".into(),
-                    ));
+                    report
+                        .errors
+                        .push((RankId(u32::MAX), "runtime backstop: no progress events".into()));
                     break Err(());
                 }
                 Err(RecvTimeoutError::Disconnected) => break Err(()),

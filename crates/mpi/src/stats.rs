@@ -84,12 +84,7 @@ impl RankStats {
             self.sent_msgs[peer] += 1;
         }
         let digest = fnv1a(payload);
-        self.channel_chains.entry(chan).or_default().push(
-            tag,
-            payload.len() as u64,
-            digest,
-            ident,
-        );
+        self.channel_chains.entry(chan).or_default().push(tag, payload.len() as u64, digest, ident);
         self.process_chain.push(tag, payload.len() as u64, digest, ident);
     }
 

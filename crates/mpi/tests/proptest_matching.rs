@@ -1,10 +1,17 @@
-//! Model-based property test of the matching engine: random interleavings
-//! of posts and arrivals, checked against a naive reference implementation
-//! of the MPI matching rules.
+//! Model-based property tests of the matching engine.
+//!
+//! * `engine_agrees_with_reference` — random post/arrival interleavings
+//!   checked against a naive inline model of the MPI matching rules.
+//! * `indexed_engine_matches_linear_oracle` — the differential test for the
+//!   channel-indexed engine: both it and the retired linear engine
+//!   ([`mini_mpi::matching::reference::ReferenceMatchEngine`]) consume the
+//!   same random operation stream — wildcard sources/tags, pattern-ID
+//!   admissibility windows, probe peeks, front re-posts, RTS purges — and
+//!   must make identical decisions in identical order at every step.
 
 use bytes::Bytes;
 use mini_mpi::envelope::Envelope;
-use mini_mpi::matching::{Arrived, ArrivedBody, MatchEngine};
+use mini_mpi::matching::{reference::ReferenceMatchEngine, Arrived, ArrivedBody, MatchEngine};
 use mini_mpi::request::{RecvSpec, RequestId};
 use mini_mpi::types::{CommId, MatchIdent, RankId, Source, TagSel};
 use proptest::prelude::*;
@@ -17,14 +24,9 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (proptest::option::of(0u32..3), proptest::option::of(0u32..3), 0u32..2).prop_map(
-            |(src, tag, ident)| Op::Post { src, tag, ident }
-        ),
-        (0u32..3, 0u32..3, 0u32..2).prop_map(|(src, tag, ident)| Op::Arrive {
-            src,
-            tag,
-            ident
-        }),
+        (proptest::option::of(0u32..3), proptest::option::of(0u32..3), 0u32..2)
+            .prop_map(|(src, tag, ident)| Op::Post { src, tag, ident }),
+        (0u32..3, 0u32..3, 0u32..2).prop_map(|(src, tag, ident)| Op::Arrive { src, tag, ident }),
     ]
 }
 
@@ -42,10 +44,8 @@ fn admissible(spec: &RecvSpec, env: &Envelope) -> bool {
 
 impl Reference {
     fn arrive(&mut self, env: Envelope) -> Option<u64> {
-        if let Some(pos) = self
-            .posted
-            .iter()
-            .position(|(_, s)| s.accepts(&env) && admissible(s, &env))
+        if let Some(pos) =
+            self.posted.iter().position(|(_, s)| s.accepts(&env) && admissible(s, &env))
         {
             let (id, _) = self.posted.remove(pos);
             Some(id)
@@ -56,10 +56,8 @@ impl Reference {
     }
 
     fn post(&mut self, id: u64, spec: RecvSpec) -> Option<Envelope> {
-        if let Some(pos) = self
-            .unexpected
-            .iter()
-            .position(|e| spec.accepts(e) && admissible(&spec, e))
+        if let Some(pos) =
+            self.unexpected.iter().position(|e| spec.accepts(e) && admissible(&spec, e))
         {
             Some(self.unexpected.remove(pos))
         } else {
@@ -144,5 +142,138 @@ proptest! {
         // Residual queues agree in size.
         prop_assert_eq!(engine.posted_len(), reference.posted.len());
         prop_assert_eq!(engine.unexpected_len(), reference.unexpected.len());
+    }
+}
+
+/// Operation alphabet for the differential test: everything the runtime and
+/// FT layer can do to a matching engine.
+#[derive(Clone, Debug)]
+enum DiffOp {
+    /// `match_post` then, on miss, `post` / `post_front`.
+    Post { src: Option<u32>, tag: Option<u32>, ident: u32, front: bool },
+    /// `match_arrival` then, on miss, `push_unexpected` (eager or RTS body).
+    Arrive { src: u32, tag: u32, ident: u32, rts: bool },
+    /// `probe` — a peek that must not change either engine.
+    Probe { src: Option<u32>, tag: Option<u32>, ident: u32 },
+    /// `purge_rts_from` — the retain path used on sender restart.
+    Purge { src: u32 },
+}
+
+fn diff_op_strategy() -> impl Strategy<Value = DiffOp> {
+    // Posts and arrivals repeated to skew the mix toward queue growth;
+    // probes and purges stay rare.
+    fn post() -> impl Strategy<Value = DiffOp> {
+        (proptest::option::of(0u32..3), proptest::option::of(0u32..3), 0u32..2, any::<bool>())
+            .prop_map(|(src, tag, ident, front)| DiffOp::Post { src, tag, ident, front })
+    }
+    fn arrive() -> impl Strategy<Value = DiffOp> {
+        (0u32..3, 0u32..3, 0u32..2, any::<bool>())
+            .prop_map(|(src, tag, ident, rts)| DiffOp::Arrive { src, tag, ident, rts })
+    }
+    prop_oneof![
+        post(),
+        post(),
+        post(),
+        arrive(),
+        arrive(),
+        arrive(),
+        (proptest::option::of(0u32..3), proptest::option::of(0u32..3), 0u32..2)
+            .prop_map(|(src, tag, ident)| DiffOp::Probe { src, tag, ident }),
+        (0u32..3).prop_map(|src| DiffOp::Purge { src }),
+    ]
+}
+
+fn body_kind(a: &Arrived) -> Option<u64> {
+    match a.body {
+        ArrivedBody::Eager(_) => None,
+        ArrivedBody::Rts { token } => Some(token),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// The channel-indexed engine and the retired linear engine must make
+    /// identical decisions, in identical order, on any operation stream.
+    #[test]
+    fn indexed_engine_matches_linear_oracle(
+        ops in proptest::collection::vec(diff_op_strategy(), 0..80),
+    ) {
+        let mut indexed = MatchEngine::new();
+        let mut linear = ReferenceMatchEngine::new();
+        let mut next_id = 0u64;
+        let mut next_token = 100u64;
+        let mut seqs = std::collections::HashMap::new();
+        let check = |s: &RecvSpec, e: &Envelope| s.ident == e.ident;
+
+        for op in ops {
+            match op {
+                DiffOp::Post { src, tag, ident, front } => {
+                    let spec = spec_of(src, tag, ident);
+                    let got = indexed.match_post(&spec, &check);
+                    let expect = linear.match_post(&spec, &check);
+                    match (got, expect) {
+                        (None, None) => {
+                            let id = RequestId(next_id);
+                            next_id += 1;
+                            if front {
+                                indexed.post_front(id, spec);
+                                linear.post_front(id, spec);
+                            } else {
+                                indexed.post(id, spec);
+                                linear.post(id, spec);
+                            }
+                        }
+                        (Some(a), Some(b)) => {
+                            prop_assert_eq!(a.env, b.env);
+                            prop_assert_eq!(body_kind(&a), body_kind(&b));
+                        }
+                        (a, b) => prop_assert!(
+                            false,
+                            "post divergence: indexed={:?} linear={:?}",
+                            a.map(|x| x.env), b.map(|x| x.env)
+                        ),
+                    }
+                }
+                DiffOp::Arrive { src, tag, ident, rts } => {
+                    let seq = seqs.entry(src).or_insert(0u64);
+                    *seq += 1;
+                    let env = env_of(src, tag, ident, *seq);
+                    let got = indexed.match_arrival(&env, &check);
+                    let expect = linear.match_arrival(&env, &check);
+                    prop_assert_eq!(got, expect, "arrival divergence");
+                    if got.is_none() {
+                        let body = if rts {
+                            next_token += 1;
+                            ArrivedBody::Rts { token: next_token }
+                        } else {
+                            ArrivedBody::Eager(Bytes::new())
+                        };
+                        indexed.push_unexpected(Arrived { env, body: body.clone() });
+                        linear.push_unexpected(Arrived { env, body });
+                    }
+                }
+                DiffOp::Probe { src, tag, ident } => {
+                    let spec = spec_of(src, tag, ident);
+                    let got = indexed.probe(&spec, &check).copied();
+                    let expect = linear.probe(&spec, &check).copied();
+                    prop_assert_eq!(got, expect, "probe divergence");
+                }
+                DiffOp::Purge { src } => {
+                    let got = indexed.purge_rts_from(RankId(src));
+                    let expect = linear.purge_rts_from(RankId(src));
+                    prop_assert_eq!(got, expect, "purge divergence");
+                }
+            }
+        }
+
+        // Residual state: sizes and full unexpected-queue order agree.
+        prop_assert_eq!(indexed.posted_len(), linear.posted_len());
+        prop_assert_eq!(indexed.unexpected_len(), linear.unexpected_len());
+        let left: Vec<_> =
+            indexed.unexpected_iter().map(|a| (a.env, body_kind(a))).collect();
+        let right: Vec<_> =
+            linear.unexpected_iter().map(|a| (a.env, body_kind(a))).collect();
+        prop_assert_eq!(left, right);
     }
 }

@@ -124,8 +124,7 @@ fn ft_transfer_completion_is_signaled() {
                     lamport: 1,
                     ident: MatchIdent::DEFAULT,
                 };
-                let token =
-                    ctx.ft_send_message(mini_mpi::envelope::Message { env, payload });
+                let token = ctx.ft_send_message(mini_mpi::envelope::Message { env, payload });
                 assert!(token.is_some(), "256 B over a 16 B threshold is rendezvous");
             }
             Ok(())

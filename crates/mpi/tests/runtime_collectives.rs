@@ -3,7 +3,10 @@
 use mini_mpi::prelude::*;
 use mini_mpi::wire::{from_bytes, to_bytes};
 
-fn run(world: usize, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> RunReport {
+fn run(
+    world: usize,
+    f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static,
+) -> RunReport {
     Runtime::run_native(world, f).unwrap().ok().unwrap()
 }
 
@@ -25,11 +28,8 @@ fn bcast_from_every_root() {
     for n in [2usize, 3, 6, 9] {
         for root in [0usize, 1, n - 1] {
             let report = run(n, move |rank| {
-                let data: Vec<u64> = if rank.world_rank() == root {
-                    vec![17, 23, root as u64]
-                } else {
-                    vec![]
-                };
+                let data: Vec<u64> =
+                    if rank.world_rank() == root { vec![17, 23, root as u64] } else { vec![] };
                 let got = rank.bcast(COMM_WORLD, root, &data)?;
                 assert_eq!(got, vec![17, 23, root as u64]);
                 Ok(vec![1])
@@ -164,11 +164,7 @@ fn comm_split_ids_deterministic_across_runs() {
             let sub2 = rank.comm_split(COMM_WORLD, 0, 0)?;
             Ok(to_bytes(&(sub.0, sub2.0)))
         });
-        report
-            .outputs
-            .iter()
-            .map(|o| from_bytes::<(u64, u64)>(o).unwrap())
-            .collect::<Vec<_>>()
+        report.outputs.iter().map(|o| from_bytes::<(u64, u64)>(o).unwrap()).collect::<Vec<_>>()
     };
     assert_eq!(get_ids(), get_ids());
 }

@@ -4,7 +4,10 @@
 use mini_mpi::prelude::*;
 use mini_mpi::wire::{from_bytes, to_bytes};
 
-fn run(world: usize, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> RunReport {
+fn run(
+    world: usize,
+    f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static,
+) -> RunReport {
     Runtime::run_native(world, f).unwrap().ok().unwrap()
 }
 
@@ -15,14 +18,7 @@ fn sendrecv_ring_shift() {
         let me = rank.world_rank();
         let n = rank.world_size();
         // Shift right: send to me+1, receive from me-1.
-        let got = rank.sendrecv(
-            COMM_WORLD,
-            (me + 1) % n,
-            3,
-            &[me as u64],
-            (me + n - 1) % n,
-            3,
-        )?;
+        let got = rank.sendrecv(COMM_WORLD, (me + 1) % n, 3, &[me as u64], (me + n - 1) % n, 3)?;
         Ok(to_bytes(&got[0]))
     });
     for (i, out) in report.outputs.iter().enumerate() {

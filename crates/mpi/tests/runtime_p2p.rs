@@ -4,7 +4,10 @@ use bytes::Bytes;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::{from_bytes, to_bytes};
 
-fn run(world: usize, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> RunReport {
+fn run(
+    world: usize,
+    f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static,
+) -> RunReport {
     Runtime::run_native(world, f).unwrap().ok().unwrap()
 }
 
@@ -129,8 +132,7 @@ fn isend_irecv_waitall() {
         let sum: u64 = rres
             .iter()
             .map(|(_, p)| {
-                let v: Vec<u64> =
-                    mini_mpi::datatype::unpack(p.as_ref().unwrap()).unwrap();
+                let v: Vec<u64> = mini_mpi::datatype::unpack(p.as_ref().unwrap()).unwrap();
                 v[0]
             })
             .sum();
@@ -181,8 +183,7 @@ fn test_and_testall_nonblocking() {
             let mut polls = 0u64;
             loop {
                 if let Some((_, payload)) = rank.test(req)? {
-                    let v: Vec<u64> =
-                        mini_mpi::datatype::unpack(&payload.unwrap()).unwrap();
+                    let v: Vec<u64> = mini_mpi::datatype::unpack(&payload.unwrap()).unwrap();
                     assert_eq!(v[0], 7);
                     break;
                 }

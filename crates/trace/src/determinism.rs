@@ -61,16 +61,13 @@ impl Default for CheckOpts {
 }
 
 fn run_once(world: usize, app: &Arc<AppFn>, seed: u64, opts: &CheckOpts) -> Result<Vec<RankStats>> {
-    let cfg = RuntimeConfig::new(world)
-        .with_deadlock_timeout(opts.timeout)
-        .with_perturb(Perturb {
-            max_delay_us: opts.max_delay_us,
-            probability: opts.probability,
-            seed,
-        });
-    let report = Runtime::new(cfg)
-        .run(Arc::new(NativeProvider), Arc::clone(app), Vec::new(), None)?
-        .ok()?;
+    let cfg = RuntimeConfig::new(world).with_deadlock_timeout(opts.timeout).with_perturb(Perturb {
+        max_delay_us: opts.max_delay_us,
+        probability: opts.probability,
+        seed,
+    });
+    let report =
+        Runtime::new(cfg).run(Arc::new(NativeProvider), Arc::clone(app), Vec::new(), None)?.ok()?;
     Ok(report.stats)
 }
 
@@ -98,7 +95,11 @@ pub fn check(world: usize, app: Arc<AppFn>, opts: &CheckOpts) -> Result<Determin
     if !channel_ok {
         send_ok = false;
     }
-    Ok(DeterminismReport { channel_deterministic: channel_ok, send_deterministic: send_ok, runs: opts.runs })
+    Ok(DeterminismReport {
+        channel_deterministic: channel_ok,
+        send_deterministic: send_ok,
+        runs: opts.runs,
+    })
 }
 
 #[cfg(test)]

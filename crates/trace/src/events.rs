@@ -34,7 +34,8 @@ impl Timeline {
                 if bytes > 0 {
                     // Attribute to the world channel; finer per-communicator
                     // byte accounting lives in channel_chains counts only.
-                    let chan = ChannelId::new(s.me, RankId(dst as u32), mini_mpi::types::COMM_WORLD);
+                    let chan =
+                        ChannelId::new(s.me, RankId(dst as u32), mini_mpi::types::COMM_WORLD);
                     *t.bytes.entry(chan).or_default() += bytes;
                 }
             }
@@ -52,12 +53,8 @@ impl Timeline {
 
     /// Out-degree of a rank: how many distinct peers it sent to.
     pub fn out_degree(&self, rank: RankId) -> usize {
-        let mut peers: Vec<RankId> = self
-            .msgs
-            .keys()
-            .filter(|c| c.src == rank)
-            .map(|c| c.dst)
-            .collect();
+        let mut peers: Vec<RankId> =
+            self.msgs.keys().filter(|c| c.src == rank).map(|c| c.dst).collect();
         peers.sort_unstable();
         peers.dedup();
         peers.len()
@@ -70,9 +67,7 @@ impl Timeline {
 
     /// True when rank `a` and `b` exchanged any message (either direction).
     pub fn communicated(&self, a: RankId, b: RankId) -> bool {
-        self.msgs
-            .keys()
-            .any(|c| (c.src == a && c.dst == b) || (c.src == b && c.dst == a))
+        self.msgs.keys().any(|c| (c.src == a && c.dst == b) || (c.src == b && c.dst == a))
     }
 }
 

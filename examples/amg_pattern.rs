@@ -22,13 +22,8 @@ fn run(enforce_ident: bool, fail: bool, params: AppParams, world: usize) -> Resu
         ClusterMap::blocks(world, 3),
         SpbcConfig { ckpt_interval: 3, enforce_ident, ..Default::default() },
     ));
-    let plans = if fail {
-        vec![FailurePlan { rank: RankId(0), nth: 5 }]
-    } else {
-        Vec::new()
-    };
-    let cfg = RuntimeConfig::new(world)
-        .with_deadlock_timeout(std::time::Duration::from_secs(10));
+    let plans = if fail { vec![FailurePlan { rank: RankId(0), nth: 5 }] } else { Vec::new() };
+    let cfg = RuntimeConfig::new(world).with_deadlock_timeout(std::time::Duration::from_secs(10));
     Runtime::new(cfg).run(provider, Workload::Amg.build(params), plans, None)?.ok()
 }
 
@@ -45,10 +40,7 @@ fn main() {
     // With the pattern API + identifier matching (SPBC proper).
     let with_ids = run(true, true, params, world).expect("SPBC recovery must succeed");
     assert_eq!(with_ids.failures_handled, 1);
-    assert_eq!(
-        native.outputs, with_ids.outputs,
-        "identifier matching must keep replay valid"
-    );
+    assert_eq!(native.outputs, with_ids.outputs, "identifier matching must keep replay valid");
     println!("✓ AMG recovered bitwise-identically with (pattern, iteration) matching");
 
     // Identifier matching disabled: a replayed message from one pattern

@@ -16,30 +16,18 @@ use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let workload = args
-        .get(1)
-        .and_then(|n| Workload::by_name(n))
-        .unwrap_or(Workload::MiniGhost);
+    let workload = args.get(1).and_then(|n| Workload::by_name(n)).unwrap_or(Workload::MiniGhost);
     let world: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(16);
     let scale = Scale { world, ..Scale::default() };
 
     println!("profiling {} on {world} ranks ...", workload.name());
     let report = Runtime::new(RuntimeConfig::new(world))
-        .run(
-            Arc::new(NativeProvider),
-            workload.build(scale.params(workload)),
-            Vec::new(),
-            None,
-        )
+        .run(Arc::new(NativeProvider), workload.build(scale.params(workload)), Vec::new(), None)
         .expect("profile run")
         .ok()
         .expect("clean");
     let graph = CommGraph::from_matrix(spbc::trace::comm_matrix(&report.stats));
-    println!(
-        "total traffic: {:.2} MB over {} ranks\n",
-        graph.total() as f64 / 1e6,
-        world
-    );
+    println!("total traffic: {:.2} MB over {} ranks\n", graph.total() as f64 / 1e6, world);
 
     println!(
         "{:>9} {:>11} {:>12} {:>12} {:>12}",

@@ -54,16 +54,8 @@ fn main() {
 
     assert_eq!(r1.outputs, r2.outputs, "both protocols must recover to the same result");
     println!("NAS LU, failure at the last iteration, cluster of rank 4 recovers:");
-    println!(
-        "  SPBC : wall {:>7.0?}   {}",
-        spbc_wall,
-        spbc.metrics().summary()
-    );
-    println!(
-        "  HydEE: wall {:>7.0?}   {}",
-        hydee_wall,
-        hydee.metrics().summary()
-    );
+    println!("  SPBC : wall {:>7.0?}   {}", spbc_wall, spbc.metrics().summary());
+    println!("  HydEE: wall {:>7.0?}   {}", hydee_wall, hydee.metrics().summary());
     let grants = Metrics::get(&hydee.metrics().coordinator_grants);
     println!(
         "  HydEE paid {grants} coordinator round-trips; SPBC replayed with zero coordination."

@@ -38,8 +38,7 @@ fn profile_cluster_recover_workflow() {
     assert!(graph.total() > 0);
 
     // 2. Communication-aware clustering (node size 2, 4 clusters).
-    let assignment =
-        partition(&graph, 4, &PartitionOpts { node_size: 2, ..Default::default() });
+    let assignment = partition(&graph, 4, &PartitionOpts { node_size: 2, ..Default::default() });
     let clusters = ClusterMap::from_assignment(assignment);
     assert!(clusters.respects_nodes(2));
 
@@ -114,17 +113,10 @@ fn amg_without_identifiers_goes_invalid_under_recovery() {
             ClusterMap::blocks(WORLD, 4),
             SpbcConfig { ckpt_interval: 3, enforce_ident, ..Default::default() },
         ));
-        Runtime::new(
-            RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(8)),
-        )
-        .run(
-            provider,
-            w.build(params()),
-            vec![FailurePlan { rank: RankId(1), nth: 6 }],
-            None,
-        )
-        .unwrap()
-        .ok()
+        Runtime::new(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(8)))
+            .run(provider, w.build(params()), vec![FailurePlan { rank: RankId(1), nth: 6 }], None)
+            .unwrap()
+            .ok()
     };
     // With identifiers: exact recovery.
     let good = run(true).expect("SPBC recovery must succeed");
@@ -148,10 +140,8 @@ fn all_protocol_variants_agree_failure_free() {
     let w = Workload::NasMg;
     let base = native(w);
     for k in [1usize, 2, 4, 8] {
-        let provider = Arc::new(SpbcProvider::new(
-            ClusterMap::blocks(WORLD, k),
-            SpbcConfig::default(),
-        ));
+        let provider =
+            Arc::new(SpbcProvider::new(ClusterMap::blocks(WORLD, k), SpbcConfig::default()));
         let report = Runtime::new(cfg())
             .run(provider, w.build(params()), Vec::new(), None)
             .unwrap()

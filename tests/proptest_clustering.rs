@@ -6,13 +6,14 @@ use spbc::clustering::{partition, CommGraph, Objective, PartitionOpts};
 
 fn graph_strategy(max_ranks: usize) -> impl Strategy<Value = CommGraph> {
     (2usize..=max_ranks).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::collection::vec(0u64..10_000, n), n)
-            .prop_map(move |mut m| {
+        proptest::collection::vec(proptest::collection::vec(0u64..10_000, n), n).prop_map(
+            move |mut m| {
                 for (i, row) in m.iter_mut().enumerate() {
                     row[i] = 0; // no self-traffic
                 }
                 CommGraph::from_matrix(m)
-            })
+            },
+        )
     })
 }
 

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A deliberately small wall-clock harness with criterion's bench-definition
+//! API: groups, `bench_function`/`bench_with_input`, `iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. No statistical analysis, no
+//! HTML reports — each benchmark prints `name: median ns/iter (samples)` to
+//! stdout, which is what EXPERIMENTS.md records.
+//!
+//! Methodology: per sample, the closure is timed over a batch sized so one
+//! batch takes roughly `measurement_time / sample_size`; the reported number
+//! is the median of per-iteration means across samples (robust to scheduler
+//! noise without needing criterion's bootstrap machinery).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timing loop inside a benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean ns/iter of each sample, filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, recording per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size the batch so one sample ≈ measurement_time/samples.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64;
+        let batch = (per_sample / once.as_nanos().max(1) as u64).clamp(1, 1 << 20);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { sample_size, measurement_time, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_id:<60} (no measurement)");
+        return;
+    }
+    b.samples.sort_by(|a, b| a.total_cmp(b));
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{full_id:<60} {:>12}/iter  [{} .. {}]  ({} samples)",
+        human_ns(median),
+        human_ns(lo),
+        human_ns(hi),
+        b.samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time (accepted for compatibility; warm-up is a single
+    /// untimed call).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput (echoed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 20, Duration::from_secs(2), &mut f);
+        self
+    }
+
+    /// Accepted for compatibility with `Criterion::default().configure_from_args()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Define a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}
