@@ -118,6 +118,51 @@ fn matching(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-send bookkeeping cost in `RankStats::on_send`, payload digest on
+/// (the default) vs off (`RuntimeConfig::with_payload_digests(false)`). The
+/// FNV-1a digest is the only O(payload) term on the send path; with it off
+/// the chains witness only `(tag, plen, ident)` order at O(1) per send.
+fn stats(c: &mut Criterion) {
+    use mini_mpi::stats::RankStats;
+    use mini_mpi::types::{ChannelId, RankId};
+
+    let mut g = c.benchmark_group("stats_on_send");
+    g.measurement_time(Duration::from_secs(4));
+    for &size in &[64usize, 4096, 64 * 1024] {
+        let payload = vec![7u8; size];
+        let chan = ChannelId::new(RankId(0), RankId(1), COMM_WORLD);
+        g.throughput(Throughput::Bytes(size as u64));
+        for digests in [true, false] {
+            let name = if digests { "digest_on" } else { "digest_off" };
+            g.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                let mut s = RankStats::new(RankId(0), 2);
+                s.digest_payloads = digests;
+                b.iter(|| s.on_send(chan, 1, std::hint::black_box(&payload), (0, 1)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Cost of one `Recorder::record` call with the flight recorder enabled
+/// (ring append under an uncontended mutex) vs disabled (the closure must
+/// not even be evaluated).
+fn flight_recorder(c: &mut Criterion) {
+    use mini_mpi::recorder::{Event, FlightRecorder, Recorder};
+    use mini_mpi::types::RankId;
+
+    let event =
+        || Event::Send { dst: RankId(1), comm: 0, tag: 1, seqnum: 1, bytes: 64, suppressed: false };
+    let mut g = c.benchmark_group("flight_recorder");
+    g.measurement_time(Duration::from_secs(4));
+    let fr = FlightRecorder::new(1, 1024);
+    let enabled = fr.handle(RankId(0));
+    g.bench_function("record_enabled", |b| b.iter(|| enabled.record(event)));
+    let disabled = Recorder::disabled();
+    g.bench_function("record_disabled", |b| b.iter(|| disabled.record(event)));
+    g.finish();
+}
+
 fn p2p(c: &mut Criterion) {
     let mut g = c.benchmark_group("p2p_roundtrip");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
@@ -189,5 +234,15 @@ fn spawn_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, wire, log, matching, p2p, collectives, spawn_overhead);
+criterion_group!(
+    benches,
+    wire,
+    log,
+    matching,
+    stats,
+    flight_recorder,
+    p2p,
+    collectives,
+    spawn_overhead
+);
 criterion_main!(benches);

@@ -37,6 +37,6 @@ pub mod replay;
 pub mod store;
 
 pub use cluster::ClusterMap;
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use pattern::{PatternId, Patterns};
 pub use protocol::{ReplayPolicy, SpbcConfig, SpbcLayer, SpbcProvider};

@@ -49,21 +49,95 @@ impl Metrics {
         counter.load(Ordering::Relaxed)
     }
 
-    /// Human-readable one-line summary.
+    /// Human-readable one-line summary. Duplicate drops and out-of-order
+    /// drops are distinct failure signatures (a healthy replay produces the
+    /// former, a crash-window gap the latter), so they are reported apart.
     pub fn summary(&self) -> String {
         format!(
-            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}",
+            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}",
             Self::get(&self.logged_msgs),
             Self::get(&self.logged_bytes),
             Self::get(&self.replayed_msgs),
             Self::get(&self.replayed_bytes),
             Self::get(&self.suppressed_sends),
-            Self::get(&self.dropped_duplicates) + Self::get(&self.dropped_out_of_order),
+            Self::get(&self.dropped_duplicates),
+            Self::get(&self.dropped_out_of_order),
             Self::get(&self.checkpoints),
             Self::get(&self.rollbacks),
             Self::get(&self.ctrl_msgs),
             Self::get(&self.coordinator_grants),
         )
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            logged_bytes: Self::get(&self.logged_bytes),
+            logged_msgs: Self::get(&self.logged_msgs),
+            replayed_msgs: Self::get(&self.replayed_msgs),
+            replayed_bytes: Self::get(&self.replayed_bytes),
+            suppressed_sends: Self::get(&self.suppressed_sends),
+            dropped_duplicates: Self::get(&self.dropped_duplicates),
+            dropped_out_of_order: Self::get(&self.dropped_out_of_order),
+            checkpoints: Self::get(&self.checkpoints),
+            rollbacks: Self::get(&self.rollbacks),
+            ctrl_msgs: Self::get(&self.ctrl_msgs),
+            coordinator_grants: Self::get(&self.coordinator_grants),
+        }
+    }
+}
+
+/// Plain-value copy of [`Metrics`], the unit the harness serializes so BENCH
+/// trajectories can track protocol counters, not just wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Payload bytes appended to sender-side logs.
+    pub logged_bytes: u64,
+    /// Messages appended to sender-side logs.
+    pub logged_msgs: u64,
+    /// Messages re-sent from logs during recovery.
+    pub replayed_msgs: u64,
+    /// Payload bytes re-sent from logs during recovery.
+    pub replayed_bytes: u64,
+    /// Sends suppressed because the receiver already had them.
+    pub suppressed_sends: u64,
+    /// Duplicate arrivals dropped by the receiver-side seqnum check.
+    pub dropped_duplicates: u64,
+    /// Out-of-order arrivals dropped (crash-window gap on the channel).
+    pub dropped_out_of_order: u64,
+    /// Coordinated checkpoints committed (counted per member).
+    pub checkpoints: u64,
+    /// Rank restarts performed.
+    pub rollbacks: u64,
+    /// Control messages exchanged by the protocol.
+    pub ctrl_msgs: u64,
+    /// Replay grants issued by a central coordinator (HydEE only).
+    pub coordinator_grants: u64,
+}
+
+impl MetricsSnapshot {
+    /// The counters as `(name, value)` pairs, in declaration order.
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("logged_bytes", self.logged_bytes),
+            ("logged_msgs", self.logged_msgs),
+            ("replayed_msgs", self.replayed_msgs),
+            ("replayed_bytes", self.replayed_bytes),
+            ("suppressed_sends", self.suppressed_sends),
+            ("dropped_duplicates", self.dropped_duplicates),
+            ("dropped_out_of_order", self.dropped_out_of_order),
+            ("checkpoints", self.checkpoints),
+            ("rollbacks", self.rollbacks),
+            ("ctrl_msgs", self.ctrl_msgs),
+            ("coordinator_grants", self.coordinator_grants),
+        ]
+    }
+
+    /// Serialize as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> =
+            self.fields().iter().map(|(name, v)| format!("\"{name}\":{v}")).collect();
+        format!("{{{}}}", body.join(","))
     }
 }
 
@@ -78,5 +152,39 @@ mod tests {
         Metrics::add(&m.logged_bytes, 5);
         assert_eq!(Metrics::get(&m.logged_bytes), 15);
         assert!(m.summary().contains("15 B"));
+    }
+
+    #[test]
+    fn summary_separates_drop_kinds() {
+        let m = Metrics::new();
+        Metrics::add(&m.dropped_duplicates, 3);
+        Metrics::add(&m.dropped_out_of_order, 7);
+        let s = m.summary();
+        assert!(s.contains("dup-dropped 3"), "{s}");
+        assert!(s.contains("ooo-dropped 7"), "{s}");
+    }
+
+    #[test]
+    fn snapshot_copies_every_counter() {
+        let m = Metrics::new();
+        Metrics::add(&m.logged_bytes, 1);
+        Metrics::add(&m.logged_msgs, 2);
+        Metrics::add(&m.replayed_msgs, 3);
+        Metrics::add(&m.replayed_bytes, 4);
+        Metrics::add(&m.suppressed_sends, 5);
+        Metrics::add(&m.dropped_duplicates, 6);
+        Metrics::add(&m.dropped_out_of_order, 7);
+        Metrics::add(&m.checkpoints, 8);
+        Metrics::add(&m.rollbacks, 9);
+        Metrics::add(&m.ctrl_msgs, 10);
+        Metrics::add(&m.coordinator_grants, 11);
+        let s = m.snapshot();
+        for (i, (_, v)) in s.fields().iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"dropped_out_of_order\":7"), "{json}");
+        assert!(json.contains("\"coordinator_grants\":11"), "{json}");
     }
 }

@@ -32,6 +32,7 @@ use mini_mpi::envelope::{CtrlMsg, Envelope, Message};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::ft::{ArrivalAction, CkptOutcome, FtCtx, FtLayer, FtProvider, SendAction};
 use mini_mpi::matching::{Arrived, ArrivedBody};
+use mini_mpi::recorder::{CkptPhase, Event};
 use mini_mpi::request::RecvSpec;
 use mini_mpi::types::{ChannelId, CommId, RankId};
 use mini_mpi::wire::{from_bytes, to_bytes};
@@ -346,6 +347,7 @@ impl SpbcLayer {
     /// Handle a peer's Rollback: purge dangling rendezvous state, reply
     /// LastMessage, queue the replay set (Algorithm 1 lines 21-24).
     fn on_rollback(&mut self, ctx: &mut FtCtx<'_>, from: RankId, rb: Rollback) -> Result<()> {
+        ctx.recorder().record(|| Event::RollbackRecv { from, epoch: rb.epoch });
         // 1. The peer's old incarnation is gone: its announced-but-unshipped
         //    payloads will never arrive from it — remember them as "owed".
         let purged = ctx.purge_rdv_from_peer(from);
@@ -405,6 +407,7 @@ impl SpbcLayer {
                 &self.metrics.replayed_bytes,
                 set.iter().map(|m| m.payload.len() as u64).sum(),
             );
+            ctx.recorder().record(|| Event::ReplayQueued { dst: from, msgs: set.len() as u64 });
             self.replay.set_queue(from, set);
             self.pump_replay(ctx);
         }
@@ -443,6 +446,7 @@ impl SpbcLayer {
         for ch in lm.channels {
             let comm = CommId(ch.comm);
             self.ls.insert((from, comm), ch.last_recv);
+            ctx.recorder().record(|| Event::LsSet { peer: from, comm: ch.comm, ls: ch.last_recv });
             for s in ch.incomplete {
                 let sent_so_far = ctx.last_sent_on(from, comm);
                 if s <= sent_so_far {
@@ -558,12 +562,14 @@ impl SpbcLayer {
             }
         }
         self.last_ckpt_epoch = epoch;
+        ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Written });
         // Do not resume yet: wait for the leader's barrier so no post-commit
         // send can land in a sibling's still-open checkpoint (see
         // [`KIND_CKPT_RESUME`]).
         self.ckpt_state = CkptState::AwaitResume;
         let leader = self.clusters.leader_of(self.me);
         self.ctrl(ctx, leader, KIND_CKPT_ACK, to_bytes(&epoch));
+        ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Ack });
         Metrics::add(&self.metrics.checkpoints, 1);
         Ok(())
     }
@@ -591,6 +597,7 @@ impl FtLayer for SpbcLayer {
                 self.me
             )));
         }
+        ctx.recorder().record(|| Event::Rollback { epoch: ctx.epoch(), restored_ckpt: target });
         if let Some(ck) = ck_opt {
             ctx.set_send_seq(ck.send_seq.clone());
             ctx.set_recv_seen(ck.recv_seen.clone());
@@ -606,6 +613,10 @@ impl FtLayer for SpbcLayer {
                 self.missing.entry((chan.src, chan.comm)).or_default().insert(*seq);
             }
             self.persistent.lock().log.truncate_to(&ck.log_lens, ck.log_order);
+            ctx.recorder().record(|| Event::LogTruncate {
+                entries: self.persistent.lock().log.total_entries() as u64,
+                order: ck.log_order,
+            });
             self.ckpt_calls = ck.ckpt_calls;
             self.intra_sent = ck.intra_sent;
             self.intra_arrived = ck.intra_arrived;
@@ -632,6 +643,12 @@ impl FtLayer for SpbcLayer {
         self.persistent.lock().log.append(msg.clone());
         Metrics::add(&self.metrics.logged_msgs, 1);
         Metrics::add(&self.metrics.logged_bytes, payload.len() as u64);
+        ctx.recorder().record(|| Event::LogAppend {
+            dst,
+            comm: env.comm.0,
+            seqnum: env.seqnum,
+            bytes: env.plen,
+        });
 
         let key = (dst, env.comm);
         let ls = self.ls.get(&key).copied().unwrap_or(0);
@@ -752,6 +769,8 @@ impl FtLayer for SpbcLayer {
             KIND_CKPT_RESUME => {
                 debug_assert_eq!(self.ckpt_state, CkptState::AwaitResume);
                 self.ckpt_state = CkptState::Committed;
+                let epoch: u64 = from_bytes(&msg.data)?;
+                ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Resume });
                 Ok(())
             }
             KIND_GRANT => self.on_grant(ctx),
@@ -784,6 +803,7 @@ impl FtLayer for SpbcLayer {
         self.pending_app_state = Some(app_state);
         self.ckpt_state = CkptState::Waiting;
         let epoch = self.last_ckpt_epoch + 1;
+        ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Init });
         let leader = self.clusters.leader_of(self.me);
         let body = CkptCounts { epoch, sent: self.intra_sent, arrived: self.intra_arrived };
         self.ctrl(ctx, leader, KIND_CKPT_JOIN, to_bytes(&body));

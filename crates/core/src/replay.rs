@@ -20,6 +20,7 @@
 
 use mini_mpi::envelope::Message;
 use mini_mpi::ft::FtCtx;
+use mini_mpi::recorder::Event;
 use mini_mpi::types::RankId;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -125,6 +126,14 @@ impl ReplayEngine {
                 self.queues.get_mut(&dst).and_then(VecDeque::pop_front).expect("non-empty queue");
             self.replayed_msgs += 1;
             self.replayed_bytes += msg.payload.len() as u64;
+            ctx.recorder().record(|| Event::Replay {
+                dst,
+                comm: msg.env.comm.0,
+                seqnum: msg.env.seqnum,
+            });
+            if !self.has_queued(dst) {
+                ctx.recorder().record(|| Event::ReplayDrained { dst });
+            }
             if let Some(token) = ctx.ft_send_message(msg) {
                 self.outstanding.insert(token);
             }

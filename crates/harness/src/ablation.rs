@@ -84,7 +84,14 @@ pub fn ident_matching_overhead(scale: &Scale) -> Result<String> {
         let mut times = Vec::new();
         for _ in 0..scale.reps.max(1) {
             let provider = Arc::new(SpbcProvider::new(clusters.clone(), cfg.clone()));
-            times.push(run_with(scale, provider, &app)?.wall_time);
+            let report = run_with(scale, provider.clone(), &app)?;
+            crate::obs::write_trace(&report);
+            crate::obs::emit_metrics(
+                &format!("ablation/ident/{name}"),
+                &provider.metrics(),
+                &report,
+            );
+            times.push(report.wall_time);
         }
         times.sort_unstable();
         let t_med = times[times.len() / 2];
@@ -113,12 +120,18 @@ pub fn containment_comparison(scale: &Scale) -> Result<String> {
         ));
         let report = mini_mpi::Runtime::new(crate::profile::runtime_cfg(scale))
             .run(
-                provider,
+                provider.clone(),
                 Arc::clone(&app),
                 vec![FailurePlan { rank: RankId(0), nth: scale.iters }],
                 None,
             )?
             .ok()?;
+        crate::obs::write_trace(&report);
+        crate::obs::emit_metrics(
+            &format!("ablation/containment/{name}"),
+            &provider.metrics(),
+            &report,
+        );
         let restarted = report.restarts.iter().filter(|&&r| r > 0).count();
         t.row(vec![name.into(), restarted.to_string(), f2(report.wall_time.as_secs_f64())]);
     }

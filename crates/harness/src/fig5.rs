@@ -66,6 +66,12 @@ pub fn measure_recovery(
     let plans = vec![FailurePlan { rank: victim, nth: scale.iters }];
     let report = Runtime::new(runtime_cfg(scale)).run(provider.clone(), app, plans, None)?.ok()?;
     assert_eq!(report.failures_handled, 1, "exactly one failure expected");
+    crate::obs::write_trace(&report);
+    crate::obs::emit_metrics(
+        &format!("fig5/{}/k={}", w.name(), provider.clusters().cluster_count()),
+        &provider.metrics(),
+        &report,
+    );
 
     // Re-executed iterations: from the checkpoint (the single wave at
     // `ckpt_at`) to the end.

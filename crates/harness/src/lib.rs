@@ -15,6 +15,12 @@
 //! `SPBC_RANKS` (16), `SPBC_ITERS` (24), `SPBC_ELEMS` (512),
 //! `SPBC_SLEEP_US` (400), `SPBC_NODE_SIZE` (ranks/8), `SPBC_REPS` (3).
 //! `SPBC_RANKS=512` reproduces the paper's scale (slow on small machines).
+//!
+//! Observability (see [`obs`]): `SPBC_TRACE=path.json` records every
+//! measured run with the flight recorder and writes the last run's Chrome
+//! trace-event JSON to `path.json` (open in Perfetto); `SPBC_METRICS=path`
+//! appends one machine-readable metrics line per measured run (stderr when
+//! unset).
 
 #![warn(missing_docs)]
 
@@ -22,6 +28,7 @@ pub mod ablation;
 pub mod fig5;
 pub mod fig6;
 pub mod memory;
+pub mod obs;
 pub mod profile;
 pub mod report;
 pub mod table1;

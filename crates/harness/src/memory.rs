@@ -78,7 +78,9 @@ pub fn run_workload(
     );
     stop.store(true, Ordering::Relaxed);
     let samples = sampler.join().expect("sampler thread");
-    report?.ok()?;
+    let report = report?.ok()?;
+    crate::obs::write_trace(&report);
+    crate::obs::emit_metrics(&format!("memory/{}/k={k}", w.name()), &provider.metrics(), &report);
     Ok(MemoryProfile { app: w.name(), clusters: k, samples })
 }
 

@@ -1,0 +1,122 @@
+//! Observability plumbing shared by every `spbc-*` binary: flight-recorder
+//! tracing (`SPBC_TRACE`) and machine-readable metrics (`SPBC_METRICS`).
+//!
+//! * `SPBC_TRACE=path.json` — enable the flight recorder for every measured
+//!   run and write the last run's Chrome trace-event JSON to `path.json`
+//!   (loadable in Perfetto / `chrome://tracing`). Successive runs overwrite,
+//!   so the file holds the final measured configuration.
+//! * `SPBC_METRICS=path.jsonl` — append one JSON line per measured run
+//!   (`{"label":...,"wall_us":...,<counters>}`); without it the line goes to
+//!   stderr so BENCH trajectories can scrape protocol counters either way.
+
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::RunReport;
+use spbc_core::Metrics;
+use std::io::Write;
+
+/// Ring capacity used when `SPBC_TRACE` enables recording.
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// Is trace capture requested via the environment?
+pub fn trace_requested() -> bool {
+    std::env::var_os("SPBC_TRACE").is_some_and(|v| !v.is_empty())
+}
+
+/// Enable the flight recorder on `cfg` when `SPBC_TRACE` is set.
+pub fn apply_env(cfg: RuntimeConfig) -> RuntimeConfig {
+    if trace_requested() {
+        cfg.with_flight_recorder(TRACE_RING_CAPACITY)
+    } else {
+        cfg
+    }
+}
+
+/// Write the run's Chrome trace to `$SPBC_TRACE`, if both are present.
+pub fn write_trace(report: &RunReport) {
+    let Some(path) = std::env::var_os("SPBC_TRACE").filter(|v| !v.is_empty()) else {
+        return;
+    };
+    let Some(flight) = &report.flight else { return };
+    let json = spbc_trace::chrome_trace(flight);
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("trace: wrote {}", path.to_string_lossy()),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.to_string_lossy()),
+    }
+}
+
+/// Emit one labelled metrics line for a measured run: appended to
+/// `$SPBC_METRICS` when set, otherwise printed to stderr.
+pub fn emit_metrics(label: &str, metrics: &Metrics, report: &RunReport) {
+    let snap = metrics.snapshot();
+    let counters = snap.to_json();
+    let line = format!(
+        "{{\"label\":{},\"wall_us\":{},\"failures_handled\":{},{}",
+        spbc_trace::json::escape(label),
+        report.wall_time.as_micros(),
+        report.failures_handled,
+        &counters[1..], // splice the snapshot's fields into this object
+    );
+    match std::env::var_os("SPBC_METRICS").filter(|v| !v.is_empty()) {
+        Some(path) => {
+            let res = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = res {
+                eprintln!("metrics: failed to append {}: {e}", path.to_string_lossy());
+            }
+        }
+        None => eprintln!("metrics: {line}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spbc_trace::json::parse;
+
+    fn fake_report() -> RunReport {
+        RunReport {
+            outputs: Vec::new(),
+            stats: Vec::new(),
+            wall_time: std::time::Duration::from_micros(1234),
+            failures_handled: 1,
+            restarts: Vec::new(),
+            errors: Vec::new(),
+            flight: None,
+            flight_dump: None,
+        }
+    }
+
+    #[test]
+    fn metrics_line_is_valid_json() {
+        let m = Metrics::new();
+        Metrics::add(&m.logged_msgs, 42);
+        let report = fake_report();
+        // Reproduce the line format without touching the environment.
+        let snap = m.snapshot();
+        let line = format!(
+            "{{\"label\":{},\"wall_us\":{},\"failures_handled\":{},{}",
+            spbc_trace::json::escape("fig5/MiniGhost/k=4"),
+            report.wall_time.as_micros(),
+            report.failures_handled,
+            &snap.to_json()[1..],
+        );
+        let v = parse(&line).expect("metrics line parses");
+        assert_eq!(v.get("label").unwrap().as_str(), Some("fig5/MiniGhost/k=4"));
+        assert_eq!(v.get("wall_us").unwrap().as_num(), Some(1234.0));
+        assert_eq!(v.get("logged_msgs").unwrap().as_num(), Some(42.0));
+        assert_eq!(v.get("dropped_out_of_order").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn apply_env_without_trace_leaves_cfg_alone() {
+        // The test environment does not set SPBC_TRACE.
+        if trace_requested() {
+            return; // someone is tracing the test run itself; skip
+        }
+        let cfg = apply_env(RuntimeConfig::new(4));
+        assert!(cfg.flight_recorder.is_none());
+    }
+}

@@ -27,11 +27,14 @@ pub struct Profile {
     pub ipm: IpmProfile,
 }
 
-/// The runtime configuration experiments use.
+/// The runtime configuration experiments use. `SPBC_TRACE` enables the
+/// flight recorder on every run built from it.
 pub fn runtime_cfg(scale: &Scale) -> RuntimeConfig {
-    RuntimeConfig::new(scale.world)
-        .with_ranks_per_node(scale.ranks_per_node)
-        .with_deadlock_timeout(scale.timeout)
+    crate::obs::apply_env(
+        RuntimeConfig::new(scale.world)
+            .with_ranks_per_node(scale.ranks_per_node)
+            .with_deadlock_timeout(scale.timeout),
+    )
 }
 
 /// Run `app` once under `provider` and return the report.

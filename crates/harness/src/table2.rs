@@ -40,7 +40,13 @@ pub fn run_workload(w: Workload, scale: &Scale) -> Result<Table2Row> {
     let mut times = Vec::with_capacity(scale.reps);
     for _ in 0..scale.reps.max(1) {
         let provider = Arc::new(SpbcProvider::new(clusters.clone(), SpbcConfig::default()));
-        let report = run_with(scale, provider, &app)?;
+        let report = run_with(scale, provider.clone(), &app)?;
+        crate::obs::write_trace(&report);
+        crate::obs::emit_metrics(
+            &format!("table2/{}/k={k}", w.name()),
+            &provider.metrics(),
+            &report,
+        );
         times.push(report.wall_time);
     }
     times.sort_unstable();

@@ -43,6 +43,16 @@ pub struct RuntimeConfig {
     pub poll_interval: Duration,
     /// Optional scheduling perturbation.
     pub perturb: Option<Perturb>,
+    /// Flight-recorder capacity in events per rank. `None` (the default)
+    /// disables event recording entirely; `Some(cap)` gives every rank a ring
+    /// of the newest `cap` protocol events for watchdog dumps and
+    /// Chrome-trace export. Requires the `flight-recorder` cargo feature
+    /// (default-on) to have any effect.
+    pub flight_recorder: Option<usize>,
+    /// When true (the default), `RankStats::on_send` digests every payload
+    /// into the determinism chains. Workloads that never run a determinism
+    /// check can turn this off to take payload hashing out of the send path.
+    pub payload_digests: bool,
 }
 
 impl RuntimeConfig {
@@ -56,7 +66,21 @@ impl RuntimeConfig {
             deadlock_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_micros(200),
             perturb: None,
+            flight_recorder: None,
+            payload_digests: true,
         }
+    }
+
+    /// Builder-style: enable the flight recorder with `cap` events per rank.
+    pub fn with_flight_recorder(mut self, cap: usize) -> Self {
+        self.flight_recorder = Some(cap);
+        self
+    }
+
+    /// Builder-style: enable or disable payload digesting in send statistics.
+    pub fn with_payload_digests(mut self, on: bool) -> Self {
+        self.payload_digests = on;
+        self
     }
 
     /// Builder-style: set service rank count.

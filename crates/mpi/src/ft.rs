@@ -176,6 +176,13 @@ impl<'a> FtCtx<'a> {
         self.inner.epoch
     }
 
+    /// The rank's flight-recorder handle (disabled unless the runtime
+    /// enabled recording). Protocol layers use it to record checkpoint
+    /// phases, log and replay progress.
+    pub fn recorder(&self) -> &crate::recorder::Recorder {
+        &self.inner.recorder
+    }
+
     /// The rank's Lamport clock.
     pub fn lamport(&self) -> u64 {
         self.inner.lamport

@@ -13,6 +13,7 @@ use crate::error::{MpiError, Result};
 use crate::failure::FailureShared;
 use crate::ft::{ArrivalAction, FtCtx, FtLayer};
 use crate::matching::{Arrived, ArrivedBody, MatchEngine};
+use crate::recorder::{Disposition, Event, Recorder};
 use crate::request::{RecvSpec, ReqState, RequestId, RequestTable, Status};
 use crate::router::Router;
 use crate::stats::RankStats;
@@ -103,6 +104,8 @@ pub struct RankInner {
     /// Lamport clock: incremented per send, advanced by arrivals.
     pub(crate) lamport: u64,
     perturb_rng: Option<XorShift64>,
+    /// Flight-recorder handle (disabled unless the runtime enabled it).
+    pub recorder: Recorder,
 }
 
 impl RankInner {
@@ -159,6 +162,7 @@ impl RankInner {
             failure_points: 0,
             lamport: 0,
             perturb_rng,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -356,6 +360,7 @@ impl RankInner {
 
     /// Send a control message (never perturbed, not in statistics).
     pub(crate) fn send_ctrl(&self, to: RankId, kind: u16, data: Vec<u8>) {
+        self.recorder.record(|| Event::CtrlSent { to, kind });
         self.transmit_packet(
             to,
             Packet::Ctrl(crate::envelope::CtrlMsg { from: self.me, kind, data: Bytes::from(data) }),
@@ -387,6 +392,10 @@ pub(crate) fn block_until(
     what: &str,
 ) -> Result<()> {
     let start = Instant::now();
+    // While waiting, periodically publish the wait state to the flight
+    // recorder so a watchdog dump shows every stuck rank's current
+    // watermarks, not just the first rank to time out.
+    let mut next_status = Duration::from_secs(1);
     let result = loop {
         poll_all(inner, ft)?;
         match cond(inner) {
@@ -404,7 +413,16 @@ pub(crate) fn block_until(
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                if start.elapsed() > inner.cfg.deadlock_timeout {
+                let waited = start.elapsed();
+                if inner.recorder.is_enabled() && waited >= next_status {
+                    next_status = waited + Duration::from_secs(1);
+                    let line = format!("waiting in {what}: {}", inner.debug_snapshot());
+                    inner.recorder.set_status(|| line);
+                }
+                if waited > inner.cfg.deadlock_timeout {
+                    inner.recorder.record(|| Event::Stall { what: what.to_string() });
+                    let line = format!("stuck in {what}: {}", inner.debug_snapshot());
+                    inner.recorder.set_status(|| line);
                     break Err(MpiError::DeadlockSuspected(format!(
                         "rank {} stuck in {what} for {:?}; {}",
                         inner.me,
@@ -479,6 +497,7 @@ pub(crate) fn handle_packet(
             inner.reqs.deliver_data(id, Message { env, payload })
         }
         Packet::Ctrl(c) => {
+            inner.recorder.record(|| Event::CtrlRecv { from: c.from, kind: c.kind });
             let mut ctx = FtCtx { inner };
             ft.on_ctrl(&mut ctx, c)
         }
@@ -495,6 +514,13 @@ fn arrival(
     {
         let mut ctx = FtCtx { inner };
         if ft.on_arrival(&mut ctx, &env) == ArrivalAction::Drop {
+            inner.recorder.record(|| Event::Arrival {
+                src: env.src,
+                comm: env.comm.0,
+                tag: env.tag,
+                seqnum: env.seqnum,
+                disposition: Disposition::Dropped,
+            });
             // A dropped rendezvous announcement must still be answered, or
             // the (re-)sender would wait for a CTS forever: tell it to
             // discard the transfer.
@@ -519,8 +545,22 @@ fn arrival(
 
     let admissible = |spec: &RecvSpec, e: &Envelope| ft.match_admissible(spec, e);
     if let Some(req) = inner.engine.match_arrival(&env, &admissible) {
+        inner.recorder.record(|| Event::Arrival {
+            src: env.src,
+            comm: env.comm.0,
+            tag: env.tag,
+            seqnum: env.seqnum,
+            disposition: Disposition::Matched,
+        });
         complete_match(inner, req, env, body)
     } else {
+        inner.recorder.record(|| Event::Arrival {
+            src: env.src,
+            comm: env.comm.0,
+            tag: env.tag,
+            seqnum: env.seqnum,
+            disposition: Disposition::Unexpected,
+        });
         inner.engine.push_unexpected(Arrived { env, body });
         Ok(())
     }

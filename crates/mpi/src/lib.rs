@@ -52,6 +52,7 @@ pub mod hash;
 pub(crate) mod inner;
 pub mod matching;
 pub mod rank;
+pub mod recorder;
 pub mod request;
 pub mod router;
 pub mod stats;

@@ -132,6 +132,14 @@ impl Rank {
             let mut ctx = FtCtx { inner: &mut self.inner };
             self.ft.on_send(&mut ctx, &env, &payload)
         };
+        self.inner.recorder.record(|| crate::recorder::Event::Send {
+            dst: env.dst,
+            comm: env.comm.0,
+            tag,
+            seqnum: env.seqnum,
+            bytes: env.plen,
+            suppressed: action == SendAction::Suppress,
+        });
         match action {
             SendAction::Suppress => {
                 let st = Status::send_done(env.dst, tag, env.plen as usize);
@@ -384,6 +392,7 @@ impl Rank {
                 // progress until the checkpoint commits. Hand-rolled rather
                 // than `block_until` because the condition needs the ft layer.
                 let start = Instant::now();
+                let mut next_status = Duration::from_secs(1);
                 loop {
                     poll_all(&mut self.inner, self.ft.as_mut())?;
                     let done = {
@@ -398,10 +407,28 @@ impl Rank {
                     match self.inner.mailbox.recv_timeout(self.inner.cfg.poll_interval) {
                         Ok(pkt) => handle_packet(&mut self.inner, self.ft.as_mut(), pkt)?,
                         Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                            if start.elapsed() > self.inner.cfg.deadlock_timeout {
+                            let waited = start.elapsed();
+                            if self.inner.recorder.is_enabled() && waited >= next_status {
+                                next_status = waited + Duration::from_secs(1);
+                                let line = format!(
+                                    "waiting in checkpoint coordination: {}",
+                                    self.inner.debug_snapshot()
+                                );
+                                self.inner.recorder.set_status(|| line);
+                            }
+                            if waited > self.inner.cfg.deadlock_timeout {
+                                self.inner.recorder.record(|| crate::recorder::Event::Stall {
+                                    what: "checkpoint coordination".into(),
+                                });
+                                let line = format!(
+                                    "stuck in checkpoint coordination: {}",
+                                    self.inner.debug_snapshot()
+                                );
+                                self.inner.recorder.set_status(|| line);
                                 return Err(MpiError::DeadlockSuspected(format!(
-                                    "rank {} stuck in checkpoint coordination",
-                                    self.inner.me
+                                    "rank {} stuck in checkpoint coordination; {}",
+                                    self.inner.me,
+                                    self.inner.debug_snapshot()
                                 )));
                             }
                         }

@@ -1,0 +1,578 @@
+//! The protocol flight recorder: a fixed-capacity ring of typed, timestamped
+//! events per rank.
+//!
+//! Aggregate counters (`stats`, `spbc-core`'s `Metrics`) say *how much* the
+//! protocol did; they cannot say *in what order*. When a recovery goes wrong
+//! the interleaving is the bug, so every rank records its protocol decisions
+//! — sends (and suppressions), arrival dispositions, control messages, log
+//! appends and truncations, checkpoint phases, rollback and replay progress —
+//! into a ring buffer the runtime can dump when quiescence stalls
+//! ([`FlightRecorder::dump`]) or export as a Chrome trace after the run
+//! (`spbc-trace`).
+//!
+//! Cost model: recording is a single branch when disabled (the default); the
+//! event value is built lazily, so a disabled recorder evaluates nothing.
+//! When enabled, one `parking_lot` mutex lock plus a ring push per event —
+//! the lock is uncontended (only the owning rank writes; readers appear only
+//! at dump/export time). Building without the `flight-recorder` cargo
+//! feature compiles `record` down to an empty inline function, so the no-op
+//! path is also a compile-time configuration CI can pin.
+
+use crate::types::RankId;
+#[cfg(feature = "flight-recorder")]
+use parking_lot::Mutex;
+#[cfg(feature = "flight-recorder")]
+use std::collections::VecDeque;
+use std::fmt;
+#[cfg(feature = "flight-recorder")]
+use std::sync::Arc;
+#[cfg(feature = "flight-recorder")]
+use std::time::Instant;
+
+/// Checkpoint lifecycle phase, in protocol order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CkptPhase {
+    /// Member announced itself to the leader (`KIND_CKPT_JOIN` sent).
+    Init,
+    /// Local checkpoint persisted (commit received, state written).
+    Written,
+    /// Commit acknowledged to the leader (`KIND_CKPT_ACK` sent).
+    Ack,
+    /// Leader's resume barrier released this member (`KIND_CKPT_RESUME`).
+    Resume,
+}
+
+/// What the matching layer did with an arriving envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Matched a posted receive.
+    Matched,
+    /// Queued as unexpected.
+    Unexpected,
+    /// Dropped by the protocol (duplicate or out-of-order suppression).
+    Dropped,
+}
+
+/// One recorded protocol event. Field widths mirror the envelope
+/// (`comm` is the raw `CommId` value).
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Rank (re)started with the given restart epoch.
+    RankStart {
+        /// Restart epoch (0 = initial execution).
+        epoch: u32,
+    },
+    /// Application closure returned successfully.
+    RankDone,
+    /// Rank was killed (crash injection / cluster rollback).
+    RankKilled,
+    /// Rank reported an error to the runtime.
+    RankError,
+    /// Application send decision (records suppressed re-sends too — the send
+    /// *event* exists regardless of transmission).
+    Send {
+        /// Destination world rank.
+        dst: RankId,
+        /// Communicator id.
+        comm: u64,
+        /// Message tag.
+        tag: u32,
+        /// Per-channel sequence number.
+        seqnum: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// True when the protocol suppressed the transmission (`seq <= LS`).
+        suppressed: bool,
+    },
+    /// Envelope arrival and its matching disposition.
+    Arrival {
+        /// Source world rank.
+        src: RankId,
+        /// Communicator id.
+        comm: u64,
+        /// Message tag.
+        tag: u32,
+        /// Per-channel sequence number.
+        seqnum: u64,
+        /// What happened to it.
+        disposition: Disposition,
+    },
+    /// Control message sent.
+    CtrlSent {
+        /// Receiver.
+        to: RankId,
+        /// Protocol kind code.
+        kind: u16,
+    },
+    /// Control message received.
+    CtrlRecv {
+        /// Sender.
+        from: RankId,
+        /// Protocol kind code.
+        kind: u16,
+    },
+    /// Inter-cluster message appended to the sender-side log.
+    LogAppend {
+        /// Destination world rank.
+        dst: RankId,
+        /// Communicator id.
+        comm: u64,
+        /// Per-channel sequence number.
+        seqnum: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Log rolled back to a checkpointed cut.
+    LogTruncate {
+        /// Entries surviving the truncation.
+        entries: u64,
+        /// Restored global send-order counter.
+        order: u64,
+    },
+    /// Checkpoint wave phase transition.
+    Ckpt {
+        /// Checkpoint wave epoch.
+        epoch: u64,
+        /// Phase reached.
+        phase: CkptPhase,
+    },
+    /// This rank restarted and announced Rollback to its peers.
+    Rollback {
+        /// Restart epoch of this incarnation.
+        epoch: u32,
+        /// Checkpoint wave restored (0 = initial state).
+        restored_ckpt: u64,
+    },
+    /// A peer's Rollback announcement arrived.
+    RollbackRecv {
+        /// The restarted peer.
+        from: RankId,
+        /// The peer's restart epoch.
+        epoch: u32,
+    },
+    /// LastMessage reply set the suppression watermark for a channel.
+    LsSet {
+        /// Peer the watermark applies to.
+        peer: RankId,
+        /// Communicator id.
+        comm: u64,
+        /// Last seqnum the peer confirmed having.
+        ls: u64,
+    },
+    /// A replay queue towards `dst` was (re)filled from the log.
+    ReplayQueued {
+        /// Recovering destination.
+        dst: RankId,
+        /// Messages queued.
+        msgs: u64,
+    },
+    /// One logged message re-sent during recovery.
+    Replay {
+        /// Recovering destination.
+        dst: RankId,
+        /// Communicator id.
+        comm: u64,
+        /// Per-channel sequence number (the replay watermark).
+        seqnum: u64,
+    },
+    /// The replay queue towards `dst` drained.
+    ReplayDrained {
+        /// Recovering destination.
+        dst: RankId,
+    },
+    /// A blocking wait exceeded the deadlock timeout.
+    Stall {
+        /// The operation that stalled ("wait", "checkpoint", ...).
+        what: String,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::RankStart { epoch } => write!(f, "start e{epoch}"),
+            Event::RankDone => write!(f, "done"),
+            Event::RankKilled => write!(f, "killed"),
+            Event::RankError => write!(f, "error"),
+            Event::Send { dst, comm, tag, seqnum, bytes, suppressed } => write!(
+                f,
+                "send ->{dst} c{comm} t{tag} s{seqnum} {bytes}B{}",
+                if *suppressed { " (suppressed)" } else { "" }
+            ),
+            Event::Arrival { src, comm, tag, seqnum, disposition } => {
+                write!(f, "arrival <-{src} c{comm} t{tag} s{seqnum} {disposition:?}")
+            }
+            Event::CtrlSent { to, kind } => write!(f, "ctrl ->{to} k{kind}"),
+            Event::CtrlRecv { from, kind } => write!(f, "ctrl <-{from} k{kind}"),
+            Event::LogAppend { dst, comm, seqnum, bytes } => {
+                write!(f, "log-append ->{dst} c{comm} s{seqnum} {bytes}B")
+            }
+            Event::LogTruncate { entries, order } => {
+                write!(f, "log-truncate keep={entries} order={order}")
+            }
+            Event::Ckpt { epoch, phase } => write!(f, "ckpt e{epoch} {phase:?}"),
+            Event::Rollback { epoch, restored_ckpt } => {
+                write!(f, "rollback e{epoch} restored-ckpt={restored_ckpt}")
+            }
+            Event::RollbackRecv { from, epoch } => write!(f, "rollback-recv <-{from} e{epoch}"),
+            Event::LsSet { peer, comm, ls } => write!(f, "ls {peer}/c{comm}={ls}"),
+            Event::ReplayQueued { dst, msgs } => write!(f, "replay-queued ->{dst} {msgs} msgs"),
+            Event::Replay { dst, comm, seqnum } => write!(f, "replay ->{dst} c{comm} s{seqnum}"),
+            Event::ReplayDrained { dst } => write!(f, "replay-drained ->{dst}"),
+            Event::Stall { what } => write!(f, "STALL in {what}"),
+        }
+    }
+}
+
+/// An event with its recording order and wall-clock offset.
+#[derive(Clone, Debug)]
+pub struct TimedEvent {
+    /// Microseconds since the run started (the [`FlightRecorder`]'s epoch).
+    pub t_us: u64,
+    /// Per-rank monotone sequence number (counts evicted events too).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// The drained events of one rank's ring.
+#[derive(Clone, Debug, Default)]
+pub struct RankTrace {
+    /// World (or service) rank id.
+    pub rank: u32,
+    /// Events evicted by ring wraparound (total recorded = dropped + len).
+    pub dropped: u64,
+    /// Last stall-status line the rank published (`t_us`, text).
+    pub status: Option<(u64, String)>,
+    /// Retained events, oldest first.
+    pub events: Vec<TimedEvent>,
+}
+
+/// A full run's recorded events, one trace per rank.
+pub type FlightLog = Vec<RankTrace>;
+
+#[cfg(feature = "flight-recorder")]
+struct Ring {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<TimedEvent>,
+}
+
+#[cfg(feature = "flight-recorder")]
+struct RecorderShared {
+    start: Instant,
+    ring: Mutex<Ring>,
+    status: Mutex<Option<(u64, String)>>,
+}
+
+#[cfg(feature = "flight-recorder")]
+impl RecorderShared {
+    fn new(start: Instant, cap: usize) -> Self {
+        RecorderShared {
+            start,
+            ring: Mutex::new(Ring {
+                cap: cap.max(1),
+                next_seq: 0,
+                dropped: 0,
+                buf: VecDeque::with_capacity(cap.max(1)),
+            }),
+            status: Mutex::new(None),
+        }
+    }
+
+    fn t_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, event: Event) {
+        let t_us = self.t_us();
+        let mut ring = self.ring.lock();
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.buf.push_back(TimedEvent { t_us, seq, event });
+    }
+
+    fn trace(&self, rank: u32) -> RankTrace {
+        let ring = self.ring.lock();
+        RankTrace {
+            rank,
+            dropped: ring.dropped,
+            status: self.status.lock().clone(),
+            events: ring.buf.iter().cloned().collect(),
+        }
+    }
+}
+
+/// Per-rank recording handle. Cheap to clone and to query; all methods are
+/// no-ops on a disabled handle (the default configuration).
+#[derive(Clone)]
+pub struct Recorder {
+    #[cfg(feature = "flight-recorder")]
+    shared: Option<Arc<RecorderShared>>,
+}
+
+impl Recorder {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Recorder {
+            #[cfg(feature = "flight-recorder")]
+            shared: None,
+        }
+    }
+
+    /// Is this handle actually recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "flight-recorder")]
+        {
+            self.shared.is_some()
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        {
+            false
+        }
+    }
+
+    /// Record one event. The closure runs only when recording is enabled, so
+    /// a disabled recorder costs a single branch and builds nothing.
+    #[inline]
+    pub fn record(&self, f: impl FnOnce() -> Event) {
+        #[cfg(feature = "flight-recorder")]
+        if let Some(s) = &self.shared {
+            s.push(f());
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        let _ = f;
+    }
+
+    /// Publish a status line (current watermarks / queue state) for the
+    /// watchdog dump. Called from slow blocking waits, never the hot path.
+    pub fn set_status(&self, line: impl FnOnce() -> String) {
+        #[cfg(feature = "flight-recorder")]
+        if let Some(s) = &self.shared {
+            let t = s.t_us();
+            *s.status.lock() = Some((t, line()));
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        let _ = line;
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Recorder({})", if self.is_enabled() { "on" } else { "off" })
+    }
+}
+
+/// Run-wide collector: owns one ring per rank and produces handles, the
+/// post-run [`FlightLog`], and the watchdog dump.
+pub struct FlightRecorder {
+    #[cfg(feature = "flight-recorder")]
+    rings: Vec<Arc<RecorderShared>>,
+}
+
+impl FlightRecorder {
+    /// Recorder for `ranks` ranks with `capacity` events retained per rank.
+    /// Without the `flight-recorder` cargo feature this is always disabled.
+    pub fn new(ranks: usize, capacity: usize) -> Self {
+        #[cfg(feature = "flight-recorder")]
+        {
+            let start = Instant::now();
+            FlightRecorder {
+                rings: (0..ranks).map(|_| Arc::new(RecorderShared::new(start, capacity))).collect(),
+            }
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        {
+            let _ = (ranks, capacity);
+            FlightRecorder {}
+        }
+    }
+
+    /// A collector that records nothing and hands out disabled handles.
+    pub fn disabled() -> Self {
+        FlightRecorder {
+            #[cfg(feature = "flight-recorder")]
+            rings: Vec::new(),
+        }
+    }
+
+    /// Is recording active?
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "flight-recorder")]
+        {
+            !self.rings.is_empty()
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        {
+            false
+        }
+    }
+
+    /// The recording handle for `rank` (shared across its incarnations — a
+    /// restarted rank keeps appending to the same track).
+    pub fn handle(&self, rank: RankId) -> Recorder {
+        #[cfg(feature = "flight-recorder")]
+        {
+            Recorder { shared: self.rings.get(rank.idx()).map(Arc::clone) }
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        {
+            let _ = rank;
+            Recorder::disabled()
+        }
+    }
+
+    /// Snapshot every rank's retained events (oldest first per rank).
+    pub fn snapshot(&self) -> FlightLog {
+        #[cfg(feature = "flight-recorder")]
+        {
+            self.rings.iter().enumerate().map(|(i, r)| r.trace(i as u32)).collect()
+        }
+        #[cfg(not(feature = "flight-recorder"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Human-readable dump for hang diagnostics: per rank, the last
+    /// checkpoint-phase event, the published stall status (channel
+    /// watermarks), and the newest `tail` events.
+    pub fn dump(&self, tail: usize) -> String {
+        let log = self.snapshot();
+        let mut out = String::new();
+        out.push_str("=== flight recorder dump ===\n");
+        if log.is_empty() {
+            out.push_str("(recorder disabled)\n");
+            return out;
+        }
+        for t in &log {
+            let total = t.dropped + t.events.len() as u64;
+            out.push_str(&format!(
+                "-- rank {}: {} events recorded ({} evicted)\n",
+                t.rank, total, t.dropped
+            ));
+            let last_ckpt = t.events.iter().rev().find(|e| matches!(e.event, Event::Ckpt { .. }));
+            match last_ckpt {
+                Some(e) => {
+                    out.push_str(&format!("   last ckpt phase: [{}us] {}\n", e.t_us, e.event))
+                }
+                None => out.push_str("   last ckpt phase: none\n"),
+            }
+            if let Some((t_us, line)) = &t.status {
+                out.push_str(&format!("   status @{t_us}us: {line}\n"));
+            }
+            let skip = t.events.len().saturating_sub(tail);
+            for e in &t.events[skip..] {
+                out.push_str(&format!("   [{:>10}us #{:>6}] {}\n", e.t_us, e.seq, e.event));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlightRecorder({})", if self.enabled() { "on" } else { "off" })
+    }
+}
+
+#[cfg(all(test, feature = "flight-recorder"))]
+mod tests {
+    use super::*;
+
+    fn send(seq: u64) -> Event {
+        Event::Send { dst: RankId(1), comm: 0, tag: 1, seqnum: seq, bytes: 8, suppressed: false }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let fr = FlightRecorder::new(1, 8);
+        let rec = fr.handle(RankId(0));
+        for s in 0..20u64 {
+            rec.record(|| send(s));
+        }
+        let log = fr.snapshot();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].events.len(), 8);
+        assert_eq!(log[0].dropped, 12);
+        let seqs: Vec<u64> = log[0].events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        match &log[0].events.last().unwrap().event {
+            Event::Send { seqnum, .. } => assert_eq!(*seqnum, 19),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_is_per_rank_monotone() {
+        let fr = FlightRecorder::new(2, 64);
+        let (a, b) = (fr.handle(RankId(0)), fr.handle(RankId(1)));
+        for s in 0..40u64 {
+            a.record(|| send(s));
+            if s % 2 == 0 {
+                b.record(|| Event::Ckpt { epoch: s, phase: CkptPhase::Init });
+            }
+        }
+        for t in fr.snapshot() {
+            for w in t.events.windows(2) {
+                assert!(w[0].seq < w[1].seq, "seq monotone");
+                assert!(w[0].t_us <= w[1].t_us, "time monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let fr = FlightRecorder::disabled();
+        assert!(!fr.enabled());
+        let rec = fr.handle(RankId(0));
+        assert!(!rec.is_enabled());
+        rec.record(|| panic!("closure must not run when disabled"));
+        assert!(fr.snapshot().is_empty());
+        assert!(fr.dump(8).contains("disabled"));
+    }
+
+    #[test]
+    fn dump_names_ckpt_phase_and_status() {
+        let fr = FlightRecorder::new(2, 16);
+        let rec = fr.handle(RankId(0));
+        rec.record(|| Event::Ckpt { epoch: 3, phase: CkptPhase::Init });
+        rec.record(|| Event::Stall { what: "checkpoint".into() });
+        rec.set_status(|| "send_seq=[1/c0=>5]".into());
+        let dump = fr.dump(8);
+        assert!(dump.contains("rank 0"));
+        assert!(dump.contains("ckpt e3 Init"));
+        assert!(dump.contains("STALL in checkpoint"));
+        assert!(dump.contains("send_seq=[1/c0=>5]"));
+        assert!(dump.contains("rank 1"), "every rank appears, even if idle");
+    }
+
+    #[test]
+    fn handle_out_of_range_is_disabled() {
+        let fr = FlightRecorder::new(1, 4);
+        assert!(!fr.handle(RankId(7)).is_enabled());
+    }
+}
+
+#[cfg(all(test, not(feature = "flight-recorder")))]
+mod nofeature_tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_a_noop() {
+        let fr = FlightRecorder::new(4, 128);
+        assert!(!fr.enabled(), "feature off: new() builds a disabled collector");
+        let rec = fr.handle(RankId(0));
+        assert!(!rec.is_enabled());
+        rec.record(|| Event::RankDone);
+        rec.set_status(|| "x".into());
+        assert!(fr.snapshot().is_empty());
+        assert!(fr.dump(8).contains("disabled"));
+    }
+}

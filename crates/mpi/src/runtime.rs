@@ -17,6 +17,7 @@ use crate::failure::{FailurePlan, FailureShared, RuntimeEvent};
 use crate::ft::{FtCtx, FtProvider, NativeProvider};
 use crate::inner::{handle_packet, RankInner};
 use crate::rank::Rank;
+use crate::recorder::{Event, FlightLog, FlightRecorder};
 use crate::router::Router;
 use crate::stats::RankStats;
 use crate::types::RankId;
@@ -44,6 +45,13 @@ pub struct RunReport {
     pub restarts: Vec<u32>,
     /// Errors reported by ranks (empty on a clean run).
     pub errors: Vec<(RankId, String)>,
+    /// Flight-recorder event log, one trace per rank (present when
+    /// `RuntimeConfig::flight_recorder` was set). Feed to the `spbc-trace`
+    /// Chrome exporter for a Perfetto-loadable timeline.
+    pub flight: Option<FlightLog>,
+    /// The hang watchdog's human-readable dump, captured when the run ended
+    /// in error with the recorder enabled.
+    pub flight_dump: Option<String>,
 }
 
 impl RunReport {
@@ -69,6 +77,7 @@ struct Spawner {
     provider: Arc<dyn FtProvider>,
     app: Arc<AppFn>,
     service: Option<Arc<AppFn>>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl Runtime {
@@ -122,6 +131,10 @@ impl Runtime {
             failure.schedule(p);
         }
         let global_done = Arc::new(AtomicBool::new(false));
+        let flight = Arc::new(match self.cfg.flight_recorder {
+            Some(cap) => FlightRecorder::new(total, cap),
+            None => FlightRecorder::disabled(),
+        });
 
         let spawner = Spawner {
             cfg: Arc::clone(&self.cfg),
@@ -131,6 +144,7 @@ impl Runtime {
             provider: Arc::clone(&provider),
             app,
             service,
+            flight: Arc::clone(&flight),
         };
 
         let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(total);
@@ -146,6 +160,8 @@ impl Runtime {
             failures_handled: 0,
             restarts: vec![0; world],
             errors: Vec::new(),
+            flight: None,
+            flight_dump: None,
         };
         let mut done = vec![false; world];
         let mut done_count = 0usize;
@@ -231,6 +247,14 @@ impl Runtime {
         // Tear down: release lingering ranks and service ranks.
         global_done.store(true, Ordering::SeqCst);
         if outcome.is_err() {
+            // Hang watchdog: before killing anything, dump every rank's
+            // recent protocol events and published watermark status so the
+            // failure mode is an interleaving, not a bare timeout.
+            if flight.enabled() {
+                let dump = flight.dump(32);
+                eprintln!("{dump}");
+                report.flight_dump = Some(dump);
+            }
             for i in 0..total {
                 failure.kill(RankId(i as u32));
             }
@@ -250,6 +274,9 @@ impl Runtime {
             if let Some(s) = slot.lock().take() {
                 report.stats[i] = *s;
             }
+        }
+        if flight.enabled() {
+            report.flight = Some(flight.snapshot());
         }
         Ok(report)
     }
@@ -273,13 +300,14 @@ impl Spawner {
         } else {
             Arc::clone(&self.app)
         };
+        let recorder = self.flight.handle(me);
         let name = format!("rank-{me}-e{epoch}");
         std::thread::Builder::new()
             .name(name)
             .spawn(move || {
                 let t0 = Instant::now();
                 let kill = failure.kill_flag(me);
-                let inner = RankInner::new(
+                let mut inner = RankInner::new(
                     me,
                     cfg,
                     epoch,
@@ -289,6 +317,9 @@ impl Spawner {
                     Arc::clone(&global_done),
                     Arc::clone(&failure),
                 );
+                inner.recorder = recorder;
+                inner.stats.digest_payloads = inner.cfg.payload_digests;
+                inner.recorder.record(|| Event::RankStart { epoch });
                 let layer = provider.make_layer(me, epoch);
                 let mut rank = Rank::new(inner, layer);
                 rank.inner.stats.restarts = epoch;
@@ -307,16 +338,19 @@ impl Spawner {
                             let mut ctx = FtCtx { inner: &mut rank.inner };
                             let _ = rank.ft.on_app_done(&mut ctx);
                         }
+                        rank.inner.recorder.record(|| Event::RankDone);
                         rank.inner.stats.total_time = t0.elapsed();
                         failure.set_stats(me, rank.inner.stats.clone());
                         failure.report(RuntimeEvent::Done { rank: me, output });
                         linger(&mut rank);
                     }
                     Err(MpiError::Killed) => {
+                        rank.inner.recorder.record(|| Event::RankKilled);
                         failure.set_stats(me, rank.inner.stats.clone());
                         failure.report(RuntimeEvent::Killed { rank: me });
                     }
                     Err(e) => {
+                        rank.inner.recorder.record(|| Event::RankError);
                         rank.inner.stats.total_time = t0.elapsed();
                         failure.set_stats(me, rank.inner.stats.clone());
                         failure.report(RuntimeEvent::Error { rank: me, message: e.to_string() });

@@ -57,6 +57,11 @@ pub struct RankStats {
     pub process_chain: SendChain,
     /// Number of times this rank was restarted by recovery.
     pub restarts: u32,
+    /// When true (the default), sends fold an FNV-1a digest of the payload
+    /// into the determinism chains. Turning it off (see
+    /// `RuntimeConfig::payload_digests`) takes payload hashing out of the
+    /// send path; the chains then witness only `(tag, plen, ident)` order.
+    pub digest_payloads: bool,
 }
 
 impl RankStats {
@@ -73,6 +78,7 @@ impl RankStats {
             channel_chains: HashMap::new(),
             process_chain: SendChain::default(),
             restarts: 0,
+            digest_payloads: true,
         }
     }
 
@@ -83,7 +89,10 @@ impl RankStats {
             self.sent_bytes[peer] += payload.len() as u64;
             self.sent_msgs[peer] += 1;
         }
-        let digest = fnv1a(payload);
+        // Digest once, fold into both chains. Gated: executions compared by a
+        // determinism checker must agree on the flag or their chains diverge
+        // trivially.
+        let digest = if self.digest_payloads { fnv1a(payload) } else { 0 };
         self.channel_chains.entry(chan).or_default().push(tag, payload.len() as u64, digest, ident);
         self.process_chain.push(tag, payload.len() as u64, digest, ident);
     }
@@ -180,5 +189,28 @@ mod tests {
     fn comm_ratio_zero_when_no_total() {
         let s = RankStats::new(RankId(0), 1);
         assert_eq!(s.comm_ratio(), 0.0);
+    }
+
+    #[test]
+    fn digest_gate_changes_chain_but_not_counts() {
+        let mut with = RankStats::new(RankId(0), 2);
+        let mut without = RankStats::new(RankId(0), 2);
+        without.digest_payloads = false;
+        with.on_send(chan(0, 1), 1, b"payload", (0, 0));
+        without.on_send(chan(0, 1), 1, b"payload", (0, 0));
+        assert_ne!(with.process_chain, without.process_chain);
+        assert_eq!(with.process_chain.count, without.process_chain.count);
+        assert_eq!(with.sent_bytes, without.sent_bytes);
+        // Ungated chains still witness order: a reorder flips the hash even
+        // with digesting off.
+        let mut a = RankStats::new(RankId(0), 3);
+        let mut b = RankStats::new(RankId(0), 3);
+        a.digest_payloads = false;
+        b.digest_payloads = false;
+        a.on_send(chan(0, 1), 1, b"x", (0, 0));
+        a.on_send(chan(0, 1), 2, b"x", (0, 0));
+        b.on_send(chan(0, 1), 2, b"x", (0, 0));
+        b.on_send(chan(0, 1), 1, b"x", (0, 0));
+        assert_ne!(a.channel_chains, b.channel_chains);
     }
 }

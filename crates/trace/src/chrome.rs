@@ -1,0 +1,357 @@
+//! Chrome trace-event exporter for flight-recorder logs.
+//!
+//! Converts a [`FlightLog`] into the Chrome trace-event JSON format (the
+//! `{"traceEvents":[...]}` object form), loadable in Perfetto or
+//! `chrome://tracing`. Each rank is a named thread track (`tid` = rank);
+//! checkpoint rounds are synchronous duration spans (`ph` `B`/`E`), replay
+//! windows are async spans (`ph` `b`/`e`, one id per sender→destination
+//! pair, so overlapping replays to different destinations don't fight over
+//! the thread stack), and every other protocol event is a thread-scoped
+//! instant (`ph` `i`) carrying its fields as `args`.
+
+use crate::json::escape;
+use mini_mpi::recorder::{CkptPhase, Event, FlightLog, RankTrace, TimedEvent};
+
+/// One emitted trace-event line.
+struct Emit {
+    t_us: u64,
+    body: String,
+}
+
+/// Render `log` as Chrome trace-event JSON.
+pub fn chrome_trace(log: &FlightLog) -> String {
+    let mut events: Vec<Emit> = Vec::new();
+    for trace in log {
+        emit_rank(trace, &mut events);
+    }
+    // Chrome sorts by ts, but emitting sorted keeps diffs and tests stable.
+    events.sort_by_key(|e| e.t_us);
+    let body: Vec<String> = events.into_iter().map(|e| e.body).collect();
+    format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}", body.join(","))
+}
+
+fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
+    let tid = trace.rank;
+    out.push(Emit {
+        t_us: 0,
+        body: format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+            escape(&format!("rank {tid}"))
+        ),
+    });
+
+    // Open synchronous span (checkpoint round), if any: (name, begin ts).
+    let mut open_ckpt: Option<String> = None;
+    // Open async replay spans: (id, name) pairs still awaiting their end.
+    let mut open_replay: Vec<(String, String)> = Vec::new();
+    let mut last_ts = 0u64;
+
+    for ev in &trace.events {
+        last_ts = last_ts.max(ev.t_us);
+        match &ev.event {
+            Event::Ckpt { epoch, phase } => {
+                let name = format!("ckpt e{epoch}");
+                match phase {
+                    CkptPhase::Init => {
+                        // A re-entered round (previous one never resumed)
+                        // must close the stale span first — `B` events on one
+                        // tid form a stack.
+                        if open_ckpt.take().is_some() {
+                            out.push(end_sync(tid, ev.t_us));
+                        }
+                        open_ckpt = Some(name.clone());
+                        out.push(begin_sync(tid, ev.t_us, &name, "ckpt"));
+                    }
+                    CkptPhase::Resume => {
+                        if open_ckpt.take().is_some() {
+                            out.push(end_sync(tid, ev.t_us));
+                        }
+                        out.push(instant(tid, ev, "ckpt-resume", "ckpt"));
+                    }
+                    CkptPhase::Written | CkptPhase::Ack => {
+                        out.push(instant(
+                            tid,
+                            ev,
+                            if *phase == CkptPhase::Written { "ckpt-written" } else { "ckpt-ack" },
+                            "ckpt",
+                        ));
+                    }
+                }
+            }
+            Event::ReplayQueued { dst, .. } => {
+                let id = format!("replay r{tid}->r{dst}");
+                let name = format!("replay->r{dst}");
+                // A fresh Rollback supersedes the active window for the same
+                // destination: close it before opening the new one.
+                if let Some(i) = open_replay.iter().position(|(oid, _)| *oid == id) {
+                    let (oid, oname) = open_replay.remove(i);
+                    out.push(end_async(tid, ev.t_us, &oid, &oname));
+                }
+                out.push(begin_async(tid, ev.t_us, &id, &name));
+                open_replay.push((id, name));
+                out.push(instant(tid, ev, "replay-queued", "replay"));
+            }
+            Event::ReplayDrained { dst } => {
+                let id = format!("replay r{tid}->r{dst}");
+                if let Some(i) = open_replay.iter().position(|(oid, _)| *oid == id) {
+                    let (oid, oname) = open_replay.remove(i);
+                    out.push(end_async(tid, ev.t_us, &oid, &oname));
+                }
+                out.push(instant(tid, ev, "replay-drained", "replay"));
+            }
+            other => {
+                let (name, cat) = classify(other);
+                out.push(instant(tid, ev, name, cat));
+            }
+        }
+    }
+
+    // Balance: close anything still open at the trace's end.
+    let close_ts = last_ts + 1;
+    if open_ckpt.take().is_some() {
+        out.push(end_sync(tid, close_ts));
+    }
+    for (id, name) in open_replay {
+        out.push(end_async(tid, close_ts, &id, &name));
+    }
+}
+
+fn begin_sync(tid: u32, ts: u64, name: &str, cat: &str) -> Emit {
+    Emit {
+        t_us: ts,
+        body: format!(
+            "{{\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"name\":{},\"cat\":{}}}",
+            escape(name),
+            escape(cat)
+        ),
+    }
+}
+
+fn end_sync(tid: u32, ts: u64) -> Emit {
+    Emit { t_us: ts, body: format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}") }
+}
+
+fn begin_async(tid: u32, ts: u64, id: &str, name: &str) -> Emit {
+    Emit {
+        t_us: ts,
+        body: format!(
+            "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":\"replay\"}}",
+            escape(id),
+            escape(name)
+        ),
+    }
+}
+
+fn end_async(tid: u32, ts: u64, id: &str, name: &str) -> Emit {
+    Emit {
+        t_us: ts,
+        body: format!(
+            "{{\"ph\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":\"replay\"}}",
+            escape(id),
+            escape(name)
+        ),
+    }
+}
+
+fn instant(tid: u32, ev: &TimedEvent, name: &str, cat: &str) -> Emit {
+    Emit {
+        t_us: ev.t_us,
+        body: format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"name\":{},\"cat\":{},\"args\":{{\"seq\":{},\"detail\":{}}}}}",
+            ev.t_us,
+            escape(name),
+            escape(cat),
+            ev.seq,
+            escape(&ev.event.to_string())
+        ),
+    }
+}
+
+/// Instant-event name and category for the remaining event kinds.
+fn classify(ev: &Event) -> (&'static str, &'static str) {
+    match ev {
+        Event::RankStart { .. } => ("rank-start", "lifecycle"),
+        Event::RankDone => ("rank-done", "lifecycle"),
+        Event::RankKilled => ("rank-killed", "lifecycle"),
+        Event::RankError => ("rank-error", "lifecycle"),
+        Event::Send { suppressed: true, .. } => ("send-suppressed", "msg"),
+        Event::Send { .. } => ("send", "msg"),
+        Event::Arrival { .. } => ("arrival", "msg"),
+        Event::CtrlSent { .. } => ("ctrl-sent", "ctrl"),
+        Event::CtrlRecv { .. } => ("ctrl-recv", "ctrl"),
+        Event::LogAppend { .. } => ("log-append", "log"),
+        Event::LogTruncate { .. } => ("log-truncate", "log"),
+        Event::Rollback { .. } => ("rollback", "recovery"),
+        Event::RollbackRecv { .. } => ("rollback-recv", "recovery"),
+        Event::LsSet { .. } => ("ls-set", "recovery"),
+        Event::Replay { .. } => ("replay-msg", "replay"),
+        Event::Stall { .. } => ("stall", "watchdog"),
+        // Span-forming kinds are handled by the caller; keep a fallback so
+        // the match stays exhaustive.
+        Event::Ckpt { .. } | Event::ReplayQueued { .. } | Event::ReplayDrained { .. } => {
+            ("event", "misc")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use mini_mpi::recorder::{Disposition, RankTrace};
+    use mini_mpi::types::RankId;
+    use std::collections::HashMap;
+
+    fn te(t_us: u64, seq: u64, event: Event) -> TimedEvent {
+        TimedEvent { t_us, seq, event }
+    }
+
+    /// A synthetic two-rank timeline exercising every span kind: a complete
+    /// checkpoint round, an interrupted one, a drained replay window and a
+    /// superseded one.
+    fn synthetic_log() -> FlightLog {
+        vec![
+            RankTrace {
+                rank: 0,
+                dropped: 0,
+                status: None,
+                events: vec![
+                    te(1, 0, Event::RankStart { epoch: 0 }),
+                    te(
+                        5,
+                        1,
+                        Event::Send {
+                            dst: RankId(1),
+                            comm: 0,
+                            tag: 3,
+                            seqnum: 1,
+                            bytes: 64,
+                            suppressed: false,
+                        },
+                    ),
+                    te(6, 2, Event::LogAppend { dst: RankId(1), comm: 0, seqnum: 1, bytes: 64 }),
+                    te(10, 3, Event::Ckpt { epoch: 1, phase: CkptPhase::Init }),
+                    te(14, 4, Event::Ckpt { epoch: 1, phase: CkptPhase::Written }),
+                    te(15, 5, Event::Ckpt { epoch: 1, phase: CkptPhase::Ack }),
+                    te(20, 6, Event::Ckpt { epoch: 1, phase: CkptPhase::Resume }),
+                    te(30, 7, Event::ReplayQueued { dst: RankId(1), msgs: 2 }),
+                    te(31, 8, Event::Replay { dst: RankId(1), comm: 0, seqnum: 1 }),
+                    te(32, 9, Event::Replay { dst: RankId(1), comm: 0, seqnum: 2 }),
+                    te(33, 10, Event::ReplayDrained { dst: RankId(1) }),
+                    // Superseded window: re-queued, never drained.
+                    te(40, 11, Event::ReplayQueued { dst: RankId(1), msgs: 1 }),
+                    te(41, 12, Event::ReplayQueued { dst: RankId(1), msgs: 3 }),
+                    te(50, 13, Event::RankDone),
+                ],
+            },
+            RankTrace {
+                rank: 1,
+                dropped: 2,
+                status: Some((60, "stuck in wait".into())),
+                events: vec![
+                    te(2, 2, Event::RankStart { epoch: 1 }),
+                    te(3, 3, Event::Rollback { epoch: 1, restored_ckpt: 1 }),
+                    te(
+                        7,
+                        4,
+                        Event::Arrival {
+                            src: RankId(0),
+                            comm: 0,
+                            tag: 3,
+                            seqnum: 1,
+                            disposition: Disposition::Matched,
+                        },
+                    ),
+                    // Interrupted checkpoint: Init with no Resume.
+                    te(45, 5, Event::Ckpt { epoch: 2, phase: CkptPhase::Init }),
+                    te(58, 6, Event::Stall { what: "wait".into() }),
+                ],
+            },
+        ]
+    }
+
+    fn trace_events(doc: &Json) -> &[Json] {
+        doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array")
+    }
+
+    #[test]
+    fn exporter_emits_valid_json() {
+        let out = chrome_trace(&synthetic_log());
+        let doc = parse(&out).expect("exporter output must parse");
+        let evs = trace_events(&doc);
+        assert!(!evs.is_empty());
+        for e in evs {
+            assert!(e.get("ph").is_some(), "every event has a phase: {e:?}");
+        }
+        // Both ranks have named tracks.
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, vec!["rank 0", "rank 1"]);
+    }
+
+    #[test]
+    fn spans_are_balanced() {
+        let out = chrome_trace(&synthetic_log());
+        let doc = parse(&out).unwrap();
+        // Synchronous B/E: per tid, stack discipline — depth never negative,
+        // zero at the end.
+        let mut depth: HashMap<u64, i64> = HashMap::new();
+        // Async b/e: per id, open exactly balances close.
+        let mut async_open: HashMap<String, i64> = HashMap::new();
+        for e in trace_events(&doc) {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            match ph {
+                "B" => {
+                    let tid = e.get("tid").and_then(Json::as_num).unwrap() as u64;
+                    *depth.entry(tid).or_default() += 1;
+                }
+                "E" => {
+                    let tid = e.get("tid").and_then(Json::as_num).unwrap() as u64;
+                    let d = depth.entry(tid).or_default();
+                    *d -= 1;
+                    assert!(*d >= 0, "E without matching B on tid {tid}");
+                }
+                "b" => {
+                    let id = e.get("id").and_then(Json::as_str).unwrap().to_string();
+                    *async_open.entry(id).or_default() += 1;
+                }
+                "e" => {
+                    let id = e.get("id").and_then(Json::as_str).unwrap().to_string();
+                    let d = async_open.entry(id.clone()).or_default();
+                    *d -= 1;
+                    assert!(*d >= 0, "async end without begin for {id}");
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "unbalanced B/E: {depth:?}");
+        assert!(async_open.values().all(|&d| d == 0), "unbalanced b/e: {async_open:?}");
+    }
+
+    #[test]
+    fn timestamps_are_sorted_and_spans_named() {
+        let out = chrome_trace(&synthetic_log());
+        let doc = parse(&out).unwrap();
+        let evs = trace_events(&doc);
+        let ts: Vec<f64> = evs.iter().filter_map(|e| e.get("ts")?.as_num()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "events sorted by ts");
+        let span_names: Vec<&str> = evs
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("B" | "b")))
+            .filter_map(|e| e.get("name")?.as_str())
+            .collect();
+        assert!(span_names.contains(&"ckpt e1"), "{span_names:?}");
+        assert!(span_names.contains(&"ckpt e2"), "interrupted round still opens");
+        assert!(span_names.contains(&"replay->r1"), "{span_names:?}");
+    }
+
+    #[test]
+    fn empty_log_is_still_valid() {
+        let out = chrome_trace(&Vec::new());
+        let doc = parse(&out).unwrap();
+        assert_eq!(trace_events(&doc).len(), 0);
+    }
+}

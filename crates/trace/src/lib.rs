@@ -6,10 +6,14 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod determinism;
 pub mod events;
 pub mod ipm;
+pub mod json;
 
+pub use chrome::chrome_trace;
 pub use determinism::{check, CheckOpts, DeterminismReport};
 pub use events::Timeline;
 pub use ipm::{comm_matrix, totals, IpmProfile};
+pub use json::Json;

@@ -46,6 +46,9 @@ fn cfg(world: usize, eager: usize) -> RuntimeConfig {
     RuntimeConfig::new(world)
         .with_eager_threshold(eager)
         .with_deadlock_timeout(Duration::from_secs(30))
+        // Any failure the fuzzer finds comes with a flight-recorder dump of
+        // the interleaving instead of a bare timeout.
+        .with_flight_recorder(256)
 }
 
 proptest! {
