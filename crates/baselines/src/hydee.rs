@@ -79,6 +79,11 @@ impl HydeeProvider {
             enforce_ident: false,
             replay_policy: ReplayPolicy::Coordinated { coordinator: RankId(world as u32) },
             free_logs_on_checkpoint: false,
+            // The HydEE baseline models single-copy stable storage; partner
+            // replication is an SPBC-side storage upgrade, so keep it off to
+            // preserve the comparison.
+            replicas: 0,
+            async_ckpt_writes: true,
         };
         HydeeProvider {
             inner: SpbcProvider::new(clusters, spbc_cfg),

@@ -1,0 +1,212 @@
+//! Storage backends: where sealed checkpoint blobs actually live.
+//!
+//! A backend is a flat keyed store — `(owner rank, epoch) -> sealed blob` —
+//! with no knowledge of replication, framing, or the protocol. The two
+//! implementations mirror the deployment split ReStore describes: node-local
+//! memory ([`MemBackend`]) and a filesystem directory ([`DirBackend`], atomic
+//! tmp + fsync + rename writes).
+
+use mini_mpi::error::{MpiError, Result};
+use mini_mpi::types::RankId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A keyed blob store for sealed checkpoints.
+///
+/// Implementations must be safe to call from multiple threads (rank threads
+/// and the background writer); all methods take `&self`.
+pub trait CheckpointBackend: Send + Sync {
+    /// Store `blob` as `owner`'s checkpoint at `epoch` (overwrites).
+    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()>;
+    /// Fetch `owner`'s blob at `epoch`; `None` if absent.
+    fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>>;
+    /// Epochs stored for `owner`, ascending.
+    fn epochs_of(&self, owner: RankId) -> Result<Vec<u64>>;
+    /// Remove `owner`'s blob at `epoch` (no-op if absent). Returns whether a
+    /// blob was removed.
+    fn remove(&self, owner: RankId, epoch: u64) -> Result<bool>;
+}
+
+/// In-memory backend: a mutex-guarded map. Survives in-process cluster
+/// restarts (the service outlives rank threads), not the process.
+#[derive(Default)]
+pub struct MemBackend {
+    blobs: Mutex<BTreeMap<(u32, u64), Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes held (for tests and metrics).
+    pub fn stored_bytes(&self) -> u64 {
+        self.blobs.lock().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl CheckpointBackend for MemBackend {
+    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()> {
+        self.blobs.lock().insert((owner.0, epoch), blob.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.blobs.lock().get(&(owner.0, epoch)).cloned())
+    }
+
+    fn epochs_of(&self, owner: RankId) -> Result<Vec<u64>> {
+        Ok(self
+            .blobs
+            .lock()
+            .range((owner.0, 0)..=(owner.0, u64::MAX))
+            .map(|(&(_, e), _)| e)
+            .collect())
+    }
+
+    fn remove(&self, owner: RankId, epoch: u64) -> Result<bool> {
+        Ok(self.blobs.lock().remove(&(owner.0, epoch)).is_some())
+    }
+}
+
+/// Filesystem backend rooted at a directory; one `rank-<r>.epoch-<e>.ckpt`
+/// file per blob, written atomically (tmp + fsync + rename) so a torn write
+/// can never be mistaken for a committed checkpoint.
+pub struct DirBackend {
+    root: PathBuf,
+}
+
+impl DirBackend {
+    /// Open (creating if needed) a backend rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| MpiError::app(format!("create {}: {e}", root.display())))?;
+        Ok(DirBackend { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, owner: RankId, epoch: u64) -> PathBuf {
+        self.root.join(format!("rank-{owner}.epoch-{epoch}.ckpt"))
+    }
+}
+
+impl CheckpointBackend for DirBackend {
+    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()> {
+        // Recreate the root if it was lost (fault injection deletes whole
+        // directories; the next wave must still be able to commit).
+        fs::create_dir_all(&self.root)
+            .map_err(|e| MpiError::app(format!("create {}: {e}", self.root.display())))?;
+        let final_path = self.path_for(owner, epoch);
+        let tmp = final_path.with_extension("tmp");
+        let mut f = fs::File::create(&tmp)
+            .map_err(|e| MpiError::app(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(blob).map_err(|e| MpiError::app(format!("write checkpoint: {e}")))?;
+        f.sync_all().map_err(|e| MpiError::app(format!("fsync checkpoint: {e}")))?;
+        fs::rename(&tmp, &final_path)
+            .map_err(|e| MpiError::app(format!("commit checkpoint: {e}")))?;
+        Ok(())
+    }
+
+    fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {
+        let path = self.path_for(owner, epoch);
+        match fs::read(&path) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(MpiError::app(format!("read {}: {e}", path.display()))),
+        }
+    }
+
+    fn epochs_of(&self, owner: RankId) -> Result<Vec<u64>> {
+        let prefix = format!("rank-{owner}.epoch-");
+        let mut epochs = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(it) => it,
+            // A destroyed directory reads as "no epochs stored", not an
+            // error — restart-time repair depends on this.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(epochs),
+            Err(e) => return Err(MpiError::app(format!("read dir {}: {e}", self.root.display()))),
+        };
+        for entry in entries {
+            let name =
+                entry.map_err(|e| MpiError::app(format!("read dir entry: {e}")))?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(e) = rest.strip_suffix(".ckpt").and_then(|v| v.parse().ok()) {
+                    epochs.push(e);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    fn remove(&self, owner: RankId, epoch: u64) -> Result<bool> {
+        match fs::remove_file(self.path_for(owner, epoch)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(MpiError::app(format!("remove checkpoint: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("spbc-backend-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn exercise(backend: &dyn CheckpointBackend) {
+        let r0 = RankId(0);
+        let r1 = RankId(1);
+        assert!(backend.get(r0, 1).unwrap().is_none());
+        backend.put(r0, 1, b"one").unwrap();
+        backend.put(r0, 2, b"two").unwrap();
+        backend.put(r1, 2, b"other").unwrap();
+        assert_eq!(backend.get(r0, 1).unwrap().unwrap(), b"one");
+        assert_eq!(backend.get(r0, 2).unwrap().unwrap(), b"two");
+        assert_eq!(backend.epochs_of(r0).unwrap(), vec![1, 2]);
+        assert_eq!(backend.epochs_of(r1).unwrap(), vec![2]);
+        // Overwrite is allowed (same epoch re-committed after rollback).
+        backend.put(r0, 2, b"two'").unwrap();
+        assert_eq!(backend.get(r0, 2).unwrap().unwrap(), b"two'");
+        assert!(backend.remove(r0, 1).unwrap());
+        assert!(!backend.remove(r0, 1).unwrap());
+        assert_eq!(backend.epochs_of(r0).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_contract() {
+        exercise(&DirBackend::open(tmpdir("contract")).unwrap());
+    }
+
+    #[test]
+    fn dir_backend_survives_root_deletion() {
+        let b = DirBackend::open(tmpdir("rootless")).unwrap();
+        b.put(RankId(0), 1, b"x").unwrap();
+        fs::remove_dir_all(b.root()).unwrap();
+        assert!(b.epochs_of(RankId(0)).unwrap().is_empty());
+        assert!(b.get(RankId(0), 1).unwrap().is_none());
+        // And writes recreate the directory.
+        b.put(RankId(0), 2, b"y").unwrap();
+        assert_eq!(b.epochs_of(RankId(0)).unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Checkpoint blob framing: `SPBCCKP2` = magic + CRC32 over the body.
+//!
+//! The V1 format (`SPBCCKP1`, magic + body, header-only validation) is still
+//! readable so checkpoints written by older builds load after an upgrade; a
+//! V1 blob simply has no checksum to verify. Everything written by this
+//! crate is V2.
+
+use crate::crc::crc32;
+use mini_mpi::error::{MpiError, Result};
+
+/// Legacy format: magic then raw wire-encoded body, no checksum.
+pub const MAGIC_V1: &[u8; 8] = b"SPBCCKP1";
+/// Current format: magic, little-endian CRC32 of the body, then the body.
+pub const MAGIC_V2: &[u8; 8] = b"SPBCCKP2";
+
+/// Frame `body` as a V2 blob: magic + crc32(body) + body.
+pub fn seal(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validate a sealed blob and return its body.
+///
+/// Accepts V2 (checksum verified) and legacy V1 (no checksum to verify).
+/// Any framing or checksum failure is a `Codec` error — callers treat it as
+/// a corrupt copy and fall back to a partner replica.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8]> {
+    if bytes.len() >= MAGIC_V2.len() && &bytes[..MAGIC_V2.len()] == MAGIC_V2 {
+        if bytes.len() < MAGIC_V2.len() + 4 {
+            return Err(MpiError::Codec("checkpoint blob truncated before checksum".into()));
+        }
+        let stored = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let body = &bytes[12..];
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(MpiError::Codec(format!(
+                "checkpoint checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        return Ok(body);
+    }
+    if bytes.len() >= MAGIC_V1.len() && &bytes[..MAGIC_V1.len()] == MAGIC_V1 {
+        return Ok(&bytes[MAGIC_V1.len()..]);
+    }
+    Err(MpiError::Codec("bad checkpoint header".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let body = b"hello checkpoint".to_vec();
+        let sealed = seal(&body);
+        assert_eq!(&sealed[..8], MAGIC_V2);
+        assert_eq!(unseal(&sealed).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn empty_body_roundtrips() {
+        let sealed = seal(&[]);
+        assert_eq!(unseal(&sealed).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let sealed = seal(&[7u8; 128]);
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            assert!(unseal(&bad).is_err(), "flip at offset {i} undetected");
+        }
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let sealed = seal(&[1, 2, 3]);
+        for len in [0, 4, 8, 11] {
+            assert!(unseal(&sealed[..len]).is_err(), "len {len} accepted");
+        }
+        // Body truncation (valid header, short body) must fail the checksum.
+        assert!(unseal(&sealed[..sealed.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_is_readable() {
+        let mut v1 = MAGIC_V1.to_vec();
+        v1.extend_from_slice(b"old body");
+        assert_eq!(unseal(&v1).unwrap(), b"old body");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(unseal(b"garbage").is_err());
+        assert!(unseal(b"SPBCCKP9........").is_err());
+    }
+}

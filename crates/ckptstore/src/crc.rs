@@ -1,0 +1,59 @@
+//! CRC32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Hand-rolled because the build container is offline: no `crc32fast`.
+//! The reflected-polynomial table variant matches zlib's `crc32()`, so
+//! stored checksums are verifiable with standard tooling.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` (zlib-compatible: init `!0`, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 4096];
+        data[100] = 7;
+        let base = crc32(&data);
+        for byte in [0usize, 100, 4095] {
+            let mut flipped = data.clone();
+            flipped[byte] ^= 0x10;
+            assert_ne!(crc32(&flipped), base, "flip at {byte} undetected");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # spbc-ckptstore
+//!
+//! Replicated asynchronous checkpoint-storage subsystem.
+//!
+//! SPBC's protocol layer (`spbc-core`) decides *when* a checkpoint wave
+//! commits; this crate decides *where the bytes live* and *how much of the
+//! commit barrier they cost*. It is deliberately blob-oriented — checkpoints
+//! arrive as opaque byte vectors keyed by `(owner rank, epoch)` — so the
+//! storage service has no dependency on the protocol crate and could back any
+//! fault-tolerance layer built on `mini-mpi`.
+//!
+//! The subsystem provides four guarantees (DESIGN.md §8):
+//!
+//! * **Integrity** — every stored blob is framed with a magic + CRC32 header
+//!   ([`blob`]); a bit-flip anywhere in the body is detected on load.
+//! * **Partner replication** — [`service::CkptStoreService`] keeps, next to
+//!   each rank's local store, a partner store holding copies of *other*
+//!   ranks' checkpoints (ReStore-style, in-memory by default). A rank whose
+//!   local copies are lost or corrupted repairs transparently from a
+//!   surviving partner at load time.
+//! * **Asynchronous writes** — [`writer::AsyncWriter`] moves checksumming and
+//!   disk I/O off the commit path with per-owner double-buffering: a wave's
+//!   write overlaps the application's next compute phase, and the *next*
+//!   wave's `flush` (or shutdown) is the only point that waits for it.
+//! * **Garbage collection** — the service prunes epochs older than the
+//!   newest globally-committed wave, both for local copies and partner-held
+//!   replicas, replacing manual `prune` calls.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod blob;
+pub mod crc;
+pub mod service;
+pub mod writer;
+
+pub use backend::{CheckpointBackend, DirBackend, MemBackend};
+pub use blob::{seal, unseal, MAGIC_V1, MAGIC_V2};
+pub use service::{CkptStoreService, LoadOutcome, StoreConfig};
+pub use writer::AsyncWriter;

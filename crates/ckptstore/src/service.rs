@@ -1,0 +1,381 @@
+//! The checkpoint storage service: per-rank local stores, partner-held
+//! replica stores, asynchronous local commits, repair-on-load, and GC.
+//!
+//! One `CkptStoreService` serves a whole world (all ranks of one run). Each
+//! rank owns two backends:
+//!
+//! * its **local** store — the authoritative copy of its own checkpoints
+//!   (memory for in-process experiments, a `rank-<r>/own` directory when a
+//!   storage root is configured), written through the [`AsyncWriter`];
+//! * its **partner** store — copies of *other* ranks' checkpoints pushed to
+//!   it over the control plane at commit time. Partner copies are held in
+//!   memory by default (ReStore's insight: partner RAM beats the PFS by
+//!   orders of magnitude for repair) and are written synchronously — the
+//!   pushing rank's commit barrier already waits for the ACK, and a memory
+//!   put is cheap.
+//!
+//! Load is where replication pays off: a local copy that is missing or fails
+//! its CRC is transparently repaired from any surviving partner copy, and
+//! the repaired blob is re-persisted locally so the next failure does not
+//! depend on the same partner again.
+
+use crate::backend::{CheckpointBackend, DirBackend, MemBackend};
+use crate::blob::unseal;
+use crate::writer::{AsyncWriter, OnDone};
+use mini_mpi::error::{MpiError, Result};
+use mini_mpi::types::RankId;
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+
+/// How the service stores and writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Write local commits through the background writer (`true`, default)
+    /// or inline and synchronously (`false`).
+    pub async_writes: bool,
+    /// Keep partner copies on disk next to the local store instead of in
+    /// memory. Only meaningful with a storage root; costs an fsync on the
+    /// partner's ctrl path.
+    pub durable_partner_copies: bool,
+    /// How many waves of partner copies to retain per owner (newest first).
+    /// Matches the protocol's "last two waves" retention.
+    pub partner_keep: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { async_writes: true, durable_partner_copies: false, partner_keep: 2 }
+    }
+}
+
+/// Where a successful load found the blob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The rank's own local copy was present and passed its checksum.
+    Local,
+    /// The local copy was missing or corrupt; the blob came from this
+    /// partner rank's replica store and was re-persisted locally.
+    Repaired {
+        /// The partner rank whose copy survived.
+        from: RankId,
+    },
+}
+
+struct RankStores {
+    local: Arc<dyn CheckpointBackend>,
+    partner: Arc<dyn CheckpointBackend>,
+}
+
+/// World-wide checkpoint storage service. Cheap to share (`Arc`); outlives
+/// rank threads, so partner copies survive in-process cluster restarts the
+/// way surviving nodes' memory survives a peer's crash.
+pub struct CkptStoreService {
+    ranks: Vec<RankStores>,
+    writer: AsyncWriter,
+    cfg: StoreConfig,
+}
+
+impl CkptStoreService {
+    /// All stores in memory — the default for in-process experiments.
+    pub fn in_memory(world: usize, cfg: StoreConfig) -> Self {
+        let ranks = (0..world)
+            .map(|_| RankStores {
+                local: Arc::new(MemBackend::new()),
+                partner: Arc::new(MemBackend::new()),
+            })
+            .collect();
+        CkptStoreService { ranks, writer: AsyncWriter::new(), cfg }
+    }
+
+    /// Local stores on disk under `root` (`rank-<r>/own`); partner stores in
+    /// memory unless `cfg.durable_partner_copies` (`rank-<r>/partner`).
+    pub fn on_disk(root: impl AsRef<Path>, world: usize, cfg: StoreConfig) -> Result<Self> {
+        let root = root.as_ref();
+        let mut ranks = Vec::with_capacity(world);
+        for r in 0..world {
+            let local: Arc<dyn CheckpointBackend> =
+                Arc::new(DirBackend::open(root.join(format!("rank-{r}")).join("own"))?);
+            let partner: Arc<dyn CheckpointBackend> = if cfg.durable_partner_copies {
+                Arc::new(DirBackend::open(root.join(format!("rank-{r}")).join("partner"))?)
+            } else {
+                Arc::new(MemBackend::new())
+            };
+            ranks.push(RankStores { local, partner });
+        }
+        Ok(CkptStoreService { ranks, writer: AsyncWriter::new(), cfg })
+    }
+
+    /// World size this service was built for.
+    pub fn world(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    fn stores(&self, rank: RankId) -> Result<&RankStores> {
+        self.ranks
+            .get(rank.0 as usize)
+            .ok_or_else(|| MpiError::app(format!("rank {rank} outside store world")))
+    }
+
+    /// Commit `rank`'s own sealed checkpoint at `epoch`.
+    ///
+    /// With async writes (default) this enqueues on the background writer
+    /// and returns immediately; `on_done` fires from the writer thread with
+    /// the hidden write latency. Call [`flush_rank`](Self::flush_rank) first
+    /// to implement double-buffering (wait for the *previous* wave, never
+    /// the current one). With `async_writes = false` the write (and
+    /// `on_done`) happen inline.
+    pub fn commit_local(
+        &self,
+        rank: RankId,
+        epoch: u64,
+        blob: Vec<u8>,
+        on_done: Option<OnDone>,
+    ) -> Result<()> {
+        let local = Arc::clone(&self.stores(rank)?.local);
+        if self.cfg.async_writes {
+            self.writer.submit(rank, epoch, blob, local, on_done);
+            Ok(())
+        } else {
+            let start = std::time::Instant::now();
+            let res = local.put(rank, epoch, &blob);
+            if let Some(cb) = on_done {
+                cb(&res, start.elapsed());
+            }
+            res
+        }
+    }
+
+    /// Store a copy of `owner`'s checkpoint at `epoch` in `holder`'s partner
+    /// store (synchronous — the pushing rank awaits the ACK this enables).
+    /// Old partner copies of the same owner beyond `partner_keep` waves are
+    /// pruned; returns how many were dropped.
+    pub fn store_partner_copy(
+        &self,
+        holder: RankId,
+        owner: RankId,
+        epoch: u64,
+        blob: &[u8],
+    ) -> Result<usize> {
+        let partner = &self.stores(holder)?.partner;
+        partner.put(owner, epoch, blob)?;
+        let epochs = partner.epochs_of(owner)?;
+        let mut pruned = 0;
+        if epochs.len() > self.cfg.partner_keep {
+            for &e in &epochs[..epochs.len() - self.cfg.partner_keep] {
+                if partner.remove(owner, e)? {
+                    pruned += 1;
+                }
+            }
+        }
+        Ok(pruned)
+    }
+
+    /// Wait until `rank`'s outstanding local write (if any) is durable.
+    pub fn flush_rank(&self, rank: RankId) -> Result<()> {
+        self.writer.flush_owner(rank)
+    }
+
+    /// Wait for every outstanding write (shutdown path).
+    pub fn flush_all(&self) -> Result<()> {
+        self.writer.flush_all()
+    }
+
+    /// (completed async writes, coalesced submissions) so far.
+    pub fn writer_stats(&self) -> (u64, u64) {
+        self.writer.stats()
+    }
+
+    /// Load `rank`'s sealed checkpoint at `epoch` and verify it.
+    ///
+    /// Returns the *body* (unsealed) plus where it came from. A local copy
+    /// that is missing or fails its checksum triggers repair: every rank's
+    /// partner store is scanned for a verifiable copy, which is re-persisted
+    /// locally before returning. `Ok(None)` means no copy survives anywhere.
+    ///
+    /// Callers should `flush_rank` first so an in-flight async write is not
+    /// misread as a missing copy.
+    pub fn load(&self, rank: RankId, epoch: u64) -> Result<Option<(Vec<u8>, LoadOutcome)>> {
+        let own = self.stores(rank)?;
+        if let Some(blob) = own.local.get(rank, epoch)? {
+            match unseal(&blob) {
+                Ok(body) => return Ok(Some((body.to_vec(), LoadOutcome::Local))),
+                Err(_) => { /* corrupt local copy: fall through to repair */ }
+            }
+        }
+        for (holder, stores) in self.ranks.iter().enumerate() {
+            if holder == rank.0 as usize {
+                continue;
+            }
+            if let Some(blob) = stores.partner.get(rank, epoch)? {
+                if let Ok(body) = unseal(&blob) {
+                    let body = body.to_vec();
+                    // Heal the local store so the next failure does not
+                    // depend on the same partner surviving again.
+                    own.local.put(rank, epoch, &blob)?;
+                    return Ok(Some((body, LoadOutcome::Repaired { from: RankId(holder as u32) })));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Every epoch at which *some* verifiable-looking copy of `rank`'s
+    /// checkpoint exists (local or partner-held), ascending.
+    pub fn available_epochs(&self, rank: RankId) -> Result<Vec<u64>> {
+        let mut set: BTreeSet<u64> =
+            self.stores(rank)?.local.epochs_of(rank)?.into_iter().collect();
+        for (holder, stores) in self.ranks.iter().enumerate() {
+            if holder == rank.0 as usize {
+                continue;
+            }
+            set.extend(stores.partner.epochs_of(rank)?);
+        }
+        Ok(set.into_iter().collect())
+    }
+
+    /// The newest epoch every listed rank can reach (locally or via a
+    /// partner copy); 0 if any rank has no copy at all. This is the wave a
+    /// cluster restarts from.
+    pub fn common_epoch(&self, ranks: &[RankId]) -> Result<u64> {
+        let mut min = u64::MAX;
+        for &r in ranks {
+            let newest = self.available_epochs(r)?.last().copied().unwrap_or(0);
+            min = min.min(newest);
+        }
+        Ok(if min == u64::MAX { 0 } else { min })
+    }
+
+    /// Drop `rank`'s local epochs older than `keep_from` (automatic GC once
+    /// a newer wave is globally committed). Returns how many were removed.
+    pub fn gc_local(&self, rank: RankId, keep_from: u64) -> Result<usize> {
+        let local = &self.stores(rank)?.local;
+        let mut removed = 0;
+        for e in local.epochs_of(rank)? {
+            if e < keep_from && local.remove(rank, e)? {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::seal;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("spbc-service-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn commit_sync(svc: &CkptStoreService, rank: RankId, epoch: u64, body: &[u8]) {
+        svc.commit_local(rank, epoch, seal(body), None).unwrap();
+        svc.flush_rank(rank).unwrap();
+    }
+
+    #[test]
+    fn local_load_roundtrip() {
+        let svc = CkptStoreService::in_memory(2, StoreConfig::default());
+        commit_sync(&svc, RankId(0), 1, b"wave-1");
+        let (body, outcome) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(body, b"wave-1");
+        assert_eq!(outcome, LoadOutcome::Local);
+        assert!(svc.load(RankId(0), 9).unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_local_copy_is_repaired_from_partner() {
+        let svc = CkptStoreService::in_memory(3, StoreConfig::default());
+        // Rank 0 never writes locally; rank 2 holds a partner copy.
+        svc.store_partner_copy(RankId(2), RankId(0), 1, &seal(b"replica")).unwrap();
+        let (body, outcome) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(body, b"replica");
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(2) });
+        // Repair re-persisted locally: second load is Local.
+        let (_, outcome) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(outcome, LoadOutcome::Local);
+    }
+
+    #[test]
+    fn corrupt_local_copy_is_repaired_from_partner() {
+        let root = tmpdir("corrupt-repair");
+        let svc = CkptStoreService::on_disk(&root, 2, StoreConfig::default()).unwrap();
+        commit_sync(&svc, RankId(0), 1, b"good");
+        svc.store_partner_copy(RankId(1), RankId(0), 1, &seal(b"good")).unwrap();
+        // Flip one byte inside the stored file's body.
+        let path = root.join("rank-0").join("own").join("rank-0.epoch-1.ckpt");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let (body, outcome) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(body, b"good");
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(1) });
+    }
+
+    #[test]
+    fn common_epoch_counts_partner_copies() {
+        let svc = CkptStoreService::in_memory(4, StoreConfig::default());
+        commit_sync(&svc, RankId(0), 1, b"a");
+        commit_sync(&svc, RankId(0), 2, b"b");
+        // Rank 1 lost its local store entirely, but partners hold wave 2.
+        svc.store_partner_copy(RankId(3), RankId(1), 2, &seal(b"r")).unwrap();
+        assert_eq!(svc.common_epoch(&[RankId(0), RankId(1)]).unwrap(), 2);
+        assert_eq!(svc.common_epoch(&[RankId(0), RankId(2)]).unwrap(), 0);
+        assert_eq!(svc.available_epochs(RankId(1)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn partner_copies_are_pruned_to_keep_window() {
+        let svc = CkptStoreService::in_memory(2, StoreConfig::default());
+        let mut pruned = 0;
+        for e in 1..=5 {
+            pruned += svc.store_partner_copy(RankId(1), RankId(0), e, &seal(b"x")).unwrap();
+        }
+        assert_eq!(pruned, 3); // keeps newest 2 of 5
+        assert_eq!(svc.available_epochs(RankId(0)).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn gc_local_drops_old_waves() {
+        let svc = CkptStoreService::in_memory(1, StoreConfig::default());
+        for e in 1..=4 {
+            commit_sync(&svc, RankId(0), e, b"w");
+        }
+        assert_eq!(svc.gc_local(RankId(0), 3).unwrap(), 2);
+        assert_eq!(svc.available_epochs(RankId(0)).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn sync_write_mode_is_immediate() {
+        let cfg = StoreConfig { async_writes: false, ..Default::default() };
+        let svc = CkptStoreService::in_memory(1, cfg);
+        svc.commit_local(RankId(0), 1, seal(b"now"), None).unwrap();
+        // No flush needed: the write already happened.
+        let (body, _) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(body, b"now");
+        assert_eq!(svc.writer_stats().0, 0);
+    }
+
+    #[test]
+    fn on_disk_layout_separates_own_and_partner() {
+        let root = tmpdir("layout");
+        let cfg = StoreConfig { durable_partner_copies: true, ..Default::default() };
+        let svc = CkptStoreService::on_disk(&root, 2, cfg).unwrap();
+        commit_sync(&svc, RankId(0), 1, b"mine");
+        svc.store_partner_copy(RankId(1), RankId(0), 1, &seal(b"mine")).unwrap();
+        assert!(root.join("rank-0").join("own").join("rank-0.epoch-1.ckpt").exists());
+        assert!(root.join("rank-1").join("partner").join("rank-0.epoch-1.ckpt").exists());
+    }
+}

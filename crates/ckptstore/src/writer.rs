@@ -1,0 +1,307 @@
+//! Background checkpoint writer with per-owner double-buffering.
+//!
+//! The commit barrier must not pay fsync latency (ISSUE 3 / Section 5 of the
+//! paper measures this as the dominant synchronous cost). `AsyncWriter` runs
+//! one service thread per store service; ranks `submit` a sealed blob and
+//! return immediately, and the write happens concurrently with the
+//! application's next compute phase.
+//!
+//! Double-buffering, per owner rank:
+//!
+//! * at most one blob is *queued* — a newer submission for the same owner
+//!   replaces an unstarted older one (coalescing: only the newest wave
+//!   matters once it supersedes the previous),
+//! * at most one write is *in flight*,
+//! * `flush_owner` blocks until neither exists and surfaces any sticky
+//!   write error.
+//!
+//! The protocol calls `flush_owner` at the *start* of the next wave's commit
+//! (so a wave never waits on its own write, only — rarely — on the previous
+//! one) and at shutdown/restart (so durability is guaranteed before the
+//! process exits or a restored rank trusts the store's epoch inventory).
+//!
+//! Uses `std::sync::{Mutex, Condvar}` rather than `parking_lot`: the
+//! vendored parking_lot stand-in has no condition variables.
+
+use crate::backend::CheckpointBackend;
+use mini_mpi::error::{MpiError, Result};
+use mini_mpi::types::RankId;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Completion callback: write result and the time the write spent hidden
+/// behind the application (submit-to-durable latency).
+pub type OnDone = Box<dyn FnOnce(&Result<()>, Duration) + Send>;
+
+struct Job {
+    epoch: u64,
+    blob: Vec<u8>,
+    backend: Arc<dyn CheckpointBackend>,
+    submitted: Instant,
+    on_done: Option<OnDone>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Owners with a queued job, FIFO.
+    queue: VecDeque<u32>,
+    /// The queued job per owner (at most one: double buffer).
+    pending: HashMap<u32, Job>,
+    /// Owners whose write is currently in flight.
+    writing: HashSet<u32>,
+    /// Sticky per-owner error from the last failed write, surfaced at flush.
+    errors: HashMap<u32, String>,
+    /// Jobs replaced before their write started (superseded waves).
+    coalesced: u64,
+    /// Writes completed successfully.
+    completed: u64,
+    stop: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Background writer service; one thread, shared by all ranks of a store
+/// service. Dropping the writer drains the queue and joins the thread.
+pub struct AsyncWriter {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Default for AsyncWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsyncWriter {
+    /// Spawn the writer thread.
+    pub fn new() -> Self {
+        let shared = Arc::new(Shared { state: Mutex::new(State::default()), cv: Condvar::new() });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("spbc-ckpt-writer".into())
+            .spawn(move || Self::run(&worker))
+            .expect("spawn checkpoint writer thread");
+        AsyncWriter { shared, handle: Some(handle) }
+    }
+
+    fn run(shared: &Shared) {
+        loop {
+            let (owner, mut job) = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if let Some(owner) = st.queue.pop_front() {
+                        let job = st.pending.remove(&owner).expect("queued owner has a job");
+                        st.writing.insert(owner);
+                        break (owner, job);
+                    }
+                    if st.stop {
+                        return;
+                    }
+                    st = shared.cv.wait(st).unwrap();
+                }
+            };
+            // The write itself happens outside the lock — this is the whole
+            // point: fsync latency overlaps the application.
+            let res = job.backend.put(RankId(owner), job.epoch, &job.blob);
+            let hidden = job.submitted.elapsed();
+            if let Some(cb) = job.on_done.take() {
+                cb(&res, hidden);
+            }
+            let mut st = shared.state.lock().unwrap();
+            st.writing.remove(&owner);
+            match res {
+                Ok(()) => {
+                    st.completed += 1;
+                }
+                Err(e) => {
+                    st.errors.insert(owner, e.to_string());
+                }
+            }
+            shared.cv.notify_all();
+        }
+    }
+
+    /// Enqueue a write of `blob` as `owner`'s checkpoint at `epoch` on
+    /// `backend`. Never blocks: if an older job for the same owner is still
+    /// queued (not yet started), it is replaced — its write never happens and
+    /// its completion callback is dropped.
+    pub fn submit(
+        &self,
+        owner: RankId,
+        epoch: u64,
+        blob: Vec<u8>,
+        backend: Arc<dyn CheckpointBackend>,
+        on_done: Option<OnDone>,
+    ) {
+        let job = Job { epoch, blob, backend, submitted: Instant::now(), on_done };
+        let mut st = self.shared.state.lock().unwrap();
+        if st.pending.insert(owner.0, job).is_some() {
+            // Owner already queued: job replaced in place, queue entry reused.
+            st.coalesced += 1;
+        } else {
+            st.queue.push_back(owner.0);
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// Block until `owner` has no queued or in-flight write, then surface
+    /// (and clear) any sticky write error for that owner.
+    pub fn flush_owner(&self, owner: RankId) -> Result<()> {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.pending.contains_key(&owner.0) || st.writing.contains(&owner.0) {
+            st = self.shared.cv.wait(st).unwrap();
+        }
+        match st.errors.remove(&owner.0) {
+            Some(e) => Err(MpiError::app(format!("checkpoint write for rank {owner} failed: {e}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until the queue is fully drained; first sticky error wins.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut st = self.shared.state.lock().unwrap();
+        while !st.pending.is_empty() || !st.writing.is_empty() {
+            st = self.shared.cv.wait(st).unwrap();
+        }
+        let first = st.errors.drain().next();
+        match first {
+            Some((owner, e)) => {
+                Err(MpiError::app(format!("checkpoint write for rank {owner} failed: {e}")))
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// (completed writes, coalesced submissions) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.shared.state.lock().unwrap();
+        (st.completed, st.coalesced)
+    }
+}
+
+impl Drop for AsyncWriter {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.stop = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn submit_then_flush_is_durable() {
+        let w = AsyncWriter::new();
+        let backend: Arc<MemBackend> = Arc::new(MemBackend::new());
+        let dyn_backend: Arc<dyn CheckpointBackend> = Arc::clone(&backend) as _;
+        w.submit(RankId(0), 1, vec![1, 2, 3], Arc::clone(&dyn_backend), None);
+        w.flush_owner(RankId(0)).unwrap();
+        assert_eq!(backend.get(RankId(0), 1).unwrap().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn newer_submission_supersedes_queued_older_one() {
+        // Saturate the writer with a slow backend so the second submit for
+        // rank 1 lands while the first is still queued.
+        struct Slow(MemBackend);
+        impl CheckpointBackend for Slow {
+            fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()> {
+                std::thread::sleep(Duration::from_millis(20));
+                self.0.put(owner, epoch, blob)
+            }
+            fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {
+                self.0.get(owner, epoch)
+            }
+            fn epochs_of(&self, owner: RankId) -> Result<Vec<u64>> {
+                self.0.epochs_of(owner)
+            }
+            fn remove(&self, owner: RankId, epoch: u64) -> Result<bool> {
+                self.0.remove(owner, epoch)
+            }
+        }
+        let w = AsyncWriter::new();
+        let backend = Arc::new(Slow(MemBackend::new()));
+        let dyn_backend: Arc<dyn CheckpointBackend> = Arc::clone(&backend) as _;
+        // Rank 0's slow write occupies the thread...
+        w.submit(RankId(0), 1, vec![0], Arc::clone(&dyn_backend), None);
+        // ...while rank 1 submits twice; the epoch-1 job must be replaced.
+        w.submit(RankId(1), 1, vec![1], Arc::clone(&dyn_backend), None);
+        w.submit(RankId(1), 2, vec![2], Arc::clone(&dyn_backend), None);
+        w.flush_all().unwrap();
+        assert_eq!(backend.0.get(RankId(1), 2).unwrap().unwrap(), vec![2]);
+        let (completed, coalesced) = w.stats();
+        assert!(coalesced >= 1, "expected a coalesced submission");
+        assert_eq!(completed + coalesced, 3);
+    }
+
+    #[test]
+    fn write_errors_are_sticky_until_flush() {
+        struct Failing;
+        impl CheckpointBackend for Failing {
+            fn put(&self, _: RankId, _: u64, _: &[u8]) -> Result<()> {
+                Err(MpiError::app("disk full"))
+            }
+            fn get(&self, _: RankId, _: u64) -> Result<Option<Vec<u8>>> {
+                Ok(None)
+            }
+            fn epochs_of(&self, _: RankId) -> Result<Vec<u64>> {
+                Ok(Vec::new())
+            }
+            fn remove(&self, _: RankId, _: u64) -> Result<bool> {
+                Ok(false)
+            }
+        }
+        let w = AsyncWriter::new();
+        w.submit(RankId(3), 1, vec![9], Arc::new(Failing), None);
+        let err = w.flush_owner(RankId(3)).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "unexpected error: {err}");
+        // Error was consumed; the next flush is clean.
+        w.flush_owner(RankId(3)).unwrap();
+    }
+
+    #[test]
+    fn completion_callback_reports_hidden_latency() {
+        let w = AsyncWriter::new();
+        let seen = Arc::new(Mutex::new(None));
+        let seen2 = Arc::clone(&seen);
+        w.submit(
+            RankId(0),
+            7,
+            vec![1],
+            Arc::new(MemBackend::new()),
+            Some(Box::new(move |res, hidden| {
+                *seen2.lock().unwrap() = Some((res.is_ok(), hidden));
+            })),
+        );
+        w.flush_owner(RankId(0)).unwrap();
+        let (ok, _hidden) = seen.lock().unwrap().take().expect("callback ran");
+        assert!(ok);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_queued_work() {
+        let backend: Arc<MemBackend> = Arc::new(MemBackend::new());
+        {
+            let w = AsyncWriter::new();
+            for e in 1..=8u64 {
+                w.submit(RankId(0), e, vec![e as u8], Arc::clone(&backend) as _, None);
+            }
+            w.flush_all().unwrap();
+        } // drop joins the thread
+        assert!(backend.get(RankId(0), 8).unwrap().unwrap() == vec![8]);
+    }
+}

@@ -96,6 +96,46 @@ impl ClusterMap {
     pub fn respects_nodes(&self, ranks_per_node: usize) -> bool {
         self.assignment.chunks(ranks_per_node).all(|chunk| chunk.iter().all(|&c| c == chunk[0]))
     }
+
+    /// The `k` partner ranks holding replica copies of `rank`'s checkpoints.
+    ///
+    /// Partners live in *other* clusters (a cluster fails as a unit, so a
+    /// same-cluster replica dies with its owner), one per cluster first
+    /// (round-robin over the remaining clusters before doubling up), and the
+    /// member picked inside each partner cluster rotates with the owner's
+    /// position so replicas spread instead of piling onto leaders. The
+    /// mapping is deterministic: a restarted rank recomputes where its
+    /// copies live without any lookup traffic.
+    ///
+    /// Returns fewer than `k` partners (possibly none) when the world is too
+    /// small — notably a single-cluster map has no valid partner at all.
+    pub fn replica_partners(&self, rank: RankId, k: usize) -> Vec<RankId> {
+        let n_clusters = self.cluster_count();
+        if k == 0 || n_clusters <= 1 {
+            return Vec::new();
+        }
+        let my_cluster = self.cluster_of(rank);
+        let my_pos = self.members[my_cluster].iter().position(|&r| r == rank).unwrap_or(0);
+        let mut out = Vec::new();
+        let mut round = 0;
+        loop {
+            let mut any = false;
+            for d in 1..n_clusters {
+                let m = self.members((my_cluster + d) % n_clusters);
+                if round < m.len() {
+                    any = true;
+                    out.push(m[(my_pos + round) % m.len()]);
+                    if out.len() == k {
+                        return out;
+                    }
+                }
+            }
+            if !any {
+                return out; // k exceeds the ranks outside my cluster
+            }
+            round += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +193,53 @@ mod tests {
         let m = ClusterMap::blocks(6, 3);
         let others: Vec<RankId> = m.other_ranks(RankId(2)).collect();
         assert_eq!(others, vec![RankId(0), RankId(1), RankId(4), RankId(5)]);
+    }
+
+    #[test]
+    fn replica_partners_are_distinct_other_cluster_ranks() {
+        let m = ClusterMap::blocks(8, 4); // {0,1} {2,3} {4,5} {6,7}
+        for r in 0..8u32 {
+            let rank = RankId(r);
+            let partners = m.replica_partners(rank, 2);
+            assert_eq!(partners.len(), 2, "rank {rank}");
+            let mut uniq = partners.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 2, "rank {rank}: duplicate partner");
+            for p in partners {
+                assert!(!m.same_cluster(rank, p), "rank {rank}: partner {p} in own cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_partners_spread_across_clusters_first() {
+        let m = ClusterMap::blocks(8, 4);
+        let partners = m.replica_partners(RankId(0), 3);
+        let clusters: Vec<usize> = partners.iter().map(|&p| m.cluster_of(p)).collect();
+        let mut uniq = clusters.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "first k<=n_clusters-1 partners use distinct clusters");
+    }
+
+    #[test]
+    fn replica_partners_rotate_with_owner_position() {
+        let m = ClusterMap::blocks(8, 2); // {0..3} {4..7}
+        let p0 = m.replica_partners(RankId(0), 1);
+        let p1 = m.replica_partners(RankId(1), 1);
+        assert_ne!(p0, p1, "siblings should not pile onto one partner");
+    }
+
+    #[test]
+    fn replica_partners_degenerate_cases() {
+        let single = ClusterMap::single(4);
+        assert!(single.replica_partners(RankId(0), 2).is_empty());
+        let m = ClusterMap::blocks(4, 2);
+        assert!(m.replica_partners(RankId(0), 0).is_empty());
+        // k larger than every rank outside the cluster: all of them, once.
+        let all = m.replica_partners(RankId(0), 99);
+        assert_eq!(all.len(), 2);
     }
 
     #[test]

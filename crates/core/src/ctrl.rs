@@ -38,6 +38,15 @@ pub const KIND_GRANT: u16 = 11;
 /// Coordinated replay: replayer reports the granted replay as delivered
 /// (empty body).
 pub const KIND_GRANT_DONE: u16 = 12;
+/// `kind` value of [`CkptBlob`]: a committing rank pushes its sealed
+/// checkpoint blob to a partner rank in another cluster for replicated
+/// storage (spbc-ckptstore). Unlike the other control messages this one is
+/// *storage* traffic — it carries the checkpoint payload and is counted
+/// under replication metrics, not `ctrl_msgs`.
+pub const KIND_CKPT_BLOB: u16 = 13;
+/// `kind` value of [`CkptBlobAck`]: the partner has durably stored the
+/// pushed copy. The owner's commit barrier waits for all of these.
+pub const KIND_CKPT_BLOB_ACK: u16 = 14;
 
 /// Per-channel rollback entry: state of one incoming channel (peer → me) as
 /// restored from the checkpoint.
@@ -103,6 +112,27 @@ pub struct CkptCounts {
 
 /// Alias: a join announcement carries the same body as a report.
 pub type CkptJoin = CkptCounts;
+
+/// A sealed checkpoint blob pushed to a partner rank for replicated storage.
+/// The blob is opaque to the receiver (framed + checksummed by
+/// spbc-ckptstore); it stores the copy keyed by `(owner, epoch)` and acks.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CkptBlob {
+    /// World rank that owns (committed) this checkpoint.
+    pub owner: u32,
+    /// Checkpoint wave the blob belongs to.
+    pub epoch: u64,
+    /// The sealed bytes (`SPBCCKP2` framing, CRC32-protected).
+    pub blob: Vec<u8>,
+}
+
+/// Acknowledgement of a stored [`CkptBlob`] copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CkptBlobAck {
+    /// Checkpoint wave being acknowledged (guards against stale acks from a
+    /// previous wave's retries).
+    pub epoch: u64,
+}
 
 impl Encode for RollbackChannel {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -178,6 +208,34 @@ impl Decode for CkptCounts {
     }
 }
 
+impl Encode for CkptBlob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.owner.encode(out);
+        self.epoch.encode(out);
+        self.blob.encode(out);
+    }
+}
+impl Decode for CkptBlob {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CkptBlob {
+            owner: Decode::decode(r)?,
+            epoch: Decode::decode(r)?,
+            blob: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for CkptBlobAck {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+    }
+}
+impl Decode for CkptBlobAck {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CkptBlobAck { epoch: Decode::decode(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +271,16 @@ mod tests {
     }
 
     #[test]
+    fn ckpt_blob_roundtrip() {
+        let b = CkptBlob { owner: 3, epoch: 7, blob: vec![0xAA; 1000] };
+        let back: CkptBlob = from_bytes(&to_bytes(&b)).unwrap();
+        assert_eq!(back, b);
+        let a = CkptBlobAck { epoch: 7 };
+        let back: CkptBlobAck = from_bytes(&to_bytes(&a)).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let kinds = [
             KIND_ROLLBACK,
@@ -226,6 +294,8 @@ mod tests {
             KIND_GRANT_REQ,
             KIND_GRANT,
             KIND_GRANT_DONE,
+            KIND_CKPT_BLOB,
+            KIND_CKPT_BLOB_ACK,
         ];
         let mut sorted = kinds.to_vec();
         sorted.sort_unstable();

@@ -14,12 +14,10 @@
 use crate::store::CheckpointData;
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::types::RankId;
-use mini_mpi::wire::{from_bytes, to_bytes};
+use std::collections::HashSet;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-
-const MAGIC: &[u8; 8] = b"SPBCCKP1";
 
 /// Filesystem checkpoint store rooted at a directory.
 pub struct DiskStore {
@@ -44,12 +42,13 @@ impl DiskStore {
         self.root.join(format!("rank-{rank}.epoch-{epoch}.ckpt"))
     }
 
-    /// Persist a committed checkpoint (atomic: tmp + fsync + rename).
+    /// Persist a committed checkpoint (atomic: tmp + fsync + rename). The
+    /// file is a sealed `SPBCCKP2` blob: the whole body is CRC32-protected,
+    /// not just the 8-byte header.
     pub fn save(&self, rank: RankId, ck: &CheckpointData) -> Result<()> {
         let final_path = self.path_for(rank, ck.ckpt_epoch);
         let tmp = final_path.with_extension("tmp");
-        let mut body = MAGIC.to_vec();
-        body.extend_from_slice(&to_bytes(ck));
+        let body = ck.to_blob();
         let mut f = fs::File::create(&tmp)
             .map_err(|e| MpiError::app(format!("create {}: {e}", tmp.display())))?;
         f.write_all(&body).map_err(|e| MpiError::app(format!("write checkpoint: {e}")))?;
@@ -60,6 +59,8 @@ impl DiskStore {
     }
 
     /// Load one rank's checkpoint at `epoch`, if present and well-formed.
+    /// Reads both `SPBCCKP2` (checksum verified) and legacy `SPBCCKP1`
+    /// files; any framing, checksum, or decode failure is an error.
     pub fn load(&self, rank: RankId, epoch: u64) -> Result<Option<CheckpointData>> {
         let path = self.path_for(rank, epoch);
         let bytes = match fs::read(&path) {
@@ -67,10 +68,9 @@ impl DiskStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(MpiError::app(format!("read {}: {e}", path.display()))),
         };
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-            return Err(MpiError::Codec(format!("bad checkpoint header in {}", path.display())));
-        }
-        Ok(Some(from_bytes(&bytes[MAGIC.len()..])?))
+        CheckpointData::from_blob(&bytes)
+            .map(Some)
+            .map_err(|e| MpiError::Codec(format!("{} in {}", e, path.display())))
     }
 
     /// Epochs stored for `rank`, ascending.
@@ -119,17 +119,23 @@ impl DiskStore {
     }
 }
 
-/// Mirror every committed checkpoint of an in-memory store to disk.
-/// (Convenience for experiments that want durable artifacts.)
+/// Mirror committed checkpoints of an in-memory store to disk,
+/// incrementally: epochs already on disk are skipped, and only the count of
+/// *newly written* checkpoints is returned. (Convenience for experiments
+/// that want durable artifacts; safe to call after every wave without
+/// rewriting history.)
 pub fn snapshot_all(store: &crate::store::SharedStore, disk: &DiskStore) -> Result<usize> {
     let mut written = 0;
     for r in 0..store.len() {
         let rank = RankId(r as u32);
+        let have: HashSet<u64> = disk.epochs_of(rank)?.into_iter().collect();
         let slot = store.slot(rank);
         let guard = slot.lock();
         for ck in &guard.checkpoints {
-            disk.save(rank, ck)?;
-            written += 1;
+            if !have.contains(&ck.ckpt_epoch) {
+                disk.save(rank, ck)?;
+                written += 1;
+            }
         }
     }
     Ok(written)
@@ -196,6 +202,51 @@ mod tests {
         let path = store.root().join("rank-0.epoch-1.ckpt");
         fs::write(&path, b"garbage").unwrap();
         assert!(store.load(RankId(0), 1).is_err());
+
+        // A corrupt *payload* behind a valid header must also be rejected —
+        // the V1 format validated only the magic, so a body bit-flip loaded
+        // silently; the V2 body checksum catches it.
+        store.save(RankId(0), &ck(2)).unwrap();
+        let path = store.root().join("rank-0.epoch-2.ckpt");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load(RankId(0), 2).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let store = DiskStore::open(tmpdir("v1compat")).unwrap();
+        // Hand-craft a V1 file: magic + raw wire encoding, no checksum.
+        let mut bytes = b"SPBCCKP1".to_vec();
+        bytes.extend_from_slice(&mini_mpi::wire::to_bytes(&ck(3)));
+        fs::write(store.root().join("rank-1.epoch-3.ckpt"), &bytes).unwrap();
+        let back = store.load(RankId(1), 3).unwrap().unwrap();
+        assert_eq!(back.ckpt_epoch, 3);
+        assert_eq!(back.app_state, vec![1, 2, 3, 3]);
+        // Re-saving upgrades to the checksummed V2 format.
+        store.save(RankId(1), &back).unwrap();
+        let raw = fs::read(store.root().join("rank-1.epoch-3.ckpt")).unwrap();
+        assert_eq!(&raw[..8], b"SPBCCKP2");
+    }
+
+    #[test]
+    fn snapshot_all_is_incremental() {
+        use crate::store::SharedStore;
+        let disk = DiskStore::open(tmpdir("incremental")).unwrap();
+        let store = SharedStore::new(2);
+        store.slot(RankId(0)).lock().push_checkpoint(ck(1));
+        store.slot(RankId(1)).lock().push_checkpoint(ck(1));
+        assert_eq!(snapshot_all(&store, &disk).unwrap(), 2);
+        // Nothing new: nothing written.
+        assert_eq!(snapshot_all(&store, &disk).unwrap(), 0);
+        // One new wave on one rank: exactly one write.
+        store.slot(RankId(0)).lock().push_checkpoint(ck(2));
+        assert_eq!(snapshot_all(&store, &disk).unwrap(), 1);
+        assert_eq!(disk.epochs_of(RankId(0)).unwrap(), vec![1, 2]);
+        assert_eq!(disk.epochs_of(RankId(1)).unwrap(), vec![1]);
     }
 
     #[test]

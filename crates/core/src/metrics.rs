@@ -29,6 +29,21 @@ pub struct Metrics {
     pub ctrl_msgs: AtomicU64,
     /// Replay grants issued by a central coordinator (HydEE only).
     pub coordinator_grants: AtomicU64,
+    /// Checkpoint blobs pushed to partner ranks (replicated storage).
+    pub repl_pushes: AtomicU64,
+    /// Bytes of sealed checkpoint data pushed to partners.
+    pub repl_bytes: AtomicU64,
+    /// Partner-store acknowledgements received by committing ranks.
+    pub repl_acks: AtomicU64,
+    /// Checkpoints repaired from a partner copy (local copy lost/corrupt).
+    pub ckpt_repairs: AtomicU64,
+    /// Local checkpoint writes completed by the background writer.
+    pub ckpt_writes_async: AtomicU64,
+    /// Microseconds of checkpoint write latency hidden behind the
+    /// application by asynchronous writes (submit-to-durable, summed).
+    pub ckpt_write_hidden_us: AtomicU64,
+    /// Checkpoint copies removed by automatic storage GC.
+    pub ckpt_gc_pruned: AtomicU64,
 }
 
 impl Metrics {
@@ -54,7 +69,7 @@ impl Metrics {
     /// former, a crash-window gap the latter), so they are reported apart.
     pub fn summary(&self) -> String {
         format!(
-            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}",
+            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}",
             Self::get(&self.logged_msgs),
             Self::get(&self.logged_bytes),
             Self::get(&self.replayed_msgs),
@@ -66,6 +81,13 @@ impl Metrics {
             Self::get(&self.rollbacks),
             Self::get(&self.ctrl_msgs),
             Self::get(&self.coordinator_grants),
+            Self::get(&self.repl_pushes),
+            Self::get(&self.repl_bytes),
+            Self::get(&self.repl_acks),
+            Self::get(&self.ckpt_repairs),
+            Self::get(&self.ckpt_writes_async),
+            Self::get(&self.ckpt_write_hidden_us),
+            Self::get(&self.ckpt_gc_pruned),
         )
     }
 
@@ -83,6 +105,13 @@ impl Metrics {
             rollbacks: Self::get(&self.rollbacks),
             ctrl_msgs: Self::get(&self.ctrl_msgs),
             coordinator_grants: Self::get(&self.coordinator_grants),
+            repl_pushes: Self::get(&self.repl_pushes),
+            repl_bytes: Self::get(&self.repl_bytes),
+            repl_acks: Self::get(&self.repl_acks),
+            ckpt_repairs: Self::get(&self.ckpt_repairs),
+            ckpt_writes_async: Self::get(&self.ckpt_writes_async),
+            ckpt_write_hidden_us: Self::get(&self.ckpt_write_hidden_us),
+            ckpt_gc_pruned: Self::get(&self.ckpt_gc_pruned),
         }
     }
 }
@@ -113,11 +142,25 @@ pub struct MetricsSnapshot {
     pub ctrl_msgs: u64,
     /// Replay grants issued by a central coordinator (HydEE only).
     pub coordinator_grants: u64,
+    /// Checkpoint blobs pushed to partner ranks (replicated storage).
+    pub repl_pushes: u64,
+    /// Bytes of sealed checkpoint data pushed to partners.
+    pub repl_bytes: u64,
+    /// Partner-store acknowledgements received by committing ranks.
+    pub repl_acks: u64,
+    /// Checkpoints repaired from a partner copy (local copy lost/corrupt).
+    pub ckpt_repairs: u64,
+    /// Local checkpoint writes completed by the background writer.
+    pub ckpt_writes_async: u64,
+    /// Microseconds of write latency hidden by asynchronous writes.
+    pub ckpt_write_hidden_us: u64,
+    /// Checkpoint copies removed by automatic storage GC.
+    pub ckpt_gc_pruned: u64,
 }
 
 impl MetricsSnapshot {
     /// The counters as `(name, value)` pairs, in declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("logged_bytes", self.logged_bytes),
             ("logged_msgs", self.logged_msgs),
@@ -130,6 +173,13 @@ impl MetricsSnapshot {
             ("rollbacks", self.rollbacks),
             ("ctrl_msgs", self.ctrl_msgs),
             ("coordinator_grants", self.coordinator_grants),
+            ("repl_pushes", self.repl_pushes),
+            ("repl_bytes", self.repl_bytes),
+            ("repl_acks", self.repl_acks),
+            ("ckpt_repairs", self.ckpt_repairs),
+            ("ckpt_writes_async", self.ckpt_writes_async),
+            ("ckpt_write_hidden_us", self.ckpt_write_hidden_us),
+            ("ckpt_gc_pruned", self.ckpt_gc_pruned),
         ]
     }
 
@@ -178,6 +228,13 @@ mod tests {
         Metrics::add(&m.rollbacks, 9);
         Metrics::add(&m.ctrl_msgs, 10);
         Metrics::add(&m.coordinator_grants, 11);
+        Metrics::add(&m.repl_pushes, 12);
+        Metrics::add(&m.repl_bytes, 13);
+        Metrics::add(&m.repl_acks, 14);
+        Metrics::add(&m.ckpt_repairs, 15);
+        Metrics::add(&m.ckpt_writes_async, 16);
+        Metrics::add(&m.ckpt_write_hidden_us, 17);
+        Metrics::add(&m.ckpt_gc_pruned, 18);
         let s = m.snapshot();
         for (i, (_, v)) in s.fields().iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);

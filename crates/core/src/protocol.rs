@@ -20,9 +20,10 @@
 
 use crate::cluster::ClusterMap;
 use crate::ctrl::{
-    CkptCounts, LastMessage, LastMessageChannel, Rollback, RollbackChannel, KIND_CKPT_ACK,
-    KIND_CKPT_COMMIT, KIND_CKPT_JOIN, KIND_CKPT_POLL, KIND_CKPT_REPORT, KIND_CKPT_RESUME,
-    KIND_GRANT, KIND_GRANT_DONE, KIND_GRANT_REQ, KIND_LASTMSG, KIND_ROLLBACK,
+    CkptBlob, CkptBlobAck, CkptCounts, LastMessage, LastMessageChannel, Rollback, RollbackChannel,
+    KIND_CKPT_ACK, KIND_CKPT_BLOB, KIND_CKPT_BLOB_ACK, KIND_CKPT_COMMIT, KIND_CKPT_JOIN,
+    KIND_CKPT_POLL, KIND_CKPT_REPORT, KIND_CKPT_RESUME, KIND_GRANT, KIND_GRANT_DONE,
+    KIND_GRANT_REQ, KIND_LASTMSG, KIND_ROLLBACK,
 };
 use crate::metrics::Metrics;
 use crate::replay::{ReplayEngine, DEFAULT_REPLAY_WINDOW};
@@ -32,13 +33,20 @@ use mini_mpi::envelope::{CtrlMsg, Envelope, Message};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::ft::{ArrivalAction, CkptOutcome, FtCtx, FtLayer, FtProvider, SendAction};
 use mini_mpi::matching::{Arrived, ArrivedBody};
-use mini_mpi::recorder::{CkptPhase, Event};
+use mini_mpi::recorder::{CkptPhase, Event, WritePhase};
 use mini_mpi::request::RecvSpec;
 use mini_mpi::types::{ChannelId, CommId, RankId};
 use mini_mpi::wire::{from_bytes, to_bytes};
 use parking_lot::Mutex;
+use spbc_ckptstore::{CkptStoreService, LoadOutcome, StoreConfig};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a committing rank waits for a partner's blob ACK before
+/// re-pushing (covers partners that died mid-wave: their restarted
+/// incarnation stores the retried copy).
+const REPL_RETRY: Duration = Duration::from_millis(250);
 
 /// How replayed messages are released during recovery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +81,20 @@ pub struct SpbcConfig {
     /// process checkpoints, and the associated memory can be freed
     /// afterwards"). Replay reads the archive transparently.
     pub free_logs_on_checkpoint: bool,
+    /// How many partner ranks (in *other* clusters) receive a replica of
+    /// each committed checkpoint. 0 disables replication (single-copy
+    /// storage, the pre-subsystem behavior). Defaults to `$SPBC_REPL_K` or 2.
+    pub replicas: usize,
+    /// Write local checkpoint copies through the background writer so the
+    /// commit barrier does not pay serialization + fsync latency. Disable to
+    /// restore fully synchronous commits.
+    pub async_ckpt_writes: bool,
+}
+
+/// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
+/// copy even if the owner's cluster *and* one partner fail together).
+fn default_replicas() -> usize {
+    std::env::var("SPBC_REPL_K").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
 }
 
 impl Default for SpbcConfig {
@@ -83,6 +105,8 @@ impl Default for SpbcConfig {
             enforce_ident: true,
             replay_policy: ReplayPolicy::Windowed,
             free_logs_on_checkpoint: false,
+            replicas: default_replicas(),
+            async_ckpt_writes: true,
         }
     }
 }
@@ -94,19 +118,38 @@ pub struct SpbcProvider {
     metrics: Arc<Metrics>,
     cfg: SpbcConfig,
     disk: Option<Arc<crate::disk::DiskStore>>,
+    ckptstore: Arc<CkptStoreService>,
 }
 
 impl SpbcProvider {
-    /// Provider for the given clustering and configuration.
+    /// Provider for the given clustering and configuration. Checkpoint
+    /// storage defaults to in-memory backends (stable storage modeled as
+    /// node memory, like [`SharedStore`]); see
+    /// [`with_storage_root`](Self::with_storage_root) for real files.
     pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
         let world = clusters.world_size();
+        let store_cfg =
+            StoreConfig { async_writes: cfg.async_ckpt_writes, ..StoreConfig::default() };
         SpbcProvider {
             clusters: Arc::new(clusters),
             store: Arc::new(SharedStore::new(world)),
             metrics: Arc::new(Metrics::new()),
             cfg,
             disk: None,
+            ckptstore: Arc::new(CkptStoreService::in_memory(world, store_cfg)),
         }
+    }
+
+    /// Keep each rank's local checkpoint copies on disk under
+    /// `root/rank-<r>/own` (partner replicas stay in memory). This is the
+    /// configuration the partner-repair path is designed around: local files
+    /// can be lost or corrupted and restart still succeeds.
+    pub fn with_storage_root(mut self, root: impl AsRef<std::path::Path>) -> Result<Self> {
+        let world = self.clusters.world_size();
+        let store_cfg =
+            StoreConfig { async_writes: self.cfg.async_ckpt_writes, ..StoreConfig::default() };
+        self.ckptstore = Arc::new(CkptStoreService::on_disk(root, world, store_cfg)?);
+        Ok(self)
     }
 
     /// Additionally mirror every committed checkpoint to an on-disk store
@@ -119,6 +162,11 @@ impl SpbcProvider {
     /// The disk store, if one is attached.
     pub fn disk(&self) -> Option<Arc<crate::disk::DiskStore>> {
         self.disk.clone()
+    }
+
+    /// The checkpoint-storage service backing this run.
+    pub fn ckptstore(&self) -> Arc<CkptStoreService> {
+        Arc::clone(&self.ckptstore)
     }
 
     /// Run-wide metrics (read after the run).
@@ -151,6 +199,7 @@ impl FtProvider for SpbcProvider {
             self.cfg.clone(),
         );
         layer.disk = self.disk.clone();
+        layer.service = Some(Arc::clone(&self.ckptstore));
         Box::new(layer)
     }
 }
@@ -159,10 +208,23 @@ impl FtProvider for SpbcProvider {
 enum CkptState {
     Idle,
     Waiting,
+    /// Local checkpoint captured; blocked until every partner rank has
+    /// acknowledged its pushed replica copy.
+    AwaitRepl,
     /// Local checkpoint written; blocked until the leader's resume barrier
     /// confirms every sibling has committed too.
     AwaitResume,
     Committed,
+}
+
+/// Owner-side replication barrier: partners whose [`KIND_CKPT_BLOB_ACK`] for
+/// `epoch` is still outstanding. The blob is kept for re-pushes (a partner
+/// killed mid-wave acks from its next incarnation).
+struct ReplWait {
+    epoch: u64,
+    awaiting: HashSet<RankId>,
+    blob: Vec<u8>,
+    last_push: Instant,
 }
 
 struct LeaderState {
@@ -222,6 +284,13 @@ pub struct SpbcLayer {
 
     /// Optional on-disk mirror for committed checkpoints.
     pub(crate) disk: Option<Arc<crate::disk::DiskStore>>,
+    /// The replicated checkpoint-storage service (always set by the
+    /// provider; `Option` only so unit constructions stay cheap).
+    pub(crate) service: Option<Arc<CkptStoreService>>,
+    /// My partner ranks (other clusters) holding replica copies.
+    partners: Vec<RankId>,
+    /// Outstanding replication barrier for the wave being committed.
+    repl: Option<ReplWait>,
 }
 
 impl SpbcLayer {
@@ -236,6 +305,7 @@ impl SpbcLayer {
         let cluster = clusters.cluster_of(me);
         let persistent = store.slot(me);
         let replay = ReplayEngine::new(cfg.replay_window);
+        let partners = clusters.replica_partners(me, cfg.replicas);
         SpbcLayer {
             me,
             cluster,
@@ -261,6 +331,9 @@ impl SpbcLayer {
             awaiting_grant: None,
             granted_token: None,
             disk: None,
+            service: None,
+            partners,
+            repl: None,
         }
     }
 
@@ -552,6 +625,43 @@ impl SpbcLayer {
         if let Some(disk) = &self.disk {
             disk.save(self.me, &ck)?;
         }
+        // Stable storage via the replicated checkpoint service: seal once
+        // (CRC32 framing), reuse the bytes for the local write and every
+        // partner push.
+        let sealed = ck.to_blob();
+        if let Some(service) = &self.service {
+            // Double buffer: wait for the *previous* wave's background
+            // write, never our own — that is all the fsync latency the
+            // commit barrier ever pays.
+            service.flush_rank(self.me)?;
+            let bytes = sealed.len() as u64;
+            ctx.recorder().record(|| Event::CkptWrite {
+                epoch,
+                bytes,
+                phase: WritePhase::Submitted,
+            });
+            let rec = ctx.recorder().clone();
+            let metrics = Arc::clone(&self.metrics);
+            let is_async = service.config().async_writes;
+            service.commit_local(
+                self.me,
+                epoch,
+                sealed.clone(),
+                Some(Box::new(move |res, hidden| {
+                    if res.is_ok() {
+                        rec.record(|| Event::CkptWrite {
+                            epoch,
+                            bytes,
+                            phase: WritePhase::Completed,
+                        });
+                        if is_async {
+                            Metrics::add(&metrics.ckpt_writes_async, 1);
+                            Metrics::add(&metrics.ckpt_write_hidden_us, hidden.as_micros() as u64);
+                        }
+                    }
+                })),
+            )?;
+        }
         {
             let mut p = self.persistent.lock();
             p.push_checkpoint(ck);
@@ -563,6 +673,42 @@ impl SpbcLayer {
         }
         self.last_ckpt_epoch = epoch;
         ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Written });
+        if self.service.is_some() && !self.partners.is_empty() {
+            // Push the sealed blob to every partner; the leader's ACK waits
+            // for their store confirmations (the commit barrier includes
+            // replication, not disk).
+            let partners = self.partners.clone();
+            for &p in &partners {
+                self.push_blob_to(ctx, p, epoch, &sealed);
+            }
+            self.repl = Some(ReplWait {
+                epoch,
+                awaiting: partners.into_iter().collect(),
+                blob: sealed,
+                last_push: Instant::now(),
+            });
+            self.ckpt_state = CkptState::AwaitRepl;
+        } else {
+            self.ack_commit(ctx, epoch);
+        }
+        Ok(())
+    }
+
+    /// Send one partner its replica copy (also used for retries).
+    fn push_blob_to(&self, ctx: &mut FtCtx<'_>, partner: RankId, epoch: u64, sealed: &[u8]) {
+        let bytes = sealed.len() as u64;
+        ctx.recorder().record(|| Event::CkptReplPush { partner, epoch, bytes });
+        Metrics::add(&self.metrics.repl_pushes, 1);
+        Metrics::add(&self.metrics.repl_bytes, bytes);
+        let body = to_bytes(&CkptBlob { owner: self.me.0, epoch, blob: sealed.to_vec() });
+        // Storage traffic, not protocol control: bypass `self.ctrl` so
+        // `ctrl_msgs` keeps measuring coordination cost only.
+        ctx.send_ctrl(partner, KIND_CKPT_BLOB, body);
+    }
+
+    /// Replication barrier cleared (or not required): tell the leader this
+    /// member's checkpoint is committed and block for the resume broadcast.
+    fn ack_commit(&mut self, ctx: &mut FtCtx<'_>, epoch: u64) {
         // Do not resume yet: wait for the leader's barrier so no post-commit
         // send can land in a sibling's still-open checkpoint (see
         // [`KIND_CKPT_RESUME`]).
@@ -571,7 +717,6 @@ impl SpbcLayer {
         self.ctrl(ctx, leader, KIND_CKPT_ACK, to_bytes(&epoch));
         ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Ack });
         Metrics::add(&self.metrics.checkpoints, 1);
-        Ok(())
     }
 }
 
@@ -588,9 +733,44 @@ impl FtLayer for SpbcLayer {
         // Agree with the other (also-restarting, quiescent) cluster members
         // on the newest checkpoint wave everyone committed: a crash during a
         // commit broadcast can leave members one wave apart.
-        let members = self.clusters.members(self.cluster);
-        let target = self.shared_store.common_epoch(members);
-        let ck_opt = if target == 0 { None } else { self.persistent.lock().restore_epoch(target) };
+        let members: Vec<RankId> = self.clusters.members(self.cluster).to_vec();
+        if let Some(service) = &self.service {
+            // Settle in-flight background writes first so the storage
+            // service's epoch inventory is trustworthy (the writer thread
+            // survives rank kills, so this is a bounded wait).
+            for &m in &members {
+                service.flush_rank(m)?;
+            }
+        }
+        let target = {
+            let mem = self.shared_store.common_epoch(&members);
+            let svc = match &self.service {
+                // Partner-held copies count: a rank whose local store was
+                // destroyed still reaches the wave via repair.
+                Some(s) => s.common_epoch(&members)?,
+                None => 0,
+            };
+            mem.max(svc)
+        };
+        // Trim the in-memory cache to the restored wave (and use its copy as
+        // a fallback when the storage service has no surviving blob, e.g.
+        // replication disabled and local files lost mid-run).
+        let mut ck_opt =
+            if target == 0 { None } else { self.persistent.lock().restore_epoch(target) };
+        if target != 0 {
+            if let Some(service) = &self.service {
+                if let Some((body, outcome)) = service.load(self.me, target)? {
+                    if let LoadOutcome::Repaired { from } = outcome {
+                        Metrics::add(&self.metrics.ckpt_repairs, 1);
+                        ctx.recorder().record(|| Event::CkptRepair { epoch: target, from });
+                    }
+                    // The storage copy is authoritative: CRC-verified (the
+                    // service returns the unsealed body), and repairable
+                    // where the cache is not.
+                    ck_opt = Some(from_bytes::<CheckpointData>(&body)?);
+                }
+            }
+        }
         if target != 0 && ck_opt.is_none() {
             return Err(MpiError::InvalidState(format!(
                 "rank {} lacks checkpoint epoch {target}",
@@ -771,6 +951,58 @@ impl FtLayer for SpbcLayer {
                 self.ckpt_state = CkptState::Committed;
                 let epoch: u64 = from_bytes(&msg.data)?;
                 ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Resume });
+                // The wave is globally committed inside the cluster: storage
+                // GC can drop everything older than the previous wave (the
+                // same last-two retention the in-memory store keeps).
+                if let Some(service) = &self.service {
+                    if epoch > 1 {
+                        let keep_from = epoch - 1;
+                        let pruned = service.gc_local(self.me, keep_from)? as u64;
+                        if pruned > 0 {
+                            Metrics::add(&self.metrics.ckpt_gc_pruned, pruned);
+                            ctx.recorder().record(|| Event::CkptGc { pruned, keep_from });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            KIND_CKPT_BLOB => {
+                let cb: CkptBlob = from_bytes(&msg.data)?;
+                let owner = RankId(cb.owner);
+                let bytes = cb.blob.len() as u64;
+                if let Some(service) = &self.service {
+                    // Store synchronously: the ACK must mean "durable".
+                    // Re-pushed duplicates overwrite idempotently.
+                    let pruned = service.store_partner_copy(self.me, owner, cb.epoch, &cb.blob)?;
+                    if pruned > 0 {
+                        Metrics::add(&self.metrics.ckpt_gc_pruned, pruned as u64);
+                    }
+                    let epoch = cb.epoch;
+                    ctx.recorder().record(|| Event::CkptReplStore { owner, epoch, bytes });
+                    ctx.send_ctrl(msg.from, KIND_CKPT_BLOB_ACK, to_bytes(&CkptBlobAck { epoch }));
+                }
+                Ok(())
+            }
+            KIND_CKPT_BLOB_ACK => {
+                let ack: CkptBlobAck = from_bytes(&msg.data)?;
+                Metrics::add(&self.metrics.repl_acks, 1);
+                let done = match &mut self.repl {
+                    // Guard on the epoch: a retry can produce a duplicate ack
+                    // for an already-finished wave.
+                    Some(r) if r.epoch == ack.epoch => {
+                        r.awaiting.remove(&msg.from);
+                        let partner = msg.from;
+                        let epoch = ack.epoch;
+                        ctx.recorder().record(|| Event::CkptReplAck { partner, epoch });
+                        r.awaiting.is_empty()
+                    }
+                    _ => false,
+                };
+                if done {
+                    let epoch = self.repl.take().expect("checked above").epoch;
+                    debug_assert_eq!(self.ckpt_state, CkptState::AwaitRepl);
+                    self.ack_commit(ctx, epoch);
+                }
                 Ok(())
             }
             KIND_GRANT => self.on_grant(ctx),
@@ -810,7 +1042,20 @@ impl FtLayer for SpbcLayer {
         Ok(CkptOutcome::InProgress)
     }
 
-    fn checkpoint_poll(&mut self, _ctx: &mut FtCtx<'_>) -> Result<bool> {
+    fn checkpoint_poll(&mut self, ctx: &mut FtCtx<'_>) -> Result<bool> {
+        // Replication barrier liveness: a partner killed mid-wave lost the
+        // pushed blob with its mailbox. Re-push to still-silent partners so
+        // the restarted incarnation stores the copy and acks.
+        if let Some(r) = &mut self.repl {
+            if r.last_push.elapsed() >= REPL_RETRY && !r.awaiting.is_empty() {
+                r.last_push = Instant::now();
+                let targets: Vec<RankId> = r.awaiting.iter().copied().collect();
+                let (epoch, blob) = (r.epoch, r.blob.clone());
+                for p in targets {
+                    self.push_blob_to(ctx, p, epoch, &blob);
+                }
+            }
+        }
         if self.ckpt_state == CkptState::Committed {
             self.ckpt_state = CkptState::Idle;
             Ok(true)
@@ -821,5 +1066,14 @@ impl FtLayer for SpbcLayer {
 
     fn restored_app_state(&mut self) -> Option<Vec<u8>> {
         self.restored_app.clone()
+    }
+
+    fn on_app_done(&mut self, _ctx: &mut FtCtx<'_>) -> Result<()> {
+        // Shutdown durability: the last wave's background write must be on
+        // stable storage before the rank reports success.
+        if let Some(service) = &self.service {
+            service.flush_rank(self.me)?;
+        }
+        Ok(())
     }
 }

@@ -54,6 +54,21 @@ pub struct CheckpointData {
     pub lamport: u64,
 }
 
+impl CheckpointData {
+    /// Serialize and frame as a sealed storage blob (`SPBCCKP2` magic +
+    /// CRC32 over the wire encoding) — the unit spbc-ckptstore stores,
+    /// replicates, and verifies.
+    pub fn to_blob(&self) -> Vec<u8> {
+        spbc_ckptstore::seal(&mini_mpi::wire::to_bytes(self))
+    }
+
+    /// Parse a sealed storage blob (V2 checksum-verified; legacy `SPBCCKP1`
+    /// accepted for read-compat).
+    pub fn from_blob(bytes: &[u8]) -> Result<Self> {
+        mini_mpi::wire::from_bytes(spbc_ckptstore::unseal(bytes)?)
+    }
+}
+
 impl Encode for CheckpointData {
     fn encode(&self, out: &mut Vec<u8>) {
         self.ckpt_epoch.encode(out);

@@ -521,10 +521,49 @@ fn arrival(
                 seqnum: env.seqnum,
                 disposition: Disposition::Dropped,
             });
-            // A dropped rendezvous announcement must still be answered, or
-            // the (re-)sender would wait for a CTS forever: tell it to
-            // discard the transfer.
             if let ArrivedBody::Rts { token } = body {
+                // A duplicate announcement of a payload we still lack means
+                // the sender invalidated the transfer it announced first: it
+                // cancels outbound rendezvous when it learns of our restart,
+                // then re-sends the payload from its log. When the first
+                // announcement reached *this* incarnation too, its token now
+                // dangles at the sender — adopt the fresh one and discard
+                // the stale one, else the later CTS pulls against a dead
+                // token and the receive never completes.
+                if let Some(stale) = inner.engine.rebind_rts(&env, token) {
+                    inner.transmit_packet(
+                        env.src,
+                        Packet::Msg(Transfer::Cts {
+                            token: stale,
+                            recv_req: crate::envelope::DISCARD_REQ,
+                            dst: inner.me,
+                        }),
+                    );
+                    return Ok(());
+                }
+                // Same race, one step later: the stale announcement was
+                // already matched and CTSed. Re-CTS with the live token; if
+                // the old transfer was in fact still valid, the second Data
+                // copy fails the request-state freshness check and is
+                // dropped.
+                let rearmed = inner.reqs.iter_mut().find_map(|(id, st)| match st {
+                    ReqState::RecvMatched { env: m, .. }
+                        if m.src == env.src && m.comm == env.comm && m.seqnum == env.seqnum =>
+                    {
+                        Some(id)
+                    }
+                    _ => None,
+                });
+                if let Some(id) = rearmed {
+                    inner.transmit_packet(
+                        env.src,
+                        Packet::Msg(Transfer::Cts { token, recv_req: id.0, dst: inner.me }),
+                    );
+                    return Ok(());
+                }
+                // Payload already consumed: a dropped announcement must
+                // still be answered, or the (re-)sender would wait for a CTS
+                // forever — tell it to discard the transfer.
                 inner.transmit_packet(
                     env.src,
                     Packet::Msg(Transfer::Cts {
@@ -721,6 +760,110 @@ mod tests {
             Packet::Msg(Transfer::Cts { token: 999, recv_req: 0, dst: RankId(1) }),
         )
         .unwrap();
+    }
+
+    /// FT stub that refuses every arrival, standing in for the duplicate
+    /// filter of a recovery protocol.
+    struct DropArrivals;
+    impl FtLayer for DropArrivals {
+        fn name(&self) -> &'static str {
+            "drop-arrivals"
+        }
+        fn on_arrival(&mut self, _ctx: &mut FtCtx<'_>, _env: &Envelope) -> ArrivalAction {
+            ArrivalAction::Drop
+        }
+    }
+
+    fn rdv_env(plen: usize) -> Envelope {
+        Envelope {
+            src: RankId(0),
+            dst: RankId(1),
+            comm: COMM_WORLD,
+            tag: 5,
+            seqnum: 1,
+            plen: plen as u64,
+            lamport: 1,
+            ident: MatchIdent::DEFAULT,
+        }
+    }
+
+    #[test]
+    fn dropped_duplicate_rts_rebinds_queued_token() {
+        // The sender re-announced a payload whose first RTS is already
+        // queued here: the first token is the one the sender cancelled, so
+        // the queue entry must adopt the fresh token and the stale one be
+        // CTS-discarded.
+        let (mut inner, rxs) = make_inner(1, 2);
+        let mut ft = DropArrivals;
+        let env = rdv_env(4096);
+        inner.engine.push_unexpected(Arrived { env, body: ArrivedBody::Rts { token: 7 } });
+        handle_packet(&mut inner, &mut ft, Packet::Msg(Transfer::Rts { env, token: 8 })).unwrap();
+        match rxs[0].try_recv().unwrap() {
+            Packet::Msg(Transfer::Cts { token, recv_req, .. }) => {
+                assert_eq!(token, 7);
+                assert_eq!(recv_req, crate::envelope::DISCARD_REQ);
+            }
+            other => panic!("expected discard CTS, got {other:?}"),
+        }
+        let queued = inner.engine.unexpected_iter().next().unwrap();
+        assert!(matches!(queued.body, ArrivedBody::Rts { token: 8 }));
+    }
+
+    #[test]
+    fn dropped_duplicate_rts_recovers_matched_recv() {
+        // One step later in the same race: the stale announcement was
+        // already matched and CTSed. The duplicate must re-CTS with the
+        // live token so the payload can still be pulled.
+        let (mut inner, rxs) = make_inner(1, 2);
+        let mut ft = DropArrivals;
+        let env = rdv_env(4096);
+        let spec = RecvSpec {
+            comm: COMM_WORLD,
+            src: crate::types::Source::Rank(RankId(0)),
+            tag: crate::types::TagSel::Tag(5),
+            ident: MatchIdent::DEFAULT,
+        };
+        let req = inner.reqs.insert(ReqState::RecvMatched { env, spec });
+        handle_packet(&mut inner, &mut ft, Packet::Msg(Transfer::Rts { env, token: 9 })).unwrap();
+        match rxs[0].try_recv().unwrap() {
+            Packet::Msg(Transfer::Cts { token, recv_req, .. }) => {
+                assert_eq!(token, 9);
+                assert_eq!(recv_req, req.0);
+            }
+            other => panic!("expected re-CTS, got {other:?}"),
+        }
+        // The fresh Data completes the receive as usual.
+        let payload = Bytes::from(vec![3u8; 4096]);
+        handle_packet(
+            &mut inner,
+            &mut ft,
+            Packet::Msg(Transfer::Data { env, recv_req: req.0, payload: payload.clone() }),
+        )
+        .unwrap();
+        let (st, got) = inner.reqs.take_done(req).unwrap();
+        assert_eq!(st.src, RankId(0));
+        assert_eq!(got.unwrap(), payload);
+    }
+
+    #[test]
+    fn dropped_rts_with_no_pending_state_is_discarded() {
+        // Payload already consumed: the duplicate announcement is answered
+        // with a discard CTS so the sender's transfer resolves.
+        let (mut inner, rxs) = make_inner(1, 2);
+        let mut ft = DropArrivals;
+        handle_packet(
+            &mut inner,
+            &mut ft,
+            Packet::Msg(Transfer::Rts { env: rdv_env(4096), token: 3 }),
+        )
+        .unwrap();
+        match rxs[0].try_recv().unwrap() {
+            Packet::Msg(Transfer::Cts { token, recv_req, .. }) => {
+                assert_eq!(token, 3);
+                assert_eq!(recv_req, crate::envelope::DISCARD_REQ);
+            }
+            other => panic!("expected discard CTS, got {other:?}"),
+        }
     }
 
     #[test]

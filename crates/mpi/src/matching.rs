@@ -290,6 +290,27 @@ impl MatchEngine {
         purged.into_iter().map(|(_, env)| env).collect()
     }
 
+    /// A fresh RTS arrived for a channel message whose earlier announcement
+    /// is still queued unexpected: swap in the new token and return the stale
+    /// one. The sender cancels outbound rendezvous when it learns the
+    /// receiver restarted, then re-sends the payload from its log — so when
+    /// both announcements reached the *same* incarnation, the earlier token
+    /// is the dead one.
+    pub fn rebind_rts(&mut self, env: &Envelope, token: u64) -> Option<u64> {
+        let key = (env.comm, env.src, env.tag);
+        let bucket = self.unexpected.get_mut(&key)?;
+        for e in bucket.iter_mut() {
+            if e.arrived.env.seqnum == env.seqnum {
+                if let ArrivedBody::Rts { token: old } = &mut e.arrived.body {
+                    let stale = *old;
+                    *old = token;
+                    return Some(stale);
+                }
+            }
+        }
+        None
+    }
+
     /// Probe: first unexpected envelope matching `spec` (in arrival order),
     /// without removing it.
     pub fn probe(

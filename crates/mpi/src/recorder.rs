@@ -42,6 +42,17 @@ pub enum CkptPhase {
     Resume,
 }
 
+/// Lifecycle of an asynchronous checkpoint write (spbc-ckptstore).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePhase {
+    /// Blob handed to the background writer; the rank resumes immediately.
+    Submitted,
+    /// Background writer made the blob durable (recorded from the writer
+    /// thread, possibly long after the rank moved on — that gap is the
+    /// hidden latency).
+    Completed,
+}
+
 /// What the matching layer did with an arriving envelope.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Disposition {
@@ -185,6 +196,55 @@ pub enum Event {
         /// The operation that stalled ("wait", "checkpoint", ...).
         what: String,
     },
+    /// Asynchronous local checkpoint write progress (spbc-ckptstore).
+    CkptWrite {
+        /// Checkpoint wave epoch.
+        epoch: u64,
+        /// Sealed blob size.
+        bytes: u64,
+        /// Submitted (rank side) or Completed (writer side).
+        phase: WritePhase,
+    },
+    /// Checkpoint blob pushed to a partner rank for replicated storage.
+    CkptReplPush {
+        /// Partner holding the copy.
+        partner: RankId,
+        /// Checkpoint wave epoch.
+        epoch: u64,
+        /// Sealed blob size.
+        bytes: u64,
+    },
+    /// A partner stored a pushed checkpoint copy (receiver side).
+    CkptReplStore {
+        /// Rank owning the checkpoint.
+        owner: RankId,
+        /// Checkpoint wave epoch.
+        epoch: u64,
+        /// Sealed blob size.
+        bytes: u64,
+    },
+    /// A partner acknowledged a stored copy (owner side; closes the span
+    /// opened by [`Event::CkptReplPush`]).
+    CkptReplAck {
+        /// The acknowledging partner.
+        partner: RankId,
+        /// Checkpoint wave epoch.
+        epoch: u64,
+    },
+    /// A lost/corrupt local checkpoint was repaired from a partner copy.
+    CkptRepair {
+        /// Checkpoint wave epoch restored.
+        epoch: u64,
+        /// Partner rank whose copy survived.
+        from: RankId,
+    },
+    /// Automatic storage GC pruned old checkpoint copies.
+    CkptGc {
+        /// Copies removed.
+        pruned: u64,
+        /// Oldest epoch retained.
+        keep_from: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -220,6 +280,24 @@ impl fmt::Display for Event {
             Event::Replay { dst, comm, seqnum } => write!(f, "replay ->{dst} c{comm} s{seqnum}"),
             Event::ReplayDrained { dst } => write!(f, "replay-drained ->{dst}"),
             Event::Stall { what } => write!(f, "STALL in {what}"),
+            Event::CkptWrite { epoch, bytes, phase } => {
+                write!(f, "ckpt-write e{epoch} {bytes}B {phase:?}")
+            }
+            Event::CkptReplPush { partner, epoch, bytes } => {
+                write!(f, "repl-push ->{partner} e{epoch} {bytes}B")
+            }
+            Event::CkptReplStore { owner, epoch, bytes } => {
+                write!(f, "repl-store for {owner} e{epoch} {bytes}B")
+            }
+            Event::CkptReplAck { partner, epoch } => {
+                write!(f, "repl-ack <-{partner} e{epoch}")
+            }
+            Event::CkptRepair { epoch, from } => {
+                write!(f, "ckpt-repair e{epoch} from {from}")
+            }
+            Event::CkptGc { pruned, keep_from } => {
+                write!(f, "ckpt-gc pruned={pruned} keep-from=e{keep_from}")
+            }
         }
     }
 }
@@ -551,6 +629,30 @@ mod tests {
         assert!(dump.contains("STALL in checkpoint"));
         assert!(dump.contains("send_seq=[1/c0=>5]"));
         assert!(dump.contains("rank 1"), "every rank appears, even if idle");
+    }
+
+    #[test]
+    fn storage_events_render() {
+        let cases: Vec<(Event, &str)> = vec![
+            (
+                Event::CkptWrite { epoch: 2, bytes: 64, phase: WritePhase::Submitted },
+                "ckpt-write e2 64B Submitted",
+            ),
+            (
+                Event::CkptReplPush { partner: RankId(5), epoch: 2, bytes: 64 },
+                "repl-push ->5 e2 64B",
+            ),
+            (
+                Event::CkptReplStore { owner: RankId(1), epoch: 2, bytes: 64 },
+                "repl-store for 1 e2 64B",
+            ),
+            (Event::CkptReplAck { partner: RankId(5), epoch: 2 }, "repl-ack <-5 e2"),
+            (Event::CkptRepair { epoch: 2, from: RankId(5) }, "ckpt-repair e2 from 5"),
+            (Event::CkptGc { pruned: 3, keep_from: 4 }, "ckpt-gc pruned=3 keep-from=e4"),
+        ];
+        for (ev, want) in cases {
+            assert_eq!(ev.to_string(), want);
+        }
     }
 
     #[test]

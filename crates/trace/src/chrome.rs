@@ -3,14 +3,17 @@
 //! Converts a [`FlightLog`] into the Chrome trace-event JSON format (the
 //! `{"traceEvents":[...]}` object form), loadable in Perfetto or
 //! `chrome://tracing`. Each rank is a named thread track (`tid` = rank);
-//! checkpoint rounds are synchronous duration spans (`ph` `B`/`E`), replay
-//! windows are async spans (`ph` `b`/`e`, one id per sender→destination
-//! pair, so overlapping replays to different destinations don't fight over
-//! the thread stack), and every other protocol event is a thread-scoped
-//! instant (`ph` `i`) carrying its fields as `args`.
+//! checkpoint rounds are synchronous duration spans (`ph` `B`/`E`), while
+//! replay windows, asynchronous checkpoint writes, and replication
+//! push→ack exchanges are async spans (`ph` `b`/`e`, one id per logical
+//! flow, so overlapping flows don't fight over the thread stack), and every
+//! other protocol event is a thread-scoped instant (`ph` `i`) carrying its
+//! fields as `args`. The write/replication spans make the storage overlap
+//! visible: a `ckpt-write` span stretching past the `ckpt` round is exactly
+//! the disk latency the async writer hid from the commit barrier.
 
 use crate::json::escape;
-use mini_mpi::recorder::{CkptPhase, Event, FlightLog, RankTrace, TimedEvent};
+use mini_mpi::recorder::{CkptPhase, Event, FlightLog, RankTrace, TimedEvent, WritePhase};
 
 /// One emitted trace-event line.
 struct Emit {
@@ -42,8 +45,9 @@ fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
 
     // Open synchronous span (checkpoint round), if any: (name, begin ts).
     let mut open_ckpt: Option<String> = None;
-    // Open async replay spans: (id, name) pairs still awaiting their end.
-    let mut open_replay: Vec<(String, String)> = Vec::new();
+    // Open async spans (replay windows, checkpoint writes, replication
+    // exchanges): (id, name, cat) tuples still awaiting their end.
+    let mut open_async: Vec<(String, String, &'static str)> = Vec::new();
     let mut last_ts = 0u64;
 
     for ev in &trace.events {
@@ -83,21 +87,44 @@ fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
                 let name = format!("replay->r{dst}");
                 // A fresh Rollback supersedes the active window for the same
                 // destination: close it before opening the new one.
-                if let Some(i) = open_replay.iter().position(|(oid, _)| *oid == id) {
-                    let (oid, oname) = open_replay.remove(i);
-                    out.push(end_async(tid, ev.t_us, &oid, &oname));
-                }
-                out.push(begin_async(tid, ev.t_us, &id, &name));
-                open_replay.push((id, name));
+                open_span(&mut open_async, out, tid, ev.t_us, id, name, "replay");
                 out.push(instant(tid, ev, "replay-queued", "replay"));
             }
             Event::ReplayDrained { dst } => {
                 let id = format!("replay r{tid}->r{dst}");
-                if let Some(i) = open_replay.iter().position(|(oid, _)| *oid == id) {
-                    let (oid, oname) = open_replay.remove(i);
-                    out.push(end_async(tid, ev.t_us, &oid, &oname));
-                }
+                close_span(&mut open_async, out, tid, ev.t_us, &id);
                 out.push(instant(tid, ev, "replay-drained", "replay"));
+            }
+            Event::CkptWrite { epoch, phase, .. } => {
+                // One write in flight per rank: the double-buffered writer
+                // holds at most one queued + one running job, and a second
+                // Submitted before Completed means coalescing replaced the
+                // older job (the superseding open_span closes its span).
+                let id = format!("ckpt-write r{tid}");
+                match phase {
+                    WritePhase::Submitted => {
+                        let name = format!("ckpt-write e{epoch}");
+                        open_span(&mut open_async, out, tid, ev.t_us, id, name, "ckptstore");
+                        out.push(instant(tid, ev, "ckpt-write-submit", "ckptstore"));
+                    }
+                    WritePhase::Completed => {
+                        close_span(&mut open_async, out, tid, ev.t_us, &id);
+                        out.push(instant(tid, ev, "ckpt-write-done", "ckptstore"));
+                    }
+                }
+            }
+            Event::CkptReplPush { partner, .. } => {
+                // Push→ack flow per partner; a retry re-push supersedes the
+                // unacked span for that partner.
+                let id = format!("repl r{tid}->r{partner}");
+                let name = format!("repl->r{partner}");
+                open_span(&mut open_async, out, tid, ev.t_us, id, name, "ckptstore");
+                out.push(instant(tid, ev, "repl-push", "ckptstore"));
+            }
+            Event::CkptReplAck { partner, .. } => {
+                let id = format!("repl r{tid}->r{partner}");
+                close_span(&mut open_async, out, tid, ev.t_us, &id);
+                out.push(instant(tid, ev, "repl-ack", "ckptstore"));
             }
             other => {
                 let (name, cat) = classify(other);
@@ -111,8 +138,36 @@ fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
     if open_ckpt.take().is_some() {
         out.push(end_sync(tid, close_ts));
     }
-    for (id, name) in open_replay {
-        out.push(end_async(tid, close_ts, &id, &name));
+    for (id, name, cat) in open_async {
+        out.push(end_async(tid, close_ts, &id, &name, cat));
+    }
+}
+
+/// Open async span bookkeeping: (id, name, category).
+type OpenAsync = Vec<(String, String, &'static str)>;
+
+/// Begin an async span, superseding any still-open span with the same id (a
+/// re-queued replay window, a coalesced write, a re-pushed replica) — Chrome
+/// requires `b`/`e` balance per id.
+fn open_span(
+    open: &mut OpenAsync,
+    out: &mut Vec<Emit>,
+    tid: u32,
+    ts: u64,
+    id: String,
+    name: String,
+    cat: &'static str,
+) {
+    close_span(open, out, tid, ts, &id);
+    out.push(begin_async(tid, ts, &id, &name, cat));
+    open.push((id, name, cat));
+}
+
+/// Close the async span with `id`, if one is open.
+fn close_span(open: &mut OpenAsync, out: &mut Vec<Emit>, tid: u32, ts: u64, id: &str) {
+    if let Some(i) = open.iter().position(|(oid, _, _)| oid == id) {
+        let (oid, oname, ocat) = open.remove(i);
+        out.push(end_async(tid, ts, &oid, &oname, ocat));
     }
 }
 
@@ -131,24 +186,26 @@ fn end_sync(tid: u32, ts: u64) -> Emit {
     Emit { t_us: ts, body: format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}") }
 }
 
-fn begin_async(tid: u32, ts: u64, id: &str, name: &str) -> Emit {
+fn begin_async(tid: u32, ts: u64, id: &str, name: &str, cat: &str) -> Emit {
     Emit {
         t_us: ts,
         body: format!(
-            "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":\"replay\"}}",
+            "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":{}}}",
             escape(id),
-            escape(name)
+            escape(name),
+            escape(cat)
         ),
     }
 }
 
-fn end_async(tid: u32, ts: u64, id: &str, name: &str) -> Emit {
+fn end_async(tid: u32, ts: u64, id: &str, name: &str, cat: &str) -> Emit {
     Emit {
         t_us: ts,
         body: format!(
-            "{{\"ph\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":\"replay\"}}",
+            "{{\"ph\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":{}}}",
             escape(id),
-            escape(name)
+            escape(name),
+            escape(cat)
         ),
     }
 }
@@ -186,11 +243,17 @@ fn classify(ev: &Event) -> (&'static str, &'static str) {
         Event::LsSet { .. } => ("ls-set", "recovery"),
         Event::Replay { .. } => ("replay-msg", "replay"),
         Event::Stall { .. } => ("stall", "watchdog"),
+        Event::CkptReplStore { .. } => ("repl-store", "ckptstore"),
+        Event::CkptRepair { .. } => ("ckpt-repair", "ckptstore"),
+        Event::CkptGc { .. } => ("ckpt-gc", "ckptstore"),
         // Span-forming kinds are handled by the caller; keep a fallback so
         // the match stays exhaustive.
-        Event::Ckpt { .. } | Event::ReplayQueued { .. } | Event::ReplayDrained { .. } => {
-            ("event", "misc")
-        }
+        Event::Ckpt { .. }
+        | Event::ReplayQueued { .. }
+        | Event::ReplayDrained { .. }
+        | Event::CkptWrite { .. }
+        | Event::CkptReplPush { .. }
+        | Event::CkptReplAck { .. } => ("event", "misc"),
     }
 }
 
@@ -208,7 +271,8 @@ mod tests {
 
     /// A synthetic two-rank timeline exercising every span kind: a complete
     /// checkpoint round, an interrupted one, a drained replay window and a
-    /// superseded one.
+    /// superseded one, an async checkpoint write overlapping the resume, and
+    /// a replication push→ack exchange (one acked, one left hanging).
     fn synthetic_log() -> FlightLog {
         vec![
             RankTrace {
@@ -231,9 +295,24 @@ mod tests {
                     ),
                     te(6, 2, Event::LogAppend { dst: RankId(1), comm: 0, seqnum: 1, bytes: 64 }),
                     te(10, 3, Event::Ckpt { epoch: 1, phase: CkptPhase::Init }),
+                    te(
+                        13,
+                        14,
+                        Event::CkptWrite { epoch: 1, bytes: 96, phase: WritePhase::Submitted },
+                    ),
                     te(14, 4, Event::Ckpt { epoch: 1, phase: CkptPhase::Written }),
+                    te(14, 15, Event::CkptReplPush { partner: RankId(1), epoch: 1, bytes: 96 }),
+                    te(16, 16, Event::CkptReplAck { partner: RankId(1), epoch: 1 }),
                     te(15, 5, Event::Ckpt { epoch: 1, phase: CkptPhase::Ack }),
                     te(20, 6, Event::Ckpt { epoch: 1, phase: CkptPhase::Resume }),
+                    // The background write outlives the checkpoint round —
+                    // the hidden-latency overlap the trace must show.
+                    te(
+                        25,
+                        17,
+                        Event::CkptWrite { epoch: 1, bytes: 96, phase: WritePhase::Completed },
+                    ),
+                    te(26, 18, Event::CkptGc { pruned: 1, keep_from: 1 }),
                     te(30, 7, Event::ReplayQueued { dst: RankId(1), msgs: 2 }),
                     te(31, 8, Event::Replay { dst: RankId(1), comm: 0, seqnum: 1 }),
                     te(32, 9, Event::Replay { dst: RankId(1), comm: 0, seqnum: 2 }),
@@ -251,6 +330,7 @@ mod tests {
                 events: vec![
                     te(2, 2, Event::RankStart { epoch: 1 }),
                     te(3, 3, Event::Rollback { epoch: 1, restored_ckpt: 1 }),
+                    te(4, 7, Event::CkptRepair { epoch: 1, from: RankId(0) }),
                     te(
                         7,
                         4,
@@ -262,8 +342,11 @@ mod tests {
                             disposition: Disposition::Matched,
                         },
                     ),
-                    // Interrupted checkpoint: Init with no Resume.
+                    te(15, 8, Event::CkptReplStore { owner: RankId(0), epoch: 1, bytes: 96 }),
+                    // Interrupted checkpoint: Init with no Resume, and a
+                    // replica push the dead partner never acked.
                     te(45, 5, Event::Ckpt { epoch: 2, phase: CkptPhase::Init }),
+                    te(46, 9, Event::CkptReplPush { partner: RankId(0), epoch: 2, bytes: 96 }),
                     te(58, 6, Event::Stall { what: "wait".into() }),
                 ],
             },
@@ -346,6 +429,9 @@ mod tests {
         assert!(span_names.contains(&"ckpt e1"), "{span_names:?}");
         assert!(span_names.contains(&"ckpt e2"), "interrupted round still opens");
         assert!(span_names.contains(&"replay->r1"), "{span_names:?}");
+        assert!(span_names.contains(&"ckpt-write e1"), "{span_names:?}");
+        assert!(span_names.contains(&"repl->r1"), "{span_names:?}");
+        assert!(span_names.contains(&"repl->r0"), "unacked push still opens");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 pub use mini_mpi as mpi;
 pub use spbc_apps as apps;
 pub use spbc_baselines as baselines;
+pub use spbc_ckptstore as ckptstore;
 pub use spbc_clustering as clustering;
 pub use spbc_core as core;
 pub use spbc_harness as harness;
