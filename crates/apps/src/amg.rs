@@ -64,7 +64,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
             for _ in 0..PHASES {
                 pats.declare();
             }
-            (0, compute::init_field(p.elems, p.seed + me as u64), pats)
+            (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64)), pats)
         });
 
         while state.0 < p.iters {

@@ -26,7 +26,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
 
         let mut state: (u64, Vec<f64>) = rank
             .restore()?
-            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64))));
 
         while state.0 < p.iters {
             rank.failure_point()?;

@@ -26,10 +26,11 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
         let mut state: (u64, Vec<f64>, Vec<f64>, Patterns) = rank.restore()?.unwrap_or_else(|| {
             let mut pats = Patterns::new();
             let _shift = pats.declare();
-            let particles: Vec<f64> = compute::init_field(nparticles, p.seed + me as u64)
-                .into_iter()
-                .map(|x| (x + 1.0) / 2.0)
-                .collect();
+            let particles: Vec<f64> =
+                compute::init_field(nparticles, p.seed.wrapping_add(me as u64))
+                    .into_iter()
+                    .map(|x| (x + 1.0) / 2.0)
+                    .collect();
             (0, particles, vec![0.0; 64], pats)
         });
         let shift = PatternId(1);

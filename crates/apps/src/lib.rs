@@ -203,13 +203,9 @@ mod tests {
     fn every_workload_builds_and_runs() {
         for w in Workload::EVALUATION.iter().chain(Workload::NAS.iter()) {
             let p = AppParams { iters: 2, elems: 128, compute: 1, seed: 1, sleep_us: 0 };
-            let report = mini_mpi::Runtime::new(mini_mpi::config::RuntimeConfig::new(4))
-                .run(
-                    std::sync::Arc::new(mini_mpi::ft::NativeProvider),
-                    w.build(p),
-                    Vec::new(),
-                    None,
-                )
+            let report = mini_mpi::Runtime::builder(mini_mpi::config::RuntimeConfig::new(4))
+                .app(w.build(p))
+                .launch()
                 .unwrap()
                 .ok()
                 .unwrap();

@@ -27,7 +27,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
         let mut state: (u64, Vec<f64>, Patterns) = rank.restore()?.unwrap_or_else(|| {
             let mut pats = Patterns::new();
             let _exchange = pats.declare();
-            (0, compute::init_field(p.elems, p.seed + me as u64), pats)
+            (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64)), pats)
         });
         let exchange = spbc_core::PatternId(1);
 

@@ -24,7 +24,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
 
         let mut state: (u64, Vec<f64>) = rank
             .restore()?
-            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64))));
         while state.0 < p.iters {
             rank.failure_point()?;
             let field = &mut state.1;
@@ -79,13 +79,9 @@ mod tests {
     #[test]
     fn runs_and_is_deterministic() {
         let run = || {
-            Runtime::new(RuntimeConfig::new(8))
-                .run(
-                    Arc::new(mini_mpi::ft::NativeProvider),
-                    Arc::new(app(params())),
-                    Vec::new(),
-                    None,
-                )
+            Runtime::builder(RuntimeConfig::new(8))
+                .app(Arc::new(app(params())))
+                .launch()
                 .unwrap()
                 .ok()
                 .unwrap()

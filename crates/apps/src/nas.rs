@@ -31,7 +31,7 @@ fn adi_app(
 
         let mut state: (u64, Vec<f64>) = rank
             .restore()?
-            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64))));
         while state.0 < p.iters {
             rank.failure_point()?;
             let field = &mut state.1;
@@ -93,7 +93,7 @@ pub fn lu(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync +
 
         let mut state: (u64, Vec<f64>) = rank
             .restore()?
-            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64))));
         while state.0 < p.iters {
             rank.failure_point()?;
             let field = &mut state.1;
@@ -141,7 +141,7 @@ pub fn mg(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync +
 
         let mut state: (u64, Vec<f64>) = rank
             .restore()?
-            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed + me as u64)));
+            .unwrap_or_else(|| (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64))));
         while state.0 < p.iters {
             rank.failure_point()?;
             let field = &mut state.1;

@@ -3,7 +3,6 @@
 //! paper's introduction targets, compressed into seconds.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use spbc_apps::{AppParams, Workload};
 use spbc_core::{ClusterMap, Metrics, SpbcConfig, SpbcProvider};
@@ -24,11 +23,7 @@ fn cfg() -> RuntimeConfig {
 #[test]
 fn five_failures_across_all_clusters() {
     let w = Workload::MiniGhost;
-    let native = Runtime::new(cfg())
-        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap();
+    let native = Runtime::builder(cfg()).app(w.build(params())).launch().unwrap().ok().unwrap();
 
     let provider = Arc::new(SpbcProvider::new(
         ClusterMap::blocks(WORLD, 4),
@@ -37,14 +32,17 @@ fn five_failures_across_all_clusters() {
     // One failure per cluster plus a repeat — spread across the run so each
     // recovery completes (or overlaps harmlessly) before the next.
     let plans = vec![
-        FailurePlan { rank: RankId(0), nth: 3 },
-        FailurePlan { rank: RankId(3), nth: 9 },
-        FailurePlan { rank: RankId(4), nth: 15 },
-        FailurePlan { rank: RankId(7), nth: 21 },
-        FailurePlan { rank: RankId(1), nth: 13 },
+        FailurePlan::nth(RankId(0), 3),
+        FailurePlan::nth(RankId(3), 9),
+        FailurePlan::nth(RankId(4), 15),
+        FailurePlan::nth(RankId(7), 21),
+        FailurePlan::nth(RankId(1), 13),
     ];
-    let report = Runtime::new(cfg())
-        .run(Arc::clone(&provider) as Arc<SpbcProvider>, w.build(params()), plans, None)
+    let report = Runtime::builder(cfg())
+        .provider(provider.clone())
+        .app(w.build(params()))
+        .plans(plans)
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -66,21 +64,22 @@ fn failure_during_anothers_recovery() {
     // the runtime but overlapping at the protocol level (the Rollback
     // mirroring path).
     let w = Workload::Milc;
-    let native = Runtime::new(cfg())
-        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap();
+    let native = Runtime::builder(cfg()).app(w.build(params())).launch().unwrap().ok().unwrap();
     let provider = Arc::new(SpbcProvider::new(
         ClusterMap::blocks(WORLD, 4),
         SpbcConfig { ckpt_interval: 5, ..Default::default() },
     ));
     // Back-to-back: rank 2's cluster dies at iteration 10; rank 4's dies at
     // its own iteration 11 — while cluster {2,3} is still replaying.
-    let plans =
-        vec![FailurePlan { rank: RankId(2), nth: 11 }, FailurePlan { rank: RankId(4), nth: 12 }];
-    let report =
-        Runtime::new(cfg()).run(provider, w.build(params()), plans, None).unwrap().ok().unwrap();
+    let plans = vec![FailurePlan::nth(RankId(2), 11), FailurePlan::nth(RankId(4), 12)];
+    let report = Runtime::builder(cfg())
+        .provider(provider)
+        .app(w.build(params()))
+        .plans(plans)
+        .launch()
+        .unwrap()
+        .ok()
+        .unwrap();
     assert_eq!(report.failures_handled, 2);
     assert_eq!(native.outputs, report.outputs);
 }
@@ -88,22 +87,21 @@ fn failure_during_anothers_recovery() {
 #[test]
 fn every_evaluation_workload_survives_three_failures() {
     for w in Workload::EVALUATION {
-        let native = Runtime::new(cfg())
-            .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
-            .unwrap()
-            .ok()
-            .unwrap();
+        let native = Runtime::builder(cfg()).app(w.build(params())).launch().unwrap().ok().unwrap();
         let provider = Arc::new(SpbcProvider::new(
             ClusterMap::blocks(WORLD, 4),
             SpbcConfig { ckpt_interval: 6, ..Default::default() },
         ));
         let plans = vec![
-            FailurePlan { rank: RankId(1), nth: 5 },
-            FailurePlan { rank: RankId(6), nth: 14 },
-            FailurePlan { rank: RankId(3), nth: 25 },
+            FailurePlan::nth(RankId(1), 5),
+            FailurePlan::nth(RankId(6), 14),
+            FailurePlan::nth(RankId(3), 25),
         ];
-        let report = Runtime::new(cfg())
-            .run(provider, w.build(params()), plans, None)
+        let report = Runtime::builder(cfg())
+            .provider(provider)
+            .app(w.build(params()))
+            .plans(plans)
+            .launch()
             .unwrap()
             .ok()
             .unwrap();

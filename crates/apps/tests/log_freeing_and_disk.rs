@@ -3,11 +3,10 @@
 //! archive transparently, and committed checkpoints can be mirrored to disk.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use spbc_apps::{AppParams, Workload};
 use spbc_core::disk::DiskStore;
-use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider, Storage};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,11 +21,7 @@ fn cfg() -> RuntimeConfig {
 }
 
 fn native(w: Workload) -> RunReport {
-    Runtime::new(cfg())
-        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap()
+    Runtime::builder(cfg()).app(w.build(params())).launch().unwrap().ok().unwrap()
 }
 
 #[test]
@@ -40,13 +35,11 @@ fn freed_logs_still_recover_bitwise() {
     // Fail after the second checkpoint wave: the replay the recovering
     // cluster needs spans entries that were archived (and freed from
     // memory) by wave 1 and 2.
-    let report = Runtime::new(cfg())
-        .run(
-            Arc::clone(&provider) as Arc<SpbcProvider>,
-            w.build(params()),
-            vec![FailurePlan { rank: RankId(2), nth: 8 }],
-            None,
-        )
+    let report = Runtime::builder(cfg())
+        .provider(provider.clone())
+        .app(w.build(params()))
+        .plans(vec![FailurePlan::nth(RankId(2), 8)])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -62,8 +55,10 @@ fn freeing_actually_releases_node_memory() {
             ClusterMap::blocks(WORLD, 4),
             SpbcConfig { ckpt_interval: 3, free_logs_on_checkpoint: free, ..Default::default() },
         ));
-        Runtime::new(cfg())
-            .run(Arc::clone(&provider) as Arc<SpbcProvider>, w.build(params()), Vec::new(), None)
+        Runtime::builder(cfg())
+            .provider(provider.clone())
+            .app(w.build(params()))
+            .launch()
             .unwrap()
             .ok()
             .unwrap();
@@ -90,10 +85,13 @@ fn checkpoints_are_mirrored_to_disk() {
             ClusterMap::blocks(WORLD, 4),
             SpbcConfig { ckpt_interval: 4, ..Default::default() },
         )
-        .with_disk(DiskStore::open(&dir).unwrap()),
+        .with_storage(Storage::memory().mirror_to(DiskStore::open(&dir).unwrap()))
+        .unwrap(),
     );
-    Runtime::new(cfg())
-        .run(Arc::clone(&provider) as Arc<SpbcProvider>, w.build(params()), Vec::new(), None)
+    Runtime::builder(cfg())
+        .provider(provider.clone())
+        .app(w.build(params()))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -122,15 +120,14 @@ fn disk_mirror_with_recovery_keeps_the_common_wave_consistent() {
             ClusterMap::blocks(WORLD, 4),
             SpbcConfig { ckpt_interval: 3, ..Default::default() },
         )
-        .with_disk(DiskStore::open(&dir).unwrap()),
+        .with_storage(Storage::memory().mirror_to(DiskStore::open(&dir).unwrap()))
+        .unwrap(),
     );
-    let report = Runtime::new(cfg())
-        .run(
-            Arc::clone(&provider) as Arc<SpbcProvider>,
-            w.build(params()),
-            vec![FailurePlan { rank: RankId(5), nth: 5 }],
-            None,
-        )
+    let report = Runtime::builder(cfg())
+        .provider(provider.clone())
+        .app(w.build(params()))
+        .plans(vec![FailurePlan::nth(RankId(5), 5)])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();

@@ -4,7 +4,6 @@
 
 use mini_mpi::config::Perturb;
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use spbc_apps::{AppParams, Workload};
 use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
@@ -26,8 +25,9 @@ fn params() -> AppParams {
 fn check(w: Workload) {
     // Native reference without perturbation (results must not depend on
     // timing at all for these workloads).
-    let native = Runtime::new(RuntimeConfig::new(6))
-        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(6))
+        .app(w.build(params()))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -36,8 +36,11 @@ fn check(w: Workload) {
             ClusterMap::blocks(6, 3),
             SpbcConfig { ckpt_interval: 3, ..Default::default() },
         ));
-        let report = Runtime::new(cfg(seed))
-            .run(provider, w.build(params()), vec![FailurePlan { rank: RankId(3), nth: 6 }], None)
+        let report = Runtime::builder(cfg(seed))
+            .provider(provider)
+            .app(w.build(params()))
+            .plans(vec![FailurePlan::nth(RankId(3), 6)])
+            .launch()
             .unwrap()
             .ok()
             .unwrap();

@@ -3,7 +3,6 @@
 //! **bitwise identical** to the failure-free native execution.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use spbc_apps::{AppParams, Workload};
 use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
@@ -22,11 +21,7 @@ fn runtime_cfg() -> RuntimeConfig {
 }
 
 fn native_run(w: Workload) -> RunReport {
-    Runtime::new(runtime_cfg())
-        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap()
+    Runtime::builder(runtime_cfg()).app(w.build(params())).launch().unwrap().ok().unwrap()
 }
 
 fn spbc_run(w: Workload, plans: Vec<FailurePlan>) -> RunReport {
@@ -34,7 +29,14 @@ fn spbc_run(w: Workload, plans: Vec<FailurePlan>) -> RunReport {
         ClusterMap::blocks(WORLD, 4),
         SpbcConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    Runtime::new(runtime_cfg()).run(provider, w.build(params()), plans, None).unwrap().ok().unwrap()
+    Runtime::builder(runtime_cfg())
+        .provider(provider)
+        .app(w.build(params()))
+        .plans(plans)
+        .launch()
+        .unwrap()
+        .ok()
+        .unwrap()
 }
 
 fn check_workload(w: Workload) {
@@ -43,7 +45,7 @@ fn check_workload(w: Workload) {
     let clean = spbc_run(w, vec![]);
     assert_eq!(native.outputs, clean.outputs, "{}: failure-free mismatch", w.name());
     // Crash rank 5's cluster after the first checkpoint wave.
-    let failed = spbc_run(w, vec![FailurePlan { rank: RankId(5), nth: 7 }]);
+    let failed = spbc_run(w, vec![FailurePlan::nth(RankId(5), 7)]);
     assert_eq!(failed.failures_handled, 1, "{}", w.name());
     assert_eq!(native.outputs, failed.outputs, "{}: recovered run diverged from native", w.name());
     // Containment: only cluster {4,5} restarted.
@@ -106,7 +108,7 @@ fn early_failure_before_any_checkpoint() {
     // iteration zero, everything else replays.
     let w = Workload::MiniGhost;
     let native = native_run(w);
-    let failed = spbc_run(w, vec![FailurePlan { rank: RankId(0), nth: 2 }]);
+    let failed = spbc_run(w, vec![FailurePlan::nth(RankId(0), 2)]);
     assert_eq!(native.outputs, failed.outputs);
     assert_eq!(failed.restarts[0], 1);
 }
@@ -115,7 +117,7 @@ fn early_failure_before_any_checkpoint() {
 fn late_failure_on_last_iteration() {
     let w = Workload::Cm1;
     let native = native_run(w);
-    let failed = spbc_run(w, vec![FailurePlan { rank: RankId(7), nth: ITERS }]);
+    let failed = spbc_run(w, vec![FailurePlan::nth(RankId(7), ITERS)]);
     assert_eq!(native.outputs, failed.outputs);
     assert_eq!(failed.restarts[6..8], [1, 1]);
 }

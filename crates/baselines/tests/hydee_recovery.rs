@@ -2,7 +2,6 @@
 //! coordinator, and the serialization cost relative to SPBC.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::to_bytes;
 use spbc_baselines::{coordinator_service, HydeeConfig, HydeeProvider};
@@ -39,13 +38,12 @@ fn run_hydee(world: usize, iters: u64, plans: Vec<FailurePlan>) -> (RunReport, A
     ));
     let cfg =
         RuntimeConfig::new(world).with_services(1).with_deadlock_timeout(Duration::from_secs(10));
-    let report = Runtime::new(cfg)
-        .run(
-            Arc::clone(&provider) as Arc<HydeeProvider>,
-            Arc::new(ring_app(iters)),
-            plans,
-            Some(Arc::new(coordinator_service())),
-        )
+    let report = Runtime::builder(cfg)
+        .provider(provider.clone())
+        .app(Arc::new(ring_app(iters)))
+        .plans(plans)
+        .service(Arc::new(coordinator_service()))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -54,8 +52,9 @@ fn run_hydee(world: usize, iters: u64, plans: Vec<FailurePlan>) -> (RunReport, A
 
 #[test]
 fn hydee_failure_free_matches_native() {
-    let native = Runtime::new(RuntimeConfig::new(6))
-        .run(Arc::new(NativeProvider), Arc::new(ring_app(10)), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(6))
+        .app(Arc::new(ring_app(10)))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -67,12 +66,13 @@ fn hydee_failure_free_matches_native() {
 
 #[test]
 fn hydee_recovers_correctly_through_coordinator() {
-    let native = Runtime::new(RuntimeConfig::new(6))
-        .run(Arc::new(NativeProvider), Arc::new(ring_app(12)), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(6))
+        .app(Arc::new(ring_app(12)))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
-    let (hydee, provider) = run_hydee(6, 12, vec![FailurePlan { rank: RankId(2), nth: 7 }]);
+    let (hydee, provider) = run_hydee(6, 12, vec![FailurePlan::nth(RankId(2), 7)]);
     assert_eq!(native.outputs, hydee.outputs, "HydEE recovery must be correct");
     assert_eq!(hydee.failures_handled, 1);
     let m = provider.metrics();
@@ -86,18 +86,22 @@ fn hydee_recovers_correctly_through_coordinator() {
 #[test]
 fn hydee_replay_is_serialized_spbc_is_not() {
     // Same failure under both protocols; compare coordinator involvement.
-    let plans = || vec![FailurePlan { rank: RankId(0), nth: 7 }];
+    let plans = || vec![FailurePlan::nth(RankId(0), 7)];
     let (_, hydee_provider) = run_hydee(6, 12, plans());
 
     let spbc_provider = Arc::new(SpbcProvider::new(
         ClusterMap::blocks(6, 3),
         SpbcConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    let report = Runtime::new(RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(10)))
-        .run(Arc::clone(&spbc_provider) as Arc<SpbcProvider>, Arc::new(ring_app(12)), plans(), None)
-        .unwrap()
-        .ok()
-        .unwrap();
+    let report =
+        Runtime::builder(RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(10)))
+            .provider(spbc_provider.clone())
+            .app(Arc::new(ring_app(12)))
+            .plans(plans())
+            .launch()
+            .unwrap()
+            .ok()
+            .unwrap();
     assert_eq!(report.failures_handled, 1);
 
     let hm = hydee_provider.metrics();
@@ -114,8 +118,9 @@ fn hydee_replay_is_serialized_spbc_is_not() {
 
 #[test]
 fn hydee_pure_logging_and_coordinated_baselines_run() {
-    let native = Runtime::new(RuntimeConfig::new(4))
-        .run(Arc::new(NativeProvider), Arc::new(ring_app(8)), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(4))
+        .app(Arc::new(ring_app(8)))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -123,13 +128,11 @@ fn hydee_pure_logging_and_coordinated_baselines_run() {
         [Arc::new(spbc_baselines::pure_logging(4, 3)), Arc::new(spbc_baselines::coordinated(4, 3))]
     {
         let report =
-            Runtime::new(RuntimeConfig::new(4).with_deadlock_timeout(Duration::from_secs(10)))
-                .run(
-                    provider,
-                    Arc::new(ring_app(8)),
-                    vec![FailurePlan { rank: RankId(1), nth: 5 }],
-                    None,
-                )
+            Runtime::builder(RuntimeConfig::new(4).with_deadlock_timeout(Duration::from_secs(10)))
+                .provider(provider)
+                .app(Arc::new(ring_app(8)))
+                .plans(vec![FailurePlan::nth(RankId(1), 5)])
+                .launch()
                 .unwrap()
                 .ok()
                 .unwrap();

@@ -106,8 +106,10 @@ fn whole_run(c: &mut Criterion) {
                     ClusterMap::blocks(6, 3),
                     SpbcConfig { enforce_ident: enforce, ..Default::default() },
                 ));
-                Runtime::new(RuntimeConfig::new(6))
-                    .run(provider, Workload::Amg.build(params), Vec::new(), None)
+                Runtime::builder(RuntimeConfig::new(6))
+                    .provider(provider)
+                    .app(Workload::Amg.build(params))
+                    .launch()
                     .unwrap()
                     .ok()
                     .unwrap()

@@ -28,13 +28,11 @@ fn bench(c: &mut Criterion) {
                         ..Default::default()
                     },
                 ));
-                Runtime::new(RuntimeConfig::new(WORLD))
-                    .run(
-                        provider,
-                        Workload::MiniGhost.build(params),
-                        vec![FailurePlan { rank: RankId(4), nth: ITERS }],
-                        None,
-                    )
+                Runtime::builder(RuntimeConfig::new(WORLD))
+                    .provider(provider)
+                    .app(Workload::MiniGhost.build(params))
+                    .plans(vec![FailurePlan::nth(RankId(4), ITERS)])
+                    .launch()
                     .unwrap()
                     .ok()
                     .unwrap()

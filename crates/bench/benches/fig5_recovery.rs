@@ -29,13 +29,11 @@ fn bench(c: &mut Criterion) {
                     ClusterMap::blocks(WORLD, k),
                     SpbcConfig { ckpt_interval: ITERS / 2, ..Default::default() },
                 ));
-                let report = Runtime::new(RuntimeConfig::new(WORLD))
-                    .run(
-                        provider,
-                        Workload::MiniGhost.build(params()),
-                        vec![FailurePlan { rank: RankId(4), nth: ITERS }],
-                        None,
-                    )
+                let report = Runtime::builder(RuntimeConfig::new(WORLD))
+                    .provider(provider)
+                    .app(Workload::MiniGhost.build(params()))
+                    .plans(vec![FailurePlan::nth(RankId(4), ITERS)])
+                    .launch()
                     .unwrap()
                     .ok()
                     .unwrap();

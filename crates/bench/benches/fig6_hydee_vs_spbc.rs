@@ -29,13 +29,11 @@ fn bench(c: &mut Criterion) {
                 ClusterMap::blocks(WORLD, 4),
                 SpbcConfig { ckpt_interval: ITERS / 2, ..Default::default() },
             ));
-            Runtime::new(RuntimeConfig::new(WORLD))
-                .run(
-                    provider,
-                    Workload::NasLu.build(params()),
-                    vec![FailurePlan { rank: RankId(4), nth: ITERS }],
-                    None,
-                )
+            Runtime::builder(RuntimeConfig::new(WORLD))
+                .provider(provider)
+                .app(Workload::NasLu.build(params()))
+                .plans(vec![FailurePlan::nth(RankId(4), ITERS)])
+                .launch()
                 .unwrap()
                 .ok()
                 .unwrap()
@@ -49,13 +47,12 @@ fn bench(c: &mut Criterion) {
                 ClusterMap::blocks(WORLD, 4),
                 HydeeConfig { ckpt_interval: ITERS / 2, ..Default::default() },
             ));
-            Runtime::new(RuntimeConfig::new(WORLD).with_services(1))
-                .run(
-                    provider,
-                    Workload::NasLu.build(params()),
-                    vec![FailurePlan { rank: RankId(4), nth: ITERS }],
-                    Some(Arc::new(coordinator_service())),
-                )
+            Runtime::builder(RuntimeConfig::new(WORLD).with_services(1))
+                .provider(provider)
+                .app(Workload::NasLu.build(params()))
+                .plans(vec![FailurePlan::nth(RankId(4), ITERS)])
+                .service(Arc::new(coordinator_service()))
+                .launch()
                 .unwrap()
                 .ok()
                 .unwrap()

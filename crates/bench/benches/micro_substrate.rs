@@ -276,13 +276,9 @@ fn spawn_overhead(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g.bench_function("spawn_teardown_16_ranks", |b| {
         b.iter(|| {
-            Runtime::new(RuntimeConfig::new(16))
-                .run(
-                    Arc::new(mini_mpi::ft::NativeProvider),
-                    Arc::new(|_rank: &mut Rank| Ok(Vec::new())),
-                    Vec::new(),
-                    None,
-                )
+            Runtime::builder(RuntimeConfig::new(16))
+                .app(Arc::new(|_rank: &mut Rank| Ok(Vec::new())))
+                .launch()
                 .unwrap()
                 .ok()
                 .unwrap()

@@ -29,8 +29,10 @@ fn bench(c: &mut Criterion) {
                     ClusterMap::blocks(WORLD, k),
                     SpbcConfig::default(),
                 ));
-                let report = Runtime::new(RuntimeConfig::new(WORLD))
-                    .run(provider, Workload::MiniGhost.build(params()), Vec::new(), None)
+                let report = Runtime::builder(RuntimeConfig::new(WORLD))
+                    .provider(provider)
+                    .app(Workload::MiniGhost.build(params()))
+                    .launch()
                     .unwrap()
                     .ok()
                     .unwrap();

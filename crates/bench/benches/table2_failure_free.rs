@@ -3,7 +3,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mini_mpi::config::RuntimeConfig;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::Runtime;
 use spbc_apps::{AppParams, Workload};
 use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
@@ -22,8 +21,9 @@ fn bench(c: &mut Criterion) {
     for w in [Workload::Cm1, Workload::MiniGhost, Workload::Milc] {
         g.bench_with_input(BenchmarkId::new("native", w.name()), &w, |b, &w| {
             b.iter(|| {
-                Runtime::new(RuntimeConfig::new(WORLD))
-                    .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
+                Runtime::builder(RuntimeConfig::new(WORLD))
+                    .app(w.build(params()))
+                    .launch()
                     .unwrap()
                     .ok()
                     .unwrap()
@@ -36,8 +36,10 @@ fn bench(c: &mut Criterion) {
                     ClusterMap::blocks(WORLD, 4),
                     SpbcConfig::default(),
                 ));
-                Runtime::new(RuntimeConfig::new(WORLD))
-                    .run(provider, w.build(params()), Vec::new(), None)
+                Runtime::builder(RuntimeConfig::new(WORLD))
+                    .provider(provider)
+                    .app(w.build(params()))
+                    .launch()
                     .unwrap()
                     .ok()
                     .unwrap()

@@ -1,0 +1,141 @@
+//! The single home for `SPBC_*` environment variables.
+//!
+//! Every knob the workspace reads from the environment is declared here —
+//! one parser, one registry, one place to look when a variable misbehaves.
+//! Binaries and tests never call `std::env::var` for an `SPBC_*` name
+//! directly; they go through [`get`]/[`get_or`]/[`path`] or the bundled
+//! [`EnvOverrides`] snapshot.
+//!
+//! The full table (also in the README):
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `SPBC_REPL_K` | `2` | checkpoint replication factor (partner copies) |
+//! | `SPBC_TRACE` | unset | write the last run's Chrome trace JSON here |
+//! | `SPBC_METRICS` | unset | append one metrics JSON line per run here |
+//! | `SPBC_RANKS` | `16` | harness scale: application ranks |
+//! | `SPBC_ITERS` | `24` | harness scale: iterations per run |
+//! | `SPBC_ELEMS` | `512` | harness scale: per-rank state elements |
+//! | `SPBC_SLEEP_US` | `400` | harness scale: virtual compute per unit (µs) |
+//! | `SPBC_NODE_SIZE` | `ranks/8` (min 2) | harness scale: ranks per node |
+//! | `SPBC_REPS` | `3` | harness scale: timing repetitions |
+//! | `SPBC_TIMEOUT_SECS` | `120` | harness scale: per-run deadlock timeout |
+
+use crate::protocol::SpbcConfig;
+use mini_mpi::config::RuntimeConfig;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Ring capacity used when `SPBC_TRACE` enables the flight recorder.
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// Registry of every `SPBC_*` variable: `(name, default, meaning)`.
+/// Drives `--help` output and keeps the README table honest.
+pub const VARS: &[(&str, &str, &str)] = &[
+    ("SPBC_REPL_K", "2", "checkpoint replication factor (partner copies)"),
+    ("SPBC_TRACE", "(unset)", "write the last run's Chrome trace JSON to this path"),
+    ("SPBC_METRICS", "(unset)", "append one metrics JSON line per run to this path"),
+    ("SPBC_RANKS", "16", "harness scale: application ranks"),
+    ("SPBC_ITERS", "24", "harness scale: iterations per run"),
+    ("SPBC_ELEMS", "512", "harness scale: per-rank state elements"),
+    ("SPBC_SLEEP_US", "400", "harness scale: virtual compute per unit (us)"),
+    ("SPBC_NODE_SIZE", "ranks/8, min 2", "harness scale: ranks per simulated node"),
+    ("SPBC_REPS", "3", "harness scale: timing repetitions (median taken)"),
+    ("SPBC_TIMEOUT_SECS", "120", "harness scale: per-run deadlock timeout"),
+];
+
+/// Parse `$key`, treating unset, empty, and unparsable values as absent.
+pub fn get<T: FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().filter(|v| !v.is_empty()).and_then(|v| v.parse().ok())
+}
+
+/// Parse `$key` with a fallback.
+pub fn get_or<T: FromStr>(key: &str, default: T) -> T {
+    get(key).unwrap_or(default)
+}
+
+/// A path-valued variable; empty counts as unset.
+pub fn path(key: &str) -> Option<PathBuf> {
+    std::env::var_os(key).filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// One coherent snapshot of the environment's overrides, applied to configs
+/// rather than read piecemeal at each use site.
+#[derive(Clone, Debug, Default)]
+pub struct EnvOverrides {
+    /// `SPBC_REPL_K`: checkpoint replication factor.
+    pub repl_k: Option<usize>,
+    /// `SPBC_TRACE`: Chrome-trace output path (enables the flight recorder).
+    pub trace: Option<PathBuf>,
+    /// `SPBC_METRICS`: metrics JSONL output path.
+    pub metrics: Option<PathBuf>,
+}
+
+impl EnvOverrides {
+    /// Read the current environment.
+    pub fn from_env() -> Self {
+        EnvOverrides {
+            repl_k: get("SPBC_REPL_K"),
+            trace: path("SPBC_TRACE"),
+            metrics: path("SPBC_METRICS"),
+        }
+    }
+
+    /// Apply the protocol-level overrides to an [`SpbcConfig`].
+    pub fn apply_spbc(&self, mut cfg: SpbcConfig) -> SpbcConfig {
+        if let Some(k) = self.repl_k {
+            cfg.replicas = k;
+        }
+        cfg
+    }
+
+    /// Apply the runtime-level overrides to a [`RuntimeConfig`]
+    /// (currently: enable the flight recorder when `SPBC_TRACE` is set).
+    pub fn apply_runtime(&self, cfg: RuntimeConfig) -> RuntimeConfig {
+        if self.trace.is_some() {
+            cfg.with_flight_recorder(TRACE_RING_CAPACITY)
+        } else {
+            cfg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-mutating tests share one lock: the test harness runs threads in
+    // parallel and `set_var` is process-global.
+    static ENV_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn empty_and_garbage_are_absent() {
+        let _g = ENV_LOCK.lock();
+        std::env::set_var("SPBC_TEST_VAR", "");
+        assert_eq!(get::<usize>("SPBC_TEST_VAR"), None);
+        std::env::set_var("SPBC_TEST_VAR", "not-a-number");
+        assert_eq!(get::<usize>("SPBC_TEST_VAR"), None);
+        std::env::set_var("SPBC_TEST_VAR", "7");
+        assert_eq!(get::<usize>("SPBC_TEST_VAR"), Some(7));
+        std::env::remove_var("SPBC_TEST_VAR");
+        assert_eq!(get_or("SPBC_TEST_VAR", 3usize), 3);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let _g = ENV_LOCK.lock();
+        let ov = EnvOverrides { repl_k: Some(5), ..Default::default() };
+        assert_eq!(ov.apply_spbc(SpbcConfig::default()).replicas, 5);
+        let ov = EnvOverrides::default();
+        let before = SpbcConfig { replicas: 1, ..Default::default() };
+        assert_eq!(ov.apply_spbc(before).replicas, 1, "absent override keeps value");
+    }
+
+    #[test]
+    fn registry_covers_struct() {
+        let names: Vec<&str> = VARS.iter().map(|(n, _, _)| *n).collect();
+        for required in ["SPBC_REPL_K", "SPBC_TRACE", "SPBC_METRICS"] {
+            assert!(names.contains(&required), "{required} missing from VARS");
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod cluster;
 pub mod ctrl;
 pub mod disk;
+pub mod env;
 pub mod log;
 pub mod metrics;
 pub mod pattern;
@@ -39,4 +40,4 @@ pub mod store;
 pub use cluster::ClusterMap;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pattern::{PatternId, Patterns};
-pub use protocol::{ReplayPolicy, SpbcConfig, SpbcLayer, SpbcProvider};
+pub use protocol::{ReplayPolicy, SpbcConfig, SpbcLayer, SpbcProvider, Storage};

@@ -31,6 +31,7 @@ use crate::store::{CheckpointData, PersistentState, SharedStore};
 use bytes::Bytes;
 use mini_mpi::envelope::{CtrlMsg, Envelope, Message};
 use mini_mpi::error::{MpiError, Result};
+use mini_mpi::failure::CkptHook;
 use mini_mpi::ft::{ArrivalAction, CkptOutcome, FtCtx, FtLayer, FtProvider, SendAction};
 use mini_mpi::matching::{Arrived, ArrivedBody};
 use mini_mpi::recorder::{CkptPhase, Event, WritePhase};
@@ -94,7 +95,7 @@ pub struct SpbcConfig {
 /// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
 /// copy even if the owner's cluster *and* one partner fail together).
 fn default_replicas() -> usize {
-    std::env::var("SPBC_REPL_K").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+    crate::env::get_or("SPBC_REPL_K", 2)
 }
 
 impl Default for SpbcConfig {
@@ -121,11 +122,63 @@ pub struct SpbcProvider {
     ckptstore: Arc<CkptStoreService>,
 }
 
+/// Where a run's checkpoint data lives — the one way to pick a storage
+/// backend for [`SpbcProvider`].
+///
+/// Two independent axes are folded into one value:
+///
+/// * **backend** — where the replicated checkpoint service
+///   ([`CkptStoreService`]) keeps local copies: node memory
+///   ([`Storage::memory`], the default; stable storage modeled as RAM like
+///   [`SharedStore`]) or real files under `root/rank-<r>/own`
+///   ([`Storage::disk_root`], the configuration the partner-repair path is
+///   designed around — local files can be lost or corrupted and restart
+///   still succeeds).
+/// * **mirror** — optionally mirror every committed checkpoint to a
+///   [`DiskStore`](crate::disk::DiskStore) of durable artifacts surviving
+///   the process ([`Storage::mirror_to`]).
+///
+/// ```no_run
+/// # use spbc_core::protocol::{SpbcConfig, SpbcProvider, Storage};
+/// # use spbc_core::cluster::ClusterMap;
+/// # use spbc_core::disk::DiskStore;
+/// let provider = SpbcProvider::new(ClusterMap::blocks(8, 4), SpbcConfig::default())
+///     .with_storage(
+///         Storage::disk_root("/tmp/ckpts").mirror_to(DiskStore::open("/tmp/artifacts")?),
+///     )?;
+/// # Ok::<(), mini_mpi::error::MpiError>(())
+/// ```
+#[derive(Default)]
+pub struct Storage {
+    root: Option<std::path::PathBuf>,
+    mirror: Option<crate::disk::DiskStore>,
+}
+
+impl Storage {
+    /// In-memory backend (the default): stable storage modeled as node
+    /// memory.
+    pub fn memory() -> Self {
+        Storage::default()
+    }
+
+    /// Keep each rank's local checkpoint copies on disk under
+    /// `root/rank-<r>/own` (partner replicas stay in memory).
+    pub fn disk_root(root: impl Into<std::path::PathBuf>) -> Self {
+        Storage { root: Some(root.into()), mirror: None }
+    }
+
+    /// Additionally mirror every committed checkpoint to an on-disk store
+    /// of durable artifacts.
+    pub fn mirror_to(mut self, disk: crate::disk::DiskStore) -> Self {
+        self.mirror = Some(disk);
+        self
+    }
+}
+
 impl SpbcProvider {
     /// Provider for the given clustering and configuration. Checkpoint
-    /// storage defaults to in-memory backends (stable storage modeled as
-    /// node memory, like [`SharedStore`]); see
-    /// [`with_storage_root`](Self::with_storage_root) for real files.
+    /// storage defaults to in-memory backends; pick anything else with
+    /// [`with_storage`](Self::with_storage) and a [`Storage`] value.
     pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
         let world = clusters.world_size();
         let store_cfg =
@@ -140,23 +193,31 @@ impl SpbcProvider {
         }
     }
 
-    /// Keep each rank's local checkpoint copies on disk under
-    /// `root/rank-<r>/own` (partner replicas stay in memory). This is the
-    /// configuration the partner-repair path is designed around: local files
-    /// can be lost or corrupted and restart still succeeds.
-    pub fn with_storage_root(mut self, root: impl AsRef<std::path::Path>) -> Result<Self> {
-        let world = self.clusters.world_size();
-        let store_cfg =
-            StoreConfig { async_writes: self.cfg.async_ckpt_writes, ..StoreConfig::default() };
-        self.ckptstore = Arc::new(CkptStoreService::on_disk(root, world, store_cfg)?);
+    /// Select the checkpoint storage configuration — see [`Storage`] for
+    /// the available backends and the mirror option.
+    pub fn with_storage(mut self, storage: Storage) -> Result<Self> {
+        if let Some(root) = storage.root {
+            let world = self.clusters.world_size();
+            let store_cfg =
+                StoreConfig { async_writes: self.cfg.async_ckpt_writes, ..StoreConfig::default() };
+            self.ckptstore = Arc::new(CkptStoreService::on_disk(root, world, store_cfg)?);
+        }
+        if let Some(disk) = storage.mirror {
+            self.disk = Some(Arc::new(disk));
+        }
         Ok(self)
     }
 
-    /// Additionally mirror every committed checkpoint to an on-disk store
-    /// (durable artifacts surviving the process).
-    pub fn with_disk(mut self, disk: crate::disk::DiskStore) -> Self {
-        self.disk = Some(Arc::new(disk));
-        self
+    /// Keep each rank's local checkpoint copies on disk.
+    #[deprecated(since = "0.2.0", note = "use with_storage(Storage::disk_root(root))")]
+    pub fn with_storage_root(self, root: impl AsRef<std::path::Path>) -> Result<Self> {
+        self.with_storage(Storage::disk_root(root.as_ref()))
+    }
+
+    /// Mirror every committed checkpoint to an on-disk store.
+    #[deprecated(since = "0.2.0", note = "use with_storage(Storage::memory().mirror_to(disk))")]
+    pub fn with_disk(self, disk: crate::disk::DiskStore) -> Self {
+        self.with_storage(Storage::memory().mirror_to(disk)).expect("memory backend is infallible")
     }
 
     /// The disk store, if one is attached.
@@ -442,6 +503,27 @@ impl SpbcLayer {
             }
         }
 
+        //    The restart also invalidates any suppression watermark learned
+        //    from the peer's previous incarnation: its receive state has
+        //    regressed to exactly the `lr` values it announces here.
+        //    Keeping the old LS would suppress regenerated sends the new
+        //    incarnation never received (overlapping-failure deadlock).
+        self.ls.retain(|&(peer, _), _| peer != from);
+        self.ls_exceptions.retain(|&(peer, _), _| peer != from);
+        for ch in &rb.channels {
+            let comm = CommId(ch.comm);
+            self.ls.insert((from, comm), ch.lr);
+            //    Announced-but-lost payloads below the new watermark that
+            //    our log cannot replay (we restarted too and will regenerate
+            //    them) must bypass the fresh LS when re-sent.
+            for &s in &ch.missing {
+                let chan = ChannelId::new(self.me, from, comm);
+                if self.persistent.lock().log.find(chan, s).is_none() {
+                    self.ls_exceptions.entry((from, comm)).or_default().insert(s);
+                }
+            }
+        }
+
         // 2. LastMessage reply: what we already received from the peer
         //    (suppression watermark), with pending-payload exceptions.
         let mut lm = LastMessage::default();
@@ -572,6 +654,7 @@ impl SpbcLayer {
 
     /// Member: commit the local checkpoint (Algorithm 1 line 15).
     fn take_checkpoint(&mut self, ctx: &mut FtCtx<'_>, epoch: u64) -> Result<()> {
+        ctx.chaos_ckpt_hook(CkptHook::Write)?;
         let app_state = self
             .pending_app_state
             .take()
@@ -677,6 +760,7 @@ impl SpbcLayer {
             // Push the sealed blob to every partner; the leader's ACK waits
             // for their store confirmations (the commit barrier includes
             // replication, not disk).
+            ctx.chaos_ckpt_hook(CkptHook::Replicate)?;
             let partners = self.partners.clone();
             for &p in &partners {
                 self.push_blob_to(ctx, p, epoch, &sealed);
@@ -689,7 +773,7 @@ impl SpbcLayer {
             });
             self.ckpt_state = CkptState::AwaitRepl;
         } else {
-            self.ack_commit(ctx, epoch);
+            self.ack_commit(ctx, epoch)?;
         }
         Ok(())
     }
@@ -708,15 +792,17 @@ impl SpbcLayer {
 
     /// Replication barrier cleared (or not required): tell the leader this
     /// member's checkpoint is committed and block for the resume broadcast.
-    fn ack_commit(&mut self, ctx: &mut FtCtx<'_>, epoch: u64) {
+    fn ack_commit(&mut self, ctx: &mut FtCtx<'_>, epoch: u64) -> Result<()> {
         // Do not resume yet: wait for the leader's barrier so no post-commit
         // send can land in a sibling's still-open checkpoint (see
         // [`KIND_CKPT_RESUME`]).
+        ctx.chaos_ckpt_hook(CkptHook::CommitBarrier)?;
         self.ckpt_state = CkptState::AwaitResume;
         let leader = self.clusters.leader_of(self.me);
         self.ctrl(ctx, leader, KIND_CKPT_ACK, to_bytes(&epoch));
         ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Ack });
         Metrics::add(&self.metrics.checkpoints, 1);
+        Ok(())
     }
 }
 
@@ -1001,7 +1087,7 @@ impl FtLayer for SpbcLayer {
                 if done {
                     let epoch = self.repl.take().expect("checked above").epoch;
                     debug_assert_eq!(self.ckpt_state, CkptState::AwaitRepl);
-                    self.ack_commit(ctx, epoch);
+                    self.ack_commit(ctx, epoch)?;
                 }
                 Ok(())
             }
@@ -1032,6 +1118,7 @@ impl FtLayer for SpbcLayer {
         if self.ckpt_state != CkptState::Idle {
             return Err(MpiError::InvalidState("overlapping checkpoint".into()));
         }
+        ctx.chaos_ckpt_hook(CkptHook::WaveOpen)?;
         self.pending_app_state = Some(app_state);
         self.ckpt_state = CkptState::Waiting;
         let epoch = self.last_ckpt_epoch + 1;

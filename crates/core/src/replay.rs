@@ -34,6 +34,9 @@ pub struct ReplayEngine {
     window: usize,
     replayed_msgs: u64,
     replayed_bytes: u64,
+    /// Messages released in the current replay round (reset when every
+    /// queue drains). Drives [`Self::progress_frac`] for chaos triggers.
+    round_released: u64,
 }
 
 impl ReplayEngine {
@@ -45,6 +48,7 @@ impl ReplayEngine {
             window: window.max(1),
             replayed_msgs: 0,
             replayed_bytes: 0,
+            round_released: 0,
         }
     }
 
@@ -106,9 +110,26 @@ impl ReplayEngine {
         let msg = self.queues.get_mut(&dst)?.pop_front();
         if msg.is_some() {
             self.replayed_msgs += 1;
+            self.round_released += 1;
             self.replayed_bytes += msg.as_ref().map_or(0, |m| m.payload.len() as u64);
         }
         msg
+    }
+
+    /// Fraction of the current replay round already released:
+    /// `released / (released + still queued)`. 0.0 before anything moved,
+    /// 1.0 once the round drains. Chaos [`FailureTrigger::ReplayProgress`]
+    /// triggers key on this value.
+    ///
+    /// [`FailureTrigger::ReplayProgress`]: mini_mpi::failure::FailureTrigger
+    pub fn progress_frac(&self) -> f64 {
+        let queued = self.queued_len() as f64;
+        let released = self.round_released as f64;
+        if released + queued == 0.0 {
+            0.0
+        } else {
+            released / (released + queued)
+        }
     }
 
     /// Transmit as many queued replays as the window allows.
@@ -120,12 +141,21 @@ impl ReplayEngine {
             // First destination with work, in rank order (deterministic).
             let Some((&dst, _)) = self.queues.iter().find(|(_, q)| !q.is_empty()) else {
                 self.queues.clear();
+                self.round_released = 0;
                 return;
             };
             let msg =
                 self.queues.get_mut(&dst).and_then(VecDeque::pop_front).expect("non-empty queue");
             self.replayed_msgs += 1;
+            self.round_released += 1;
             self.replayed_bytes += msg.payload.len() as u64;
+            // Chaos window: a *survivor* dying part-way through replaying
+            // its log at a recovering cluster (the "kill during another
+            // cluster's recovery" family). The kill flag is set; the rank
+            // unwinds at its next runtime call, so stop pumping here.
+            if ctx.chaos_replay_hook(self.progress_frac()) {
+                return;
+            }
             ctx.recorder().record(|| Event::Replay {
                 dst,
                 comm: msg.env.comm.0,

@@ -9,7 +9,6 @@
 //!   watermark.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::to_bytes;
 use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
@@ -52,11 +51,7 @@ fn run_native(app: &Arc<mini_mpi::AppFn>, eager: usize) -> RunReport {
     let cfg = RuntimeConfig::new(4)
         .with_eager_threshold(eager)
         .with_deadlock_timeout(Duration::from_secs(30));
-    Runtime::new(cfg)
-        .run(Arc::new(NativeProvider), Arc::clone(app), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap()
+    Runtime::builder(cfg).app(Arc::clone(app)).launch().unwrap().ok().unwrap()
 }
 
 fn run_spbc(
@@ -71,8 +66,11 @@ fn run_spbc(
     let cfg = RuntimeConfig::new(4)
         .with_eager_threshold(eager)
         .with_deadlock_timeout(Duration::from_secs(30));
-    let report = Runtime::new(cfg)
-        .run(Arc::clone(&provider) as Arc<SpbcProvider>, Arc::clone(app), plans, None)
+    let report = Runtime::builder(cfg)
+        .provider(provider.clone())
+        .app(Arc::clone(app))
+        .plans(plans)
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -89,7 +87,7 @@ fn unexpected_message_survives_rollback_inside_checkpoint() {
     // and the checkpointed unexpected queue must restore it.
     let app = early_message_app(false);
     let native = run_native(&app, 16 * 1024);
-    let (report, _) = run_spbc(&app, 16 * 1024, vec![FailurePlan { rank: RankId(0), nth: 5 }]);
+    let (report, _) = run_spbc(&app, 16 * 1024, vec![FailurePlan::nth(RankId(0), 5)]);
     assert_eq!(report.failures_handled, 1);
     assert_eq!(native.outputs, report.outputs);
 }
@@ -120,8 +118,7 @@ fn inter_cluster_unexpected_message_not_replayed_after_rollback() {
     let native = run_native(&app, 16 * 1024);
     // Kill cluster {0,1} after its checkpoint (which contains the unexpected
     // message from rank 2).
-    let (report, provider) =
-        run_spbc(&app, 16 * 1024, vec![FailurePlan { rank: RankId(1), nth: 5 }]);
+    let (report, provider) = run_spbc(&app, 16 * 1024, vec![FailurePlan::nth(RankId(1), 5)]);
     assert_eq!(report.failures_handled, 1);
     assert_eq!(native.outputs, report.outputs);
     // Rank 2 must NOT have re-shipped the early message (it was inside the
@@ -182,11 +179,7 @@ fn pending_rendezvous_at_checkpoint_is_replayed_after_rollback() {
         let cfg = RuntimeConfig::new(4)
             .with_eager_threshold(64)
             .with_deadlock_timeout(Duration::from_secs(30));
-        Runtime::new(cfg)
-            .run(Arc::new(NativeProvider), Arc::clone(&app), Vec::new(), None)
-            .unwrap()
-            .ok()
-            .unwrap()
+        Runtime::builder(cfg).app(Arc::clone(&app)).launch().unwrap().ok().unwrap()
     };
     let provider = Arc::new(SpbcProvider::new(
         ClusterMap::blocks(4, 2),
@@ -195,13 +188,11 @@ fn pending_rendezvous_at_checkpoint_is_replayed_after_rollback() {
     let cfg = RuntimeConfig::new(4)
         .with_eager_threshold(64)
         .with_deadlock_timeout(Duration::from_secs(30));
-    let report = Runtime::new(cfg)
-        .run(
-            Arc::clone(&provider) as Arc<SpbcProvider>,
-            app,
-            vec![FailurePlan { rank: RankId(1), nth: 5 }],
-            None,
-        )
+    let report = Runtime::builder(cfg)
+        .provider(provider.clone())
+        .app(app)
+        .plans(vec![FailurePlan::nth(RankId(1), 5)])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();

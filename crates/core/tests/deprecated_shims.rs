@@ -1,0 +1,34 @@
+//! The deprecated storage shims stay behaviourally identical to
+//! `with_storage`. This is the only place in `spbc-core` allowed to call
+//! them — CI compiles everything else with `-D deprecated`.
+
+use spbc_core::disk::DiskStore;
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("spbc-shim-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+#[allow(deprecated)]
+fn storage_root_shim_builds_on_disk_service() {
+    let root = tmpdir("root");
+    let provider = SpbcProvider::new(ClusterMap::blocks(4, 2), SpbcConfig::default())
+        .with_storage_root(&root)
+        .unwrap();
+    assert!(provider.disk().is_none(), "root shim must not attach a mirror");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+#[allow(deprecated)]
+fn disk_shim_attaches_mirror() {
+    let root = tmpdir("mirror");
+    let provider = SpbcProvider::new(ClusterMap::blocks(4, 2), SpbcConfig::default())
+        .with_disk(DiskStore::open(&root).unwrap());
+    assert!(provider.disk().is_some(), "disk shim must attach the mirror");
+    let _ = std::fs::remove_dir_all(&root);
+}

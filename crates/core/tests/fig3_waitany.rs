@@ -15,7 +15,6 @@
 //! completion-order case. Both halves are demonstrated here.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::to_bytes;
 use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
@@ -89,22 +88,21 @@ fn clusters() -> ClusterMap {
 }
 
 fn run(mode: Completion, fail: bool) -> RunReport {
-    let plans = if fail { vec![FailurePlan { rank: RankId(1), nth: 1 }] } else { Vec::new() };
-    Runtime::new(RuntimeConfig::new(3).with_deadlock_timeout(Duration::from_secs(15)))
-        .run(
-            Arc::new(SpbcProvider::new(clusters(), SpbcConfig::default())),
-            Arc::new(fig3_app(mode)),
-            plans,
-            None,
-        )
+    let plans = if fail { vec![FailurePlan::nth(RankId(1), 1)] } else { Vec::new() };
+    Runtime::builder(RuntimeConfig::new(3).with_deadlock_timeout(Duration::from_secs(15)))
+        .provider(Arc::new(SpbcProvider::new(clusters(), SpbcConfig::default())))
+        .app(Arc::new(fig3_app(mode)))
+        .plans(plans)
+        .launch()
         .unwrap()
         .ok()
         .unwrap()
 }
 
 fn native(mode: Completion) -> RunReport {
-    Runtime::new(RuntimeConfig::new(3).with_deadlock_timeout(Duration::from_secs(15)))
-        .run(Arc::new(NativeProvider), Arc::new(fig3_app(mode)), Vec::new(), None)
+    Runtime::builder(RuntimeConfig::new(3).with_deadlock_timeout(Duration::from_secs(15)))
+        .app(Arc::new(fig3_app(mode)))
+        .launch()
         .unwrap()
         .ok()
         .unwrap()

@@ -5,10 +5,9 @@
 //! same application output as an undamaged native run.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::to_bytes;
-use spbc_core::{ClusterMap, Metrics, SpbcConfig, SpbcProvider};
+use spbc_core::{ClusterMap, Metrics, SpbcConfig, SpbcProvider, Storage};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -55,24 +54,32 @@ fn ring_app(iters: u64, hook: Hook) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + S
 
 fn run_native() -> RunReport {
     let noop: Hook = Arc::new(|_, _| {});
-    Runtime::new(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(10)))
-        .run(Arc::new(NativeProvider), Arc::new(ring_app(ITERS, noop)), Vec::new(), None)
+    Runtime::builder(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(10)))
+        .app(Arc::new(ring_app(ITERS, noop)))
+        .launch()
         .unwrap()
         .ok()
         .unwrap()
 }
 
 fn damaged_provider(root: &PathBuf, cfg: SpbcConfig) -> Arc<SpbcProvider> {
-    Arc::new(SpbcProvider::new(ClusterMap::blocks(WORLD, 4), cfg).with_storage_root(root).unwrap())
+    Arc::new(
+        SpbcProvider::new(ClusterMap::blocks(WORLD, 4), cfg)
+            .with_storage(Storage::disk_root(root))
+            .unwrap(),
+    )
 }
 
 /// Run SPBC over on-disk storage with the victim killed right after the
 /// sabotage hook fires. `blocks(8, 4)` puts the victim in cluster `{2, 3}`;
 /// its replica partners live in the other three clusters and survive.
 fn run_damaged(provider: Arc<SpbcProvider>, hook: Hook) -> RunReport {
-    let plans = vec![FailurePlan { rank: RankId(VICTIM), nth: SABOTAGE_AT + 1 }];
-    Runtime::new(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(10)))
-        .run(provider, Arc::new(ring_app(ITERS, hook)), plans, None)
+    let plans = vec![FailurePlan::nth(RankId(VICTIM), SABOTAGE_AT + 1)];
+    Runtime::builder(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(10)))
+        .provider(provider)
+        .app(Arc::new(ring_app(ITERS, hook)))
+        .plans(plans)
+        .launch()
         .unwrap()
         .ok()
         .unwrap()

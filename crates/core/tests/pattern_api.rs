@@ -4,7 +4,6 @@
 //! supports as-is because channels are defined per communicator.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::to_bytes;
 use spbc_core::{ClusterMap, PatternId, Patterns, SpbcConfig, SpbcProvider};
@@ -111,17 +110,16 @@ fn hybrid_app(rank: &mut Rank) -> Result<Vec<u8>> {
 #[test]
 fn hybrid_model_per_thread_communicators_recover() {
     let cfg = || RuntimeConfig::new(6).with_deadlock_timeout(Duration::from_secs(30));
-    let native = Runtime::new(cfg())
-        .run(Arc::new(NativeProvider), Arc::new(hybrid_app), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap();
+    let native = Runtime::builder(cfg()).app(Arc::new(hybrid_app)).launch().unwrap().ok().unwrap();
     let provider = Arc::new(SpbcProvider::new(
         ClusterMap::blocks(6, 3),
         SpbcConfig { ckpt_interval: 3, ..Default::default() },
     ));
-    let report = Runtime::new(cfg())
-        .run(provider, Arc::new(hybrid_app), vec![FailurePlan { rank: RankId(2), nth: 6 }], None)
+    let report = Runtime::builder(cfg())
+        .provider(provider)
+        .app(Arc::new(hybrid_app))
+        .plans(vec![FailurePlan::nth(RankId(2), 6)])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();

@@ -3,7 +3,6 @@
 //! bitwise output comparison against the native execution.
 
 use mini_mpi::failure::FailurePlan;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::wire::to_bytes;
 use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
@@ -40,8 +39,9 @@ fn ring_app(iters: u64) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync +
 }
 
 fn run_native(world: usize, iters: u64) -> RunReport {
-    Runtime::new(RuntimeConfig::new(world).with_deadlock_timeout(Duration::from_secs(10)))
-        .run(Arc::new(NativeProvider), Arc::new(ring_app(iters)), Vec::new(), None)
+    Runtime::builder(RuntimeConfig::new(world).with_deadlock_timeout(Duration::from_secs(10)))
+        .app(Arc::new(ring_app(iters)))
+        .launch()
         .unwrap()
         .ok()
         .unwrap()
@@ -56,8 +56,11 @@ fn run_spbc(
 ) -> (RunReport, Arc<SpbcProvider>) {
     let provider = Arc::new(SpbcProvider::new(clusters, cfg));
     let report =
-        Runtime::new(RuntimeConfig::new(world).with_deadlock_timeout(Duration::from_secs(10)))
-            .run(Arc::clone(&provider) as Arc<SpbcProvider>, Arc::new(ring_app(iters)), plans, None)
+        Runtime::builder(RuntimeConfig::new(world).with_deadlock_timeout(Duration::from_secs(10)))
+            .provider(provider.clone())
+            .app(Arc::new(ring_app(iters)))
+            .plans(plans)
+            .launch()
             .unwrap()
             .ok()
             .unwrap();
@@ -109,7 +112,7 @@ fn recovery_with_checkpoint_matches_native() {
     let cfg = SpbcConfig { ckpt_interval: 5, ..Default::default() };
     // Rank 2 dies the 9th time it reaches a failure point (after the first
     // checkpoint wave at iteration 5).
-    let plans = vec![FailurePlan { rank: RankId(2), nth: 9 }];
+    let plans = vec![FailurePlan::nth(RankId(2), 9)];
     let (spbc, provider) = run_spbc(8, 15, ClusterMap::blocks(8, 4), cfg, plans);
     assert_eq!(native.outputs, spbc.outputs, "recovered run must match bitwise");
     assert_eq!(spbc.failures_handled, 1);
@@ -124,7 +127,7 @@ fn recovery_with_checkpoint_matches_native() {
 fn recovery_without_any_checkpoint_restarts_from_scratch() {
     let native = run_native(6, 8);
     // No checkpoints ever taken; failure forces re-execution from iteration 0.
-    let plans = vec![FailurePlan { rank: RankId(5), nth: 4 }];
+    let plans = vec![FailurePlan::nth(RankId(5), 4)];
     let (spbc, _provider) = run_spbc(6, 8, ClusterMap::blocks(6, 3), SpbcConfig::default(), plans);
     assert_eq!(native.outputs, spbc.outputs);
     assert_eq!(spbc.failures_handled, 1);
@@ -135,8 +138,7 @@ fn recovery_without_any_checkpoint_restarts_from_scratch() {
 fn two_sequential_failures_different_clusters() {
     let native = run_native(8, 18);
     let cfg = SpbcConfig { ckpt_interval: 4, ..Default::default() };
-    let plans =
-        vec![FailurePlan { rank: RankId(1), nth: 6 }, FailurePlan { rank: RankId(6), nth: 14 }];
+    let plans = vec![FailurePlan::nth(RankId(1), 6), FailurePlan::nth(RankId(6), 14)];
     let (spbc, provider) = run_spbc(8, 18, ClusterMap::blocks(8, 4), cfg, plans);
     assert_eq!(native.outputs, spbc.outputs);
     assert_eq!(spbc.failures_handled, 2);
@@ -172,17 +174,16 @@ fn recovery_with_rendezvous_messages() {
             .with_eager_threshold(256) // 512 f64 = 4 KiB >> 256 B: rendezvous
             .with_deadlock_timeout(Duration::from_secs(10))
     };
-    let native = Runtime::new(mk_cfg())
-        .run(Arc::new(NativeProvider), Arc::new(app), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap();
+    let native = Runtime::builder(mk_cfg()).app(Arc::new(app)).launch().unwrap().ok().unwrap();
     let provider = Arc::new(SpbcProvider::new(
         ClusterMap::blocks(4, 2),
         SpbcConfig { ckpt_interval: 3, ..Default::default() },
     ));
-    let spbc = Runtime::new(mk_cfg())
-        .run(provider.clone(), Arc::new(app), vec![FailurePlan { rank: RankId(0), nth: 5 }], None)
+    let spbc = Runtime::builder(mk_cfg())
+        .provider(provider.clone())
+        .app(Arc::new(app))
+        .plans(vec![FailurePlan::nth(RankId(0), 5)])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -193,7 +194,7 @@ fn recovery_with_rendezvous_messages() {
 #[test]
 fn suppression_avoids_duplicate_sends() {
     let cfg = SpbcConfig { ckpt_interval: 5, ..Default::default() };
-    let plans = vec![FailurePlan { rank: RankId(0), nth: 9 }];
+    let plans = vec![FailurePlan::nth(RankId(0), 9)];
     let (_spbc, provider) = run_spbc(8, 15, ClusterMap::blocks(8, 4), cfg, plans);
     let m = provider.metrics();
     // Re-executed inter-cluster sends whose receivers already had them must
@@ -208,7 +209,7 @@ fn suppression_avoids_duplicate_sends() {
 fn failure_in_single_cluster_world_rolls_back_everyone() {
     let native = run_native(4, 10);
     let cfg = SpbcConfig { ckpt_interval: 4, ..Default::default() };
-    let plans = vec![FailurePlan { rank: RankId(3), nth: 7 }];
+    let plans = vec![FailurePlan::nth(RankId(3), 7)];
     let (spbc, provider) = run_spbc(4, 10, ClusterMap::single(4), cfg, plans);
     assert_eq!(native.outputs, spbc.outputs);
     assert_eq!(spbc.restarts, vec![1, 1, 1, 1], "coordinated-only: global rollback");
@@ -220,7 +221,7 @@ fn failure_in_single_cluster_world_rolls_back_everyone() {
 fn pure_logging_failure_containment_is_one_rank() {
     let native = run_native(4, 10);
     let cfg = SpbcConfig { ckpt_interval: 4, ..Default::default() };
-    let plans = vec![FailurePlan { rank: RankId(2), nth: 7 }];
+    let plans = vec![FailurePlan::nth(RankId(2), 7)];
     let (spbc, _provider) = run_spbc(4, 10, ClusterMap::per_rank(4), cfg, plans);
     assert_eq!(native.outputs, spbc.outputs);
     assert_eq!(spbc.restarts, vec![0, 0, 1, 0], "only the failed rank restarts");

@@ -118,13 +118,11 @@ pub fn containment_comparison(scale: &Scale) -> Result<String> {
             clusters,
             SpbcConfig { ckpt_interval: ckpt, ..Default::default() },
         ));
-        let report = mini_mpi::Runtime::new(crate::profile::runtime_cfg(scale))
-            .run(
-                provider.clone(),
-                Arc::clone(&app),
-                vec![FailurePlan { rank: RankId(0), nth: scale.iters }],
-                None,
-            )?
+        let report = mini_mpi::Runtime::builder(crate::profile::runtime_cfg(scale))
+            .provider(provider.clone())
+            .app(Arc::clone(&app))
+            .plans(vec![FailurePlan::nth(RankId(0), scale.iters)])
+            .launch()?
             .ok()?;
         crate::obs::write_trace(&report);
         crate::obs::emit_metrics(

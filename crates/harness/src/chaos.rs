@@ -1,0 +1,680 @@
+//! Chaos failure-schedule engine: seeded randomized failure campaigns that
+//! permanently fuzz the protocol's fragile windows.
+//!
+//! A *schedule* is a set of [`FailurePlan`]s generated from a seed by one of
+//! four scenario families:
+//!
+//! * [`Family::Spread`] — overlapping failures landing in different
+//!   clusters across the execution;
+//! * [`Family::SameClusterRepeat`] — a cluster killed again the moment it
+//!   finishes recovering (via [`FailureTrigger::AfterRecovery`] on its own
+//!   ranks);
+//! * [`Family::DuringRecovery`] — survivors killed while *another* cluster
+//!   recovers: an `AfterRecovery` trigger on a different cluster plus a
+//!   [`FailureTrigger::ReplayProgress`] kill of a replaying sender — the
+//!   window of the rendezvous-rebind race;
+//! * [`Family::CkptPhases`] — kills keyed to the checkpoint protocol's own
+//!   phases ([`CkptHook::WaveOpen`], [`CkptHook::Write`],
+//!   [`CkptHook::Replicate`], [`CkptHook::CommitBarrier`]) — the window of
+//!   the commit-barrier race.
+//!
+//! Every schedule runs under SPBC and is verified **bitwise** against a
+//! native (fault-free) execution of the same workload. A failing schedule is
+//! handed to [`minimize`], which greedily drops and advances triggers until
+//! no smaller schedule still fails, and the campaign prints the minimal
+//! reproducer (seed + schedule) alongside a flight-recorder dump.
+//!
+//! Determinism: the RNG is a SplitMix64 stream seeded from the campaign
+//! seed, so a printed seed reproduces its schedule exactly on any machine.
+
+use crate::obs::TRACE_RING_CAPACITY;
+use mini_mpi::failure::{CkptHook, FailurePlan, FailureTrigger};
+use mini_mpi::prelude::*;
+use spbc_apps::{AppParams, Workload};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic SplitMix64 stream (no external RNG dependency; a printed
+/// seed is a complete reproducer).
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// The four scenario families a campaign cycles through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Overlapping failures in different clusters.
+    Spread,
+    /// Repeated kills of the same cluster, back to back.
+    SameClusterRepeat,
+    /// Kills landing during another cluster's recovery (including a
+    /// replaying survivor dying mid-replay).
+    DuringRecovery,
+    /// Kills keyed to checkpoint-protocol phases.
+    CkptPhases,
+}
+
+impl Family {
+    /// Every family, in campaign order.
+    pub const ALL: [Family; 4] =
+        [Family::Spread, Family::SameClusterRepeat, Family::DuringRecovery, Family::CkptPhases];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Spread => "spread",
+            Family::SameClusterRepeat => "same-cluster-repeat",
+            Family::DuringRecovery => "during-recovery",
+            Family::CkptPhases => "ckpt-phases",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Campaign-wide fixed parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// World size (ranks).
+    pub world: usize,
+    /// Number of clusters (`world` must divide evenly).
+    pub clusters: usize,
+    /// Iterations per run.
+    pub iters: u64,
+    /// Per-rank state elements.
+    pub elems: usize,
+    /// Checkpoint every this many iterations.
+    pub ckpt_interval: u64,
+    /// Deadlock watchdog per run — a hang is a finding, not a CI timeout.
+    pub timeout: Duration,
+    /// Workloads each seed × family pair runs under.
+    pub workloads: Vec<Workload>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            world: 8,
+            clusters: 4,
+            iters: 30,
+            elems: 192,
+            ckpt_interval: 4,
+            timeout: Duration::from_secs(90),
+            workloads: vec![Workload::MiniGhost, Workload::Amg],
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The CI-sized configuration (`spbc-chaos --short`): smaller state,
+    /// fewer iterations, same topology and families.
+    pub fn short() -> Self {
+        ChaosConfig { iters: 18, elems: 64, ..ChaosConfig::default() }
+    }
+
+    fn ranks_per_cluster(&self) -> usize {
+        self.world / self.clusters
+    }
+
+    /// A rank of `cluster` chosen by `rng`.
+    fn rank_in(&self, cluster: usize, rng: &mut Rng) -> RankId {
+        let per = self.ranks_per_cluster();
+        RankId((cluster * per + rng.below(per as u64) as usize) as u32)
+    }
+
+    fn params(&self, seed: u64) -> AppParams {
+        AppParams { iters: self.iters, elems: self.elems, compute: 1, seed, sleep_us: 0 }
+    }
+}
+
+/// One generated schedule: the seed and family that produced it plus the
+/// concrete failure plans.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Campaign seed this schedule derives from.
+    pub seed: u64,
+    /// Scenario family.
+    pub family: Family,
+    /// Workload the schedule runs under.
+    pub workload: Workload,
+    /// The failure plans.
+    pub plans: Vec<FailurePlan>,
+}
+
+/// Generate the schedule for `(seed, family, workload)` under `cfg`.
+/// Deterministic: the RNG stream is derived from all three.
+pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig) -> Schedule {
+    let salt = match family {
+        Family::Spread => 1,
+        Family::SameClusterRepeat => 2,
+        Family::DuringRecovery => 3,
+        Family::CkptPhases => 4,
+    };
+    let mut rng = Rng::new(seed.wrapping_mul(0x0100_0000_01b3) ^ salt ^ (workload as u64) << 32);
+    let span = cfg.iters.saturating_sub(4).max(1);
+    let nth = |rng: &mut Rng| 2 + rng.below(span);
+    let plans = match family {
+        Family::Spread => {
+            // 2-4 kills in distinct clusters; iterations may overlap, so
+            // recoveries can run concurrently.
+            let n = 2 + rng.below(3) as usize;
+            let mut clusters: Vec<usize> = (0..cfg.clusters).collect();
+            (0..n.min(cfg.clusters))
+                .map(|_| {
+                    let c = clusters.remove(rng.below(clusters.len() as u64) as usize);
+                    let victim = cfg.rank_in(c, &mut rng);
+                    FailurePlan::nth(victim, nth(&mut rng))
+                })
+                .collect()
+        }
+        Family::SameClusterRepeat => {
+            // Kill cluster c, then have it kill itself again right after
+            // each recovery: the AfterRecovery victims are armed when the
+            // cluster respawns and die at their next failure site.
+            let c = rng.below(cfg.clusters as u64) as usize;
+            let mut plans = vec![FailurePlan::nth(cfg.rank_in(c, &mut rng), nth(&mut rng))];
+            let repeats = 1 + rng.below(2);
+            for k in 1..=repeats {
+                plans.push(FailurePlan::after_recovery(cfg.rank_in(c, &mut rng), c, k));
+            }
+            plans
+        }
+        Family::DuringRecovery => {
+            // Kill cluster a; the instant a respawns, kill a rank of a
+            // *different* cluster b (so b dies while a is still rolling
+            // back / replaying); plus a survivor in cluster s that dies
+            // part-way through replaying its log.
+            let a = rng.below(cfg.clusters as u64) as usize;
+            let b = (a + 1 + rng.below(cfg.clusters as u64 - 1) as usize) % cfg.clusters;
+            let s = (a + 1 + rng.below(cfg.clusters as u64 - 1) as usize) % cfg.clusters;
+            let frac = 0.1 + 0.2 * rng.below(5) as f64;
+            vec![
+                FailurePlan::nth(cfg.rank_in(a, &mut rng), nth(&mut rng)),
+                FailurePlan::after_recovery(cfg.rank_in(b, &mut rng), a, 1),
+                FailurePlan::at_replay_progress(cfg.rank_in(s, &mut rng), frac),
+            ]
+        }
+        Family::CkptPhases => {
+            // 1-2 kills keyed to checkpoint phases, plus possibly one plain
+            // failure-point kill to stack a recovery on top of a wave.
+            const HOOKS: [CkptHook; 4] =
+                [CkptHook::WaveOpen, CkptHook::Write, CkptHook::Replicate, CkptHook::CommitBarrier];
+            let n = 1 + rng.below(2) as usize;
+            let mut plans: Vec<FailurePlan> = (0..n)
+                .map(|_| {
+                    let c = rng.below(cfg.clusters as u64) as usize;
+                    let hook = *rng.pick(&HOOKS);
+                    FailurePlan::at_phase(cfg.rank_in(c, &mut rng), hook, 1 + rng.below(3))
+                })
+                .collect();
+            if rng.below(2) == 1 {
+                let c = rng.below(cfg.clusters as u64) as usize;
+                plans.push(FailurePlan::nth(cfg.rank_in(c, &mut rng), nth(&mut rng)));
+            }
+            plans
+        }
+    };
+    Schedule { seed, family, workload, plans }
+}
+
+/// Why a schedule failed verification.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Run completed and matched the native baseline bitwise.
+    Pass,
+    /// Run errored, hung (watchdog), or diverged from the baseline.
+    Fail {
+        /// Human-readable cause.
+        reason: String,
+        /// Flight-recorder dump of the failing run, when available.
+        flight_dump: Option<String>,
+    },
+}
+
+impl Verdict {
+    /// Is this a failure?
+    pub fn failed(&self) -> bool {
+        matches!(self, Verdict::Fail { .. })
+    }
+}
+
+/// Runs schedules and memoizes the native baselines per `(workload, seed)`.
+pub struct Oracle {
+    cfg: ChaosConfig,
+    baselines: HashMap<(Workload, u64), Vec<Vec<u8>>>,
+    /// Total SPBC runs executed (campaign + minimization).
+    pub runs: u64,
+}
+
+impl Oracle {
+    /// Oracle over `cfg`.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Oracle { cfg, baselines: HashMap::new(), runs: 0 }
+    }
+
+    /// The campaign configuration.
+    pub fn cfg(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    fn runtime_cfg(&self) -> RuntimeConfig {
+        RuntimeConfig::new(self.cfg.world)
+            .with_deadlock_timeout(self.cfg.timeout)
+            .with_flight_recorder(TRACE_RING_CAPACITY)
+    }
+
+    fn baseline(&mut self, workload: Workload, seed: u64) -> Result<Vec<Vec<u8>>> {
+        if let Some(out) = self.baselines.get(&(workload, seed)) {
+            return Ok(out.clone());
+        }
+        let params = self.cfg.params(seed);
+        let report = Runtime::builder(RuntimeConfig::new(self.cfg.world))
+            .app(workload.build(params))
+            .launch()?
+            .ok()?;
+        self.baselines.insert((workload, seed), report.outputs.clone());
+        Ok(report.outputs)
+    }
+
+    /// Run `schedule` under SPBC and verify bitwise against the native
+    /// baseline of the same workload and seed.
+    pub fn run(&mut self, schedule: &Schedule) -> Verdict {
+        self.run_plans(schedule.workload, schedule.seed, &schedule.plans)
+    }
+
+    /// [`Self::run`] with an explicit plan set (the minimizer's probe).
+    pub fn run_plans(&mut self, workload: Workload, seed: u64, plans: &[FailurePlan]) -> Verdict {
+        let native = match self.baseline(workload, seed) {
+            Ok(n) => n,
+            Err(e) => {
+                return Verdict::Fail { reason: format!("native baseline: {e}"), flight_dump: None }
+            }
+        };
+        self.runs += 1;
+        let params = self.cfg.params(seed);
+        let provider = Arc::new(SpbcProvider::new(
+            ClusterMap::blocks(self.cfg.world, self.cfg.clusters),
+            SpbcConfig { ckpt_interval: self.cfg.ckpt_interval, ..Default::default() },
+        ));
+        let report = Runtime::builder(self.runtime_cfg())
+            .provider(provider)
+            .app(workload.build(params))
+            .plans(plans.iter().cloned())
+            .launch();
+        match report {
+            Err(e) => Verdict::Fail { reason: format!("runtime: {e}"), flight_dump: None },
+            Ok(r) if !r.errors.is_empty() => {
+                let (rank, msg) = &r.errors[0];
+                Verdict::Fail {
+                    reason: format!("rank {rank} error: {msg}"),
+                    flight_dump: r.flight_dump.or_else(|| r.flight.as_ref().map(dump_flight)),
+                }
+            }
+            Ok(r) if r.outputs != native => {
+                let diverged: Vec<usize> = native
+                    .iter()
+                    .zip(&r.outputs)
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(i, _)| i)
+                    .collect();
+                Verdict::Fail {
+                    reason: format!("outputs diverge from native at ranks {diverged:?}"),
+                    flight_dump: r.flight.as_ref().map(dump_flight),
+                }
+            }
+            Ok(_) => Verdict::Pass,
+        }
+    }
+}
+
+/// Compact text dump of a flight log: the tail of each rank's event ring.
+fn dump_flight(log: &mini_mpi::recorder::FlightLog) -> String {
+    let mut out = String::from("=== flight recorder (tail) ===\n");
+    for t in log {
+        out.push_str(&format!(
+            "-- rank {}: {} events ({} evicted)\n",
+            t.rank,
+            t.dropped + t.events.len() as u64,
+            t.dropped
+        ));
+        let skip = t.events.len().saturating_sub(12);
+        for e in &t.events[skip..] {
+            out.push_str(&format!("   [{:>10}us #{:>6}] {}\n", e.t_us, e.seq, e.event));
+        }
+    }
+    out
+}
+
+/// One advancement step of a trigger towards "simpler / earlier", or `None`
+/// when it is already minimal. Every step strictly decreases a positive
+/// quantity, so minimization terminates.
+pub fn advance(t: &FailureTrigger) -> Option<FailureTrigger> {
+    match *t {
+        FailureTrigger::NthFailurePoint { nth } if nth > 1 => {
+            Some(FailureTrigger::NthFailurePoint { nth: nth - 1 })
+        }
+        FailureTrigger::CkptPhase { phase, nth } if nth > 1 => {
+            Some(FailureTrigger::CkptPhase { phase, nth: nth - 1 })
+        }
+        FailureTrigger::ReplayProgress { frac } if frac > 0.1 => {
+            Some(FailureTrigger::ReplayProgress { frac: frac / 2.0 })
+        }
+        FailureTrigger::AfterRecovery { of_cluster, nth } if nth > 1 => {
+            Some(FailureTrigger::AfterRecovery { of_cluster, nth: nth - 1 })
+        }
+        _ => None,
+    }
+}
+
+/// Greedy schedule minimization: repeatedly (a) try dropping each trigger,
+/// (b) try advancing each trigger one step, keeping any change under which
+/// `fails` still returns true, until a fixpoint. The result is **monotone**:
+/// it still fails the same oracle (every kept candidate was re-verified).
+pub fn minimize<F>(plans: &[FailurePlan], mut fails: F) -> Vec<FailurePlan>
+where
+    F: FnMut(&[FailurePlan]) -> bool,
+{
+    let mut cur: Vec<FailurePlan> = plans.to_vec();
+    loop {
+        let mut changed = false;
+        // Drop pass: remove one trigger at a time.
+        let mut i = 0;
+        while i < cur.len() {
+            if cur.len() > 1 {
+                let mut cand = cur.clone();
+                cand.remove(i);
+                if fails(&cand) {
+                    cur = cand;
+                    changed = true;
+                    continue; // same index now holds the next trigger
+                }
+            }
+            i += 1;
+        }
+        // Advance pass: simplify each surviving trigger as far as it goes.
+        for i in 0..cur.len() {
+            while let Some(simpler) = advance(&cur[i].trigger) {
+                let mut cand = cur.clone();
+                cand[i].trigger = simpler;
+                if fails(&cand) {
+                    cur = cand;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return cur;
+        }
+    }
+}
+
+/// A schedule that failed, after minimization.
+#[derive(Clone, Debug)]
+pub struct FailureCase {
+    /// The schedule as generated (pre-minimization).
+    pub schedule: Schedule,
+    /// Why it failed.
+    pub reason: String,
+    /// Minimal plan set that still fails.
+    pub minimized: Vec<FailurePlan>,
+    /// Flight-recorder dump of the original failing run.
+    pub flight_dump: Option<String>,
+}
+
+impl FailureCase {
+    /// The complete reproducer, ready to paste into a bug report.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "CHAOS FAILURE seed={} family={} workload={:?}\n  reason: {}\n",
+            self.schedule.seed, self.schedule.family, self.schedule.workload, self.reason
+        ));
+        out.push_str(&format!("  original schedule ({} triggers):\n", self.schedule.plans.len()));
+        for p in &self.schedule.plans {
+            out.push_str(&format!("    {p:?}\n"));
+        }
+        out.push_str(&format!("  minimal schedule ({} triggers):\n", self.minimized.len()));
+        for p in &self.minimized {
+            out.push_str(&format!("    {p:?}\n"));
+        }
+        if let Some(d) = &self.flight_dump {
+            out.push_str(d);
+        }
+        out
+    }
+}
+
+/// Campaign summary.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Schedules executed.
+    pub total: u64,
+    /// Schedules that passed bitwise verification.
+    pub passed: u64,
+    /// Minimized failures.
+    pub failures: Vec<FailureCase>,
+}
+
+/// Run `seeds` base seeds × every family × every configured workload
+/// (`seeds × 4 × workloads.len()` schedules), minimizing every failure.
+/// Progress goes to stderr; the returned report holds the reproducers.
+pub fn run_campaign(seeds: u64, cfg: ChaosConfig) -> CampaignReport {
+    let workloads = cfg.workloads.clone();
+    let mut oracle = Oracle::new(cfg);
+    let mut report = CampaignReport::default();
+    for seed in 0..seeds {
+        for family in Family::ALL {
+            for &workload in &workloads {
+                let schedule = generate(seed, family, workload, oracle.cfg());
+                report.total += 1;
+                match oracle.run(&schedule) {
+                    Verdict::Pass => {
+                        report.passed += 1;
+                        eprintln!(
+                            "chaos: PASS seed={seed} family={family} workload={workload:?} \
+                             triggers={}",
+                            schedule.plans.len()
+                        );
+                    }
+                    Verdict::Fail { reason, flight_dump } => {
+                        eprintln!(
+                            "chaos: FAIL seed={seed} family={family} workload={workload:?} — \
+                             {reason}; minimizing"
+                        );
+                        let minimized = minimize(&schedule.plans, |cand| {
+                            oracle.run_plans(workload, seed, cand).failed()
+                        });
+                        let case = FailureCase { schedule, reason, minimized, flight_dump };
+                        eprint!("{}", case.reproducer());
+                        report.failures.push(case);
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The pinned regression schedules: seeds and families that exercise the
+/// exact windows of two races fixed earlier in this repo's history, kept
+/// hot so they can never silently return.
+pub mod pinned {
+    use super::*;
+
+    /// Commit-barrier race window: a member killed *between* sending its
+    /// `CKPT_ACK` and receiving the leader's `CKPT_RESUME` (plus a second
+    /// cluster dying inside the write phase of the same wave).
+    pub fn commit_barrier() -> Schedule {
+        Schedule {
+            seed: u64::MAX, // hand-written, not generated
+            family: Family::CkptPhases,
+            workload: Workload::MiniGhost,
+            plans: vec![
+                FailurePlan::at_phase(RankId(2), CkptHook::CommitBarrier, 1),
+                FailurePlan::at_phase(RankId(5), CkptHook::Write, 2),
+            ],
+        }
+    }
+
+    /// Rendezvous-rebind race window: a cluster dies, and while survivors
+    /// replay their logs at it, one of the replaying senders is killed
+    /// mid-replay and another cluster dies outright.
+    pub fn rendezvous_rebind() -> Schedule {
+        Schedule {
+            seed: u64::MAX,
+            family: Family::DuringRecovery,
+            workload: Workload::MiniGhost,
+            plans: vec![
+                FailurePlan::nth(RankId(0), 5),
+                FailurePlan::at_replay_progress(RankId(4), 0.3),
+                FailurePlan::after_recovery(RankId(6), 0, 1),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn schedules_are_reproducible_and_in_range() {
+        let cfg = ChaosConfig::short();
+        for seed in 0..16 {
+            for family in Family::ALL {
+                let s1 = generate(seed, family, Workload::MiniGhost, &cfg);
+                let s2 = generate(seed, family, Workload::MiniGhost, &cfg);
+                assert_eq!(format!("{:?}", s1.plans), format!("{:?}", s2.plans));
+                assert!(!s1.plans.is_empty());
+                for p in &s1.plans {
+                    assert!((p.rank.idx()) < cfg.world, "rank in world: {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn families_differ() {
+        let cfg = ChaosConfig::short();
+        let spread = generate(3, Family::Spread, Workload::MiniGhost, &cfg);
+        let phases = generate(3, Family::CkptPhases, Workload::MiniGhost, &cfg);
+        assert_ne!(format!("{:?}", spread.plans), format!("{:?}", phases.plans));
+        assert!(spread
+            .plans
+            .iter()
+            .all(|p| matches!(p.trigger, FailureTrigger::NthFailurePoint { .. })));
+        assert!(phases.plans.iter().any(|p| matches!(p.trigger, FailureTrigger::CkptPhase { .. })));
+    }
+
+    /// The acceptance demo: an intentionally broken oracle (fails whenever
+    /// any trigger touches cluster 0, i.e. ranks 0-1) must shrink a 6-trigger
+    /// schedule to <= 2 triggers, and the minimized schedule must still fail
+    /// the same oracle (monotone).
+    #[test]
+    fn minimizer_shrinks_against_broken_oracle() {
+        let broken = |plans: &[FailurePlan]| plans.iter().any(|p| p.rank.idx() < 2);
+        let schedule = vec![
+            FailurePlan::nth(RankId(0), 9),
+            FailurePlan::nth(RankId(3), 4),
+            FailurePlan::at_phase(RankId(1), CkptHook::CommitBarrier, 3),
+            FailurePlan::at_replay_progress(RankId(5), 0.8),
+            FailurePlan::after_recovery(RankId(6), 0, 2),
+            FailurePlan::nth(RankId(7), 12),
+        ];
+        assert!(broken(&schedule), "schedule must fail before minimizing");
+        let min = minimize(&schedule, |c| broken(c));
+        assert!(min.len() <= 2, "expected <= 2 triggers, got {min:?}");
+        assert!(broken(&min), "minimization must be monotone: still fails");
+        // And fully advanced: the survivor is the cheapest reproducer.
+        for p in &min {
+            assert!(
+                advance(&p.trigger).is_none() || !broken(std::slice::from_ref(p)),
+                "not advanced: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimizer_is_monotone_on_trigger_predicates() {
+        // Oracle keyed on a *trigger property* rather than a rank: fails iff
+        // some CommitBarrier trigger is present. Dropping must keep it;
+        // advancing must stop before breaking it.
+        let failing = |plans: &[FailurePlan]| {
+            plans.iter().any(|p| {
+                matches!(
+                    p.trigger,
+                    FailureTrigger::CkptPhase { phase: CkptHook::CommitBarrier, .. }
+                )
+            })
+        };
+        let schedule = vec![
+            FailurePlan::nth(RankId(2), 5),
+            FailurePlan::at_phase(RankId(6), CkptHook::CommitBarrier, 2),
+            FailurePlan::at_phase(RankId(3), CkptHook::WaveOpen, 1),
+        ];
+        let min = minimize(&schedule, |c| failing(c));
+        assert_eq!(min.len(), 1);
+        assert!(failing(&min), "monotone");
+        assert!(matches!(
+            min[0].trigger,
+            FailureTrigger::CkptPhase { phase: CkptHook::CommitBarrier, nth: 1 }
+        ));
+    }
+
+    #[test]
+    fn advance_terminates() {
+        for mut t in [
+            FailureTrigger::NthFailurePoint { nth: 40 },
+            FailureTrigger::CkptPhase { phase: CkptHook::Write, nth: 9 },
+            FailureTrigger::ReplayProgress { frac: 0.9 },
+            FailureTrigger::AfterRecovery { of_cluster: 3, nth: 7 },
+        ] {
+            let mut steps = 0;
+            while let Some(next) = advance(&t) {
+                t = next;
+                steps += 1;
+                assert!(steps < 64, "advance must terminate: {t:?}");
+            }
+        }
+    }
+}

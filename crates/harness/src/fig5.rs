@@ -63,8 +63,13 @@ pub fn measure_recovery(
         .collect();
     // Fail at the start of the last iteration: nearly the whole re-execution
     // is the log-replay-fed rework phase.
-    let plans = vec![FailurePlan { rank: victim, nth: scale.iters }];
-    let report = Runtime::new(runtime_cfg(scale)).run(provider.clone(), app, plans, None)?.ok()?;
+    let plans = vec![FailurePlan::nth(victim, scale.iters)];
+    let report = Runtime::builder(runtime_cfg(scale))
+        .provider(provider.clone())
+        .app(app)
+        .plans(plans)
+        .launch()?
+        .ok()?;
     assert_eq!(report.failures_handled, 1, "exactly one failure expected");
     crate::obs::write_trace(&report);
     crate::obs::emit_metrics(

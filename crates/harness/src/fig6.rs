@@ -53,10 +53,14 @@ fn measure_hydee(
             .filter(|&r| provider.cluster_of(RankId(r as u32)) == provider.cluster_of(victim))
             .collect()
     };
-    let plans = vec![FailurePlan { rank: victim, nth: scale.iters }];
+    let plans = vec![FailurePlan::nth(victim, scale.iters)];
     let cfg = runtime_cfg(scale).with_services(1);
-    let report = Runtime::new(cfg)
-        .run(provider.clone(), app, plans, Some(Arc::new(coordinator_service())))?
+    let report = Runtime::builder(cfg)
+        .provider(provider.clone())
+        .app(app)
+        .plans(plans)
+        .service(Arc::new(coordinator_service()))
+        .launch()?
         .ok()?;
     assert_eq!(report.failures_handled, 1);
     crate::obs::write_trace(&report);

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig5;
 pub mod fig6;
 pub mod memory;
@@ -71,11 +72,10 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// Read the scale from the environment (see crate docs).
+    /// Read the scale from the environment (the variables are registered in
+    /// [`spbc_core::env::VARS`]).
     pub fn from_env() -> Self {
-        fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-        }
+        use spbc_core::env::get_or as get;
         let world = get("SPBC_RANKS", 16usize);
         Scale {
             world,

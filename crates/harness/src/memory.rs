@@ -70,12 +70,10 @@ pub fn run_workload(
         samples
     });
 
-    let report = Runtime::new(runtime_cfg(scale)).run(
-        Arc::clone(&provider) as Arc<SpbcProvider>,
-        w.build(scale.params(w)),
-        Vec::new(),
-        None,
-    );
+    let report = Runtime::builder(runtime_cfg(scale))
+        .provider(provider.clone())
+        .app(w.build(scale.params(w)))
+        .launch();
     stop.store(true, Ordering::Relaxed);
     let samples = sampler.join().expect("sampler thread");
     let report = report?.ok()?;

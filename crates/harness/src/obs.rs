@@ -11,29 +11,26 @@
 
 use mini_mpi::config::RuntimeConfig;
 use mini_mpi::RunReport;
+use spbc_core::env::EnvOverrides;
 use spbc_core::Metrics;
 use std::io::Write;
 
 /// Ring capacity used when `SPBC_TRACE` enables recording.
-pub const TRACE_RING_CAPACITY: usize = 4096;
+pub use spbc_core::env::TRACE_RING_CAPACITY;
 
 /// Is trace capture requested via the environment?
 pub fn trace_requested() -> bool {
-    std::env::var_os("SPBC_TRACE").is_some_and(|v| !v.is_empty())
+    EnvOverrides::from_env().trace.is_some()
 }
 
 /// Enable the flight recorder on `cfg` when `SPBC_TRACE` is set.
 pub fn apply_env(cfg: RuntimeConfig) -> RuntimeConfig {
-    if trace_requested() {
-        cfg.with_flight_recorder(TRACE_RING_CAPACITY)
-    } else {
-        cfg
-    }
+    EnvOverrides::from_env().apply_runtime(cfg)
 }
 
 /// Write the run's Chrome trace to `$SPBC_TRACE`, if both are present.
 pub fn write_trace(report: &RunReport) {
-    let Some(path) = std::env::var_os("SPBC_TRACE").filter(|v| !v.is_empty()) else {
+    let Some(path) = EnvOverrides::from_env().trace else {
         return;
     };
     let Some(flight) = &report.flight else { return };
@@ -56,7 +53,7 @@ pub fn emit_metrics(label: &str, metrics: &Metrics, report: &RunReport) {
         report.failures_handled,
         &counters[1..], // splice the snapshot's fields into this object
     );
-    match std::env::var_os("SPBC_METRICS").filter(|v| !v.is_empty()) {
+    match EnvOverrides::from_env().metrics {
         Some(path) => {
             let res = std::fs::OpenOptions::new()
                 .create(true)

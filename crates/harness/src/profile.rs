@@ -43,7 +43,7 @@ pub fn run_with(
     provider: Arc<dyn FtProvider>,
     app: &Arc<AppFn>,
 ) -> Result<RunReport> {
-    Runtime::new(runtime_cfg(scale)).run(provider, Arc::clone(app), Vec::new(), None)?.ok()
+    Runtime::builder(runtime_cfg(scale)).provider(provider).app(Arc::clone(app)).launch()?.ok()
 }
 
 /// Median wall time of `reps` native runs.

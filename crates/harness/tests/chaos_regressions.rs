@@ -1,0 +1,70 @@
+//! Fixed-seed chaos regression suite: the pinned schedules that exercise
+//! the exact windows of races fixed in this repo's history, plus a small
+//! fixed-seed campaign slice. These must stay green forever — a failure
+//! here means a protocol regression, and the chaos minimizer will print a
+//! reproducer.
+
+use mini_mpi::failure::FailurePlan;
+use mini_mpi::prelude::*;
+use spbc_apps::Workload;
+use spbc_harness::chaos::{self, ChaosConfig, Family, Oracle, Verdict};
+
+fn assert_passes(oracle: &mut Oracle, schedule: &chaos::Schedule) {
+    if let Verdict::Fail { reason, flight_dump } = oracle.run(schedule) {
+        panic!(
+            "pinned schedule {:?}/{} failed: {reason}\n{}",
+            schedule.workload,
+            schedule.family,
+            flight_dump.unwrap_or_default()
+        );
+    }
+}
+
+/// The commit-barrier race (member dying between CKPT_ACK and CKPT_RESUME)
+/// stays fixed.
+#[test]
+fn pinned_commit_barrier_race() {
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    assert_passes(&mut oracle, &chaos::pinned::commit_barrier());
+}
+
+/// The rendezvous-rebind race (replaying sender killed mid-replay while
+/// its destination still recovers) stays fixed.
+#[test]
+fn pinned_rendezvous_rebind_race() {
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    assert_passes(&mut oracle, &chaos::pinned::rendezvous_rebind());
+}
+
+/// The replay-resume hang found by the first chaos campaign (seed 1,
+/// during-recovery, Amg): a cluster killed at 50% replay progress towards a
+/// still-recovering cluster; its restarted incarnation must resume the
+/// interrupted replay.
+#[test]
+fn pinned_replay_resume_after_replayer_death() {
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    let schedule = chaos::Schedule {
+        seed: 1,
+        family: Family::DuringRecovery,
+        workload: Workload::Amg,
+        plans: vec![
+            FailurePlan::nth(RankId(6), 3),
+            FailurePlan::at_replay_progress(RankId(2), 0.5),
+        ],
+    };
+    assert_passes(&mut oracle, &schedule);
+}
+
+/// A fixed-seed campaign slice: every family, both workloads, seeds 0-1.
+/// Bitwise identical to native on every schedule.
+#[test]
+fn fixed_seed_campaign_slice() {
+    let report = chaos::run_campaign(2, ChaosConfig::short());
+    assert_eq!(report.total, 16);
+    assert!(
+        report.failures.is_empty(),
+        "campaign failures:\n{}",
+        report.failures.iter().map(chaos::FailureCase::reproducer).collect::<Vec<_>>().join("\n")
+    );
+    assert_eq!(report.passed, report.total);
+}

@@ -1,19 +1,131 @@
-//! Failure injection: plans, kill flags, and runtime events.
+//! Failure injection: chaos triggers, kill flags, and runtime events.
+//!
+//! The chaos engine generalizes the original "rank r dies at its nth failure
+//! point" model into [`FailureTrigger`]s that can land a kill inside the
+//! protocol's most fragile windows: a checkpoint wave opening, the local
+//! write, the replication push, the commit barrier, mid-replay, or right
+//! after (even *during*) another cluster's recovery. Rank threads and
+//! protocol layers ask the shared controller at every [`FailureSite`] they
+//! pass whether they must die there.
 
 use crate::types::RankId;
 use crossbeam_channel::Sender;
 use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// One planned crash: rank `rank` dies the `nth` time (1-based) it passes a
-/// [`crate::rank::Rank::failure_point`]. Plans fire at most once.
-#[derive(Clone, Debug)]
+/// Protocol-layer checkpoint phases chaos triggers can key on. The names are
+/// generic on purpose — any coordinated-checkpointing layer maps its own
+/// state machine onto them (SPBC does in `spbc-core`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CkptHook {
+    /// A checkpoint wave is opening on this rank (declared due, before any
+    /// coordination message is sent).
+    WaveOpen,
+    /// The local checkpoint is about to be written (quiescence reached,
+    /// commit order received).
+    Write,
+    /// The sealed checkpoint is about to be pushed to replica partners.
+    Replicate,
+    /// Inside the commit barrier: checkpoint written (and replicated), about
+    /// to ACK and block for the leader's resume broadcast.
+    CommitBarrier,
+}
+
+/// When a planned crash fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailureTrigger {
+    /// The `nth` time (1-based) the victim passes a
+    /// [`crate::rank::Rank::failure_point`] *in its current incarnation*
+    /// (the count restarts with the rank) — the original failure model.
+    NthFailurePoint {
+        /// Which occurrence triggers the crash (1-based).
+        nth: u64,
+    },
+    /// The `nth` time (1-based, counted over the whole run, across
+    /// incarnations) the victim passes checkpoint phase `phase`.
+    CkptPhase {
+        /// The targeted protocol phase.
+        phase: CkptHook,
+        /// Which passage of that phase triggers the crash (1-based).
+        nth: u64,
+    },
+    /// The victim dies while *serving a replay*: fires once its replay
+    /// engine has released at least `frac` (0.0..=1.0) of the messages
+    /// queued for the current recovery round.
+    ReplayProgress {
+        /// Progress fraction at or beyond which the crash fires.
+        frac: f64,
+    },
+    /// The victim dies at the first failure site it passes after cluster
+    /// `of_cluster` has been respawned for the `nth` time — i.e. while that
+    /// cluster's `nth` recovery is still in progress. With the victim inside
+    /// `of_cluster` itself this is a repeated kill of a still-recovering
+    /// cluster.
+    AfterRecovery {
+        /// The cluster whose recovery arms this trigger.
+        of_cluster: usize,
+        /// Which recovery of that cluster (1-based).
+        nth: u64,
+    },
+}
+
+/// One planned crash: `rank` dies when `trigger` fires. Plans fire at most
+/// once.
+#[derive(Clone, Debug, PartialEq)]
 pub struct FailurePlan {
     /// Victim rank.
     pub rank: RankId,
-    /// Which `failure_point` occurrence triggers the crash (1-based).
-    pub nth: u64,
+    /// When the victim dies.
+    pub trigger: FailureTrigger,
+}
+
+impl FailurePlan {
+    /// The classic plan: `rank` dies the `nth` time it passes a failure
+    /// point (1-based).
+    pub fn nth(rank: RankId, nth: u64) -> Self {
+        FailurePlan { rank, trigger: FailureTrigger::NthFailurePoint { nth } }
+    }
+
+    /// `rank` dies the `nth` time it passes checkpoint phase `phase`.
+    pub fn at_phase(rank: RankId, phase: CkptHook, nth: u64) -> Self {
+        FailurePlan { rank, trigger: FailureTrigger::CkptPhase { phase, nth } }
+    }
+
+    /// `rank` dies once it has released `frac` of a replay round it serves.
+    pub fn at_replay_progress(rank: RankId, frac: f64) -> Self {
+        FailurePlan { rank, trigger: FailureTrigger::ReplayProgress { frac } }
+    }
+
+    /// `rank` dies at its first failure site after cluster `of_cluster`'s
+    /// `nth` respawn.
+    pub fn after_recovery(rank: RankId, of_cluster: usize, nth: u64) -> Self {
+        FailurePlan { rank, trigger: FailureTrigger::AfterRecovery { of_cluster, nth } }
+    }
+}
+
+/// A crash-evaluation site a rank passes: the argument of
+/// [`FailureShared::should_fail_at`].
+#[derive(Clone, Copy, Debug)]
+pub enum FailureSite {
+    /// An application-level failure point (`occurrence` is 1-based and
+    /// per-incarnation).
+    FailurePoint {
+        /// This incarnation's failure-point count.
+        occurrence: u64,
+    },
+    /// A protocol checkpoint phase; passages are counted by the controller.
+    CkptPhase {
+        /// Which phase is being passed.
+        hook: CkptHook,
+    },
+    /// Replay progress: the rank has released `frac` of its current replay
+    /// round.
+    ReplayProgress {
+        /// Released fraction (0.0..=1.0).
+        frac: f64,
+    },
 }
 
 /// Events the rank threads report to the runtime's main loop.
@@ -49,6 +161,13 @@ pub enum RuntimeEvent {
 /// State shared between the failure controller, the runtime and the ranks.
 pub struct FailureShared {
     plans: Mutex<Vec<FailurePlan>>,
+    /// Cumulative per-(rank, hook) checkpoint-phase passage counts.
+    ckpt_counts: Mutex<HashMap<(RankId, CkptHook), u64>>,
+    /// Respawn count per cluster (the runtime reports each recovery).
+    recoveries: Mutex<HashMap<usize, u64>>,
+    /// Victims of fired [`FailureTrigger::AfterRecovery`] plans: they die at
+    /// the next failure site they pass.
+    armed: Mutex<HashSet<RankId>>,
     events: Sender<RuntimeEvent>,
     kill_flags: Vec<Arc<AtomicBool>>,
     stats: Vec<Mutex<Option<Box<crate::stats::RankStats>>>>,
@@ -59,6 +178,9 @@ impl FailureShared {
     pub fn new(total_ranks: usize, events: Sender<RuntimeEvent>) -> Self {
         FailureShared {
             plans: Mutex::new(Vec::new()),
+            ckpt_counts: Mutex::new(HashMap::new()),
+            recoveries: Mutex::new(HashMap::new()),
+            armed: Mutex::new(HashSet::new()),
             events,
             kill_flags: (0..total_ranks).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             stats: (0..total_ranks).map(|_| Mutex::new(None)).collect(),
@@ -81,17 +203,82 @@ impl FailureShared {
         self.plans.lock().push(plan);
     }
 
-    /// Called by rank threads at each failure point; returns `true` when the
-    /// rank must crash now. The fired plan is removed so re-execution after
-    /// recovery does not crash again.
-    pub fn should_fail(&self, rank: RankId, occurrence: u64) -> bool {
-        let mut plans = self.plans.lock();
-        if let Some(pos) = plans.iter().position(|p| p.rank == rank && p.nth == occurrence) {
-            plans.remove(pos);
-            true
-        } else {
-            false
+    /// Called at each failure site a rank passes; returns `true` when the
+    /// rank must crash now. Fired plans are removed so re-execution after
+    /// recovery does not crash again on the same plan.
+    pub fn should_fail_at(&self, rank: RankId, site: FailureSite) -> bool {
+        // Armed AfterRecovery victims die at the very next site they pass.
+        if self.armed.lock().remove(&rank) {
+            return true;
         }
+        let site_count = match site {
+            FailureSite::FailurePoint { occurrence } => occurrence,
+            FailureSite::CkptPhase { hook } => {
+                let mut counts = self.ckpt_counts.lock();
+                let c = counts.entry((rank, hook)).or_insert(0);
+                *c += 1;
+                *c
+            }
+            FailureSite::ReplayProgress { .. } => 0,
+        };
+        let mut plans = self.plans.lock();
+        let pos = plans.iter().position(|p| {
+            p.rank == rank
+                && match (&p.trigger, site) {
+                    (FailureTrigger::NthFailurePoint { nth }, FailureSite::FailurePoint { .. }) => {
+                        *nth == site_count
+                    }
+                    (FailureTrigger::CkptPhase { phase, nth }, FailureSite::CkptPhase { hook }) => {
+                        *phase == hook && *nth == site_count
+                    }
+                    (
+                        FailureTrigger::ReplayProgress { frac },
+                        FailureSite::ReplayProgress { frac: progress },
+                    ) => progress >= *frac,
+                    _ => false,
+                }
+        });
+        match pos {
+            Some(i) => {
+                plans.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Compatibility wrapper: the classic per-incarnation failure-point
+    /// check.
+    pub fn should_fail(&self, rank: RankId, occurrence: u64) -> bool {
+        self.should_fail_at(rank, FailureSite::FailurePoint { occurrence })
+    }
+
+    /// The runtime respawned cluster `cluster`: bump its recovery count and
+    /// arm every [`FailureTrigger::AfterRecovery`] plan that names this
+    /// recovery. Armed victims die at the next failure site they pass —
+    /// while the recovery is still in progress.
+    pub fn note_recovery(&self, cluster: usize) {
+        let mut recoveries = self.recoveries.lock();
+        let count = recoveries.entry(cluster).or_insert(0);
+        *count += 1;
+        let count = *count;
+        drop(recoveries);
+        let mut plans = self.plans.lock();
+        let mut armed = self.armed.lock();
+        plans.retain(|p| {
+            if let FailureTrigger::AfterRecovery { of_cluster, nth } = p.trigger {
+                if of_cluster == cluster && nth == count {
+                    armed.insert(p.rank);
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    /// How often `cluster` has been respawned so far.
+    pub fn recoveries_of(&self, cluster: usize) -> u64 {
+        self.recoveries.lock().get(&cluster).copied().unwrap_or(0)
     }
 
     /// Report an event to the runtime (best-effort; the main loop may be
@@ -115,9 +302,9 @@ impl FailureShared {
         self.kill_flags[rank.idx()].store(false, Ordering::SeqCst);
     }
 
-    /// Any crash plans still pending?
+    /// Any crash plans still pending (armed victims count)?
     pub fn plans_pending(&self) -> bool {
-        !self.plans.lock().is_empty()
+        !self.plans.lock().is_empty() || !self.armed.lock().is_empty()
     }
 }
 
@@ -130,12 +317,50 @@ mod tests {
     fn plan_fires_once() {
         let (tx, _rx) = unbounded();
         let f = FailureShared::new(4, tx);
-        f.schedule(FailurePlan { rank: RankId(2), nth: 3 });
+        f.schedule(FailurePlan::nth(RankId(2), 3));
         assert!(!f.should_fail(RankId(2), 1));
         assert!(!f.should_fail(RankId(1), 3));
         assert!(f.should_fail(RankId(2), 3));
         // Re-execution passes the same point again: must not re-fire.
         assert!(!f.should_fail(RankId(2), 3));
+        assert!(!f.plans_pending());
+    }
+
+    #[test]
+    fn ckpt_phase_counts_passages() {
+        let (tx, _rx) = unbounded();
+        let f = FailureShared::new(4, tx);
+        f.schedule(FailurePlan::at_phase(RankId(1), CkptHook::CommitBarrier, 2));
+        let site = FailureSite::CkptPhase { hook: CkptHook::CommitBarrier };
+        assert!(!f.should_fail_at(RankId(1), site), "first passage survives");
+        // A different hook or rank does not advance the count.
+        assert!(!f.should_fail_at(RankId(1), FailureSite::CkptPhase { hook: CkptHook::Write }));
+        assert!(!f.should_fail_at(RankId(0), site));
+        assert!(f.should_fail_at(RankId(1), site), "second passage dies");
+        assert!(!f.should_fail_at(RankId(1), site), "fired plans are removed");
+    }
+
+    #[test]
+    fn replay_progress_threshold() {
+        let (tx, _rx) = unbounded();
+        let f = FailureShared::new(2, tx);
+        f.schedule(FailurePlan::at_replay_progress(RankId(0), 0.5));
+        assert!(!f.should_fail_at(RankId(0), FailureSite::ReplayProgress { frac: 0.2 }));
+        assert!(f.should_fail_at(RankId(0), FailureSite::ReplayProgress { frac: 0.5 }));
+        assert!(!f.should_fail_at(RankId(0), FailureSite::ReplayProgress { frac: 0.9 }));
+    }
+
+    #[test]
+    fn after_recovery_arms_victim() {
+        let (tx, _rx) = unbounded();
+        let f = FailureShared::new(4, tx);
+        f.schedule(FailurePlan::after_recovery(RankId(3), 0, 2));
+        f.note_recovery(0);
+        assert!(!f.should_fail(RankId(3), 1), "first recovery does not arm (nth=2)");
+        f.note_recovery(0);
+        assert_eq!(f.recoveries_of(0), 2);
+        assert!(f.should_fail(RankId(3), 2), "armed victim dies at its next site");
+        assert!(!f.should_fail(RankId(3), 3), "armed state consumed");
         assert!(!f.plans_pending());
     }
 

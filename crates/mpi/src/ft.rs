@@ -13,7 +13,8 @@
 //! in between.
 
 use crate::envelope::{CtrlMsg, Envelope, Message};
-use crate::error::Result;
+use crate::error::{MpiError, Result};
+use crate::failure::{CkptHook, FailureSite, RuntimeEvent};
 use crate::inner::RankInner;
 use crate::matching::Arrived;
 use crate::request::RecvSpec;
@@ -201,6 +202,38 @@ impl<'a> FtCtx<'a> {
     /// Send a control message to a rank (world or service id).
     pub fn send_ctrl(&mut self, to: RankId, kind: u16, data: Vec<u8>) {
         self.inner.send_ctrl(to, kind, data);
+    }
+
+    /// Chaos-engine hook: the protocol layer is passing checkpoint phase
+    /// `hook`. When a [`crate::failure::FailureTrigger::CkptPhase`] plan
+    /// targets this passage, the crash is reported, the rank's own kill flag
+    /// raised, and `Err(Killed)` returned for prompt unwinding.
+    pub fn chaos_ckpt_hook(&mut self, hook: CkptHook) -> Result<()> {
+        if self.inner.failure.should_fail_at(self.inner.me, FailureSite::CkptPhase { hook }) {
+            self.chaos_die();
+            return Err(MpiError::Killed);
+        }
+        Ok(())
+    }
+
+    /// Chaos-engine hook: this rank's replay engine has released fraction
+    /// `frac` (0.0..=1.0) of its current replay round. Returns `true` when a
+    /// [`crate::failure::FailureTrigger::ReplayProgress`] plan fires — the
+    /// caller should stop pumping; the raised kill flag unwinds the rank at
+    /// its next progress check even from non-`Result` contexts.
+    pub fn chaos_replay_hook(&mut self, frac: f64) -> bool {
+        if self.inner.failure.should_fail_at(self.inner.me, FailureSite::ReplayProgress { frac }) {
+            self.chaos_die();
+            return true;
+        }
+        false
+    }
+
+    /// Report the injected crash and raise our own kill flag (the runtime
+    /// will kill the rest of the cluster when it processes the event).
+    fn chaos_die(&mut self) {
+        self.inner.failure.report(RuntimeEvent::Failure { rank: self.inner.me });
+        self.inner.kill.store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Transmit an application message on behalf of the protocol (log

@@ -62,17 +62,17 @@ pub mod wire;
 
 mod runtime;
 
-pub use runtime::{AppFn, RunReport, Runtime};
+pub use runtime::{AppFn, RunBuilder, RunReport, Runtime};
 
 /// The common imports workloads need.
 pub mod prelude {
     pub use crate::config::{Perturb, RuntimeConfig};
     pub use crate::datatype::{ReduceOp, Scalar};
     pub use crate::error::{MpiError, Result};
-    pub use crate::failure::FailurePlan;
+    pub use crate::failure::{CkptHook, FailurePlan, FailureTrigger};
     pub use crate::rank::Rank;
     pub use crate::request::{RequestId, Status};
-    pub use crate::runtime::{RunReport, Runtime};
+    pub use crate::runtime::{RunBuilder, RunReport, Runtime};
     pub use crate::types::{
         ChannelId, CommId, MatchIdent, RankId, Source, Tag, TagSel, COMM_WORLD,
     };

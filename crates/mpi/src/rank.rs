@@ -462,7 +462,8 @@ impl Rank {
         // restarted rank re-passing the same point cannot re-crash on the
         // same plan — but a *different* plan can hit a recovered cluster.
         // The occurrence count restarts with the incarnation.
-        if self.inner.failure.should_fail(self.inner.me, n) {
+        let site = crate::failure::FailureSite::FailurePoint { occurrence: n };
+        if self.inner.failure.should_fail_at(self.inner.me, site) {
             self.inner
                 .failure
                 .report(crate::failure::RuntimeEvent::Failure { rank: self.inner.me });

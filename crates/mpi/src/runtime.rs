@@ -80,10 +80,91 @@ struct Spawner {
     flight: Arc<FlightRecorder>,
 }
 
+/// Fluent construction of a run: configuration, protocol provider,
+/// application closure, failure schedule and optional service closure in one
+/// chain, launched with [`RunBuilder::launch`].
+///
+/// ```ignore
+/// let report = Runtime::builder(RuntimeConfig::new(8))
+///     .provider(Arc::new(SpbcProvider::new(clusters, cfg)))
+///     .app(workload.build(params))
+///     .plans([FailurePlan::nth(RankId(3), 7)])
+///     .launch()?;
+/// ```
+pub struct RunBuilder {
+    cfg: RuntimeConfig,
+    provider: Arc<dyn FtProvider>,
+    app: Option<Arc<AppFn>>,
+    service: Option<Arc<AppFn>>,
+    plans: Vec<FailurePlan>,
+}
+
+impl RunBuilder {
+    /// The fault-tolerance provider (defaults to [`NativeProvider`]).
+    pub fn provider(mut self, provider: Arc<dyn FtProvider>) -> Self {
+        self.provider = provider;
+        self
+    }
+
+    /// The application closure every rank runs (required).
+    pub fn app(mut self, app: Arc<AppFn>) -> Self {
+        self.app = Some(app);
+        self
+    }
+
+    /// Convenience: set the application from a plain closure.
+    pub fn app_fn(self, f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static) -> Self {
+        self.app(Arc::new(f))
+    }
+
+    /// Append failure plans to the chaos schedule.
+    pub fn plans(mut self, plans: impl IntoIterator<Item = FailurePlan>) -> Self {
+        self.plans.extend(plans);
+        self
+    }
+
+    /// Append one failure plan.
+    pub fn plan(mut self, plan: FailurePlan) -> Self {
+        self.plans.push(plan);
+        self
+    }
+
+    /// The closure run by the configured service ranks.
+    pub fn service(mut self, service: Arc<AppFn>) -> Self {
+        self.service = Some(service);
+        self
+    }
+
+    /// Convenience: set the service closure from a plain closure.
+    pub fn service_fn(
+        self,
+        f: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static,
+    ) -> Self {
+        self.service(Arc::new(f))
+    }
+
+    /// Execute the run.
+    pub fn launch(self) -> Result<RunReport> {
+        let app = self.app.ok_or_else(|| MpiError::invalid("RunBuilder without an app"))?;
+        Runtime::new(self.cfg).run_inner(self.provider, app, self.plans, self.service)
+    }
+}
+
 impl Runtime {
     /// Create a runtime for `cfg`.
     pub fn new(cfg: RuntimeConfig) -> Self {
         Runtime { cfg: Arc::new(cfg) }
+    }
+
+    /// Start building a run for `cfg` (see [`RunBuilder`]).
+    pub fn builder(cfg: RuntimeConfig) -> RunBuilder {
+        RunBuilder {
+            cfg,
+            provider: Arc::new(NativeProvider),
+            app: None,
+            service: None,
+            plans: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -96,17 +177,26 @@ impl Runtime {
         world: usize,
         app: impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync + 'static,
     ) -> Result<RunReport> {
-        Runtime::new(RuntimeConfig::new(world)).run(
-            Arc::new(NativeProvider),
-            Arc::new(app),
-            Vec::new(),
-            None,
-        )
+        Runtime::builder(RuntimeConfig::new(world)).app_fn(app).launch()
     }
 
     /// Execute `app` on every rank under `provider`'s protocol, with the given
     /// failure plans. `service` (if any) runs on the configured service ranks.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Runtime::builder(cfg).provider(..).app(..).plans(..).launch()"
+    )]
     pub fn run(
+        &self,
+        provider: Arc<dyn FtProvider>,
+        app: Arc<AppFn>,
+        plans: Vec<FailurePlan>,
+        service: Option<Arc<AppFn>>,
+    ) -> Result<RunReport> {
+        self.run_inner(provider, app, plans, service)
+    }
+
+    fn run_inner(
         &self,
         provider: Arc<dyn FtProvider>,
         app: Arc<AppFn>,
@@ -214,6 +304,10 @@ impl Runtime {
                         report.restarts[v.idx()] = epochs[v.idx()];
                         handles[v.idx()] = Some(spawner.spawn(v, epochs[v.idx()], rx));
                     }
+                    // Arm AfterRecovery chaos triggers: the cluster is
+                    // respawned but its recovery (rollback handshake, replay)
+                    // is only beginning — armed victims land mid-recovery.
+                    failure.note_recovery(cluster);
                 }
                 Ok(RuntimeEvent::Error { rank, message }) => {
                     report.errors.push((rank, message));

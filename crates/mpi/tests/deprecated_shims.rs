@@ -1,0 +1,32 @@
+//! The deprecated compatibility shims stay behaviourally identical to the
+//! builder API they forward to. This is the only place in the workspace
+//! allowed to call them — CI compiles everything else with `-D deprecated`.
+
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::prelude::*;
+use mini_mpi::AppFn;
+use std::sync::Arc;
+
+fn app() -> Arc<AppFn> {
+    Arc::new(|rank: &mut Rank| {
+        let me = rank.world_rank();
+        let n = rank.world_size();
+        let req = rank.irecv(COMM_WORLD, ((me + n - 1) % n) as u32, 7)?;
+        rank.send(COMM_WORLD, (me + 1) % n, 7, &[me as u64])?;
+        let (_st, payload) = rank.wait(req)?;
+        Ok(payload.unwrap().to_vec())
+    })
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_shim_matches_builder() {
+    let cfg = RuntimeConfig::new(4);
+    let via_shim = Runtime::new(cfg.clone())
+        .run(Arc::new(NativeProvider), app(), Vec::new(), None)
+        .unwrap()
+        .ok()
+        .unwrap();
+    let via_builder = Runtime::builder(cfg).app(app()).launch().unwrap().ok().unwrap();
+    assert_eq!(via_shim.outputs, via_builder.outputs);
+}

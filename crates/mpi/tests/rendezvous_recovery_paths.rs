@@ -71,27 +71,24 @@ fn dropped_rts_gets_discard_cts() {
     let cfg = RuntimeConfig::new(2)
         .with_eager_threshold(16) // force rendezvous
         .with_deadlock_timeout(Duration::from_secs(10));
-    let report = Runtime::new(cfg)
-        .run(
-            provider,
-            Arc::new(|rank: &mut Rank| {
-                if rank.world_rank() == 0 {
-                    // 1 KiB >> 16 B threshold: rendezvous. The receiver's
-                    // layer drops the RTS; without the discard-CTS this
-                    // send would wait forever.
-                    rank.send(COMM_WORLD, 1, 9, &vec![1.0f64; 128])?;
-                    // Prove the run proceeds: a second, undropped exchange.
-                    rank.send(COMM_WORLD, 1, 3, &[2.0f64])?;
-                    Ok(vec![1])
-                } else {
-                    let (v, _) = rank.recv::<f64>(COMM_WORLD, 0u32, 3)?;
-                    assert_eq!(v[0], 2.0);
-                    Ok(vec![1])
-                }
-            }),
-            Vec::new(),
-            None,
-        )
+    let report = Runtime::builder(cfg)
+        .provider(provider)
+        .app(Arc::new(|rank: &mut Rank| {
+            if rank.world_rank() == 0 {
+                // 1 KiB >> 16 B threshold: rendezvous. The receiver's
+                // layer drops the RTS; without the discard-CTS this
+                // send would wait forever.
+                rank.send(COMM_WORLD, 1, 9, &vec![1.0f64; 128])?;
+                // Prove the run proceeds: a second, undropped exchange.
+                rank.send(COMM_WORLD, 1, 3, &[2.0f64])?;
+                Ok(vec![1])
+            } else {
+                let (v, _) = rank.recv::<f64>(COMM_WORLD, 0u32, 3)?;
+                assert_eq!(v[0], 2.0);
+                Ok(vec![1])
+            }
+        }))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -151,27 +148,24 @@ fn ft_transfer_completion_is_signaled() {
     let cfg = RuntimeConfig::new(2)
         .with_eager_threshold(16)
         .with_deadlock_timeout(Duration::from_secs(10));
-    let report = Runtime::new(cfg)
-        .run(
-            provider,
-            Arc::new(|rank: &mut Rank| {
-                if rank.world_rank() == 0 {
-                    // Pump until the CTS round-trip finishes the injected
-                    // transfer.
-                    rank.pump(Duration::from_millis(100))?;
-                    Ok(vec![1])
-                } else {
-                    // The injected protocol transfer is received like any
-                    // application message.
-                    let (v, st) = rank.recv::<u8>(COMM_WORLD, 0u32, 5)?;
-                    assert_eq!(st.len, 256);
-                    assert!(v.iter().all(|&x| x == 7));
-                    Ok(vec![1])
-                }
-            }),
-            Vec::new(),
-            None,
-        )
+    let report = Runtime::builder(cfg)
+        .provider(provider)
+        .app(Arc::new(|rank: &mut Rank| {
+            if rank.world_rank() == 0 {
+                // Pump until the CTS round-trip finishes the injected
+                // transfer.
+                rank.pump(Duration::from_millis(100))?;
+                Ok(vec![1])
+            } else {
+                // The injected protocol transfer is received like any
+                // application message.
+                let (v, st) = rank.recv::<u8>(COMM_WORLD, 0u32, 5)?;
+                assert_eq!(st.len, 256);
+                assert!(v.iter().all(|&x| x == 7));
+                Ok(vec![1])
+            }
+        }))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();

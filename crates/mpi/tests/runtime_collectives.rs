@@ -194,20 +194,16 @@ fn point_to_point_on_subcommunicator() {
 fn collectives_with_rendezvous_payloads() {
     // Payloads above the eager threshold inside collectives.
     let cfg = RuntimeConfig::new(4).with_eager_threshold(256);
-    let report = Runtime::new(cfg)
-        .run(
-            std::sync::Arc::new(mini_mpi::ft::NativeProvider),
-            std::sync::Arc::new(|rank: &mut Rank| {
-                let big: Vec<f64> = (0..1000).map(|i| i as f64).collect();
-                let got = rank.bcast(COMM_WORLD, 0, &big)?;
-                assert_eq!(got.len(), 1000);
-                let sum = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &got)?;
-                assert_eq!(sum[10], 40.0);
-                Ok(vec![1])
-            }),
-            Vec::new(),
-            None,
-        )
+    let report = Runtime::builder(cfg)
+        .app(std::sync::Arc::new(|rank: &mut Rank| {
+            let big: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+            let got = rank.bcast(COMM_WORLD, 0, &big)?;
+            assert_eq!(got.len(), 1000);
+            let sum = rank.allreduce(COMM_WORLD, ReduceOp::Sum, &got)?;
+            assert_eq!(sum[10], 40.0);
+            Ok(vec![1])
+        }))
+        .launch()
         .unwrap()
         .ok()
         .unwrap();

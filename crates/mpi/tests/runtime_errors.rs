@@ -77,10 +77,9 @@ fn checkpoint_with_live_request_is_an_error() {
 
 #[test]
 fn app_error_is_reported_not_hung() {
-    let report = Runtime::new(RuntimeConfig::new(2).with_deadlock_timeout(Duration::from_secs(5)))
-        .run(
-            Arc::new(mini_mpi::ft::NativeProvider),
-            Arc::new(|rank: &mut Rank| {
+    let report =
+        Runtime::builder(RuntimeConfig::new(2).with_deadlock_timeout(Duration::from_secs(5)))
+            .app(Arc::new(|rank: &mut Rank| {
                 if rank.world_rank() == 0 {
                     Err(MpiError::app("synthetic application failure"))
                 } else {
@@ -88,47 +87,35 @@ fn app_error_is_reported_not_hung() {
                     let _ = rank.recv_bytes(COMM_WORLD, 0u32, 1)?;
                     Ok(vec![])
                 }
-            }),
-            Vec::new(),
-            None,
-        )
-        .unwrap();
+            }))
+            .launch()
+            .unwrap();
     assert!(!report.errors.is_empty());
     assert!(report.errors.iter().any(|(_, m)| m.contains("synthetic")));
 }
 
 #[test]
 fn run_report_ok_propagates_errors() {
-    let report = Runtime::new(RuntimeConfig::new(1))
-        .run(
-            Arc::new(mini_mpi::ft::NativeProvider),
-            Arc::new(|_rank: &mut Rank| Err(MpiError::app("boom"))),
-            Vec::new(),
-            None,
-        )
+    let report = Runtime::builder(RuntimeConfig::new(1))
+        .app(Arc::new(|_rank: &mut Rank| Err(MpiError::app("boom"))))
+        .launch()
         .unwrap();
     assert!(report.ok().is_err());
 }
 
 #[test]
 fn zero_ranks_is_rejected() {
-    let err = Runtime::new(RuntimeConfig::new(0)).run(
-        Arc::new(mini_mpi::ft::NativeProvider),
-        Arc::new(|_rank: &mut Rank| Ok(Vec::new())),
-        Vec::new(),
-        None,
-    );
+    let err = Runtime::builder(RuntimeConfig::new(0))
+        .app(Arc::new(|_rank: &mut Rank| Ok(Vec::new())))
+        .launch();
     assert!(err.is_err());
 }
 
 #[test]
 fn service_ranks_require_service_closure() {
-    let err = Runtime::new(RuntimeConfig::new(1).with_services(1)).run(
-        Arc::new(mini_mpi::ft::NativeProvider),
-        Arc::new(|_rank: &mut Rank| Ok(Vec::new())),
-        Vec::new(),
-        None,
-    );
+    let err = Runtime::builder(RuntimeConfig::new(1).with_services(1))
+        .app(Arc::new(|_rank: &mut Rank| Ok(Vec::new())))
+        .launch();
     assert!(err.is_err());
 }
 

@@ -235,19 +235,15 @@ fn send_to_self() {
 #[test]
 fn deadlock_is_detected_not_hung() {
     let cfg = RuntimeConfig::new(2).with_deadlock_timeout(std::time::Duration::from_millis(200));
-    let report = Runtime::new(cfg)
-        .run(
-            std::sync::Arc::new(mini_mpi::ft::NativeProvider),
-            std::sync::Arc::new(|rank: &mut Rank| {
-                if rank.world_rank() == 0 {
-                    // Receive that can never be satisfied.
-                    let (_b, _s) = rank.recv_bytes(COMM_WORLD, 1u32, 999)?;
-                }
-                Ok(vec![])
-            }),
-            Vec::new(),
-            None,
-        )
+    let report = Runtime::builder(cfg)
+        .app(std::sync::Arc::new(|rank: &mut Rank| {
+            if rank.world_rank() == 0 {
+                // Receive that can never be satisfied.
+                let (_b, _s) = rank.recv_bytes(COMM_WORLD, 1u32, 999)?;
+            }
+            Ok(vec![])
+        }))
+        .launch()
         .unwrap();
     assert!(!report.errors.is_empty());
     assert!(report.errors[0].1.contains("deadlock"));

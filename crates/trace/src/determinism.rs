@@ -17,7 +17,6 @@
 
 use mini_mpi::config::{Perturb, RuntimeConfig};
 use mini_mpi::error::Result;
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::stats::RankStats;
 use mini_mpi::{AppFn, Runtime};
 use std::sync::Arc;
@@ -66,8 +65,7 @@ fn run_once(world: usize, app: &Arc<AppFn>, seed: u64, opts: &CheckOpts) -> Resu
         probability: opts.probability,
         seed,
     });
-    let report =
-        Runtime::new(cfg).run(Arc::new(NativeProvider), Arc::clone(app), Vec::new(), None)?.ok()?;
+    let report = Runtime::builder(cfg).app(Arc::clone(app)).launch()?.ok()?;
     Ok(report.stats)
 }
 

@@ -1,21 +1,14 @@
 //! Timeline reconstruction from real runs.
 
-use mini_mpi::ft::NativeProvider;
 use mini_mpi::prelude::*;
 use mini_mpi::types::RankId;
 use mini_mpi::Runtime;
 use spbc_apps::{AppParams, Workload};
 use spbc_trace::Timeline;
-use std::sync::Arc;
 
 fn run(w: Workload) -> Vec<mini_mpi::stats::RankStats> {
     let p = AppParams { iters: 4, elems: 128, compute: 1, seed: 9, sleep_us: 0 };
-    Runtime::new(RuntimeConfig::new(8))
-        .run(Arc::new(NativeProvider), w.build(p), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap()
-        .stats
+    Runtime::builder(RuntimeConfig::new(8)).app(w.build(p)).launch().unwrap().ok().unwrap().stats
 }
 
 #[test]

@@ -13,7 +13,6 @@
 use spbc::apps::{AppParams, Workload};
 use spbc::core::{ClusterMap, SpbcConfig, SpbcProvider};
 use spbc::mpi::failure::FailurePlan;
-use spbc::mpi::ft::NativeProvider;
 use spbc::mpi::prelude::*;
 use std::sync::Arc;
 
@@ -22,17 +21,23 @@ fn run(enforce_ident: bool, fail: bool, params: AppParams, world: usize) -> Resu
         ClusterMap::blocks(world, 3),
         SpbcConfig { ckpt_interval: 3, enforce_ident, ..Default::default() },
     ));
-    let plans = if fail { vec![FailurePlan { rank: RankId(0), nth: 5 }] } else { Vec::new() };
+    let plans = if fail { vec![FailurePlan::nth(RankId(0), 5)] } else { Vec::new() };
     let cfg = RuntimeConfig::new(world).with_deadlock_timeout(std::time::Duration::from_secs(10));
-    Runtime::new(cfg).run(provider, Workload::Amg.build(params), plans, None)?.ok()
+    Runtime::builder(cfg)
+        .provider(provider)
+        .app(Workload::Amg.build(params))
+        .plans(plans)
+        .launch()?
+        .ok()
 }
 
 fn main() {
     let world = 6;
     let params = AppParams { iters: 6, elems: 256, compute: 1, seed: 99, sleep_us: 0 };
 
-    let native = Runtime::new(RuntimeConfig::new(world))
-        .run(Arc::new(NativeProvider), Workload::Amg.build(params), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(world))
+        .app(Workload::Amg.build(params))
+        .launch()
         .expect("native")
         .ok()
         .expect("clean");

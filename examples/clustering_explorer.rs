@@ -10,9 +10,7 @@
 use spbc::apps::Workload;
 use spbc::clustering::{partition, CommGraph, Objective, PartitionOpts};
 use spbc::harness::Scale;
-use spbc::mpi::ft::NativeProvider;
 use spbc::mpi::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,8 +19,9 @@ fn main() {
     let scale = Scale { world, ..Scale::default() };
 
     println!("profiling {} on {world} ranks ...", workload.name());
-    let report = Runtime::new(RuntimeConfig::new(world))
-        .run(Arc::new(NativeProvider), workload.build(scale.params(workload)), Vec::new(), None)
+    let report = Runtime::builder(RuntimeConfig::new(world))
+        .app(workload.build(scale.params(workload)))
+        .launch()
         .expect("profile run")
         .ok()
         .expect("clean");

@@ -7,10 +7,7 @@
 //! ```
 
 use spbc::apps::{AppParams, Workload};
-use spbc::core::{ClusterMap, SpbcConfig, SpbcProvider};
-use spbc::mpi::failure::FailurePlan;
-use spbc::mpi::ft::NativeProvider;
-use spbc::mpi::prelude::*;
+use spbc::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -18,8 +15,9 @@ fn main() {
     let params = AppParams { iters: 18, elems: 256, compute: 1, seed: 4, sleep_us: 0 };
     let workload = Workload::MiniGhost;
 
-    let native = Runtime::new(RuntimeConfig::new(world))
-        .run(Arc::new(NativeProvider), workload.build(params), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(world))
+        .app(workload.build(params))
+        .launch()
         .expect("native")
         .ok()
         .expect("clean");
@@ -30,12 +28,15 @@ fn main() {
         SpbcConfig { ckpt_interval: 5, ..Default::default() },
     ));
     let plans = vec![
-        FailurePlan { rank: RankId(1), nth: 4 },
-        FailurePlan { rank: RankId(7), nth: 9 },
-        FailurePlan { rank: RankId(10), nth: 15 },
+        FailurePlan::nth(RankId(1), 4),
+        FailurePlan::nth(RankId(7), 9),
+        FailurePlan::nth(RankId(10), 15),
     ];
-    let report = Runtime::new(RuntimeConfig::new(world))
-        .run(Arc::clone(&provider) as Arc<SpbcProvider>, workload.build(params), plans, None)
+    let report = Runtime::builder(RuntimeConfig::new(world))
+        .provider(provider.clone())
+        .app(workload.build(params))
+        .plans(plans)
+        .launch()
         .expect("spbc run")
         .ok()
         .expect("clean");

@@ -18,7 +18,7 @@ use std::time::Instant;
 fn main() {
     let scale = Scale { world: 8, iters: 12, sleep_us: 300, ranks_per_node: 2, ..Scale::default() };
     let w = Workload::NasLu;
-    let plans = || vec![FailurePlan { rank: RankId(4), nth: scale.iters }];
+    let plans = || vec![FailurePlan::nth(RankId(4), scale.iters)];
     let clusters = || ClusterMap::blocks(scale.world, 4);
 
     // SPBC: distributed replay with the §5.2.2 window.
@@ -27,8 +27,11 @@ fn main() {
         SpbcConfig { ckpt_interval: scale.iters / 2, ..Default::default() },
     ));
     let t0 = Instant::now();
-    let r1 = Runtime::new(RuntimeConfig::new(scale.world))
-        .run(Arc::clone(&spbc) as Arc<SpbcProvider>, w.build(scale.params(w)), plans(), None)
+    let r1 = Runtime::builder(RuntimeConfig::new(scale.world))
+        .provider(spbc.clone())
+        .app(w.build(scale.params(w)))
+        .plans(plans())
+        .launch()
         .expect("spbc run")
         .ok()
         .expect("clean");
@@ -40,13 +43,12 @@ fn main() {
         HydeeConfig { ckpt_interval: scale.iters / 2, ..Default::default() },
     ));
     let t0 = Instant::now();
-    let r2 = Runtime::new(RuntimeConfig::new(scale.world).with_services(1))
-        .run(
-            Arc::clone(&hydee) as Arc<HydeeProvider>,
-            w.build(scale.params(w)),
-            plans(),
-            Some(Arc::new(coordinator_service())),
-        )
+    let r2 = Runtime::builder(RuntimeConfig::new(scale.world).with_services(1))
+        .provider(hydee.clone())
+        .app(w.build(scale.params(w)))
+        .plans(plans())
+        .service(Arc::new(coordinator_service()))
+        .launch()
         .expect("hydee run")
         .ok()
         .expect("clean");

@@ -5,11 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use spbc::core::{ClusterMap, SpbcConfig, SpbcProvider};
-use spbc::mpi::failure::FailurePlan;
-use spbc::mpi::ft::NativeProvider;
-use spbc::mpi::prelude::*;
 use spbc::mpi::wire::to_bytes;
+use spbc::prelude::*;
 use std::sync::Arc;
 
 /// A miniature iterative solver: ring halo exchange + global residual, with
@@ -43,8 +40,9 @@ fn main() {
     let world = 8;
 
     // Reference: native execution, no fault tolerance.
-    let native = Runtime::new(RuntimeConfig::new(world))
-        .run(Arc::new(NativeProvider), Arc::new(solver), Vec::new(), None)
+    let native = Runtime::builder(RuntimeConfig::new(world))
+        .app(Arc::new(solver))
+        .launch()
         .expect("native run")
         .ok()
         .expect("native clean");
@@ -56,13 +54,11 @@ fn main() {
         ClusterMap::blocks(world, 4),
         SpbcConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    let report = Runtime::new(RuntimeConfig::new(world))
-        .run(
-            Arc::clone(&provider) as Arc<SpbcProvider>,
-            Arc::new(solver),
-            vec![FailurePlan { rank: RankId(3), nth: 7 }],
-            None,
-        )
+    let report = Runtime::builder(RuntimeConfig::new(world))
+        .provider(provider.clone())
+        .app(Arc::new(solver))
+        .plan(FailurePlan::nth(RankId(3), 7))
+        .launch()
         .expect("spbc run")
         .ok()
         .expect("spbc clean");

@@ -11,3 +11,14 @@ pub use spbc_clustering as clustering;
 pub use spbc_core as core;
 pub use spbc_harness as harness;
 pub use spbc_trace as trace;
+
+/// Everything a typical SPBC workload or chaos experiment needs: the
+/// mini-mpi runtime prelude (builder, rank API, failure triggers) plus the
+/// protocol-side types for configuring a run.
+pub mod prelude {
+    pub use mini_mpi::ft::NativeProvider;
+    pub use mini_mpi::prelude::*;
+    pub use spbc_core::env::EnvOverrides;
+    pub use spbc_core::protocol::ReplayPolicy;
+    pub use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider, Storage};
+}

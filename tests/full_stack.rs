@@ -6,7 +6,6 @@ use spbc::apps::{AppParams, Workload};
 use spbc::clustering::{partition, CommGraph, PartitionOpts};
 use spbc::core::{ClusterMap, Metrics, SpbcConfig, SpbcProvider};
 use spbc::mpi::failure::FailurePlan;
-use spbc::mpi::ft::NativeProvider;
 use spbc::mpi::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,11 +21,7 @@ fn cfg() -> RuntimeConfig {
 }
 
 fn native(w: Workload) -> RunReport {
-    Runtime::new(cfg())
-        .run(Arc::new(NativeProvider), w.build(params()), Vec::new(), None)
-        .unwrap()
-        .ok()
-        .unwrap()
+    Runtime::builder(cfg()).app(w.build(params())).launch().unwrap().ok().unwrap()
 }
 
 #[test]
@@ -47,13 +42,11 @@ fn profile_cluster_recover_workflow() {
         clusters,
         SpbcConfig { ckpt_interval: 4, ..Default::default() },
     ));
-    let report = Runtime::new(cfg())
-        .run(
-            Arc::clone(&provider) as Arc<SpbcProvider>,
-            w.build(params()),
-            vec![FailurePlan { rank: RankId(3), nth: 7 }],
-            None,
-        )
+    let report = Runtime::builder(cfg())
+        .provider(provider.clone())
+        .app(w.build(params()))
+        .plans(vec![FailurePlan::nth(RankId(3), 7)])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -80,18 +73,16 @@ fn two_failures_same_cluster() {
         ClusterMap::blocks(WORLD, 4),
         SpbcConfig { ckpt_interval: 3, ..Default::default() },
     ));
-    let report = Runtime::new(cfg())
-        .run(
-            provider,
-            w.build(params()),
-            vec![
-                FailurePlan { rank: RankId(4), nth: 4 },
-                // Fires during (or after) the first recovery: occurrence
-                // counts restart with each incarnation.
-                FailurePlan { rank: RankId(5), nth: 3 },
-            ],
-            None,
-        )
+    let report = Runtime::builder(cfg())
+        .provider(provider)
+        .app(w.build(params()))
+        .plans(vec![
+            FailurePlan::nth(RankId(4), 4),
+            // Fires during (or after) the first recovery: occurrence
+            // counts restart with each incarnation.
+            FailurePlan::nth(RankId(5), 3),
+        ])
+        .launch()
         .unwrap()
         .ok()
         .unwrap();
@@ -113,8 +104,11 @@ fn amg_without_identifiers_goes_invalid_under_recovery() {
             ClusterMap::blocks(WORLD, 4),
             SpbcConfig { ckpt_interval: 3, enforce_ident, ..Default::default() },
         ));
-        Runtime::new(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(8)))
-            .run(provider, w.build(params()), vec![FailurePlan { rank: RankId(1), nth: 6 }], None)
+        Runtime::builder(RuntimeConfig::new(WORLD).with_deadlock_timeout(Duration::from_secs(8)))
+            .provider(provider)
+            .app(w.build(params()))
+            .plans(vec![FailurePlan::nth(RankId(1), 6)])
+            .launch()
             .unwrap()
             .ok()
     };
@@ -142,8 +136,10 @@ fn all_protocol_variants_agree_failure_free() {
     for k in [1usize, 2, 4, 8] {
         let provider =
             Arc::new(SpbcProvider::new(ClusterMap::blocks(WORLD, k), SpbcConfig::default()));
-        let report = Runtime::new(cfg())
-            .run(provider, w.build(params()), Vec::new(), None)
+        let report = Runtime::builder(cfg())
+            .provider(provider)
+            .app(w.build(params()))
+            .launch()
             .unwrap()
             .ok()
             .unwrap();

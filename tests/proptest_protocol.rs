@@ -8,7 +8,6 @@
 use proptest::prelude::*;
 use spbc::core::{ClusterMap, SpbcConfig, SpbcProvider};
 use spbc::mpi::failure::FailurePlan;
-use spbc::mpi::ft::NativeProvider;
 use spbc::mpi::prelude::*;
 use spbc::mpi::wire::to_bytes;
 use std::sync::Arc;
@@ -69,8 +68,7 @@ proptest! {
         let victim = RankId((victim_pick % world) as u32);
         let nth = 1 + nth_pick % iters;
 
-        let native = Runtime::new(cfg(world, eager))
-            .run(Arc::new(NativeProvider), app(iters, payload), Vec::new(), None)
+        let native = Runtime::builder(cfg(world, eager)).app(app(iters, payload)).launch()
             .unwrap()
             .ok()
             .unwrap();
@@ -79,13 +77,7 @@ proptest! {
             ClusterMap::blocks(world, clusters),
             SpbcConfig { ckpt_interval: ckpt, ..Default::default() },
         ));
-        let report = Runtime::new(cfg(world, eager))
-            .run(
-                provider,
-                app(iters, payload),
-                vec![FailurePlan { rank: victim, nth }],
-                None,
-            )
+        let report = Runtime::builder(cfg(world, eager)).provider(provider).app(app(iters, payload)).plans(vec![FailurePlan::nth(victim, nth)]).launch()
             .unwrap()
             .ok()
             .unwrap();

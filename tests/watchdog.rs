@@ -36,7 +36,7 @@ fn quiescence_stall_produces_flight_dump() {
         Ok(Vec::new())
     });
 
-    let report = Runtime::new(cfg).run(provider, app, Vec::new(), None).unwrap();
+    let report = Runtime::builder(cfg).provider(provider).app(app).launch().unwrap();
 
     assert!(!report.errors.is_empty(), "the stall must surface as rank errors");
     assert!(
