@@ -84,6 +84,7 @@ impl HydeeProvider {
             // preserve the comparison.
             replicas: 0,
             async_ckpt_writes: true,
+            ..SpbcConfig::default()
         };
         HydeeProvider {
             inner: SpbcProvider::new(clusters, spbc_cfg),

@@ -2,8 +2,9 @@
 //!
 //! The V1 format (`SPBCCKP1`, magic + body, header-only validation) is still
 //! readable so checkpoints written by older builds load after an upgrade; a
-//! V1 blob simply has no checksum to verify. Everything written by this
-//! crate is V2.
+//! V1 blob simply has no checksum to verify. Full blobs written by this
+//! crate are V2; incremental delta blobs use the `SPBCCKP3` framing in
+//! [`crate::chunk`].
 
 use crate::crc::crc32;
 use mini_mpi::error::{MpiError, Result};
@@ -26,8 +27,16 @@ pub fn seal(body: &[u8]) -> Vec<u8> {
 ///
 /// Accepts V2 (checksum verified) and legacy V1 (no checksum to verify).
 /// Any framing or checksum failure is a `Codec` error — callers treat it as
-/// a corrupt copy and fall back to a partner replica.
+/// a corrupt copy and fall back to a partner replica. A V3 delta blob
+/// (`SPBCCKP3`, [`crate::chunk`]) is *not* a body container — it needs
+/// [`crate::chunk::materialize`] — so it is rejected here with a distinct
+/// error rather than silently misread.
 pub fn unseal(bytes: &[u8]) -> Result<&[u8]> {
+    if crate::chunk::is_delta(bytes) {
+        return Err(MpiError::Codec(
+            "delta checkpoint blob (SPBCCKP3) requires chain materialization".into(),
+        ));
+    }
     if bytes.len() >= MAGIC_V2.len() && &bytes[..MAGIC_V2.len()] == MAGIC_V2 {
         if bytes.len() < MAGIC_V2.len() + 4 {
             return Err(MpiError::Codec("checkpoint blob truncated before checksum".into()));

@@ -24,17 +24,27 @@
 //!   wave's `flush` (or shutdown) is the only point that waits for it.
 //! * **Garbage collection** — the service prunes epochs older than the
 //!   newest globally-committed wave, both for local copies and partner-held
-//!   replicas, replacing manual `prune` calls.
+//!   replicas, replacing manual `prune` calls. GC is refcount-aware: a base
+//!   epoch referenced by a live delta manifest is kept until the last
+//!   manifest naming it is pruned.
+//! * **Incremental deltas** — [`chunk`] adds the `SPBCCKP3` delta format:
+//!   the commit path diffs each wave against the previous one in fixed-size
+//!   chunks and writes (and replicates) only the changed chunks plus a
+//!   manifest, with a full blob every Nth wave to bound chain length.
+//!   Restore materializes the chain transparently, repairing any missing or
+//!   corrupt link from partners.
 
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod blob;
+pub mod chunk;
 pub mod crc;
 pub mod service;
 pub mod writer;
 
 pub use backend::{CheckpointBackend, DirBackend, MemBackend};
 pub use blob::{seal, unseal, MAGIC_V1, MAGIC_V2};
+pub use chunk::{DeltaEncoder, DeltaView, EncodeStats, MAGIC_V3};
 pub use service::{CkptStoreService, LoadOutcome, StoreConfig};
 pub use writer::AsyncWriter;

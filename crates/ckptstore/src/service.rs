@@ -1,5 +1,6 @@
 //! The checkpoint storage service: per-rank local stores, partner-held
-//! replica stores, asynchronous local commits, repair-on-load, and GC.
+//! replica stores, asynchronous local commits, incremental delta encoding,
+//! chain-aware repair-on-load, and refcounting GC.
 //!
 //! One `CkptStoreService` serves a whole world (all ranks of one run). Each
 //! rank owns two backends:
@@ -14,16 +15,27 @@
 //!   pushing rank's commit barrier already waits for the ACK, and a memory
 //!   put is cheap.
 //!
-//! Load is where replication pays off: a local copy that is missing or fails
-//! its CRC is transparently repaired from any surviving partner copy, and
-//! the repaired blob is re-persisted locally so the next failure does not
-//! depend on the same partner again.
+//! The commit path is incremental: [`CkptStoreService::encode_commit`] runs
+//! each wave's serialized body through a per-rank [`DeltaEncoder`], which
+//! diffs it against the previous wave in fixed-size chunks and produces
+//! either a full `SPBCCKP2` blob or an `SPBCCKP3` delta holding only the
+//! changed chunks (see [`crate::chunk`]). Everything downstream — the local
+//! write, the partner pushes, repair — moves the *encoded* blob, so a small
+//! dirty fraction shrinks disk and replication traffic alike.
+//!
+//! Load is where replication pays off: a chain link (the requested epoch or
+//! any base epoch its manifest references) that is missing or corrupt
+//! locally is transparently repaired from any surviving partner copy and
+//! re-persisted, then the chain is materialized back into the full body.
+//! GC (local and partner-side pruning) is refcount-aware: base epochs named
+//! by a retained manifest survive until the last manifest naming them goes.
 
 use crate::backend::{CheckpointBackend, DirBackend, MemBackend};
-use crate::blob::unseal;
+use crate::chunk::{self, DeltaEncoder, EncodeStats, DEFAULT_CHUNK_SIZE, DEFAULT_FULL_EVERY};
 use crate::writer::{AsyncWriter, OnDone};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::types::RankId;
+use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::Arc;
@@ -38,24 +50,38 @@ pub struct StoreConfig {
     /// memory. Only meaningful with a storage root; costs an fsync on the
     /// partner's ctrl path.
     pub durable_partner_copies: bool,
-    /// How many waves of partner copies to retain per owner (newest first).
+    /// How many waves of partner copies to retain per owner (newest first),
+    /// plus any base epoch their delta manifests still reference.
     /// Matches the protocol's "last two waves" retention.
     pub partner_keep: usize,
+    /// Chunk size for incremental delta encoding (`SPBC_CKPT_CHUNK`,
+    /// default 64 KiB).
+    pub chunk_size: usize,
+    /// Write a full blob every Nth wave to bound delta-chain length
+    /// (`SPBC_CKPT_FULL_EVERY`, default 8; `1` disables deltas).
+    pub full_every: u64,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { async_writes: true, durable_partner_copies: false, partner_keep: 2 }
+        StoreConfig {
+            async_writes: true,
+            durable_partner_copies: false,
+            partner_keep: 2,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            full_every: DEFAULT_FULL_EVERY,
+        }
     }
 }
 
 /// Where a successful load found the blob.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LoadOutcome {
-    /// The rank's own local copy was present and passed its checksum.
+    /// Every chain link was present locally and passed its checksum.
     Local,
-    /// The local copy was missing or corrupt; the blob came from this
-    /// partner rank's replica store and was re-persisted locally.
+    /// At least one chain link was missing or corrupt locally; the first
+    /// repaired link came from this partner rank's replica store and every
+    /// repaired link was re-persisted locally.
     Repaired {
         /// The partner rank whose copy survived.
         from: RankId,
@@ -72,11 +98,18 @@ struct RankStores {
 /// way surviving nodes' memory survives a peer's crash.
 pub struct CkptStoreService {
     ranks: Vec<RankStores>,
+    /// Per-rank delta encoder (previous wave's chunk table); surviving the
+    /// rank thread is fine because a restore resets it.
+    deltas: Vec<Mutex<DeltaEncoder>>,
     writer: AsyncWriter,
     cfg: StoreConfig,
 }
 
 impl CkptStoreService {
+    fn encoders(world: usize, cfg: &StoreConfig) -> Vec<Mutex<DeltaEncoder>> {
+        (0..world).map(|_| Mutex::new(DeltaEncoder::new(cfg.chunk_size, cfg.full_every))).collect()
+    }
+
     /// All stores in memory — the default for in-process experiments.
     pub fn in_memory(world: usize, cfg: StoreConfig) -> Self {
         let ranks = (0..world)
@@ -85,7 +118,8 @@ impl CkptStoreService {
                 partner: Arc::new(MemBackend::new()),
             })
             .collect();
-        CkptStoreService { ranks, writer: AsyncWriter::new(), cfg }
+        let deltas = Self::encoders(world, &cfg);
+        CkptStoreService { ranks, deltas, writer: AsyncWriter::new(), cfg }
     }
 
     /// Local stores on disk under `root` (`rank-<r>/own`); partner stores in
@@ -103,7 +137,8 @@ impl CkptStoreService {
             };
             ranks.push(RankStores { local, partner });
         }
-        Ok(CkptStoreService { ranks, writer: AsyncWriter::new(), cfg })
+        let deltas = Self::encoders(world, &cfg);
+        Ok(CkptStoreService { ranks, deltas, writer: AsyncWriter::new(), cfg })
     }
 
     /// World size this service was built for.
@@ -120,6 +155,25 @@ impl CkptStoreService {
         self.ranks
             .get(rank.0 as usize)
             .ok_or_else(|| MpiError::app(format!("rank {rank} outside store world")))
+    }
+
+    /// Seal `rank`'s serialized checkpoint `body` for `epoch` — as an
+    /// incremental `SPBCCKP3` delta against the previous committed wave
+    /// when possible, else as a full `SPBCCKP2` blob.
+    ///
+    /// The returned blob is what [`commit_local`](Self::commit_local) and
+    /// every partner push must carry; the stats report the dedup ratio
+    /// (`logical` body bytes vs `physical` blob bytes). The per-rank diff
+    /// state advances on each call, so exactly one `encode_commit` per
+    /// committed wave, in epoch order.
+    pub fn encode_commit(
+        &self,
+        rank: RankId,
+        epoch: u64,
+        body: &[u8],
+    ) -> Result<(Vec<u8>, EncodeStats)> {
+        self.stores(rank)?; // range check
+        Ok(self.deltas[rank.0 as usize].lock().encode(epoch, body))
     }
 
     /// Commit `rank`'s own sealed checkpoint at `epoch`.
@@ -154,7 +208,9 @@ impl CkptStoreService {
     /// Store a copy of `owner`'s checkpoint at `epoch` in `holder`'s partner
     /// store (synchronous — the pushing rank awaits the ACK this enables).
     /// Old partner copies of the same owner beyond `partner_keep` waves are
-    /// pruned; returns how many were dropped.
+    /// pruned — except base epochs a retained delta manifest still
+    /// references, which must survive for chain repair. Returns how many
+    /// copies were dropped.
     pub fn store_partner_copy(
         &self,
         holder: RankId,
@@ -167,13 +223,36 @@ impl CkptStoreService {
         let epochs = partner.epochs_of(owner)?;
         let mut pruned = 0;
         if epochs.len() > self.cfg.partner_keep {
-            for &e in &epochs[..epochs.len() - self.cfg.partner_keep] {
-                if partner.remove(owner, e)? {
+            let (old, retained) = epochs.split_at(epochs.len() - self.cfg.partner_keep);
+            let referenced = Self::referenced_by(partner.as_ref(), owner, retained);
+            for &e in old {
+                if !referenced.contains(&e) && partner.remove(owner, e)? {
                     pruned += 1;
                 }
             }
         }
         Ok(pruned)
+    }
+
+    /// Base epochs referenced by the manifests of `retained` epochs in
+    /// `store`. Unreadable or unparsable blobs contribute nothing (their
+    /// chains are already lost; repair happens at load time). One level is
+    /// enough: manifests are flattened, so a delta's references point at
+    /// blobs holding the chunk bytes directly (see [`crate::chunk`]).
+    fn referenced_by(
+        store: &dyn CheckpointBackend,
+        owner: RankId,
+        retained: &[u64],
+    ) -> BTreeSet<u64> {
+        let mut refs = BTreeSet::new();
+        for &e in retained {
+            if let Ok(Some(blob)) = store.get(owner, e) {
+                if let Ok(more) = chunk::referenced_epochs(&blob) {
+                    refs.extend(more);
+                }
+            }
+        }
+        refs
     }
 
     /// Wait until `rank`'s outstanding local write (if any) is durable.
@@ -191,38 +270,71 @@ impl CkptStoreService {
         self.writer.stats()
     }
 
-    /// Load `rank`'s sealed checkpoint at `epoch` and verify it.
-    ///
-    /// Returns the *body* (unsealed) plus where it came from. A local copy
-    /// that is missing or fails its checksum triggers repair: every rank's
-    /// partner store is scanned for a verifiable copy, which is re-persisted
-    /// locally before returning. `Ok(None)` means no copy survives anywhere.
-    ///
-    /// Callers should `flush_rank` first so an in-flight async write is not
-    /// misread as a missing copy.
-    pub fn load(&self, rank: RankId, epoch: u64) -> Result<Option<(Vec<u8>, LoadOutcome)>> {
+    /// Fetch the raw verified blob of `(rank, epoch)`, repairing from a
+    /// partner copy when the local one is missing or corrupt. Records the
+    /// first repair source in `outcome`.
+    fn fetch_blob(
+        &self,
+        rank: RankId,
+        epoch: u64,
+        outcome: &mut LoadOutcome,
+    ) -> Result<Option<Vec<u8>>> {
         let own = self.stores(rank)?;
         if let Some(blob) = own.local.get(rank, epoch)? {
-            match unseal(&blob) {
-                Ok(body) => return Ok(Some((body.to_vec(), LoadOutcome::Local))),
-                Err(_) => { /* corrupt local copy: fall through to repair */ }
+            if chunk::verify(&blob).is_ok() {
+                return Ok(Some(blob));
             }
+            // Corrupt local copy: fall through to repair.
         }
         for (holder, stores) in self.ranks.iter().enumerate() {
             if holder == rank.0 as usize {
                 continue;
             }
             if let Some(blob) = stores.partner.get(rank, epoch)? {
-                if let Ok(body) = unseal(&blob) {
-                    let body = body.to_vec();
+                if chunk::verify(&blob).is_ok() {
                     // Heal the local store so the next failure does not
                     // depend on the same partner surviving again.
                     own.local.put(rank, epoch, &blob)?;
-                    return Ok(Some((body, LoadOutcome::Repaired { from: RankId(holder as u32) })));
+                    if *outcome == LoadOutcome::Local {
+                        *outcome = LoadOutcome::Repaired { from: RankId(holder as u32) };
+                    }
+                    return Ok(Some(blob));
                 }
             }
         }
         Ok(None)
+    }
+
+    /// Load `rank`'s checkpoint at `epoch`, verify it, and materialize it.
+    ///
+    /// Returns the full checkpoint *body* plus where it came from. Every
+    /// chain link — the epoch itself and any base epoch its delta manifest
+    /// references — is CRC-verified; a link that is missing or corrupt
+    /// locally triggers repair: every rank's partner store is scanned for a
+    /// verifiable copy, which is re-persisted locally before use, so one
+    /// load heals the whole chain. `Ok(None)` means the top link survives
+    /// nowhere; a lost *base* link is an error (the epoch exists but is no
+    /// longer materializable).
+    ///
+    /// Callers should `flush_rank` first so an in-flight async write is not
+    /// misread as a missing copy. A successful load also resets the rank's
+    /// delta encoder: the next committed wave starts a fresh chain with a
+    /// full blob, so re-committed epochs after a rollback can never be
+    /// referenced by a stale manifest from the previous incarnation.
+    pub fn load(&self, rank: RankId, epoch: u64) -> Result<Option<(Vec<u8>, LoadOutcome)>> {
+        let mut outcome = LoadOutcome::Local;
+        let Some(top) = self.fetch_blob(rank, epoch, &mut outcome)? else {
+            return Ok(None);
+        };
+        let body = chunk::materialize(&top, &mut |base| {
+            self.fetch_blob(rank, base, &mut outcome)?.ok_or_else(|| {
+                MpiError::Codec(format!(
+                    "rank {rank} epoch {epoch}: chain base epoch {base} lost everywhere"
+                ))
+            })
+        })?;
+        self.deltas[rank.0 as usize].lock().reset();
+        Ok(Some((body, outcome)))
     }
 
     /// Every epoch at which *some* verifiable-looking copy of `rank`'s
@@ -252,12 +364,18 @@ impl CkptStoreService {
     }
 
     /// Drop `rank`'s local epochs older than `keep_from` (automatic GC once
-    /// a newer wave is globally committed). Returns how many were removed.
+    /// a newer wave is globally committed) — except base epochs still
+    /// referenced by a retained wave's delta manifest, which must survive
+    /// until the last manifest naming them is itself pruned. Returns how
+    /// many were removed.
     pub fn gc_local(&self, rank: RankId, keep_from: u64) -> Result<usize> {
         let local = &self.stores(rank)?.local;
+        let epochs = local.epochs_of(rank)?;
+        let retained: Vec<u64> = epochs.iter().copied().filter(|&e| e >= keep_from).collect();
+        let referenced = Self::referenced_by(local.as_ref(), rank, &retained);
         let mut removed = 0;
-        for e in local.epochs_of(rank)? {
-            if e < keep_from && local.remove(rank, e)? {
+        for e in epochs {
+            if e < keep_from && !referenced.contains(&e) && local.remove(rank, e)? {
                 removed += 1;
             }
         }
@@ -282,6 +400,29 @@ mod tests {
     fn commit_sync(svc: &CkptStoreService, rank: RankId, epoch: u64, body: &[u8]) {
         svc.commit_local(rank, epoch, seal(body), None).unwrap();
         svc.flush_rank(rank).unwrap();
+    }
+
+    /// Encode through the delta path (like the protocol does) and commit
+    /// locally + to one partner holder.
+    fn commit_wave(
+        svc: &CkptStoreService,
+        rank: RankId,
+        holder: RankId,
+        epoch: u64,
+        body: &[u8],
+    ) -> EncodeStats {
+        svc.flush_rank(rank).unwrap();
+        let (blob, stats) = svc.encode_commit(rank, epoch, body).unwrap();
+        svc.commit_local(rank, epoch, blob.clone(), None).unwrap();
+        svc.flush_rank(rank).unwrap();
+        svc.store_partner_copy(holder, rank, epoch, &blob).unwrap();
+        stats
+    }
+
+    fn wave_body(epoch: u64, dirty_chunk: usize, chunk: usize, chunks: usize) -> Vec<u8> {
+        let mut b = vec![7u8; chunk * chunks];
+        b[dirty_chunk * chunk..(dirty_chunk + 1) * chunk].fill(epoch as u8);
+        b
     }
 
     #[test]
@@ -343,7 +484,7 @@ mod tests {
         for e in 1..=5 {
             pruned += svc.store_partner_copy(RankId(1), RankId(0), e, &seal(b"x")).unwrap();
         }
-        assert_eq!(pruned, 3); // keeps newest 2 of 5
+        assert_eq!(pruned, 3); // keeps newest 2 of 5 (full blobs: no refs)
         assert_eq!(svc.available_epochs(RankId(0)).unwrap(), vec![4, 5]);
     }
 
@@ -377,5 +518,177 @@ mod tests {
         svc.store_partner_copy(RankId(1), RankId(0), 1, &seal(b"mine")).unwrap();
         assert!(root.join("rank-0").join("own").join("rank-0.epoch-1.ckpt").exists());
         assert!(root.join("rank-1").join("partner").join("rank-0.epoch-1.ckpt").exists());
+    }
+
+    // ---- incremental delta path ----
+
+    #[test]
+    fn delta_chain_loads_bitwise_identical() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 8, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        let mut bodies = Vec::new();
+        for e in 1..=5u64 {
+            let body = wave_body(e, (e as usize) % 4, 64, 4);
+            let stats = commit_wave(&svc, RankId(0), RankId(1), e, &body);
+            assert_eq!(stats.full, e == 1, "wave {e}");
+            bodies.push(body);
+        }
+        // Every wave in the chain materializes back exactly.
+        for (i, want) in bodies.iter().enumerate() {
+            let (got, outcome) = svc.load(RankId(0), i as u64 + 1).unwrap().unwrap();
+            assert_eq!(&got, want, "epoch {}", i + 1);
+            assert_eq!(outcome, LoadOutcome::Local);
+        }
+    }
+
+    #[test]
+    fn deltas_shrink_physical_bytes() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 64, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        // 32 chunks, 1 dirty per wave: physical must be far below logical.
+        let mut logical = 0u64;
+        let mut physical = 0u64;
+        for e in 1..=8u64 {
+            let body = wave_body(e, (e as usize) % 32, 64, 32);
+            let stats = commit_wave(&svc, RankId(0), RankId(1), e, &body);
+            if e > 1 {
+                logical += stats.logical;
+                physical += stats.physical;
+            }
+        }
+        assert!(
+            physical * 4 <= logical,
+            "expected >= 4x reduction, got {logical} logical vs {physical} physical"
+        );
+    }
+
+    #[test]
+    fn chain_link_deleted_locally_is_repaired_from_partner() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 8, ..Default::default() };
+        let svc = CkptStoreService::in_memory(3, cfg);
+        let mut last = Vec::new();
+        for e in 1..=4u64 {
+            // Chunk 0 is the only dirty chunk, so chunks 1..3 always
+            // reference the epoch-1 full blob.
+            last = wave_body(e, 0, 64, 4);
+            commit_wave(&svc, RankId(0), RankId(1), e, &last);
+        }
+        // Destroy the local copy of the *base* link (epoch 1, the full
+        // blob): loading epoch 4 must repair the chain from the partner.
+        assert!(svc.stores(RankId(0)).unwrap().local.remove(RankId(0), 1).unwrap());
+        let (body, outcome) = svc.load(RankId(0), 4).unwrap().unwrap();
+        assert_eq!(body, last);
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(1) });
+        // The heal re-persisted the link: next load is fully local.
+        let (_, outcome) = svc.load(RankId(0), 4).unwrap().unwrap();
+        assert_eq!(outcome, LoadOutcome::Local);
+    }
+
+    #[test]
+    fn chain_link_corrupted_locally_is_repaired_from_partner() {
+        let root = tmpdir("chain-corrupt");
+        let cfg = StoreConfig { chunk_size: 64, full_every: 8, ..Default::default() };
+        let svc = CkptStoreService::on_disk(&root, 2, cfg).unwrap();
+        let mut last = Vec::new();
+        for e in 1..=3u64 {
+            last = wave_body(e, (e as usize) % 4, 64, 4);
+            commit_wave(&svc, RankId(0), RankId(1), e, &last);
+        }
+        // Corrupt the middle link's file (epoch 2, a delta).
+        let path = root.join("rank-0").join("own").join("rank-0.epoch-2.ckpt");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let (body, outcome) = svc.load(RankId(0), 3).unwrap().unwrap();
+        assert_eq!(body, last);
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(1) });
+    }
+
+    #[test]
+    fn lost_base_everywhere_is_an_error_not_garbage() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 8, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        for e in 1..=3u64 {
+            let body = wave_body(e, (e as usize) % 4, 64, 4);
+            // No partner copies at all: the chain exists only locally.
+            svc.flush_rank(RankId(0)).unwrap();
+            let (blob, _) = svc.encode_commit(RankId(0), e, &body).unwrap();
+            svc.commit_local(RankId(0), e, blob, None).unwrap();
+            svc.flush_rank(RankId(0)).unwrap();
+        }
+        assert!(svc.stores(RankId(0)).unwrap().local.remove(RankId(0), 1).unwrap());
+        let err = svc.load(RankId(0), 3).unwrap_err();
+        assert!(err.to_string().contains("lost everywhere"), "{err}");
+    }
+
+    #[test]
+    fn gc_keeps_bases_referenced_by_live_manifests() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 16, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        let mut last = Vec::new();
+        for e in 1..=6u64 {
+            // Chunk 0 dirty every wave: chunks 1..3 reference epoch 1
+            // forever, middle deltas hold nothing anyone references.
+            last = wave_body(e, 0, 64, 4);
+            commit_wave(&svc, RankId(0), RankId(1), e, &last);
+        }
+        // The protocol's retention: keep from epoch-1 = 5. Epoch 1 (the
+        // full base) is referenced by the manifests of 5 and 6 → kept;
+        // epochs 2..4 are unreferenced deltas → dropped.
+        let removed = svc.gc_local(RankId(0), 5).unwrap();
+        assert_eq!(removed, 3, "unreferenced middle links are dropped");
+        let left = svc.stores(RankId(0)).unwrap().local.epochs_of(RankId(0)).unwrap();
+        assert_eq!(left, vec![1, 5, 6], "referenced base survives GC");
+        // And the chain still materializes bitwise after GC.
+        let (body, _) = svc.load(RankId(0), 6).unwrap().unwrap();
+        assert_eq!(body, last);
+    }
+
+    #[test]
+    fn partner_prune_keeps_referenced_bases() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 16, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        for e in 1..=6u64 {
+            let body = wave_body(e, 0, 64, 4);
+            commit_wave(&svc, RankId(0), RankId(1), e, &body);
+        }
+        let held = svc.stores(RankId(1)).unwrap().partner.epochs_of(RankId(0)).unwrap();
+        // keep=2 retains {5, 6} plus the full base both reference.
+        assert_eq!(held, vec![1, 5, 6], "referenced base survives partner prune");
+        // Wipe rank 0's local store entirely: the partner window alone must
+        // rebuild the newest wave.
+        for e in svc.stores(RankId(0)).unwrap().local.epochs_of(RankId(0)).unwrap() {
+            svc.stores(RankId(0)).unwrap().local.remove(RankId(0), e).unwrap();
+        }
+        let (body, outcome) = svc.load(RankId(0), 6).unwrap().unwrap();
+        assert_eq!(body, wave_body(6, 0, 64, 4));
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(1) });
+    }
+
+    #[test]
+    fn load_resets_the_chain() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 8, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        for e in 1..=3u64 {
+            let body = wave_body(e, (e as usize) % 4, 64, 4);
+            commit_wave(&svc, RankId(0), RankId(1), e, &body);
+        }
+        svc.load(RankId(0), 3).unwrap().unwrap();
+        // A re-committed wave after a restore starts a fresh chain: full.
+        let body = wave_body(4, 0, 64, 4);
+        let stats = commit_wave(&svc, RankId(0), RankId(1), 4, &body);
+        assert!(stats.full, "first wave after a restore must be full");
+    }
+
+    #[test]
+    fn full_every_one_disables_deltas() {
+        let cfg = StoreConfig { chunk_size: 64, full_every: 1, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        for e in 1..=4u64 {
+            let body = wave_body(e, 0, 64, 4);
+            let stats = commit_wave(&svc, RankId(0), RankId(1), e, &body);
+            assert!(stats.full, "wave {e} must be full with full_every=1");
+        }
     }
 }

@@ -11,6 +11,8 @@
 //! | variable | default | meaning |
 //! |---|---|---|
 //! | `SPBC_REPL_K` | `2` | checkpoint replication factor (partner copies) |
+//! | `SPBC_CKPT_CHUNK` | `65536` | delta checkpoint chunk size in bytes |
+//! | `SPBC_CKPT_FULL_EVERY` | `8` | full checkpoint blob cadence (1 disables deltas) |
 //! | `SPBC_TRACE` | unset | write the last run's Chrome trace JSON here |
 //! | `SPBC_METRICS` | unset | append one metrics JSON line per run here |
 //! | `SPBC_RANKS` | `16` | harness scale: application ranks |
@@ -33,6 +35,8 @@ pub const TRACE_RING_CAPACITY: usize = 4096;
 /// Drives `--help` output and keeps the README table honest.
 pub const VARS: &[(&str, &str, &str)] = &[
     ("SPBC_REPL_K", "2", "checkpoint replication factor (partner copies)"),
+    ("SPBC_CKPT_CHUNK", "65536", "delta checkpoint chunk size in bytes"),
+    ("SPBC_CKPT_FULL_EVERY", "8", "full checkpoint blob cadence (1 disables deltas)"),
     ("SPBC_TRACE", "(unset)", "write the last run's Chrome trace JSON to this path"),
     ("SPBC_METRICS", "(unset)", "append one metrics JSON line per run to this path"),
     ("SPBC_RANKS", "16", "harness scale: application ranks"),
@@ -134,7 +138,9 @@ mod tests {
     #[test]
     fn registry_covers_struct() {
         let names: Vec<&str> = VARS.iter().map(|(n, _, _)| *n).collect();
-        for required in ["SPBC_REPL_K", "SPBC_TRACE", "SPBC_METRICS"] {
+        for required in
+            ["SPBC_REPL_K", "SPBC_CKPT_CHUNK", "SPBC_CKPT_FULL_EVERY", "SPBC_TRACE", "SPBC_METRICS"]
+        {
             assert!(names.contains(&required), "{required} missing from VARS");
         }
     }

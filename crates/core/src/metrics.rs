@@ -44,6 +44,15 @@ pub struct Metrics {
     pub ckpt_write_hidden_us: AtomicU64,
     /// Checkpoint copies removed by automatic storage GC.
     pub ckpt_gc_pruned: AtomicU64,
+    /// Bytes of serialized checkpoint state (what a full write would cost;
+    /// the numerator of the dedup ratio).
+    pub ckpt_bytes_logical: AtomicU64,
+    /// Bytes of sealed checkpoint blobs actually written locally (full or
+    /// delta; the denominator of the dedup ratio).
+    pub ckpt_bytes_physical: AtomicU64,
+    /// Bytes partner replication *would* have pushed without delta encoding
+    /// (serialized body × pushes; `repl_bytes` stays the physical count).
+    pub repl_bytes_logical: AtomicU64,
 }
 
 impl Metrics {
@@ -69,7 +78,7 @@ impl Metrics {
     /// former, a crash-window gap the latter), so they are reported apart.
     pub fn summary(&self) -> String {
         format!(
-            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}",
+            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B",
             Self::get(&self.logged_msgs),
             Self::get(&self.logged_bytes),
             Self::get(&self.replayed_msgs),
@@ -88,6 +97,9 @@ impl Metrics {
             Self::get(&self.ckpt_writes_async),
             Self::get(&self.ckpt_write_hidden_us),
             Self::get(&self.ckpt_gc_pruned),
+            Self::get(&self.ckpt_bytes_logical),
+            Self::get(&self.ckpt_bytes_physical),
+            Self::get(&self.repl_bytes_logical),
         )
     }
 
@@ -112,6 +124,9 @@ impl Metrics {
             ckpt_writes_async: Self::get(&self.ckpt_writes_async),
             ckpt_write_hidden_us: Self::get(&self.ckpt_write_hidden_us),
             ckpt_gc_pruned: Self::get(&self.ckpt_gc_pruned),
+            ckpt_bytes_logical: Self::get(&self.ckpt_bytes_logical),
+            ckpt_bytes_physical: Self::get(&self.ckpt_bytes_physical),
+            repl_bytes_logical: Self::get(&self.repl_bytes_logical),
         }
     }
 }
@@ -156,11 +171,17 @@ pub struct MetricsSnapshot {
     pub ckpt_write_hidden_us: u64,
     /// Checkpoint copies removed by automatic storage GC.
     pub ckpt_gc_pruned: u64,
+    /// Bytes of serialized checkpoint state (full-write equivalent).
+    pub ckpt_bytes_logical: u64,
+    /// Bytes of sealed checkpoint blobs actually written (full or delta).
+    pub ckpt_bytes_physical: u64,
+    /// Bytes replication would have pushed without delta encoding.
+    pub repl_bytes_logical: u64,
 }
 
 impl MetricsSnapshot {
     /// The counters as `(name, value)` pairs, in declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 18] {
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("logged_bytes", self.logged_bytes),
             ("logged_msgs", self.logged_msgs),
@@ -180,7 +201,20 @@ impl MetricsSnapshot {
             ("ckpt_writes_async", self.ckpt_writes_async),
             ("ckpt_write_hidden_us", self.ckpt_write_hidden_us),
             ("ckpt_gc_pruned", self.ckpt_gc_pruned),
+            ("ckpt_bytes_logical", self.ckpt_bytes_logical),
+            ("ckpt_bytes_physical", self.ckpt_bytes_physical),
+            ("repl_bytes_logical", self.repl_bytes_logical),
         ]
+    }
+
+    /// Dedup ratio of the checkpoint write path: logical bytes per physical
+    /// byte (1.0 = no savings; `None` until something was written).
+    pub fn dedup_ratio(&self) -> Option<f64> {
+        if self.ckpt_bytes_physical == 0 {
+            None
+        } else {
+            Some(self.ckpt_bytes_logical as f64 / self.ckpt_bytes_physical as f64)
+        }
     }
 
     /// Serialize as a single-line JSON object.
@@ -215,6 +249,16 @@ mod tests {
     }
 
     #[test]
+    fn dedup_ratio_tracks_byte_counters() {
+        let m = Metrics::new();
+        assert!(m.snapshot().dedup_ratio().is_none());
+        Metrics::add(&m.ckpt_bytes_logical, 800);
+        Metrics::add(&m.ckpt_bytes_physical, 200);
+        assert_eq!(m.snapshot().dedup_ratio(), Some(4.0));
+        assert!(m.summary().contains("ckpt-bytes 800 logical / 200 physical"), "{}", m.summary());
+    }
+
+    #[test]
     fn snapshot_copies_every_counter() {
         let m = Metrics::new();
         Metrics::add(&m.logged_bytes, 1);
@@ -235,6 +279,9 @@ mod tests {
         Metrics::add(&m.ckpt_writes_async, 16);
         Metrics::add(&m.ckpt_write_hidden_us, 17);
         Metrics::add(&m.ckpt_gc_pruned, 18);
+        Metrics::add(&m.ckpt_bytes_logical, 19);
+        Metrics::add(&m.ckpt_bytes_physical, 20);
+        Metrics::add(&m.repl_bytes_logical, 21);
         let s = m.snapshot();
         for (i, (_, v)) in s.fields().iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);

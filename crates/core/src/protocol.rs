@@ -90,12 +90,29 @@ pub struct SpbcConfig {
     /// commit barrier does not pay serialization + fsync latency. Disable to
     /// restore fully synchronous commits.
     pub async_ckpt_writes: bool,
+    /// Chunk size for incremental (delta) checkpoint encoding. Defaults to
+    /// `$SPBC_CKPT_CHUNK` or 64 KiB.
+    pub ckpt_chunk: usize,
+    /// Write a full checkpoint blob every Nth wave, deltas in between, to
+    /// bound delta-chain length. Defaults to `$SPBC_CKPT_FULL_EVERY` or 8;
+    /// 1 disables the delta path entirely.
+    pub ckpt_full_every: u64,
 }
 
 /// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
 /// copy even if the owner's cluster *and* one partner fail together).
 fn default_replicas() -> usize {
     crate::env::get_or("SPBC_REPL_K", 2)
+}
+
+/// Delta chunk size from `$SPBC_CKPT_CHUNK`, defaulting to 64 KiB.
+fn default_ckpt_chunk() -> usize {
+    crate::env::get_or("SPBC_CKPT_CHUNK", spbc_ckptstore::chunk::DEFAULT_CHUNK_SIZE)
+}
+
+/// Full-blob cadence from `$SPBC_CKPT_FULL_EVERY`, defaulting to 8.
+fn default_ckpt_full_every() -> u64 {
+    crate::env::get_or("SPBC_CKPT_FULL_EVERY", spbc_ckptstore::chunk::DEFAULT_FULL_EVERY)
 }
 
 impl Default for SpbcConfig {
@@ -108,6 +125,8 @@ impl Default for SpbcConfig {
             free_logs_on_checkpoint: false,
             replicas: default_replicas(),
             async_ckpt_writes: true,
+            ckpt_chunk: default_ckpt_chunk(),
+            ckpt_full_every: default_ckpt_full_every(),
         }
     }
 }
@@ -181,8 +200,12 @@ impl SpbcProvider {
     /// [`with_storage`](Self::with_storage) and a [`Storage`] value.
     pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
         let world = clusters.world_size();
-        let store_cfg =
-            StoreConfig { async_writes: cfg.async_ckpt_writes, ..StoreConfig::default() };
+        let store_cfg = StoreConfig {
+            async_writes: cfg.async_ckpt_writes,
+            chunk_size: cfg.ckpt_chunk,
+            full_every: cfg.ckpt_full_every,
+            ..StoreConfig::default()
+        };
         SpbcProvider {
             clusters: Arc::new(clusters),
             store: Arc::new(SharedStore::new(world)),
@@ -198,8 +221,12 @@ impl SpbcProvider {
     pub fn with_storage(mut self, storage: Storage) -> Result<Self> {
         if let Some(root) = storage.root {
             let world = self.clusters.world_size();
-            let store_cfg =
-                StoreConfig { async_writes: self.cfg.async_ckpt_writes, ..StoreConfig::default() };
+            let store_cfg = StoreConfig {
+                async_writes: self.cfg.async_ckpt_writes,
+                chunk_size: self.cfg.ckpt_chunk,
+                full_every: self.cfg.ckpt_full_every,
+                ..StoreConfig::default()
+            };
             self.ckptstore = Arc::new(CkptStoreService::on_disk(root, world, store_cfg)?);
         }
         if let Some(disk) = storage.mirror {
@@ -285,6 +312,9 @@ struct ReplWait {
     epoch: u64,
     awaiting: HashSet<RankId>,
     blob: Vec<u8>,
+    /// Serialized body size behind `blob` (full-write equivalent), for the
+    /// logical-bytes replication accounting on retries.
+    logical: u64,
     last_push: Instant,
 }
 
@@ -708,19 +738,26 @@ impl SpbcLayer {
         if let Some(disk) = &self.disk {
             disk.save(self.me, &ck)?;
         }
-        // Stable storage via the replicated checkpoint service: seal once
-        // (CRC32 framing), reuse the bytes for the local write and every
-        // partner push.
-        let sealed = ck.to_blob();
-        if let Some(service) = &self.service {
+        // Stable storage via the replicated checkpoint service: serialize
+        // once, delta-encode against the previous committed wave (only the
+        // changed chunks are written — spbc-ckptstore `SPBCCKP3`), and reuse
+        // the sealed blob for the local write and every partner push.
+        let mut logical = 0u64;
+        let sealed = if let Some(service) = &self.service {
             // Double buffer: wait for the *previous* wave's background
             // write, never our own — that is all the fsync latency the
             // commit barrier ever pays.
             service.flush_rank(self.me)?;
-            let bytes = sealed.len() as u64;
+            let body = to_bytes(&ck);
+            let (blob, stats) = service.encode_commit(self.me, epoch, &body)?;
+            logical = stats.logical;
+            Metrics::add(&self.metrics.ckpt_bytes_logical, stats.logical);
+            Metrics::add(&self.metrics.ckpt_bytes_physical, stats.physical);
+            let bytes = blob.len() as u64;
             ctx.recorder().record(|| Event::CkptWrite {
                 epoch,
                 bytes,
+                logical,
                 phase: WritePhase::Submitted,
             });
             let rec = ctx.recorder().clone();
@@ -729,12 +766,13 @@ impl SpbcLayer {
             service.commit_local(
                 self.me,
                 epoch,
-                sealed.clone(),
+                blob.clone(),
                 Some(Box::new(move |res, hidden| {
                     if res.is_ok() {
                         rec.record(|| Event::CkptWrite {
                             epoch,
                             bytes,
+                            logical,
                             phase: WritePhase::Completed,
                         });
                         if is_async {
@@ -744,7 +782,10 @@ impl SpbcLayer {
                     }
                 })),
             )?;
-        }
+            blob
+        } else {
+            ck.to_blob()
+        };
         {
             let mut p = self.persistent.lock();
             p.push_checkpoint(ck);
@@ -763,12 +804,13 @@ impl SpbcLayer {
             ctx.chaos_ckpt_hook(CkptHook::Replicate)?;
             let partners = self.partners.clone();
             for &p in &partners {
-                self.push_blob_to(ctx, p, epoch, &sealed);
+                self.push_blob_to(ctx, p, epoch, &sealed, logical);
             }
             self.repl = Some(ReplWait {
                 epoch,
                 awaiting: partners.into_iter().collect(),
                 blob: sealed,
+                logical,
                 last_push: Instant::now(),
             });
             self.ckpt_state = CkptState::AwaitRepl;
@@ -778,12 +820,22 @@ impl SpbcLayer {
         Ok(())
     }
 
-    /// Send one partner its replica copy (also used for retries).
-    fn push_blob_to(&self, ctx: &mut FtCtx<'_>, partner: RankId, epoch: u64, sealed: &[u8]) {
+    /// Send one partner its replica copy (also used for retries). `logical`
+    /// is the serialized body size the sealed blob stands for — with delta
+    /// encoding `repl_bytes` (physical) can be far below `repl_bytes_logical`.
+    fn push_blob_to(
+        &self,
+        ctx: &mut FtCtx<'_>,
+        partner: RankId,
+        epoch: u64,
+        sealed: &[u8],
+        logical: u64,
+    ) {
         let bytes = sealed.len() as u64;
         ctx.recorder().record(|| Event::CkptReplPush { partner, epoch, bytes });
         Metrics::add(&self.metrics.repl_pushes, 1);
         Metrics::add(&self.metrics.repl_bytes, bytes);
+        Metrics::add(&self.metrics.repl_bytes_logical, logical);
         let body = to_bytes(&CkptBlob { owner: self.me.0, epoch, blob: sealed.to_vec() });
         // Storage traffic, not protocol control: bypass `self.ctrl` so
         // `ctrl_msgs` keeps measuring coordination cost only.
@@ -1137,9 +1189,9 @@ impl FtLayer for SpbcLayer {
             if r.last_push.elapsed() >= REPL_RETRY && !r.awaiting.is_empty() {
                 r.last_push = Instant::now();
                 let targets: Vec<RankId> = r.awaiting.iter().copied().collect();
-                let (epoch, blob) = (r.epoch, r.blob.clone());
+                let (epoch, blob, logical) = (r.epoch, r.blob.clone(), r.logical);
                 for p in targets {
-                    self.push_blob_to(ctx, p, epoch, &blob);
+                    self.push_blob_to(ctx, p, epoch, &blob, logical);
                 }
             }
         }

@@ -7,10 +7,11 @@
 //! ```
 //!
 //! * `--seeds N` — base seeds (default 8). Each seed expands to
-//!   4 families × 2 workloads = 8 schedules, so `--seeds 8` runs 64.
+//!   5 families × 2 workloads = 10 schedules, so `--seeds 8` runs 80.
 //! * `--short` — CI-sized workloads (fewer iterations, smaller state).
 //! * `--family NAME` — restrict to one family
-//!   (`spread`, `same-cluster-repeat`, `during-recovery`, `ckpt-phases`).
+//!   (`spread`, `same-cluster-repeat`, `during-recovery`, `ckpt-phases`,
+//!   `delta-chain`).
 //! * `--pinned` — additionally run the pinned regression schedules.
 //!
 //! Exit status 0 iff every schedule passed.
@@ -44,6 +45,7 @@ fn main() {
                     Some("same-cluster-repeat") => Family::SameClusterRepeat,
                     Some("during-recovery") => Family::DuringRecovery,
                     Some("ckpt-phases") => Family::CkptPhases,
+                    Some("delta-chain") => Family::DeltaChain,
                     _ => usage(),
                 })
             }
@@ -57,7 +59,11 @@ fn main() {
 
     if pinned {
         let mut oracle = chaos::Oracle::new(cfg.clone());
-        for schedule in [chaos::pinned::commit_barrier(), chaos::pinned::rendezvous_rebind()] {
+        for schedule in [
+            chaos::pinned::commit_barrier(),
+            chaos::pinned::rendezvous_rebind(),
+            chaos::pinned::delta_chain(),
+        ] {
             total += 1;
             match oracle.run(&schedule) {
                 chaos::Verdict::Pass => {

@@ -2,7 +2,7 @@
 //! permanently fuzz the protocol's fragile windows.
 //!
 //! A *schedule* is a set of [`FailurePlan`]s generated from a seed by one of
-//! four scenario families:
+//! five scenario families:
 //!
 //! * [`Family::Spread`] — overlapping failures landing in different
 //!   clusters across the execution;
@@ -16,7 +16,11 @@
 //! * [`Family::CkptPhases`] — kills keyed to the checkpoint protocol's own
 //!   phases ([`CkptHook::WaveOpen`], [`CkptHook::Write`],
 //!   [`CkptHook::Replicate`], [`CkptHook::CommitBarrier`]) — the window of
-//!   the commit-barrier race.
+//!   the commit-barrier race;
+//! * [`Family::DeltaChain`] — kills timed so restore has to materialize a
+//!   delta checkpoint chain (several waves committed before the failure,
+//!   so the restored wave is an `SPBCCKP3` delta referencing earlier
+//!   epochs), plus kills mid-replication of a delta blob.
 //!
 //! Every schedule runs under SPBC and is verified **bitwise** against a
 //! native (fault-free) execution of the same workload. A failing schedule is
@@ -68,7 +72,7 @@ impl Rng {
     }
 }
 
-/// The four scenario families a campaign cycles through.
+/// The five scenario families a campaign cycles through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Family {
     /// Overlapping failures in different clusters.
@@ -80,12 +84,20 @@ pub enum Family {
     DuringRecovery,
     /// Kills keyed to checkpoint-protocol phases.
     CkptPhases,
+    /// Kills timed so restore crosses a delta checkpoint chain, plus kills
+    /// mid-replication of a delta blob.
+    DeltaChain,
 }
 
 impl Family {
     /// Every family, in campaign order.
-    pub const ALL: [Family; 4] =
-        [Family::Spread, Family::SameClusterRepeat, Family::DuringRecovery, Family::CkptPhases];
+    pub const ALL: [Family; 5] = [
+        Family::Spread,
+        Family::SameClusterRepeat,
+        Family::DuringRecovery,
+        Family::CkptPhases,
+        Family::DeltaChain,
+    ];
 }
 
 impl fmt::Display for Family {
@@ -95,6 +107,7 @@ impl fmt::Display for Family {
             Family::SameClusterRepeat => "same-cluster-repeat",
             Family::DuringRecovery => "during-recovery",
             Family::CkptPhases => "ckpt-phases",
+            Family::DeltaChain => "delta-chain",
         };
         f.write_str(s)
     }
@@ -113,6 +126,8 @@ pub struct ChaosConfig {
     pub elems: usize,
     /// Checkpoint every this many iterations.
     pub ckpt_interval: u64,
+    /// Full checkpoint blob cadence (1 disables delta chains entirely).
+    pub ckpt_full_every: u64,
     /// Deadlock watchdog per run — a hang is a finding, not a CI timeout.
     pub timeout: Duration,
     /// Workloads each seed × family pair runs under.
@@ -127,6 +142,7 @@ impl Default for ChaosConfig {
             iters: 30,
             elems: 192,
             ckpt_interval: 4,
+            ckpt_full_every: spbc_ckptstore::chunk::DEFAULT_FULL_EVERY,
             timeout: Duration::from_secs(90),
             workloads: vec![Workload::MiniGhost, Workload::Amg],
         }
@@ -177,6 +193,7 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
         Family::SameClusterRepeat => 2,
         Family::DuringRecovery => 3,
         Family::CkptPhases => 4,
+        Family::DeltaChain => 5,
     };
     let mut rng = Rng::new(seed.wrapping_mul(0x0100_0000_01b3) ^ salt ^ (workload as u64) << 32);
     let span = cfg.iters.saturating_sub(4).max(1);
@@ -238,6 +255,30 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
             if rng.below(2) == 1 {
                 let c = rng.below(cfg.clusters as u64) as usize;
                 plans.push(FailurePlan::nth(cfg.rank_in(c, &mut rng), nth(&mut rng)));
+            }
+            plans
+        }
+        Family::DeltaChain => {
+            // The restored wave must be a delta, not a full blob: with the
+            // default cadence wave 1 is full and waves 2+ are deltas, so the
+            // kill lands only after at least two waves committed. Restore
+            // then materializes a chain (delta + referenced bases), under
+            // partner repair if the local links died with the rank.
+            let after_two_waves = 2 * cfg.ckpt_interval + 1;
+            let late_span = cfg.iters.saturating_sub(after_two_waves + 2).max(1);
+            let late = |rng: &mut Rng| after_two_waves + rng.below(late_span);
+            let a = rng.below(cfg.clusters as u64) as usize;
+            let mut plans = vec![FailurePlan::nth(cfg.rank_in(a, &mut rng), late(&mut rng))];
+            if rng.below(2) == 1 {
+                // And/or die mid-replication of a delta blob: wave 2+ pushes
+                // carry SPBCCKP3 deltas, and the partner must still end up
+                // with a repairable chain.
+                let b = (a + 1 + rng.below(cfg.clusters as u64 - 1) as usize) % cfg.clusters;
+                plans.push(FailurePlan::at_phase(
+                    cfg.rank_in(b, &mut rng),
+                    CkptHook::Replicate,
+                    2 + rng.below(2),
+                ));
             }
             plans
         }
@@ -322,7 +363,11 @@ impl Oracle {
         let params = self.cfg.params(seed);
         let provider = Arc::new(SpbcProvider::new(
             ClusterMap::blocks(self.cfg.world, self.cfg.clusters),
-            SpbcConfig { ckpt_interval: self.cfg.ckpt_interval, ..Default::default() },
+            SpbcConfig {
+                ckpt_interval: self.cfg.ckpt_interval,
+                ckpt_full_every: self.cfg.ckpt_full_every,
+                ..Default::default()
+            },
         ));
         let report = Runtime::builder(self.runtime_cfg())
             .provider(provider)
@@ -559,6 +604,22 @@ pub mod pinned {
                 FailurePlan::nth(RankId(0), 5),
                 FailurePlan::at_replay_progress(RankId(4), 0.3),
                 FailurePlan::after_recovery(RankId(6), 0, 1),
+            ],
+        }
+    }
+
+    /// Delta-chain restore window: a rank dies after three checkpoint waves
+    /// (the restored wave is an `SPBCCKP3` delta whose chain must
+    /// materialize bitwise, repairing links from partners), while a second
+    /// cluster dies mid-replication of a delta blob in a later wave.
+    pub fn delta_chain() -> Schedule {
+        Schedule {
+            seed: u64::MAX,
+            family: Family::DeltaChain,
+            workload: Workload::MiniGhost,
+            plans: vec![
+                FailurePlan::nth(RankId(1), 14),
+                FailurePlan::at_phase(RankId(6), CkptHook::Replicate, 3),
             ],
         }
     }

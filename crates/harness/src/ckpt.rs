@@ -1,0 +1,222 @@
+//! `ckpt_delta` report: logical vs physical checkpoint bytes under the V3
+//! delta encoder — the storage-stack analogue of Table 1.
+//!
+//! Two sections:
+//! * **workloads** — evaluation workloads run under SPBC with the delta
+//!   cadence on and off; logical vs physical bytes come straight from the
+//!   run's metrics counters.
+//! * **encoder sweep** — the encoder driven directly over synthetic bodies
+//!   with a controlled dirty fraction per wave, the regime the format
+//!   targets (a small working set touched between waves).
+//!
+//! `spbc-ckpt` renders the table and writes the rows as `BENCH_ckpt.json`.
+
+use crate::profile::run_with;
+use crate::report::{f2, TextTable};
+use crate::Scale;
+use mini_mpi::error::Result;
+use mini_mpi::types::RankId;
+use spbc_apps::Workload;
+use spbc_ckptstore::chunk::{DEFAULT_CHUNK_SIZE, DEFAULT_FULL_EVERY};
+use spbc_ckptstore::{CkptStoreService, StoreConfig};
+use spbc_core::{ClusterMap, SpbcConfig, SpbcProvider};
+use std::sync::Arc;
+
+/// One report row: a scenario's byte counters over a whole run.
+#[derive(Clone, Debug)]
+pub struct CkptRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Serialized checkpoint bytes (full-write equivalent).
+    pub logical: u64,
+    /// Sealed blob bytes actually written.
+    pub physical: u64,
+    /// Replication bytes a full-blob push would have cost.
+    pub repl_logical: u64,
+    /// Replication bytes actually pushed to partners.
+    pub repl_physical: u64,
+}
+
+impl CkptRow {
+    /// Write-amplification reduction: logical over physical bytes (1.0 when
+    /// nothing was written).
+    pub fn dedup(&self) -> f64 {
+        if self.physical == 0 {
+            1.0
+        } else {
+            self.logical as f64 / self.physical as f64
+        }
+    }
+}
+
+/// Run `w` under SPBC with the given full-blob cadence and collect the
+/// run-wide byte counters.
+pub fn run_workload(w: Workload, scale: &Scale, full_every: u64) -> Result<CkptRow> {
+    let app = w.build(scale.params(w));
+    let cfg = SpbcConfig {
+        ckpt_interval: (scale.iters / 6).max(1),
+        ckpt_full_every: full_every,
+        ..SpbcConfig::default()
+    };
+    let provider = Arc::new(SpbcProvider::new(ClusterMap::blocks(scale.world, scale.nodes()), cfg));
+    let report = run_with(scale, provider.clone(), &app)?;
+    crate::obs::write_trace(&report);
+    crate::obs::emit_metrics(
+        &format!("ckpt/{}/full-every-{full_every}", w.name()),
+        &provider.metrics(),
+        &report,
+    );
+    let m = provider.metrics().snapshot();
+    Ok(CkptRow {
+        scenario: format!("{}/full-every-{full_every}", w.name()),
+        logical: m.ckpt_bytes_logical,
+        physical: m.ckpt_bytes_physical,
+        repl_logical: m.repl_bytes_logical,
+        repl_physical: m.repl_bytes,
+    })
+}
+
+/// Drive the delta encoder directly: `waves` consecutive epochs over a
+/// `chunks`-chunk body where the first `dirty` chunks change every wave.
+/// A replication push carries the same sealed blob, so the replication
+/// columns mirror the write columns here.
+pub fn encoder_sweep(chunks: usize, waves: u64, dirty: usize, full_every: u64) -> CkptRow {
+    let svc = CkptStoreService::in_memory(1, StoreConfig { full_every, ..StoreConfig::default() });
+    let mut body = vec![7u8; chunks * DEFAULT_CHUNK_SIZE];
+    let (mut logical, mut physical) = (0u64, 0u64);
+    for epoch in 1..=waves {
+        for d in 0..dirty.min(chunks) {
+            body[d * DEFAULT_CHUNK_SIZE] = (epoch % 251) as u8 + 1;
+        }
+        let (_, stats) = svc.encode_commit(RankId(0), epoch, &body).expect("encode");
+        logical += stats.logical;
+        physical += stats.physical;
+    }
+    CkptRow {
+        scenario: format!("synthetic/{dirty}-of-{chunks}-dirty/full-every-{full_every}"),
+        logical,
+        physical,
+        repl_logical: logical,
+        repl_physical: physical,
+    }
+}
+
+/// The full report: both chaos workloads under delta vs fulls-only cadence,
+/// plus the synthetic dirty-fraction sweep.
+pub fn run(scale: &Scale) -> Result<Vec<CkptRow>> {
+    let mut rows = Vec::new();
+    for w in [Workload::MiniGhost, Workload::Amg] {
+        rows.push(run_workload(w, scale, DEFAULT_FULL_EVERY)?);
+        rows.push(run_workload(w, scale, 1)?);
+    }
+    for (dirty, full_every) in
+        [(1usize, DEFAULT_FULL_EVERY), (8, DEFAULT_FULL_EVERY), (32, DEFAULT_FULL_EVERY), (32, 1)]
+    {
+        rows.push(encoder_sweep(32, 24, dirty, full_every));
+    }
+    Ok(rows)
+}
+
+/// Render the rows with aligned columns.
+pub fn render(rows: &[CkptRow]) -> String {
+    let mut t = TextTable::new(&[
+        "Scenario",
+        "Logical B",
+        "Physical B",
+        "Dedup",
+        "Repl logical B",
+        "Repl physical B",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.scenario.clone(),
+            r.logical.to_string(),
+            r.physical.to_string(),
+            f2(r.dedup()),
+            r.repl_logical.to_string(),
+            r.repl_physical.to_string(),
+        ]);
+    }
+    format!("ckpt_delta: logical vs physical checkpoint bytes\n{}", t.render())
+}
+
+/// Machine-readable rows — the `BENCH_ckpt.json` baseline format.
+pub fn to_json(rows: &[CkptRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"ckpt_delta\",\n");
+    out.push_str(&format!("  \"chunk_size\": {DEFAULT_CHUNK_SIZE},\n"));
+    out.push_str(&format!("  \"full_every\": {DEFAULT_FULL_EVERY},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"logical\": {}, \"physical\": {}, \
+             \"repl_logical\": {}, \"repl_physical\": {}, \"dedup\": {}}}{}\n",
+            r.scenario,
+            r.logical,
+            r.physical,
+            r.repl_logical,
+            r.repl_physical,
+            f2(r.dedup()),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_hits_the_acceptance_targets() {
+        // Small dirty fraction: ≥ 4x physical-byte reduction.
+        let small = encoder_sweep(32, 24, 1, DEFAULT_FULL_EVERY);
+        assert!(small.dedup() >= 4.0, "{small:?}");
+        // All chunks dirty every wave: within 10% of the fulls-only path.
+        let worst = encoder_sweep(32, 24, 32, DEFAULT_FULL_EVERY);
+        let fulls = encoder_sweep(32, 24, 32, 1);
+        assert!(
+            worst.physical as f64 <= 1.10 * fulls.physical as f64,
+            "worst {worst:?} vs fulls {fulls:?}"
+        );
+        // Fulls-only cadence writes every logical byte.
+        assert!(fulls.physical >= fulls.logical, "{fulls:?}");
+    }
+
+    #[test]
+    fn workload_rows_count_bytes() {
+        let scale = Scale {
+            world: 8,
+            iters: 6,
+            elems: 128,
+            sleep_us: 0,
+            ranks_per_node: 2,
+            reps: 1,
+            ..Default::default()
+        };
+        let delta = run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY).unwrap();
+        assert!(delta.logical > 0 && delta.physical > 0, "{delta:?}");
+        let fulls = run_workload(Workload::MiniGhost, &scale, 1).unwrap();
+        // Sealing adds framing, so physical ≥ logical on the fulls path.
+        assert!(fulls.physical >= fulls.logical, "{fulls:?}");
+        // This workload rewrites its whole (sub-chunk) state every wave, so
+        // deltas cannot help — the worst-case bound is that they stay within
+        // 10% of the fulls-only path.
+        assert!(
+            delta.physical as f64 <= 1.10 * fulls.physical as f64,
+            "delta {delta:?} vs fulls {fulls:?}"
+        );
+    }
+
+    #[test]
+    fn render_and_json_carry_every_row() {
+        let rows = vec![encoder_sweep(4, 3, 1, DEFAULT_FULL_EVERY), encoder_sweep(4, 3, 4, 1)];
+        let table = render(&rows);
+        let json = to_json(&rows);
+        for r in &rows {
+            assert!(table.contains(&r.scenario));
+            assert!(json.contains(&r.scenario));
+        }
+        assert!(json.contains("\"bench\": \"ckpt_delta\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

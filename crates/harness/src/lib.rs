@@ -10,6 +10,7 @@
 //! | Figure 5 (recovery performance)         | [`fig5`]   | `spbc-fig5` |
 //! | Figure 6 (HydEE vs SPBC recovery)       | [`fig6`]   | `spbc-fig6` |
 //! | A1/A2/A3 ablations                      | [`ablation`] | `spbc-ablation` |
+//! | ckpt_delta (logical vs physical bytes)  | [`ckpt`]   | `spbc-ckpt` |
 //!
 //! Scale is controlled by environment variables (defaults in parentheses):
 //! `SPBC_RANKS` (16), `SPBC_ITERS` (24), `SPBC_ELEMS` (512),
@@ -26,6 +27,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod ckpt;
 pub mod fig5;
 pub mod fig6;
 pub mod memory;

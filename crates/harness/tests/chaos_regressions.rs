@@ -55,12 +55,32 @@ fn pinned_replay_resume_after_replayer_death() {
     assert_passes(&mut oracle, &schedule);
 }
 
+/// The delta-chain restore window: the restored wave is an `SPBCCKP3`
+/// delta whose chain must materialize bitwise (repairing lost links from
+/// partners), with a second cluster dying mid-replication of a delta blob.
+#[test]
+fn pinned_delta_chain_restore() {
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    assert_passes(&mut oracle, &chaos::pinned::delta_chain());
+}
+
+/// Same window with deltas on every wave disabled entirely: full-blob-only
+/// cadence must survive the identical schedule, so any pinned_delta_chain
+/// failure isolates to the delta path.
+#[test]
+fn pinned_delta_chain_restore_fulls_only() {
+    let mut cfg = ChaosConfig::short();
+    cfg.ckpt_full_every = 1;
+    let mut oracle = Oracle::new(cfg);
+    assert_passes(&mut oracle, &chaos::pinned::delta_chain());
+}
+
 /// A fixed-seed campaign slice: every family, both workloads, seeds 0-1.
 /// Bitwise identical to native on every schedule.
 #[test]
 fn fixed_seed_campaign_slice() {
     let report = chaos::run_campaign(2, ChaosConfig::short());
-    assert_eq!(report.total, 16);
+    assert_eq!(report.total, 20);
     assert!(
         report.failures.is_empty(),
         "campaign failures:\n{}",

@@ -200,8 +200,11 @@ pub enum Event {
     CkptWrite {
         /// Checkpoint wave epoch.
         epoch: u64,
-        /// Sealed blob size.
+        /// Sealed blob size actually written (full or delta).
         bytes: u64,
+        /// Serialized checkpoint body size (what a full write would cost;
+        /// `bytes < logical` means the delta path deduplicated chunks).
+        logical: u64,
         /// Submitted (rank side) or Completed (writer side).
         phase: WritePhase,
     },
@@ -280,8 +283,8 @@ impl fmt::Display for Event {
             Event::Replay { dst, comm, seqnum } => write!(f, "replay ->{dst} c{comm} s{seqnum}"),
             Event::ReplayDrained { dst } => write!(f, "replay-drained ->{dst}"),
             Event::Stall { what } => write!(f, "STALL in {what}"),
-            Event::CkptWrite { epoch, bytes, phase } => {
-                write!(f, "ckpt-write e{epoch} {bytes}B {phase:?}")
+            Event::CkptWrite { epoch, bytes, logical, phase } => {
+                write!(f, "ckpt-write e{epoch} {bytes}B/{logical}B {phase:?}")
             }
             Event::CkptReplPush { partner, epoch, bytes } => {
                 write!(f, "repl-push ->{partner} e{epoch} {bytes}B")
@@ -635,8 +638,8 @@ mod tests {
     fn storage_events_render() {
         let cases: Vec<(Event, &str)> = vec![
             (
-                Event::CkptWrite { epoch: 2, bytes: 64, phase: WritePhase::Submitted },
-                "ckpt-write e2 64B Submitted",
+                Event::CkptWrite { epoch: 2, bytes: 24, logical: 64, phase: WritePhase::Submitted },
+                "ckpt-write e2 24B/64B Submitted",
             ),
             (
                 Event::CkptReplPush { partner: RankId(5), epoch: 2, bytes: 64 },

@@ -95,7 +95,7 @@ fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
                 close_span(&mut open_async, out, tid, ev.t_us, &id);
                 out.push(instant(tid, ev, "replay-drained", "replay"));
             }
-            Event::CkptWrite { epoch, phase, .. } => {
+            Event::CkptWrite { epoch, bytes, logical, phase } => {
                 // One write in flight per rank: the double-buffered writer
                 // holds at most one queued + one running job, and a second
                 // Submitted before Completed means coalescing replaced the
@@ -104,7 +104,22 @@ fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
                 match phase {
                     WritePhase::Submitted => {
                         let name = format!("ckpt-write e{epoch}");
-                        open_span(&mut open_async, out, tid, ev.t_us, id, name, "ckptstore");
+                        // Dedup accounting on the span itself: bytes written
+                        // vs full-write equivalent.
+                        let dedup = if *bytes > 0 { *logical as f64 / *bytes as f64 } else { 1.0 };
+                        let args = format!(
+                            "{{\"physical\":{bytes},\"logical\":{logical},\"dedup\":{dedup:.2}}}"
+                        );
+                        open_span_with_args(
+                            &mut open_async,
+                            out,
+                            tid,
+                            ev.t_us,
+                            id,
+                            name,
+                            "ckptstore",
+                            Some(&args),
+                        );
                         out.push(instant(tid, ev, "ckpt-write-submit", "ckptstore"));
                     }
                     WritePhase::Completed => {
@@ -158,8 +173,24 @@ fn open_span(
     name: String,
     cat: &'static str,
 ) {
+    open_span_with_args(open, out, tid, ts, id, name, cat, None);
+}
+
+/// [`open_span`] with an optional pre-rendered JSON `args` object attached
+/// to the begin event (e.g. the ckpt-write span's dedup accounting).
+#[allow(clippy::too_many_arguments)]
+fn open_span_with_args(
+    open: &mut OpenAsync,
+    out: &mut Vec<Emit>,
+    tid: u32,
+    ts: u64,
+    id: String,
+    name: String,
+    cat: &'static str,
+    args: Option<&str>,
+) {
     close_span(open, out, tid, ts, &id);
-    out.push(begin_async(tid, ts, &id, &name, cat));
+    out.push(begin_async(tid, ts, &id, &name, cat, args));
     open.push((id, name, cat));
 }
 
@@ -186,11 +217,12 @@ fn end_sync(tid: u32, ts: u64) -> Emit {
     Emit { t_us: ts, body: format!("{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}") }
 }
 
-fn begin_async(tid: u32, ts: u64, id: &str, name: &str, cat: &str) -> Emit {
+fn begin_async(tid: u32, ts: u64, id: &str, name: &str, cat: &str, args: Option<&str>) -> Emit {
+    let args = args.map(|a| format!(",\"args\":{a}")).unwrap_or_default();
     Emit {
         t_us: ts,
         body: format!(
-            "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":{}}}",
+            "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"id\":{},\"name\":{},\"cat\":{}{args}}}",
             escape(id),
             escape(name),
             escape(cat)
@@ -298,7 +330,12 @@ mod tests {
                     te(
                         13,
                         14,
-                        Event::CkptWrite { epoch: 1, bytes: 96, phase: WritePhase::Submitted },
+                        Event::CkptWrite {
+                            epoch: 1,
+                            bytes: 32,
+                            logical: 96,
+                            phase: WritePhase::Submitted,
+                        },
                     ),
                     te(14, 4, Event::Ckpt { epoch: 1, phase: CkptPhase::Written }),
                     te(14, 15, Event::CkptReplPush { partner: RankId(1), epoch: 1, bytes: 96 }),
@@ -310,7 +347,12 @@ mod tests {
                     te(
                         25,
                         17,
-                        Event::CkptWrite { epoch: 1, bytes: 96, phase: WritePhase::Completed },
+                        Event::CkptWrite {
+                            epoch: 1,
+                            bytes: 32,
+                            logical: 96,
+                            phase: WritePhase::Completed,
+                        },
                     ),
                     te(26, 18, Event::CkptGc { pruned: 1, keep_from: 1 }),
                     te(30, 7, Event::ReplayQueued { dst: RankId(1), msgs: 2 }),
@@ -432,6 +474,23 @@ mod tests {
         assert!(span_names.contains(&"ckpt-write e1"), "{span_names:?}");
         assert!(span_names.contains(&"repl->r1"), "{span_names:?}");
         assert!(span_names.contains(&"repl->r0"), "unacked push still opens");
+    }
+
+    #[test]
+    fn ckpt_write_span_carries_dedup_args() {
+        let out = chrome_trace(&synthetic_log());
+        let doc = parse(&out).unwrap();
+        let span = trace_events(&doc)
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("b")
+                    && e.get("name").and_then(Json::as_str) == Some("ckpt-write e1")
+            })
+            .expect("ckpt-write span present");
+        let args = span.get("args").expect("span has args");
+        assert_eq!(args.get("physical").and_then(Json::as_num), Some(32.0));
+        assert_eq!(args.get("logical").and_then(Json::as_num), Some(96.0));
+        assert_eq!(args.get("dedup").and_then(Json::as_num), Some(3.0));
     }
 
     #[test]
