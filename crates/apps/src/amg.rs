@@ -59,19 +59,28 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
         let n = rank.world_size();
         let reply_len = (p.elems / 32).max(4);
 
-        let mut state: (u64, Vec<f64>, Patterns) = rank.restore()?.unwrap_or_else(|| {
+        // State = (iteration, field, interpolation weights, patterns). The
+        // weight table is seeded without a rank term: identical on every
+        // rank and constant across iterations, so content-defined chunking
+        // deduplicates it across both ranks and epochs.
+        let mut state: (u64, Vec<f64>, Vec<f64>, Patterns) = rank.restore()?.unwrap_or_else(|| {
             let mut pats = Patterns::new();
             for _ in 0..PHASES {
                 pats.declare();
             }
-            (0, compute::init_field(p.elems, p.seed.wrapping_add(me as u64)), pats)
+            (
+                0,
+                compute::init_field(p.elems, p.seed.wrapping_add(me as u64)),
+                compute::init_field(p.elems, p.seed ^ 0xa316_11eb),
+                pats,
+            )
         });
 
         while state.0 < p.iters {
             rank.failure_point()?;
             let iter = state.0;
             for phase in 0..PHASES {
-                let (_, field, pats) = &mut state;
+                let (_, field, weights, pats) = &mut state;
                 let my_contacts = contacts(me, n, iter, phase, p.seed);
 
                 // How many requests will reach me this phase? (Termination
@@ -137,7 +146,7 @@ pub fn app(p: AppParams) -> impl Fn(&mut Rank) -> Result<Vec<u8>> + Send + Sync 
                     let (_st, data) = slot.as_ref().expect("all replies collected");
                     for (j, v) in data.iter().enumerate() {
                         let idx = (i * 31 + j) % field.len();
-                        field[idx] = 0.95 * field[idx] + 0.05 * v;
+                        field[idx] = 0.95 * field[idx] + 0.05 * weights[idx] * v;
                     }
                 }
                 compute::work_timed(field, p.compute.max(1) / 2 + 1, p.sleep_us);

@@ -23,19 +23,43 @@ pub fn seal(body: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Validate a sealed blob and return its body.
+/// A sealed blob routed to its version's reader by [`unseal_any`]. Every
+/// variant has already passed that version's structural + checksum
+/// verification.
+pub enum Unsealed<'a> {
+    /// V1/V2 full blob: the verified body bytes.
+    Full(&'a [u8]),
+    /// V3 fixed-grid delta: needs [`crate::chunk::materialize`] with
+    /// epoch-addressed base fetches.
+    Delta(crate::chunk::DeltaView<'a>),
+    /// V4 content-addressed manifest: needs
+    /// [`crate::chunk::CasView::materialize`] against the chunk store.
+    Cas(crate::chunk::CasView<'a>),
+}
+
+impl std::fmt::Debug for Unsealed<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsealed::Full(b) => write!(f, "Unsealed::Full({} bytes)", b.len()),
+            Unsealed::Delta(v) => write!(f, "Unsealed::Delta({} chunks)", v.n_chunks()),
+            Unsealed::Cas(v) => write!(f, "Unsealed::Cas({} chunks)", v.n_chunks()),
+        }
+    }
+}
+
+/// The single version dispatcher: route a sealed blob of **any** known
+/// version (V1 header-only, V2 checksum, V3 delta, V4 content-addressed)
+/// through its verifier, or fail with one loud unknown-version error.
 ///
-/// Accepts V2 (checksum verified) and legacy V1 (no checksum to verify).
-/// Any framing or checksum failure is a `Codec` error — callers treat it as
-/// a corrupt copy and fall back to a partner replica. A V3 delta blob
-/// (`SPBCCKP3`, [`crate::chunk`]) is *not* a body container — it needs
-/// [`crate::chunk::materialize`] — so it is rejected here with a distinct
-/// error rather than silently misread.
-pub fn unseal(bytes: &[u8]) -> Result<&[u8]> {
+/// Every read path funnels through here, so a blob from a newer build that
+/// this build cannot read is always reported as such — never misparsed as
+/// a different version's framing.
+pub fn unseal_any(bytes: &[u8]) -> Result<Unsealed<'_>> {
     if crate::chunk::is_delta(bytes) {
-        return Err(MpiError::Codec(
-            "delta checkpoint blob (SPBCCKP3) requires chain materialization".into(),
-        ));
+        return crate::chunk::DeltaView::parse(bytes).map(Unsealed::Delta);
+    }
+    if crate::chunk::is_cas(bytes) {
+        return crate::chunk::CasView::parse(bytes).map(Unsealed::Cas);
     }
     if bytes.len() >= MAGIC_V2.len() && &bytes[..MAGIC_V2.len()] == MAGIC_V2 {
         if bytes.len() < MAGIC_V2.len() + 4 {
@@ -49,12 +73,36 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8]> {
                 "checkpoint checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
             )));
         }
-        return Ok(body);
+        return Ok(Unsealed::Full(body));
     }
     if bytes.len() >= MAGIC_V1.len() && &bytes[..MAGIC_V1.len()] == MAGIC_V1 {
-        return Ok(&bytes[MAGIC_V1.len()..]);
+        return Ok(Unsealed::Full(&bytes[MAGIC_V1.len()..]));
     }
-    Err(MpiError::Codec("bad checkpoint header".into()))
+    Err(MpiError::Codec(format!(
+        "unknown checkpoint blob version (first bytes {:02x?}); \
+         this build reads SPBCCKP1-SPBCCKP4",
+        &bytes[..bytes.len().min(8)]
+    )))
+}
+
+/// Validate a sealed blob and return its body.
+///
+/// Accepts V2 (checksum verified) and legacy V1 (no checksum to verify).
+/// Any framing or checksum failure is a `Codec` error — callers treat it as
+/// a corrupt copy and fall back to a partner replica. V3 delta and V4
+/// content-addressed blobs are *not* body containers — they need chain or
+/// store materialization — so they are rejected here with a distinct error
+/// rather than silently misread.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8]> {
+    match unseal_any(bytes)? {
+        Unsealed::Full(body) => Ok(body),
+        Unsealed::Delta(_) => Err(MpiError::Codec(
+            "delta checkpoint blob (SPBCCKP3) requires chain materialization".into(),
+        )),
+        Unsealed::Cas(_) => Err(MpiError::Codec(
+            "content-addressed blob (SPBCCKP4) requires store materialization".into(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +154,61 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(unseal(b"garbage").is_err());
         assert!(unseal(b"SPBCCKP9........").is_err());
+    }
+
+    #[test]
+    fn unseal_any_routes_every_version() {
+        use crate::cas::ChunkHash;
+        use crate::chunk::{DeltaEncoder, V4Chunk};
+
+        // V1: header-only legacy.
+        let mut v1 = MAGIC_V1.to_vec();
+        v1.extend_from_slice(b"v1 body");
+        assert!(matches!(unseal_any(&v1).unwrap(), Unsealed::Full(b"v1 body")));
+
+        // V2: sealed full blob.
+        let sealed = seal(b"v2 body");
+        assert!(matches!(unseal_any(&sealed).unwrap(), Unsealed::Full(b"v2 body")));
+
+        // V3: a real delta from the encoder round-trips through the view.
+        let mut enc = DeltaEncoder::new(4, 8);
+        let b1: Vec<u8> = (0u8..32).collect();
+        let (full1, _) = enc.encode(1, &b1);
+        let mut b2 = b1.clone();
+        b2[9] ^= 0xFF;
+        let (delta2, _) = enc.encode(2, &b2);
+        match unseal_any(&delta2).unwrap() {
+            Unsealed::Delta(view) => {
+                let mut fetch = |e: u64| {
+                    assert_eq!(e, 1);
+                    Ok(full1.clone())
+                };
+                assert_eq!(crate::chunk::materialize(&delta2, &mut fetch).unwrap(), b2);
+                assert!(view.n_chunks() > 0);
+            }
+            _ => panic!("V3 delta misrouted"),
+        }
+
+        // V4: content-addressed manifest round-trips through its view.
+        let chunk = b"v4 chunk body".to_vec();
+        let v4 = crate::chunk::seal_v4(&[V4Chunk {
+            hash: ChunkHash::of(&chunk),
+            len: chunk.len() as u32,
+            inline: Some(&chunk),
+        }]);
+        match unseal_any(&v4).unwrap() {
+            Unsealed::Cas(view) => {
+                let mut lookup = |_: &ChunkHash| None;
+                assert_eq!(view.materialize(&mut lookup).unwrap(), chunk);
+            }
+            _ => panic!("V4 blob misrouted"),
+        }
+
+        // Exactly one loud unknown-version error for anything else.
+        let err = format!("{}", unseal_any(b"SPBCCKP9........").unwrap_err());
+        assert!(err.contains("unknown checkpoint blob version"), "{err}");
+        // And V3/V4 are rejected by the body-only reader with distinct errors.
+        assert!(format!("{}", unseal(&delta2).unwrap_err()).contains("SPBCCKP3"));
+        assert!(format!("{}", unseal(&v4).unwrap_err()).contains("SPBCCKP4"));
     }
 }

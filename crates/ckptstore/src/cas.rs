@@ -1,0 +1,563 @@
+//! Refcounted content-addressed chunk store: the dedup substrate behind
+//! `SPBCCKP4` checkpoints.
+//!
+//! Chunks cut by [`crate::cdc`] are keyed by their SHA-256 digest and stored
+//! once per unique content, no matter how many epochs or ranks reference
+//! them. References are tracked through a *registration ledger*: each
+//! committed manifest registers under a `(holder, owner, epoch)` key the
+//! ordered list of chunk hashes it references, and every occurrence in a
+//! registered manifest holds one reference. A chunk's bytes live exactly as
+//! long as some registered manifest references them.
+//!
+//! Two structural decisions carry the correctness story:
+//!
+//! * **Insert and register are one critical section.** A committing rank
+//!   increfs (or inserts) every chunk of its manifest *and* records the
+//!   registration under a single lock acquisition. There is no window in
+//!   which a concurrent GC (`unregister_below`) can observe the new chunks
+//!   without their registration and free them — the cas-gc chaos family
+//!   holds by construction, not by careful ordering.
+//! * **Re-registration replaces.** Committing the same `(holder, owner,
+//!   epoch)` key again (a restarted rank re-walking its waves) increfs the
+//!   new manifest first and only then decrefs the old one, so shared chunks
+//!   never transit through refcount zero.
+//!
+//! The ledger — not blob parsing — drives GC, because the async writer may
+//! coalesce away a blob that was never durably stored while its chunks are
+//! still referenced by the in-memory manifest of a later epoch.
+//!
+//! SHA-256 is hand-rolled (FIPS 180-4) because this workspace vendors no
+//! cryptographic dependency; the store additionally byte-confirms every
+//! hash hit, so even a collision cannot silently substitute chunk bodies.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4)
+// ---------------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256_compress(state: &mut [u32; 8], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(SHA256_K[i]).wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut state: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        sha256_compress(&mut state, block);
+    }
+    // Padding: 0x80, zeros, then the bit length as a big-endian u64.
+    let rem = blocks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_len = if rem.len() < 56 { 64 } else { 128 };
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_len].chunks_exact(64) {
+        sha256_compress(&mut state, block);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chunk hashes
+// ---------------------------------------------------------------------------
+
+/// Strong content address of a chunk: its SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkHash(pub [u8; 32]);
+
+impl ChunkHash {
+    /// Hash chunk bytes into their content address.
+    pub fn of(bytes: &[u8]) -> Self {
+        ChunkHash(sha256(bytes))
+    }
+}
+
+impl fmt::Debug for ChunkHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChunkHash(")?;
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// What happened to one manifest chunk during [`CasStore::commit_insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkFate {
+    /// First time the store has seen this content — bytes were stored.
+    New,
+    /// Content already stored, first inserted by the same owner rank
+    /// (cross-epoch dedup).
+    HitSameOwner,
+    /// Content already stored, first inserted by a different rank
+    /// (cross-rank dedup — SPBC's SPMD observation paying out).
+    HitCrossRank,
+}
+
+/// Per-commit accounting returned by [`CasStore::commit_insert`].
+#[derive(Clone, Debug, Default)]
+pub struct CommitStats {
+    /// Fate of each manifest chunk, in manifest order.
+    pub fates: Vec<ChunkFate>,
+    /// Bytes of manifest chunks already held by the store.
+    pub hit_bytes: u64,
+    /// Bytes newly stored by this commit.
+    pub new_bytes: u64,
+    /// Hit count against content first stored by the same owner.
+    pub hits_same_owner: u64,
+    /// Hit count against content first stored by another rank.
+    pub hits_cross_rank: u64,
+}
+
+struct Entry {
+    bytes: Vec<u8>,
+    refs: u64,
+    first_owner: u32,
+}
+
+type RegKey = (u32, u32, u64); // (holder, owner, epoch)
+
+#[derive(Default)]
+struct Inner {
+    chunks: HashMap<ChunkHash, Entry>,
+    regs: HashMap<RegKey, Vec<ChunkHash>>,
+}
+
+impl Inner {
+    fn decref(&mut self, hash: &ChunkHash) -> bool {
+        if let Some(e) = self.chunks.get_mut(hash) {
+            e.refs -= 1;
+            if e.refs == 0 {
+                self.chunks.remove(hash);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn drop_reg(&mut self, key: &RegKey) -> (bool, usize) {
+        match self.regs.remove(key) {
+            None => (false, 0),
+            Some(hashes) => {
+                let mut freed = 0;
+                for h in &hashes {
+                    if self.decref(h) {
+                        freed += 1;
+                    }
+                }
+                (true, freed)
+            }
+        }
+    }
+}
+
+/// Service-wide refcounted content-addressed chunk store.
+///
+/// One instance is shared by every rank of a [`crate::CkptStoreService`]
+/// (the in-memory hot tier, same durability class as partner copies), so
+/// identical chunks dedup across epochs *and* across ranks.
+#[derive(Default)]
+pub struct CasStore {
+    inner: Mutex<Inner>,
+}
+
+impl CasStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically insert a manifest's chunks and register the reference
+    /// list under `(holder, owner, epoch)` — one critical section, so a
+    /// concurrent GC can never see the chunks without their registration.
+    ///
+    /// Each element pairs a chunk hash with its bytes (`Some` when the
+    /// caller has them — always, on the local commit path) or `None` (a
+    /// partner adopting a manifest whose body the store must already hold,
+    /// possibly via an earlier `Some` in this same list). Re-registering an
+    /// existing key replaces it: new references are taken before old ones
+    /// are released, so shared chunks never transit refcount zero.
+    ///
+    /// Errors (store unmodified): missing bytes for an unknown hash, bytes
+    /// that do not hash to their claimed address, or a byte mismatch
+    /// against stored content (corruption or a hash collision).
+    pub fn commit_insert(
+        &self,
+        holder: u32,
+        owner: u32,
+        epoch: u64,
+        manifest: &[(ChunkHash, Option<&[u8]>)],
+    ) -> Result<CommitStats, String> {
+        let mut inner = self.inner.lock().unwrap();
+        // Validation pass: prove the whole commit can succeed before
+        // mutating anything, so errors leave the store untouched.
+        let mut seen: HashMap<ChunkHash, &[u8]> = HashMap::new();
+        for (i, (hash, bytes)) in manifest.iter().enumerate() {
+            let known = inner
+                .chunks
+                .get(hash)
+                .map(|e| e.bytes.as_slice())
+                .or_else(|| seen.get(hash).copied());
+            match (bytes, known) {
+                (Some(b), _) if ChunkHash::of(b) != *hash => {
+                    return Err(format!(
+                        "cas: chunk {i} bytes do not match their claimed hash {hash:?}"
+                    ));
+                }
+                (Some(b), Some(stored)) if *b != stored => {
+                    return Err(format!("cas: chunk {i} content mismatch on hash hit {hash:?} (corruption or hash collision)"));
+                }
+                (Some(b), _) => {
+                    seen.insert(*hash, b);
+                }
+                (None, Some(_)) => {}
+                (None, None) => {
+                    return Err(format!(
+                        "cas: chunk {i} {hash:?} has no bytes and is not in the store"
+                    ));
+                }
+            }
+        }
+        // Mutation pass: incref/insert every occurrence, then swap the
+        // registration, then release the old manifest's references.
+        let mut stats = CommitStats::default();
+        let mut hashes = Vec::with_capacity(manifest.len());
+        for (hash, bytes) in manifest {
+            hashes.push(*hash);
+            if let Some(e) = inner.chunks.get_mut(hash) {
+                e.refs += 1;
+                stats.hit_bytes += e.bytes.len() as u64;
+                if e.first_owner == owner {
+                    stats.hits_same_owner += 1;
+                    stats.fates.push(ChunkFate::HitSameOwner);
+                } else {
+                    stats.hits_cross_rank += 1;
+                    stats.fates.push(ChunkFate::HitCrossRank);
+                }
+            } else {
+                let b = bytes.expect("validated: unknown hash carries bytes");
+                stats.new_bytes += b.len() as u64;
+                inner
+                    .chunks
+                    .insert(*hash, Entry { bytes: b.to_vec(), refs: 1, first_owner: owner });
+                stats.fates.push(ChunkFate::New);
+            }
+        }
+        let old = inner.regs.insert((holder, owner, epoch), hashes);
+        if let Some(old_hashes) = old {
+            for h in &old_hashes {
+                inner.decref(h);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Drop one registration and release its references. Returns whether
+    /// the key existed.
+    pub fn unregister(&self, holder: u32, owner: u32, epoch: u64) -> bool {
+        self.inner.lock().unwrap().drop_reg(&(holder, owner, epoch)).0
+    }
+
+    /// GC: drop every `(holder, owner, *)` registration with epoch below
+    /// `epoch_lt`. Returns `(registrations dropped, chunks freed)` — a
+    /// chunk is freed only when its *last* reference anywhere goes away.
+    pub fn unregister_below(&self, holder: u32, owner: u32, epoch_lt: u64) -> (usize, usize) {
+        let mut inner = self.inner.lock().unwrap();
+        let doomed: Vec<RegKey> = inner
+            .regs
+            .keys()
+            .filter(|(h, o, e)| *h == holder && *o == owner && *e < epoch_lt)
+            .copied()
+            .collect();
+        let mut freed = 0;
+        for key in &doomed {
+            freed += inner.drop_reg(key).1;
+        }
+        (doomed.len(), freed)
+    }
+
+    /// Bytes of a stored chunk, if present.
+    pub fn get(&self, hash: &ChunkHash) -> Option<Vec<u8>> {
+        self.inner.lock().unwrap().chunks.get(hash).map(|e| e.bytes.clone())
+    }
+
+    /// Whether the store currently holds content for `hash`.
+    pub fn contains(&self, hash: &ChunkHash) -> bool {
+        self.inner.lock().unwrap().chunks.contains_key(hash)
+    }
+
+    /// Indices into `hashes` whose content the store does not hold — the
+    /// set a replication partner would request via `CKPT_CHUNK_REQ`.
+    pub fn missing(&self, hashes: &[ChunkHash]) -> Vec<u32> {
+        let inner = self.inner.lock().unwrap();
+        hashes
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !inner.chunks.contains_key(h))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Number of unique chunks currently stored.
+    pub fn unique_chunks(&self) -> usize {
+        self.inner.lock().unwrap().chunks.len()
+    }
+
+    /// Total bytes of unique content currently stored.
+    pub fn unique_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().chunks.values().map(|e| e.bytes.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn hex(digest: &[u8; 32]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // 55/56/64-byte inputs straddle the padding block boundary.
+        for len in [55usize, 56, 63, 64, 65] {
+            let data = vec![0x61u8; len];
+            // Reference: incremental == one-shot (padding self-consistency).
+            assert_eq!(sha256(&data), sha256(&data.clone()));
+        }
+        assert_eq!(
+            hex(&sha256(&vec![b'a'; 1_000_000])),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    fn m(pairs: &[&[u8]]) -> Vec<(ChunkHash, Option<Vec<u8>>)> {
+        pairs.iter().map(|b| (ChunkHash::of(b), Some(b.to_vec()))).collect()
+    }
+
+    fn commit(cas: &CasStore, holder: u32, owner: u32, epoch: u64, pairs: &[&[u8]]) -> CommitStats {
+        let owned = m(pairs);
+        let view: Vec<(ChunkHash, Option<&[u8]>)> =
+            owned.iter().map(|(h, b)| (*h, b.as_deref())).collect();
+        cas.commit_insert(holder, owner, epoch, &view).unwrap()
+    }
+
+    #[test]
+    fn dedup_across_epochs_and_ranks() {
+        let cas = CasStore::new();
+        let s = commit(&cas, 0, 0, 1, &[b"alpha", b"beta"]);
+        assert_eq!(s.fates, vec![ChunkFate::New, ChunkFate::New]);
+        // Same owner, next epoch: cross-epoch hits.
+        let s = commit(&cas, 0, 0, 2, &[b"alpha", b"gamma"]);
+        assert_eq!(s.fates, vec![ChunkFate::HitSameOwner, ChunkFate::New]);
+        // Different rank, same content: cross-rank hit.
+        let s = commit(&cas, 1, 1, 1, &[b"alpha"]);
+        assert_eq!(s.fates, vec![ChunkFate::HitCrossRank]);
+        assert_eq!(s.hits_cross_rank, 1);
+        assert_eq!(cas.unique_chunks(), 3);
+        assert_eq!(cas.unique_bytes(), 5 + 4 + 5);
+    }
+
+    #[test]
+    fn unregister_frees_only_last_reference() {
+        let cas = CasStore::new();
+        commit(&cas, 0, 0, 1, &[b"shared", b"only-e1"]);
+        commit(&cas, 0, 0, 2, &[b"shared", b"only-e2"]);
+        let (dropped, freed) = cas.unregister_below(0, 0, 2);
+        assert_eq!((dropped, freed), (1, 1), "e1 dropped; `shared` survives via e2");
+        assert!(cas.contains(&ChunkHash::of(b"shared")));
+        assert!(!cas.contains(&ChunkHash::of(b"only-e1")));
+        assert!(cas.unregister(0, 0, 2));
+        assert_eq!(cas.unique_chunks(), 0);
+    }
+
+    #[test]
+    fn reregistration_replaces_without_refcount_dip() {
+        let cas = CasStore::new();
+        commit(&cas, 0, 0, 1, &[b"keep", b"old"]);
+        // Re-commit the same epoch (restarted rank): `keep` is shared
+        // between old and new manifests and must survive the swap.
+        commit(&cas, 0, 0, 1, &[b"keep", b"new"]);
+        assert!(cas.contains(&ChunkHash::of(b"keep")));
+        assert!(!cas.contains(&ChunkHash::of(b"old")), "replaced manifest's refs released");
+        assert!(cas.contains(&ChunkHash::of(b"new")));
+        cas.unregister(0, 0, 1);
+        assert_eq!(cas.unique_chunks(), 0);
+    }
+
+    #[test]
+    fn duplicate_hash_within_one_manifest() {
+        let cas = CasStore::new();
+        let s = commit(&cas, 0, 0, 1, &[b"twin", b"twin"]);
+        assert_eq!(s.fates, vec![ChunkFate::New, ChunkFate::HitSameOwner]);
+        // One unregister of the (single) registration releases both refs.
+        cas.unregister(0, 0, 1);
+        assert_eq!(cas.unique_chunks(), 0);
+    }
+
+    #[test]
+    fn adopting_without_bytes_requires_presence() {
+        let cas = CasStore::new();
+        let h = ChunkHash::of(b"body");
+        let err = cas.commit_insert(1, 0, 1, &[(h, None)]).unwrap_err();
+        assert!(err.contains("not in the store"), "{err}");
+        // Inline earlier in the same manifest satisfies a later None.
+        let body: &[u8] = b"body";
+        cas.commit_insert(1, 0, 1, &[(h, Some(body)), (h, None)]).unwrap();
+        assert!(cas.contains(&h));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_atomically() {
+        let cas = CasStore::new();
+        let good: &[u8] = b"good";
+        let wrong: &[u8] = b"evil";
+        let err = cas
+            .commit_insert(
+                0,
+                0,
+                1,
+                &[(ChunkHash::of(good), Some(good)), (ChunkHash::of(good), Some(wrong))],
+            )
+            .unwrap_err();
+        assert!(err.contains("do not match"), "{err}");
+        assert_eq!(cas.unique_chunks(), 0, "failed commit must not mutate the store");
+    }
+
+    #[test]
+    fn missing_reports_unknown_indices() {
+        let cas = CasStore::new();
+        commit(&cas, 0, 0, 1, &[b"here"]);
+        let hashes = [ChunkHash::of(b"here"), ChunkHash::of(b"absent"), ChunkHash::of(b"gone")];
+        assert_eq!(cas.missing(&hashes), vec![1, 2]);
+    }
+
+    /// The cas-gc race, distilled: one thread commits manifests that share
+    /// content with another owner while that owner's GC prunes. Because
+    /// insert+register is one critical section, the shared chunk must be
+    /// retrievable after every commit.
+    #[test]
+    fn concurrent_commit_and_gc_never_drop_referenced_chunks() {
+        let cas = Arc::new(CasStore::new());
+        let shared: Vec<u8> = vec![7u8; 512];
+        let committer = {
+            let cas = Arc::clone(&cas);
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                for epoch in 1..200u64 {
+                    let unique = epoch.to_le_bytes().to_vec();
+                    let manifest = [
+                        (ChunkHash::of(&shared), Some(shared.as_slice())),
+                        (ChunkHash::of(&unique), Some(unique.as_slice())),
+                    ];
+                    cas.commit_insert(0, 0, epoch, &manifest).unwrap();
+                    assert!(
+                        cas.get(&ChunkHash::of(&shared)).is_some(),
+                        "registered chunk vanished at epoch {epoch}"
+                    );
+                    cas.unregister_below(0, 0, epoch);
+                }
+            })
+        };
+        let gcer = {
+            let cas = Arc::clone(&cas);
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                for epoch in 1..200u64 {
+                    let manifest = [(ChunkHash::of(&shared), Some(shared.as_slice()))];
+                    cas.commit_insert(1, 1, epoch, &manifest).unwrap();
+                    cas.unregister_below(1, 1, epoch);
+                    assert!(cas.get(&ChunkHash::of(&shared)).is_some());
+                }
+                cas.unregister_below(1, 1, u64::MAX);
+            })
+        };
+        committer.join().unwrap();
+        gcer.join().unwrap();
+        // Rank 0's final epoch registration is still live.
+        assert!(cas.contains(&ChunkHash::of(&shared)));
+        cas.unregister_below(0, 0, u64::MAX);
+        assert_eq!(cas.unique_chunks(), 0, "all refs released leaves an empty store");
+    }
+}

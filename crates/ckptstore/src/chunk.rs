@@ -34,6 +34,7 @@
 //! reset starts a fresh chain with a full blob.
 
 use crate::blob::{seal, unseal};
+use crate::cas::ChunkHash;
 use crate::crc::crc32;
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::hash::FxHasher;
@@ -42,6 +43,10 @@ use std::hash::Hasher;
 
 /// Delta format: magic, CRC32, chunked-manifest header, inline payloads.
 pub const MAGIC_V3: &[u8; 8] = b"SPBCCKP3";
+
+/// Content-addressed format: magic, CRC32, ordered chunk-hash manifest,
+/// inline payloads only for chunks the store didn't already hold.
+pub const MAGIC_V4: &[u8; 8] = b"SPBCCKP4";
 
 /// Default chunk size (64 KiB, `SPBC_CKPT_CHUNK`).
 pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
@@ -63,6 +68,11 @@ pub fn is_delta(bytes: &[u8]) -> bool {
     bytes.len() >= MAGIC_V3.len() && &bytes[..MAGIC_V3.len()] == MAGIC_V3
 }
 
+/// Does `bytes` carry the V4 content-addressed magic?
+pub fn is_cas(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC_V4.len() && &bytes[..MAGIC_V4.len()] == MAGIC_V4
+}
+
 /// 64-bit Fx hash of one chunk (prefilter only — see module docs).
 fn chunk_hash(chunk: &[u8]) -> u64 {
     let mut h = FxHasher::default();
@@ -76,6 +86,8 @@ fn chunk_hash(chunk: &[u8]) -> u64 {
 pub fn verify(bytes: &[u8]) -> Result<()> {
     if is_delta(bytes) {
         DeltaView::parse(bytes).map(|_| ())
+    } else if is_cas(bytes) {
+        CasView::parse(bytes).map(|_| ())
     } else {
         unseal(bytes).map(|_| ())
     }
@@ -185,7 +197,216 @@ fn chunk_len(total_len: usize, chunk_size: usize, idx: usize) -> usize {
     chunk_size.min(total_len.saturating_sub(start))
 }
 
-/// Every base epoch a sealed blob references — empty for V1/V2 full blobs.
+/// Fixed byte offsets of the V4 header.
+const V4_OFF_TOTAL_LEN: usize = 12;
+const V4_OFF_N_CHUNKS: usize = 20;
+const V4_OFF_MANIFEST: usize = 24;
+/// Bytes per V4 manifest entry: 32-byte hash + u32 length.
+const V4_ENTRY: usize = 36;
+
+/// One chunk of a V4 blob under construction: its content address, length,
+/// and — when the blob must carry the body (the store didn't hold it) — the
+/// inline payload.
+pub struct V4Chunk<'a> {
+    /// Content address of the chunk.
+    pub hash: ChunkHash,
+    /// Chunk length in bytes.
+    pub len: u32,
+    /// Inline payload (`Some` iff this blob carries the bytes).
+    pub inline: Option<&'a [u8]>,
+}
+
+/// Frame and seal a V4 content-addressed blob from an ordered chunk list.
+/// A manifest-only blob (every `inline` = `None`) is what replication
+/// pushes when the partner's store already holds every chunk.
+pub fn seal_v4(chunks: &[V4Chunk<'_>]) -> Vec<u8> {
+    let total_len: u64 = chunks.iter().map(|c| c.len as u64).sum();
+    let inline: Vec<(u32, &[u8])> =
+        chunks.iter().enumerate().filter_map(|(i, c)| c.inline.map(|b| (i as u32, b))).collect();
+    let payload_len: usize = inline.iter().map(|(_, b)| b.len()).sum();
+    let mut framed = Vec::with_capacity(
+        V4_OFF_MANIFEST + chunks.len() * V4_ENTRY + 4 + inline.len() * 4 + payload_len,
+    );
+    framed.extend_from_slice(MAGIC_V4);
+    framed.extend_from_slice(&[0u8; 4]); // CRC patched below
+    framed.extend_from_slice(&total_len.to_le_bytes());
+    framed.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for c in chunks {
+        debug_assert!(c.inline.is_none_or(|b| b.len() == c.len as usize));
+        framed.extend_from_slice(&c.hash.0);
+        framed.extend_from_slice(&c.len.to_le_bytes());
+    }
+    framed.extend_from_slice(&(inline.len() as u32).to_le_bytes());
+    for (idx, _) in &inline {
+        framed.extend_from_slice(&idx.to_le_bytes());
+    }
+    for (_, bytes) in &inline {
+        framed.extend_from_slice(bytes);
+    }
+    let crc = crc32(&framed[V4_OFF_TOTAL_LEN..]);
+    framed[OFF_CRC..OFF_CRC + 4].copy_from_slice(&crc.to_le_bytes());
+    framed
+}
+
+/// Strip a sealed V4 blob down to its manifest: same ordered hash list, no
+/// inline payloads. This is what replication pushes first — the partner
+/// answers with the indices it cannot resolve from the shared store.
+pub fn manifest_only_v4(sealed: &[u8]) -> Result<Vec<u8>> {
+    let view = CasView::parse(sealed)?;
+    let parts: Vec<V4Chunk<'_>> = (0..view.n_chunks())
+        .map(|i| {
+            let (hash, len) = view.chunk(i).expect("index in range");
+            V4Chunk { hash, len: len as u32, inline: None }
+        })
+        .collect();
+    Ok(seal_v4(&parts))
+}
+
+/// A parsed, checksum-verified view of a V4 content-addressed blob.
+pub struct CasView<'a> {
+    /// Length of the materialized body.
+    pub total_len: usize,
+    /// Ordered manifest: content address and length of every chunk.
+    chunks: Vec<(ChunkHash, usize)>,
+    /// Strictly ascending indices of chunks whose payload is inline.
+    inline_idx: Vec<u32>,
+    /// Concatenated inline payloads, in index order.
+    payload: &'a [u8],
+}
+
+impl<'a> CasView<'a> {
+    /// Parse and verify a V4 blob (magic, CRC, structural consistency).
+    pub fn parse(bytes: &'a [u8]) -> Result<CasView<'a>> {
+        if !is_cas(bytes) {
+            return Err(MpiError::Codec("not a content-addressed checkpoint blob".into()));
+        }
+        if bytes.len() < V4_OFF_MANIFEST {
+            return Err(MpiError::Codec("cas blob truncated before header".into()));
+        }
+        let stored = u32::from_le_bytes(bytes[OFF_CRC..OFF_CRC + 4].try_into().unwrap());
+        let actual = crc32(&bytes[V4_OFF_TOTAL_LEN..]);
+        if stored != actual {
+            return Err(MpiError::Codec(format!(
+                "cas checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        let total_len =
+            u64::from_le_bytes(bytes[V4_OFF_TOTAL_LEN..V4_OFF_TOTAL_LEN + 8].try_into().unwrap())
+                as usize;
+        let n_chunks =
+            u32::from_le_bytes(bytes[V4_OFF_N_CHUNKS..V4_OFF_N_CHUNKS + 4].try_into().unwrap())
+                as usize;
+        let manifest_end = V4_OFF_MANIFEST + n_chunks * V4_ENTRY;
+        if bytes.len() < manifest_end + 4 {
+            return Err(MpiError::Codec("cas manifest truncated".into()));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut sum = 0usize;
+        for i in 0..n_chunks {
+            let off = V4_OFF_MANIFEST + i * V4_ENTRY;
+            let hash = ChunkHash(bytes[off..off + 32].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[off + 32..off + 36].try_into().unwrap()) as usize;
+            sum += len;
+            chunks.push((hash, len));
+        }
+        if sum != total_len {
+            return Err(MpiError::Codec(format!(
+                "cas manifest sums to {sum} bytes but header claims {total_len}"
+            )));
+        }
+        let n_inline =
+            u32::from_le_bytes(bytes[manifest_end..manifest_end + 4].try_into().unwrap()) as usize;
+        let idx_end = manifest_end + 4 + n_inline * 4;
+        if bytes.len() < idx_end {
+            return Err(MpiError::Codec("cas inline index truncated".into()));
+        }
+        let mut inline_idx = Vec::with_capacity(n_inline);
+        let mut inline_bytes = 0usize;
+        for i in 0..n_inline {
+            let off = manifest_end + 4 + i * 4;
+            let idx = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            if idx as usize >= n_chunks {
+                return Err(MpiError::Codec(format!("cas inline index {idx} out of range")));
+            }
+            if inline_idx.last().is_some_and(|&last| idx <= last) {
+                return Err(MpiError::Codec("cas inline indices not strictly ascending".into()));
+            }
+            inline_bytes += chunks[idx as usize].1;
+            inline_idx.push(idx);
+        }
+        let payload = &bytes[idx_end..];
+        if payload.len() != inline_bytes {
+            return Err(MpiError::Codec(format!(
+                "cas payload length {} does not match manifest ({inline_bytes} inline bytes)",
+                payload.len()
+            )));
+        }
+        Ok(CasView { total_len, chunks, inline_idx, payload })
+    }
+
+    /// Number of chunks in the manifest.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Content address and length of chunk `idx`.
+    pub fn chunk(&self, idx: usize) -> Option<(ChunkHash, usize)> {
+        self.chunks.get(idx).copied()
+    }
+
+    /// The ordered list of chunk hashes — what replication advertises.
+    pub fn hashes(&self) -> Vec<ChunkHash> {
+        self.chunks.iter().map(|(h, _)| *h).collect()
+    }
+
+    /// The inline payload of chunk `idx`, hash-verified, if this blob
+    /// carries it.
+    pub fn inline_chunk(&self, idx: usize) -> Result<Option<&'a [u8]>> {
+        let Ok(pos) = self.inline_idx.binary_search(&(idx as u32)) else {
+            return Ok(None);
+        };
+        let off: usize = self.inline_idx[..pos].iter().map(|&i| self.chunks[i as usize].1).sum();
+        let (hash, len) = self.chunks[idx];
+        let bytes = &self.payload[off..off + len];
+        if ChunkHash::of(bytes) != hash {
+            return Err(MpiError::Codec(format!(
+                "cas inline chunk {idx} does not hash to its manifest address"
+            )));
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Materialize the body: inline payloads (hash-verified) where present,
+    /// `lookup` (the content-addressed store) for everything else.
+    pub fn materialize(
+        &self,
+        lookup: &mut dyn FnMut(&ChunkHash) -> Option<Vec<u8>>,
+    ) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.total_len);
+        for (idx, &(hash, len)) in self.chunks.iter().enumerate() {
+            match self.inline_chunk(idx)? {
+                Some(bytes) => out.extend_from_slice(bytes),
+                None => {
+                    let bytes = lookup(&hash).ok_or_else(|| {
+                        MpiError::Codec(format!(
+                            "cas chunk {idx} ({hash:?}) not inline and not in the store"
+                        ))
+                    })?;
+                    if bytes.len() != len || ChunkHash::of(&bytes) != hash {
+                        return Err(MpiError::Codec(format!(
+                            "cas store returned wrong content for chunk {idx} ({hash:?})"
+                        )));
+                    }
+                    out.extend_from_slice(&bytes);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Every base epoch a sealed blob references — empty for V1/V2 full blobs
+/// and for V4 (content-addressed blobs reference hashes, not epochs).
 /// Storage GC keeps these alive while the referring blob is retained.
 pub fn referenced_epochs(bytes: &[u8]) -> Result<BTreeSet<u64>> {
     if is_delta(bytes) {
@@ -205,6 +426,11 @@ pub fn materialize(
     sealed: &[u8],
     fetch: &mut dyn FnMut(u64) -> Result<Vec<u8>>,
 ) -> Result<Vec<u8>> {
+    if is_cas(sealed) {
+        return Err(MpiError::Codec(
+            "content-addressed blob (SPBCCKP4) requires store materialization".into(),
+        ));
+    }
     if !is_delta(sealed) {
         return Ok(unseal(sealed)?.to_vec());
     }
@@ -266,12 +492,12 @@ pub fn materialize(
     Ok(out)
 }
 
-/// What one [`DeltaEncoder::encode`] produced — the dedup accounting the
-/// metrics/bench layers report.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// What one commit encode produced — the dedup accounting the
+/// metrics/bench layers report (fixed-grid delta path and CDC/CAS path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EncodeStats {
     /// A full (V2) blob was written (cadence, first wave, broken chain, or
-    /// every chunk changed).
+    /// every chunk changed). Always false on the CDC path.
     pub full: bool,
     /// Chunks in the body.
     pub chunks: usize,
@@ -281,6 +507,16 @@ pub struct EncodeStats {
     pub logical: u64,
     /// Bytes of the sealed blob actually written and replicated.
     pub physical: u64,
+    /// CDC path: chunks deduped against content this rank stored earlier
+    /// (cross-epoch hits).
+    pub cas_hit_chunks_same_owner: usize,
+    /// CDC path: chunks deduped against content another rank stored first
+    /// (cross-rank hits).
+    pub cas_hit_chunks_cross_rank: usize,
+    /// CDC path: bytes served by the store instead of being re-stored.
+    pub cas_hit_bytes: u64,
+    /// CDC path: bytes of new unique content this commit added.
+    pub cas_new_bytes: u64,
 }
 
 /// Previous committed wave, kept for diffing and reference flattening.
@@ -377,6 +613,7 @@ impl DeltaEncoder {
                     inline_chunks,
                     logical: body.len() as u64,
                     physical: framed.len() as u64,
+                    ..Default::default()
                 };
                 let deltas_since_full = self.prev.as_ref().map_or(0, |p| p.deltas_since_full) + 1;
                 // Flattened table for the *next* wave: a chunk written
@@ -402,6 +639,7 @@ impl DeltaEncoder {
             inline_chunks: n_chunks,
             logical: body.len() as u64,
             physical: framed.len() as u64,
+            ..Default::default()
         };
         self.prev = Some(PrevWave {
             epoch,
@@ -630,6 +868,82 @@ mod tests {
         for cut in [OFF_CRC, OFF_MANIFEST - 1, OFF_MANIFEST + 3, blob2.len() - 1] {
             assert!(DeltaView::parse(&blob2[..cut]).is_err(), "cut at {cut} accepted");
         }
+    }
+
+    fn v4_blob(chunks: &[(&[u8], bool)]) -> Vec<u8> {
+        let parts: Vec<V4Chunk<'_>> = chunks
+            .iter()
+            .map(|(b, inline)| V4Chunk {
+                hash: ChunkHash::of(b),
+                len: b.len() as u32,
+                inline: inline.then_some(*b),
+            })
+            .collect();
+        seal_v4(&parts)
+    }
+
+    #[test]
+    fn v4_roundtrip_mixes_inline_and_store_chunks() {
+        let c0 = body(300, 1);
+        let c1 = body(512, 2);
+        let c2 = body(40, 3);
+        let blob = v4_blob(&[(&c0, true), (&c1, false), (&c2, true)]);
+        assert!(is_cas(&blob));
+        assert!(verify(&blob).is_ok());
+        let view = CasView::parse(&blob).unwrap();
+        assert_eq!(view.n_chunks(), 3);
+        assert_eq!(view.total_len, 300 + 512 + 40);
+        assert_eq!(view.inline_chunk(0).unwrap(), Some(&c0[..]));
+        assert_eq!(view.inline_chunk(1).unwrap(), None);
+        assert_eq!(view.hashes()[1], ChunkHash::of(&c1));
+        // Materialize with the store serving the non-inline chunk.
+        let mut lookup = |h: &ChunkHash| (*h == ChunkHash::of(&c1)).then(|| c1.clone());
+        let got = view.materialize(&mut lookup).unwrap();
+        assert_eq!(got, [c0.clone(), c1.clone(), c2.clone()].concat());
+        // A store miss on a non-inline chunk is loud.
+        let mut empty = |_: &ChunkHash| None;
+        assert!(view.materialize(&mut empty).is_err());
+        // A store serving wrong bytes is caught by the hash re-check.
+        let mut lying = |_: &ChunkHash| Some(body(512, 99));
+        assert!(view.materialize(&mut lying).is_err());
+    }
+
+    #[test]
+    fn v4_manifest_only_and_empty_blobs() {
+        let c0 = body(128, 4);
+        let manifest_only = v4_blob(&[(&c0, false)]);
+        let full = v4_blob(&[(&c0, true)]);
+        assert!(
+            manifest_only.len() < full.len(),
+            "manifest-only framing must not carry payload bytes"
+        );
+        let mut lookup = |_: &ChunkHash| Some(c0.clone());
+        assert_eq!(CasView::parse(&manifest_only).unwrap().materialize(&mut lookup).unwrap(), c0);
+        // Zero chunks = empty body.
+        let empty = seal_v4(&[]);
+        let view = CasView::parse(&empty).unwrap();
+        let mut none = |_: &ChunkHash| None;
+        assert_eq!(view.materialize(&mut none).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn v4_corruption_and_truncation_are_detected() {
+        let c0 = body(100, 5);
+        let c1 = body(60, 6);
+        let blob = v4_blob(&[(&c0, true), (&c1, false)]);
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x10;
+            assert!(verify(&bad).is_err(), "flip at {i} undetected");
+        }
+        for cut in [4, OFF_CRC, V4_OFF_MANIFEST - 1, V4_OFF_MANIFEST + 10, blob.len() - 1] {
+            assert!(CasView::parse(&blob[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // V4 has no epoch references and cannot be epoch-materialized.
+        assert!(referenced_epochs(&blob).unwrap().is_empty());
+        let mut fetch = |_: u64| -> Result<Vec<u8>> { unreachable!() };
+        let err = materialize(&blob, &mut fetch).unwrap_err();
+        assert!(format!("{err}").contains("SPBCCKP4"), "{err}");
     }
 
     #[test]

@@ -33,18 +33,27 @@
 //!   manifest, with a full blob every Nth wave to bound chain length.
 //!   Restore materializes the chain transparently, repairing any missing or
 //!   corrupt link from partners.
+//! * **Content-defined dedup** — [`cdc`] cuts checkpoint bodies at
+//!   content-defined boundaries (FastCDC gear hashing) and [`cas`] stores
+//!   each unique chunk once, refcounted, shared across epochs *and* ranks.
+//!   The `SPBCCKP4` manifest format ([`chunk::CasView`]) carries chunk
+//!   hashes plus payloads only for content the store didn't already hold.
 
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod blob;
+pub mod cas;
+pub mod cdc;
 pub mod chunk;
 pub mod crc;
 pub mod service;
 pub mod writer;
 
 pub use backend::{CheckpointBackend, DirBackend, MemBackend};
-pub use blob::{seal, unseal, MAGIC_V1, MAGIC_V2};
-pub use chunk::{DeltaEncoder, DeltaView, EncodeStats, MAGIC_V3};
+pub use blob::{seal, unseal, unseal_any, Unsealed, MAGIC_V1, MAGIC_V2};
+pub use cas::{CasStore, ChunkFate, ChunkHash};
+pub use cdc::{chunk_spans, CdcParams};
+pub use chunk::{seal_v4, CasView, DeltaEncoder, DeltaView, EncodeStats, MAGIC_V3, MAGIC_V4};
 pub use service::{CkptStoreService, LoadOutcome, StoreConfig};
 pub use writer::AsyncWriter;

@@ -31,7 +31,12 @@
 //! by a retained manifest survive until the last manifest naming them goes.
 
 use crate::backend::{CheckpointBackend, DirBackend, MemBackend};
-use crate::chunk::{self, DeltaEncoder, EncodeStats, DEFAULT_CHUNK_SIZE, DEFAULT_FULL_EVERY};
+use crate::cas::{CasStore, ChunkFate, ChunkHash};
+use crate::cdc::{chunk_spans, CdcParams};
+use crate::chunk::{
+    self, seal_v4, CasView, DeltaEncoder, EncodeStats, V4Chunk, DEFAULT_CHUNK_SIZE,
+    DEFAULT_FULL_EVERY,
+};
 use crate::writer::{AsyncWriter, OnDone};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::types::RankId;
@@ -60,6 +65,13 @@ pub struct StoreConfig {
     /// Write a full blob every Nth wave to bound delta-chain length
     /// (`SPBC_CKPT_FULL_EVERY`, default 8; `1` disables deltas).
     pub full_every: u64,
+    /// Encode commits as `SPBCCKP4` content-addressed blobs (FastCDC
+    /// chunking + the service-wide refcounted store) instead of the
+    /// fixed-grid `SPBCCKP3` delta path (`SPBC_CKPT_CDC`; the protocol
+    /// layer defaults this on, the bare service defaults it off).
+    pub cdc: bool,
+    /// FastCDC chunk bounds (`SPBC_CDC_MIN`/`SPBC_CDC_AVG`/`SPBC_CDC_MAX`).
+    pub cdc_params: CdcParams,
 }
 
 impl Default for StoreConfig {
@@ -70,6 +82,8 @@ impl Default for StoreConfig {
             partner_keep: 2,
             chunk_size: DEFAULT_CHUNK_SIZE,
             full_every: DEFAULT_FULL_EVERY,
+            cdc: false,
+            cdc_params: CdcParams::default(),
         }
     }
 }
@@ -101,6 +115,10 @@ pub struct CkptStoreService {
     /// Per-rank delta encoder (previous wave's chunk table); surviving the
     /// rank thread is fine because a restore resets it.
     deltas: Vec<Mutex<DeltaEncoder>>,
+    /// Service-wide content-addressed chunk store (CDC mode): shared by
+    /// every rank, so identical chunks dedup across epochs and ranks.
+    /// Same durability class as partner memory — it outlives rank threads.
+    cas: CasStore,
     writer: AsyncWriter,
     cfg: StoreConfig,
 }
@@ -119,7 +137,7 @@ impl CkptStoreService {
             })
             .collect();
         let deltas = Self::encoders(world, &cfg);
-        CkptStoreService { ranks, deltas, writer: AsyncWriter::new(), cfg }
+        CkptStoreService { ranks, deltas, cas: CasStore::new(), writer: AsyncWriter::new(), cfg }
     }
 
     /// Local stores on disk under `root` (`rank-<r>/own`); partner stores in
@@ -138,7 +156,13 @@ impl CkptStoreService {
             ranks.push(RankStores { local, partner });
         }
         let deltas = Self::encoders(world, &cfg);
-        Ok(CkptStoreService { ranks, deltas, writer: AsyncWriter::new(), cfg })
+        Ok(CkptStoreService {
+            ranks,
+            deltas,
+            cas: CasStore::new(),
+            writer: AsyncWriter::new(),
+            cfg,
+        })
     }
 
     /// World size this service was built for.
@@ -157,9 +181,16 @@ impl CkptStoreService {
             .ok_or_else(|| MpiError::app(format!("rank {rank} outside store world")))
     }
 
-    /// Seal `rank`'s serialized checkpoint `body` for `epoch` — as an
-    /// incremental `SPBCCKP3` delta against the previous committed wave
-    /// when possible, else as a full `SPBCCKP2` blob.
+    /// Seal `rank`'s serialized checkpoint `body` for `epoch`.
+    ///
+    /// In CDC mode (`cfg.cdc`) the body is cut at content-defined
+    /// boundaries, every chunk is inserted into (or deduped against) the
+    /// service-wide content-addressed store in one atomic step with its
+    /// `(rank, rank, epoch)` registration, and the sealed blob is an
+    /// `SPBCCKP4` manifest carrying payloads only for chunks the store had
+    /// never seen. Otherwise the fixed-grid path produces an incremental
+    /// `SPBCCKP3` delta against the previous committed wave when possible,
+    /// else a full `SPBCCKP2` blob.
     ///
     /// The returned blob is what [`commit_local`](Self::commit_local) and
     /// every partner push must carry; the stats report the dedup ratio
@@ -173,7 +204,97 @@ impl CkptStoreService {
         body: &[u8],
     ) -> Result<(Vec<u8>, EncodeStats)> {
         self.stores(rank)?; // range check
+        if self.cfg.cdc {
+            return self.encode_commit_cdc(rank, epoch, body);
+        }
         Ok(self.deltas[rank.0 as usize].lock().encode(epoch, body))
+    }
+
+    /// The CDC commit path: chunk, dedup-insert, frame as `SPBCCKP4`.
+    fn encode_commit_cdc(
+        &self,
+        rank: RankId,
+        epoch: u64,
+        body: &[u8],
+    ) -> Result<(Vec<u8>, EncodeStats)> {
+        let spans = chunk_spans(body, self.cfg.cdc_params);
+        let hashed: Vec<(ChunkHash, &[u8])> =
+            spans.iter().map(|s| (ChunkHash::of(&body[s.clone()]), &body[s.clone()])).collect();
+        let manifest: Vec<(ChunkHash, Option<&[u8]>)> =
+            hashed.iter().map(|(h, b)| (*h, Some(*b))).collect();
+        // Insert + register atomically: re-commits of the same epoch after
+        // a rollback replace the old registration without a refcount dip.
+        let cas_stats =
+            self.cas.commit_insert(rank.0, rank.0, epoch, &manifest).map_err(MpiError::Codec)?;
+        let parts: Vec<V4Chunk<'_>> = hashed
+            .iter()
+            .zip(&cas_stats.fates)
+            .map(|((h, b), fate)| V4Chunk {
+                hash: *h,
+                len: b.len() as u32,
+                inline: (*fate == ChunkFate::New).then_some(*b),
+            })
+            .collect();
+        let inline_chunks = parts.iter().filter(|p| p.inline.is_some()).count();
+        let framed = seal_v4(&parts);
+        let stats = EncodeStats {
+            full: false,
+            chunks: parts.len(),
+            inline_chunks,
+            logical: body.len() as u64,
+            physical: framed.len() as u64,
+            cas_hit_chunks_same_owner: cas_stats.hits_same_owner as usize,
+            cas_hit_chunks_cross_rank: cas_stats.hits_cross_rank as usize,
+            cas_hit_bytes: cas_stats.hit_bytes,
+            cas_new_bytes: cas_stats.new_bytes,
+        };
+        Ok((framed, stats))
+    }
+
+    /// The service-wide content-addressed store (CDC mode).
+    pub fn cas(&self) -> &CasStore {
+        &self.cas
+    }
+
+    /// Indices of a V4 blob's chunks whose content the service-wide store
+    /// does not hold — what a replication partner answers to a hash-only
+    /// push (`CKPT_CHUNK_REQ`).
+    pub fn missing_chunks(&self, sealed: &[u8]) -> Result<Vec<u32>> {
+        let view = CasView::parse(sealed)?;
+        Ok(self.cas.missing(&view.hashes()))
+    }
+
+    /// Rebuild a sealed V4 blob carrying inline payloads only for the
+    /// requested chunk indices (the partner's missing set), sourcing bytes
+    /// from the original blob's payloads or the store. This is what the
+    /// owner serves in reply to a `CKPT_CHUNK_REQ`.
+    pub fn subset_blob(&self, sealed: &[u8], wanted: &[u32]) -> Result<Vec<u8>> {
+        let view = CasView::parse(sealed)?;
+        let want: BTreeSet<u32> = wanted.iter().copied().collect();
+        let mut bodies: Vec<Option<Vec<u8>>> = Vec::with_capacity(view.n_chunks());
+        for idx in 0..view.n_chunks() {
+            if !want.contains(&(idx as u32)) {
+                bodies.push(None);
+                continue;
+            }
+            let (hash, _) = view.chunk(idx).expect("idx in range");
+            let bytes = match view.inline_chunk(idx)? {
+                Some(b) => b.to_vec(),
+                None => self.cas.get(&hash).ok_or_else(|| {
+                    MpiError::Codec(format!(
+                        "requested chunk {idx} ({hash:?}) is neither inline nor stored"
+                    ))
+                })?,
+            };
+            bodies.push(Some(bytes));
+        }
+        let parts: Vec<V4Chunk<'_>> = (0..view.n_chunks())
+            .map(|idx| {
+                let (hash, len) = view.chunk(idx).expect("idx in range");
+                V4Chunk { hash, len: len as u32, inline: bodies[idx].as_deref() }
+            })
+            .collect();
+        Ok(seal_v4(&parts))
     }
 
     /// Commit `rank`'s own sealed checkpoint at `epoch`.
@@ -219,6 +340,19 @@ impl CkptStoreService {
         blob: &[u8],
     ) -> Result<usize> {
         let partner = &self.stores(holder)?.partner;
+        if chunk::is_cas(blob) {
+            // A V4 partner copy pins its chunks in the shared store under
+            // the holder's own registration: inline payloads are inserted,
+            // everything else must already be held (the owner pushed hashes
+            // first and served whatever we reported missing).
+            let view = CasView::parse(blob)?;
+            let mut manifest: Vec<(ChunkHash, Option<&[u8]>)> = Vec::with_capacity(view.n_chunks());
+            for idx in 0..view.n_chunks() {
+                let (hash, _) = view.chunk(idx).expect("idx in range");
+                manifest.push((hash, view.inline_chunk(idx)?));
+            }
+            self.cas.commit_insert(holder.0, owner.0, epoch, &manifest).map_err(MpiError::Codec)?;
+        }
         partner.put(owner, epoch, blob)?;
         let epochs = partner.epochs_of(owner)?;
         let mut pruned = 0;
@@ -227,6 +361,7 @@ impl CkptStoreService {
             let referenced = Self::referenced_by(partner.as_ref(), owner, retained);
             for &e in old {
                 if !referenced.contains(&e) && partner.remove(owner, e)? {
+                    self.cas.unregister(holder.0, owner.0, e);
                     pruned += 1;
                 }
             }
@@ -265,8 +400,8 @@ impl CkptStoreService {
         self.writer.flush_all()
     }
 
-    /// (completed async writes, coalesced submissions) so far.
-    pub fn writer_stats(&self) -> (u64, u64) {
+    /// (completed async writes, coalesced submissions, bytes written) so far.
+    pub fn writer_stats(&self) -> (u64, u64, u64) {
         self.writer.stats()
     }
 
@@ -326,13 +461,22 @@ impl CkptStoreService {
         let Some(top) = self.fetch_blob(rank, epoch, &mut outcome)? else {
             return Ok(None);
         };
-        let body = chunk::materialize(&top, &mut |base| {
-            self.fetch_blob(rank, base, &mut outcome)?.ok_or_else(|| {
-                MpiError::Codec(format!(
-                    "rank {rank} epoch {epoch}: chain base epoch {base} lost everywhere"
-                ))
-            })
-        })?;
+        let body = if chunk::is_cas(&top) {
+            // V4: inline payloads (hash-verified) plus the shared store.
+            // The store is service-wide, so there is no partner scan to
+            // fall back to — a chunk absent from both is lost everywhere.
+            CasView::parse(&top)?.materialize(&mut |h| self.cas.get(h)).map_err(|e| {
+                MpiError::Codec(format!("rank {rank} epoch {epoch}: {e} (lost everywhere)"))
+            })?
+        } else {
+            chunk::materialize(&top, &mut |base| {
+                self.fetch_blob(rank, base, &mut outcome)?.ok_or_else(|| {
+                    MpiError::Codec(format!(
+                        "rank {rank} epoch {epoch}: chain base epoch {base} lost everywhere"
+                    ))
+                })
+            })?
+        };
         self.deltas[rank.0 as usize].lock().reset();
         Ok(Some((body, outcome)))
     }
@@ -379,6 +523,12 @@ impl CkptStoreService {
                 removed += 1;
             }
         }
+        // CDC mode: release the rank's own chunk registrations for the
+        // pruned epochs. Ledger-driven (not blob parsing) because a
+        // coalesced async write may have registered chunks for an epoch
+        // whose blob was never stored. Chunks shared with a retained epoch
+        // or another rank's registration survive by refcount.
+        self.cas.unregister_below(rank.0, rank.0, keep_from);
         Ok(removed)
     }
 }
@@ -690,5 +840,197 @@ mod tests {
             let stats = commit_wave(&svc, RankId(0), RankId(1), e, &body);
             assert!(stats.full, "wave {e} must be full with full_every=1");
         }
+    }
+
+    // ---- content-defined chunking + content-addressed store ----
+
+    fn cdc_cfg() -> StoreConfig {
+        StoreConfig {
+            cdc: true,
+            cdc_params: CdcParams { min: 64, avg: 256, max: 1024 },
+            ..Default::default()
+        }
+    }
+
+    /// A wave body with enough structure to chunk well: a large stable
+    /// region (dedups across epochs/ranks) plus a per-epoch noisy region.
+    fn cdc_body(stable_seed: u64, epoch: u64, stable_len: usize, churn_len: usize) -> Vec<u8> {
+        let mut state = stable_seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (z ^ (z >> 27)) as u8
+        };
+        let mut b: Vec<u8> = (0..stable_len).map(|_| next()).collect();
+        let mut cstate = stable_seed ^ epoch.wrapping_mul(0x0100_0000_01b3);
+        b.extend((0..churn_len).map(|_| {
+            cstate = cstate.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            (cstate >> 17) as u8
+        }));
+        b
+    }
+
+    #[test]
+    fn cdc_waves_load_bitwise_identical() {
+        let svc = CkptStoreService::in_memory(2, cdc_cfg());
+        let mut bodies = Vec::new();
+        for e in 1..=5u64 {
+            let body = cdc_body(11, e, 8 * 1024, 512);
+            let stats = commit_wave(&svc, RankId(0), RankId(1), e, &body);
+            assert!(!stats.full);
+            if e > 1 {
+                assert!(
+                    stats.cas_hit_chunks_same_owner > 0,
+                    "wave {e}: stable region must dedup cross-epoch"
+                );
+                assert!(stats.physical < stats.logical, "wave {e}: dedup must shrink the blob");
+            }
+            bodies.push(body);
+        }
+        for (i, want) in bodies.iter().enumerate() {
+            let (got, _) = svc.load(RankId(0), i as u64 + 1).unwrap().unwrap();
+            assert_eq!(&got, want, "epoch {}", i + 1);
+        }
+    }
+
+    /// The ISSUE's differential restore oracle: the same wave sequence
+    /// committed through the CDC service and the fixed-grid service must
+    /// materialize bitwise-equal bodies at every epoch.
+    #[test]
+    fn cdc_vs_fixed_grid_differential_restore_oracle() {
+        let cdc = CkptStoreService::in_memory(2, cdc_cfg());
+        let fixed =
+            CkptStoreService::in_memory(2, StoreConfig { chunk_size: 256, ..Default::default() });
+        let waves: Vec<Vec<u8>> =
+            (1..=6u64).map(|e| cdc_body(23, e, 4 * 1024, 700 + 13 * e as usize)).collect();
+        for (i, body) in waves.iter().enumerate() {
+            let e = i as u64 + 1;
+            commit_wave(&cdc, RankId(0), RankId(1), e, body);
+            commit_wave(&fixed, RankId(0), RankId(1), e, body);
+        }
+        for (i, want) in waves.iter().enumerate() {
+            let e = i as u64 + 1;
+            let (v4, _) = cdc.load(RankId(0), e).unwrap().unwrap();
+            let (v3, _) = fixed.load(RankId(0), e).unwrap().unwrap();
+            assert_eq!(v4, v3, "epoch {e}: V4 and V3 materializations diverge");
+            assert_eq!(&v4, want, "epoch {e}: materialization diverges from the source body");
+        }
+    }
+
+    #[test]
+    fn cdc_dedups_across_ranks() {
+        let svc = CkptStoreService::in_memory(4, cdc_cfg());
+        // Four ranks checkpoint near-identical state (SPMD read-only data):
+        // rank 0 pays for the shared bytes once, the rest hit cross-rank.
+        for r in 0..4u32 {
+            let mut body = cdc_body(31, 1, 8 * 1024, 0);
+            body.extend_from_slice(&r.to_le_bytes()); // tiny per-rank tail
+            let stats = commit_wave(&svc, RankId(r), RankId((r + 1) % 4), 1, &body);
+            if r == 0 {
+                assert_eq!(stats.cas_hit_chunks_cross_rank, 0);
+            } else {
+                assert!(
+                    stats.cas_hit_chunks_cross_rank > 0,
+                    "rank {r} must dedup against rank 0's chunks"
+                );
+                assert!(stats.physical * 4 < stats.logical, "rank {r} blob should be tiny");
+            }
+        }
+        // Unique bytes stored ≈ one copy of the shared region, not four.
+        assert!(svc.cas().unique_bytes() < 2 * 8 * 1024 + 1024);
+    }
+
+    #[test]
+    fn cdc_gc_frees_chunks_only_when_unreferenced() {
+        let svc = CkptStoreService::in_memory(2, cdc_cfg());
+        let mut last = Vec::new();
+        for e in 1..=4u64 {
+            last = cdc_body(47, e, 4 * 1024, 256);
+            commit_wave(&svc, RankId(0), RankId(1), e, &last);
+        }
+        let before = svc.cas().unique_bytes();
+        // GC to keep epochs >= 3: per-epoch churn chunks of 1..2 are freed,
+        // the shared stable chunks survive via epochs 3/4 (and the partner
+        // registrations).
+        svc.gc_local(RankId(0), 3).unwrap();
+        let after = svc.cas().unique_bytes();
+        assert!(after <= before);
+        let (body, _) = svc.load(RankId(0), 4).unwrap().unwrap();
+        assert_eq!(body, last, "GC must never break a retained epoch");
+        // Dropping every registration empties the store (no leaks).
+        svc.cas().unregister_below(0, 0, u64::MAX);
+        svc.cas().unregister_below(1, 0, u64::MAX);
+        assert_eq!(svc.cas().unique_chunks(), 0, "refcount leak");
+    }
+
+    #[test]
+    fn cdc_partner_adopts_hash_only_manifest() {
+        let svc = CkptStoreService::in_memory(2, cdc_cfg());
+        let body = cdc_body(59, 1, 4 * 1024, 128);
+        svc.flush_rank(RankId(0)).unwrap();
+        let (blob, _) = svc.encode_commit(RankId(0), 1, &body).unwrap();
+        svc.commit_local(RankId(0), 1, blob.clone(), None).unwrap();
+        svc.flush_rank(RankId(0)).unwrap();
+        // The shared store holds every chunk: the partner misses nothing,
+        // and a manifest-only copy (no payloads) is enough to replicate.
+        assert!(svc.missing_chunks(&blob).unwrap().is_empty());
+        let manifest_only = chunk::manifest_only_v4(&blob).unwrap();
+        assert!(manifest_only.len() < blob.len());
+        svc.store_partner_copy(RankId(1), RankId(0), 1, &manifest_only).unwrap();
+        // Wipe rank 0's local store: the manifest-only partner copy plus
+        // the shared store must still rebuild the wave.
+        assert!(svc.stores(RankId(0)).unwrap().local.remove(RankId(0), 1).unwrap());
+        let (got, outcome) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(got, body);
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(1) });
+    }
+
+    #[test]
+    fn cdc_chunk_req_subset_flow() {
+        // Two *separate* services emulate a partner whose store is missing
+        // chunks: the owner answers the missing set with a subset blob.
+        let owner_svc = CkptStoreService::in_memory(2, cdc_cfg());
+        let partner_svc = CkptStoreService::in_memory(2, cdc_cfg());
+        let body = cdc_body(67, 1, 4 * 1024, 128);
+        let (blob, _) = owner_svc.encode_commit(RankId(0), 1, &body).unwrap();
+        let manifest_only = chunk::manifest_only_v4(&blob).unwrap();
+        // Partner-side: every chunk is missing; a manifest-only copy is
+        // rejected (its chunks are nowhere).
+        let missing = partner_svc.missing_chunks(&manifest_only).unwrap();
+        assert_eq!(missing.len(), CasView::parse(&blob).unwrap().n_chunks());
+        assert!(partner_svc.store_partner_copy(RankId(1), RankId(0), 1, &manifest_only).is_err());
+        // Owner serves the subset; the partner adopts and can materialize.
+        let subset = owner_svc.subset_blob(&blob, &missing).unwrap();
+        partner_svc.store_partner_copy(RankId(1), RankId(0), 1, &subset).unwrap();
+        let (got, _) = partner_svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn cdc_rollback_recommit_replaces_registration() {
+        let svc = CkptStoreService::in_memory(2, cdc_cfg());
+        for e in 1..=3u64 {
+            commit_wave(&svc, RankId(0), RankId(1), e, &cdc_body(71, e, 2 * 1024, 256));
+        }
+        svc.load(RankId(0), 2).unwrap().unwrap();
+        // Divergent re-commit of epoch 3 after rolling back to 2.
+        let redo = cdc_body(71, 300, 2 * 1024, 256);
+        commit_wave(&svc, RankId(0), RankId(1), 3, &redo);
+        let (got, _) = svc.load(RankId(0), 3).unwrap().unwrap();
+        assert_eq!(got, redo, "re-committed epoch must materialize the new body");
+    }
+
+    #[test]
+    fn cdc_empty_body_commits_and_loads() {
+        let svc = CkptStoreService::in_memory(1, cdc_cfg());
+        svc.flush_rank(RankId(0)).unwrap();
+        let (blob, stats) = svc.encode_commit(RankId(0), 1, &[]).unwrap();
+        assert_eq!(stats.logical, 0);
+        assert_eq!(stats.chunks, 0);
+        svc.commit_local(RankId(0), 1, blob, None).unwrap();
+        svc.flush_rank(RankId(0)).unwrap();
+        let (body, _) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert!(body.is_empty());
     }
 }

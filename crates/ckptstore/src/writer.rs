@@ -57,6 +57,9 @@ struct State {
     coalesced: u64,
     /// Writes completed successfully.
     completed: u64,
+    /// Blob bytes durably written — in CDC mode this is *physical* bytes
+    /// (manifest + only-new chunk payloads), the number dedup shrinks.
+    bytes_written: u64,
     stop: bool,
 }
 
@@ -118,6 +121,7 @@ impl AsyncWriter {
             match res {
                 Ok(()) => {
                     st.completed += 1;
+                    st.bytes_written += job.blob.len() as u64;
                 }
                 Err(e) => {
                     st.errors.insert(owner, e.to_string());
@@ -178,10 +182,10 @@ impl AsyncWriter {
         }
     }
 
-    /// (completed writes, coalesced submissions) so far.
-    pub fn stats(&self) -> (u64, u64) {
+    /// (completed writes, coalesced submissions, bytes written) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
         let st = self.shared.state.lock().unwrap();
-        (st.completed, st.coalesced)
+        (st.completed, st.coalesced, st.bytes_written)
     }
 }
 
@@ -243,9 +247,10 @@ mod tests {
         w.submit(RankId(1), 2, vec![2], Arc::clone(&dyn_backend), None);
         w.flush_all().unwrap();
         assert_eq!(backend.0.get(RankId(1), 2).unwrap().unwrap(), vec![2]);
-        let (completed, coalesced) = w.stats();
+        let (completed, coalesced, bytes) = w.stats();
         assert!(coalesced >= 1, "expected a coalesced submission");
         assert_eq!(completed + coalesced, 3);
+        assert_eq!(bytes, completed, "each completed write here was one byte");
     }
 
     #[test]

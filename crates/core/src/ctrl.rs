@@ -47,6 +47,16 @@ pub const KIND_CKPT_BLOB: u16 = 13;
 /// `kind` value of [`CkptBlobAck`]: the partner has durably stored the
 /// pushed copy. The owner's commit barrier waits for all of these.
 pub const KIND_CKPT_BLOB_ACK: u16 = 14;
+/// `kind` value of [`CkptHashes`]: in CDC mode the committing rank pushes a
+/// manifest-only `SPBCCKP4` blob (ordered chunk hashes, no payloads) first.
+/// A partner whose content-addressed store holds every chunk stores the
+/// manifest and acks ([`CkptBlobAck`]) without any payload ever crossing —
+/// the dedup savings on the replication path.
+pub const KIND_CKPT_HASHES: u16 = 15;
+/// `kind` value of [`CkptChunkReq`]: the partner's answer to a
+/// [`CkptHashes`] push when some chunks are missing from its store — the
+/// owner replies with a [`CkptBlob`] carrying exactly those chunk bodies.
+pub const KIND_CKPT_CHUNK_REQ: u16 = 16;
 
 /// Per-channel rollback entry: state of one incoming channel (peer → me) as
 /// restored from the checkpoint.
@@ -132,6 +142,30 @@ pub struct CkptBlobAck {
     /// Checkpoint wave being acknowledged (guards against stale acks from a
     /// previous wave's retries).
     pub epoch: u64,
+}
+
+/// A manifest-only checkpoint push (CDC mode): the ordered chunk-hash list
+/// of the committed wave, framed as a payload-free `SPBCCKP4` blob.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CkptHashes {
+    /// World rank that owns (committed) this checkpoint.
+    pub owner: u32,
+    /// Checkpoint wave the manifest belongs to.
+    pub epoch: u64,
+    /// Manifest-only `SPBCCKP4` blob (hashes + lengths, no payloads).
+    pub manifest: Vec<u8>,
+}
+
+/// The partner's request for chunk bodies its store is missing, answered
+/// with a [`CkptBlob`] carrying a subset `SPBCCKP4` blob.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CkptChunkReq {
+    /// Owner rank whose manifest this answers.
+    pub owner: u32,
+    /// Checkpoint wave (guards against stale requests across retries).
+    pub epoch: u64,
+    /// Manifest indices of the chunks whose bodies are needed.
+    pub missing: Vec<u32>,
 }
 
 impl Encode for RollbackChannel {
@@ -236,6 +270,40 @@ impl Decode for CkptBlobAck {
     }
 }
 
+impl Encode for CkptHashes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.owner.encode(out);
+        self.epoch.encode(out);
+        self.manifest.encode(out);
+    }
+}
+impl Decode for CkptHashes {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CkptHashes {
+            owner: Decode::decode(r)?,
+            epoch: Decode::decode(r)?,
+            manifest: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for CkptChunkReq {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.owner.encode(out);
+        self.epoch.encode(out);
+        self.missing.encode(out);
+    }
+}
+impl Decode for CkptChunkReq {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CkptChunkReq {
+            owner: Decode::decode(r)?,
+            epoch: Decode::decode(r)?,
+            missing: Decode::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +349,19 @@ mod tests {
     }
 
     #[test]
+    fn ckpt_hashes_and_chunk_req_roundtrip() {
+        let h = CkptHashes { owner: 5, epoch: 9, manifest: vec![0x42; 200] };
+        let back: CkptHashes = from_bytes(&to_bytes(&h)).unwrap();
+        assert_eq!(back, h);
+        let r = CkptChunkReq { owner: 5, epoch: 9, missing: vec![0, 3, 17] };
+        let back: CkptChunkReq = from_bytes(&to_bytes(&r)).unwrap();
+        assert_eq!(back, r);
+        let empty = CkptChunkReq { owner: 1, epoch: 2, missing: vec![] };
+        let back: CkptChunkReq = from_bytes(&to_bytes(&empty)).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let kinds = [
             KIND_ROLLBACK,
@@ -296,6 +377,8 @@ mod tests {
             KIND_GRANT_DONE,
             KIND_CKPT_BLOB,
             KIND_CKPT_BLOB_ACK,
+            KIND_CKPT_HASHES,
+            KIND_CKPT_CHUNK_REQ,
         ];
         let mut sorted = kinds.to_vec();
         sorted.sort_unstable();

@@ -13,6 +13,10 @@
 //! | `SPBC_REPL_K` | `2` | checkpoint replication factor (partner copies) |
 //! | `SPBC_CKPT_CHUNK` | `65536` | delta checkpoint chunk size in bytes |
 //! | `SPBC_CKPT_FULL_EVERY` | `8` | full checkpoint blob cadence (1 disables deltas) |
+//! | `SPBC_CKPT_CDC` | `1` | content-defined chunking + content-addressed dedup (0 = fixed grid) |
+//! | `SPBC_CDC_MIN` | `256` | CDC minimum chunk length in bytes |
+//! | `SPBC_CDC_AVG` | `1024` | CDC target (average) chunk length in bytes |
+//! | `SPBC_CDC_MAX` | `4096` | CDC maximum chunk length in bytes |
 //! | `SPBC_TRACE` | unset | write the last run's Chrome trace JSON here |
 //! | `SPBC_METRICS` | unset | append one metrics JSON line per run here |
 //! | `SPBC_RANKS` | `16` | harness scale: application ranks |
@@ -37,6 +41,10 @@ pub const VARS: &[(&str, &str, &str)] = &[
     ("SPBC_REPL_K", "2", "checkpoint replication factor (partner copies)"),
     ("SPBC_CKPT_CHUNK", "65536", "delta checkpoint chunk size in bytes"),
     ("SPBC_CKPT_FULL_EVERY", "8", "full checkpoint blob cadence (1 disables deltas)"),
+    ("SPBC_CKPT_CDC", "1", "content-defined chunking + content-addressed dedup (0 = fixed grid)"),
+    ("SPBC_CDC_MIN", "256", "CDC minimum chunk length in bytes"),
+    ("SPBC_CDC_AVG", "1024", "CDC target (average) chunk length in bytes"),
+    ("SPBC_CDC_MAX", "4096", "CDC maximum chunk length in bytes"),
     ("SPBC_TRACE", "(unset)", "write the last run's Chrome trace JSON to this path"),
     ("SPBC_METRICS", "(unset)", "append one metrics JSON line per run to this path"),
     ("SPBC_RANKS", "16", "harness scale: application ranks"),
@@ -138,9 +146,17 @@ mod tests {
     #[test]
     fn registry_covers_struct() {
         let names: Vec<&str> = VARS.iter().map(|(n, _, _)| *n).collect();
-        for required in
-            ["SPBC_REPL_K", "SPBC_CKPT_CHUNK", "SPBC_CKPT_FULL_EVERY", "SPBC_TRACE", "SPBC_METRICS"]
-        {
+        for required in [
+            "SPBC_REPL_K",
+            "SPBC_CKPT_CHUNK",
+            "SPBC_CKPT_FULL_EVERY",
+            "SPBC_CKPT_CDC",
+            "SPBC_CDC_MIN",
+            "SPBC_CDC_AVG",
+            "SPBC_CDC_MAX",
+            "SPBC_TRACE",
+            "SPBC_METRICS",
+        ] {
             assert!(names.contains(&required), "{required} missing from VARS");
         }
     }

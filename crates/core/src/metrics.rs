@@ -53,6 +53,17 @@ pub struct Metrics {
     /// Bytes partner replication *would* have pushed without delta encoding
     /// (serialized body × pushes; `repl_bytes` stays the physical count).
     pub repl_bytes_logical: AtomicU64,
+    /// CDC chunks found already in the content-addressed store under the
+    /// same owner rank (cross-epoch dedup: unchanged data between waves).
+    pub cas_hits_cross_epoch: AtomicU64,
+    /// CDC chunks first inserted by a *different* rank (cross-rank dedup:
+    /// replicated read-only state shared across the job).
+    pub cas_hits_cross_rank: AtomicU64,
+    /// Bytes of checkpoint state deduplicated by CAS hits (either kind).
+    pub cas_hit_bytes: AtomicU64,
+    /// Bytes of unique chunk payloads resident in the content-addressed
+    /// store (a gauge: last observed value, not a running sum).
+    pub cas_unique_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -73,12 +84,20 @@ impl Metrics {
         counter.load(Ordering::Relaxed)
     }
 
+    /// Overwrite a gauge-style counter with its latest observed value
+    /// (used for `cas_unique_bytes`, which tracks store residency rather
+    /// than a running sum).
+    #[inline]
+    pub fn set(counter: &AtomicU64, v: u64) {
+        counter.store(v, Ordering::Relaxed);
+    }
+
     /// Human-readable one-line summary. Duplicate drops and out-of-order
     /// drops are distinct failure signatures (a healthy replay produces the
     /// former, a crash-window gap the latter), so they are reported apart.
     pub fn summary(&self) -> String {
         format!(
-            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B",
+            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B; cas-hits {} epoch / {} rank / {} B; cas-unique {} B",
             Self::get(&self.logged_msgs),
             Self::get(&self.logged_bytes),
             Self::get(&self.replayed_msgs),
@@ -100,6 +119,10 @@ impl Metrics {
             Self::get(&self.ckpt_bytes_logical),
             Self::get(&self.ckpt_bytes_physical),
             Self::get(&self.repl_bytes_logical),
+            Self::get(&self.cas_hits_cross_epoch),
+            Self::get(&self.cas_hits_cross_rank),
+            Self::get(&self.cas_hit_bytes),
+            Self::get(&self.cas_unique_bytes),
         )
     }
 
@@ -127,6 +150,10 @@ impl Metrics {
             ckpt_bytes_logical: Self::get(&self.ckpt_bytes_logical),
             ckpt_bytes_physical: Self::get(&self.ckpt_bytes_physical),
             repl_bytes_logical: Self::get(&self.repl_bytes_logical),
+            cas_hits_cross_epoch: Self::get(&self.cas_hits_cross_epoch),
+            cas_hits_cross_rank: Self::get(&self.cas_hits_cross_rank),
+            cas_hit_bytes: Self::get(&self.cas_hit_bytes),
+            cas_unique_bytes: Self::get(&self.cas_unique_bytes),
         }
     }
 }
@@ -177,11 +204,19 @@ pub struct MetricsSnapshot {
     pub ckpt_bytes_physical: u64,
     /// Bytes replication would have pushed without delta encoding.
     pub repl_bytes_logical: u64,
+    /// CDC chunks deduplicated against an earlier epoch of the same rank.
+    pub cas_hits_cross_epoch: u64,
+    /// CDC chunks deduplicated against another rank's chunks.
+    pub cas_hits_cross_rank: u64,
+    /// Bytes of checkpoint state deduplicated by CAS hits.
+    pub cas_hit_bytes: u64,
+    /// Unique chunk payload bytes resident in the CAS (gauge).
+    pub cas_unique_bytes: u64,
 }
 
 impl MetricsSnapshot {
     /// The counters as `(name, value)` pairs, in declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 21] {
+    pub fn fields(&self) -> [(&'static str, u64); 25] {
         [
             ("logged_bytes", self.logged_bytes),
             ("logged_msgs", self.logged_msgs),
@@ -204,16 +239,35 @@ impl MetricsSnapshot {
             ("ckpt_bytes_logical", self.ckpt_bytes_logical),
             ("ckpt_bytes_physical", self.ckpt_bytes_physical),
             ("repl_bytes_logical", self.repl_bytes_logical),
+            ("cas_hits_cross_epoch", self.cas_hits_cross_epoch),
+            ("cas_hits_cross_rank", self.cas_hits_cross_rank),
+            ("cas_hit_bytes", self.cas_hit_bytes),
+            ("cas_unique_bytes", self.cas_unique_bytes),
         ]
     }
 
     /// Dedup ratio of the checkpoint write path: logical bytes per physical
-    /// byte (1.0 = no savings; `None` until something was written).
+    /// byte (1.0 = no savings). A run whose checkpointed state was empty has
+    /// nothing to deduplicate and reports a clean 1.0 — never NaN or
+    /// infinity. `None` only when logical bytes exist but no physical write
+    /// has been counted yet (writes still in flight).
     pub fn dedup_ratio(&self) -> Option<f64> {
-        if self.ckpt_bytes_physical == 0 {
-            None
-        } else {
-            Some(self.ckpt_bytes_logical as f64 / self.ckpt_bytes_physical as f64)
+        match (self.ckpt_bytes_logical, self.ckpt_bytes_physical) {
+            (0, _) => Some(1.0),
+            (_, 0) => None,
+            (l, p) => Some(l as f64 / p as f64),
+        }
+    }
+
+    /// CAS chunk-level dedup ratio: bytes the store was asked to hold per
+    /// unique byte it actually holds. Same zero-wave guard as
+    /// [`dedup_ratio`](Self::dedup_ratio): an empty store that was never
+    /// offered a chunk reports 1.0, never NaN or infinity.
+    pub fn cas_dedup_ratio(&self) -> Option<f64> {
+        match (self.cas_hit_bytes, self.cas_unique_bytes) {
+            (0, 0) => Some(1.0),
+            (_, 0) => None,
+            (h, u) => Some((h + u) as f64 / u as f64),
         }
     }
 
@@ -251,11 +305,41 @@ mod tests {
     #[test]
     fn dedup_ratio_tracks_byte_counters() {
         let m = Metrics::new();
-        assert!(m.snapshot().dedup_ratio().is_none());
         Metrics::add(&m.ckpt_bytes_logical, 800);
+        assert!(m.snapshot().dedup_ratio().is_none(), "logical bytes but no write yet");
         Metrics::add(&m.ckpt_bytes_physical, 200);
         assert_eq!(m.snapshot().dedup_ratio(), Some(4.0));
         assert!(m.summary().contains("ckpt-bytes 800 logical / 200 physical"), "{}", m.summary());
+    }
+
+    #[test]
+    fn zero_byte_waves_report_ratio_one_not_nan() {
+        // A run whose checkpointed state is empty (zero-length serialized
+        // bodies) must not poison dedup reporting with NaN or infinity.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.dedup_ratio(), Some(1.0));
+        assert_eq!(empty.cas_dedup_ratio(), Some(1.0));
+        // Physical bytes with zero logical bytes (framing overhead only)
+        // still reads as "no savings", not a division blowup.
+        let framing_only = MetricsSnapshot { ckpt_bytes_physical: 32, ..Default::default() };
+        assert_eq!(framing_only.dedup_ratio(), Some(1.0));
+        for snap in [empty, framing_only] {
+            let r = snap.dedup_ratio().unwrap();
+            assert!(r.is_finite() && !r.is_nan());
+        }
+    }
+
+    #[test]
+    fn cas_dedup_ratio_counts_hit_and_unique_bytes() {
+        let m = Metrics::new();
+        Metrics::add(&m.cas_hit_bytes, 3000);
+        Metrics::add(&m.cas_unique_bytes, 1000);
+        assert_eq!(m.snapshot().cas_dedup_ratio(), Some(4.0));
+        // Hits recorded while the unique gauge is still zero: not yet
+        // meaningful, but never NaN/inf.
+        let inflight = MetricsSnapshot { cas_hit_bytes: 10, ..Default::default() };
+        assert!(inflight.cas_dedup_ratio().is_none());
+        assert!(m.summary().contains("cas-unique 1000 B"), "{}", m.summary());
     }
 
     #[test]
@@ -282,6 +366,10 @@ mod tests {
         Metrics::add(&m.ckpt_bytes_logical, 19);
         Metrics::add(&m.ckpt_bytes_physical, 20);
         Metrics::add(&m.repl_bytes_logical, 21);
+        Metrics::add(&m.cas_hits_cross_epoch, 22);
+        Metrics::add(&m.cas_hits_cross_rank, 23);
+        Metrics::add(&m.cas_hit_bytes, 24);
+        Metrics::add(&m.cas_unique_bytes, 25);
         let s = m.snapshot();
         for (i, (_, v)) in s.fields().iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);

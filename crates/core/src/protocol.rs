@@ -20,10 +20,11 @@
 
 use crate::cluster::ClusterMap;
 use crate::ctrl::{
-    CkptBlob, CkptBlobAck, CkptCounts, LastMessage, LastMessageChannel, Rollback, RollbackChannel,
-    KIND_CKPT_ACK, KIND_CKPT_BLOB, KIND_CKPT_BLOB_ACK, KIND_CKPT_COMMIT, KIND_CKPT_JOIN,
-    KIND_CKPT_POLL, KIND_CKPT_REPORT, KIND_CKPT_RESUME, KIND_GRANT, KIND_GRANT_DONE,
-    KIND_GRANT_REQ, KIND_LASTMSG, KIND_ROLLBACK,
+    CkptBlob, CkptBlobAck, CkptChunkReq, CkptCounts, CkptHashes, LastMessage, LastMessageChannel,
+    Rollback, RollbackChannel, KIND_CKPT_ACK, KIND_CKPT_BLOB, KIND_CKPT_BLOB_ACK,
+    KIND_CKPT_CHUNK_REQ, KIND_CKPT_COMMIT, KIND_CKPT_HASHES, KIND_CKPT_JOIN, KIND_CKPT_POLL,
+    KIND_CKPT_REPORT, KIND_CKPT_RESUME, KIND_GRANT, KIND_GRANT_DONE, KIND_GRANT_REQ, KIND_LASTMSG,
+    KIND_ROLLBACK,
 };
 use crate::metrics::Metrics;
 use crate::replay::{ReplayEngine, DEFAULT_REPLAY_WINDOW};
@@ -39,7 +40,7 @@ use mini_mpi::request::RecvSpec;
 use mini_mpi::types::{ChannelId, CommId, RankId};
 use mini_mpi::wire::{from_bytes, to_bytes};
 use parking_lot::Mutex;
-use spbc_ckptstore::{CkptStoreService, LoadOutcome, StoreConfig};
+use spbc_ckptstore::{CdcParams, CkptStoreService, LoadOutcome, StoreConfig};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,6 +98,18 @@ pub struct SpbcConfig {
     /// bound delta-chain length. Defaults to `$SPBC_CKPT_FULL_EVERY` or 8;
     /// 1 disables the delta path entirely.
     pub ckpt_full_every: u64,
+    /// Content-defined chunking + content-addressed dedup (`SPBCCKP4`):
+    /// checkpoint bodies are cut at content-determined boundaries, chunks
+    /// dedup across epochs *and* ranks, and replication pushes chunk-hash
+    /// manifests instead of blobs. Defaults to `$SPBC_CKPT_CDC` or on;
+    /// off falls back to the fixed-grid delta encoder (`SPBCCKP3`).
+    pub ckpt_cdc: bool,
+    /// CDC minimum chunk length. Defaults to `$SPBC_CDC_MIN` or 256.
+    pub cdc_min: usize,
+    /// CDC target (average) chunk length. Defaults to `$SPBC_CDC_AVG` or 1024.
+    pub cdc_avg: usize,
+    /// CDC maximum chunk length. Defaults to `$SPBC_CDC_MAX` or 4096.
+    pub cdc_max: usize,
 }
 
 /// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
@@ -115,8 +128,24 @@ fn default_ckpt_full_every() -> u64 {
     crate::env::get_or("SPBC_CKPT_FULL_EVERY", spbc_ckptstore::chunk::DEFAULT_FULL_EVERY)
 }
 
+/// CDC toggle from `$SPBC_CKPT_CDC` (0 = fixed-grid deltas), defaulting on.
+fn default_ckpt_cdc() -> bool {
+    crate::env::get_or("SPBC_CKPT_CDC", 1u8) != 0
+}
+
+/// CDC chunk bounds from `$SPBC_CDC_MIN` / `$SPBC_CDC_AVG` / `$SPBC_CDC_MAX`.
+fn default_cdc_bounds() -> (usize, usize, usize) {
+    let d = CdcParams::default();
+    (
+        crate::env::get_or("SPBC_CDC_MIN", d.min),
+        crate::env::get_or("SPBC_CDC_AVG", d.avg),
+        crate::env::get_or("SPBC_CDC_MAX", d.max),
+    )
+}
+
 impl Default for SpbcConfig {
     fn default() -> Self {
+        let (cdc_min, cdc_avg, cdc_max) = default_cdc_bounds();
         SpbcConfig {
             ckpt_interval: 0,
             replay_window: DEFAULT_REPLAY_WINDOW,
@@ -127,7 +156,24 @@ impl Default for SpbcConfig {
             async_ckpt_writes: true,
             ckpt_chunk: default_ckpt_chunk(),
             ckpt_full_every: default_ckpt_full_every(),
+            ckpt_cdc: default_ckpt_cdc(),
+            cdc_min,
+            cdc_avg,
+            cdc_max,
         }
+    }
+}
+
+/// Storage-service configuration derived from the protocol tunables (one
+/// derivation shared by every backend choice).
+fn store_cfg_of(cfg: &SpbcConfig) -> StoreConfig {
+    StoreConfig {
+        async_writes: cfg.async_ckpt_writes,
+        chunk_size: cfg.ckpt_chunk,
+        full_every: cfg.ckpt_full_every,
+        cdc: cfg.ckpt_cdc,
+        cdc_params: CdcParams { min: cfg.cdc_min, avg: cfg.cdc_avg, max: cfg.cdc_max },
+        ..StoreConfig::default()
     }
 }
 
@@ -200,12 +246,7 @@ impl SpbcProvider {
     /// [`with_storage`](Self::with_storage) and a [`Storage`] value.
     pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
         let world = clusters.world_size();
-        let store_cfg = StoreConfig {
-            async_writes: cfg.async_ckpt_writes,
-            chunk_size: cfg.ckpt_chunk,
-            full_every: cfg.ckpt_full_every,
-            ..StoreConfig::default()
-        };
+        let store_cfg = store_cfg_of(&cfg);
         SpbcProvider {
             clusters: Arc::new(clusters),
             store: Arc::new(SharedStore::new(world)),
@@ -221,12 +262,7 @@ impl SpbcProvider {
     pub fn with_storage(mut self, storage: Storage) -> Result<Self> {
         if let Some(root) = storage.root {
             let world = self.clusters.world_size();
-            let store_cfg = StoreConfig {
-                async_writes: self.cfg.async_ckpt_writes,
-                chunk_size: self.cfg.ckpt_chunk,
-                full_every: self.cfg.ckpt_full_every,
-                ..StoreConfig::default()
-            };
+            let store_cfg = store_cfg_of(&self.cfg);
             self.ckptstore = Arc::new(CkptStoreService::on_disk(root, world, store_cfg)?);
         }
         if let Some(disk) = storage.mirror {
@@ -312,6 +348,10 @@ struct ReplWait {
     epoch: u64,
     awaiting: HashSet<RankId>,
     blob: Vec<u8>,
+    /// CDC mode: the manifest-only form of `blob` (chunk hashes, no
+    /// payloads) pushed to partners instead of the blob itself. Empty in
+    /// fixed-grid mode, where the full sealed blob is pushed.
+    manifest: Vec<u8>,
     /// Serialized body size behind `blob` (full-write equivalent), for the
     /// logical-bytes replication accounting on retries.
     logical: u64,
@@ -753,6 +793,13 @@ impl SpbcLayer {
             logical = stats.logical;
             Metrics::add(&self.metrics.ckpt_bytes_logical, stats.logical);
             Metrics::add(&self.metrics.ckpt_bytes_physical, stats.physical);
+            Metrics::add(
+                &self.metrics.cas_hits_cross_epoch,
+                stats.cas_hit_chunks_same_owner as u64,
+            );
+            Metrics::add(&self.metrics.cas_hits_cross_rank, stats.cas_hit_chunks_cross_rank as u64);
+            Metrics::add(&self.metrics.cas_hit_bytes, stats.cas_hit_bytes);
+            Metrics::set(&self.metrics.cas_unique_bytes, service.cas().unique_bytes());
             let bytes = blob.len() as u64;
             ctx.recorder().record(|| Event::CkptWrite {
                 epoch,
@@ -800,16 +847,28 @@ impl SpbcLayer {
         if self.service.is_some() && !self.partners.is_empty() {
             // Push the sealed blob to every partner; the leader's ACK waits
             // for their store confirmations (the commit barrier includes
-            // replication, not disk).
+            // replication, not disk). In CDC mode only the chunk-hash
+            // manifest travels — a partner whose store lacks a chunk body
+            // answers with a `CkptChunkReq` and receives a subset blob.
             ctx.chaos_ckpt_hook(CkptHook::Replicate)?;
+            let manifest = if self.cfg.ckpt_cdc {
+                spbc_ckptstore::chunk::manifest_only_v4(&sealed)?
+            } else {
+                Vec::new()
+            };
             let partners = self.partners.clone();
             for &p in &partners {
-                self.push_blob_to(ctx, p, epoch, &sealed, logical);
+                if manifest.is_empty() {
+                    self.push_blob_to(ctx, p, epoch, &sealed, logical);
+                } else {
+                    self.push_hashes_to(ctx, p, epoch, &manifest, logical);
+                }
             }
             self.repl = Some(ReplWait {
                 epoch,
                 awaiting: partners.into_iter().collect(),
                 blob: sealed,
+                manifest,
                 logical,
                 last_push: Instant::now(),
             });
@@ -840,6 +899,29 @@ impl SpbcLayer {
         // Storage traffic, not protocol control: bypass `self.ctrl` so
         // `ctrl_msgs` keeps measuring coordination cost only.
         ctx.send_ctrl(partner, KIND_CKPT_BLOB, body);
+    }
+
+    /// CDC replication: send a partner the chunk-hash manifest instead of
+    /// the sealed blob. The partner adopts it directly when its store
+    /// already holds every chunk body, or answers [`KIND_CKPT_CHUNK_REQ`]
+    /// naming the chunk indices it lacks. `repl_bytes` counts what actually
+    /// travels (the manifest), `repl_bytes_logical` the full-body cost it
+    /// stands in for.
+    fn push_hashes_to(
+        &self,
+        ctx: &mut FtCtx<'_>,
+        partner: RankId,
+        epoch: u64,
+        manifest: &[u8],
+        logical: u64,
+    ) {
+        let bytes = manifest.len() as u64;
+        ctx.recorder().record(|| Event::CkptReplPush { partner, epoch, bytes });
+        Metrics::add(&self.metrics.repl_pushes, 1);
+        Metrics::add(&self.metrics.repl_bytes, bytes);
+        Metrics::add(&self.metrics.repl_bytes_logical, logical);
+        let body = to_bytes(&CkptHashes { owner: self.me.0, epoch, manifest: manifest.to_vec() });
+        ctx.send_ctrl(partner, KIND_CKPT_HASHES, body);
     }
 
     /// Replication barrier cleared (or not required): tell the leader this
@@ -1121,6 +1203,52 @@ impl FtLayer for SpbcLayer {
                 }
                 Ok(())
             }
+            KIND_CKPT_HASHES => {
+                let ch: CkptHashes = from_bytes(&msg.data)?;
+                let owner = RankId(ch.owner);
+                if let Some(service) = &self.service {
+                    let missing = service.missing_chunks(&ch.manifest)?;
+                    if missing.is_empty() {
+                        // Every chunk body is already resident in the CAS:
+                        // adopt the manifest as the partner copy and confirm
+                        // durability — no payload ever crossed the wire.
+                        let bytes = ch.manifest.len() as u64;
+                        let pruned =
+                            service.store_partner_copy(self.me, owner, ch.epoch, &ch.manifest)?;
+                        if pruned > 0 {
+                            Metrics::add(&self.metrics.ckpt_gc_pruned, pruned as u64);
+                        }
+                        let epoch = ch.epoch;
+                        ctx.recorder().record(|| Event::CkptReplStore { owner, epoch, bytes });
+                        ctx.send_ctrl(
+                            msg.from,
+                            KIND_CKPT_BLOB_ACK,
+                            to_bytes(&CkptBlobAck { epoch }),
+                        );
+                    } else {
+                        // Ask the owner for the chunk bodies we lack; it
+                        // answers with a subset blob on the ordinary
+                        // KIND_CKPT_BLOB path, whose handler acks.
+                        let body = CkptChunkReq { owner: ch.owner, epoch: ch.epoch, missing };
+                        ctx.send_ctrl(msg.from, KIND_CKPT_CHUNK_REQ, to_bytes(&body));
+                    }
+                }
+                Ok(())
+            }
+            KIND_CKPT_CHUNK_REQ => {
+                let req: CkptChunkReq = from_bytes(&msg.data)?;
+                if let (Some(service), Some(r)) = (&self.service, &self.repl) {
+                    // Stale requests (an earlier wave's retry) are dropped;
+                    // the retry timer re-pushes the current manifest anyway.
+                    if r.epoch == req.epoch && req.owner == self.me.0 {
+                        let subset = service.subset_blob(&r.blob, &req.missing)?;
+                        // Logical bytes were already counted by the manifest
+                        // push this subset completes.
+                        self.push_blob_to(ctx, msg.from, req.epoch, &subset, 0);
+                    }
+                }
+                Ok(())
+            }
             KIND_CKPT_BLOB_ACK => {
                 let ack: CkptBlobAck = from_bytes(&msg.data)?;
                 Metrics::add(&self.metrics.repl_acks, 1);
@@ -1189,9 +1317,14 @@ impl FtLayer for SpbcLayer {
             if r.last_push.elapsed() >= REPL_RETRY && !r.awaiting.is_empty() {
                 r.last_push = Instant::now();
                 let targets: Vec<RankId> = r.awaiting.iter().copied().collect();
-                let (epoch, blob, logical) = (r.epoch, r.blob.clone(), r.logical);
+                let (epoch, blob, manifest, logical) =
+                    (r.epoch, r.blob.clone(), r.manifest.clone(), r.logical);
                 for p in targets {
-                    self.push_blob_to(ctx, p, epoch, &blob, logical);
+                    if manifest.is_empty() {
+                        self.push_blob_to(ctx, p, epoch, &blob, logical);
+                    } else {
+                        self.push_hashes_to(ctx, p, epoch, &manifest, logical);
+                    }
                 }
             }
         }

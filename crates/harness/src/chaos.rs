@@ -2,7 +2,7 @@
 //! permanently fuzz the protocol's fragile windows.
 //!
 //! A *schedule* is a set of [`FailurePlan`]s generated from a seed by one of
-//! five scenario families:
+//! six scenario families:
 //!
 //! * [`Family::Spread`] — overlapping failures landing in different
 //!   clusters across the execution;
@@ -20,7 +20,12 @@
 //! * [`Family::DeltaChain`] — kills timed so restore has to materialize a
 //!   delta checkpoint chain (several waves committed before the failure,
 //!   so the restored wave is an `SPBCCKP3` delta referencing earlier
-//!   epochs), plus kills mid-replication of a delta blob.
+//!   epochs), plus kills mid-replication of a delta blob;
+//! * [`Family::CasGc`] — kills landing *inside* a commit (after chunks are
+//!   inserted into the content-addressed store, before the wave's resume)
+//!   while surviving ranks finish the wave and their storage GC prunes
+//!   older epochs: a chunk refcounted by several ranks/epochs must never
+//!   be dropped while any checkpoint still references it.
 //!
 //! Every schedule runs under SPBC and is verified **bitwise** against a
 //! native (fault-free) execution of the same workload. A failing schedule is
@@ -72,7 +77,7 @@ impl Rng {
     }
 }
 
-/// The five scenario families a campaign cycles through.
+/// The six scenario families a campaign cycles through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Family {
     /// Overlapping failures in different clusters.
@@ -87,16 +92,20 @@ pub enum Family {
     /// Kills timed so restore crosses a delta checkpoint chain, plus kills
     /// mid-replication of a delta blob.
     DeltaChain,
+    /// Kills landing mid-commit while other ranks' storage GC prunes —
+    /// the refcount window of the content-addressed chunk store.
+    CasGc,
 }
 
 impl Family {
     /// Every family, in campaign order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Spread,
         Family::SameClusterRepeat,
         Family::DuringRecovery,
         Family::CkptPhases,
         Family::DeltaChain,
+        Family::CasGc,
     ];
 }
 
@@ -108,6 +117,7 @@ impl fmt::Display for Family {
             Family::DuringRecovery => "during-recovery",
             Family::CkptPhases => "ckpt-phases",
             Family::DeltaChain => "delta-chain",
+            Family::CasGc => "cas-gc",
         };
         f.write_str(s)
     }
@@ -194,6 +204,7 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
         Family::DuringRecovery => 3,
         Family::CkptPhases => 4,
         Family::DeltaChain => 5,
+        Family::CasGc => 6,
     };
     let mut rng = Rng::new(seed.wrapping_mul(0x0100_0000_01b3) ^ salt ^ (workload as u64) << 32);
     let span = cfg.iters.saturating_sub(4).max(1);
@@ -280,6 +291,29 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
                     2 + rng.below(2),
                 ));
             }
+            plans
+        }
+        Family::CasGc => {
+            // Refcount window of the content-addressed store: a rank dies
+            // *inside* a commit — its chunks are inserted and registered,
+            // its wave never resumes — while the surviving ranks commit the
+            // wave and their RESUME-time GC prunes earlier epochs. Chunks
+            // shared across ranks (or with the victim's still-referenced
+            // epochs) must survive every prune. A later plain kill then
+            // forces a restore that materializes a V4 manifest against the
+            // post-GC store — any wrongly-freed chunk turns it into a loud
+            // "lost everywhere" failure.
+            let a = rng.below(cfg.clusters as u64) as usize;
+            let hook = if rng.below(2) == 0 { CkptHook::Write } else { CkptHook::Replicate };
+            let mut plans =
+                vec![FailurePlan::at_phase(cfg.rank_in(a, &mut rng), hook, 2 + rng.below(2))];
+            let after_two_waves = 2 * cfg.ckpt_interval + 1;
+            let late_span = cfg.iters.saturating_sub(after_two_waves + 2).max(1);
+            let b = (a + 1 + rng.below(cfg.clusters as u64 - 1) as usize) % cfg.clusters;
+            plans.push(FailurePlan::nth(
+                cfg.rank_in(b, &mut rng),
+                after_two_waves + rng.below(late_span),
+            ));
             plans
         }
     };
@@ -532,7 +566,8 @@ pub struct CampaignReport {
 }
 
 /// Run `seeds` base seeds × every family × every configured workload
-/// (`seeds × 4 × workloads.len()` schedules), minimizing every failure.
+/// (`seeds × Family::ALL.len() × workloads.len()` schedules), minimizing
+/// every failure.
 /// Progress goes to stderr; the returned report holds the reproducers.
 pub fn run_campaign(seeds: u64, cfg: ChaosConfig) -> CampaignReport {
     let workloads = cfg.workloads.clone();
@@ -620,6 +655,24 @@ pub mod pinned {
             plans: vec![
                 FailurePlan::nth(RankId(1), 14),
                 FailurePlan::at_phase(RankId(6), CkptHook::Replicate, 3),
+            ],
+        }
+    }
+
+    /// CAS refcount window: rank 2 dies inside its second wave's write —
+    /// chunks inserted and registered, the wave never resumed on it — while
+    /// the other ranks commit the wave and their RESUME-time GC prunes
+    /// epoch 1. Rank 5 then dies much later, forcing a restore that
+    /// materializes a `SPBCCKP4` manifest against the post-GC store: any
+    /// chunk freed while a checkpoint still referenced it fails loudly.
+    pub fn cas_gc() -> Schedule {
+        Schedule {
+            seed: u64::MAX,
+            family: Family::CasGc,
+            workload: Workload::MiniGhost,
+            plans: vec![
+                FailurePlan::at_phase(RankId(2), CkptHook::Write, 2),
+                FailurePlan::nth(RankId(5), 14),
             ],
         }
     }

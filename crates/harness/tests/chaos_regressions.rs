@@ -75,12 +75,23 @@ fn pinned_delta_chain_restore_fulls_only() {
     assert_passes(&mut oracle, &chaos::pinned::delta_chain());
 }
 
+/// The CAS refcount window: a rank killed mid-commit (chunks inserted into
+/// the content-addressed store, wave never resumed) while surviving ranks'
+/// RESUME-time GC prunes earlier epochs; a much later kill then restores
+/// from a `SPBCCKP4` manifest against the post-GC store. A shared chunk
+/// dropped while still referenced fails this loudly and bitwise.
+#[test]
+fn pinned_cas_gc() {
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    assert_passes(&mut oracle, &chaos::pinned::cas_gc());
+}
+
 /// A fixed-seed campaign slice: every family, both workloads, seeds 0-1.
 /// Bitwise identical to native on every schedule.
 #[test]
 fn fixed_seed_campaign_slice() {
     let report = chaos::run_campaign(2, ChaosConfig::short());
-    assert_eq!(report.total, 20);
+    assert_eq!(report.total, 24);
     assert!(
         report.failures.is_empty(),
         "campaign failures:\n{}",
