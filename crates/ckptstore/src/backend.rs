@@ -14,13 +14,23 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+/// Timing facts about a completed [`CheckpointBackend::put`], reported so
+/// the protocol layer can attribute write latency to its durability
+/// barrier separately from the bulk copy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PutStats {
+    /// Microseconds spent in the durability barrier (`fsync`); 0 for
+    /// memory-backed stores, which have none.
+    pub fsync_us: u64,
+}
+
 /// A keyed blob store for sealed checkpoints.
 ///
 /// Implementations must be safe to call from multiple threads (rank threads
 /// and the background writer); all methods take `&self`.
 pub trait CheckpointBackend: Send + Sync {
     /// Store `blob` as `owner`'s checkpoint at `epoch` (overwrites).
-    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()>;
+    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<PutStats>;
     /// Fetch `owner`'s blob at `epoch`; `None` if absent.
     fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>>;
     /// Epochs stored for `owner`, ascending.
@@ -50,9 +60,9 @@ impl MemBackend {
 }
 
 impl CheckpointBackend for MemBackend {
-    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()> {
+    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<PutStats> {
         self.blobs.lock().insert((owner.0, epoch), blob.to_vec());
-        Ok(())
+        Ok(PutStats::default())
     }
 
     fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {
@@ -100,7 +110,7 @@ impl DirBackend {
 }
 
 impl CheckpointBackend for DirBackend {
-    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()> {
+    fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<PutStats> {
         // Recreate the root if it was lost (fault injection deletes whole
         // directories; the next wave must still be able to commit).
         fs::create_dir_all(&self.root)
@@ -110,10 +120,12 @@ impl CheckpointBackend for DirBackend {
         let mut f = fs::File::create(&tmp)
             .map_err(|e| MpiError::app(format!("create {}: {e}", tmp.display())))?;
         f.write_all(blob).map_err(|e| MpiError::app(format!("write checkpoint: {e}")))?;
+        let fsync_start = std::time::Instant::now();
         f.sync_all().map_err(|e| MpiError::app(format!("fsync checkpoint: {e}")))?;
+        let fsync_us = fsync_start.elapsed().as_micros() as u64;
         fs::rename(&tmp, &final_path)
             .map_err(|e| MpiError::app(format!("commit checkpoint: {e}")))?;
-        Ok(())
+        Ok(PutStats { fsync_us })
     }
 
     fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {

@@ -50,10 +50,10 @@ pub mod crc;
 pub mod service;
 pub mod writer;
 
-pub use backend::{CheckpointBackend, DirBackend, MemBackend};
+pub use backend::{CheckpointBackend, DirBackend, MemBackend, PutStats};
 pub use blob::{seal, unseal, unseal_any, Unsealed, MAGIC_V1, MAGIC_V2};
 pub use cas::{CasStore, ChunkFate, ChunkHash};
 pub use cdc::{chunk_spans, CdcParams};
 pub use chunk::{seal_v4, CasView, DeltaEncoder, DeltaView, EncodeStats, MAGIC_V3, MAGIC_V4};
-pub use service::{CkptStoreService, LoadOutcome, StoreConfig};
+pub use service::{CkptStoreService, LoadOutcome, LoadStats, StoreConfig};
 pub use writer::AsyncWriter;

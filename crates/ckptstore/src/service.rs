@@ -102,6 +102,17 @@ pub enum LoadOutcome {
     },
 }
 
+/// Timing breakdown of a [`CkptStoreService::load_with_stats`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Microseconds fetching (and, when needed, partner-repairing) the top
+    /// chain link.
+    pub fetch_us: u64,
+    /// Microseconds materializing the body — delta-chain or CAS resolution,
+    /// including any base-link fetches and repairs it triggers.
+    pub materialize_us: u64,
+}
+
 struct RankStores {
     local: Arc<dyn CheckpointBackend>,
     partner: Arc<dyn CheckpointBackend>,
@@ -322,7 +333,7 @@ impl CkptStoreService {
             if let Some(cb) = on_done {
                 cb(&res, start.elapsed());
             }
-            res
+            res.map(|_| ())
         }
     }
 
@@ -457,10 +468,25 @@ impl CkptStoreService {
     /// full blob, so re-committed epochs after a rollback can never be
     /// referenced by a stale manifest from the previous incarnation.
     pub fn load(&self, rank: RankId, epoch: u64) -> Result<Option<(Vec<u8>, LoadOutcome)>> {
+        self.load_with_stats(rank, epoch).map(|o| o.map(|(body, outcome, _)| (body, outcome)))
+    }
+
+    /// [`load`](Self::load), additionally reporting how long each restore
+    /// stage took so the protocol layer can feed its phase histograms.
+    pub fn load_with_stats(
+        &self,
+        rank: RankId,
+        epoch: u64,
+    ) -> Result<Option<(Vec<u8>, LoadOutcome, LoadStats)>> {
+        let mut stats = LoadStats::default();
         let mut outcome = LoadOutcome::Local;
-        let Some(top) = self.fetch_blob(rank, epoch, &mut outcome)? else {
+        let fetch_start = std::time::Instant::now();
+        let top = self.fetch_blob(rank, epoch, &mut outcome)?;
+        stats.fetch_us = fetch_start.elapsed().as_micros() as u64;
+        let Some(top) = top else {
             return Ok(None);
         };
+        let mat_start = std::time::Instant::now();
         let body = if chunk::is_cas(&top) {
             // V4: inline payloads (hash-verified) plus the shared store.
             // The store is service-wide, so there is no partner scan to
@@ -477,8 +503,9 @@ impl CkptStoreService {
                 })
             })?
         };
+        stats.materialize_us = mat_start.elapsed().as_micros() as u64;
         self.deltas[rank.0 as usize].lock().reset();
-        Ok(Some((body, outcome)))
+        Ok(Some((body, outcome, stats)))
     }
 
     /// Every epoch at which *some* verifiable-looking copy of `rank`'s

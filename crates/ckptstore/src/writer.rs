@@ -23,7 +23,7 @@
 //! Uses `std::sync::{Mutex, Condvar}` rather than `parking_lot`: the
 //! vendored parking_lot stand-in has no condition variables.
 
-use crate::backend::CheckpointBackend;
+use crate::backend::{CheckpointBackend, PutStats};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::types::RankId;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -31,9 +31,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Completion callback: write result and the time the write spent hidden
-/// behind the application (submit-to-durable latency).
-pub type OnDone = Box<dyn FnOnce(&Result<()>, Duration) + Send>;
+/// Completion callback: write result (with backend timing facts on
+/// success) and the time the write spent hidden behind the application
+/// (submit-to-durable latency).
+pub type OnDone = Box<dyn FnOnce(&Result<PutStats>, Duration) + Send>;
 
 struct Job {
     epoch: u64,
@@ -119,7 +120,7 @@ impl AsyncWriter {
             let mut st = shared.state.lock().unwrap();
             st.writing.remove(&owner);
             match res {
-                Ok(()) => {
+                Ok(_) => {
                     st.completed += 1;
                     st.bytes_written += job.blob.len() as u64;
                 }
@@ -223,7 +224,7 @@ mod tests {
         // rank 1 lands while the first is still queued.
         struct Slow(MemBackend);
         impl CheckpointBackend for Slow {
-            fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<()> {
+            fn put(&self, owner: RankId, epoch: u64, blob: &[u8]) -> Result<PutStats> {
                 std::thread::sleep(Duration::from_millis(20));
                 self.0.put(owner, epoch, blob)
             }
@@ -257,7 +258,7 @@ mod tests {
     fn write_errors_are_sticky_until_flush() {
         struct Failing;
         impl CheckpointBackend for Failing {
-            fn put(&self, _: RankId, _: u64, _: &[u8]) -> Result<()> {
+            fn put(&self, _: RankId, _: u64, _: &[u8]) -> Result<PutStats> {
                 Err(MpiError::app("disk full"))
             }
             fn get(&self, _: RankId, _: u64) -> Result<Option<Vec<u8>>> {

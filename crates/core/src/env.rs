@@ -17,8 +17,10 @@
 //! | `SPBC_CDC_MIN` | `256` | CDC minimum chunk length in bytes |
 //! | `SPBC_CDC_AVG` | `1024` | CDC target (average) chunk length in bytes |
 //! | `SPBC_CDC_MAX` | `4096` | CDC maximum chunk length in bytes |
-//! | `SPBC_TRACE` | unset | write the last run's Chrome trace JSON here |
+//! | `SPBC_TRACE` | unset | write the last run's Chrome trace JSON here (`%` → run label) |
 //! | `SPBC_METRICS` | unset | append one metrics JSON line per run here |
+//! | `SPBC_METRICS_INTERVAL_MS` | `0` | background sampler period in ms (0 disables; rows go to `$SPBC_METRICS`) |
+//! | `SPBC_OPENMETRICS` | unset | write an OpenMetrics text exposition of the final snapshot here |
 //! | `SPBC_RANKS` | `16` | harness scale: application ranks |
 //! | `SPBC_ITERS` | `24` | harness scale: iterations per run |
 //! | `SPBC_ELEMS` | `512` | harness scale: per-rank state elements |
@@ -45,8 +47,22 @@ pub const VARS: &[(&str, &str, &str)] = &[
     ("SPBC_CDC_MIN", "256", "CDC minimum chunk length in bytes"),
     ("SPBC_CDC_AVG", "1024", "CDC target (average) chunk length in bytes"),
     ("SPBC_CDC_MAX", "4096", "CDC maximum chunk length in bytes"),
-    ("SPBC_TRACE", "(unset)", "write the last run's Chrome trace JSON to this path"),
+    (
+        "SPBC_TRACE",
+        "(unset)",
+        "write the last run's Chrome trace JSON to this path (% = run label)",
+    ),
     ("SPBC_METRICS", "(unset)", "append one metrics JSON line per run to this path"),
+    (
+        "SPBC_METRICS_INTERVAL_MS",
+        "0",
+        "background sampler period in ms (0 disables; rows append to $SPBC_METRICS)",
+    ),
+    (
+        "SPBC_OPENMETRICS",
+        "(unset)",
+        "write an OpenMetrics text exposition of the final snapshot to this path",
+    ),
     ("SPBC_RANKS", "16", "harness scale: application ranks"),
     ("SPBC_ITERS", "24", "harness scale: iterations per run"),
     ("SPBC_ELEMS", "512", "harness scale: per-rank state elements"),
@@ -81,6 +97,10 @@ pub struct EnvOverrides {
     pub trace: Option<PathBuf>,
     /// `SPBC_METRICS`: metrics JSONL output path.
     pub metrics: Option<PathBuf>,
+    /// `SPBC_METRICS_INTERVAL_MS`: background sampler period (0 = off).
+    pub metrics_interval_ms: Option<u64>,
+    /// `SPBC_OPENMETRICS`: OpenMetrics text exposition output path.
+    pub openmetrics: Option<PathBuf>,
 }
 
 impl EnvOverrides {
@@ -90,6 +110,8 @@ impl EnvOverrides {
             repl_k: get("SPBC_REPL_K"),
             trace: path("SPBC_TRACE"),
             metrics: path("SPBC_METRICS"),
+            metrics_interval_ms: get("SPBC_METRICS_INTERVAL_MS"),
+            openmetrics: path("SPBC_OPENMETRICS"),
         }
     }
 
@@ -97,6 +119,9 @@ impl EnvOverrides {
     pub fn apply_spbc(&self, mut cfg: SpbcConfig) -> SpbcConfig {
         if let Some(k) = self.repl_k {
             cfg.replicas = k;
+        }
+        if let Some(ms) = self.metrics_interval_ms {
+            cfg.metrics_interval_ms = ms;
         }
         cfg
     }
@@ -136,8 +161,11 @@ mod tests {
     #[test]
     fn overrides_apply() {
         let _g = ENV_LOCK.lock();
-        let ov = EnvOverrides { repl_k: Some(5), ..Default::default() };
-        assert_eq!(ov.apply_spbc(SpbcConfig::default()).replicas, 5);
+        let ov =
+            EnvOverrides { repl_k: Some(5), metrics_interval_ms: Some(25), ..Default::default() };
+        let cfg = ov.apply_spbc(SpbcConfig::default());
+        assert_eq!(cfg.replicas, 5);
+        assert_eq!(cfg.metrics_interval_ms, 25);
         let ov = EnvOverrides::default();
         let before = SpbcConfig { replicas: 1, ..Default::default() };
         assert_eq!(ov.apply_spbc(before).replicas, 1, "absent override keeps value");
@@ -156,6 +184,8 @@ mod tests {
             "SPBC_CDC_MAX",
             "SPBC_TRACE",
             "SPBC_METRICS",
+            "SPBC_METRICS_INTERVAL_MS",
+            "SPBC_OPENMETRICS",
         ] {
             assert!(names.contains(&required), "{required} missing from VARS");
         }

@@ -30,14 +30,18 @@ pub mod cluster;
 pub mod ctrl;
 pub mod disk;
 pub mod env;
+pub mod hist;
 pub mod log;
 pub mod metrics;
 pub mod pattern;
 pub mod protocol;
 pub mod replay;
+pub mod sampler;
 pub mod store;
 
 pub use cluster::ClusterMap;
+pub use hist::{Hist, HistSnapshot, Phase, PhaseHists, PhaseSnapshot};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pattern::{PatternId, Patterns};
 pub use protocol::{ReplayPolicy, SpbcConfig, SpbcLayer, SpbcProvider, Storage};
+pub use sampler::MetricsSampler;

@@ -1,5 +1,7 @@
 //! Run-wide protocol metrics (lock-free counters shared across rank layers).
 
+use crate::hist::{PhaseHists, PhaseSnapshot};
+use spbc_trace::json::JsonObj;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters a protocol run accumulates; read by the experiment harness.
@@ -64,6 +66,9 @@ pub struct Metrics {
     /// Bytes of unique chunk payloads resident in the content-addressed
     /// store (a gauge: last observed value, not a running sum).
     pub cas_unique_bytes: AtomicU64,
+    /// Per-checkpoint-phase latency histograms (lock-free, power-of-two
+    /// buckets): where a wave's latency goes, not just how much of it.
+    pub phase: PhaseHists,
 }
 
 impl Metrics {
@@ -154,6 +159,7 @@ impl Metrics {
             cas_hits_cross_rank: Self::get(&self.cas_hits_cross_rank),
             cas_hit_bytes: Self::get(&self.cas_hit_bytes),
             cas_unique_bytes: Self::get(&self.cas_unique_bytes),
+            phases: self.phase.snapshot(),
         }
     }
 }
@@ -212,6 +218,8 @@ pub struct MetricsSnapshot {
     pub cas_hit_bytes: u64,
     /// Unique chunk payload bytes resident in the CAS (gauge).
     pub cas_unique_bytes: u64,
+    /// Per-checkpoint-phase latency histograms at snapshot time.
+    pub phases: PhaseSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -271,11 +279,91 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Append every counter plus the `"phases"` object to a JSON object
+    /// under construction — the one serialization path for snapshots,
+    /// whether the object starts with a run label (harness metrics lines),
+    /// a sample index (the background sampler), or nothing (`to_json`).
+    pub fn append_to(&self, obj: &mut JsonObj) {
+        for (name, v) in self.fields() {
+            obj.field(name, v);
+        }
+        obj.field_raw("phases", &self.phases.to_json());
+    }
+
     /// Serialize as a single-line JSON object.
     pub fn to_json(&self) -> String {
-        let body: Vec<String> =
-            self.fields().iter().map(|(name, v)| format!("\"{name}\":{v}")).collect();
-        format!("{{{}}}", body.join(","))
+        let mut obj = JsonObj::new();
+        self.append_to(&mut obj);
+        obj.finish()
+    }
+
+    /// Counter-wise difference `self - prev` for delta sampling. Counters
+    /// subtract (saturating); histogram buckets subtract bucket-wise with
+    /// `max` kept cumulative; the `cas_unique_bytes` gauge keeps its
+    /// current (absolute) value since a gauge delta is meaningless.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut d = *self;
+        d.logged_bytes = d.logged_bytes.saturating_sub(prev.logged_bytes);
+        d.logged_msgs = d.logged_msgs.saturating_sub(prev.logged_msgs);
+        d.replayed_msgs = d.replayed_msgs.saturating_sub(prev.replayed_msgs);
+        d.replayed_bytes = d.replayed_bytes.saturating_sub(prev.replayed_bytes);
+        d.suppressed_sends = d.suppressed_sends.saturating_sub(prev.suppressed_sends);
+        d.dropped_duplicates = d.dropped_duplicates.saturating_sub(prev.dropped_duplicates);
+        d.dropped_out_of_order = d.dropped_out_of_order.saturating_sub(prev.dropped_out_of_order);
+        d.checkpoints = d.checkpoints.saturating_sub(prev.checkpoints);
+        d.rollbacks = d.rollbacks.saturating_sub(prev.rollbacks);
+        d.ctrl_msgs = d.ctrl_msgs.saturating_sub(prev.ctrl_msgs);
+        d.coordinator_grants = d.coordinator_grants.saturating_sub(prev.coordinator_grants);
+        d.repl_pushes = d.repl_pushes.saturating_sub(prev.repl_pushes);
+        d.repl_bytes = d.repl_bytes.saturating_sub(prev.repl_bytes);
+        d.repl_acks = d.repl_acks.saturating_sub(prev.repl_acks);
+        d.ckpt_repairs = d.ckpt_repairs.saturating_sub(prev.ckpt_repairs);
+        d.ckpt_writes_async = d.ckpt_writes_async.saturating_sub(prev.ckpt_writes_async);
+        d.ckpt_write_hidden_us = d.ckpt_write_hidden_us.saturating_sub(prev.ckpt_write_hidden_us);
+        d.ckpt_gc_pruned = d.ckpt_gc_pruned.saturating_sub(prev.ckpt_gc_pruned);
+        d.ckpt_bytes_logical = d.ckpt_bytes_logical.saturating_sub(prev.ckpt_bytes_logical);
+        d.ckpt_bytes_physical = d.ckpt_bytes_physical.saturating_sub(prev.ckpt_bytes_physical);
+        d.repl_bytes_logical = d.repl_bytes_logical.saturating_sub(prev.repl_bytes_logical);
+        d.cas_hits_cross_epoch = d.cas_hits_cross_epoch.saturating_sub(prev.cas_hits_cross_epoch);
+        d.cas_hits_cross_rank = d.cas_hits_cross_rank.saturating_sub(prev.cas_hits_cross_rank);
+        d.cas_hit_bytes = d.cas_hit_bytes.saturating_sub(prev.cas_hit_bytes);
+        d.phases = d.phases.delta_since(&prev.phases);
+        d
+    }
+
+    /// Render as an OpenMetrics / Prometheus text exposition: every counter
+    /// as `spbc_<name>_total` and every non-empty phase histogram as a
+    /// cumulative-bucket `spbc_phase_<name>_us` histogram family.
+    pub fn to_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in self.fields() {
+            let _ = writeln!(out, "# TYPE spbc_{name} counter");
+            let _ = writeln!(out, "spbc_{name}_total {v}");
+        }
+        for (phase, h) in self.phases.iter() {
+            if h.is_empty() {
+                continue;
+            }
+            let family = format!("spbc_phase_{}_us", phase.name());
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                cum += n;
+                if n > 0 || i + 1 == h.buckets.len() {
+                    let _ = writeln!(
+                        out,
+                        "{family}_bucket{{le=\"{}\"}} {cum}",
+                        crate::hist::bucket_upper(i)
+                    );
+                }
+            }
+            let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{family}_sum {}", h.sum);
+            let _ = writeln!(out, "{family}_count {cum}");
+        }
+        out.push_str("# EOF\n");
+        out
     }
 }
 
@@ -378,5 +466,47 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"dropped_out_of_order\":7"), "{json}");
         assert!(json.contains("\"coordinator_grants\":11"), "{json}");
+        spbc_trace::json::parse(&json).expect("snapshot json parses");
+    }
+
+    #[test]
+    fn json_carries_phase_histograms() {
+        let m = Metrics::new();
+        m.phase.record(crate::hist::Phase::CommitBarrier, 900);
+        let json = m.snapshot().to_json();
+        let v = spbc_trace::json::parse(&json).expect("valid json");
+        let cb = v.get("phases").and_then(|p| p.get("commit_barrier")).expect("phase present");
+        assert_eq!(cb.get("sum").and_then(|s| s.as_num()), Some(900.0));
+    }
+
+    #[test]
+    fn openmetrics_renders_counters_and_histograms() {
+        let m = Metrics::new();
+        Metrics::add(&m.checkpoints, 4);
+        m.phase.record(crate::hist::Phase::Encode, 3); // bucket 1, le=3
+        m.phase.record(crate::hist::Phase::Encode, 100); // bucket 6, le=127
+        let om = m.snapshot().to_openmetrics();
+        assert!(om.contains("spbc_checkpoints_total 4"), "{om}");
+        assert!(om.contains("# TYPE spbc_phase_encode_us histogram"), "{om}");
+        assert!(om.contains("spbc_phase_encode_us_bucket{le=\"3\"} 1"), "{om}");
+        assert!(om.contains("spbc_phase_encode_us_bucket{le=\"127\"} 2"), "{om}");
+        assert!(om.contains("spbc_phase_encode_us_bucket{le=\"+Inf\"} 2"), "{om}");
+        assert!(om.contains("spbc_phase_encode_us_sum 103"), "{om}");
+        assert!(om.contains("spbc_phase_encode_us_count 2"), "{om}");
+        assert!(!om.contains("spbc_phase_quiesce"), "empty phases omitted: {om}");
+        assert!(om.ends_with("# EOF\n"), "{om}");
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let m = Metrics::new();
+        Metrics::add(&m.ctrl_msgs, 10);
+        Metrics::set(&m.cas_unique_bytes, 512);
+        let prev = m.snapshot();
+        Metrics::add(&m.ctrl_msgs, 7);
+        let d = m.snapshot().delta_since(&prev);
+        assert_eq!(d.ctrl_msgs, 7);
+        assert_eq!(d.cas_unique_bytes, 512, "gauges stay absolute");
+        assert_eq!(d.checkpoints, 0);
     }
 }

@@ -110,6 +110,11 @@ pub struct SpbcConfig {
     pub cdc_avg: usize,
     /// CDC maximum chunk length. Defaults to `$SPBC_CDC_MAX` or 4096.
     pub cdc_max: usize,
+    /// Background metrics-sampler period in milliseconds; 0 (the default)
+    /// disables sampling. When nonzero and `$SPBC_METRICS` names a file,
+    /// the provider appends periodic [`crate::metrics::MetricsSnapshot`]
+    /// delta rows there. Defaults to `$SPBC_METRICS_INTERVAL_MS` or 0.
+    pub metrics_interval_ms: u64,
 }
 
 /// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
@@ -131,6 +136,11 @@ fn default_ckpt_full_every() -> u64 {
 /// CDC toggle from `$SPBC_CKPT_CDC` (0 = fixed-grid deltas), defaulting on.
 fn default_ckpt_cdc() -> bool {
     crate::env::get_or("SPBC_CKPT_CDC", 1u8) != 0
+}
+
+/// Sampler period from `$SPBC_METRICS_INTERVAL_MS`, defaulting off.
+fn default_metrics_interval_ms() -> u64 {
+    crate::env::get_or("SPBC_METRICS_INTERVAL_MS", 0u64)
 }
 
 /// CDC chunk bounds from `$SPBC_CDC_MIN` / `$SPBC_CDC_AVG` / `$SPBC_CDC_MAX`.
@@ -160,6 +170,7 @@ impl Default for SpbcConfig {
             cdc_min,
             cdc_avg,
             cdc_max,
+            metrics_interval_ms: default_metrics_interval_ms(),
         }
     }
 }
@@ -185,6 +196,9 @@ pub struct SpbcProvider {
     cfg: SpbcConfig,
     disk: Option<Arc<crate::disk::DiskStore>>,
     ckptstore: Arc<CkptStoreService>,
+    /// Background time-series sampler, held so it stops (and flushes its
+    /// final row) when the provider is dropped at the end of the run.
+    sampler: Option<crate::sampler::MetricsSampler>,
 }
 
 /// Where a run's checkpoint data lives — the one way to pick a storage
@@ -247,13 +261,17 @@ impl SpbcProvider {
     pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
         let world = clusters.world_size();
         let store_cfg = store_cfg_of(&cfg);
+        let metrics = Arc::new(Metrics::new());
+        let sampler =
+            crate::sampler::MetricsSampler::start_if_configured(&metrics, cfg.metrics_interval_ms);
         SpbcProvider {
             clusters: Arc::new(clusters),
             store: Arc::new(SharedStore::new(world)),
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             cfg,
             disk: None,
             ckptstore: Arc::new(CkptStoreService::in_memory(world, store_cfg)),
+            sampler,
         }
     }
 
@@ -296,6 +314,14 @@ impl SpbcProvider {
     /// Run-wide metrics (read after the run).
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Stop the background metrics sampler (if one was configured) and
+    /// return the number of JSONL rows it wrote. Dropping the provider
+    /// stops it too; call this to force the final row out before reading
+    /// the file. Idempotent — later calls return 0.
+    pub fn stop_sampler(&mut self) -> u64 {
+        self.sampler.take().map_or(0, crate::sampler::MetricsSampler::stop)
     }
 
     /// The per-rank persistent stores (logs + checkpoints).
@@ -356,6 +382,8 @@ struct ReplWait {
     /// logical-bytes replication accounting on retries.
     logical: u64,
     last_push: Instant,
+    /// When the first push went out — the replicate-phase timer.
+    started: Instant,
 }
 
 struct LeaderState {
@@ -422,6 +450,12 @@ pub struct SpbcLayer {
     partners: Vec<RankId>,
     /// Outstanding replication barrier for the wave being committed.
     repl: Option<ReplWait>,
+    /// Wave-open time of the in-progress checkpoint (the quiesce-phase
+    /// timer: wave open to state capture).
+    wave_open: Option<Instant>,
+    /// When this member sent its ACK (the commit-barrier-phase timer:
+    /// ACK to the leader's RESUME broadcast).
+    barrier_start: Option<Instant>,
 }
 
 impl SpbcLayer {
@@ -435,7 +469,8 @@ impl SpbcLayer {
     ) -> Self {
         let cluster = clusters.cluster_of(me);
         let persistent = store.slot(me);
-        let replay = ReplayEngine::new(cfg.replay_window);
+        let mut replay = ReplayEngine::new(cfg.replay_window);
+        replay.set_metrics(Arc::clone(&metrics));
         let partners = clusters.replica_partners(me, cfg.replicas);
         SpbcLayer {
             me,
@@ -465,7 +500,17 @@ impl SpbcLayer {
             service: None,
             partners,
             repl: None,
+            wave_open: None,
+            barrier_start: None,
         }
+    }
+
+    /// Record one phase latency sample into the run-wide histograms and the
+    /// flight recorder (so a hang dump names the last completed phase and
+    /// the chrome trace can attach latencies to the wave's write span).
+    fn record_phase(&self, ctx: &mut FtCtx<'_>, epoch: u64, phase: crate::hist::Phase, us: u64) {
+        self.metrics.phase.record(phase, us);
+        ctx.recorder().record(|| Event::CkptPhaseDone { epoch, phase: phase.name(), us });
     }
 
     /// Release queued replays according to the configured policy.
@@ -725,6 +770,12 @@ impl SpbcLayer {
     /// Member: commit the local checkpoint (Algorithm 1 line 15).
     fn take_checkpoint(&mut self, ctx: &mut FtCtx<'_>, epoch: u64) -> Result<()> {
         ctx.chaos_ckpt_hook(CkptHook::Write)?;
+        // Quiesce phase ends here: the cluster agreed the cut is consistent
+        // and the commit itself starts.
+        if let Some(t0) = self.wave_open.take() {
+            let us = t0.elapsed().as_micros() as u64;
+            self.record_phase(ctx, epoch, crate::hist::Phase::Quiesce, us);
+        }
         let app_state = self
             .pending_app_state
             .take()
@@ -788,8 +839,11 @@ impl SpbcLayer {
             // write, never our own — that is all the fsync latency the
             // commit barrier ever pays.
             service.flush_rank(self.me)?;
+            let encode_start = Instant::now();
             let body = to_bytes(&ck);
             let (blob, stats) = service.encode_commit(self.me, epoch, &body)?;
+            let encode_us = encode_start.elapsed().as_micros() as u64;
+            self.record_phase(ctx, epoch, crate::hist::Phase::Encode, encode_us);
             logical = stats.logical;
             Metrics::add(&self.metrics.ckpt_bytes_logical, stats.logical);
             Metrics::add(&self.metrics.ckpt_bytes_physical, stats.physical);
@@ -815,16 +869,31 @@ impl SpbcLayer {
                 epoch,
                 blob.clone(),
                 Some(Box::new(move |res, hidden| {
-                    if res.is_ok() {
+                    if let Ok(put) = res {
                         rec.record(|| Event::CkptWrite {
                             epoch,
                             bytes,
                             logical,
                             phase: WritePhase::Completed,
                         });
+                        let write_us = hidden.as_micros() as u64;
+                        metrics.phase.record(crate::hist::Phase::Write, write_us);
+                        rec.record(|| Event::CkptPhaseDone {
+                            epoch,
+                            phase: crate::hist::Phase::Write.name(),
+                            us: write_us,
+                        });
+                        if put.fsync_us > 0 {
+                            metrics.phase.record(crate::hist::Phase::Fsync, put.fsync_us);
+                            rec.record(|| Event::CkptPhaseDone {
+                                epoch,
+                                phase: crate::hist::Phase::Fsync.name(),
+                                us: put.fsync_us,
+                            });
+                        }
                         if is_async {
                             Metrics::add(&metrics.ckpt_writes_async, 1);
-                            Metrics::add(&metrics.ckpt_write_hidden_us, hidden.as_micros() as u64);
+                            Metrics::add(&metrics.ckpt_write_hidden_us, write_us);
                         }
                     }
                 })),
@@ -871,6 +940,7 @@ impl SpbcLayer {
                 manifest,
                 logical,
                 last_push: Instant::now(),
+                started: Instant::now(),
             });
             self.ckpt_state = CkptState::AwaitRepl;
         } else {
@@ -932,6 +1002,7 @@ impl SpbcLayer {
         // [`KIND_CKPT_RESUME`]).
         ctx.chaos_ckpt_hook(CkptHook::CommitBarrier)?;
         self.ckpt_state = CkptState::AwaitResume;
+        self.barrier_start = Some(Instant::now());
         let leader = self.clusters.leader_of(self.me);
         self.ctrl(ctx, leader, KIND_CKPT_ACK, to_bytes(&epoch));
         ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Ack });
@@ -979,9 +1050,29 @@ impl FtLayer for SpbcLayer {
             if target == 0 { None } else { self.persistent.lock().restore_epoch(target) };
         if target != 0 {
             if let Some(service) = &self.service {
-                if let Some((body, outcome)) = service.load(self.me, target)? {
+                if let Some((body, outcome, lstats)) = service.load_with_stats(self.me, target)? {
+                    self.record_phase(
+                        ctx,
+                        target,
+                        crate::hist::Phase::RestoreLoad,
+                        lstats.fetch_us,
+                    );
+                    self.record_phase(
+                        ctx,
+                        target,
+                        crate::hist::Phase::RestoreMaterialize,
+                        lstats.materialize_us,
+                    );
                     if let LoadOutcome::Repaired { from } = outcome {
                         Metrics::add(&self.metrics.ckpt_repairs, 1);
+                        // Repair rode the fetch path, so its cost is the
+                        // fetch time of a load that needed a partner scan.
+                        self.record_phase(
+                            ctx,
+                            target,
+                            crate::hist::Phase::RestoreRepair,
+                            lstats.fetch_us,
+                        );
                         ctx.recorder().record(|| Event::CkptRepair { epoch: target, from });
                     }
                     // The storage copy is authoritative: CRC-verified (the
@@ -1171,6 +1262,10 @@ impl FtLayer for SpbcLayer {
                 self.ckpt_state = CkptState::Committed;
                 let epoch: u64 = from_bytes(&msg.data)?;
                 ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Resume });
+                if let Some(t) = self.barrier_start.take() {
+                    let us = t.elapsed().as_micros() as u64;
+                    self.record_phase(ctx, epoch, crate::hist::Phase::CommitBarrier, us);
+                }
                 // The wave is globally committed inside the cluster: storage
                 // GC can drop everything older than the previous wave (the
                 // same last-two retention the in-memory store keeps).
@@ -1265,7 +1360,10 @@ impl FtLayer for SpbcLayer {
                     _ => false,
                 };
                 if done {
-                    let epoch = self.repl.take().expect("checked above").epoch;
+                    let wait = self.repl.take().expect("checked above");
+                    let epoch = wait.epoch;
+                    let us = wait.started.elapsed().as_micros() as u64;
+                    self.record_phase(ctx, epoch, crate::hist::Phase::Replicate, us);
                     debug_assert_eq!(self.ckpt_state, CkptState::AwaitRepl);
                     self.ack_commit(ctx, epoch)?;
                 }
@@ -1299,6 +1397,7 @@ impl FtLayer for SpbcLayer {
             return Err(MpiError::InvalidState("overlapping checkpoint".into()));
         }
         ctx.chaos_ckpt_hook(CkptHook::WaveOpen)?;
+        self.wave_open = Some(Instant::now());
         self.pending_app_state = Some(app_state);
         self.ckpt_state = CkptState::Waiting;
         let epoch = self.last_ckpt_epoch + 1;

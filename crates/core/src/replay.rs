@@ -23,6 +23,8 @@ use mini_mpi::ft::FtCtx;
 use mini_mpi::recorder::Event;
 use mini_mpi::types::RankId;
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Default pre-post window (the paper's empirically chosen value).
 pub const DEFAULT_REPLAY_WINDOW: usize = 50;
@@ -37,6 +39,12 @@ pub struct ReplayEngine {
     /// Messages released in the current replay round (reset when every
     /// queue drains). Drives [`Self::progress_frac`] for chaos triggers.
     round_released: u64,
+    /// When each destination's replay queue was (re)installed — the drain
+    /// instant minus this is the `restore_replay` phase duration.
+    queued_at: BTreeMap<RankId, Instant>,
+    /// Observability sink for per-destination drain latencies (optional so
+    /// unit tests can run the engine bare).
+    metrics: Option<Arc<crate::metrics::Metrics>>,
 }
 
 impl ReplayEngine {
@@ -49,7 +57,14 @@ impl ReplayEngine {
             replayed_msgs: 0,
             replayed_bytes: 0,
             round_released: 0,
+            queued_at: BTreeMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach the metrics sink the engine reports replay-drain latencies to.
+    pub fn set_metrics(&mut self, metrics: Arc<crate::metrics::Metrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Replace the queue for `dst` with a fresh replay set (a new Rollback
@@ -57,6 +72,14 @@ impl ReplayEngine {
     /// peer).
     pub fn set_queue(&mut self, dst: RankId, msgs: Vec<Message>) {
         self.queues.insert(dst, msgs.into());
+        self.queued_at.insert(dst, Instant::now());
+    }
+
+    /// A destination's queue fully drained: record the replay duration.
+    fn note_drained(&mut self, dst: RankId) {
+        if let (Some(m), Some(t0)) = (&self.metrics, self.queued_at.remove(&dst)) {
+            m.phase.record(crate::hist::Phase::RestoreReplay, t0.elapsed().as_micros() as u64);
+        }
     }
 
     /// Append one message to `dst`'s queue (ordering fence for new
@@ -91,6 +114,7 @@ impl ReplayEngine {
     /// transport).
     pub fn forget_dst(&mut self, dst: RankId, cancelled_tokens: &[u64]) {
         self.queues.remove(&dst);
+        self.queued_at.remove(&dst);
         for t in cancelled_tokens {
             self.outstanding.remove(t);
         }
@@ -112,6 +136,9 @@ impl ReplayEngine {
             self.replayed_msgs += 1;
             self.round_released += 1;
             self.replayed_bytes += msg.as_ref().map_or(0, |m| m.payload.len() as u64);
+            if !self.has_queued(dst) {
+                self.note_drained(dst);
+            }
         }
         msg
     }
@@ -163,6 +190,7 @@ impl ReplayEngine {
             });
             if !self.has_queued(dst) {
                 ctx.recorder().record(|| Event::ReplayDrained { dst });
+                self.note_drained(dst);
             }
             if let Some(token) = ctx.ft_send_message(msg) {
                 self.outstanding.insert(token);

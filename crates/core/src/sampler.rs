@@ -1,0 +1,232 @@
+//! Background time-series metrics sampler.
+//!
+//! When `SPBC_METRICS_INTERVAL_MS` is nonzero (and a metrics path is
+//! configured), [`crate::protocol::SpbcProvider`] starts one
+//! [`MetricsSampler`] for the run. Every tick it snapshots the shared
+//! [`Metrics`], diffs against the previous tick, and appends one JSONL row:
+//!
+//! ```text
+//! {"sample":3,"t_us":41872,"logged_bytes":...,"phases":{...}}
+//! ```
+//!
+//! Rows carry *deltas* (what happened during the tick), a monotonic
+//! `sample` index, and elapsed time since sampler start — everything a
+//! saturation plot needs. Idle ticks (all-zero deltas) are skipped so a
+//! 1 ms interval does not bloat the file; shutdown always appends one
+//! final row so the file captures the complete run and ends in a complete
+//! line. Each row is a single `write_all` of a `\n`-terminated buffer to
+//! an append-mode file, so concurrent readers (and the torn-line test)
+//! never observe a partial row.
+//!
+//! The run-summary rows the harness emits into the same file carry a
+//! `"label"` key instead of `"sample"`; `spbc-report` uses that to tell
+//! cumulative summaries from sampler deltas.
+//!
+//! Synchronization uses `std::sync::{Mutex, Condvar}` rather than
+//! `parking_lot`: the vendored parking_lot stand-in has no condition
+//! variables, and `wait_timeout` is exactly the "tick or shutdown,
+//! whichever first" primitive the loop needs.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use spbc_trace::json::JsonObj;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct Shared {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A background thread appending periodic [`MetricsSnapshot`] delta rows
+/// to a JSONL file. Stops (and joins) on [`stop`](MetricsSampler::stop)
+/// or drop.
+pub struct MetricsSampler {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+    rows: Arc<AtomicU64>,
+}
+
+impl MetricsSampler {
+    /// Spawn a sampler appending to `path` every `interval`.
+    pub fn start(metrics: Arc<Metrics>, path: PathBuf, interval: Duration) -> Self {
+        let shared = Arc::new(Shared { stop: Mutex::new(false), cv: Condvar::new() });
+        let rows = Arc::new(AtomicU64::new(0));
+        let thread_shared = Arc::clone(&shared);
+        let thread_rows = Arc::clone(&rows);
+        let interval = interval.max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("spbc-metrics-sampler".into())
+            .spawn(move || run(metrics, path, interval, thread_shared, thread_rows))
+            .expect("spawn metrics sampler");
+        MetricsSampler { shared, handle: Some(handle), rows }
+    }
+
+    /// Start a sampler only if both the interval and a metrics path are
+    /// configured (`interval_ms` from [`crate::protocol::SpbcConfig`],
+    /// path from `SPBC_METRICS`).
+    pub fn start_if_configured(metrics: &Arc<Metrics>, interval_ms: u64) -> Option<Self> {
+        if interval_ms == 0 {
+            return None;
+        }
+        let path = crate::env::path("SPBC_METRICS")?;
+        Some(Self::start(Arc::clone(metrics), path, Duration::from_millis(interval_ms)))
+    }
+
+    /// Rows written so far (for tests and the final-row guarantee).
+    pub fn rows_written(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Signal shutdown and join the sampler thread. The thread writes one
+    /// final complete row before exiting, so the file never ends torn.
+    /// Returns the total number of rows written, final row included.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown();
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            *self.shared.stop.lock().expect("sampler stop lock") = true;
+            self.shared.cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsSampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run(
+    metrics: Arc<Metrics>,
+    path: PathBuf,
+    interval: Duration,
+    shared: Arc<Shared>,
+    rows: Arc<AtomicU64>,
+) {
+    let mut file = match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("spbc: metrics sampler cannot open {}: {e}", path.display());
+            return;
+        }
+    };
+    let started = Instant::now();
+    let mut prev = MetricsSnapshot::default();
+    let mut idx = 0u64;
+    loop {
+        let stopping = {
+            let guard = shared.stop.lock().expect("sampler stop lock");
+            if *guard {
+                true
+            } else {
+                let (guard, _timeout) =
+                    shared.cv.wait_timeout(guard, interval).expect("sampler wait");
+                *guard
+            }
+        };
+        let snap = metrics.snapshot();
+        // Skip idle ticks (nothing recorded since last row), but always
+        // emit the final row so the file is a complete record of the run.
+        if stopping || snap != prev {
+            let delta = snap.delta_since(&prev);
+            let mut obj = JsonObj::new();
+            obj.field("sample", idx);
+            obj.field("t_us", started.elapsed().as_micros() as u64);
+            delta.append_to(&mut obj);
+            let mut line = obj.finish();
+            line.push('\n');
+            if file.write_all(line.as_bytes()).is_ok() {
+                rows.fetch_add(1, Ordering::Relaxed);
+            }
+            idx += 1;
+            prev = snap;
+        }
+        if stopping {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Phase;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("spbc-sampler-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn sampler_joins_and_file_ends_in_complete_line() {
+        let path = tmp("join");
+        let metrics = Arc::new(Metrics::new());
+        let sampler =
+            MetricsSampler::start(Arc::clone(&metrics), path.clone(), Duration::from_millis(1));
+        // Hammer the metrics from this thread while the sampler runs.
+        for i in 0..200u64 {
+            Metrics::add(&metrics.ctrl_msgs, 1);
+            metrics.phase.record(Phase::Encode, i);
+            if i % 50 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        sampler.stop(); // joins; a torn write would show up below
+        let body = std::fs::read_to_string(&path).expect("sampler file exists");
+        assert!(body.ends_with('\n'), "file must end in a complete line");
+        let mut last_sample = None;
+        for line in body.lines() {
+            let v = spbc_trace::json::parse(line).unwrap_or_else(|e| {
+                panic!("torn or invalid JSONL row: {e}\nrow: {line}");
+            });
+            let s = v.get("sample").and_then(|s| s.as_num()).expect("sample index") as u64;
+            if let Some(prev) = last_sample {
+                assert!(s > prev, "sample indices must be monotonic ({prev} then {s})");
+            }
+            last_sample = Some(s);
+        }
+        assert!(last_sample.is_some(), "at least the final row is always written");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn start_if_configured_requires_interval() {
+        let metrics = Arc::new(Metrics::new());
+        assert!(MetricsSampler::start_if_configured(&metrics, 0).is_none());
+    }
+
+    #[test]
+    fn rows_accumulate_deltas_that_sum_to_totals() {
+        let path = tmp("deltas");
+        let metrics = Arc::new(Metrics::new());
+        let sampler =
+            MetricsSampler::start(Arc::clone(&metrics), path.clone(), Duration::from_millis(1));
+        for _ in 0..3 {
+            Metrics::add(&metrics.checkpoints, 5);
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        sampler.stop();
+        let body = std::fs::read_to_string(&path).expect("sampler file exists");
+        let total: u64 = body
+            .lines()
+            .map(|l| {
+                spbc_trace::json::parse(l)
+                    .expect("valid row")
+                    .get("checkpoints")
+                    .and_then(|v| v.as_num())
+                    .unwrap_or(0.0) as u64
+            })
+            .sum();
+        assert_eq!(total, 15, "delta rows must sum to the counter total\n{body}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

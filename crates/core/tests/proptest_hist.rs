@@ -1,0 +1,114 @@
+//! Property tests of the power-of-two latency histogram.
+//!
+//! * `quantiles_match_sorted_reference_within_one_bucket` — for arbitrary
+//!   sample sets, every reported percentile brackets the exact sorted-array
+//!   percentile to one bucket: `ref <= reported <= 2 * max(ref, 1)`.
+//!   Adjacent buckets are exactly 2× apart, so this is the tightest bound
+//!   the representation admits — `spbc-report`'s "≤2× relative error"
+//!   promise rests on it.
+//! * `merge_is_order_independent` — folding per-rank snapshots together in
+//!   any order produces identical buckets, sum, and max, and matches
+//!   recording every sample into one histogram. Cross-rank aggregation in
+//!   `spbc-report` depends on this.
+
+use proptest::prelude::*;
+use spbc_core::hist::{Hist, HistSnapshot};
+
+/// Deterministic pseudo-random latencies (SplitMix64 stream), spanning
+/// sub-microsecond to multi-second magnitudes.
+fn latencies(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            // Exercise every bucket: scale by a random power of two.
+            let shift = (z >> 58) as u32 % 24;
+            (z & 0xfff) >> (12u32.saturating_sub(shift).min(12)) | (z & 1) << shift
+        })
+        .collect()
+}
+
+/// Exact percentile of a sorted sample set (nearest-rank definition, the
+/// same rank arithmetic `HistSnapshot::quantile` uses).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn quantiles_match_sorted_reference_within_one_bucket(
+        seed: u64,
+        len in 1usize..800,
+    ) {
+        let samples = latencies(seed, len);
+        let h = Hist::new();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for q in [0.50, 0.90, 0.99] {
+            let reference = exact_quantile(&sorted, q);
+            let reported = snap.quantile(q);
+            prop_assert!(
+                reported >= reference,
+                "q={q}: reported {reported} below exact {reference}"
+            );
+            prop_assert!(
+                reported <= 2 * reference.max(1),
+                "q={q}: reported {reported} beyond one bucket above exact {reference}"
+            );
+        }
+        prop_assert_eq!(snap.max(), *sorted.last().expect("non-empty"), "max is exact");
+    }
+
+    #[test]
+    fn merge_is_order_independent(
+        seed: u64,
+        lens in prop::collection::vec(0usize..200, 1..6),
+    ) {
+        // One "rank" histogram per length, all from the same stream.
+        let mut all = Vec::new();
+        let snaps: Vec<HistSnapshot> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let samples = latencies(seed.wrapping_add(i as u64), len);
+                let h = Hist::new();
+                for &s in &samples {
+                    h.record_us(s);
+                }
+                all.extend(samples);
+                h.snapshot()
+            })
+            .collect();
+
+        let mut forward = HistSnapshot::default();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut backward = HistSnapshot::default();
+        for s in snaps.iter().rev() {
+            backward.merge(s);
+        }
+        prop_assert_eq!(forward, backward, "merge order must not matter");
+
+        let single = Hist::new();
+        for &s in &all {
+            single.record_us(s);
+        }
+        prop_assert_eq!(
+            forward, single.snapshot(),
+            "merged per-rank snapshots equal one global histogram"
+        );
+    }
+}

@@ -85,12 +85,9 @@ pub fn ident_matching_overhead(scale: &Scale) -> Result<String> {
         for _ in 0..scale.reps.max(1) {
             let provider = Arc::new(SpbcProvider::new(clusters.clone(), cfg.clone()));
             let report = run_with(scale, provider.clone(), &app)?;
-            crate::obs::write_trace(&report);
-            crate::obs::emit_metrics(
-                &format!("ablation/ident/{name}"),
-                &provider.metrics(),
-                &report,
-            );
+            let run_label = format!("ablation/ident/{name}");
+            crate::obs::write_trace(&run_label, &report);
+            crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
             times.push(report.wall_time);
         }
         times.sort_unstable();
@@ -124,12 +121,9 @@ pub fn containment_comparison(scale: &Scale) -> Result<String> {
             .plans(vec![FailurePlan::nth(RankId(0), scale.iters)])
             .launch()?
             .ok()?;
-        crate::obs::write_trace(&report);
-        crate::obs::emit_metrics(
-            &format!("ablation/containment/{name}"),
-            &provider.metrics(),
-            &report,
-        );
+        let run_label = format!("ablation/containment/{name}");
+        crate::obs::write_trace(&run_label, &report);
+        crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
         let restarted = report.restarts.iter().filter(|&&r| r > 0).count();
         t.row(vec![name.into(), restarted.to_string(), f2(report.wall_time.as_secs_f64())]);
     }

@@ -71,8 +71,9 @@ pub fn run_workload(w: Workload, scale: &Scale, full_every: u64, cdc: bool) -> R
     };
     let provider = Arc::new(SpbcProvider::new(ClusterMap::blocks(scale.world, scale.nodes()), cfg));
     let report = run_with(scale, provider.clone(), &app)?;
-    crate::obs::write_trace(&report);
-    crate::obs::emit_metrics(&format!("ckpt/{scenario}"), &provider.metrics(), &report);
+    let run_label = format!("ckpt/{scenario}");
+    crate::obs::write_trace(&run_label, &report);
+    crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
     let m = provider.metrics().snapshot();
     Ok(CkptRow {
         scenario,

@@ -71,12 +71,9 @@ pub fn measure_recovery(
         .launch()?
         .ok()?;
     assert_eq!(report.failures_handled, 1, "exactly one failure expected");
-    crate::obs::write_trace(&report);
-    crate::obs::emit_metrics(
-        &format!("fig5/{}/k={}", w.name(), provider.clusters().cluster_count()),
-        &provider.metrics(),
-        &report,
-    );
+    let run_label = format!("fig5/{}/k={}", w.name(), provider.clusters().cluster_count());
+    crate::obs::write_trace(&run_label, &report);
+    crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
 
     // Re-executed iterations: from the checkpoint (the single wave at
     // `ckpt_at`) to the end.

@@ -63,8 +63,9 @@ fn measure_hydee(
         .launch()?
         .ok()?;
     assert_eq!(report.failures_handled, 1);
-    crate::obs::write_trace(&report);
-    crate::obs::emit_metrics(&format!("fig6/hydee/{}", w.name()), &provider.metrics(), &report);
+    let run_label = format!("fig6/hydee/{}", w.name());
+    crate::obs::write_trace(&run_label, &report);
+    crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
     let waves = (scale.iters - 1) / ckpt_at;
     let reexec_iters = scale.iters - waves * ckpt_at;
     let rework = victim_cluster.iter().map(|&r| report.stats[r].total_time).max().expect("victims");

@@ -11,6 +11,7 @@
 //! | Figure 6 (HydEE vs SPBC recovery)       | [`fig6`]   | `spbc-fig6` |
 //! | A1/A2/A3 ablations                      | [`ablation`] | `spbc-ablation` |
 //! | ckpt_delta (logical vs physical bytes)  | [`ckpt`]   | `spbc-ckpt` |
+//! | metrics digest & regression gate        | [`analyze`] | `spbc-report` |
 //!
 //! Scale is controlled by environment variables (defaults in parentheses):
 //! `SPBC_RANKS` (16), `SPBC_ITERS` (24), `SPBC_ELEMS` (512),
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod analyze;
 pub mod chaos;
 pub mod ckpt;
 pub mod fig5;

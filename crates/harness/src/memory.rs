@@ -77,8 +77,9 @@ pub fn run_workload(
     stop.store(true, Ordering::Relaxed);
     let samples = sampler.join().expect("sampler thread");
     let report = report?.ok()?;
-    crate::obs::write_trace(&report);
-    crate::obs::emit_metrics(&format!("memory/{}/k={k}", w.name()), &provider.metrics(), &report);
+    let run_label = format!("memory/{}/k={k}", w.name());
+    crate::obs::write_trace(&run_label, &report);
+    crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
     Ok(MemoryProfile { app: w.name(), clusters: k, samples })
 }
 

@@ -19,6 +19,11 @@ impl TextTable {
         self
     }
 
+    /// Whether any rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
     /// Render with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();

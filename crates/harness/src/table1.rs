@@ -45,12 +45,9 @@ pub fn run_workload(w: Workload, scale: &Scale) -> Result<Vec<Table1Row>> {
         let clusters = clustering_for(&prof, k, scale);
         let provider = Arc::new(SpbcProvider::new(clusters, SpbcConfig::default()));
         let report = run_with(scale, provider.clone(), &app)?;
-        crate::obs::write_trace(&report);
-        crate::obs::emit_metrics(
-            &format!("table1/{}/k={k}", w.name()),
-            &provider.metrics(),
-            &report,
-        );
+        let run_label = format!("table1/{}/k={k}", w.name());
+        crate::obs::write_trace(&run_label, &report);
+        crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
         let per_rank = provider.store().logged_bytes_per_rank();
         let secs = report.wall_time.as_secs_f64().max(1e-9);
         let mbps: Vec<f64> = per_rank.iter().map(|&b| b as f64 / 1e6 / secs).collect();

@@ -41,12 +41,9 @@ pub fn run_workload(w: Workload, scale: &Scale) -> Result<Table2Row> {
     for _ in 0..scale.reps.max(1) {
         let provider = Arc::new(SpbcProvider::new(clusters.clone(), SpbcConfig::default()));
         let report = run_with(scale, provider.clone(), &app)?;
-        crate::obs::write_trace(&report);
-        crate::obs::emit_metrics(
-            &format!("table2/{}/k={k}", w.name()),
-            &provider.metrics(),
-            &report,
-        );
+        let run_label = format!("table2/{}/k={k}", w.name());
+        crate::obs::write_trace(&run_label, &report);
+        crate::obs::emit_metrics(&run_label, &provider.metrics(), &report);
         times.push(report.wall_time);
     }
     times.sort_unstable();

@@ -248,6 +248,18 @@ pub enum Event {
         /// Oldest epoch retained.
         keep_from: u64,
     },
+    /// A timed checkpoint-lifecycle phase completed with the given measured
+    /// latency (the same sample the protocol's per-phase histograms record).
+    /// A stuck wave is diagnosed by the newest of these: it names the last
+    /// phase that *finished*, so the hang is in whatever comes next.
+    CkptPhaseDone {
+        /// Checkpoint wave epoch (for restore phases: the restored wave).
+        epoch: u64,
+        /// Stable phase key ("quiesce", "encode", "write", ...).
+        phase: &'static str,
+        /// Measured phase latency in microseconds.
+        us: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -300,6 +312,9 @@ impl fmt::Display for Event {
             }
             Event::CkptGc { pruned, keep_from } => {
                 write!(f, "ckpt-gc pruned={pruned} keep-from=e{keep_from}")
+            }
+            Event::CkptPhaseDone { epoch, phase, us } => {
+                write!(f, "ckpt-phase e{epoch} {phase} {us}us")
             }
         }
     }
@@ -545,6 +560,17 @@ impl FlightRecorder {
                 }
                 None => out.push_str("   last ckpt phase: none\n"),
             }
+            // Finer-grained than the protocol phase above: which *timed*
+            // lifecycle stage last finished, so a stuck wave points at the
+            // stage after it.
+            let last_done =
+                t.events.iter().rev().find(|e| matches!(e.event, Event::CkptPhaseDone { .. }));
+            match last_done {
+                Some(e) => {
+                    out.push_str(&format!("   last completed phase: [{}us] {}\n", e.t_us, e.event))
+                }
+                None => out.push_str("   last completed phase: none\n"),
+            }
             if let Some((t_us, line)) = &t.status {
                 out.push_str(&format!("   status @{t_us}us: {line}\n"));
             }
@@ -624,14 +650,18 @@ mod tests {
         let fr = FlightRecorder::new(2, 16);
         let rec = fr.handle(RankId(0));
         rec.record(|| Event::Ckpt { epoch: 3, phase: CkptPhase::Init });
+        rec.record(|| Event::CkptPhaseDone { epoch: 3, phase: "encode", us: 42 });
         rec.record(|| Event::Stall { what: "checkpoint".into() });
         rec.set_status(|| "send_seq=[1/c0=>5]".into());
         let dump = fr.dump(8);
         assert!(dump.contains("rank 0"));
         assert!(dump.contains("ckpt e3 Init"));
+        assert!(dump.contains("last completed phase:"), "{dump}");
+        assert!(dump.contains("ckpt-phase e3 encode 42us"), "{dump}");
         assert!(dump.contains("STALL in checkpoint"));
         assert!(dump.contains("send_seq=[1/c0=>5]"));
         assert!(dump.contains("rank 1"), "every rank appears, even if idle");
+        assert!(dump.contains("last completed phase: none"), "idle rank has no phase: {dump}");
     }
 
     #[test]
@@ -652,6 +682,10 @@ mod tests {
             (Event::CkptReplAck { partner: RankId(5), epoch: 2 }, "repl-ack <-5 e2"),
             (Event::CkptRepair { epoch: 2, from: RankId(5) }, "ckpt-repair e2 from 5"),
             (Event::CkptGc { pruned: 3, keep_from: 4 }, "ckpt-gc pruned=3 keep-from=e4"),
+            (
+                Event::CkptPhaseDone { epoch: 2, phase: "commit_barrier", us: 1500 },
+                "ckpt-phase e2 commit_barrier 1500us",
+            ),
         ];
         for (ev, want) in cases {
             assert_eq!(ev.to_string(), want);

@@ -35,6 +35,18 @@ pub fn chrome_trace(log: &FlightLog) -> String {
 
 fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
     let tid = trace.rank;
+    // Pre-scan the whole event list for per-epoch phase latencies so they
+    // can ride as args on the wave's `ckpt-write` span even though most
+    // phases (replicate, commit-barrier) finish *after* that span opens.
+    // BTreeMaps keep the rendered arg order deterministic; a re-committed
+    // epoch overwrites, keeping the newest sample.
+    let mut phase_us: std::collections::BTreeMap<u64, std::collections::BTreeMap<&str, u64>> =
+        std::collections::BTreeMap::new();
+    for ev in &trace.events {
+        if let Event::CkptPhaseDone { epoch, phase, us } = &ev.event {
+            phase_us.entry(*epoch).or_default().insert(phase, *us);
+        }
+    }
     out.push(Emit {
         t_us: 0,
         body: format!(
@@ -107,9 +119,15 @@ fn emit_rank(trace: &RankTrace, out: &mut Vec<Emit>) {
                         // Dedup accounting on the span itself: bytes written
                         // vs full-write equivalent.
                         let dedup = if *bytes > 0 { *logical as f64 / *bytes as f64 } else { 1.0 };
-                        let args = format!(
-                            "{{\"physical\":{bytes},\"logical\":{logical},\"dedup\":{dedup:.2}}}"
+                        let mut args = format!(
+                            "{{\"physical\":{bytes},\"logical\":{logical},\"dedup\":{dedup:.2}"
                         );
+                        if let Some(phases) = phase_us.get(epoch) {
+                            for (phase, us) in phases {
+                                args.push_str(&format!(",\"{phase}_us\":{us}"));
+                            }
+                        }
+                        args.push('}');
                         open_span_with_args(
                             &mut open_async,
                             out,
@@ -278,6 +296,7 @@ fn classify(ev: &Event) -> (&'static str, &'static str) {
         Event::CkptReplStore { .. } => ("repl-store", "ckptstore"),
         Event::CkptRepair { .. } => ("ckpt-repair", "ckptstore"),
         Event::CkptGc { .. } => ("ckpt-gc", "ckptstore"),
+        Event::CkptPhaseDone { .. } => ("ckpt-phase", "ckpt"),
         // Span-forming kinds are handled by the caller; keep a fallback so
         // the match stays exhaustive.
         Event::Ckpt { .. }
@@ -327,6 +346,7 @@ mod tests {
                     ),
                     te(6, 2, Event::LogAppend { dst: RankId(1), comm: 0, seqnum: 1, bytes: 64 }),
                     te(10, 3, Event::Ckpt { epoch: 1, phase: CkptPhase::Init }),
+                    te(12, 19, Event::CkptPhaseDone { epoch: 1, phase: "encode", us: 7 }),
                     te(
                         13,
                         14,
@@ -342,6 +362,9 @@ mod tests {
                     te(16, 16, Event::CkptReplAck { partner: RankId(1), epoch: 1 }),
                     te(15, 5, Event::Ckpt { epoch: 1, phase: CkptPhase::Ack }),
                     te(20, 6, Event::Ckpt { epoch: 1, phase: CkptPhase::Resume }),
+                    // Recorded *after* the write span opened: the pre-scan
+                    // must still attach it to the e1 span args.
+                    te(21, 20, Event::CkptPhaseDone { epoch: 1, phase: "commit_barrier", us: 5 }),
                     // The background write outlives the checkpoint round —
                     // the hidden-latency overlap the trace must show.
                     te(
@@ -491,6 +514,10 @@ mod tests {
         assert_eq!(args.get("physical").and_then(Json::as_num), Some(32.0));
         assert_eq!(args.get("logical").and_then(Json::as_num), Some(96.0));
         assert_eq!(args.get("dedup").and_then(Json::as_num), Some(3.0));
+        // Phase latencies ride on the same span — including the commit
+        // barrier, which completed after the span opened.
+        assert_eq!(args.get("encode_us").and_then(Json::as_num), Some(7.0));
+        assert_eq!(args.get("commit_barrier_us").and_then(Json::as_num), Some(5.0));
     }
 
     #[test]

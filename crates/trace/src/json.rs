@@ -257,6 +257,85 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// An incremental JSON *object* writer: append fields in call order, then
+/// [`finish`](JsonObj::finish) into a `String`.
+///
+/// This replaces the hand-spliced `format!("{{...}},{}", &json[1..])`
+/// surgery that used to stitch metrics lines together: every field goes
+/// through one escaper and one comma rule, so the output always parses.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{") }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&escape(k));
+        self.buf.push(':');
+    }
+
+    /// Append an unsigned-integer field.
+    pub fn field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Append a float field (non-finite values become `null`).
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Append a string field (escaped).
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// Append a field whose value is already-rendered JSON (an object or
+    /// array built elsewhere). The caller guarantees `raw` is valid.
+    pub fn field_raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Append an array-of-integers field.
+    pub fn field_arr_u64(&mut self, k: &str, vals: &[u64]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vals.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Close the object and return the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +355,32 @@ mod tests {
         let nasty = "quote\" back\\slash \nnewline \ttab \u{1} unicode ✓";
         let lit = escape(nasty);
         assert_eq!(parse(&lit).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn obj_builder_emits_valid_json() {
+        let mut inner = JsonObj::new();
+        inner.field_arr_u64("buckets", &[1, 0, 3]);
+        let mut obj = JsonObj::new();
+        obj.field_str("label", "a \"quoted\" label")
+            .field("count", 42)
+            .field_f64("ratio", 1.5)
+            .field_f64("nan", f64::NAN)
+            .field_raw("nested", &inner.finish());
+        let v = parse(&obj.finish()).unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some("a \"quoted\" label"));
+        assert_eq!(v.get("count").unwrap().as_num(), Some(42.0));
+        assert_eq!(v.get("ratio").unwrap().as_num(), Some(1.5));
+        assert_eq!(v.get("nan"), Some(&Json::Null));
+        let buckets = v.get("nested").unwrap().get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[2].as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_obj_is_valid() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert_eq!(parse(&JsonObj::new().finish()).unwrap(), Json::Obj(Default::default()));
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub use chrome::chrome_trace;
 pub use determinism::{check, CheckOpts, DeterminismReport};
 pub use events::Timeline;
 pub use ipm::{comm_matrix, totals, IpmProfile};
-pub use json::Json;
+pub use json::{Json, JsonObj};
