@@ -22,6 +22,9 @@ pub struct PutStats {
     /// Microseconds spent in the durability barrier (`fsync`); 0 for
     /// memory-backed stores, which have none.
     pub fsync_us: u64,
+    /// Microseconds spent draining older epochs to slower tiers after the
+    /// write landed; 0 for single-level backends (see [`crate::tier`]).
+    pub drain_us: u64,
 }
 
 /// A keyed blob store for sealed checkpoints.
@@ -38,6 +41,12 @@ pub trait CheckpointBackend: Send + Sync {
     /// Remove `owner`'s blob at `epoch` (no-op if absent). Returns whether a
     /// blob was removed.
     fn remove(&self, owner: RankId, epoch: u64) -> Result<bool>;
+    /// Drop every blob this backend holds — the storage-loss hook used by
+    /// fault injection to model a rank losing its node-local store. The
+    /// default is a no-op so narrow test doubles need not implement it.
+    fn clear(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory backend: a mutex-guarded map. Survives in-process cluster
@@ -81,6 +90,11 @@ impl CheckpointBackend for MemBackend {
     fn remove(&self, owner: RankId, epoch: u64) -> Result<bool> {
         Ok(self.blobs.lock().remove(&(owner.0, epoch)).is_some())
     }
+
+    fn clear(&self) -> Result<()> {
+        self.blobs.lock().clear();
+        Ok(())
+    }
 }
 
 /// Filesystem backend rooted at a directory; one `rank-<r>.epoch-<e>.ckpt`
@@ -118,14 +132,22 @@ impl CheckpointBackend for DirBackend {
         let final_path = self.path_for(owner, epoch);
         let tmp = final_path.with_extension("tmp");
         let mut f = fs::File::create(&tmp)
-            .map_err(|e| MpiError::app(format!("create {}: {e}", tmp.display())))?;
-        f.write_all(blob).map_err(|e| MpiError::app(format!("write checkpoint: {e}")))?;
+            .map_err(|e| MpiError::app(format!("create {} (epoch {epoch}): {e}", tmp.display())))?;
+        f.write_all(blob).map_err(|e| {
+            MpiError::app(format!("write checkpoint {} (epoch {epoch}): {e}", tmp.display()))
+        })?;
         let fsync_start = std::time::Instant::now();
-        f.sync_all().map_err(|e| MpiError::app(format!("fsync checkpoint: {e}")))?;
+        f.sync_all().map_err(|e| {
+            MpiError::app(format!("fsync checkpoint {} (epoch {epoch}): {e}", final_path.display()))
+        })?;
         let fsync_us = fsync_start.elapsed().as_micros() as u64;
-        fs::rename(&tmp, &final_path)
-            .map_err(|e| MpiError::app(format!("commit checkpoint: {e}")))?;
-        Ok(PutStats { fsync_us })
+        fs::rename(&tmp, &final_path).map_err(|e| {
+            MpiError::app(format!(
+                "commit checkpoint {} (epoch {epoch}): {e}",
+                final_path.display()
+            ))
+        })?;
+        Ok(PutStats { fsync_us, drain_us: 0 })
     }
 
     fn get(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {
@@ -168,6 +190,23 @@ impl CheckpointBackend for DirBackend {
             Err(e) => Err(MpiError::app(format!("remove checkpoint: {e}"))),
         }
     }
+
+    fn clear(&self) -> Result<()> {
+        let entries = match fs::read_dir(&self.root) {
+            Ok(it) => it,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(MpiError::app(format!("clear {}: {e}", self.root.display()))),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| MpiError::app(format!("clear dir entry: {e}")))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("rank-") && (name.ends_with(".ckpt") || name.ends_with(".tmp")) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +247,54 @@ mod tests {
     #[test]
     fn dir_backend_contract() {
         exercise(&DirBackend::open(tmpdir("contract")).unwrap());
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        for backend in [
+            Box::new(MemBackend::new()) as Box<dyn CheckpointBackend>,
+            Box::new(DirBackend::open(tmpdir("clear")).unwrap()),
+        ] {
+            backend.put(RankId(0), 1, b"a").unwrap();
+            backend.put(RankId(1), 2, b"b").unwrap();
+            backend.clear().unwrap();
+            assert!(backend.epochs_of(RankId(0)).unwrap().is_empty());
+            assert!(backend.epochs_of(RankId(1)).unwrap().is_empty());
+            // And the backend is still writable afterwards.
+            backend.put(RankId(0), 3, b"c").unwrap();
+            assert_eq!(backend.get(RankId(0), 3).unwrap().unwrap(), b"c");
+        }
+    }
+
+    /// Satellite: a failing write must surface the blob path and epoch in
+    /// the error, not a bare io::Error. A read-only root makes the tmp-file
+    /// create fail deterministically.
+    #[test]
+    #[cfg(unix)]
+    fn put_failure_names_path_and_epoch() {
+        use std::os::unix::fs::PermissionsExt;
+        let root = tmpdir("readonly");
+        let b = DirBackend::open(&root).unwrap();
+        let mut perms = fs::metadata(&root).unwrap().permissions();
+        perms.set_mode(0o555);
+        fs::set_permissions(&root, perms.clone()).unwrap();
+        // Skip (trivially pass) when running as root, where DAC is bypassed
+        // and the write succeeds anyway.
+        let res = b.put(RankId(3), 7, b"blob");
+        perms.set_mode(0o755);
+        fs::set_permissions(&root, perms).unwrap();
+        if let Err(e) = res {
+            let msg = format!("{e}");
+            assert!(msg.contains("rank-3.epoch-7"), "path missing from: {msg}");
+            assert!(msg.contains("epoch 7"), "epoch missing from: {msg}");
+        }
+        // Root bypasses directory permissions, so also force a failure that
+        // works at any privilege: a directory squatting on the tmp path.
+        fs::create_dir_all(root.join("rank-4.epoch-9.tmp")).unwrap();
+        let err = b.put(RankId(4), 9, b"blob").unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("rank-4.epoch-9"), "path missing from: {msg}");
+        assert!(msg.contains("epoch 9"), "epoch missing from: {msg}");
     }
 
     #[test]

@@ -80,14 +80,16 @@ fn chunk_hash(chunk: &[u8]) -> u64 {
     h.finish()
 }
 
-/// Structurally validate a sealed blob of **any** version (V1 header, V2/V3
-/// checksum + framing). Used to decide whether a stored copy is worth
-/// loading or repairing from.
+/// Structurally validate a sealed blob of **any** version (V1 header,
+/// V2/V3/V4 + parity checksum + framing). Used to decide whether a stored
+/// copy is worth loading or repairing from.
 pub fn verify(bytes: &[u8]) -> Result<()> {
     if is_delta(bytes) {
         DeltaView::parse(bytes).map(|_| ())
     } else if is_cas(bytes) {
         CasView::parse(bytes).map(|_| ())
+    } else if crate::ec::is_parity(bytes) {
+        crate::ec::ParityView::parse(bytes).map(|_| ())
     } else {
         unseal(bytes).map(|_| ())
     }

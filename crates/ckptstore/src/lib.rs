@@ -38,6 +38,14 @@
 //!   each unique chunk once, refcounted, shared across epochs *and* ranks.
 //!   The `SPBCCKP4` manifest format ([`chunk::CasView`]) carries chunk
 //!   hashes plus payloads only for content the store didn't already hold.
+//! * **Erasure-coded redundancy sets** — [`ec`] + [`set`] group each
+//!   cluster's ranks into SCR-style sets and compute XOR or GF(2^8)
+//!   Reed–Solomon parity (`SPBCPAR1` frames) over the set's sealed blobs
+//!   per wave, so a lost member rebuilds from `g-1` survivors plus parity
+//!   at far below the 2× physical cost of full partner copies.
+//! * **Tiered storage** — [`tier::TierStack`] chains memory → node-local →
+//!   global backends with per-level retention, draining cold epochs
+//!   downward asynchronously and healing hot reads upward.
 
 #![warn(missing_docs)]
 
@@ -47,7 +55,10 @@ pub mod cas;
 pub mod cdc;
 pub mod chunk;
 pub mod crc;
+pub mod ec;
 pub mod service;
+pub mod set;
+pub mod tier;
 pub mod writer;
 
 pub use backend::{CheckpointBackend, DirBackend, MemBackend, PutStats};
@@ -55,5 +66,8 @@ pub use blob::{seal, unseal, unseal_any, Unsealed, MAGIC_V1, MAGIC_V2};
 pub use cas::{CasStore, ChunkFate, ChunkHash};
 pub use cdc::{chunk_spans, CdcParams};
 pub use chunk::{seal_v4, CasView, DeltaEncoder, DeltaView, EncodeStats, MAGIC_V3, MAGIC_V4};
-pub use service::{CkptStoreService, LoadOutcome, LoadStats, StoreConfig};
+pub use ec::{EcScheme, ParityView, MAGIC_PAR};
+pub use service::{CkptStoreService, LoadOutcome, LoadStats, ParityShards, StoreConfig};
+pub use set::SetMap;
+pub use tier::{Keep, TierStack};
 pub use writer::AsyncWriter;

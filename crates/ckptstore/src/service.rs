@@ -37,11 +37,14 @@ use crate::chunk::{
     self, seal_v4, CasView, DeltaEncoder, EncodeStats, V4Chunk, DEFAULT_CHUNK_SIZE,
     DEFAULT_FULL_EVERY,
 };
+use crate::ec::{self, EcScheme, ParityView};
+use crate::set::{is_parity_owner, parity_owner, SetMap};
+use crate::tier::{parse_policy, TierLevel, TierStack};
 use crate::writer::{AsyncWriter, OnDone};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::types::RankId;
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -72,6 +75,15 @@ pub struct StoreConfig {
     pub cdc: bool,
     /// FastCDC chunk bounds (`SPBC_CDC_MIN`/`SPBC_CDC_AVG`/`SPBC_CDC_MAX`).
     pub cdc_params: CdcParams,
+    /// Erasure-coding scheme over redundancy sets (`SPBC_EC_SCHEME`;
+    /// default off = full partner copies only).
+    pub ec: EcScheme,
+    /// The world's redundancy sets (required when `ec` is on; built by the
+    /// protocol layer from the cluster map and `SPBC_EC_GROUP`).
+    pub sets: Option<Arc<SetMap>>,
+    /// Tier policy for storage-rooted services (`SPBC_TIER_POLICY`, e.g.
+    /// `mem:2,local:8,global:all`). Level names: `mem`, `local`, `global`.
+    pub tier_policy: String,
 }
 
 impl Default for StoreConfig {
@@ -84,6 +96,9 @@ impl Default for StoreConfig {
             full_every: DEFAULT_FULL_EVERY,
             cdc: false,
             cdc_params: CdcParams::default(),
+            ec: EcScheme::Off,
+            sets: None,
+            tier_policy: "mem:0,local:all".to_string(),
         }
     }
 }
@@ -100,6 +115,27 @@ pub enum LoadOutcome {
         /// The partner rank whose copy survived.
         from: RankId,
     },
+    /// At least one chain link was reconstructed from its redundancy set's
+    /// surviving members plus parity shards (see [`crate::ec`]) and
+    /// re-persisted locally.
+    Rebuilt {
+        /// The redundancy set whose parity closed the hole.
+        set_id: u32,
+    },
+}
+
+/// The sealed parity frames one wave's set encoding produced, returned by
+/// [`CkptStoreService::stage_for_parity`] to the member that completed the
+/// set (the "encoder"), which stores one copy locally and pushes each
+/// shard to a replication partner.
+pub struct ParityShards {
+    /// The redundancy set the shards protect.
+    pub set_id: u32,
+    /// `(shard index, synthetic owner rank, sealed SPBCPAR1 frame)`.
+    pub shards: Vec<(u32, RankId, Vec<u8>)>,
+    /// Microseconds spent in [`crate::ec::encode`] (the `encode_parity`
+    /// phase).
+    pub encode_us: u64,
 }
 
 /// Timing breakdown of a [`CkptStoreService::load_with_stats`] call.
@@ -118,6 +154,14 @@ struct RankStores {
     partner: Arc<dyn CheckpointBackend>,
 }
 
+/// Parity staging area shape: `(epoch, set_id) -> member rank -> sealed
+/// blob`.
+type ParityStage = HashMap<(u64, u32), HashMap<u32, Vec<u8>>>;
+
+/// One slot per set member (or per parity shard): the surviving sealed
+/// bytes, or `None` where the copy is lost.
+type CensusSlots = Vec<Option<Vec<u8>>>;
+
 /// World-wide checkpoint storage service. Cheap to share (`Arc`); outlives
 /// rank threads, so partner copies survive in-process cluster restarts the
 /// way surviving nodes' memory survives a peer's crash.
@@ -130,6 +174,11 @@ pub struct CkptStoreService {
     /// every rank, so identical chunks dedup across epochs and ranks.
     /// Same durability class as partner memory — it outlives rank threads.
     cas: CasStore,
+    /// Parity staging area: `(epoch, set_id) -> rank -> sealed blob`. Set
+    /// members deposit their sealed blobs here at replicate time; the last
+    /// member to arrive computes the set's parity (see
+    /// [`stage_for_parity`](Self::stage_for_parity)).
+    parity_stage: Mutex<ParityStage>,
     writer: AsyncWriter,
     cfg: StoreConfig,
 }
@@ -148,17 +197,61 @@ impl CkptStoreService {
             })
             .collect();
         let deltas = Self::encoders(world, &cfg);
-        CkptStoreService { ranks, deltas, cas: CasStore::new(), writer: AsyncWriter::new(), cfg }
+        CkptStoreService {
+            ranks,
+            deltas,
+            cas: CasStore::new(),
+            parity_stage: Mutex::new(HashMap::new()),
+            writer: AsyncWriter::new(),
+            cfg,
+        }
     }
 
-    /// Local stores on disk under `root` (`rank-<r>/own`); partner stores in
-    /// memory unless `cfg.durable_partner_copies` (`rank-<r>/partner`).
+    /// Local storage on disk under `root`, arranged as the configured
+    /// [`TierStack`] (`cfg.tier_policy`): a per-rank memory level, the
+    /// node-local `rank-<r>/own` directory, and optionally a shared
+    /// `shared/global` directory standing in for the parallel filesystem.
+    /// Partner stores stay in memory unless `cfg.durable_partner_copies`
+    /// (`rank-<r>/partner`).
     pub fn on_disk(root: impl AsRef<Path>, world: usize, cfg: StoreConfig) -> Result<Self> {
         let root = root.as_ref();
+        let specs = parse_policy(&cfg.tier_policy)?;
+        let global: Option<Arc<dyn CheckpointBackend>> = if specs.iter().any(|s| s.name == "global")
+        {
+            Some(Arc::new(DirBackend::open(root.join("shared").join("global"))?))
+        } else {
+            None
+        };
         let mut ranks = Vec::with_capacity(world);
         for r in 0..world {
-            let local: Arc<dyn CheckpointBackend> =
-                Arc::new(DirBackend::open(root.join(format!("rank-{r}")).join("own"))?);
+            let mut levels = Vec::with_capacity(specs.len());
+            for spec in &specs {
+                let (backend, shared): (Arc<dyn CheckpointBackend>, bool) = match spec.name.as_str()
+                {
+                    "mem" => (Arc::new(MemBackend::new()), false),
+                    "local" => (
+                        Arc::new(DirBackend::open(root.join(format!("rank-{r}")).join("own"))?),
+                        false,
+                    ),
+                    "global" => (Arc::clone(global.as_ref().unwrap()), true),
+                    other => {
+                        return Err(MpiError::app(format!(
+                            "unknown tier level {other:?} (expected mem, local, global)"
+                        )))
+                    }
+                };
+                levels.push(TierLevel {
+                    name: spec.name.clone(),
+                    backend,
+                    keep: spec.keep,
+                    shared,
+                });
+            }
+            let local: Arc<dyn CheckpointBackend> = if levels.len() == 1 {
+                levels.pop().map(|l| l.backend).unwrap()
+            } else {
+                Arc::new(TierStack::new(levels))
+            };
             let partner: Arc<dyn CheckpointBackend> = if cfg.durable_partner_copies {
                 Arc::new(DirBackend::open(root.join(format!("rank-{r}")).join("partner"))?)
             } else {
@@ -171,6 +264,7 @@ impl CkptStoreService {
             ranks,
             deltas,
             cas: CasStore::new(),
+            parity_stage: Mutex::new(HashMap::new()),
             writer: AsyncWriter::new(),
             cfg,
         })
@@ -365,6 +459,15 @@ impl CkptStoreService {
             self.cas.commit_insert(holder.0, owner.0, epoch, &manifest).map_err(MpiError::Codec)?;
         }
         partner.put(owner, epoch, blob)?;
+        if is_parity_owner(owner) {
+            // Partner-held parity shards are not window-pruned: a delta
+            // manifest may reference a base epoch far behind the keep
+            // window, and the parity protecting that base must survive as
+            // long as the manifest does. Parity retention is governed by
+            // the encoder-side reference-aware GC in
+            // [`gc_local`](Self::gc_local); frames are small.
+            return Ok(0);
+        }
         let epochs = partner.epochs_of(owner)?;
         let mut pruned = 0;
         if epochs.len() > self.cfg.partner_keep {
@@ -401,6 +504,178 @@ impl CkptStoreService {
         refs
     }
 
+    /// Deposit `me`'s sealed blob for `epoch` into its redundancy set's
+    /// staging area. The *last* member of the set to stage computes the
+    /// set's parity: the returned [`ParityShards`] carries one sealed
+    /// `SPBCPAR1` frame per parity shard, already persisted in the
+    /// encoder's local store under its synthetic owner, ready for the
+    /// caller to push to replication partners. Everyone else gets `None`.
+    ///
+    /// Stale staging entries of the same set from older epochs (waves that
+    /// rolled back before the set completed) are dropped on the way in.
+    pub fn stage_for_parity(
+        &self,
+        me: RankId,
+        epoch: u64,
+        blob: &[u8],
+    ) -> Result<Option<ParityShards>> {
+        let m = self.cfg.ec.m();
+        if m == 0 {
+            return Ok(None);
+        }
+        let sets = self
+            .cfg
+            .sets
+            .as_ref()
+            .ok_or_else(|| MpiError::app("EC scheme enabled without redundancy sets"))?;
+        let Some((set_id, members, _)) = sets.set_of(me) else {
+            return Ok(None);
+        };
+        let members = members.to_vec();
+        let staged = {
+            let mut stage = self.parity_stage.lock();
+            stage.retain(|&(e, s), _| s != set_id || e >= epoch);
+            let entry = stage.entry((epoch, set_id)).or_default();
+            entry.insert(me.0, blob.to_vec());
+            if entry.len() < members.len() {
+                return Ok(None);
+            }
+            stage.remove(&(epoch, set_id)).unwrap()
+        };
+        let start = std::time::Instant::now();
+        let ordered: Vec<&[u8]> = members.iter().map(|r| staged[r].as_slice()).collect();
+        let member_lens: Vec<(u32, u64)> =
+            members.iter().map(|&r| (r, staged[&r].len() as u64)).collect();
+        let parity = ec::encode(&ordered, m);
+        let encode_us = start.elapsed().as_micros() as u64;
+        let local = &self.stores(me)?.local;
+        let mut shards = Vec::with_capacity(m);
+        for (j, shard) in parity.iter().enumerate() {
+            let owner = parity_owner(set_id, j);
+            let sealed = ec::seal_parity(set_id, j as u32, m as u32, epoch, &member_lens, shard);
+            local.put(owner, epoch, &sealed)?;
+            shards.push((j as u32, owner, sealed));
+        }
+        Ok(Some(ParityShards { set_id, shards, encode_us }))
+    }
+
+    /// Simulate losing `rank`'s node-local storage (fault injection): its
+    /// local store is cleared — including any parity shards it encoded —
+    /// and its delta encoder reset. Partner-held copies, shared tier
+    /// levels, and the service-wide chunk store survive, exactly like the
+    /// surviving nodes' memory survives a peer's crash.
+    pub fn wipe_local(&self, rank: RankId) -> Result<()> {
+        let stores = self.stores(rank)?;
+        stores.local.clear()?;
+        self.deltas[rank.0 as usize].lock().reset();
+        Ok(())
+    }
+
+    /// A verifiable copy of `(owner, epoch)` from anywhere in the world:
+    /// any rank's local store (parity shards live under synthetic owners
+    /// in their encoder's local store) or any partner store.
+    fn find_copy(&self, owner: RankId, epoch: u64) -> Result<Option<Vec<u8>>> {
+        for stores in &self.ranks {
+            if let Some(b) = stores.local.get(owner, epoch)? {
+                if chunk::verify(&b).is_ok() {
+                    return Ok(Some(b));
+                }
+            }
+            if let Some(b) = stores.partner.get(owner, epoch)? {
+                if chunk::verify(&b).is_ok() {
+                    return Ok(Some(b));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// For one set at one epoch: every member's surviving sealed blob and
+    /// every surviving (set- and epoch-matching) sealed parity frame.
+    fn set_census(
+        &self,
+        members: &[u32],
+        set_id: u32,
+        epoch: u64,
+    ) -> Result<(CensusSlots, CensusSlots)> {
+        let mut data = Vec::with_capacity(members.len());
+        for &r in members {
+            data.push(self.find_copy(RankId(r), epoch)?);
+        }
+        let mut parity = Vec::with_capacity(self.cfg.ec.m());
+        for j in 0..self.cfg.ec.m() {
+            let found = self.find_copy(parity_owner(set_id, j), epoch)?.filter(
+                |b| matches!(ParityView::parse(b), Ok(v) if v.set_id == set_id && v.epoch == epoch),
+            );
+            parity.push(found);
+        }
+        Ok((data, parity))
+    }
+
+    /// Try to rebuild `rank`'s sealed blob at `epoch` from its redundancy
+    /// set (survivors + parity). `Ok(None)` means the EC path has nothing
+    /// to offer (EC off, no parity survives, or a partner copy of the rank
+    /// itself exists — the caller's partner scan will find it). Losses
+    /// beyond the surviving parity budget are the distinct loud error.
+    fn try_rebuild(&self, rank: RankId, epoch: u64) -> Result<Option<(Vec<u8>, u32)>> {
+        if !self.cfg.ec.is_on() {
+            return Ok(None);
+        }
+        let Some(sets) = self.cfg.sets.as_ref() else {
+            return Ok(None);
+        };
+        let Some((set_id, members, pos)) = sets.set_of(rank) else {
+            return Ok(None);
+        };
+        let members = members.to_vec();
+        let (mut data, parity) = self.set_census(&members, set_id, epoch)?;
+        if data[pos].is_some() {
+            // A surviving copy of the rank itself (a partner replica):
+            // repair, not rebuild.
+            return Ok(None);
+        }
+        let n_parity = parity.iter().filter(|p| p.is_some()).count();
+        if n_parity == 0 {
+            return Ok(None);
+        }
+        let missing = data.iter().filter(|d| d.is_none()).count();
+        if missing > n_parity {
+            return Err(MpiError::app(format!(
+                "erasure budget exceeded: set {set_id} lost {missing} member(s) at epoch \
+                 {epoch} with only {n_parity} surviving parity shard(s) (budget m={})",
+                self.cfg.ec.m()
+            )));
+        }
+        // True (unpadded) lengths come from any surviving frame's table.
+        let mut lens = vec![0usize; members.len()];
+        let mut raw_parity: Vec<Option<Vec<u8>>> = vec![None; parity.len()];
+        for (j, sealed) in parity.iter().enumerate() {
+            if let Some(sealed) = sealed {
+                let v = ParityView::parse(sealed)?;
+                if v.members.len() == members.len() {
+                    for (i, &(_, l)) in v.members.iter().enumerate() {
+                        lens[i] = l as usize;
+                    }
+                }
+                raw_parity[j] = Some(v.shard.to_vec());
+            }
+        }
+        // Pad survivors to the parity width so the linear algebra lines up.
+        let width = raw_parity.iter().flatten().next().map_or(0, |p| p.len());
+        for d in data.iter_mut().flatten() {
+            d.resize(width, 0);
+        }
+        ec::reconstruct(&mut data, &raw_parity, &lens, self.cfg.ec.m())?;
+        let blob = data[pos].take().expect("reconstruct fills every missing shard");
+        chunk::verify(&blob).map_err(|e| {
+            MpiError::Codec(format!(
+                "rebuilt blob for rank {rank} epoch {epoch} (set {set_id}) failed \
+                 verification: {e}"
+            ))
+        })?;
+        Ok(Some((blob, set_id)))
+    }
+
     /// Wait until `rank`'s outstanding local write (if any) is durable.
     pub fn flush_rank(&self, rank: RankId) -> Result<()> {
         self.writer.flush_owner(rank)
@@ -432,6 +707,22 @@ impl CkptStoreService {
             }
             // Corrupt local copy: fall through to repair.
         }
+        // Set rebuild before partner repair: survivors plus parity are the
+        // cheap, node-local path; a full partner copy is the cross-cluster
+        // fallback. An over-budget loss is remembered and surfaced only if
+        // the partner scan also comes up empty.
+        let mut budget_err = None;
+        match self.try_rebuild(rank, epoch) {
+            Ok(Some((blob, set_id))) => {
+                own.local.put(rank, epoch, &blob)?;
+                if *outcome == LoadOutcome::Local {
+                    *outcome = LoadOutcome::Rebuilt { set_id };
+                }
+                return Ok(Some(blob));
+            }
+            Ok(None) => {}
+            Err(e) => budget_err = Some(e),
+        }
         for (holder, stores) in self.ranks.iter().enumerate() {
             if holder == rank.0 as usize {
                 continue;
@@ -447,6 +738,9 @@ impl CkptStoreService {
                     return Ok(Some(blob));
                 }
             }
+        }
+        if let Some(e) = budget_err {
+            return Err(e);
         }
         Ok(None)
     }
@@ -509,7 +803,8 @@ impl CkptStoreService {
     }
 
     /// Every epoch at which *some* verifiable-looking copy of `rank`'s
-    /// checkpoint exists (local or partner-held), ascending.
+    /// checkpoint exists — local, partner-held, or (with EC on)
+    /// rebuildable from the rank's redundancy set — ascending.
     pub fn available_epochs(&self, rank: RankId) -> Result<Vec<u64>> {
         let mut set: BTreeSet<u64> =
             self.stores(rank)?.local.epochs_of(rank)?.into_iter().collect();
@@ -518,6 +813,33 @@ impl CkptStoreService {
                 continue;
             }
             set.extend(stores.partner.epochs_of(rank)?);
+        }
+        if self.cfg.ec.is_on() {
+            if let Some((set_id, members, _)) = self.cfg.sets.as_ref().and_then(|s| s.set_of(rank))
+            {
+                let members = members.to_vec();
+                // Candidate epochs: anywhere any of the set's parity
+                // shards survives.
+                let mut candidates = BTreeSet::new();
+                for j in 0..self.cfg.ec.m() {
+                    let owner = parity_owner(set_id, j);
+                    for stores in &self.ranks {
+                        candidates.extend(stores.local.epochs_of(owner)?);
+                        candidates.extend(stores.partner.epochs_of(owner)?);
+                    }
+                }
+                for e in candidates {
+                    if set.contains(&e) {
+                        continue;
+                    }
+                    let (data, parity) = self.set_census(&members, set_id, e)?;
+                    let missing = data.iter().filter(|d| d.is_none()).count();
+                    let n_parity = parity.iter().filter(|p| p.is_some()).count();
+                    if n_parity > 0 && missing <= n_parity {
+                        set.insert(e);
+                    }
+                }
+            }
         }
         Ok(set.into_iter().collect())
     }
@@ -556,6 +878,38 @@ impl CkptStoreService {
         // whose blob was never stored. Chunks shared with a retained epoch
         // or another rank's registration survive by refcount.
         self.cas.unregister_below(rank.0, rank.0, keep_from);
+        // EC mode: prune the parity shards this rank encoded (stored in
+        // its local under synthetic owners) by the same window — except
+        // parity of base epochs any set member's retained delta manifest
+        // still references, which must survive for set rebuild of those
+        // bases.
+        if self.cfg.ec.is_on() {
+            if let Some((set_id, members, _)) = self.cfg.sets.as_ref().and_then(|s| s.set_of(rank))
+            {
+                let members = members.to_vec();
+                let mut set_refs = BTreeSet::new();
+                for &r in &members {
+                    if let Ok(stores) = self.stores(RankId(r)) {
+                        let epochs = stores.local.epochs_of(RankId(r))?;
+                        let kept: Vec<u64> =
+                            epochs.into_iter().filter(|&e| e >= keep_from).collect();
+                        set_refs.extend(Self::referenced_by(
+                            stores.local.as_ref(),
+                            RankId(r),
+                            &kept,
+                        ));
+                    }
+                }
+                for j in 0..self.cfg.ec.m() {
+                    let owner = parity_owner(set_id, j);
+                    for e in local.epochs_of(owner)? {
+                        if e < keep_from && !set_refs.contains(&e) {
+                            local.remove(owner, e)?;
+                        }
+                    }
+                }
+            }
+        }
         Ok(removed)
     }
 }
@@ -1059,5 +1413,203 @@ mod tests {
         svc.flush_rank(RankId(0)).unwrap();
         let (body, _) = svc.load(RankId(0), 1).unwrap().unwrap();
         assert!(body.is_empty());
+    }
+
+    // ---- erasure-coded redundancy sets ----
+
+    fn ec_cfg(scheme: EcScheme, clusters: &[Vec<u32>], g: usize) -> StoreConfig {
+        StoreConfig {
+            ec: scheme,
+            sets: Some(Arc::new(SetMap::from_clusters(clusters, g))),
+            ..Default::default()
+        }
+    }
+
+    /// Commit a full wave for every rank of one 4-rank set and run the
+    /// parity staging protocol; returns each rank's body.
+    fn ec_wave(svc: &CkptStoreService, epoch: u64, seed: u8) -> Vec<Vec<u8>> {
+        let mut bodies = Vec::new();
+        let mut encoded = 0;
+        for r in 0..4u32 {
+            let body: Vec<u8> =
+                (0..200 + 40 * r as usize).map(|i| seed ^ (r as u8) ^ (i as u8)).collect();
+            let blob = seal(&body);
+            svc.commit_local(RankId(r), epoch, blob.clone(), None).unwrap();
+            svc.flush_rank(RankId(r)).unwrap();
+            if let Some(job) = svc.stage_for_parity(RankId(r), epoch, &blob).unwrap() {
+                encoded += 1;
+                // Push each shard to a "partner" in the other cluster,
+                // like the protocol does.
+                for (j, owner, sealed) in &job.shards {
+                    let holder = RankId(4 + (j % 4));
+                    svc.store_partner_copy(holder, *owner, epoch, sealed).unwrap();
+                }
+            }
+            bodies.push(body);
+        }
+        assert_eq!(encoded, 1, "exactly one member completes the set");
+        bodies
+    }
+
+    #[test]
+    fn xor_rebuilds_single_wiped_member_bitwise() {
+        let clusters = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let svc = CkptStoreService::in_memory(8, ec_cfg(EcScheme::Xor, &clusters, 4));
+        let bodies = ec_wave(&svc, 1, 0x5a);
+        svc.wipe_local(RankId(2)).unwrap();
+        assert!(svc.stores(RankId(2)).unwrap().local.epochs_of(RankId(2)).unwrap().is_empty());
+        // The epoch is still reported available (rebuildable).
+        assert_eq!(svc.available_epochs(RankId(2)).unwrap(), vec![1]);
+        let (body, outcome) = svc.load(RankId(2), 1).unwrap().unwrap();
+        assert_eq!(body, bodies[2], "rebuild must be bitwise exact");
+        assert_eq!(outcome, LoadOutcome::Rebuilt { set_id: 0 });
+        // Healed: the next load is local.
+        let (_, outcome) = svc.load(RankId(2), 1).unwrap().unwrap();
+        assert_eq!(outcome, LoadOutcome::Local);
+    }
+
+    #[test]
+    fn rs2_survives_double_loss_including_the_encoder() {
+        let clusters = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let svc = CkptStoreService::in_memory(8, ec_cfg(EcScheme::Rs(2), &clusters, 4));
+        let bodies = ec_wave(&svc, 1, 0x33);
+        // Rank 3 staged last (stage order is 0..3), so it encoded the
+        // parity; wiping it loses one local parity copy too — the partner
+        // copies must carry the rebuild.
+        svc.wipe_local(RankId(3)).unwrap();
+        svc.wipe_local(RankId(1)).unwrap();
+        let (b1, o1) = svc.load(RankId(1), 1).unwrap().unwrap();
+        assert_eq!(b1, bodies[1]);
+        assert_eq!(o1, LoadOutcome::Rebuilt { set_id: 0 });
+        let (b3, o3) = svc.load(RankId(3), 1).unwrap().unwrap();
+        assert_eq!(b3, bodies[3]);
+        // Rank 1's rebuild healed rank 1 only; rank 3 still rebuilds.
+        assert_eq!(o3, LoadOutcome::Rebuilt { set_id: 0 });
+    }
+
+    #[test]
+    fn losses_beyond_budget_fail_loudly_with_distinct_error() {
+        let clusters = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let svc = CkptStoreService::in_memory(8, ec_cfg(EcScheme::Rs(2), &clusters, 4));
+        ec_wave(&svc, 1, 0x77);
+        for r in [0u32, 1, 2] {
+            svc.wipe_local(RankId(r)).unwrap(); // m + 1 = 3 losses
+        }
+        let err = svc.load(RankId(0), 1).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("erasure budget exceeded"), "{msg}");
+        assert!(msg.contains("set 0"), "{msg}");
+        assert!(msg.contains("m=2"), "{msg}");
+        // And the epoch is no longer advertised as available.
+        assert!(svc.available_epochs(RankId(0)).unwrap().is_empty());
+        assert_eq!(svc.common_epoch(&[RankId(0), RankId(1)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn partner_copies_count_toward_the_set_census() {
+        let clusters = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let svc = CkptStoreService::in_memory(8, ec_cfg(EcScheme::Xor, &clusters, 4));
+        let bodies = ec_wave(&svc, 1, 0x21);
+        // A legacy full partner copy of rank 0 exists (mixed deployment).
+        let blob0 = seal(&bodies[0]);
+        svc.store_partner_copy(RankId(5), RankId(0), 1, &blob0).unwrap();
+        for r in [0u32, 1] {
+            svc.wipe_local(RankId(r)).unwrap(); // 2 local losses, m = 1
+        }
+        // Rank 0's own surviving partner copy makes it a repair, not a
+        // rebuild — the set's parity budget is preserved for rank 1.
+        let (body, outcome) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(body, bodies[0]);
+        assert_eq!(outcome, LoadOutcome::Repaired { from: RankId(5) });
+        // Rank 1 rebuilds: the census sees rank 0 via its partner copy, so
+        // only one member is actually missing — within the xor budget.
+        let (body, outcome) = svc.load(RankId(1), 1).unwrap().unwrap();
+        assert_eq!(body, bodies[1]);
+        assert_eq!(outcome, LoadOutcome::Rebuilt { set_id: 0 });
+    }
+
+    #[test]
+    fn parity_gc_follows_the_keep_window() {
+        let clusters = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let svc = CkptStoreService::in_memory(8, ec_cfg(EcScheme::Xor, &clusters, 4));
+        for e in 1..=4 {
+            ec_wave(&svc, e, e as u8);
+        }
+        // Rank 3 encoded every wave; its local holds parity epochs 1..=4.
+        let powner = parity_owner(0, 0);
+        let local3 = &svc.stores(RankId(3)).unwrap().local;
+        assert_eq!(local3.epochs_of(powner).unwrap(), vec![1, 2, 3, 4]);
+        svc.gc_local(RankId(3), 3).unwrap();
+        assert_eq!(local3.epochs_of(powner).unwrap(), vec![3, 4]);
+        // Wipe a member: the retained window still rebuilds.
+        svc.wipe_local(RankId(0)).unwrap();
+        let (_, outcome) = svc.load(RankId(0), 4).unwrap().unwrap();
+        assert_eq!(outcome, LoadOutcome::Rebuilt { set_id: 0 });
+    }
+
+    #[test]
+    fn stale_staging_entries_are_dropped() {
+        let clusters = vec![vec![0, 1]];
+        let svc = CkptStoreService::in_memory(2, ec_cfg(EcScheme::Xor, &clusters, 2));
+        // Rank 0 stages epoch 1, but the wave rolls back before rank 1
+        // arrives; both then stage epoch 2.
+        assert!(svc.stage_for_parity(RankId(0), 1, &seal(b"old")).unwrap().is_none());
+        assert!(svc.stage_for_parity(RankId(0), 2, &seal(b"a")).unwrap().is_none());
+        let job = svc.stage_for_parity(RankId(1), 2, &seal(b"bb")).unwrap().unwrap();
+        assert_eq!(job.shards.len(), 1);
+        let v = ParityView::parse(&job.shards[0].2).unwrap();
+        assert_eq!(v.epoch, 2);
+        assert_eq!(v.members.len(), 2);
+    }
+
+    // ---- tiered storage through the service ----
+
+    #[test]
+    fn tiered_on_disk_drains_and_restores_across_levels() {
+        let root = tmpdir("tiers");
+        let cfg = StoreConfig {
+            tier_policy: "mem:1,local:2,global:all".to_string(),
+            ..Default::default()
+        };
+        let svc = CkptStoreService::on_disk(&root, 2, cfg).unwrap();
+        for e in 1..=5u64 {
+            commit_sync(&svc, RankId(0), e, format!("wave-{e}").as_bytes());
+        }
+        // Old epochs drained all the way to the shared global directory.
+        let global = root.join("shared").join("global");
+        assert!(global.join("rank-0.epoch-1.ckpt").exists());
+        assert!(global.join("rank-0.epoch-2.ckpt").exists());
+        // The newest stayed out of the local directory (it is in memory).
+        assert!(!root.join("rank-0").join("own").join("rank-0.epoch-5.ckpt").exists());
+        // Every epoch still loads, from whichever tier holds it.
+        for e in 1..=5u64 {
+            let (body, _) = svc.load(RankId(0), e).unwrap().unwrap();
+            assert_eq!(body, format!("wave-{e}").into_bytes());
+        }
+    }
+
+    #[test]
+    fn wipe_spares_the_global_tier() {
+        let root = tmpdir("wipe-global");
+        let cfg = StoreConfig { tier_policy: "mem:1,global:all".to_string(), ..Default::default() };
+        let svc = CkptStoreService::on_disk(&root, 2, cfg).unwrap();
+        commit_sync(&svc, RankId(0), 1, b"one");
+        commit_sync(&svc, RankId(0), 2, b"two");
+        svc.wipe_local(RankId(0)).unwrap();
+        // Epoch 1 drained to the global store before the wipe: survives.
+        let (body, _) = svc.load(RankId(0), 1).unwrap().unwrap();
+        assert_eq!(body, b"one");
+        // Epoch 2 was only in the wiped memory level: gone.
+        assert!(svc.load(RankId(0), 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_tier_level_is_rejected() {
+        let cfg = StoreConfig { tier_policy: "mem:1,tape:all".to_string(), ..Default::default() };
+        let err = match CkptStoreService::on_disk(tmpdir("badtier"), 1, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown tier level accepted"),
+        };
+        assert!(format!("{err}").contains("unknown tier level"), "{err}");
     }
 }

@@ -17,6 +17,10 @@
 //! | `SPBC_CDC_MIN` | `256` | CDC minimum chunk length in bytes |
 //! | `SPBC_CDC_AVG` | `1024` | CDC target (average) chunk length in bytes |
 //! | `SPBC_CDC_MAX` | `4096` | CDC maximum chunk length in bytes |
+//! | `SPBC_EC_SCHEME` | `off` | redundancy-set parity scheme: `off`, `xor`, or `rs` |
+//! | `SPBC_EC_GROUP` | `4` | redundancy-set size (ranks per set, within a cluster) |
+//! | `SPBC_EC_M` | `2` | parity shards per set for `rs` (losses survivable) |
+//! | `SPBC_TIER_POLICY` | `mem:0,local:all` | tier levels + retention, e.g. `mem:2,local:8,global:all` |
 //! | `SPBC_TRACE` | unset | write the last run's Chrome trace JSON here (`%` → run label) |
 //! | `SPBC_METRICS` | unset | append one metrics JSON line per run here |
 //! | `SPBC_METRICS_INTERVAL_MS` | `0` | background sampler period in ms (0 disables; rows go to `$SPBC_METRICS`) |
@@ -47,6 +51,14 @@ pub const VARS: &[(&str, &str, &str)] = &[
     ("SPBC_CDC_MIN", "256", "CDC minimum chunk length in bytes"),
     ("SPBC_CDC_AVG", "1024", "CDC target (average) chunk length in bytes"),
     ("SPBC_CDC_MAX", "4096", "CDC maximum chunk length in bytes"),
+    ("SPBC_EC_SCHEME", "off", "redundancy-set parity scheme: off, xor, or rs"),
+    ("SPBC_EC_GROUP", "4", "redundancy-set size (ranks per set, within a cluster)"),
+    ("SPBC_EC_M", "2", "parity shards per set for rs (losses survivable)"),
+    (
+        "SPBC_TIER_POLICY",
+        "mem:0,local:all",
+        "tier levels + retention, e.g. mem:2,local:8,global:all",
+    ),
     (
         "SPBC_TRACE",
         "(unset)",
@@ -182,6 +194,10 @@ mod tests {
             "SPBC_CDC_MIN",
             "SPBC_CDC_AVG",
             "SPBC_CDC_MAX",
+            "SPBC_EC_SCHEME",
+            "SPBC_EC_GROUP",
+            "SPBC_EC_M",
+            "SPBC_TIER_POLICY",
             "SPBC_TRACE",
             "SPBC_METRICS",
             "SPBC_METRICS_INTERVAL_MS",

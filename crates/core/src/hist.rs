@@ -186,6 +186,8 @@ pub enum Phase {
     Encode,
     Write,
     Fsync,
+    EncodeParity,
+    TierDrain,
     Replicate,
     CommitBarrier,
     RestoreLoad,
@@ -195,7 +197,7 @@ pub enum Phase {
 }
 
 /// Number of phases (and histograms in a [`PhaseHists`]).
-pub const PHASES: usize = 10;
+pub const PHASES: usize = 12;
 
 impl Phase {
     /// Every phase, in protocol order.
@@ -204,6 +206,8 @@ impl Phase {
         Phase::Encode,
         Phase::Write,
         Phase::Fsync,
+        Phase::EncodeParity,
+        Phase::TierDrain,
         Phase::Replicate,
         Phase::CommitBarrier,
         Phase::RestoreLoad,
@@ -219,6 +223,8 @@ impl Phase {
             Phase::Encode => "encode",
             Phase::Write => "write",
             Phase::Fsync => "fsync",
+            Phase::EncodeParity => "encode_parity",
+            Phase::TierDrain => "tier_drain",
             Phase::Replicate => "replicate",
             Phase::CommitBarrier => "commit_barrier",
             Phase::RestoreLoad => "restore_load",
@@ -394,6 +400,8 @@ mod tests {
                 "encode",
                 "write",
                 "fsync",
+                "encode_parity",
+                "tier_drain",
                 "replicate",
                 "commit_barrier",
                 "restore_load",

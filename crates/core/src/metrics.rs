@@ -66,6 +66,12 @@ pub struct Metrics {
     /// Bytes of unique chunk payloads resident in the content-addressed
     /// store (a gauge: last observed value, not a running sum).
     pub cas_unique_bytes: AtomicU64,
+    /// Bytes of erasure-coded parity shards sealed and pushed to parity
+    /// holders (the physical cost of redundancy-set protection).
+    pub ec_parity_bytes: AtomicU64,
+    /// Checkpoints reconstructed from redundancy-set parity (erasure
+    /// decode), as opposed to `ckpt_repairs` from a full partner copy.
+    pub ec_rebuilds: AtomicU64,
     /// Per-checkpoint-phase latency histograms (lock-free, power-of-two
     /// buckets): where a wave's latency goes, not just how much of it.
     pub phase: PhaseHists,
@@ -102,7 +108,7 @@ impl Metrics {
     /// former, a crash-window gap the latter), so they are reported apart.
     pub fn summary(&self) -> String {
         format!(
-            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B; cas-hits {} epoch / {} rank / {} B; cas-unique {} B",
+            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B; cas-hits {} epoch / {} rank / {} B; cas-unique {} B; ec-parity {} B / {} rebuilds",
             Self::get(&self.logged_msgs),
             Self::get(&self.logged_bytes),
             Self::get(&self.replayed_msgs),
@@ -128,6 +134,8 @@ impl Metrics {
             Self::get(&self.cas_hits_cross_rank),
             Self::get(&self.cas_hit_bytes),
             Self::get(&self.cas_unique_bytes),
+            Self::get(&self.ec_parity_bytes),
+            Self::get(&self.ec_rebuilds),
         )
     }
 
@@ -159,6 +167,8 @@ impl Metrics {
             cas_hits_cross_rank: Self::get(&self.cas_hits_cross_rank),
             cas_hit_bytes: Self::get(&self.cas_hit_bytes),
             cas_unique_bytes: Self::get(&self.cas_unique_bytes),
+            ec_parity_bytes: Self::get(&self.ec_parity_bytes),
+            ec_rebuilds: Self::get(&self.ec_rebuilds),
             phases: self.phase.snapshot(),
         }
     }
@@ -218,13 +228,17 @@ pub struct MetricsSnapshot {
     pub cas_hit_bytes: u64,
     /// Unique chunk payload bytes resident in the CAS (gauge).
     pub cas_unique_bytes: u64,
+    /// Bytes of erasure-coded parity shards sealed and pushed.
+    pub ec_parity_bytes: u64,
+    /// Checkpoints reconstructed from redundancy-set parity.
+    pub ec_rebuilds: u64,
     /// Per-checkpoint-phase latency histograms at snapshot time.
     pub phases: PhaseSnapshot,
 }
 
 impl MetricsSnapshot {
     /// The counters as `(name, value)` pairs, in declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 25] {
+    pub fn fields(&self) -> [(&'static str, u64); 27] {
         [
             ("logged_bytes", self.logged_bytes),
             ("logged_msgs", self.logged_msgs),
@@ -251,6 +265,8 @@ impl MetricsSnapshot {
             ("cas_hits_cross_rank", self.cas_hits_cross_rank),
             ("cas_hit_bytes", self.cas_hit_bytes),
             ("cas_unique_bytes", self.cas_unique_bytes),
+            ("ec_parity_bytes", self.ec_parity_bytes),
+            ("ec_rebuilds", self.ec_rebuilds),
         ]
     }
 
@@ -327,6 +343,8 @@ impl MetricsSnapshot {
         d.cas_hits_cross_epoch = d.cas_hits_cross_epoch.saturating_sub(prev.cas_hits_cross_epoch);
         d.cas_hits_cross_rank = d.cas_hits_cross_rank.saturating_sub(prev.cas_hits_cross_rank);
         d.cas_hit_bytes = d.cas_hit_bytes.saturating_sub(prev.cas_hit_bytes);
+        d.ec_parity_bytes = d.ec_parity_bytes.saturating_sub(prev.ec_parity_bytes);
+        d.ec_rebuilds = d.ec_rebuilds.saturating_sub(prev.ec_rebuilds);
         d.phases = d.phases.delta_since(&prev.phases);
         d
     }
@@ -458,6 +476,8 @@ mod tests {
         Metrics::add(&m.cas_hits_cross_rank, 23);
         Metrics::add(&m.cas_hit_bytes, 24);
         Metrics::add(&m.cas_unique_bytes, 25);
+        Metrics::add(&m.ec_parity_bytes, 26);
+        Metrics::add(&m.ec_rebuilds, 27);
         let s = m.snapshot();
         for (i, (_, v)) in s.fields().iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);

@@ -40,7 +40,7 @@ use mini_mpi::request::RecvSpec;
 use mini_mpi::types::{ChannelId, CommId, RankId};
 use mini_mpi::wire::{from_bytes, to_bytes};
 use parking_lot::Mutex;
-use spbc_ckptstore::{CdcParams, CkptStoreService, LoadOutcome, StoreConfig};
+use spbc_ckptstore::{CdcParams, CkptStoreService, EcScheme, LoadOutcome, SetMap, StoreConfig};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -115,6 +115,26 @@ pub struct SpbcConfig {
     /// the provider appends periodic [`crate::metrics::MetricsSnapshot`]
     /// delta rows there. Defaults to `$SPBC_METRICS_INTERVAL_MS` or 0.
     pub metrics_interval_ms: u64,
+    /// Redundancy-set parity scheme (`off`, `xor`, `rs`/`rs<m>`). When on,
+    /// each wave erasure-codes the set's sealed blobs and only parity
+    /// shards ride the partner push paths — full replica copies are
+    /// suppressed. Defaults to `$SPBC_EC_SCHEME` or `off`.
+    pub ec_scheme: String,
+    /// Redundancy-set size: ranks per set, grouped within a cluster (sets
+    /// never straddle clusters). Defaults to `$SPBC_EC_GROUP` or 4.
+    pub ec_group: usize,
+    /// Parity shards per set for the `rs` scheme — the number of member
+    /// losses one wave survives. Defaults to `$SPBC_EC_M` or 2.
+    pub ec_m: usize,
+    /// Tiered-storage policy for the on-disk backend: comma-separated
+    /// `level:keep` pairs, fastest first (e.g. `mem:2,local:8,global:all`).
+    /// Defaults to `$SPBC_TIER_POLICY` or `mem:0,local:all`.
+    pub tier_policy: String,
+    /// Chaos-model switch: a rank that fails also loses its node-local
+    /// checkpoint copies (node-loss semantics), forcing restore through the
+    /// EC rebuild or partner repair paths. Defaults off (process-kill
+    /// semantics: local files survive the respawn).
+    pub lose_local_on_failure: bool,
 }
 
 /// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
@@ -141,6 +161,27 @@ fn default_ckpt_cdc() -> bool {
 /// Sampler period from `$SPBC_METRICS_INTERVAL_MS`, defaulting off.
 fn default_metrics_interval_ms() -> u64 {
     crate::env::get_or("SPBC_METRICS_INTERVAL_MS", 0u64)
+}
+
+/// Parity scheme from `$SPBC_EC_SCHEME`, defaulting off.
+fn default_ec_scheme() -> String {
+    crate::env::get_or("SPBC_EC_SCHEME", "off".to_string())
+}
+
+/// Redundancy-set size from `$SPBC_EC_GROUP`, defaulting to 4.
+fn default_ec_group() -> usize {
+    crate::env::get_or("SPBC_EC_GROUP", 4usize)
+}
+
+/// RS parity count from `$SPBC_EC_M`, defaulting to 2.
+fn default_ec_m() -> usize {
+    crate::env::get_or("SPBC_EC_M", 2usize)
+}
+
+/// Tier policy from `$SPBC_TIER_POLICY`, defaulting to write-through
+/// node-local files (the pre-tiering on-disk layout).
+fn default_tier_policy() -> String {
+    crate::env::get_or("SPBC_TIER_POLICY", "mem:0,local:all".to_string())
 }
 
 /// CDC chunk bounds from `$SPBC_CDC_MIN` / `$SPBC_CDC_AVG` / `$SPBC_CDC_MAX`.
@@ -171,21 +212,46 @@ impl Default for SpbcConfig {
             cdc_avg,
             cdc_max,
             metrics_interval_ms: default_metrics_interval_ms(),
+            ec_scheme: default_ec_scheme(),
+            ec_group: default_ec_group(),
+            ec_m: default_ec_m(),
+            tier_policy: default_tier_policy(),
+            lose_local_on_failure: false,
         }
     }
 }
 
 /// Storage-service configuration derived from the protocol tunables (one
-/// derivation shared by every backend choice).
+/// derivation shared by every backend choice). Panics on an unparsable
+/// parity scheme — a misconfigured `$SPBC_EC_SCHEME` must fail at startup,
+/// not silently disable redundancy.
 fn store_cfg_of(cfg: &SpbcConfig) -> StoreConfig {
+    let ec = EcScheme::parse(&cfg.ec_scheme, cfg.ec_m).unwrap_or_else(|| {
+        panic!("invalid SPBC_EC_SCHEME {:?} (expected off, xor, or rs[<m>])", cfg.ec_scheme)
+    });
     StoreConfig {
         async_writes: cfg.async_ckpt_writes,
         chunk_size: cfg.ckpt_chunk,
         full_every: cfg.ckpt_full_every,
         cdc: cfg.ckpt_cdc,
         cdc_params: CdcParams { min: cfg.cdc_min, avg: cfg.cdc_avg, max: cfg.cdc_max },
+        ec,
+        tier_policy: cfg.tier_policy.clone(),
         ..StoreConfig::default()
     }
+}
+
+/// Redundancy sets for the clustering: each cluster's member list chopped
+/// into groups of `ec_group`. `None` when the scheme is off (the service
+/// then never stages parity).
+fn sets_of(clusters: &ClusterMap, cfg: &SpbcConfig, ec: EcScheme) -> Option<Arc<SetMap>> {
+    if !ec.is_on() {
+        return None;
+    }
+    let groups: Vec<Vec<u32>> = (0..clusters.cluster_count())
+        .map(|c| clusters.members(c).iter().map(|r| r.0).collect())
+        .collect();
+    Some(Arc::new(SetMap::from_clusters(&groups, cfg.ec_group.max(1))))
 }
 
 /// Builds [`SpbcLayer`]s and owns the run-wide shared state.
@@ -260,7 +326,8 @@ impl SpbcProvider {
     /// [`with_storage`](Self::with_storage) and a [`Storage`] value.
     pub fn new(clusters: ClusterMap, cfg: SpbcConfig) -> Self {
         let world = clusters.world_size();
-        let store_cfg = store_cfg_of(&cfg);
+        let mut store_cfg = store_cfg_of(&cfg);
+        store_cfg.sets = sets_of(&clusters, &cfg, store_cfg.ec);
         let metrics = Arc::new(Metrics::new());
         let sampler =
             crate::sampler::MetricsSampler::start_if_configured(&metrics, cfg.metrics_interval_ms);
@@ -280,7 +347,8 @@ impl SpbcProvider {
     pub fn with_storage(mut self, storage: Storage) -> Result<Self> {
         if let Some(root) = storage.root {
             let world = self.clusters.world_size();
-            let store_cfg = store_cfg_of(&self.cfg);
+            let mut store_cfg = store_cfg_of(&self.cfg);
+            store_cfg.sets = sets_of(&self.clusters, &self.cfg, store_cfg.ec);
             self.ckptstore = Arc::new(CkptStoreService::on_disk(root, world, store_cfg)?);
         }
         if let Some(disk) = storage.mirror {
@@ -352,6 +420,15 @@ impl FtProvider for SpbcProvider {
         layer.service = Some(Arc::clone(&self.ckptstore));
         Box::new(layer)
     }
+
+    fn on_rank_failed(&self, rank: RankId) {
+        if self.cfg.lose_local_on_failure {
+            // Node-loss semantics: the crashed rank's node-local copies are
+            // gone; restore must go through EC rebuild or partner repair.
+            // Best-effort — a wipe failure surfaces at restore time anyway.
+            let _ = self.ckptstore.wipe_local(rank);
+        }
+    }
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -381,6 +458,11 @@ struct ReplWait {
     /// Serialized body size behind `blob` (full-write equivalent), for the
     /// logical-bytes replication accounting on retries.
     logical: u64,
+    /// EC mode (this rank was the wave's parity encoder): the sealed parity
+    /// frames pushed instead of any blob/manifest, as
+    /// `(partner, parity owner, frame)` — kept for re-pushes to partners
+    /// killed mid-wave. Empty in legacy partner-copy mode.
+    parity: Vec<(RankId, RankId, Vec<u8>)>,
     last_push: Instant,
     /// When the first push went out — the replicate-phase timer.
     started: Instant,
@@ -891,6 +973,16 @@ impl SpbcLayer {
                                 us: put.fsync_us,
                             });
                         }
+                        if put.drain_us > 0 {
+                            // Cold epochs demoted down the tier stack behind
+                            // the write — background cost, not barrier cost.
+                            metrics.phase.record(crate::hist::Phase::TierDrain, put.drain_us);
+                            rec.record(|| Event::CkptPhaseDone {
+                                epoch,
+                                phase: crate::hist::Phase::TierDrain.name(),
+                                us: put.drain_us,
+                            });
+                        }
                         if is_async {
                             Metrics::add(&metrics.ckpt_writes_async, 1);
                             Metrics::add(&metrics.ckpt_write_hidden_us, write_us);
@@ -913,7 +1005,53 @@ impl SpbcLayer {
         }
         self.last_ckpt_epoch = epoch;
         ctx.recorder().record(|| Event::Ckpt { epoch, phase: CkptPhase::Written });
-        if self.service.is_some() && !self.partners.is_empty() {
+        let ec_on = self.service.as_ref().is_some_and(|s| s.config().ec.is_on())
+            && !self.partners.is_empty();
+        if ec_on {
+            // Erasure-coded replication: stage the sealed blob with the
+            // redundancy set instead of pushing full copies. The last set
+            // member to stage becomes the wave's encoder — it computes the
+            // parity shards and pushes those (only) to partners, so the
+            // physical replication cost is m/g of a blob per member rather
+            // than k whole blobs.
+            ctx.chaos_ckpt_hook(CkptHook::Replicate)?;
+            let service = Arc::clone(self.service.as_ref().expect("ec_on implies service"));
+            match service.stage_for_parity(self.me, epoch, &sealed)? {
+                None => {
+                    // Not in a set, or not the encoder: nothing to wait for.
+                    self.ack_commit(ctx, epoch)?;
+                }
+                Some(shards) => {
+                    self.record_phase(
+                        ctx,
+                        epoch,
+                        crate::hist::Phase::EncodeParity,
+                        shards.encode_us,
+                    );
+                    let total: u64 = shards.shards.iter().map(|(_, _, f)| f.len() as u64).sum();
+                    Metrics::add(&self.metrics.ec_parity_bytes, total);
+                    let mut awaiting = HashSet::new();
+                    let mut parity = Vec::new();
+                    for (j, owner, frame) in shards.shards {
+                        let partner = self.partners[j as usize % self.partners.len()];
+                        self.push_parity_to(ctx, partner, owner, epoch, &frame);
+                        awaiting.insert(partner);
+                        parity.push((partner, owner, frame));
+                    }
+                    self.repl = Some(ReplWait {
+                        epoch,
+                        awaiting,
+                        blob: Vec::new(),
+                        manifest: Vec::new(),
+                        logical: 0,
+                        parity,
+                        last_push: Instant::now(),
+                        started: Instant::now(),
+                    });
+                    self.ckpt_state = CkptState::AwaitRepl;
+                }
+            }
+        } else if self.service.is_some() && !self.partners.is_empty() {
             // Push the sealed blob to every partner; the leader's ACK waits
             // for their store confirmations (the commit barrier includes
             // replication, not disk). In CDC mode only the chunk-hash
@@ -939,6 +1077,7 @@ impl SpbcLayer {
                 blob: sealed,
                 manifest,
                 logical,
+                parity: Vec::new(),
                 last_push: Instant::now(),
                 started: Instant::now(),
             });
@@ -992,6 +1131,27 @@ impl SpbcLayer {
         Metrics::add(&self.metrics.repl_bytes_logical, logical);
         let body = to_bytes(&CkptHashes { owner: self.me.0, epoch, manifest: manifest.to_vec() });
         ctx.send_ctrl(partner, KIND_CKPT_HASHES, body);
+    }
+
+    /// EC replication: push one sealed parity frame to the partner holding
+    /// it. The owner is the *synthetic* parity-owner rank
+    /// (`spbc_ckptstore::set::parity_owner`), not `self.me` — the partner
+    /// stores the frame under that key so any set member's rebuild census
+    /// finds it regardless of which member encoded the wave.
+    fn push_parity_to(
+        &self,
+        ctx: &mut FtCtx<'_>,
+        partner: RankId,
+        owner: RankId,
+        epoch: u64,
+        frame: &[u8],
+    ) {
+        let bytes = frame.len() as u64;
+        ctx.recorder().record(|| Event::CkptReplPush { partner, epoch, bytes });
+        Metrics::add(&self.metrics.repl_pushes, 1);
+        Metrics::add(&self.metrics.repl_bytes, bytes);
+        let body = to_bytes(&CkptBlob { owner: owner.0, epoch, blob: frame.to_vec() });
+        ctx.send_ctrl(partner, KIND_CKPT_BLOB, body);
     }
 
     /// Replication barrier cleared (or not required): tell the leader this
@@ -1063,17 +1223,32 @@ impl FtLayer for SpbcLayer {
                         crate::hist::Phase::RestoreMaterialize,
                         lstats.materialize_us,
                     );
-                    if let LoadOutcome::Repaired { from } = outcome {
-                        Metrics::add(&self.metrics.ckpt_repairs, 1);
-                        // Repair rode the fetch path, so its cost is the
-                        // fetch time of a load that needed a partner scan.
-                        self.record_phase(
-                            ctx,
-                            target,
-                            crate::hist::Phase::RestoreRepair,
-                            lstats.fetch_us,
-                        );
-                        ctx.recorder().record(|| Event::CkptRepair { epoch: target, from });
+                    match outcome {
+                        LoadOutcome::Repaired { from } => {
+                            Metrics::add(&self.metrics.ckpt_repairs, 1);
+                            // Repair rode the fetch path, so its cost is the
+                            // fetch time of a load that needed a partner scan.
+                            self.record_phase(
+                                ctx,
+                                target,
+                                crate::hist::Phase::RestoreRepair,
+                                lstats.fetch_us,
+                            );
+                            ctx.recorder().record(|| Event::CkptRepair { epoch: target, from });
+                        }
+                        LoadOutcome::Rebuilt { set_id } => {
+                            // The checkpoint was reconstructed from the
+                            // redundancy set's parity (erasure decode).
+                            Metrics::add(&self.metrics.ec_rebuilds, 1);
+                            self.record_phase(
+                                ctx,
+                                target,
+                                crate::hist::Phase::RestoreRepair,
+                                lstats.fetch_us,
+                            );
+                            ctx.recorder().record(|| Event::CkptRebuild { epoch: target, set_id });
+                        }
+                        LoadOutcome::Local => {}
                     }
                     // The storage copy is authoritative: CRC-verified (the
                     // service returns the unsealed body), and repairable
@@ -1418,8 +1593,16 @@ impl FtLayer for SpbcLayer {
                 let targets: Vec<RankId> = r.awaiting.iter().copied().collect();
                 let (epoch, blob, manifest, logical) =
                     (r.epoch, r.blob.clone(), r.manifest.clone(), r.logical);
+                let parity = r.parity.clone();
                 for p in targets {
-                    if manifest.is_empty() {
+                    if !parity.is_empty() {
+                        // EC mode: re-push this partner's parity frames.
+                        for (partner, owner, frame) in &parity {
+                            if *partner == p {
+                                self.push_parity_to(ctx, p, *owner, epoch, frame);
+                            }
+                        }
+                    } else if manifest.is_empty() {
                         self.push_blob_to(ctx, p, epoch, &blob, logical);
                     } else {
                         self.push_hashes_to(ctx, p, epoch, &manifest, logical);

@@ -7,11 +7,11 @@
 //! ```
 //!
 //! * `--seeds N` — base seeds (default 8). Each seed expands to
-//!   5 families × 2 workloads = 10 schedules, so `--seeds 8` runs 80.
+//!   7 families × 2 workloads = 14 schedules, so `--seeds 8` runs 112.
 //! * `--short` — CI-sized workloads (fewer iterations, smaller state).
 //! * `--family NAME` — restrict to one family
 //!   (`spread`, `same-cluster-repeat`, `during-recovery`, `ckpt-phases`,
-//!   `delta-chain`).
+//!   `delta-chain`, `cas-gc`, `ec-rebuild`).
 //! * `--pinned` — additionally run the pinned regression schedules.
 //!
 //! Exit status 0 iff every schedule passed.
@@ -46,6 +46,8 @@ fn main() {
                     Some("during-recovery") => Family::DuringRecovery,
                     Some("ckpt-phases") => Family::CkptPhases,
                     Some("delta-chain") => Family::DeltaChain,
+                    Some("cas-gc") => Family::CasGc,
+                    Some("ec-rebuild") => Family::EcRebuild,
                     _ => usage(),
                 })
             }
@@ -63,6 +65,8 @@ fn main() {
             chaos::pinned::commit_barrier(),
             chaos::pinned::rendezvous_rebind(),
             chaos::pinned::delta_chain(),
+            chaos::pinned::cas_gc(),
+            chaos::pinned::ec_rebuild(),
         ] {
             total += 1;
             match oracle.run(&schedule) {
@@ -92,8 +96,9 @@ fn main() {
                         eprintln!("chaos: PASS seed={seed} family={f} workload={workload:?}");
                     }
                     chaos::Verdict::Fail { reason, flight_dump } => {
+                        let node_loss = f == Family::EcRebuild;
                         let minimized = chaos::minimize(&schedule.plans, |cand| {
-                            oracle.run_plans(workload, seed, cand).failed()
+                            oracle.run_plans_with(workload, seed, cand, node_loss).failed()
                         });
                         let case = chaos::FailureCase { schedule, reason, minimized, flight_dump };
                         eprint!("{}", case.reproducer());

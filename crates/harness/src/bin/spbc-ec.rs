@@ -1,0 +1,24 @@
+//! Regenerate the erasure-coded redundancy rows of the `ckpt_delta`
+//! report: both evaluation workloads under `xor` and `rs(2)` sets, with
+//! the replication-overhead ratio against physical bytes. Prints the
+//! table; pass an output path to also write the rows as JSON.
+
+fn main() {
+    let scale = spbc_harness::Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let rows = spbc_harness::ckpt::run_ec(&scale).expect("ec report run");
+    println!("{}", spbc_harness::ckpt::render(&rows));
+    for r in &rows {
+        assert!(
+            r.repl_ratio() < 2.0,
+            "{} under {} must replicate below 2x physical, got {:.2}",
+            r.scenario,
+            r.scheme,
+            r.repl_ratio()
+        );
+    }
+    if let Some(out) = std::env::args().nth(1) {
+        std::fs::write(&out, spbc_harness::ckpt::to_json(&rows)).expect("write ec rows");
+        eprintln!("wrote {out}");
+    }
+}

@@ -25,7 +25,12 @@
 //!   inserted into the content-addressed store, before the wave's resume)
 //!   while surviving ranks finish the wave and their storage GC prunes
 //!   older epochs: a chunk refcounted by several ranks/epochs must never
-//!   be dropped while any checkpoint still references it.
+//!   be dropped while any checkpoint still references it;
+//! * [`Family::EcRebuild`] — node-loss kills inside one erasure-coded
+//!   redundancy set (up to the parity budget `m`, one possibly
+//!   mid-parity-push): each victim's node-local checkpoint copies are
+//!   wiped with it, so restore must decode the lost blobs back from the
+//!   set's survivors plus parity, bitwise.
 //!
 //! Every schedule runs under SPBC and is verified **bitwise** against a
 //! native (fault-free) execution of the same workload. A failing schedule is
@@ -77,7 +82,7 @@ impl Rng {
     }
 }
 
-/// The six scenario families a campaign cycles through.
+/// The seven scenario families a campaign cycles through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Family {
     /// Overlapping failures in different clusters.
@@ -95,17 +100,22 @@ pub enum Family {
     /// Kills landing mid-commit while other ranks' storage GC prunes —
     /// the refcount window of the content-addressed chunk store.
     CasGc,
+    /// Node-loss kills inside one redundancy set (local copies wiped):
+    /// restore must erasure-decode the lost blobs from set survivors +
+    /// parity.
+    EcRebuild,
 }
 
 impl Family {
     /// Every family, in campaign order.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 7] = [
         Family::Spread,
         Family::SameClusterRepeat,
         Family::DuringRecovery,
         Family::CkptPhases,
         Family::DeltaChain,
         Family::CasGc,
+        Family::EcRebuild,
     ];
 }
 
@@ -118,6 +128,7 @@ impl fmt::Display for Family {
             Family::CkptPhases => "ckpt-phases",
             Family::DeltaChain => "delta-chain",
             Family::CasGc => "cas-gc",
+            Family::EcRebuild => "ec-rebuild",
         };
         f.write_str(s)
     }
@@ -142,6 +153,14 @@ pub struct ChaosConfig {
     pub timeout: Duration,
     /// Workloads each seed × family pair runs under.
     pub workloads: Vec<Workload>,
+    /// Parity scheme the SPBC runs use (`$SPBC_EC_SCHEME`; CI legs set
+    /// `xor` / `rs2` / `off`). The ec-rebuild family forces `xor` when this
+    /// resolves to `off` so its schedules always exercise a rebuild.
+    pub ec_scheme: String,
+    /// Redundancy-set size (`$SPBC_EC_GROUP`; capped at the cluster size).
+    pub ec_group: usize,
+    /// RS parity shards per set (`$SPBC_EC_M`).
+    pub ec_m: usize,
 }
 
 impl Default for ChaosConfig {
@@ -155,6 +174,9 @@ impl Default for ChaosConfig {
             ckpt_full_every: spbc_ckptstore::chunk::DEFAULT_FULL_EVERY,
             timeout: Duration::from_secs(90),
             workloads: vec![Workload::MiniGhost, Workload::Amg],
+            ec_scheme: spbc_core::env::get_or("SPBC_EC_SCHEME", "off".to_string()),
+            ec_group: spbc_core::env::get_or("SPBC_EC_GROUP", 4),
+            ec_m: spbc_core::env::get_or("SPBC_EC_M", 2),
         }
     }
 }
@@ -205,6 +227,7 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
         Family::CkptPhases => 4,
         Family::DeltaChain => 5,
         Family::CasGc => 6,
+        Family::EcRebuild => 7,
     };
     let mut rng = Rng::new(seed.wrapping_mul(0x0100_0000_01b3) ^ salt ^ (workload as u64) << 32);
     let span = cfg.iters.saturating_sub(4).max(1);
@@ -316,6 +339,40 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
             ));
             plans
         }
+        Family::EcRebuild => {
+            // Node-loss kills inside ONE redundancy set, never more than
+            // the parity budget m concurrently: each victim's node-local
+            // copies are wiped with it (the oracle runs this family with
+            // `lose_local_on_failure`), so restore must erasure-decode the
+            // lost blobs from the set's survivors plus parity. One kill may
+            // land mid-parity-push (`CkptHook::Replicate`) — the window
+            // where this wave's shards are not yet durable and restore
+            // falls back to the previous wave's parity.
+            let per = cfg.ranks_per_cluster();
+            let g = cfg.ec_group.clamp(1, per);
+            let budget = match cfg.ec_scheme.trim() {
+                "" | "off" | "xor" => 1usize, // off is forced to xor at run time
+                _ => cfg.ec_m.max(1),
+            };
+            let c = rng.below(cfg.clusters as u64) as usize;
+            // The first set of cluster c (sets are per-cluster rank chunks).
+            let mut members: Vec<u32> = (0..g as u32).map(|i| (c * per) as u32 + i).collect();
+            let kills = 1 + rng.below(budget as u64) as usize;
+            let mut plans = Vec::new();
+            for k in 0..kills.min(members.len()) {
+                let v = members.remove(rng.below(members.len() as u64) as usize);
+                if k == 0 && rng.below(2) == 1 {
+                    plans.push(FailurePlan::at_phase(
+                        RankId(v),
+                        CkptHook::Replicate,
+                        1 + rng.below(2),
+                    ));
+                } else {
+                    plans.push(FailurePlan::nth(RankId(v), nth(&mut rng)));
+                }
+            }
+            plans
+        }
     };
     Schedule { seed, family, workload, plans }
 }
@@ -382,11 +439,31 @@ impl Oracle {
     /// Run `schedule` under SPBC and verify bitwise against the native
     /// baseline of the same workload and seed.
     pub fn run(&mut self, schedule: &Schedule) -> Verdict {
-        self.run_plans(schedule.workload, schedule.seed, &schedule.plans)
+        self.run_plans_with(
+            schedule.workload,
+            schedule.seed,
+            &schedule.plans,
+            schedule.family == Family::EcRebuild,
+        )
     }
 
     /// [`Self::run`] with an explicit plan set (the minimizer's probe).
     pub fn run_plans(&mut self, workload: Workload, seed: u64, plans: &[FailurePlan]) -> Verdict {
+        self.run_plans_with(workload, seed, plans, false)
+    }
+
+    /// [`Self::run_plans`] with node-loss semantics: a crashed rank loses its
+    /// node-local checkpoints, so restore must erasure-rebuild from the set.
+    /// When the config has no EC scheme, node-loss runs force `xor` — a
+    /// node-loss schedule without parity would (correctly, but uselessly)
+    /// always fail.
+    pub fn run_plans_with(
+        &mut self,
+        workload: Workload,
+        seed: u64,
+        plans: &[FailurePlan],
+        node_loss: bool,
+    ) -> Verdict {
         let native = match self.baseline(workload, seed) {
             Ok(n) => n,
             Err(e) => {
@@ -395,11 +472,20 @@ impl Oracle {
         };
         self.runs += 1;
         let params = self.cfg.params(seed);
+        let ec_scheme = if node_loss && matches!(self.cfg.ec_scheme.trim(), "" | "off") {
+            "xor".to_string()
+        } else {
+            self.cfg.ec_scheme.clone()
+        };
         let provider = Arc::new(SpbcProvider::new(
             ClusterMap::blocks(self.cfg.world, self.cfg.clusters),
             SpbcConfig {
                 ckpt_interval: self.cfg.ckpt_interval,
                 ckpt_full_every: self.cfg.ckpt_full_every,
+                ec_scheme,
+                ec_group: self.cfg.ec_group,
+                ec_m: self.cfg.ec_m,
+                lose_local_on_failure: node_loss,
                 ..Default::default()
             },
         ));
@@ -592,8 +678,9 @@ pub fn run_campaign(seeds: u64, cfg: ChaosConfig) -> CampaignReport {
                             "chaos: FAIL seed={seed} family={family} workload={workload:?} — \
                              {reason}; minimizing"
                         );
+                        let node_loss = family == Family::EcRebuild;
                         let minimized = minimize(&schedule.plans, |cand| {
-                            oracle.run_plans(workload, seed, cand).failed()
+                            oracle.run_plans_with(workload, seed, cand, node_loss).failed()
                         });
                         let case = FailureCase { schedule, reason, minimized, flight_dump };
                         eprint!("{}", case.reproducer());
@@ -673,6 +760,24 @@ pub mod pinned {
             plans: vec![
                 FailurePlan::at_phase(RankId(2), CkptHook::Write, 2),
                 FailurePlan::nth(RankId(5), 14),
+            ],
+        }
+    }
+
+    /// Erasure-rebuild window: node-loss kills inside one redundancy set.
+    /// Rank 2 dies after the second wave with its node-local checkpoints
+    /// wiped, so restore must XOR-rebuild its blob from the set survivors
+    /// plus parity; later rank 3 (same cluster) dies *inside* the parity
+    /// push of a wave — the window where the new parity shard is staged but
+    /// not yet durable at the partner.
+    pub fn ec_rebuild() -> Schedule {
+        Schedule {
+            seed: u64::MAX,
+            family: Family::EcRebuild,
+            workload: Workload::MiniGhost,
+            plans: vec![
+                FailurePlan::nth(RankId(2), 10),
+                FailurePlan::at_phase(RankId(3), CkptHook::Replicate, 2),
             ],
         }
     }

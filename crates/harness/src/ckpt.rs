@@ -38,6 +38,9 @@ pub struct CkptRow {
     /// Whether this row ran with content-defined chunking + the
     /// content-addressed store (`SPBCCKP4`) instead of fixed-grid deltas.
     pub cdc: bool,
+    /// Redundancy scheme the run replicated under: `partner_k2` (the legacy
+    /// full-copy partner push), `xor`, or `rs2`.
+    pub scheme: String,
 }
 
 impl CkptRow {
@@ -50,21 +53,46 @@ impl CkptRow {
             self.logical as f64 / self.physical as f64
         }
     }
+
+    /// Redundancy overhead: replication bytes actually pushed over sealed
+    /// bytes written locally. The legacy partner push copies every blob to
+    /// both partners (2.0); erasure-coded sets push only parity shards, so
+    /// xor lands near `1/g` and `rs(m)` near `m/g`.
+    pub fn repl_ratio(&self) -> f64 {
+        if self.physical == 0 {
+            0.0
+        } else {
+            self.repl_physical as f64 / self.physical as f64
+        }
+    }
 }
 
-/// Run `w` under SPBC with the given full-blob cadence and encoder choice
+/// Run `w` under SPBC with the given full-blob cadence, encoder choice
 /// (`cdc` on = content-defined chunking + CAS, off = fixed-grid deltas),
-/// and collect the run-wide byte counters. The encoder is pinned explicitly
-/// so rows never depend on the ambient `SPBC_CKPT_CDC`.
-pub fn run_workload(w: Workload, scale: &Scale, full_every: u64, cdc: bool) -> Result<CkptRow> {
+/// and redundancy `scheme` (`"partner_k2"` = legacy full partner pushes;
+/// `"xor"`/`"rs2"` = erasure-coded sets of 2), and collect the run-wide
+/// byte counters. Every knob is pinned explicitly so rows never depend on
+/// ambient `SPBC_*` variables.
+pub fn run_workload(
+    w: Workload,
+    scale: &Scale,
+    full_every: u64,
+    cdc: bool,
+    scheme: &str,
+) -> Result<CkptRow> {
     let app = w.build(scale.params(w));
+    let ec_on = scheme != "partner_k2";
     let cfg = SpbcConfig {
         ckpt_interval: (scale.iters / 6).max(1),
         ckpt_full_every: full_every,
         ckpt_cdc: cdc,
+        ec_scheme: if ec_on { scheme.to_string() } else { "off".to_string() },
+        ec_group: 2,
         ..SpbcConfig::default()
     };
-    let scenario = if cdc {
+    let scenario = if ec_on {
+        format!("{}/ec-{scheme}", w.name())
+    } else if cdc {
         format!("{}/cdc", w.name())
     } else {
         format!("{}/full-every-{full_every}", w.name())
@@ -82,6 +110,7 @@ pub fn run_workload(w: Workload, scale: &Scale, full_every: u64, cdc: bool) -> R
         repl_logical: m.repl_bytes_logical,
         repl_physical: m.repl_bytes,
         cdc,
+        scheme: scheme.to_string(),
     })
 }
 
@@ -108,6 +137,7 @@ pub fn encoder_sweep(chunks: usize, waves: u64, dirty: usize, full_every: u64) -
         repl_logical: logical,
         repl_physical: physical,
         cdc: false,
+        scheme: "partner_k2".to_string(),
     }
 }
 
@@ -143,6 +173,7 @@ pub fn cdc_sweep(chunks: usize, waves: u64, dirty: usize) -> CkptRow {
         repl_logical: logical,
         repl_physical: physical,
         cdc: true,
+        scheme: "partner_k2".to_string(),
     }
 }
 
@@ -152,10 +183,11 @@ pub fn cdc_sweep(chunks: usize, waves: u64, dirty: usize) -> CkptRow {
 pub fn run(scale: &Scale) -> Result<Vec<CkptRow>> {
     let mut rows = Vec::new();
     for w in [Workload::MiniGhost, Workload::Amg] {
-        rows.push(run_workload(w, scale, DEFAULT_FULL_EVERY, true)?);
-        rows.push(run_workload(w, scale, DEFAULT_FULL_EVERY, false)?);
-        rows.push(run_workload(w, scale, 1, false)?);
+        rows.push(run_workload(w, scale, DEFAULT_FULL_EVERY, true, "partner_k2")?);
+        rows.push(run_workload(w, scale, DEFAULT_FULL_EVERY, false, "partner_k2")?);
+        rows.push(run_workload(w, scale, 1, false, "partner_k2")?);
     }
+    rows.extend(run_ec(scale)?);
     for (dirty, full_every) in
         [(1usize, DEFAULT_FULL_EVERY), (8, DEFAULT_FULL_EVERY), (32, DEFAULT_FULL_EVERY), (32, 1)]
     {
@@ -167,26 +199,45 @@ pub fn run(scale: &Scale) -> Result<Vec<CkptRow>> {
     Ok(rows)
 }
 
+/// The erasure-coded redundancy rows alone: both evaluation workloads under
+/// `xor` and `rs(2)` sets of 2, fixed-grid encoder (`cdc` off) so the
+/// replication ratio isolates the scheme rather than mixing in CAS dedup.
+/// Against the legacy partner push's 2.0, xor lands near 0.5 and rs2 near
+/// 1.0 — both strictly below 2x physical.
+pub fn run_ec(scale: &Scale) -> Result<Vec<CkptRow>> {
+    let mut rows = Vec::new();
+    for w in [Workload::MiniGhost, Workload::Amg] {
+        for scheme in ["xor", "rs2"] {
+            rows.push(run_workload(w, scale, DEFAULT_FULL_EVERY, false, scheme)?);
+        }
+    }
+    Ok(rows)
+}
+
 /// Render the rows with aligned columns.
 pub fn render(rows: &[CkptRow]) -> String {
     let mut t = TextTable::new(&[
         "Scenario",
         "CDC",
+        "Scheme",
         "Logical B",
         "Physical B",
         "Dedup",
         "Repl logical B",
         "Repl physical B",
+        "Repl ratio",
     ]);
     for r in rows {
         t.row(vec![
             r.scenario.clone(),
             if r.cdc { "yes" } else { "no" }.into(),
+            r.scheme.clone(),
             r.logical.to_string(),
             r.physical.to_string(),
             f2(r.dedup()),
             r.repl_logical.to_string(),
             r.repl_physical.to_string(),
+            f2(r.repl_ratio()),
         ]);
     }
     format!("ckpt_delta: logical vs physical checkpoint bytes\n{}", t.render())
@@ -199,15 +250,18 @@ pub fn to_json(rows: &[CkptRow]) -> String {
     out.push_str(&format!("  \"full_every\": {DEFAULT_FULL_EVERY},\n  \"rows\": [\n"));
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"cdc\": {}, \"logical\": {}, \"physical\": {}, \
-             \"repl_logical\": {}, \"repl_physical\": {}, \"dedup\": {}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"cdc\": {}, \"scheme\": \"{}\", \"logical\": {}, \
+             \"physical\": {}, \"repl_logical\": {}, \"repl_physical\": {}, \"dedup\": {}, \
+             \"repl_physical_ratio\": {}}}{}\n",
             r.scenario,
             r.cdc,
+            r.scheme,
             r.logical,
             r.physical,
             r.repl_logical,
             r.repl_physical,
             f2(r.dedup()),
+            f2(r.repl_ratio()),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -262,9 +316,34 @@ mod tests {
         // The rank-shared coefficient tables dedup across ranks and the
         // unchanged regions across epochs: real-workload dedup > 1.0, which
         // the fixed grid never achieves here (sub-chunk states force fulls).
-        let row = run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY, true).unwrap();
+        let row = run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY, true, "partner_k2")
+            .unwrap();
         assert!(row.dedup() > 1.0, "{row:?}");
         assert!(row.cdc && row.scenario.ends_with("/cdc"), "{row:?}");
+    }
+
+    #[test]
+    fn ec_rows_cut_replication_below_2x_physical() {
+        let scale = Scale {
+            world: 8,
+            iters: 6,
+            elems: 128,
+            sleep_us: 0,
+            ranks_per_node: 2,
+            reps: 1,
+            ..Default::default()
+        };
+        let legacy =
+            run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY, false, "partner_k2")
+                .unwrap();
+        assert!(legacy.repl_ratio() >= 1.9, "legacy pushes every blob twice: {legacy:?}");
+        for scheme in ["xor", "rs2"] {
+            let row = run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY, false, scheme)
+                .unwrap();
+            assert!(row.repl_physical > 0, "parity must actually be pushed: {row:?}");
+            assert!(row.repl_ratio() < 2.0, "{scheme} must beat 2x physical: {row:?}");
+            assert_eq!(row.scheme, scheme);
+        }
     }
 
     #[test]
@@ -278,9 +357,11 @@ mod tests {
             reps: 1,
             ..Default::default()
         };
-        let delta = run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY, false).unwrap();
+        let delta =
+            run_workload(Workload::MiniGhost, &scale, DEFAULT_FULL_EVERY, false, "partner_k2")
+                .unwrap();
         assert!(delta.logical > 0 && delta.physical > 0, "{delta:?}");
-        let fulls = run_workload(Workload::MiniGhost, &scale, 1, false).unwrap();
+        let fulls = run_workload(Workload::MiniGhost, &scale, 1, false, "partner_k2").unwrap();
         // Sealing adds framing, so physical ≥ logical on the fulls path.
         assert!(fulls.physical >= fulls.logical, "{fulls:?}");
         // This workload rewrites its whole (sub-chunk) state every wave, so
@@ -303,6 +384,9 @@ mod tests {
         }
         assert!(json.contains("\"bench\": \"ckpt_delta\""));
         assert!(json.contains("\"cdc\": true") && json.contains("\"cdc\": false"), "{json}");
+        assert!(json.contains("\"scheme\": \"partner_k2\""), "{json}");
+        assert!(json.contains("\"repl_physical_ratio\": "), "{json}");
+        assert!(table.contains("partner_k2"), "{table}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -4,9 +4,12 @@
 //! here means a protocol regression, and the chaos minimizer will print a
 //! reproducer.
 
+use std::sync::Arc;
+
 use mini_mpi::failure::FailurePlan;
 use mini_mpi::prelude::*;
 use spbc_apps::Workload;
+use spbc_ckptstore::{CkptStoreService, EcScheme, SetMap, StoreConfig};
 use spbc_harness::chaos::{self, ChaosConfig, Family, Oracle, Verdict};
 
 fn assert_passes(oracle: &mut Oracle, schedule: &chaos::Schedule) {
@@ -86,12 +89,67 @@ fn pinned_cas_gc() {
     assert_passes(&mut oracle, &chaos::pinned::cas_gc());
 }
 
+/// The erasure-rebuild window (xor): node-loss kills inside one redundancy
+/// set — each crashed rank loses its node-local checkpoints with it, so
+/// restore must XOR-rebuild the lost blob from the set survivors plus
+/// parity, one kill landing mid-parity-push. Bitwise against native.
+#[test]
+fn pinned_ec_rebuild_xor() {
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    assert_passes(&mut oracle, &chaos::pinned::ec_rebuild());
+}
+
+/// The same window under `rs(2)`: Reed-Solomon decode instead of XOR, with
+/// twice the parity budget, on the identical pinned schedule — isolating
+/// any failure to the codec rather than the rebuild protocol.
+#[test]
+fn pinned_ec_rebuild_rs2() {
+    let mut cfg = ChaosConfig::short();
+    cfg.ec_scheme = "rs2".to_string();
+    cfg.ec_m = 2;
+    let mut oracle = Oracle::new(cfg);
+    assert_passes(&mut oracle, &chaos::pinned::ec_rebuild());
+}
+
+/// Losses beyond the parity budget fail loudly (deterministic, service
+/// level): commit a parity-protected wave, wipe `m + 1 = 2` members of a
+/// 4-rank xor set, and the rebuild must refuse with the distinct
+/// over-budget error — never return wrong bytes.
+#[test]
+fn ec_losses_beyond_budget_fail_loudly() {
+    let clusters = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+    let cfg = StoreConfig {
+        ec: EcScheme::Xor,
+        sets: Some(Arc::new(SetMap::from_clusters(&clusters, 4))),
+        ..Default::default()
+    };
+    let svc = CkptStoreService::in_memory(8, cfg);
+    // One full wave with parity staged and pushed, like the protocol does.
+    for r in 0..4u32 {
+        let body: Vec<u8> = (0..256 + 32 * r as usize).map(|i| (r as u8) ^ (i as u8)).collect();
+        let (blob, _) = svc.encode_commit(RankId(r), 1, &body).unwrap();
+        svc.commit_local(RankId(r), 1, blob.clone(), None).unwrap();
+        svc.flush_rank(RankId(r)).unwrap();
+        if let Some(job) = svc.stage_for_parity(RankId(r), 1, &blob).unwrap() {
+            for (j, owner, frame) in &job.shards {
+                svc.store_partner_copy(RankId(4 + (j % 4)), *owner, 1, frame).unwrap();
+            }
+        }
+    }
+    for r in [0u32, 1] {
+        svc.wipe_local(RankId(r)).unwrap(); // xor budget is m = 1
+    }
+    let err = svc.load(RankId(0), 1).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("erasure budget exceeded"), "{msg}");
+}
+
 /// A fixed-seed campaign slice: every family, both workloads, seeds 0-1.
 /// Bitwise identical to native on every schedule.
 #[test]
 fn fixed_seed_campaign_slice() {
     let report = chaos::run_campaign(2, ChaosConfig::short());
-    assert_eq!(report.total, 24);
+    assert_eq!(report.total, 28);
     assert!(
         report.failures.is_empty(),
         "campaign failures:\n{}",

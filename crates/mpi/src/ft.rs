@@ -142,6 +142,11 @@ pub trait FtProvider: Send + Sync {
     /// Build the layer for `rank`; `epoch` is 0 initially and increments on
     /// every restart of that rank.
     fn make_layer(&self, rank: RankId, epoch: u32) -> Box<dyn FtLayer>;
+    /// The runtime observed `rank` fail (its process died; siblings are
+    /// killed for containment but did not lose state). Providers modeling
+    /// node-loss storage semantics drop the rank's node-local data here;
+    /// the default keeps everything (process-kill semantics).
+    fn on_rank_failed(&self, _rank: RankId) {}
 }
 
 /// Native provider: every rank its own cluster, no-op layer.

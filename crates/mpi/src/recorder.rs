@@ -241,6 +241,14 @@ pub enum Event {
         /// Partner rank whose copy survived.
         from: RankId,
     },
+    /// A lost local checkpoint was reconstructed from redundancy-set
+    /// parity (erasure decode over the set's survivors).
+    CkptRebuild {
+        /// Checkpoint wave epoch restored.
+        epoch: u64,
+        /// Redundancy set the parity belonged to.
+        set_id: u32,
+    },
     /// Automatic storage GC pruned old checkpoint copies.
     CkptGc {
         /// Copies removed.
@@ -309,6 +317,9 @@ impl fmt::Display for Event {
             }
             Event::CkptRepair { epoch, from } => {
                 write!(f, "ckpt-repair e{epoch} from {from}")
+            }
+            Event::CkptRebuild { epoch, set_id } => {
+                write!(f, "ckpt-rebuild e{epoch} set {set_id}")
             }
             Event::CkptGc { pruned, keep_from } => {
                 write!(f, "ckpt-gc pruned={pruned} keep-from=e{keep_from}")
@@ -681,6 +692,7 @@ mod tests {
             ),
             (Event::CkptReplAck { partner: RankId(5), epoch: 2 }, "repl-ack <-5 e2"),
             (Event::CkptRepair { epoch: 2, from: RankId(5) }, "ckpt-repair e2 from 5"),
+            (Event::CkptRebuild { epoch: 2, set_id: 1 }, "ckpt-rebuild e2 set 1"),
             (Event::CkptGc { pruned: 3, keep_from: 4 }, "ckpt-gc pruned=3 keep-from=e4"),
             (
                 Event::CkptPhaseDone { epoch: 2, phase: "commit_barrier", us: 1500 },

@@ -272,6 +272,10 @@ impl Runtime {
                 }
                 Ok(RuntimeEvent::Failure { rank }) => {
                     report.failures_handled += 1;
+                    // The crashed rank (only) may lose node-local storage;
+                    // its cluster siblings die for containment, not for real,
+                    // so their local stores survive the respawn.
+                    provider.on_rank_failed(rank);
                     let cluster = provider.cluster_of(rank);
                     let victims: Vec<RankId> = (0..world as u32)
                         .map(RankId)

@@ -295,6 +295,7 @@ fn classify(ev: &Event) -> (&'static str, &'static str) {
         Event::Stall { .. } => ("stall", "watchdog"),
         Event::CkptReplStore { .. } => ("repl-store", "ckptstore"),
         Event::CkptRepair { .. } => ("ckpt-repair", "ckptstore"),
+        Event::CkptRebuild { .. } => ("ckpt-rebuild", "ckptstore"),
         Event::CkptGc { .. } => ("ckpt-gc", "ckptstore"),
         Event::CkptPhaseDone { .. } => ("ckpt-phase", "ckpt"),
         // Span-forming kinds are handled by the caller; keep a fallback so
