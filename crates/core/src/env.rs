@@ -25,6 +25,9 @@
 //! | `SPBC_METRICS` | unset | append one metrics JSON line per run here |
 //! | `SPBC_METRICS_INTERVAL_MS` | `0` | background sampler period in ms (0 disables; rows go to `$SPBC_METRICS`) |
 //! | `SPBC_OPENMETRICS` | unset | write an OpenMetrics text exposition of the final snapshot here |
+//! | `SPBC_TRANSPORT` | `inproc` | rank fabric: `inproc` (crossbeam) or `uds` (Unix-socket frames) |
+//! | `SPBC_CLUSTERS` | workload-specific | override: failure-containment clusters per run |
+//! | `SPBC_NODE_BIN` | sibling of current exe | path to the `spbc-node` binary for multi-process runs |
 //! | `SPBC_RANKS` | `16` | harness scale: application ranks |
 //! | `SPBC_ITERS` | `24` | harness scale: iterations per run |
 //! | `SPBC_ELEMS` | `512` | harness scale: per-rank state elements |
@@ -34,7 +37,7 @@
 //! | `SPBC_TIMEOUT_SECS` | `120` | harness scale: per-run deadlock timeout |
 
 use crate::protocol::SpbcConfig;
-use mini_mpi::config::RuntimeConfig;
+use mini_mpi::config::{RuntimeConfig, Topology, TransportKind};
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -75,6 +78,13 @@ pub const VARS: &[(&str, &str, &str)] = &[
         "(unset)",
         "write an OpenMetrics text exposition of the final snapshot to this path",
     ),
+    ("SPBC_TRANSPORT", "inproc", "rank fabric: inproc (crossbeam) or uds (Unix-socket frames)"),
+    ("SPBC_CLUSTERS", "workload-specific", "override: failure-containment clusters per run"),
+    (
+        "SPBC_NODE_BIN",
+        "sibling of current exe",
+        "path to the spbc-node binary for multi-process runs",
+    ),
     ("SPBC_RANKS", "16", "harness scale: application ranks"),
     ("SPBC_ITERS", "24", "harness scale: iterations per run"),
     ("SPBC_ELEMS", "512", "harness scale: per-rank state elements"),
@@ -97,6 +107,26 @@ pub fn get_or<T: FromStr>(key: &str, default: T) -> T {
 /// A path-valued variable; empty counts as unset.
 pub fn path(key: &str) -> Option<PathBuf> {
     std::env::var_os(key).filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Apply the environment's topology overrides to a caller-chosen default:
+/// `SPBC_RANKS`, `SPBC_CLUSTERS` and `SPBC_TRANSPORT` each replace their
+/// field only when set and parsable. This is the one sanctioned route from
+/// environment to [`Topology`] — run setup code builds its default shape
+/// programmatically and passes it through here, instead of scattering
+/// `std::env::var` reads.
+pub fn topology(default: Topology) -> Topology {
+    let mut t = default;
+    if let Some(n) = get::<usize>("SPBC_RANKS") {
+        t.ranks = n;
+    }
+    if let Some(c) = get::<usize>("SPBC_CLUSTERS") {
+        t.clusters = c;
+    }
+    if let Some(k) = get::<TransportKind>("SPBC_TRANSPORT") {
+        t.transport = k;
+    }
+    t
 }
 
 /// One coherent snapshot of the environment's overrides, applied to configs
@@ -202,8 +232,29 @@ mod tests {
             "SPBC_METRICS",
             "SPBC_METRICS_INTERVAL_MS",
             "SPBC_OPENMETRICS",
+            "SPBC_TRANSPORT",
+            "SPBC_CLUSTERS",
+            "SPBC_NODE_BIN",
         ] {
             assert!(names.contains(&required), "{required} missing from VARS");
         }
+    }
+
+    #[test]
+    fn topology_env_overrides() {
+        let _g = ENV_LOCK.lock();
+        std::env::remove_var("SPBC_RANKS");
+        std::env::remove_var("SPBC_CLUSTERS");
+        std::env::remove_var("SPBC_TRANSPORT");
+        let base = Topology::new(8, 4).with_transport(TransportKind::InProc);
+        assert_eq!(topology(base), base, "no env, no change");
+        std::env::set_var("SPBC_CLUSTERS", "2");
+        std::env::set_var("SPBC_TRANSPORT", "uds");
+        let t = topology(base);
+        assert_eq!(t.ranks, 8);
+        assert_eq!(t.clusters, 2);
+        assert_eq!(t.transport, TransportKind::Uds);
+        std::env::remove_var("SPBC_CLUSTERS");
+        std::env::remove_var("SPBC_TRANSPORT");
     }
 }

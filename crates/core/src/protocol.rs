@@ -357,18 +357,6 @@ impl SpbcProvider {
         Ok(self)
     }
 
-    /// Keep each rank's local checkpoint copies on disk.
-    #[deprecated(since = "0.2.0", note = "use with_storage(Storage::disk_root(root))")]
-    pub fn with_storage_root(self, root: impl AsRef<std::path::Path>) -> Result<Self> {
-        self.with_storage(Storage::disk_root(root.as_ref()))
-    }
-
-    /// Mirror every committed checkpoint to an on-disk store.
-    #[deprecated(since = "0.2.0", note = "use with_storage(Storage::memory().mirror_to(disk))")]
-    pub fn with_disk(self, disk: crate::disk::DiskStore) -> Self {
-        self.with_storage(Storage::memory().mirror_to(disk)).expect("memory backend is infallible")
-    }
-
     /// The disk store, if one is attached.
     pub fn disk(&self) -> Option<Arc<crate::disk::DiskStore>> {
         self.disk.clone()

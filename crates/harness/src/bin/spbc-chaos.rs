@@ -7,11 +7,11 @@
 //! ```
 //!
 //! * `--seeds N` — base seeds (default 8). Each seed expands to
-//!   7 families × 2 workloads = 14 schedules, so `--seeds 8` runs 112.
+//!   8 families × 2 workloads = 16 schedules, so `--seeds 8` runs 128.
 //! * `--short` — CI-sized workloads (fewer iterations, smaller state).
 //! * `--family NAME` — restrict to one family
 //!   (`spread`, `same-cluster-repeat`, `during-recovery`, `ckpt-phases`,
-//!   `delta-chain`, `cas-gc`, `ec-rebuild`).
+//!   `delta-chain`, `cas-gc`, `ec-rebuild`, `proc-kill`).
 //! * `--pinned` — additionally run the pinned regression schedules.
 //!
 //! Exit status 0 iff every schedule passed.
@@ -48,6 +48,7 @@ fn main() {
                     Some("delta-chain") => Family::DeltaChain,
                     Some("cas-gc") => Family::CasGc,
                     Some("ec-rebuild") => Family::EcRebuild,
+                    Some("proc-kill") => Family::ProcKill,
                     _ => usage(),
                 })
             }
@@ -67,6 +68,7 @@ fn main() {
             chaos::pinned::delta_chain(),
             chaos::pinned::cas_gc(),
             chaos::pinned::ec_rebuild(),
+            chaos::pinned::proc_kill(),
         ] {
             total += 1;
             match oracle.run(&schedule) {
@@ -96,10 +98,18 @@ fn main() {
                         eprintln!("chaos: PASS seed={seed} family={f} workload={workload:?}");
                     }
                     chaos::Verdict::Fail { reason, flight_dump } => {
-                        let node_loss = f == Family::EcRebuild;
-                        let minimized = chaos::minimize(&schedule.plans, |cand| {
-                            oracle.run_plans_with(workload, seed, cand, node_loss).failed()
-                        });
+                        let minimized = if f == Family::ProcKill {
+                            chaos::minimize(&schedule.plans, |cand| {
+                                let probe =
+                                    chaos::Schedule { plans: cand.to_vec(), ..schedule.clone() };
+                                oracle.run_proc(&probe).failed()
+                            })
+                        } else {
+                            let node_loss = f == Family::EcRebuild;
+                            chaos::minimize(&schedule.plans, |cand| {
+                                oracle.run_plans_with(workload, seed, cand, node_loss).failed()
+                            })
+                        };
                         let case = chaos::FailureCase { schedule, reason, minimized, flight_dump };
                         eprint!("{}", case.reproducer());
                         rep.failures.push(case);

@@ -2,7 +2,7 @@
 //! permanently fuzz the protocol's fragile windows.
 //!
 //! A *schedule* is a set of [`FailurePlan`]s generated from a seed by one of
-//! six scenario families:
+//! eight scenario families:
 //!
 //! * [`Family::Spread`] — overlapping failures landing in different
 //!   clusters across the execution;
@@ -30,7 +30,12 @@
 //!   redundancy set (up to the parity budget `m`, one possibly
 //!   mid-parity-push): each victim's node-local checkpoint copies are
 //!   wiped with it, so restore must decode the lost blobs back from the
-//!   set's survivors plus parity, bitwise.
+//!   set's survivors plus parity, bitwise;
+//! * [`Family::ProcKill`] — real process deaths: the run executes as one
+//!   `spbc-node` OS process per cluster ([`crate::proc`]), plans abort the
+//!   whole hosting process and the schedule may `kill -9` another node
+//!   outright — recovery restores from shared disk into a fresh address
+//!   space.
 //!
 //! Every schedule runs under SPBC and is verified **bitwise** against a
 //! native (fault-free) execution of the same workload. A failing schedule is
@@ -82,7 +87,7 @@ impl Rng {
     }
 }
 
-/// The seven scenario families a campaign cycles through.
+/// The eight scenario families a campaign cycles through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Family {
     /// Overlapping failures in different clusters.
@@ -104,11 +109,17 @@ pub enum Family {
     /// restore must erasure-decode the lost blobs from set survivors +
     /// parity.
     EcRebuild,
+    /// Real process deaths: the run executes as one `spbc-node` OS process
+    /// per cluster ([`crate::proc`]), plans abort the entire hosting
+    /// process, and the schedule may additionally `kill -9` a node from
+    /// outside. Recovery crosses a genuine process boundary — restore comes
+    /// off shared disk into a fresh address space.
+    ProcKill,
 }
 
 impl Family {
     /// Every family, in campaign order.
-    pub const ALL: [Family; 7] = [
+    pub const ALL: [Family; 8] = [
         Family::Spread,
         Family::SameClusterRepeat,
         Family::DuringRecovery,
@@ -116,6 +127,7 @@ impl Family {
         Family::DeltaChain,
         Family::CasGc,
         Family::EcRebuild,
+        Family::ProcKill,
     ];
 }
 
@@ -129,6 +141,7 @@ impl fmt::Display for Family {
             Family::DeltaChain => "delta-chain",
             Family::CasGc => "cas-gc",
             Family::EcRebuild => "ec-rebuild",
+            Family::ProcKill => "proc-kill",
         };
         f.write_str(s)
     }
@@ -215,6 +228,9 @@ pub struct Schedule {
     pub workload: Workload,
     /// The failure plans.
     pub plans: Vec<FailurePlan>,
+    /// External `(node, delay ms)` SIGKILLs — only the proc-kill family
+    /// schedules these; every other family leaves it empty.
+    pub kills: Vec<(u32, u64)>,
 }
 
 /// Generate the schedule for `(seed, family, workload)` under `cfg`.
@@ -228,10 +244,12 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
         Family::DeltaChain => 5,
         Family::CasGc => 6,
         Family::EcRebuild => 7,
+        Family::ProcKill => 8,
     };
     let mut rng = Rng::new(seed.wrapping_mul(0x0100_0000_01b3) ^ salt ^ (workload as u64) << 32);
     let span = cfg.iters.saturating_sub(4).max(1);
     let nth = |rng: &mut Rng| 2 + rng.below(span);
+    let mut kills: Vec<(u32, u64)> = Vec::new();
     let plans = match family {
         Family::Spread => {
             // 2-4 kills in distinct clusters; iterations may overlap, so
@@ -373,8 +391,28 @@ pub fn generate(seed: u64, family: Family, workload: Workload, cfg: &ChaosConfig
             }
             plans
         }
+        Family::ProcKill => {
+            // Real process deaths: each plan aborts the whole hosting
+            // spbc-node process, so at most one plan per cluster. Half the
+            // schedules add an external SIGKILL of yet another node, landing
+            // at an arbitrary wall-clock point — wherever it hits, recovery
+            // must still end bitwise-identical.
+            let n = 1 + rng.below(2) as usize;
+            let mut clusters: Vec<usize> = (0..cfg.clusters).collect();
+            let plans: Vec<FailurePlan> = (0..n.min(cfg.clusters))
+                .map(|_| {
+                    let c = clusters.remove(rng.below(clusters.len() as u64) as usize);
+                    FailurePlan::nth(cfg.rank_in(c, &mut rng), nth(&mut rng))
+                })
+                .collect();
+            if !clusters.is_empty() && rng.below(2) == 1 {
+                let c = clusters[rng.below(clusters.len() as u64) as usize];
+                kills.push((c as u32, 100 + rng.below(300)));
+            }
+            plans
+        }
     };
-    Schedule { seed, family, workload, plans }
+    Schedule { seed, family, workload, plans, kills }
 }
 
 /// Why a schedule failed verification.
@@ -437,14 +475,83 @@ impl Oracle {
     }
 
     /// Run `schedule` under SPBC and verify bitwise against the native
-    /// baseline of the same workload and seed.
+    /// baseline of the same workload and seed. Proc-kill schedules run as
+    /// real processes ([`Self::run_proc`]); everything else in-process.
     pub fn run(&mut self, schedule: &Schedule) -> Verdict {
+        if schedule.family == Family::ProcKill {
+            return self.run_proc(schedule);
+        }
         self.run_plans_with(
             schedule.workload,
             schedule.seed,
             &schedule.plans,
             schedule.family == Family::EcRebuild,
         )
+    }
+
+    /// Run `schedule` in multi-process mode ([`crate::proc`]): one
+    /// `spbc-node` OS process per cluster, plans aborting the entire hosting
+    /// process and external SIGKILLs landing from outside, verified bitwise
+    /// against the same in-process native baseline.
+    pub fn run_proc(&mut self, schedule: &Schedule) -> Verdict {
+        let native = match self.baseline(schedule.workload, schedule.seed) {
+            Ok(n) => n,
+            Err(e) => {
+                return Verdict::Fail { reason: format!("native baseline: {e}"), flight_dump: None }
+            }
+        };
+        self.runs += 1;
+        let pc = crate::proc::ProcConfig {
+            world: self.cfg.world,
+            clusters: self.cfg.clusters,
+            workload: schedule.workload,
+            iters: self.cfg.iters,
+            elems: self.cfg.elems,
+            seed: schedule.seed,
+            ckpt_interval: self.cfg.ckpt_interval,
+            node_timeout: self.cfg.timeout,
+            deadline: self.cfg.timeout.saturating_mul(2),
+            plans: schedule
+                .plans
+                .iter()
+                .filter_map(|p| match p.trigger {
+                    // spbc-node only understands plain failure points; other
+                    // trigger kinds never appear in proc-kill schedules.
+                    FailureTrigger::NthFailurePoint { nth } => Some((p.rank.0, nth)),
+                    _ => None,
+                })
+                .collect(),
+            kills: schedule
+                .kills
+                .iter()
+                .map(|&(node, ms)| (node, Duration::from_millis(ms)))
+                .collect(),
+        };
+        match crate::proc::run_multiproc(&pc) {
+            Err(e) => Verdict::Fail { reason: format!("proc coordinator: {e}"), flight_dump: None },
+            Ok(r) if !r.errors.is_empty() => {
+                let (rank, msg) = &r.errors[0];
+                Verdict::Fail { reason: format!("rank {rank} error: {msg}"), flight_dump: None }
+            }
+            Ok(r) if r.outputs != native => {
+                let diverged: Vec<usize> = native
+                    .iter()
+                    .zip(&r.outputs)
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(i, _)| i)
+                    .collect();
+                Verdict::Fail {
+                    reason: format!(
+                        "outputs diverge from native at ranks {diverged:?} \
+                         ({} node respawns)",
+                        r.respawns
+                    ),
+                    flight_dump: None,
+                }
+            }
+            Ok(_) => Verdict::Pass,
+        }
     }
 
     /// [`Self::run`] with an explicit plan set (the minimizer's probe).
@@ -678,10 +785,17 @@ pub fn run_campaign(seeds: u64, cfg: ChaosConfig) -> CampaignReport {
                             "chaos: FAIL seed={seed} family={family} workload={workload:?} — \
                              {reason}; minimizing"
                         );
-                        let node_loss = family == Family::EcRebuild;
-                        let minimized = minimize(&schedule.plans, |cand| {
-                            oracle.run_plans_with(workload, seed, cand, node_loss).failed()
-                        });
+                        let minimized = if family == Family::ProcKill {
+                            minimize(&schedule.plans, |cand| {
+                                let probe = Schedule { plans: cand.to_vec(), ..schedule.clone() };
+                                oracle.run_proc(&probe).failed()
+                            })
+                        } else {
+                            let node_loss = family == Family::EcRebuild;
+                            minimize(&schedule.plans, |cand| {
+                                oracle.run_plans_with(workload, seed, cand, node_loss).failed()
+                            })
+                        };
                         let case = FailureCase { schedule, reason, minimized, flight_dump };
                         eprint!("{}", case.reproducer());
                         report.failures.push(case);
@@ -711,6 +825,7 @@ pub mod pinned {
                 FailurePlan::at_phase(RankId(2), CkptHook::CommitBarrier, 1),
                 FailurePlan::at_phase(RankId(5), CkptHook::Write, 2),
             ],
+            kills: Vec::new(),
         }
     }
 
@@ -727,6 +842,7 @@ pub mod pinned {
                 FailurePlan::at_replay_progress(RankId(4), 0.3),
                 FailurePlan::after_recovery(RankId(6), 0, 1),
             ],
+            kills: Vec::new(),
         }
     }
 
@@ -743,6 +859,7 @@ pub mod pinned {
                 FailurePlan::nth(RankId(1), 14),
                 FailurePlan::at_phase(RankId(6), CkptHook::Replicate, 3),
             ],
+            kills: Vec::new(),
         }
     }
 
@@ -761,6 +878,7 @@ pub mod pinned {
                 FailurePlan::at_phase(RankId(2), CkptHook::Write, 2),
                 FailurePlan::nth(RankId(5), 14),
             ],
+            kills: Vec::new(),
         }
     }
 
@@ -779,6 +897,22 @@ pub mod pinned {
                 FailurePlan::nth(RankId(2), 10),
                 FailurePlan::at_phase(RankId(3), CkptHook::Replicate, 2),
             ],
+            kills: Vec::new(),
+        }
+    }
+
+    /// Process-kill window: two `spbc-node` processes (clusters 0 and 2)
+    /// abort at planned failure points, and a third (node 3) is `kill -9`ed
+    /// from outside mid-run. Each death takes a whole address space with it;
+    /// the coordinator respawns the node one epoch up and recovery restores
+    /// from shared disk — bitwise against the in-process native baseline.
+    pub fn proc_kill() -> Schedule {
+        Schedule {
+            seed: u64::MAX,
+            family: Family::ProcKill,
+            workload: Workload::MiniGhost,
+            plans: vec![FailurePlan::nth(RankId(1), 6), FailurePlan::nth(RankId(5), 9)],
+            kills: vec![(3, 200)],
         }
     }
 }

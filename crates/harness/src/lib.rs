@@ -34,6 +34,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod memory;
 pub mod obs;
+pub mod proc;
 pub mod profile;
 pub mod report;
 pub mod table1;
@@ -95,6 +96,14 @@ impl Scale {
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.world.div_ceil(self.ranks_per_node)
+    }
+
+    /// The default run shape at this scale — one cluster per node — with the
+    /// environment's overrides applied (`SPBC_CLUSTERS`, `SPBC_TRANSPORT`;
+    /// see [`spbc_core::env::topology`]). Experiments that sweep cluster
+    /// counts replace `clusters` per configuration.
+    pub fn topology(&self) -> mini_mpi::config::Topology {
+        spbc_core::env::topology(mini_mpi::config::Topology::new(self.world, self.nodes()))
     }
 
     /// The cluster counts of a Table-1-style sweep: powers of two below the

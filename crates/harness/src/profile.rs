@@ -27,11 +27,15 @@ pub struct Profile {
     pub ipm: IpmProfile,
 }
 
-/// The runtime configuration experiments use. `SPBC_TRACE` enables the
-/// flight recorder on every run built from it.
+/// The runtime configuration experiments use: shaped by the scale's
+/// [`Scale::topology`] (so `SPBC_TRANSPORT` swings every experiment onto the chosen
+/// fabric), with `SPBC_TRACE` enabling the flight recorder on every run
+/// built from it.
 pub fn runtime_cfg(scale: &Scale) -> RuntimeConfig {
+    let topo = scale.topology();
     crate::obs::apply_env(
-        RuntimeConfig::new(scale.world)
+        RuntimeConfig::new(topo.ranks)
+            .with_transport(topo.transport)
             .with_ranks_per_node(scale.ranks_per_node)
             .with_deadlock_timeout(scale.timeout),
     )

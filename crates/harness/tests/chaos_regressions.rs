@@ -54,6 +54,7 @@ fn pinned_replay_resume_after_replayer_death() {
             FailurePlan::nth(RankId(6), 3),
             FailurePlan::at_replay_progress(RankId(2), 0.5),
         ],
+        kills: Vec::new(),
     };
     assert_passes(&mut oracle, &schedule);
 }
@@ -144,12 +145,24 @@ fn ec_losses_beyond_budget_fail_loudly() {
     assert!(msg.contains("erasure budget exceeded"), "{msg}");
 }
 
+/// The process-kill window stays fixed: two nodes abort at planned failure
+/// points and a third is SIGKILLed from outside; every death is a real OS
+/// process, and recovery off shared disk must end bitwise-identical to the
+/// in-process native baseline.
+#[test]
+fn pinned_proc_kill() {
+    std::env::set_var("SPBC_NODE_BIN", env!("CARGO_BIN_EXE_spbc-node"));
+    let mut oracle = Oracle::new(ChaosConfig::short());
+    assert_passes(&mut oracle, &chaos::pinned::proc_kill());
+}
+
 /// A fixed-seed campaign slice: every family, both workloads, seeds 0-1.
 /// Bitwise identical to native on every schedule.
 #[test]
 fn fixed_seed_campaign_slice() {
+    std::env::set_var("SPBC_NODE_BIN", env!("CARGO_BIN_EXE_spbc-node"));
     let report = chaos::run_campaign(2, ChaosConfig::short());
-    assert_eq!(report.total, 28);
+    assert_eq!(report.total, 32);
     assert!(
         report.failures.is_empty(),
         "campaign failures:\n{}",

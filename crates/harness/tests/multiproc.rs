@@ -1,0 +1,69 @@
+//! End-to-end multi-process runs: real `spbc-node` processes behind the
+//! coordinator, verified bitwise against the in-process native baseline.
+//!
+//! This is the acceptance test of the transport seam — a node that is
+//! `kill -9`ed (or aborts on an injected plan) must come back as a fresh
+//! process, restore from shared-disk checkpoints, and finish with outputs
+//! identical to a run where nothing ever died.
+
+use mini_mpi::config::RuntimeConfig;
+use mini_mpi::ft::NativeProvider;
+use mini_mpi::Runtime;
+use spbc_apps::{AppParams, Workload};
+use spbc_harness::proc::{run_multiproc, ProcConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn with_node_bin() {
+    std::env::set_var("SPBC_NODE_BIN", env!("CARGO_BIN_EXE_spbc-node"));
+}
+
+/// The in-process, failure-free ground truth for `cfg`'s workload.
+fn native_outputs(cfg: &ProcConfig) -> Vec<Vec<u8>> {
+    let params =
+        AppParams { iters: cfg.iters, elems: cfg.elems, compute: 1, seed: cfg.seed, sleep_us: 0 };
+    let app = cfg.workload.build(params);
+    let rt = RuntimeConfig::new(cfg.world).with_deadlock_timeout(Duration::from_secs(60));
+    Runtime::builder(rt)
+        .provider(Arc::new(NativeProvider))
+        .app(app)
+        .launch()
+        .unwrap()
+        .ok()
+        .unwrap()
+        .outputs
+}
+
+#[test]
+fn clean_multiproc_run_matches_native() {
+    with_node_bin();
+    let cfg = ProcConfig::new(Workload::MiniGhost, 11);
+    let report = run_multiproc(&cfg).unwrap().ok().unwrap();
+    assert_eq!(report.respawns, 0, "no deaths scheduled");
+    assert_eq!(report.outputs, native_outputs(&cfg), "clean run must match native bitwise");
+}
+
+#[test]
+fn planned_abort_respawns_and_matches_native() {
+    with_node_bin();
+    let mut cfg = ProcConfig::new(Workload::MiniGhost, 23);
+    // Rank 1's 6th failure point — past the first checkpoint at iteration 4,
+    // so the respawned node restores real state. The plan aborts the whole
+    // hosting process (node 0).
+    cfg.plans = vec![(1, 6)];
+    let report = run_multiproc(&cfg).unwrap().ok().unwrap();
+    assert!(report.respawns >= 1, "the planned abort must kill a real process");
+    assert_eq!(report.outputs, native_outputs(&cfg), "recovery must be bitwise-identical");
+}
+
+#[test]
+fn external_sigkill_respawns_and_matches_native() {
+    with_node_bin();
+    let mut cfg = ProcConfig::new(Workload::Amg, 37);
+    // SIGKILL node 2 shortly after launch — mid-protocol, wherever it
+    // happens to be. Nothing inside the node cooperates with this death.
+    cfg.kills = vec![(2, Duration::from_millis(250))];
+    let report = run_multiproc(&cfg).unwrap().ok().unwrap();
+    assert!(report.respawns >= 1, "the SIGKILL must land before the run finishes");
+    assert_eq!(report.outputs, native_outputs(&cfg), "recovery must be bitwise-identical");
+}

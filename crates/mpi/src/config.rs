@@ -1,6 +1,86 @@
 //! Runtime configuration.
 
+use std::str::FromStr;
 use std::time::Duration;
+
+/// Which fabric carries packets between ranks.
+///
+/// The default is read once per config from `$SPBC_TRANSPORT` (registered in
+/// `spbc_core::env::VARS`), so an entire test suite can be swung onto the
+/// wire path without touching code; [`Topology::with_transport`] overrides it
+/// programmatically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Crossbeam channels, every rank a thread in this process (default).
+    InProc,
+    /// Length-prefixed frames over Unix-domain sockets (loopback hub).
+    Uds,
+}
+
+impl TransportKind {
+    /// The environment's choice: `$SPBC_TRANSPORT`, defaulting to in-process.
+    pub fn from_env() -> Self {
+        std::env::var("SPBC_TRANSPORT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(TransportKind::InProc)
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "" | "inproc" => Ok(TransportKind::InProc),
+            "uds" => Ok(TransportKind::Uds),
+            other => Err(format!("unknown transport {other:?} (expected inproc or uds)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Uds => "uds",
+        })
+    }
+}
+
+/// The shape of a run in one value: how many ranks, how they cluster into
+/// failure-containment units, and which fabric connects them. This is the
+/// single doorway for topology choices — harness code builds one `Topology`
+/// (env vars act as overrides only, via `spbc_core::env::topology`) and hands
+/// it to [`crate::runtime::RunBuilder::topology`] plus its cluster map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Application ranks.
+    pub ranks: usize,
+    /// Failure-containment clusters (`ranks` should divide evenly).
+    pub clusters: usize,
+    /// The fabric between ranks.
+    pub transport: TransportKind,
+}
+
+impl Topology {
+    /// A topology of `ranks` ranks in `clusters` clusters, transport from
+    /// the environment (`$SPBC_TRANSPORT`, default in-process).
+    pub fn new(ranks: usize, clusters: usize) -> Self {
+        Topology { ranks, clusters, transport: TransportKind::from_env() }
+    }
+
+    /// Builder-style: pin the transport, ignoring the environment.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Ranks per cluster (rounding up on uneven splits).
+    pub fn ranks_per_cluster(&self) -> usize {
+        self.ranks.div_ceil(self.clusters.max(1))
+    }
+}
 
 /// Scheduling-perturbation settings used by the determinism checkers: the
 /// sender sleeps a pseudo-random amount before some transmissions, shaking up
@@ -53,6 +133,10 @@ pub struct RuntimeConfig {
     /// into the determinism chains. Workloads that never run a determinism
     /// check can turn this off to take payload hashing out of the send path.
     pub payload_digests: bool,
+    /// The fabric carrying packets between ranks. Defaults from
+    /// `$SPBC_TRANSPORT` so existing suites can run over the wire path
+    /// unchanged; see [`TransportKind`].
+    pub transport: TransportKind,
 }
 
 impl RuntimeConfig {
@@ -68,6 +152,7 @@ impl RuntimeConfig {
             perturb: None,
             flight_recorder: None,
             payload_digests: true,
+            transport: TransportKind::from_env(),
         }
     }
 
@@ -111,6 +196,12 @@ impl RuntimeConfig {
     /// Builder-style: set the deadlock timeout.
     pub fn with_deadlock_timeout(mut self, d: Duration) -> Self {
         self.deadlock_timeout = d;
+        self
+    }
+
+    /// Builder-style: pin the transport kind.
+    pub fn with_transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
         self
     }
 

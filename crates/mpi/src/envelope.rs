@@ -119,7 +119,7 @@ impl Decode for Message {
 /// Matching therefore happens in envelope-arrival order (the MPI FIFO
 /// guarantee), while *completion* order can differ — the distinction footnote
 /// 1 of the paper relies on.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Transfer {
     /// Envelope + payload.
     Eager(Message),
@@ -152,6 +152,56 @@ pub enum Transfer {
     },
 }
 
+impl Encode for Transfer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Transfer::Eager(msg) => {
+                0u8.encode(out);
+                msg.encode(out);
+            }
+            Transfer::Rts { env, token } => {
+                1u8.encode(out);
+                env.encode(out);
+                token.encode(out);
+            }
+            Transfer::Cts { token, recv_req, dst } => {
+                2u8.encode(out);
+                token.encode(out);
+                recv_req.encode(out);
+                dst.encode(out);
+            }
+            Transfer::Data { env, recv_req, payload } => {
+                3u8.encode(out);
+                env.encode(out);
+                recv_req.encode(out);
+                payload.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Transfer {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::decode(r)? {
+            0 => Transfer::Eager(Message::decode(r)?),
+            1 => Transfer::Rts { env: Decode::decode(r)?, token: Decode::decode(r)? },
+            2 => Transfer::Cts {
+                token: Decode::decode(r)?,
+                recv_req: Decode::decode(r)?,
+                dst: Decode::decode(r)?,
+            },
+            3 => Transfer::Data {
+                env: Decode::decode(r)?,
+                recv_req: Decode::decode(r)?,
+                payload: Decode::decode(r)?,
+            },
+            k => {
+                return Err(crate::error::MpiError::Codec(format!("bad Transfer discriminant {k}")))
+            }
+        })
+    }
+}
+
 /// Sentinel `recv_req` value in a [`Transfer::Cts`]: the receiver discarded
 /// the announced message (duplicate suppressed by the protocol); the sender
 /// must complete its transfer without shipping the payload.
@@ -159,7 +209,7 @@ pub const DISCARD_REQ: u64 = u64::MAX;
 
 /// A fault-tolerance-layer control message. The runtime does not interpret
 /// the body; each protocol defines its own `kind` space and wire format.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CtrlMsg {
     /// Sending rank (world or service id).
     pub from: RankId,
@@ -169,13 +219,52 @@ pub struct CtrlMsg {
     pub data: Bytes,
 }
 
+impl Encode for CtrlMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.kind.encode(out);
+        self.data.encode(out);
+    }
+}
+
+impl Decode for CtrlMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(CtrlMsg { from: Decode::decode(r)?, kind: Decode::decode(r)?, data: Decode::decode(r)? })
+    }
+}
+
 /// Everything that can land in a rank's mailbox.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Packet {
     /// Application data traffic.
     Msg(Transfer),
     /// Fault-tolerance control traffic.
     Ctrl(CtrlMsg),
+}
+
+impl Encode for Packet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Packet::Msg(t) => {
+                0u8.encode(out);
+                t.encode(out);
+            }
+            Packet::Ctrl(c) => {
+                1u8.encode(out);
+                c.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Packet {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::decode(r)? {
+            0 => Packet::Msg(Transfer::decode(r)?),
+            1 => Packet::Ctrl(CtrlMsg::decode(r)?),
+            k => return Err(crate::error::MpiError::Codec(format!("bad Packet discriminant {k}"))),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -17,10 +17,10 @@ use crate::recorder::{Disposition, Event, Recorder};
 use crate::request::{RecvSpec, ReqState, RequestId, RequestTable, Status};
 use crate::router::Router;
 use crate::stats::RankStats;
+use crate::transport::{Mailbox, RecvTimeoutErr};
 use crate::types::{CommId, MatchIdent, RankId, Tag};
 use crate::util::XorShift64;
 use bytes::Bytes;
-use crossbeam_channel::{Receiver, RecvTimeoutError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -82,7 +82,7 @@ pub struct RankInner {
     pub cfg: Arc<RuntimeConfig>,
     /// Restart epoch (0 = first execution).
     pub epoch: u32,
-    pub(crate) mailbox: Receiver<Packet>,
+    pub(crate) mailbox: Box<dyn Mailbox>,
     pub(crate) router: Arc<Router>,
     /// Last sequence number sent per outgoing channel `(dst, comm)`.
     pub(crate) send_seq: HashMap<(RankId, CommId), u64>,
@@ -115,7 +115,7 @@ impl RankInner {
         me: RankId,
         cfg: Arc<RuntimeConfig>,
         epoch: u32,
-        mailbox: Receiver<Packet>,
+        mailbox: Box<dyn Mailbox>,
         router: Arc<Router>,
         kill: Arc<AtomicBool>,
         global_done: Arc<AtomicBool>,
@@ -374,11 +374,11 @@ pub(crate) fn poll_all(inner: &mut RankInner, ft: &mut dyn FtLayer) -> Result<us
     let mut n = 0;
     loop {
         match inner.mailbox.try_recv() {
-            Ok(pkt) => {
+            Some(pkt) => {
                 handle_packet(inner, ft, pkt)?;
                 n += 1;
             }
-            Err(_) => return Ok(n),
+            None => return Ok(n),
         }
     }
 }
@@ -412,7 +412,7 @@ pub(crate) fn block_until(
                     break Err(e);
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {
+            Err(RecvTimeoutErr::Timeout) => {
                 let waited = start.elapsed();
                 if inner.recorder.is_enabled() && waited >= next_status {
                     next_status = waited + Duration::from_secs(1);
@@ -431,7 +431,7 @@ pub(crate) fn block_until(
                     )));
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => {
+            Err(RecvTimeoutErr::Disconnected) => {
                 // Our mailbox was replaced: we are being restarted.
                 break Err(MpiError::Killed);
             }
@@ -640,13 +640,14 @@ pub(crate) fn complete_match(
 mod tests {
     use super::*;
     use crate::ft::NoFt;
+    use crate::transport::dead_mailbox;
     use crate::types::COMM_WORLD;
     use crossbeam_channel::unbounded;
 
-    fn make_inner(me: u32, world: usize) -> (RankInner, Vec<Receiver<Packet>>) {
+    fn make_inner(me: u32, world: usize) -> (RankInner, Vec<Box<dyn Mailbox>>) {
         let cfg = Arc::new(RuntimeConfig::new(world));
         let (router, mut rxs) = Router::new(world);
-        let mailbox = std::mem::replace(&mut rxs[me as usize], unbounded().1);
+        let mailbox = std::mem::replace(&mut rxs[me as usize], dead_mailbox());
         let (evt_tx, _evt_rx) = unbounded();
         let failure = Arc::new(FailureShared::new(world, evt_tx));
         let inner = RankInner::new(

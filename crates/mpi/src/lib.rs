@@ -56,17 +56,18 @@ pub mod recorder;
 pub mod request;
 pub mod router;
 pub mod stats;
+pub mod transport;
 pub mod types;
 pub mod util;
 pub mod wire;
 
 mod runtime;
 
-pub use runtime::{AppFn, RunBuilder, RunReport, Runtime};
+pub use runtime::{AppFn, NodeOpts, RunBuilder, RunReport, Runtime};
 
 /// The common imports workloads need.
 pub mod prelude {
-    pub use crate::config::{Perturb, RuntimeConfig};
+    pub use crate::config::{Perturb, RuntimeConfig, Topology, TransportKind};
     pub use crate::datatype::{ReduceOp, Scalar};
     pub use crate::error::{MpiError, Result};
     pub use crate::failure::{CkptHook, FailurePlan, FailureTrigger};

@@ -406,7 +406,7 @@ impl Rank {
                     self.inner.check_killed()?;
                     match self.inner.mailbox.recv_timeout(self.inner.cfg.poll_interval) {
                         Ok(pkt) => handle_packet(&mut self.inner, self.ft.as_mut(), pkt)?,
-                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                        Err(crate::transport::RecvTimeoutErr::Timeout) => {
                             let waited = start.elapsed();
                             if self.inner.recorder.is_enabled() && waited >= next_status {
                                 next_status = waited + Duration::from_secs(1);
@@ -432,7 +432,7 @@ impl Rank {
                                 )));
                             }
                         }
-                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                        Err(crate::transport::RecvTimeoutErr::Disconnected) => {
                             return Err(MpiError::Killed)
                         }
                     }

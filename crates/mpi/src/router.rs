@@ -1,66 +1,66 @@
-//! The transport fabric: one mailbox per rank, swappable on restart.
+//! The routing table: a thin façade over the run's [`Transport`].
 //!
-//! Each rank owns the receiving end of an unbounded channel; every peer holds
-//! the `Router` and pushes packets through the sender slot. Crossbeam channels
-//! preserve per-producer order, which gives exactly MPI's per-channel FIFO
-//! guarantee.
+//! Each rank owns a [`Mailbox`]; every peer holds the `Router` and pushes
+//! packets through the transport's per-rank slot. The fabric guarantees
+//! MPI's per-channel FIFO ordering and drops packets addressed to dead
+//! slots — see the [`crate::transport`] contract.
 //!
 //! When a rank is restarted during recovery its old mailbox (and anything
 //! still inside — conceptually "in flight at the moment of the crash") is
-//! dropped and the slot is repointed at a fresh channel. Packets sent to a
+//! dropped and the slot is repointed at a fresh mailbox. Packets sent to a
 //! dead slot are silently discarded, like packets on a wire to a crashed
 //! node; the protocol layer is responsible for regenerating them (that is
 //! what the sender-side log is for).
 
 use crate::envelope::Packet;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
-
+use crate::transport::{InProcTransport, Mailbox, Transport};
 use crate::types::RankId;
+use std::sync::Arc;
 
-/// Shared routing table.
+/// Shared routing table over a pluggable transport.
 pub struct Router {
-    slots: Vec<RwLock<Sender<Packet>>>,
+    transport: Arc<dyn Transport>,
 }
 
 impl Router {
-    /// Create a router with `n` mailboxes, returning the receiving ends.
-    pub fn new(n: usize) -> (Router, Vec<Receiver<Packet>>) {
-        let mut slots = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            slots.push(RwLock::new(tx));
-            rxs.push(rx);
-        }
-        (Router { slots }, rxs)
+    /// Create an in-process router with `n` mailboxes, returning the
+    /// receiving ends (convenience for the default fabric).
+    pub fn new(n: usize) -> (Router, Vec<Box<dyn Mailbox>>) {
+        let transport = Arc::new(InProcTransport::new(n));
+        let mailboxes = (0..n).map(|i| transport.open(RankId(i as u32))).collect();
+        (Router { transport }, mailboxes)
+    }
+
+    /// A router over an existing transport.
+    pub fn over(transport: Arc<dyn Transport>) -> Router {
+        Router { transport }
+    }
+
+    /// The transport behind this router.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Number of mailboxes.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.transport.ranks()
     }
 
     /// True when the router has no slots.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.transport.ranks() == 0
     }
 
     /// Deliver a packet to `dst`'s mailbox. Packets to dead ranks are
     /// discarded (returns `false`).
     pub fn send(&self, dst: RankId, pkt: Packet) -> bool {
-        let Some(slot) = self.slots.get(dst.idx()) else {
-            return false;
-        };
-        slot.read().send(pkt).is_ok()
+        self.transport.send(dst, pkt)
     }
 
-    /// Replace `rank`'s mailbox with a fresh channel (restart), returning the
+    /// Replace `rank`'s mailbox with a fresh one (restart), returning the
     /// new receiving end. Anything queued in the old mailbox is dropped.
-    pub fn replace(&self, rank: RankId) -> Receiver<Packet> {
-        let (tx, rx) = unbounded();
-        *self.slots[rank.idx()].write() = tx;
-        rx
+    pub fn replace(&self, rank: RankId) -> Box<dyn Mailbox> {
+        self.transport.replace(rank)
     }
 }
 
@@ -96,8 +96,8 @@ mod tests {
         router.send(RankId(0), ctrl(1));
         let fresh = router.replace(RankId(0));
         // Old receiver still has the old packet; new one starts clean.
-        assert!(rxs[0].try_recv().is_ok());
-        assert!(fresh.try_recv().is_err());
+        assert!(rxs[0].try_recv().is_some());
+        assert!(fresh.try_recv().is_none());
         router.send(RankId(0), ctrl(2));
         match fresh.try_recv().unwrap() {
             Packet::Ctrl(c) => assert_eq!(c.kind, 2),

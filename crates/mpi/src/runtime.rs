@@ -11,7 +11,7 @@
 //!   an incremented epoch — the fault-tolerance layer's `on_start` then
 //!   restores the checkpoint and runs the rollback handshake.
 
-use crate::config::RuntimeConfig;
+use crate::config::{RuntimeConfig, Topology, TransportKind};
 use crate::error::{MpiError, Result};
 use crate::failure::{FailurePlan, FailureShared, RuntimeEvent};
 use crate::ft::{FtCtx, FtProvider, NativeProvider};
@@ -20,8 +20,10 @@ use crate::rank::Rank;
 use crate::recorder::{Event, FlightLog, FlightRecorder};
 use crate::router::Router;
 use crate::stats::RankStats;
+use crate::transport::uds::UdsTransport;
+use crate::transport::{InProcTransport, Mailbox, RecvTimeoutErr, Transport};
 use crate::types::RankId;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError};
+use crossbeam_channel::{unbounded, RecvTimeoutError};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -129,6 +131,15 @@ impl RunBuilder {
         self
     }
 
+    /// Apply a [`Topology`]: rank count and transport choice in one entry.
+    /// (The cluster layout goes to the protocol provider's `ClusterMap`;
+    /// the runtime itself only needs the world size and the fabric.)
+    pub fn topology(mut self, t: &Topology) -> Self {
+        self.cfg.world_size = t.ranks;
+        self.cfg.transport = t.transport;
+        self
+    }
+
     /// The closure run by the configured service ranks.
     pub fn service(mut self, service: Arc<AppFn>) -> Self {
         self.service = Some(service);
@@ -180,22 +191,6 @@ impl Runtime {
         Runtime::builder(RuntimeConfig::new(world)).app_fn(app).launch()
     }
 
-    /// Execute `app` on every rank under `provider`'s protocol, with the given
-    /// failure plans. `service` (if any) runs on the configured service ranks.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Runtime::builder(cfg).provider(..).app(..).plans(..).launch()"
-    )]
-    pub fn run(
-        &self,
-        provider: Arc<dyn FtProvider>,
-        app: Arc<AppFn>,
-        plans: Vec<FailurePlan>,
-        service: Option<Arc<AppFn>>,
-    ) -> Result<RunReport> {
-        self.run_inner(provider, app, plans, service)
-    }
-
     fn run_inner(
         &self,
         provider: Arc<dyn FtProvider>,
@@ -213,8 +208,13 @@ impl Runtime {
         }
 
         let start = Instant::now();
-        let (router, mut mailboxes) = Router::new(total);
-        let router = Arc::new(router);
+        let transport: Arc<dyn Transport> = match self.cfg.transport {
+            TransportKind::InProc => Arc::new(InProcTransport::new(total)),
+            TransportKind::Uds => Arc::new(UdsTransport::loopback(total)?),
+        };
+        let mut mailboxes: Vec<Box<dyn Mailbox>> =
+            (0..total).map(|i| transport.open(RankId(i as u32))).collect();
+        let router = Arc::new(Router::over(transport));
         let (evt_tx, evt_rx) = unbounded();
         let failure = Arc::new(FailureShared::new(total, evt_tx));
         for p in plans {
@@ -380,13 +380,135 @@ impl Runtime {
     }
 }
 
+/// Identity of one `spbc-node` process in a multi-process run: which slice
+/// of the world it hosts and where its coordinator listens.
+#[derive(Clone, Debug)]
+pub struct NodeOpts {
+    /// The coordinator's Unix socket.
+    pub socket: std::path::PathBuf,
+    /// Node index (cluster index under one-cluster-per-node).
+    pub node: u32,
+    /// Restart epoch of this incarnation (0 = first launch). Every hosted
+    /// rank starts at this epoch, so a respawned node restores from its
+    /// checkpoints exactly like an in-process cluster restart.
+    pub epoch: u32,
+    /// First world rank hosted here.
+    pub first_rank: u32,
+    /// Number of (contiguous) ranks hosted here.
+    pub hosted: usize,
+}
+
+impl Runtime {
+    /// Run one node of a multi-process world: spawn this node's ranks as
+    /// threads over a [`UdsTransport`] endpoint, report their lifecycle to
+    /// the coordinator, and stay up — lingering ranks keep serving log
+    /// replays — until the coordinator broadcasts shutdown.
+    ///
+    /// Failure semantics are the whole point: when an injected failure plan
+    /// fires, the **process aborts** (`SIGABRT`, no destructors — the moral
+    /// equivalent of the `kill -9` the chaos engine also delivers
+    /// externally). The node is the cluster is the containment unit; the
+    /// coordinator respawns it with `epoch + 1` and the protocol restores
+    /// from checkpoints that survived on disk.
+    pub fn run_node(
+        cfg: RuntimeConfig,
+        opts: &NodeOpts,
+        provider: Arc<dyn FtProvider>,
+        app: Arc<AppFn>,
+        plans: Vec<FailurePlan>,
+    ) -> Result<()> {
+        if cfg.service_ranks > 0 {
+            return Err(MpiError::invalid("multi-process runs host application ranks only"));
+        }
+        let world = cfg.world_size;
+        if opts.hosted == 0 || opts.first_rank as usize + opts.hosted > world {
+            return Err(MpiError::invalid(format!(
+                "node hosts ranks {}..{} of a {world}-rank world",
+                opts.first_rank,
+                opts.first_rank as usize + opts.hosted
+            )));
+        }
+        let cfg = Arc::new(cfg);
+        let uds = Arc::new(UdsTransport::node(
+            &opts.socket,
+            opts.node,
+            opts.epoch,
+            opts.first_rank,
+            opts.hosted,
+            world,
+        )?);
+        let transport: Arc<dyn Transport> = Arc::clone(&uds) as Arc<dyn Transport>;
+        let hosted: Vec<RankId> =
+            (0..opts.hosted).map(|i| RankId(opts.first_rank + i as u32)).collect();
+        let mut mailboxes: Vec<Box<dyn Mailbox>> =
+            hosted.iter().map(|&r| transport.open(r)).collect();
+        let router = Arc::new(Router::over(transport));
+        let (evt_tx, evt_rx) = unbounded();
+        let failure = Arc::new(FailureShared::new(world, evt_tx));
+        for p in plans {
+            failure.schedule(p);
+        }
+        let global_done = Arc::new(AtomicBool::new(false));
+        let flight = Arc::new(match cfg.flight_recorder {
+            Some(cap) => FlightRecorder::new(world, cap),
+            None => FlightRecorder::disabled(),
+        });
+        let spawner = Spawner {
+            cfg: Arc::clone(&cfg),
+            router,
+            global_done: Arc::clone(&global_done),
+            failure,
+            provider,
+            app,
+            service: None,
+            flight,
+        };
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(opts.hosted);
+        for (&r, mb) in hosted.iter().zip(mailboxes.drain(..)) {
+            handles.push(spawner.spawn(r, opts.epoch, mb));
+        }
+
+        let poll = Duration::from_millis(25);
+        let outcome = loop {
+            if uds.shutdown_requested() {
+                break Ok(());
+            }
+            match evt_rx.recv_timeout(poll) {
+                Ok(RuntimeEvent::Done { rank, output }) => {
+                    if uds
+                        .send_event(crate::transport::frame::NodeEvent::Done { rank, output })
+                        .is_err()
+                    {
+                        // Coordinator gone mid-run: nothing left to serve.
+                        break Ok(());
+                    }
+                }
+                Ok(RuntimeEvent::Error { rank, message }) => {
+                    // Report and keep pumping: the coordinator decides
+                    // whether the run is over.
+                    let _ =
+                        uds.send_event(crate::transport::frame::NodeEvent::Error { rank, message });
+                }
+                Ok(RuntimeEvent::Failure { .. }) => {
+                    // An injected failure: die like a node. No destructors,
+                    // no flushes — the coordinator sees the process vanish.
+                    std::process::abort();
+                }
+                Ok(RuntimeEvent::Killed { .. }) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break Ok(()),
+            }
+        };
+        global_done.store(true, Ordering::SeqCst);
+        for h in handles {
+            let _ = h.join();
+        }
+        outcome
+    }
+}
+
 impl Spawner {
-    fn spawn(
-        &self,
-        me: RankId,
-        epoch: u32,
-        mailbox: Receiver<crate::envelope::Packet>,
-    ) -> JoinHandle<()> {
+    fn spawn(&self, me: RankId, epoch: u32, mailbox: Box<dyn Mailbox>) -> JoinHandle<()> {
         let cfg = Arc::clone(&self.cfg);
         let router = Arc::clone(&self.router);
         let global_done = Arc::clone(&self.global_done);
@@ -477,8 +599,8 @@ fn linger(rank: &mut Rank) {
                     return;
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutErr::Timeout) => {}
+            Err(RecvTimeoutErr::Disconnected) => return,
         }
     }
 }

@@ -1,0 +1,238 @@
+//! The socket frame protocol of [`super::uds::UdsTransport`].
+//!
+//! Every frame is a `u32` little-endian body length followed by the
+//! `wire`-encoded [`Frame`]. The length is capped ([`MAX_FRAME`]) so a
+//! corrupt or hostile stream fails loudly instead of allocating the moon;
+//! truncated bodies are rejected by the codec's bounds-checked reader.
+//!
+//! The same frames serve both fabric shapes:
+//!
+//! * **loopback** — one process, one hub thread: `Deliver` carries every
+//!   packet, `Repoint` is the restart barrier (processed in stream order,
+//!   so traffic sent before it lands in the old incarnation's mailbox);
+//! * **multi-process** — `spbc-node` processes dial the coordinator:
+//!   `Hello` registers a node's ranks after (re)connect, `Deliver` is
+//!   routed between nodes, `Event` carries rank completions up to the
+//!   coordinator, and `Shutdown` releases lingering nodes when the run
+//!   completes.
+
+use crate::envelope::Packet;
+use crate::error::{MpiError, Result};
+use crate::types::RankId;
+use crate::wire::{to_bytes, Decode, Encode, Reader};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame body, in bytes. Generous for checkpoint-blob
+/// control messages, small enough that a corrupt length prefix cannot OOM
+/// the reader.
+pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// A rank-lifecycle event a node reports to its coordinator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeEvent {
+    /// A rank's application closure returned; `output` is its result bytes.
+    Done {
+        /// The finished rank.
+        rank: RankId,
+        /// The application output.
+        output: Vec<u8>,
+    },
+    /// A rank failed with an error (deadlock suspicion, app error, ...).
+    Error {
+        /// The failing rank.
+        rank: RankId,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// One unit on a transport socket.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A (re)connecting node announces which endpoint it is and its restart
+    /// epoch; the hub repoints the node's ranks at this connection.
+    Hello {
+        /// Node index (cluster index in the one-cluster-per-node layout).
+        node: u32,
+        /// Restart epoch of this incarnation (0 = first launch).
+        epoch: u32,
+    },
+    /// Deliver `pkt` to `dst`'s mailbox, wherever it lives.
+    Deliver {
+        /// Destination world rank.
+        dst: RankId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// Loopback restart barrier: repoint `rank`'s slot at a fresh mailbox.
+    /// Frames written before this one drain to the old incarnation.
+    Repoint {
+        /// The restarting rank.
+        rank: RankId,
+    },
+    /// A rank-lifecycle event for the coordinator.
+    Event(NodeEvent),
+    /// The run is complete: lingering ranks may exit.
+    Shutdown,
+}
+
+impl Encode for NodeEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeEvent::Done { rank, output } => {
+                0u8.encode(out);
+                rank.encode(out);
+                output.encode(out);
+            }
+            NodeEvent::Error { rank, message } => {
+                1u8.encode(out);
+                rank.encode(out);
+                message.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for NodeEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::decode(r)? {
+            0 => NodeEvent::Done { rank: Decode::decode(r)?, output: Decode::decode(r)? },
+            1 => NodeEvent::Error { rank: Decode::decode(r)?, message: Decode::decode(r)? },
+            k => return Err(MpiError::Codec(format!("bad NodeEvent discriminant {k}"))),
+        })
+    }
+}
+
+impl Encode for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { node, epoch } => {
+                0u8.encode(out);
+                node.encode(out);
+                epoch.encode(out);
+            }
+            Frame::Deliver { dst, pkt } => {
+                1u8.encode(out);
+                dst.encode(out);
+                pkt.encode(out);
+            }
+            Frame::Repoint { rank } => {
+                2u8.encode(out);
+                rank.encode(out);
+            }
+            Frame::Event(ev) => {
+                3u8.encode(out);
+                ev.encode(out);
+            }
+            Frame::Shutdown => 4u8.encode(out),
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match u8::decode(r)? {
+            0 => Frame::Hello { node: Decode::decode(r)?, epoch: Decode::decode(r)? },
+            1 => Frame::Deliver { dst: Decode::decode(r)?, pkt: Decode::decode(r)? },
+            2 => Frame::Repoint { rank: Decode::decode(r)? },
+            3 => Frame::Event(NodeEvent::decode(r)?),
+            4 => Frame::Shutdown,
+            k => return Err(MpiError::Codec(format!("bad Frame discriminant {k}"))),
+        })
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let body = to_bytes(frame);
+    debug_assert!(body.len() <= MAX_FRAME, "frame body exceeds MAX_FRAME");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF (the peer closed
+/// between frames); anything else — truncation mid-frame, an oversized
+/// length, a malformed body — is a loud error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Frame>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            // EOF before any byte of the prefix is a clean close; EOF inside
+            // the prefix is a truncated frame.
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated frame length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::other(format!("frame length {len} exceeds cap {MAX_FRAME}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    crate::wire::from_bytes(&body).map(Some).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::CtrlMsg;
+    use bytes::Bytes;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { node: 3, epoch: 2 },
+            Frame::Deliver {
+                dst: RankId(5),
+                pkt: Packet::Ctrl(CtrlMsg {
+                    from: RankId(1),
+                    kind: 9,
+                    data: Bytes::from(vec![1u8, 2, 3]),
+                }),
+            },
+            Frame::Repoint { rank: RankId(4) },
+            Frame::Event(NodeEvent::Done { rank: RankId(0), output: vec![7, 7] }),
+            Frame::Event(NodeEvent::Error { rank: RankId(2), message: "boom".into() }),
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut buf = Vec::new();
+        for f in frames() {
+            write_frame(&mut buf, &f).unwrap();
+        }
+        let mut cur = std::io::Cursor::new(buf);
+        for want in frames() {
+            assert_eq!(read_frame(&mut cur).unwrap().unwrap(), want);
+        }
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncation_is_loud() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frames()[1]).unwrap();
+        for cut in [3, 5, buf.len() - 1] {
+            let mut cur = std::io::Cursor::new(&buf[..cut]);
+            assert!(read_frame(&mut cur).is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! The Unix-domain-socket transport: packets as length-prefixed frames.
+//!
+//! Two shapes, one frame protocol ([`super::frame`]):
+//!
+//! * [`UdsTransport::loopback`] — every rank still a thread of this process,
+//!   but **all** traffic serialized onto a socketpair and delivered by a hub
+//!   thread. This is the wire path with none of the process management: the
+//!   whole existing suite runs over it via `SPBC_TRANSPORT=uds`, proving the
+//!   codec and framing under real workloads.
+//! * [`UdsTransport::node`] — this process hosts a contiguous slice of the
+//!   world (`spbc-node`); sends between hosted ranks short-circuit through
+//!   crossbeam (the route per channel is fixed, so per-channel FIFO holds),
+//!   everything else travels framed through the coordinator, which routes
+//!   between nodes.
+//!
+//! Restart semantics mirror [`super::InProcTransport`]: a slot carries a
+//! generation counter, a dropped mailbox marks its own generation dead
+//! (sends then report the discard), and `replace` installs a fresh channel
+//! under a bumped generation. In loopback mode the `Repoint` frame doubles
+//! as the restart barrier — the hub processes it in stream order, so every
+//! packet sent before the restart drains into the old, doomed mailbox.
+
+use super::frame::{read_frame, write_frame, Frame, NodeEvent};
+use super::{Mailbox, RecvTimeoutErr, Transport};
+use crate::envelope::Packet;
+use crate::error::{MpiError, Result};
+use crate::types::RankId;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn io_err(what: &str, e: std::io::Error) -> MpiError {
+    MpiError::App(format!("uds transport: {what}: {e}"))
+}
+
+/// One rank's local delivery slot.
+struct SlotState {
+    tx: Sender<Packet>,
+    /// Bumped on every `replace`; lets a stale mailbox's `Drop` recognise it
+    /// no longer owns the slot.
+    gen: u64,
+    /// Set when the current incarnation's mailbox was dropped (the rank
+    /// died): sends report the discard until `replace` revives the slot.
+    dead: bool,
+}
+
+/// The delivery table for the ranks this endpoint hosts — all of them in
+/// loopback mode, a contiguous `[base, base+len)` slice in node mode.
+struct Slots {
+    base: u32,
+    states: Vec<RwLock<SlotState>>,
+    /// Initial receivers, handed out once by `open`.
+    pending: Vec<Mutex<Option<Receiver<Packet>>>>,
+}
+
+impl Slots {
+    fn new(base: u32, count: usize) -> Self {
+        let mut states = Vec::with_capacity(count);
+        let mut pending = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (tx, rx) = unbounded();
+            states.push(RwLock::new(SlotState { tx, gen: 0, dead: false }));
+            pending.push(Mutex::new(Some(rx)));
+        }
+        Slots { base, states, pending }
+    }
+
+    fn index(&self, rank: RankId) -> Option<usize> {
+        let i = rank.0.checked_sub(self.base)? as usize;
+        (i < self.states.len()).then_some(i)
+    }
+
+    /// Deliver into the slot; `false` when the rank is unknown here or dead.
+    fn deliver(&self, rank: RankId, pkt: Packet) -> bool {
+        let Some(i) = self.index(rank) else { return false };
+        let st = self.states[i].read();
+        !st.dead && st.tx.send(pkt).is_ok()
+    }
+
+    fn alive(&self, rank: RankId) -> bool {
+        self.index(rank).is_some_and(|i| !self.states[i].read().dead)
+    }
+
+    /// Install a fresh channel under a bumped generation (restart).
+    fn repoint(&self, rank: RankId) -> (Receiver<Packet>, u64) {
+        let i = self.index(rank).expect("repoint of a rank this endpoint does not host");
+        let (tx, rx) = unbounded();
+        let mut st = self.states[i].write();
+        st.tx = tx;
+        st.gen += 1;
+        st.dead = false;
+        (rx, st.gen)
+    }
+
+    /// A mailbox of generation `gen` was dropped: mark the slot dead if that
+    /// incarnation still owns it.
+    fn mark_dead(&self, rank: RankId, gen: u64) {
+        if let Some(i) = self.index(rank) {
+            let mut st = self.states[i].write();
+            if st.gen == gen {
+                st.dead = true;
+            }
+        }
+    }
+
+    fn close(&self, rank: RankId) {
+        if let Some(i) = self.index(rank) {
+            let mut st = self.states[i].write();
+            st.dead = true;
+        }
+    }
+
+    fn take_pending(&self, rank: RankId) -> Receiver<Packet> {
+        let i = self.index(rank).expect("open of a rank this endpoint does not host");
+        self.pending[i].lock().take().expect("endpoint already opened")
+    }
+
+    fn gen_of(&self, rank: RankId) -> u64 {
+        self.states[self.index(rank).unwrap()].read().gen
+    }
+}
+
+/// A [`Mailbox`] whose `Drop` marks the slot dead, so senders observe the
+/// rank's death even though delivery happens on another thread (or in
+/// another process's hub).
+struct UdsMailbox {
+    rx: Receiver<Packet>,
+    slots: Arc<Slots>,
+    rank: RankId,
+    gen: u64,
+}
+
+impl Mailbox for UdsMailbox {
+    fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> std::result::Result<Packet, RecvTimeoutErr> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvTimeoutErr::Timeout,
+            RecvTimeoutError::Disconnected => RecvTimeoutErr::Disconnected,
+        })
+    }
+}
+
+impl Drop for UdsMailbox {
+    fn drop(&mut self) {
+        self.slots.mark_dead(self.rank, self.gen);
+    }
+}
+
+enum Mode {
+    /// Single process; a hub thread drains the socketpair into the slots.
+    Loopback {
+        /// `replace` waits here for the hub to install the fresh channel.
+        reply_rx: Mutex<Receiver<(Receiver<Packet>, u64)>>,
+        hub: Mutex<Option<JoinHandle<()>>>,
+    },
+    /// One `spbc-node` process hosting a slice of the world.
+    Node {
+        /// Set by `Shutdown` from the coordinator — or by losing it.
+        shutdown: Arc<AtomicBool>,
+        reader: Mutex<Option<JoinHandle<()>>>,
+    },
+}
+
+/// Packets over Unix-domain sockets; see the module docs.
+pub struct UdsTransport {
+    slots: Arc<Slots>,
+    writer: Mutex<UnixStream>,
+    world: usize,
+    mode: Mode,
+}
+
+impl UdsTransport {
+    /// A single-process wire fabric for `n` ranks: every packet rides the
+    /// socketpair through the hub thread.
+    pub fn loopback(n: usize) -> Result<Self> {
+        let (client, server) = UnixStream::pair().map_err(|e| io_err("socketpair", e))?;
+        let slots = Arc::new(Slots::new(0, n));
+        let (reply_tx, reply_rx) = unbounded();
+        let hub_slots = Arc::clone(&slots);
+        let hub = std::thread::Builder::new()
+            .name("uds-hub".into())
+            .spawn(move || {
+                let mut r = BufReader::new(server);
+                loop {
+                    match read_frame(&mut r) {
+                        Ok(Some(Frame::Deliver { dst, pkt })) => {
+                            hub_slots.deliver(dst, pkt);
+                        }
+                        Ok(Some(Frame::Repoint { rank })) => {
+                            let _ = reply_tx.send(hub_slots.repoint(rank));
+                        }
+                        Ok(Some(Frame::Shutdown)) | Ok(None) | Err(_) => break,
+                        Ok(Some(_)) => {}
+                    }
+                }
+            })
+            .map_err(|e| io_err("spawn hub", e))?;
+        Ok(UdsTransport {
+            slots,
+            writer: Mutex::new(client),
+            world: n,
+            mode: Mode::Loopback { reply_rx: Mutex::new(reply_rx), hub: Mutex::new(Some(hub)) },
+        })
+    }
+
+    /// The endpoint of one `spbc-node` process: connect to the coordinator
+    /// at `socket`, announce ourselves as `node` in restart `epoch`, and
+    /// host ranks `first_rank..first_rank + hosted` of a `world`-rank run.
+    pub fn node(
+        socket: &Path,
+        node: u32,
+        epoch: u32,
+        first_rank: u32,
+        hosted: usize,
+        world: usize,
+    ) -> Result<Self> {
+        let stream = UnixStream::connect(socket).map_err(|e| io_err("connect", e))?;
+        let mut writer = stream.try_clone().map_err(|e| io_err("clone stream", e))?;
+        write_frame(&mut writer, &Frame::Hello { node, epoch }).map_err(|e| io_err("hello", e))?;
+        let slots = Arc::new(Slots::new(first_rank, hosted));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let reader_slots = Arc::clone(&slots);
+        let reader_shutdown = Arc::clone(&shutdown);
+        let reader = std::thread::Builder::new()
+            .name(format!("uds-node-{node}"))
+            .spawn(move || {
+                let mut r = BufReader::new(stream);
+                loop {
+                    match read_frame(&mut r) {
+                        Ok(Some(Frame::Deliver { dst, pkt })) => {
+                            reader_slots.deliver(dst, pkt);
+                        }
+                        // Coordinator done — or gone. Either way the run is
+                        // over for us; lingering ranks may exit.
+                        Ok(Some(Frame::Shutdown)) | Ok(None) | Err(_) => {
+                            reader_shutdown.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        Ok(Some(_)) => {}
+                    }
+                }
+            })
+            .map_err(|e| io_err("spawn reader", e))?;
+        Ok(UdsTransport {
+            slots,
+            writer: Mutex::new(writer),
+            world,
+            mode: Mode::Node { shutdown, reader: Mutex::new(Some(reader)) },
+        })
+    }
+
+    /// Report a rank-lifecycle event to the coordinator (node mode only).
+    pub fn send_event(&self, ev: NodeEvent) -> Result<()> {
+        let mut w = self.writer.lock();
+        write_frame(&mut *w, &Frame::Event(ev)).map_err(|e| io_err("event", e))
+    }
+
+    /// True once the coordinator broadcast `Shutdown` (or disappeared);
+    /// lingering ranks should exit. Always `false` in loopback mode, where
+    /// the runtime's own global-done flag governs lingering.
+    pub fn shutdown_requested(&self) -> bool {
+        match &self.mode {
+            Mode::Node { shutdown, .. } => shutdown.load(Ordering::SeqCst),
+            Mode::Loopback { .. } => false,
+        }
+    }
+
+    /// True when this endpoint hosts `rank`'s mailbox locally.
+    pub fn hosts(&self, rank: RankId) -> bool {
+        self.slots.index(rank).is_some()
+    }
+}
+
+impl Transport for UdsTransport {
+    fn ranks(&self) -> usize {
+        self.world
+    }
+
+    fn send(&self, dst: RankId, pkt: Packet) -> bool {
+        if self.slots.index(dst).is_some() {
+            match &self.mode {
+                // Loopback: local knowledge of death, but delivery stays on
+                // the wire so it serializes with the Repoint barrier.
+                Mode::Loopback { .. } => {
+                    if !self.slots.alive(dst) {
+                        return false;
+                    }
+                    let mut w = self.writer.lock();
+                    write_frame(&mut *w, &Frame::Deliver { dst, pkt }).is_ok()
+                }
+                // Node: hosted destination, short-circuit through crossbeam.
+                Mode::Node { .. } => self.slots.deliver(dst, pkt),
+            }
+        } else if dst.idx() < self.world {
+            // Remote rank: frame it to the coordinator. The discard decision
+            // for a dead remote rank happens at the far end, as on a wire.
+            let mut w = self.writer.lock();
+            write_frame(&mut *w, &Frame::Deliver { dst, pkt }).is_ok()
+        } else {
+            false
+        }
+    }
+
+    fn open(&self, rank: RankId) -> Box<dyn Mailbox> {
+        let rx = self.slots.take_pending(rank);
+        let gen = self.slots.gen_of(rank);
+        Box::new(UdsMailbox { rx, slots: Arc::clone(&self.slots), rank, gen })
+    }
+
+    fn replace(&self, rank: RankId) -> Box<dyn Mailbox> {
+        let (rx, gen) = match &self.mode {
+            Mode::Loopback { reply_rx, .. } => {
+                // Hold the writer lock across the round trip: the Repoint is
+                // ordered after every prior Deliver (the restart barrier),
+                // and concurrent replaces cannot cross-match replies.
+                let mut w = self.writer.lock();
+                write_frame(&mut *w, &Frame::Repoint { rank })
+                    .expect("uds hub vanished during replace");
+                reply_rx.lock().recv().expect("uds hub vanished during replace")
+            }
+            Mode::Node { .. } => self.slots.repoint(rank),
+        };
+        Box::new(UdsMailbox { rx, slots: Arc::clone(&self.slots), rank, gen })
+    }
+
+    fn close(&self, rank: RankId) {
+        self.slots.close(rank);
+    }
+}
+
+impl Drop for UdsTransport {
+    fn drop(&mut self) {
+        // Unblock and reap the background thread. Loopback: tell the hub to
+        // stop. Node: sever the socket so a reader blocked on the (possibly
+        // still healthy) coordinator wakes with EOF.
+        match &self.mode {
+            Mode::Loopback { hub, .. } => {
+                let _ = write_frame(&mut *self.writer.lock(), &Frame::Shutdown);
+                if let Some(h) = hub.lock().take() {
+                    let _ = h.join();
+                }
+            }
+            Mode::Node { reader, .. } => {
+                let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+                if let Some(h) = reader.lock().take() {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::CtrlMsg;
+    use bytes::Bytes;
+
+    fn ctrl(kind: u16) -> Packet {
+        Packet::Ctrl(CtrlMsg { from: RankId(0), kind, data: Bytes::new() })
+    }
+
+    fn kind_of(p: Packet) -> u16 {
+        match p {
+            Packet::Ctrl(c) => c.kind,
+            _ => panic!("expected ctrl"),
+        }
+    }
+
+    #[test]
+    fn loopback_delivers_through_hub() {
+        let t = UdsTransport::loopback(2).unwrap();
+        let mb = t.open(RankId(1));
+        assert!(t.send(RankId(1), ctrl(7)));
+        let pkt = mb.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(kind_of(pkt), 7);
+    }
+
+    #[test]
+    fn repoint_is_a_barrier() {
+        let t = UdsTransport::loopback(1).unwrap();
+        let old = t.open(RankId(0));
+        assert!(t.send(RankId(0), ctrl(1)));
+        let fresh = t.replace(RankId(0));
+        assert!(t.send(RankId(0), ctrl(2)));
+        // Pre-replace traffic drained into the old incarnation...
+        assert_eq!(kind_of(old.recv_timeout(Duration::from_secs(5)).unwrap()), 1);
+        // ...which then reads as disconnected (its sender was swapped out).
+        assert_eq!(old.recv_timeout(Duration::from_millis(50)), Err(RecvTimeoutErr::Disconnected));
+        // Post-replace traffic lands in the fresh mailbox only.
+        assert_eq!(kind_of(fresh.recv_timeout(Duration::from_secs(5)).unwrap()), 2);
+    }
+
+    #[test]
+    fn dropped_mailbox_fails_sends_until_replace() {
+        let t = UdsTransport::loopback(1).unwrap();
+        let mb = t.open(RankId(0));
+        drop(mb);
+        assert!(!t.send(RankId(0), ctrl(1)));
+        let fresh = t.replace(RankId(0));
+        assert!(t.send(RankId(0), ctrl(2)));
+        assert_eq!(kind_of(fresh.recv_timeout(Duration::from_secs(5)).unwrap()), 2);
+    }
+
+    #[test]
+    fn stale_mailbox_drop_does_not_kill_new_incarnation() {
+        let t = UdsTransport::loopback(1).unwrap();
+        let old = t.open(RankId(0));
+        let _fresh = t.replace(RankId(0));
+        drop(old); // generation mismatch: must not mark the slot dead
+        assert!(t.send(RankId(0), ctrl(1)));
+    }
+
+    #[test]
+    fn out_of_range_send_discarded() {
+        let t = UdsTransport::loopback(1).unwrap();
+        let _mb = t.open(RankId(0));
+        assert!(!t.send(RankId(9), ctrl(1)));
+    }
+}

@@ -139,6 +139,19 @@ fn decode_len(r: &mut Reader<'_>) -> Result<usize> {
     Ok(len)
 }
 
+impl Encode for bytes::Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self);
+    }
+}
+impl Decode for bytes::Bytes {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let len = decode_len(r)?;
+        Ok(bytes::Bytes::copy_from_slice(r.take(len)?))
+    }
+}
+
 impl<T: Encode> Encode for [T] {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u64).encode(out);

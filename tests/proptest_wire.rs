@@ -1,9 +1,59 @@
 //! Property tests of the wire codec: every encodable value round-trips, and
 //! corrupted inputs never panic.
 
+use bytes::Bytes;
 use proptest::prelude::*;
+use spbc::mpi::envelope::{CtrlMsg, Envelope, Message, Packet, Transfer};
 use spbc::mpi::types::{ChannelId, CommId, MatchIdent, RankId};
 use spbc::mpi::wire::{from_bytes, to_bytes};
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u64>(), 0u32..1_000_000),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|((src, dst, comm, tag), (seqnum, plen, lamport, pat, iter))| Envelope {
+            src: RankId(src),
+            dst: RankId(dst),
+            comm: CommId(comm),
+            tag,
+            seqnum,
+            plen,
+            lamport,
+            ident: MatchIdent::new(pat, iter),
+        })
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..4096)
+}
+
+fn arb_transfer() -> impl Strategy<Value = Transfer> {
+    prop_oneof![
+        (arb_envelope(), arb_payload())
+            .prop_map(|(env, p)| Transfer::Eager(Message { env, payload: Bytes::from(p) })),
+        (arb_envelope(), any::<u64>()).prop_map(|(env, token)| Transfer::Rts { env, token }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(token, recv_req, dst)| {
+            Transfer::Cts { token, recv_req, dst: RankId(dst) }
+        }),
+        (arb_envelope(), any::<u64>(), arb_payload()).prop_map(|(env, recv_req, p)| {
+            Transfer::Data { env, recv_req, payload: Bytes::from(p) }
+        }),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        arb_transfer().prop_map(Packet::Msg),
+        (any::<u32>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..4096)).prop_map(
+            |(from, kind, data)| Packet::Ctrl(CtrlMsg {
+                from: RankId(from),
+                kind,
+                data: Bytes::from(data),
+            })
+        ),
+    ]
+}
 
 proptest! {
     #[test]
@@ -64,6 +114,28 @@ proptest! {
     }
 
     #[test]
+    fn envelope_roundtrip(env in arb_envelope()) {
+        prop_assert_eq!(from_bytes::<Envelope>(&to_bytes(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn packet_roundtrip(pkt in arb_packet()) {
+        // Every packet kind — eager, rendezvous legs, control — survives the
+        // wire bit-for-bit: this is what the UDS transport ships.
+        prop_assert_eq!(from_bytes::<Packet>(&to_bytes(&pkt)).unwrap(), pkt);
+    }
+
+    #[test]
+    fn truncated_packet_is_rejected_loudly(pkt in arb_packet(), cut in 1usize..64) {
+        // Any strict prefix must decode to an error — never a panic, never a
+        // silently shortened value.
+        let b = to_bytes(&pkt);
+        let keep = b.len().saturating_sub(cut);
+        prop_assert!(from_bytes::<Packet>(&b[..keep]).is_err(),
+            "prefix of {} bytes (of {}) decoded successfully", keep, b.len());
+    }
+
+    #[test]
     fn patterns_roundtrip(iters in proptest::collection::vec(0u32..1000, 0..8), active: bool) {
         let mut p = spbc::core::Patterns::new();
         for _ in &iters {
@@ -75,5 +147,51 @@ proptest! {
         let back: spbc::core::Patterns = from_bytes(&bytes).unwrap();
         prop_assert_eq!(back, p);
         let _ = active;
+    }
+}
+
+/// Table-driven truncation: one representative of every packet kind, cut at
+/// every single byte boundary. Exhaustive where the proptest samples.
+#[test]
+fn every_packet_kind_rejects_every_truncation_point() {
+    let env = Envelope {
+        src: RankId(3),
+        dst: RankId(4),
+        comm: CommId(1),
+        tag: 42,
+        seqnum: 7,
+        plen: 5,
+        lamport: 11,
+        ident: MatchIdent::new(2, 9),
+    };
+    let cases: Vec<(&str, Packet)> = vec![
+        (
+            "eager",
+            Packet::Msg(Transfer::Eager(Message {
+                env,
+                payload: Bytes::from(vec![1, 2, 3, 4, 5]),
+            })),
+        ),
+        ("rts", Packet::Msg(Transfer::Rts { env, token: 77 })),
+        ("cts", Packet::Msg(Transfer::Cts { token: 77, recv_req: 5, dst: RankId(4) })),
+        (
+            "data",
+            Packet::Msg(Transfer::Data { env, recv_req: 5, payload: Bytes::from(vec![9, 8, 7]) }),
+        ),
+        (
+            "ctrl",
+            Packet::Ctrl(CtrlMsg { from: RankId(1), kind: 6, data: Bytes::from(vec![0xAB; 16]) }),
+        ),
+    ];
+    for (name, pkt) in cases {
+        let b = to_bytes(&pkt);
+        assert_eq!(from_bytes::<Packet>(&b).unwrap(), pkt, "{name}: full roundtrip");
+        for keep in 0..b.len() {
+            assert!(
+                from_bytes::<Packet>(&b[..keep]).is_err(),
+                "{name}: {keep}-byte prefix (of {}) must be rejected",
+                b.len()
+            );
+        }
     }
 }
