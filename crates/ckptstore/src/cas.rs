@@ -2,25 +2,39 @@
 //! `SPBCCKP4` checkpoints.
 //!
 //! Chunks cut by [`crate::cdc`] are keyed by their SHA-256 digest and stored
-//! once per unique content, no matter how many epochs or ranks reference
-//! them. References are tracked through a *registration ledger*: each
-//! committed manifest registers under a `(holder, owner, epoch)` key the
-//! ordered list of chunk hashes it references, and every occurrence in a
-//! registered manifest holds one reference. A chunk's bytes live exactly as
-//! long as some registered manifest references them.
+//! once per unique content, no matter how many jobs, epochs, or ranks
+//! reference them. References are tracked through a *registration ledger*:
+//! each committed manifest registers under a `(job, holder, owner, epoch)`
+//! key the ordered list of chunk hashes it references, and every occurrence
+//! in a registered manifest holds one reference. A chunk's bytes live
+//! exactly as long as some registered manifest references them.
 //!
-//! Two structural decisions carry the correctness story:
+//! The store is **sharded** for multi-tenant throughput: chunk bodies live
+//! in power-of-two hash-indexed shards behind `RwLock`s (lookups are
+//! shared-read), and the registration ledger is sharded by `(job, holder,
+//! owner)` — every epoch of one rank's history lands on one ledger shard,
+//! so that rank's GC scans exactly one map and concurrent jobs never touch
+//! each other's ledger locks. Each ledger shard keeps a per-rank GC cursor
+//! (the highest `unregister_below` bound seen) so repeated GC sweeps skip
+//! the scan entirely when there is provably nothing left below the bound.
 //!
-//! * **Insert and register are one critical section.** A committing rank
-//!   increfs (or inserts) every chunk of its manifest *and* records the
-//!   registration under a single lock acquisition. There is no window in
-//!   which a concurrent GC (`unregister_below`) can observe the new chunks
-//!   without their registration and free them — the cas-gc chaos family
-//!   holds by construction, not by careful ordering.
-//! * **Re-registration replaces.** Committing the same `(holder, owner,
-//!   epoch)` key again (a restarted rank re-walking its waves) increfs the
-//!   new manifest first and only then decrefs the old one, so shared chunks
-//!   never transit through refcount zero.
+//! Three structural decisions carry the correctness story:
+//!
+//! * **References are taken before anything can observe them missing.** A
+//!   committing rank increfs (or inserts) every chunk of its manifest
+//!   *first*, so from that point each chunk carries references owned by the
+//!   in-flight commit itself; only then is the registration swapped in (one
+//!   ledger-shard critical section). A concurrent GC can decref other
+//!   registrations, but can never take a chunk below the commit's own refs
+//!   — the cas-gc chaos family holds because the refs protect the chunks,
+//!   not because one global lock serializes everything.
+//! * **Re-registration replaces.** Committing the same `(job, holder,
+//!   owner, epoch)` key again (a restarted rank re-walking its waves)
+//!   increfs the new manifest first and only then decrefs the old one, so
+//!   shared chunks never transit through refcount zero.
+//! * **Failed commits roll back.** Validation is interleaved with the
+//!   incref walk; on a mismatch every reference the walk took is released
+//!   (removing chunks it inserted), leaving the store as it was.
 //!
 //! The ledger — not blob parsing — drives GC, because the async writer may
 //! coalesce away a blob that was never durably stored while its chunks are
@@ -32,7 +46,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 // ---------------------------------------------------------------------------
 // SHA-256 (FIPS 180-4)
@@ -180,64 +194,145 @@ pub struct CommitStats {
 struct Entry {
     bytes: Vec<u8>,
     refs: u64,
-    first_owner: u32,
+    /// `(job, rank)` that first stored this content — two tenants' rank 0
+    /// are different ranks for dedup-fate accounting.
+    first_owner: (u32, u32),
 }
 
-type RegKey = (u32, u32, u64); // (holder, owner, epoch)
+type RegKey = (u32, u32, u32, u64); // (job, holder, owner, epoch)
 
+/// One registration-ledger shard: every epoch of a given `(job, holder,
+/// owner)` lands here, so a rank's GC scans exactly one map.
 #[derive(Default)]
-struct Inner {
-    chunks: HashMap<ChunkHash, Entry>,
+struct RegShard {
     regs: HashMap<RegKey, Vec<ChunkHash>>,
+    /// Highest `unregister_below` bound applied per `(job, holder, owner)`:
+    /// nothing with a smaller epoch is still registered, so a GC sweep at
+    /// or below the cursor skips the scan. A commit below the cursor (a
+    /// restarted rank re-walking old waves) lowers it again.
+    cursors: HashMap<(u32, u32, u32), u64>,
 }
 
-impl Inner {
-    fn decref(&mut self, hash: &ChunkHash) -> bool {
-        if let Some(e) = self.chunks.get_mut(hash) {
+/// Default shard count for both the chunk map and the registration ledger.
+pub const DEFAULT_CAS_SHARDS: usize = 8;
+
+/// Service-wide refcounted content-addressed chunk store.
+///
+/// One instance is shared by every rank of every job on a
+/// [`crate::CkptStoreService`] hub (the in-memory hot tier, same durability
+/// class as partner copies), so identical chunks dedup across epochs,
+/// across ranks, *and* across tenant jobs.
+pub struct CasStore {
+    chunk_shards: Vec<RwLock<HashMap<ChunkHash, Entry>>>,
+    reg_shards: Vec<Mutex<RegShard>>,
+    mask: usize,
+}
+
+impl Default for CasStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CasStore {
+    /// New empty store with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_CAS_SHARDS)
+    }
+
+    /// New empty store with `shards` shards (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        CasStore {
+            chunk_shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            reg_shards: (0..n).map(|_| Mutex::new(RegShard::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// How many shards this store was built with (for tests and reporting).
+    pub fn shards(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Chunk shard index: the digest is already uniform, so its leading
+    /// bytes are the index.
+    fn chunk_shard(&self, hash: &ChunkHash) -> &RwLock<HashMap<ChunkHash, Entry>> {
+        let k = u64::from_le_bytes(hash.0[..8].try_into().expect("digest has 8 leading bytes"));
+        &self.chunk_shards[k as usize & self.mask]
+    }
+
+    /// Ledger shard index for `(job, holder, owner)` (multiply-shift hash).
+    fn reg_shard(&self, job: u32, holder: u32, owner: u32) -> &Mutex<RegShard> {
+        let k = ((job as u64) << 40) ^ ((holder as u64) << 20) ^ owner as u64;
+        let idx = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize & self.mask;
+        &self.reg_shards[idx]
+    }
+
+    /// Release one reference to `hash`; returns whether the chunk's last
+    /// reference went away (bytes freed).
+    fn decref(&self, hash: &ChunkHash) -> bool {
+        let mut shard = self.chunk_shard(hash).write().unwrap();
+        if let Some(e) = shard.get_mut(hash) {
             e.refs -= 1;
             if e.refs == 0 {
-                self.chunks.remove(hash);
+                shard.remove(hash);
                 return true;
             }
         }
         false
     }
 
-    fn drop_reg(&mut self, key: &RegKey) -> (bool, usize) {
-        match self.regs.remove(key) {
-            None => (false, 0),
-            Some(hashes) => {
-                let mut freed = 0;
-                for h in &hashes {
-                    if self.decref(h) {
-                        freed += 1;
-                    }
-                }
-                (true, freed)
+    /// Incref/insert one manifest occurrence, validating as it goes.
+    /// Returns the chunk's fate and byte count, or an error message.
+    fn take_ref(
+        &self,
+        index: usize,
+        hash: &ChunkHash,
+        bytes: Option<&[u8]>,
+        owner_key: (u32, u32),
+    ) -> Result<(ChunkFate, u64), String> {
+        if let Some(b) = bytes {
+            if ChunkHash::of(b) != *hash {
+                return Err(format!(
+                    "cas: chunk {index} bytes do not match their claimed hash {hash:?}"
+                ));
             }
         }
+        let mut shard = self.chunk_shard(hash).write().unwrap();
+        if let Some(e) = shard.get_mut(hash) {
+            if let Some(b) = bytes {
+                if b != e.bytes.as_slice() {
+                    return Err(format!(
+                        "cas: chunk {index} content mismatch on hash hit {hash:?} \
+                         (corruption or hash collision)"
+                    ));
+                }
+            }
+            e.refs += 1;
+            let len = e.bytes.len() as u64;
+            let fate = if e.first_owner == owner_key {
+                ChunkFate::HitSameOwner
+            } else {
+                ChunkFate::HitCrossRank
+            };
+            Ok((fate, len))
+        } else {
+            let Some(b) = bytes else {
+                return Err(format!(
+                    "cas: chunk {index} {hash:?} has no bytes and is not in the store"
+                ));
+            };
+            shard.insert(*hash, Entry { bytes: b.to_vec(), refs: 1, first_owner: owner_key });
+            Ok((ChunkFate::New, b.len() as u64))
+        }
     }
-}
 
-/// Service-wide refcounted content-addressed chunk store.
-///
-/// One instance is shared by every rank of a [`crate::CkptStoreService`]
-/// (the in-memory hot tier, same durability class as partner copies), so
-/// identical chunks dedup across epochs *and* across ranks.
-#[derive(Default)]
-pub struct CasStore {
-    inner: Mutex<Inner>,
-}
-
-impl CasStore {
-    /// New empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Atomically insert a manifest's chunks and register the reference
-    /// list under `(holder, owner, epoch)` — one critical section, so a
-    /// concurrent GC can never see the chunks without their registration.
+    /// Insert a manifest's chunks and register the reference list under
+    /// `(job, holder, owner, epoch)`. Every reference is taken *before* the
+    /// registration swap, so the chunks are pinned (refs ≥ 1, owned by this
+    /// in-flight commit) throughout — a concurrent GC can never free them
+    /// in the window between insert and register.
     ///
     /// Each element pairs a chunk hash with its bytes (`Some` when the
     /// caller has them — always, on the local commit path) or `None` (a
@@ -246,75 +341,58 @@ impl CasStore {
     /// existing key replaces it: new references are taken before old ones
     /// are released, so shared chunks never transit refcount zero.
     ///
-    /// Errors (store unmodified): missing bytes for an unknown hash, bytes
-    /// that do not hash to their claimed address, or a byte mismatch
-    /// against stored content (corruption or a hash collision).
+    /// Errors (store rolled back to its prior state): missing bytes for an
+    /// unknown hash, bytes that do not hash to their claimed address, or a
+    /// byte mismatch against stored content (corruption or hash collision).
     pub fn commit_insert(
         &self,
+        job: u32,
         holder: u32,
         owner: u32,
         epoch: u64,
         manifest: &[(ChunkHash, Option<&[u8]>)],
     ) -> Result<CommitStats, String> {
-        let mut inner = self.inner.lock().unwrap();
-        // Validation pass: prove the whole commit can succeed before
-        // mutating anything, so errors leave the store untouched.
-        let mut seen: HashMap<ChunkHash, &[u8]> = HashMap::new();
-        for (i, (hash, bytes)) in manifest.iter().enumerate() {
-            let known = inner
-                .chunks
-                .get(hash)
-                .map(|e| e.bytes.as_slice())
-                .or_else(|| seen.get(hash).copied());
-            match (bytes, known) {
-                (Some(b), _) if ChunkHash::of(b) != *hash => {
-                    return Err(format!(
-                        "cas: chunk {i} bytes do not match their claimed hash {hash:?}"
-                    ));
-                }
-                (Some(b), Some(stored)) if *b != stored => {
-                    return Err(format!("cas: chunk {i} content mismatch on hash hit {hash:?} (corruption or hash collision)"));
-                }
-                (Some(b), _) => {
-                    seen.insert(*hash, b);
-                }
-                (None, Some(_)) => {}
-                (None, None) => {
-                    return Err(format!(
-                        "cas: chunk {i} {hash:?} has no bytes and is not in the store"
-                    ));
-                }
-            }
-        }
-        // Mutation pass: incref/insert every occurrence, then swap the
-        // registration, then release the old manifest's references.
+        let owner_key = (job, owner);
         let mut stats = CommitStats::default();
         let mut hashes = Vec::with_capacity(manifest.len());
-        for (hash, bytes) in manifest {
-            hashes.push(*hash);
-            if let Some(e) = inner.chunks.get_mut(hash) {
-                e.refs += 1;
-                stats.hit_bytes += e.bytes.len() as u64;
-                if e.first_owner == owner {
-                    stats.hits_same_owner += 1;
-                    stats.fates.push(ChunkFate::HitSameOwner);
-                } else {
-                    stats.hits_cross_rank += 1;
-                    stats.fates.push(ChunkFate::HitCrossRank);
+        for (i, (hash, bytes)) in manifest.iter().enumerate() {
+            match self.take_ref(i, hash, *bytes, owner_key) {
+                Ok((fate, len)) => {
+                    match fate {
+                        ChunkFate::New => stats.new_bytes += len,
+                        ChunkFate::HitSameOwner => {
+                            stats.hit_bytes += len;
+                            stats.hits_same_owner += 1;
+                        }
+                        ChunkFate::HitCrossRank => {
+                            stats.hit_bytes += len;
+                            stats.hits_cross_rank += 1;
+                        }
+                    }
+                    stats.fates.push(fate);
+                    hashes.push(*hash);
                 }
-            } else {
-                let b = bytes.expect("validated: unknown hash carries bytes");
-                stats.new_bytes += b.len() as u64;
-                inner
-                    .chunks
-                    .insert(*hash, Entry { bytes: b.to_vec(), refs: 1, first_owner: owner });
-                stats.fates.push(ChunkFate::New);
+                Err(e) => {
+                    // Roll back every reference this walk took (removing
+                    // chunks it inserted), leaving the store untouched.
+                    for h in &hashes {
+                        self.decref(h);
+                    }
+                    return Err(e);
+                }
             }
         }
-        let old = inner.regs.insert((holder, owner, epoch), hashes);
+        let old = {
+            let mut reg = self.reg_shard(job, holder, owner).lock().unwrap();
+            // A commit below the GC cursor re-opens that range for GC.
+            if let Some(cur) = reg.cursors.get_mut(&(job, holder, owner)) {
+                *cur = (*cur).min(epoch);
+            }
+            reg.regs.insert((job, holder, owner, epoch), hashes)
+        };
         if let Some(old_hashes) = old {
             for h in &old_hashes {
-                inner.decref(h);
+                self.decref(h);
             }
         }
         Ok(stats)
@@ -322,58 +400,92 @@ impl CasStore {
 
     /// Drop one registration and release its references. Returns whether
     /// the key existed.
-    pub fn unregister(&self, holder: u32, owner: u32, epoch: u64) -> bool {
-        self.inner.lock().unwrap().drop_reg(&(holder, owner, epoch)).0
+    pub fn unregister(&self, job: u32, holder: u32, owner: u32, epoch: u64) -> bool {
+        let removed = {
+            let mut reg = self.reg_shard(job, holder, owner).lock().unwrap();
+            reg.regs.remove(&(job, holder, owner, epoch))
+        };
+        match removed {
+            None => false,
+            Some(hashes) => {
+                for h in &hashes {
+                    self.decref(h);
+                }
+                true
+            }
+        }
     }
 
-    /// GC: drop every `(holder, owner, *)` registration with epoch below
-    /// `epoch_lt`. Returns `(registrations dropped, chunks freed)` — a
-    /// chunk is freed only when its *last* reference anywhere goes away.
-    pub fn unregister_below(&self, holder: u32, owner: u32, epoch_lt: u64) -> (usize, usize) {
-        let mut inner = self.inner.lock().unwrap();
-        let doomed: Vec<RegKey> = inner
-            .regs
-            .keys()
-            .filter(|(h, o, e)| *h == holder && *o == owner && *e < epoch_lt)
-            .copied()
-            .collect();
+    /// GC: drop every `(job, holder, owner, *)` registration with epoch
+    /// below `epoch_lt`. Returns `(registrations dropped, chunks freed)` —
+    /// a chunk is freed only when its *last* reference anywhere goes away.
+    /// The per-rank cursor makes a repeat sweep at or below a previous
+    /// bound O(1): there is provably nothing left to scan for.
+    pub fn unregister_below(
+        &self,
+        job: u32,
+        holder: u32,
+        owner: u32,
+        epoch_lt: u64,
+    ) -> (usize, usize) {
+        let doomed: Vec<Vec<ChunkHash>> = {
+            let mut reg = self.reg_shard(job, holder, owner).lock().unwrap();
+            let cursor = reg.cursors.get(&(job, holder, owner)).copied().unwrap_or(0);
+            if epoch_lt <= cursor {
+                return (0, 0);
+            }
+            reg.cursors.insert((job, holder, owner), epoch_lt);
+            let keys: Vec<RegKey> = reg
+                .regs
+                .keys()
+                .filter(|(j, h, o, e)| *j == job && *h == holder && *o == owner && *e < epoch_lt)
+                .copied()
+                .collect();
+            keys.iter().map(|k| reg.regs.remove(k).expect("key just listed")).collect()
+        };
         let mut freed = 0;
-        for key in &doomed {
-            freed += inner.drop_reg(key).1;
+        for hashes in &doomed {
+            for h in hashes {
+                if self.decref(h) {
+                    freed += 1;
+                }
+            }
         }
         (doomed.len(), freed)
     }
 
-    /// Bytes of a stored chunk, if present.
+    /// Bytes of a stored chunk, if present (a shared-read lookup).
     pub fn get(&self, hash: &ChunkHash) -> Option<Vec<u8>> {
-        self.inner.lock().unwrap().chunks.get(hash).map(|e| e.bytes.clone())
+        self.chunk_shard(hash).read().unwrap().get(hash).map(|e| e.bytes.clone())
     }
 
     /// Whether the store currently holds content for `hash`.
     pub fn contains(&self, hash: &ChunkHash) -> bool {
-        self.inner.lock().unwrap().chunks.contains_key(hash)
+        self.chunk_shard(hash).read().unwrap().contains_key(hash)
     }
 
     /// Indices into `hashes` whose content the store does not hold — the
     /// set a replication partner would request via `CKPT_CHUNK_REQ`.
     pub fn missing(&self, hashes: &[ChunkHash]) -> Vec<u32> {
-        let inner = self.inner.lock().unwrap();
         hashes
             .iter()
             .enumerate()
-            .filter(|(_, h)| !inner.chunks.contains_key(h))
+            .filter(|(_, h)| !self.contains(h))
             .map(|(i, _)| i as u32)
             .collect()
     }
 
     /// Number of unique chunks currently stored.
     pub fn unique_chunks(&self) -> usize {
-        self.inner.lock().unwrap().chunks.len()
+        self.chunk_shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     /// Total bytes of unique content currently stored.
     pub fn unique_bytes(&self) -> u64 {
-        self.inner.lock().unwrap().chunks.values().map(|e| e.bytes.len() as u64).sum()
+        self.chunk_shards
+            .iter()
+            .map(|s| s.read().unwrap().values().map(|e| e.bytes.len() as u64).sum::<u64>())
+            .sum()
     }
 }
 
@@ -417,10 +529,21 @@ mod tests {
     }
 
     fn commit(cas: &CasStore, holder: u32, owner: u32, epoch: u64, pairs: &[&[u8]]) -> CommitStats {
+        commit_job(cas, 0, holder, owner, epoch, pairs)
+    }
+
+    fn commit_job(
+        cas: &CasStore,
+        job: u32,
+        holder: u32,
+        owner: u32,
+        epoch: u64,
+        pairs: &[&[u8]],
+    ) -> CommitStats {
         let owned = m(pairs);
         let view: Vec<(ChunkHash, Option<&[u8]>)> =
             owned.iter().map(|(h, b)| (*h, b.as_deref())).collect();
-        cas.commit_insert(holder, owner, epoch, &view).unwrap()
+        cas.commit_insert(job, holder, owner, epoch, &view).unwrap()
     }
 
     #[test]
@@ -444,11 +567,11 @@ mod tests {
         let cas = CasStore::new();
         commit(&cas, 0, 0, 1, &[b"shared", b"only-e1"]);
         commit(&cas, 0, 0, 2, &[b"shared", b"only-e2"]);
-        let (dropped, freed) = cas.unregister_below(0, 0, 2);
+        let (dropped, freed) = cas.unregister_below(0, 0, 0, 2);
         assert_eq!((dropped, freed), (1, 1), "e1 dropped; `shared` survives via e2");
         assert!(cas.contains(&ChunkHash::of(b"shared")));
         assert!(!cas.contains(&ChunkHash::of(b"only-e1")));
-        assert!(cas.unregister(0, 0, 2));
+        assert!(cas.unregister(0, 0, 0, 2));
         assert_eq!(cas.unique_chunks(), 0);
     }
 
@@ -462,7 +585,7 @@ mod tests {
         assert!(cas.contains(&ChunkHash::of(b"keep")));
         assert!(!cas.contains(&ChunkHash::of(b"old")), "replaced manifest's refs released");
         assert!(cas.contains(&ChunkHash::of(b"new")));
-        cas.unregister(0, 0, 1);
+        cas.unregister(0, 0, 0, 1);
         assert_eq!(cas.unique_chunks(), 0);
     }
 
@@ -472,7 +595,7 @@ mod tests {
         let s = commit(&cas, 0, 0, 1, &[b"twin", b"twin"]);
         assert_eq!(s.fates, vec![ChunkFate::New, ChunkFate::HitSameOwner]);
         // One unregister of the (single) registration releases both refs.
-        cas.unregister(0, 0, 1);
+        cas.unregister(0, 0, 0, 1);
         assert_eq!(cas.unique_chunks(), 0);
     }
 
@@ -480,11 +603,11 @@ mod tests {
     fn adopting_without_bytes_requires_presence() {
         let cas = CasStore::new();
         let h = ChunkHash::of(b"body");
-        let err = cas.commit_insert(1, 0, 1, &[(h, None)]).unwrap_err();
+        let err = cas.commit_insert(0, 1, 0, 1, &[(h, None)]).unwrap_err();
         assert!(err.contains("not in the store"), "{err}");
         // Inline earlier in the same manifest satisfies a later None.
         let body: &[u8] = b"body";
-        cas.commit_insert(1, 0, 1, &[(h, Some(body)), (h, None)]).unwrap();
+        cas.commit_insert(0, 1, 0, 1, &[(h, Some(body)), (h, None)]).unwrap();
         assert!(cas.contains(&h));
     }
 
@@ -495,6 +618,7 @@ mod tests {
         let wrong: &[u8] = b"evil";
         let err = cas
             .commit_insert(
+                0,
                 0,
                 0,
                 1,
@@ -531,12 +655,12 @@ mod tests {
                         (ChunkHash::of(&shared), Some(shared.as_slice())),
                         (ChunkHash::of(&unique), Some(unique.as_slice())),
                     ];
-                    cas.commit_insert(0, 0, epoch, &manifest).unwrap();
+                    cas.commit_insert(0, 0, 0, epoch, &manifest).unwrap();
                     assert!(
                         cas.get(&ChunkHash::of(&shared)).is_some(),
                         "registered chunk vanished at epoch {epoch}"
                     );
-                    cas.unregister_below(0, 0, epoch);
+                    cas.unregister_below(0, 0, 0, epoch);
                 }
             })
         };
@@ -546,18 +670,60 @@ mod tests {
             std::thread::spawn(move || {
                 for epoch in 1..200u64 {
                     let manifest = [(ChunkHash::of(&shared), Some(shared.as_slice()))];
-                    cas.commit_insert(1, 1, epoch, &manifest).unwrap();
-                    cas.unregister_below(1, 1, epoch);
+                    cas.commit_insert(0, 1, 1, epoch, &manifest).unwrap();
+                    cas.unregister_below(0, 1, 1, epoch);
                     assert!(cas.get(&ChunkHash::of(&shared)).is_some());
                 }
-                cas.unregister_below(1, 1, u64::MAX);
+                cas.unregister_below(0, 1, 1, u64::MAX);
             })
         };
         committer.join().unwrap();
         gcer.join().unwrap();
         // Rank 0's final epoch registration is still live.
         assert!(cas.contains(&ChunkHash::of(&shared)));
-        cas.unregister_below(0, 0, u64::MAX);
+        cas.unregister_below(0, 0, 0, u64::MAX);
         assert_eq!(cas.unique_chunks(), 0, "all refs released leaves an empty store");
+    }
+
+    /// Two tenant jobs share content bodies (dedup is cross-job) but have
+    /// fully isolated registration ledgers: one job's GC never releases the
+    /// other job's references, even for the same (holder, owner, epoch).
+    #[test]
+    fn cross_job_content_shares_but_registrations_isolate() {
+        let cas = CasStore::new();
+        let a = commit_job(&cas, 0, 0, 0, 1, &[b"common"]);
+        assert_eq!(a.fates, vec![ChunkFate::New]);
+        // Job 1's rank 0 is a *different* owner: its hit is cross-rank.
+        let b = commit_job(&cas, 1, 0, 0, 1, &[b"common"]);
+        assert_eq!(b.fates, vec![ChunkFate::HitCrossRank]);
+        assert_eq!(cas.unique_chunks(), 1, "content stored once across jobs");
+        // Job 1 GCs everything; job 0's reference keeps the bytes alive.
+        let (dropped, freed) = cas.unregister_below(1, 0, 0, u64::MAX);
+        assert_eq!((dropped, freed), (1, 0));
+        assert!(cas.contains(&ChunkHash::of(b"common")));
+        // Job 0's GC releases the last reference.
+        let (dropped, freed) = cas.unregister_below(0, 0, 0, u64::MAX);
+        assert_eq!((dropped, freed), (1, 1));
+        assert_eq!(cas.unique_chunks(), 0);
+    }
+
+    /// The per-rank GC cursor short-circuits redundant sweeps, and a commit
+    /// below the cursor (restarted rank) re-opens the range for GC.
+    #[test]
+    fn gc_cursor_skips_redundant_sweeps_until_a_lower_commit() {
+        let cas = CasStore::new();
+        for e in 1..=3u64 {
+            commit(&cas, 0, 0, e, &[e.to_le_bytes().as_slice()]);
+        }
+        assert_eq!(cas.unregister_below(0, 0, 0, 3).0, 2);
+        // Nothing below 3 remains: the cursor makes this sweep free.
+        assert_eq!(cas.unregister_below(0, 0, 0, 3), (0, 0));
+        assert_eq!(cas.unregister_below(0, 0, 0, 2), (0, 0));
+        // A restarted rank re-commits epoch 1; GC below 3 must see it.
+        commit(&cas, 0, 0, 1, &[b"reborn"]);
+        let (dropped, freed) = cas.unregister_below(0, 0, 0, 3);
+        assert_eq!((dropped, freed), (1, 1));
+        // Epoch 3's registration is untouched throughout.
+        assert!(cas.unregister(0, 0, 0, 3));
     }
 }

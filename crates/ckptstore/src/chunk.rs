@@ -32,6 +32,16 @@
 //! `full_every`-th wave, and the encoder only extends a chain over an
 //! uninterrupted `epoch = prev + 1` sequence — any restart, rollback or
 //! reset starts a fresh chain with a full blob.
+//!
+//! Interaction with the bounded write pipeline (`writer.rs`): a manifest
+//! names *epochs*, so every epoch a chain references must actually land on
+//! the backend. The pipeline's small-blob coalescing may replace a queued,
+//! unstarted write with a newer one for the same `(job, owner)` key — safe
+//! for CDC blobs (chunk bodies live in the CAS), fatal for a delta chain
+//! whose base would silently vanish. The protocol therefore keeps the
+//! double-buffer discipline of flushing the previous wave before committing
+//! the next, and `gc_local` drains the rank's pipeline before computing the
+//! retained set so in-flight manifests are visible to it.
 
 use crate::blob::{seal, unseal};
 use crate::cas::ChunkHash;

@@ -46,6 +46,13 @@
 //! * **Tiered storage** — [`tier::TierStack`] chains memory → node-local →
 //!   global backends with per-level retention, draining cold epochs
 //!   downward asynchronously and healing hot reads upward.
+//! * **Multi-tenant sharding + admission control** — [`shard::ShardedStore`]
+//!   is the hub many concurrent jobs share: the CAS and the write pipeline
+//!   are sharded by `(job, rank)` (`SPBC_STORE_SHARDS`), the async writer
+//!   runs bounded per-shard submission queues (`SPBC_WRITE_QUEUE`) that
+//!   coalesce small blobs under one durability barrier (`SPBC_BATCH_BYTES`/
+//!   `SPBC_BATCH_LINGER_US`) and surface backpressure as
+//!   [`writer::Admission::Delayed`] instead of buffering unbounded memory.
 
 #![warn(missing_docs)]
 
@@ -58,10 +65,11 @@ pub mod crc;
 pub mod ec;
 pub mod service;
 pub mod set;
+pub mod shard;
 pub mod tier;
 pub mod writer;
 
-pub use backend::{CheckpointBackend, DirBackend, MemBackend, PutStats};
+pub use backend::{BatchItem, BatchStats, CheckpointBackend, DirBackend, MemBackend, PutStats};
 pub use blob::{seal, unseal, unseal_any, Unsealed, MAGIC_V1, MAGIC_V2};
 pub use cas::{CasStore, ChunkFate, ChunkHash};
 pub use cdc::{chunk_spans, CdcParams};
@@ -69,5 +77,6 @@ pub use chunk::{seal_v4, CasView, DeltaEncoder, DeltaView, EncodeStats, MAGIC_V3
 pub use ec::{EcScheme, ParityView, MAGIC_PAR};
 pub use service::{CkptStoreService, LoadOutcome, LoadStats, ParityShards, StoreConfig};
 pub use set::SetMap;
+pub use shard::ShardedStore;
 pub use tier::{Keep, TierStack};
-pub use writer::AsyncWriter;
+pub use writer::{Admission, AsyncWriter, WriterConfig, WriterStats};

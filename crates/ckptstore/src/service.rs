@@ -39,8 +39,9 @@ use crate::chunk::{
 };
 use crate::ec::{self, EcScheme, ParityView};
 use crate::set::{is_parity_owner, parity_owner, SetMap};
+use crate::shard::ShardedStore;
 use crate::tier::{parse_policy, TierLevel, TierStack};
-use crate::writer::{AsyncWriter, OnDone};
+use crate::writer::{Admission, OnDone, WriterStats};
 use mini_mpi::error::{MpiError, Result};
 use mini_mpi::types::RankId;
 use parking_lot::Mutex;
@@ -84,6 +85,20 @@ pub struct StoreConfig {
     /// Tier policy for storage-rooted services (`SPBC_TIER_POLICY`, e.g.
     /// `mem:2,local:8,global:all`). Level names: `mem`, `local`, `global`.
     pub tier_policy: String,
+    /// Shard count for the hub's CAS and write-pipeline state
+    /// (`SPBC_STORE_SHARDS`, default 8, rounded up to a power of two).
+    /// `1` reproduces the legacy single-lock layout bit-for-bit.
+    pub shards: usize,
+    /// Hard depth of each write-pipeline submission queue
+    /// (`SPBC_WRITE_QUEUE`, default 64). A full queue delays admission
+    /// ([`Admission::Delayed`]) instead of buffering unbounded memory.
+    pub write_queue: usize,
+    /// Target batch size for coalescing small blobs under one durability
+    /// barrier (`SPBC_BATCH_BYTES`, default 1 MiB).
+    pub batch_bytes: usize,
+    /// How long a write batch lingers for stragglers before sealing
+    /// (`SPBC_BATCH_LINGER_US`, default 0 = seal immediately).
+    pub batch_linger_us: u64,
 }
 
 impl Default for StoreConfig {
@@ -99,6 +114,10 @@ impl Default for StoreConfig {
             ec: EcScheme::Off,
             sets: None,
             tier_policy: "mem:0,local:all".to_string(),
+            shards: 8,
+            write_queue: 64,
+            batch_bytes: 1 << 20,
+            batch_linger_us: 0,
         }
     }
 }
@@ -162,24 +181,26 @@ type ParityStage = HashMap<(u64, u32), HashMap<u32, Vec<u8>>>;
 /// bytes, or `None` where the copy is lost.
 type CensusSlots = Vec<Option<Vec<u8>>>;
 
-/// World-wide checkpoint storage service. Cheap to share (`Arc`); outlives
-/// rank threads, so partner copies survive in-process cluster restarts the
-/// way surviving nodes' memory survives a peer's crash.
+/// One tenant job's view of a checkpoint storage [`ShardedStore`] hub.
+/// Cheap to share (`Arc`); outlives rank threads, so partner copies survive
+/// in-process cluster restarts the way surviving nodes' memory survives a
+/// peer's crash. The hub (CAS + write pipeline) is shared across every
+/// tenant attached to it; the rank backends, delta encoders, and parity
+/// staging area here are private to this job.
 pub struct CkptStoreService {
+    /// Shared multi-tenant state: sharded CAS + bounded write pipeline.
+    hub: Arc<ShardedStore>,
+    /// This tenant's job id within the hub (keys all shared state).
+    job: u32,
     ranks: Vec<RankStores>,
     /// Per-rank delta encoder (previous wave's chunk table); surviving the
     /// rank thread is fine because a restore resets it.
     deltas: Vec<Mutex<DeltaEncoder>>,
-    /// Service-wide content-addressed chunk store (CDC mode): shared by
-    /// every rank, so identical chunks dedup across epochs and ranks.
-    /// Same durability class as partner memory — it outlives rank threads.
-    cas: CasStore,
     /// Parity staging area: `(epoch, set_id) -> rank -> sealed blob`. Set
     /// members deposit their sealed blobs here at replicate time; the last
     /// member to arrive computes the set's parity (see
     /// [`stage_for_parity`](Self::stage_for_parity)).
     parity_stage: Mutex<ParityStage>,
-    writer: AsyncWriter,
     cfg: StoreConfig,
 }
 
@@ -189,20 +210,37 @@ impl CkptStoreService {
     }
 
     /// All stores in memory — the default for in-process experiments.
+    /// Builds a private single-tenant hub from `cfg`.
     pub fn in_memory(world: usize, cfg: StoreConfig) -> Self {
+        Self::tenant(&ShardedStore::new(cfg), world)
+    }
+
+    /// Attach a new tenant job (all stores in memory) to an existing hub.
+    /// The tenant inherits the hub's configuration; its job id keys every
+    /// piece of shared state, so tenants never see each other's epochs.
+    pub fn tenant(hub: &Arc<ShardedStore>, world: usize) -> Self {
+        Self::tenant_with(hub, world, |_| Arc::new(MemBackend::new()))
+    }
+
+    /// [`tenant`](Self::tenant) with caller-supplied local backends (rank
+    /// index → backend) — how `spbc-storm` plugs simulated-latency devices
+    /// under concurrent jobs. Partner stores stay in memory.
+    pub fn tenant_with(
+        hub: &Arc<ShardedStore>,
+        world: usize,
+        mut make_local: impl FnMut(usize) -> Arc<dyn CheckpointBackend>,
+    ) -> Self {
+        let cfg = hub.config().clone();
         let ranks = (0..world)
-            .map(|_| RankStores {
-                local: Arc::new(MemBackend::new()),
-                partner: Arc::new(MemBackend::new()),
-            })
+            .map(|r| RankStores { local: make_local(r), partner: Arc::new(MemBackend::new()) })
             .collect();
         let deltas = Self::encoders(world, &cfg);
         CkptStoreService {
+            hub: Arc::clone(hub),
+            job: hub.alloc_job(),
             ranks,
             deltas,
-            cas: CasStore::new(),
             parity_stage: Mutex::new(HashMap::new()),
-            writer: AsyncWriter::new(),
             cfg,
         }
     }
@@ -259,13 +297,16 @@ impl CkptStoreService {
             };
             ranks.push(RankStores { local, partner });
         }
+        let hub = ShardedStore::new(cfg);
+        let cfg = hub.config().clone();
         let deltas = Self::encoders(world, &cfg);
+        let job = hub.alloc_job();
         Ok(CkptStoreService {
+            hub,
+            job,
             ranks,
             deltas,
-            cas: CasStore::new(),
             parity_stage: Mutex::new(HashMap::new()),
-            writer: AsyncWriter::new(),
             cfg,
         })
     }
@@ -278,6 +319,17 @@ impl CkptStoreService {
     /// The active configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.cfg
+    }
+
+    /// This tenant's job id within its hub.
+    pub fn job(&self) -> u32 {
+        self.job
+    }
+
+    /// The hub this tenant is attached to (for spawning sibling tenants
+    /// and reading hub-wide stats).
+    pub fn hub(&self) -> &Arc<ShardedStore> {
+        &self.hub
     }
 
     fn stores(&self, rank: RankId) -> Result<&RankStores> {
@@ -329,8 +381,10 @@ impl CkptStoreService {
             hashed.iter().map(|(h, b)| (*h, Some(*b))).collect();
         // Insert + register atomically: re-commits of the same epoch after
         // a rollback replace the old registration without a refcount dip.
-        let cas_stats =
-            self.cas.commit_insert(rank.0, rank.0, epoch, &manifest).map_err(MpiError::Codec)?;
+        let cas_stats = self
+            .cas()
+            .commit_insert(self.job, rank.0, rank.0, epoch, &manifest)
+            .map_err(MpiError::Codec)?;
         let parts: Vec<V4Chunk<'_>> = hashed
             .iter()
             .zip(&cas_stats.fates)
@@ -356,9 +410,10 @@ impl CkptStoreService {
         Ok((framed, stats))
     }
 
-    /// The service-wide content-addressed store (CDC mode).
+    /// The hub-wide content-addressed store (CDC mode), shared by every
+    /// tenant on this service's hub.
     pub fn cas(&self) -> &CasStore {
-        &self.cas
+        self.hub.cas()
     }
 
     /// Indices of a V4 blob's chunks whose content the service-wide store
@@ -366,7 +421,7 @@ impl CkptStoreService {
     /// push (`CKPT_CHUNK_REQ`).
     pub fn missing_chunks(&self, sealed: &[u8]) -> Result<Vec<u32>> {
         let view = CasView::parse(sealed)?;
-        Ok(self.cas.missing(&view.hashes()))
+        Ok(self.cas().missing(&view.hashes()))
     }
 
     /// Rebuild a sealed V4 blob carrying inline payloads only for the
@@ -385,7 +440,7 @@ impl CkptStoreService {
             let (hash, _) = view.chunk(idx).expect("idx in range");
             let bytes = match view.inline_chunk(idx)? {
                 Some(b) => b.to_vec(),
-                None => self.cas.get(&hash).ok_or_else(|| {
+                None => self.cas().get(&hash).ok_or_else(|| {
                     MpiError::Codec(format!(
                         "requested chunk {idx} ({hash:?}) is neither inline nor stored"
                     ))
@@ -410,24 +465,29 @@ impl CkptStoreService {
     /// to implement double-buffering (wait for the *previous* wave, never
     /// the current one). With `async_writes = false` the write (and
     /// `on_done`) happen inline.
+    ///
+    /// The returned [`Admission`] reports whether the bounded pipeline had
+    /// room immediately or the caller was delayed by backpressure (a full
+    /// submission queue) — real device lag surfaced at the commit barrier
+    /// instead of unbounded buffering. Synchronous writes are always
+    /// `Accepted` (the device wait *is* the call).
     pub fn commit_local(
         &self,
         rank: RankId,
         epoch: u64,
         blob: Vec<u8>,
         on_done: Option<OnDone>,
-    ) -> Result<()> {
+    ) -> Result<Admission> {
         let local = Arc::clone(&self.stores(rank)?.local);
         if self.cfg.async_writes {
-            self.writer.submit(rank, epoch, blob, local, on_done);
-            Ok(())
+            Ok(self.hub.writer().submit(self.job, rank, epoch, blob, local, on_done))
         } else {
             let start = std::time::Instant::now();
             let res = local.put(rank, epoch, &blob);
             if let Some(cb) = on_done {
                 cb(&res, start.elapsed());
             }
-            res.map(|_| ())
+            res.map(|_| Admission::Accepted)
         }
     }
 
@@ -456,7 +516,9 @@ impl CkptStoreService {
                 let (hash, _) = view.chunk(idx).expect("idx in range");
                 manifest.push((hash, view.inline_chunk(idx)?));
             }
-            self.cas.commit_insert(holder.0, owner.0, epoch, &manifest).map_err(MpiError::Codec)?;
+            self.cas()
+                .commit_insert(self.job, holder.0, owner.0, epoch, &manifest)
+                .map_err(MpiError::Codec)?;
         }
         partner.put(owner, epoch, blob)?;
         if is_parity_owner(owner) {
@@ -475,7 +537,7 @@ impl CkptStoreService {
             let referenced = Self::referenced_by(partner.as_ref(), owner, retained);
             for &e in old {
                 if !referenced.contains(&e) && partner.remove(owner, e)? {
-                    self.cas.unregister(holder.0, owner.0, e);
+                    self.cas().unregister(self.job, holder.0, owner.0, e);
                     pruned += 1;
                 }
             }
@@ -678,17 +740,18 @@ impl CkptStoreService {
 
     /// Wait until `rank`'s outstanding local write (if any) is durable.
     pub fn flush_rank(&self, rank: RankId) -> Result<()> {
-        self.writer.flush_owner(rank)
+        self.hub.writer().flush_owner(self.job, rank)
     }
 
-    /// Wait for every outstanding write (shutdown path).
+    /// Wait for every outstanding write of *this job* (shutdown path).
+    /// Sibling tenants' in-flight writes are untouched.
     pub fn flush_all(&self) -> Result<()> {
-        self.writer.flush_all()
+        self.hub.writer().flush_job(self.job)
     }
 
-    /// (completed async writes, coalesced submissions, bytes written) so far.
-    pub fn writer_stats(&self) -> (u64, u64, u64) {
-        self.writer.stats()
+    /// Hub-wide write-pipeline counters (shared across every tenant).
+    pub fn writer_stats(&self) -> WriterStats {
+        self.hub.writer().stats()
     }
 
     /// Fetch the raw verified blob of `(rank, epoch)`, repairing from a
@@ -785,7 +848,7 @@ impl CkptStoreService {
             // V4: inline payloads (hash-verified) plus the shared store.
             // The store is service-wide, so there is no partner scan to
             // fall back to — a chunk absent from both is lost everywhere.
-            CasView::parse(&top)?.materialize(&mut |h| self.cas.get(h)).map_err(|e| {
+            CasView::parse(&top)?.materialize(&mut |h| self.cas().get(h)).map_err(|e| {
                 MpiError::Codec(format!("rank {rank} epoch {epoch}: {e} (lost everywhere)"))
             })?
         } else {
@@ -862,6 +925,11 @@ impl CkptStoreService {
     /// until the last manifest naming them is itself pruned. Returns how
     /// many were removed.
     pub fn gc_local(&self, rank: RankId, keep_from: u64) -> Result<usize> {
+        // A queued or in-flight async write is invisible to `epochs_of`:
+        // sweeping now could drop a base its delta manifest still needs.
+        // Drain the rank's pipeline first so the retained-set computation
+        // sees every landed epoch (any sticky write error surfaces here).
+        self.hub.writer().flush_owner(self.job, rank)?;
         let local = &self.stores(rank)?.local;
         let epochs = local.epochs_of(rank)?;
         let retained: Vec<u64> = epochs.iter().copied().filter(|&e| e >= keep_from).collect();
@@ -877,7 +945,7 @@ impl CkptStoreService {
         // coalesced async write may have registered chunks for an epoch
         // whose blob was never stored. Chunks shared with a retained epoch
         // or another rank's registration survive by refcount.
-        self.cas.unregister_below(rank.0, rank.0, keep_from);
+        self.cas().unregister_below(self.job, rank.0, rank.0, keep_from);
         // EC mode: prune the parity shards this rank encoded (stored in
         // its local under synthetic owners) by the same window — except
         // parity of base epochs any set member's retained delta manifest
@@ -1037,7 +1105,39 @@ mod tests {
         // No flush needed: the write already happened.
         let (body, _) = svc.load(RankId(0), 1).unwrap().unwrap();
         assert_eq!(body, b"now");
-        assert_eq!(svc.writer_stats().0, 0);
+        assert_eq!(svc.writer_stats().completed, 0);
+    }
+
+    #[test]
+    fn tenants_share_the_hub_but_isolate_namespaces() {
+        let hub = ShardedStore::new(StoreConfig::default());
+        let a = CkptStoreService::tenant(&hub, 2);
+        let b = CkptStoreService::tenant(&hub, 2);
+        assert_ne!(a.job(), b.job());
+        // Same (rank, epoch) key in both jobs: namespaces never collide.
+        commit_sync(&a, RankId(0), 1, b"job-a");
+        commit_sync(&b, RankId(0), 1, b"job-b");
+        assert_eq!(a.load(RankId(0), 1).unwrap().unwrap().0, b"job-a");
+        assert_eq!(b.load(RankId(0), 1).unwrap().unwrap().0, b"job-b");
+        // Epoch inventories are per-tenant too.
+        commit_sync(&a, RankId(0), 2, b"job-a-2");
+        assert_eq!(a.available_epochs(RankId(0)).unwrap(), vec![1, 2]);
+        assert_eq!(b.available_epochs(RankId(0)).unwrap(), vec![1]);
+        // But the write pipeline is shared: both jobs' commits counted.
+        assert_eq!(a.writer_stats().completed, 3);
+        assert_eq!(b.writer_stats(), a.writer_stats());
+    }
+
+    #[test]
+    fn single_shard_config_behaves_identically() {
+        let cfg = StoreConfig { shards: 1, write_queue: 2, ..Default::default() };
+        let svc = CkptStoreService::in_memory(2, cfg);
+        for e in 1..=4u64 {
+            commit_sync(&svc, RankId(0), e, format!("w{e}").as_bytes());
+        }
+        assert_eq!(svc.available_epochs(RankId(0)).unwrap(), vec![1, 2, 3, 4]);
+        let (body, _) = svc.load(RankId(0), 4).unwrap().unwrap();
+        assert_eq!(body, b"w4");
     }
 
     #[test]
@@ -1340,8 +1440,8 @@ mod tests {
         let (body, _) = svc.load(RankId(0), 4).unwrap().unwrap();
         assert_eq!(body, last, "GC must never break a retained epoch");
         // Dropping every registration empties the store (no leaks).
-        svc.cas().unregister_below(0, 0, u64::MAX);
-        svc.cas().unregister_below(1, 0, u64::MAX);
+        svc.cas().unregister_below(svc.job(), 0, 0, u64::MAX);
+        svc.cas().unregister_below(svc.job(), 1, 0, u64::MAX);
         assert_eq!(svc.cas().unique_chunks(), 0, "refcount leak");
     }
 

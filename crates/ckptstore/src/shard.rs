@@ -1,0 +1,107 @@
+//! The multi-tenant store hub: the state that is *shared* when many
+//! concurrent jobs checkpoint against one storage service.
+//!
+//! ROADMAP open item 5 reframes `CkptStoreService` as a shared service —
+//! the millions-of-users stand-in. The split is:
+//!
+//! * **[`ShardedStore`] (this module)** owns everything tenants share: the
+//!   sharded content-addressed chunk store (cross-job dedup is a feature —
+//!   SPMD jobs checkpointing near-identical read-only data pay for the
+//!   bytes once), the bounded batching [`AsyncWriter`] pipeline, and the
+//!   job-id allocator. All of it is keyed by `(job, rank)` internally, so
+//!   two jobs' rank 0 never collide and never contend on the same shard
+//!   lock (except by hash luck).
+//! * **[`crate::CkptStoreService`]** owns what is per-job: the rank
+//!   backends (local + partner), delta encoders, and the parity staging
+//!   area. A service is one *tenant view* of the hub.
+//!
+//! `CkptStoreService::in_memory`/`on_disk` build a private single-tenant
+//! hub, so existing callers see no difference; `CkptStoreService::tenant`
+//! attaches additional jobs to an existing hub (what `spbc-storm` does to
+//! drive N concurrent jobs against one service).
+//!
+//! Shard counts come from [`StoreConfig::shards`] (`SPBC_STORE_SHARDS`,
+//! power of two) and size both the CAS shards and the writer's submission
+//! queues; the writer's admission control is configured by
+//! `SPBC_WRITE_QUEUE`/`SPBC_BATCH_BYTES`/`SPBC_BATCH_LINGER_US`.
+
+use crate::cas::CasStore;
+use crate::service::StoreConfig;
+use crate::writer::{AsyncWriter, WriterConfig, WriterStats};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Shared multi-tenant store state: the sharded CAS, the bounded batching
+/// write pipeline, and the job-id allocator. Cheap to share (`Arc`); one
+/// hub outlives every tenant service attached to it.
+pub struct ShardedStore {
+    cas: CasStore,
+    writer: AsyncWriter,
+    cfg: StoreConfig,
+    next_job: AtomicU32,
+}
+
+impl ShardedStore {
+    /// Build a hub from `cfg`: `cfg.shards` sizes both the CAS shards and
+    /// the writer's queue shards; `cfg.write_queue`/`cfg.batch_bytes`/
+    /// `cfg.batch_linger_us` configure the write pipeline's admission
+    /// control and coalescing.
+    pub fn new(cfg: StoreConfig) -> Arc<Self> {
+        let writer = AsyncWriter::with_config(WriterConfig {
+            shards: cfg.shards,
+            queue_depth: cfg.write_queue,
+            batch_bytes: cfg.batch_bytes,
+            linger_us: cfg.batch_linger_us,
+        });
+        Arc::new(ShardedStore {
+            cas: CasStore::with_shards(cfg.shards),
+            writer,
+            cfg,
+            next_job: AtomicU32::new(0),
+        })
+    }
+
+    /// The shared content-addressed chunk store.
+    pub fn cas(&self) -> &CasStore {
+        &self.cas
+    }
+
+    /// The shared bounded write pipeline.
+    pub fn writer(&self) -> &AsyncWriter {
+        &self.writer
+    }
+
+    /// The configuration template tenants inherit.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Allocate the next tenant job id (0, 1, 2, …).
+    pub fn alloc_job(&self) -> u32 {
+        self.next_job.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Hub-wide write-pipeline counters (all tenants combined).
+    pub fn writer_stats(&self) -> WriterStats {
+        self.writer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_are_unique_and_dense() {
+        let hub = ShardedStore::new(StoreConfig::default());
+        assert_eq!(hub.alloc_job(), 0);
+        assert_eq!(hub.alloc_job(), 1);
+        assert_eq!(hub.alloc_job(), 2);
+    }
+
+    #[test]
+    fn hub_shard_counts_follow_config() {
+        let hub = ShardedStore::new(StoreConfig { shards: 5, ..Default::default() });
+        assert_eq!(hub.cas().shards(), 8, "rounded up to a power of two");
+    }
+}

@@ -184,6 +184,7 @@ impl HistSnapshot {
 pub enum Phase {
     Quiesce,
     Encode,
+    Admission,
     Write,
     Fsync,
     EncodeParity,
@@ -197,13 +198,14 @@ pub enum Phase {
 }
 
 /// Number of phases (and histograms in a [`PhaseHists`]).
-pub const PHASES: usize = 12;
+pub const PHASES: usize = 13;
 
 impl Phase {
     /// Every phase, in protocol order.
     pub const ALL: [Phase; PHASES] = [
         Phase::Quiesce,
         Phase::Encode,
+        Phase::Admission,
         Phase::Write,
         Phase::Fsync,
         Phase::EncodeParity,
@@ -221,6 +223,7 @@ impl Phase {
         match self {
             Phase::Quiesce => "quiesce",
             Phase::Encode => "encode",
+            Phase::Admission => "admission",
             Phase::Write => "write",
             Phase::Fsync => "fsync",
             Phase::EncodeParity => "encode_parity",
@@ -398,6 +401,7 @@ mod tests {
             [
                 "quiesce",
                 "encode",
+                "admission",
                 "write",
                 "fsync",
                 "encode_parity",

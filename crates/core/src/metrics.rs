@@ -72,6 +72,16 @@ pub struct Metrics {
     /// Checkpoints reconstructed from redundancy-set parity (erasure
     /// decode), as opposed to `ckpt_repairs` from a full partner copy.
     pub ec_rebuilds: AtomicU64,
+    /// Commit submissions delayed by write-pipeline backpressure (a full
+    /// bounded submission queue); the wait itself lands in the `admission`
+    /// phase histogram.
+    pub store_admission_waits: AtomicU64,
+    /// Durability barriers (fsyncs) issued by the batching write pipeline —
+    /// below the completed-write count when coalescing amortizes barriers.
+    pub store_batched_fsyncs: AtomicU64,
+    /// Blobs currently queued in the write pipeline (a gauge: last observed
+    /// value, like `cas_unique_bytes`).
+    pub store_queue_depth: AtomicU64,
     /// Per-checkpoint-phase latency histograms (lock-free, power-of-two
     /// buckets): where a wave's latency goes, not just how much of it.
     pub phase: PhaseHists,
@@ -108,7 +118,7 @@ impl Metrics {
     /// former, a crash-window gap the latter), so they are reported apart.
     pub fn summary(&self) -> String {
         format!(
-            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B; cas-hits {} epoch / {} rank / {} B; cas-unique {} B; ec-parity {} B / {} rebuilds",
+            "logged {} msgs / {} B; replayed {} msgs / {} B; suppressed {}; dup-dropped {}; ooo-dropped {}; ckpts {}; rollbacks {}; ctrl {}; grants {}; repl {} pushes / {} B / {} acks; repairs {}; async-writes {} ({} us hidden); gc-pruned {}; ckpt-bytes {} logical / {} physical; repl-logical {} B; cas-hits {} epoch / {} rank / {} B; cas-unique {} B; ec-parity {} B / {} rebuilds; admission-waits {}; batched-fsyncs {}; queue-depth {}",
             Self::get(&self.logged_msgs),
             Self::get(&self.logged_bytes),
             Self::get(&self.replayed_msgs),
@@ -136,6 +146,9 @@ impl Metrics {
             Self::get(&self.cas_unique_bytes),
             Self::get(&self.ec_parity_bytes),
             Self::get(&self.ec_rebuilds),
+            Self::get(&self.store_admission_waits),
+            Self::get(&self.store_batched_fsyncs),
+            Self::get(&self.store_queue_depth),
         )
     }
 
@@ -169,6 +182,9 @@ impl Metrics {
             cas_unique_bytes: Self::get(&self.cas_unique_bytes),
             ec_parity_bytes: Self::get(&self.ec_parity_bytes),
             ec_rebuilds: Self::get(&self.ec_rebuilds),
+            store_admission_waits: Self::get(&self.store_admission_waits),
+            store_batched_fsyncs: Self::get(&self.store_batched_fsyncs),
+            store_queue_depth: Self::get(&self.store_queue_depth),
             phases: self.phase.snapshot(),
         }
     }
@@ -232,13 +248,19 @@ pub struct MetricsSnapshot {
     pub ec_parity_bytes: u64,
     /// Checkpoints reconstructed from redundancy-set parity.
     pub ec_rebuilds: u64,
+    /// Commit submissions delayed by write-pipeline backpressure.
+    pub store_admission_waits: u64,
+    /// Durability barriers issued by the batching write pipeline.
+    pub store_batched_fsyncs: u64,
+    /// Blobs currently queued in the write pipeline (gauge).
+    pub store_queue_depth: u64,
     /// Per-checkpoint-phase latency histograms at snapshot time.
     pub phases: PhaseSnapshot,
 }
 
 impl MetricsSnapshot {
     /// The counters as `(name, value)` pairs, in declaration order.
-    pub fn fields(&self) -> [(&'static str, u64); 27] {
+    pub fn fields(&self) -> [(&'static str, u64); 30] {
         [
             ("logged_bytes", self.logged_bytes),
             ("logged_msgs", self.logged_msgs),
@@ -267,6 +289,9 @@ impl MetricsSnapshot {
             ("cas_unique_bytes", self.cas_unique_bytes),
             ("ec_parity_bytes", self.ec_parity_bytes),
             ("ec_rebuilds", self.ec_rebuilds),
+            ("store_admission_waits", self.store_admission_waits),
+            ("store_batched_fsyncs", self.store_batched_fsyncs),
+            ("store_queue_depth", self.store_queue_depth),
         ]
     }
 
@@ -345,6 +370,10 @@ impl MetricsSnapshot {
         d.cas_hit_bytes = d.cas_hit_bytes.saturating_sub(prev.cas_hit_bytes);
         d.ec_parity_bytes = d.ec_parity_bytes.saturating_sub(prev.ec_parity_bytes);
         d.ec_rebuilds = d.ec_rebuilds.saturating_sub(prev.ec_rebuilds);
+        d.store_admission_waits =
+            d.store_admission_waits.saturating_sub(prev.store_admission_waits);
+        d.store_batched_fsyncs = d.store_batched_fsyncs.saturating_sub(prev.store_batched_fsyncs);
+        // store_queue_depth is a gauge like cas_unique_bytes: keep absolute.
         d.phases = d.phases.delta_since(&prev.phases);
         d
     }
@@ -478,6 +507,9 @@ mod tests {
         Metrics::add(&m.cas_unique_bytes, 25);
         Metrics::add(&m.ec_parity_bytes, 26);
         Metrics::add(&m.ec_rebuilds, 27);
+        Metrics::add(&m.store_admission_waits, 28);
+        Metrics::add(&m.store_batched_fsyncs, 29);
+        Metrics::add(&m.store_queue_depth, 30);
         let s = m.snapshot();
         for (i, (_, v)) in s.fields().iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);
@@ -528,5 +560,23 @@ mod tests {
         assert_eq!(d.ctrl_msgs, 7);
         assert_eq!(d.cas_unique_bytes, 512, "gauges stay absolute");
         assert_eq!(d.checkpoints, 0);
+    }
+
+    #[test]
+    fn store_pipeline_counters_delta_but_depth_gauges() {
+        let m = Metrics::new();
+        Metrics::add(&m.store_admission_waits, 4);
+        Metrics::add(&m.store_batched_fsyncs, 9);
+        Metrics::set(&m.store_queue_depth, 17);
+        let prev = m.snapshot();
+        Metrics::add(&m.store_admission_waits, 2);
+        Metrics::set(&m.store_queue_depth, 3);
+        let d = m.snapshot().delta_since(&prev);
+        assert_eq!(d.store_admission_waits, 2);
+        assert_eq!(d.store_batched_fsyncs, 0);
+        assert_eq!(d.store_queue_depth, 3, "queue depth is a gauge");
+        let s = m.summary();
+        assert!(s.contains("admission-waits 6"), "{s}");
+        assert!(s.contains("queue-depth 3"), "{s}");
     }
 }

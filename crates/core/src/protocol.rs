@@ -40,7 +40,9 @@ use mini_mpi::request::RecvSpec;
 use mini_mpi::types::{ChannelId, CommId, RankId};
 use mini_mpi::wire::{from_bytes, to_bytes};
 use parking_lot::Mutex;
-use spbc_ckptstore::{CdcParams, CkptStoreService, EcScheme, LoadOutcome, SetMap, StoreConfig};
+use spbc_ckptstore::{
+    Admission, CdcParams, CkptStoreService, EcScheme, LoadOutcome, SetMap, StoreConfig,
+};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -135,6 +137,20 @@ pub struct SpbcConfig {
     /// EC rebuild or partner repair paths. Defaults off (process-kill
     /// semantics: local files survive the respawn).
     pub lose_local_on_failure: bool,
+    /// Shard count for the store hub's CAS and write pipeline (rounded up
+    /// to a power of two; 1 reproduces the legacy single-lock layout).
+    /// Defaults to `$SPBC_STORE_SHARDS` or 8.
+    pub store_shards: usize,
+    /// Hard depth of each write-pipeline submission queue; a full queue
+    /// delays admission instead of buffering unbounded memory. Defaults to
+    /// `$SPBC_WRITE_QUEUE` or 64.
+    pub write_queue: usize,
+    /// Byte budget for coalescing queued small blobs under one durability
+    /// barrier. Defaults to `$SPBC_BATCH_BYTES` or 1 MiB.
+    pub batch_bytes: usize,
+    /// Microseconds a write batch lingers for stragglers before sealing.
+    /// Defaults to `$SPBC_BATCH_LINGER_US` or 0 (seal immediately).
+    pub batch_linger_us: u64,
 }
 
 /// Replication factor from `$SPBC_REPL_K`, defaulting to 2 (one surviving
@@ -184,6 +200,26 @@ fn default_tier_policy() -> String {
     crate::env::get_or("SPBC_TIER_POLICY", "mem:0,local:all".to_string())
 }
 
+/// Store shard count from `$SPBC_STORE_SHARDS`, defaulting to 8.
+fn default_store_shards() -> usize {
+    crate::env::get_or("SPBC_STORE_SHARDS", 8usize)
+}
+
+/// Write-queue depth from `$SPBC_WRITE_QUEUE`, defaulting to 64.
+fn default_write_queue() -> usize {
+    crate::env::get_or("SPBC_WRITE_QUEUE", 64usize)
+}
+
+/// Batch byte budget from `$SPBC_BATCH_BYTES`, defaulting to 1 MiB.
+fn default_batch_bytes() -> usize {
+    crate::env::get_or("SPBC_BATCH_BYTES", 1usize << 20)
+}
+
+/// Batch linger from `$SPBC_BATCH_LINGER_US`, defaulting to 0.
+fn default_batch_linger_us() -> u64 {
+    crate::env::get_or("SPBC_BATCH_LINGER_US", 0u64)
+}
+
 /// CDC chunk bounds from `$SPBC_CDC_MIN` / `$SPBC_CDC_AVG` / `$SPBC_CDC_MAX`.
 fn default_cdc_bounds() -> (usize, usize, usize) {
     let d = CdcParams::default();
@@ -217,6 +253,10 @@ impl Default for SpbcConfig {
             ec_m: default_ec_m(),
             tier_policy: default_tier_policy(),
             lose_local_on_failure: false,
+            store_shards: default_store_shards(),
+            write_queue: default_write_queue(),
+            batch_bytes: default_batch_bytes(),
+            batch_linger_us: default_batch_linger_us(),
         }
     }
 }
@@ -237,6 +277,10 @@ fn store_cfg_of(cfg: &SpbcConfig) -> StoreConfig {
         cdc_params: CdcParams { min: cfg.cdc_min, avg: cfg.cdc_avg, max: cfg.cdc_max },
         ec,
         tier_policy: cfg.tier_policy.clone(),
+        shards: cfg.store_shards,
+        write_queue: cfg.write_queue,
+        batch_bytes: cfg.batch_bytes,
+        batch_linger_us: cfg.batch_linger_us,
         ..StoreConfig::default()
     }
 }
@@ -934,7 +978,7 @@ impl SpbcLayer {
             let rec = ctx.recorder().clone();
             let metrics = Arc::clone(&self.metrics);
             let is_async = service.config().async_writes;
-            service.commit_local(
+            let admission = service.commit_local(
                 self.me,
                 epoch,
                 blob.clone(),
@@ -978,6 +1022,15 @@ impl SpbcLayer {
                     }
                 })),
             )?;
+            if let Admission::Delayed { waited_us } = admission {
+                // The bounded pipeline pushed back: the submit queue was at
+                // its hard depth and commit stalled until a slot drained.
+                self.record_phase(ctx, epoch, crate::hist::Phase::Admission, waited_us);
+                Metrics::add(&self.metrics.store_admission_waits, 1);
+            }
+            let ws = service.writer_stats();
+            Metrics::set(&self.metrics.store_batched_fsyncs, ws.batched_fsyncs);
+            Metrics::set(&self.metrics.store_queue_depth, ws.queue_depth);
             blob
         } else {
             ck.to_blob()

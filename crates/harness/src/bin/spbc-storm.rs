@@ -1,0 +1,28 @@
+//! Regenerate the `storm` report (multi-tenant saturation: shard scaling,
+//! fsync amortization, backpressure, GC interference) and write the
+//! `BENCH_storm.json` baseline. An optional argument overrides the output
+//! path; `--short` runs the CI smoke shape (4 jobs, 10 waves) and
+//! `--jobs N` / `--waves N` override the defaults (8 jobs, 30 waves).
+
+fn main() {
+    let mut out = "BENCH_storm.json".to_string();
+    let mut jobs = 8usize;
+    let mut waves = 30u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--short" => {
+                jobs = 4;
+                waves = 10;
+            }
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--waves" => waves = args.next().and_then(|v| v.parse().ok()).expect("--waves N"),
+            other => out = other.to_string(),
+        }
+    }
+    eprintln!("storm: {jobs} jobs x {waves} waves");
+    let rows = spbc_harness::storm::run(jobs, waves);
+    println!("{}", spbc_harness::storm::render(&rows));
+    std::fs::write(&out, spbc_harness::storm::to_json(&rows)).expect("write BENCH_storm.json");
+    eprintln!("wrote {out}");
+}
